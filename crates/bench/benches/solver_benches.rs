@@ -1,0 +1,213 @@
+//! Criterion benches for the solver stack.
+//!
+//! `cargo bench -p rtr-bench`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtr_core::baseline::{greedy_partition, DesignPointPicker};
+use rtr_core::model::{IlpModel, ModelOptions};
+use rtr_core::structured::{SearchGoal, StructuredSolver};
+use rtr_core::{Architecture, Backend, ExploreParams, SearchLimits, TemporalPartitioner};
+use rtr_graph::{Area, Latency};
+use rtr_hls::{enumerate_design_points, EstimatorOptions, FuLibrary};
+use rtr_milp::SolveOptions;
+use rtr_workloads::ar::{ar_filter, template_a};
+use rtr_workloads::dct::{dct_4x4, dct_nxn};
+use rtr_workloads::random::{random_layered, RandomGraphParams};
+use std::time::Duration;
+
+fn quick_limits() -> SearchLimits {
+    SearchLimits { node_limit: 2_000_000, time_limit: Some(Duration::from_millis(500)) }
+}
+
+/// Full iterative exploration of the AR filter (Table 1 inner loop).
+fn bench_ar_explore(c: &mut Criterion) {
+    let graph = ar_filter().expect("static construction");
+    let r_max = graph.total_min_area().units() / 2;
+    let arch = Architecture::new(Area::new(r_max), 64, Latency::from_us(1.0));
+    c.bench_function("ar_filter/explore", |b| {
+        b.iter(|| {
+            let params = ExploreParams {
+                delta: Latency::from_ns(50.0),
+                gamma: 1,
+                limits: quick_limits(),
+                ..Default::default()
+            };
+            let part = TemporalPartitioner::new(&graph, &arch, params).expect("tasks fit");
+            part.explore().expect("explores")
+        })
+    });
+}
+
+/// One feasible window solve on the paper-scale DCT (structured backend).
+fn bench_dct_window(c: &mut Criterion) {
+    let graph = dct_4x4();
+    let arch = Architecture::new(Area::new(1024), 512, Latency::from_us(1.0));
+    let d_max = rtr_core::max_latency(&graph, &arch, 6);
+    c.bench_function("dct/window_feasible_n6", |b| {
+        b.iter(|| {
+            let solver = StructuredSolver::new(
+                &graph,
+                &arch,
+                6,
+                d_max.as_ns(),
+                SearchGoal::FirstFeasible,
+                quick_limits(),
+            );
+            solver.run()
+        })
+    });
+}
+
+/// The iterative procedure vs. solving to optimality with the ILP on the
+/// same instance — the paper's §4 runtime comparison, as a measured bench.
+fn bench_iterative_vs_optimal(c: &mut Criterion) {
+    let graph = random_layered(3, &RandomGraphParams { tasks: 6, ..Default::default() });
+    let arch = Architecture::new(Area::new(300), 64, Latency::from_us(1.0));
+    let mut group = c.benchmark_group("iterative_vs_optimal");
+    group.sample_size(10);
+    group.bench_function("iterative_structured", |b| {
+        b.iter(|| {
+            let params = ExploreParams {
+                delta: Latency::from_ns(100.0),
+                limits: quick_limits(),
+                ..Default::default()
+            };
+            let part = TemporalPartitioner::new(&graph, &arch, params).expect("tasks fit");
+            part.explore().expect("explores")
+        })
+    });
+    group.bench_function("optimal_milp", |b| {
+        b.iter(|| {
+            let d_max = rtr_core::max_latency(&graph, &arch, 3);
+            let options =
+                ModelOptions { minimize_latency: true, include_dmin_cut: false, ..Default::default() };
+            let ilp = IlpModel::build(&graph, &arch, 3, d_max, Latency::ZERO, &options)
+                .expect("model builds");
+            ilp.model().solve(&SolveOptions::optimal()).expect("solves")
+        })
+    });
+    group.finish();
+}
+
+/// Loose vs. tight `w` linearization on the faithful ILP (feasibility).
+fn bench_linearization(c: &mut Criterion) {
+    let graph = random_layered(7, &RandomGraphParams { tasks: 6, ..Default::default() });
+    let arch = Architecture::new(Area::new(300), 64, Latency::from_us(1.0));
+    let d_max = rtr_core::max_latency(&graph, &arch, 3);
+    let mut group = c.benchmark_group("linearization");
+    for (name, tight) in [("loose", false), ("tight", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let options = ModelOptions { tight_linearization: tight, ..Default::default() };
+                let ilp = IlpModel::build(&graph, &arch, 3, d_max, Latency::ZERO, &options)
+                    .expect("model builds");
+                ilp.model().solve(&SolveOptions::feasibility()).expect("solves")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Structured-solver scaling over DCT instance sizes.
+fn bench_dct_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dct_scaling");
+    group.sample_size(10);
+    for n in [2usize, 3, 4] {
+        let graph = dct_nxn(n).expect("valid size");
+        let arch = Architecture::new(Area::new(1024), 512, Latency::from_us(1.0));
+        let bound = rtr_core::min_area_partitions(&graph, &arch) + 1;
+        let d_max = rtr_core::max_latency(&graph, &arch, bound);
+        group.bench_with_input(BenchmarkId::from_parameter(graph.task_count()), &n, |b, _| {
+            b.iter(|| {
+                let solver = StructuredSolver::new(
+                    &graph,
+                    &arch,
+                    bound,
+                    d_max.as_ns(),
+                    SearchGoal::FirstFeasible,
+                    quick_limits(),
+                );
+                solver.run()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The greedy baseline against a single structured window solve.
+fn bench_greedy_baseline(c: &mut Criterion) {
+    let graph = dct_4x4();
+    let arch = Architecture::new(Area::new(576), 512, Latency::from_us(1.0));
+    c.bench_function("dct/greedy_min_area", |b| {
+        b.iter(|| greedy_partition(&graph, &arch, DesignPointPicker::MinArea, 16))
+    });
+}
+
+/// HLS design-point enumeration on the AR filter's template A.
+fn bench_hls(c: &mut Criterion) {
+    let task = template_a("bench", 16);
+    let lib = FuLibrary::xc4000_style();
+    c.bench_function("hls/enumerate_template_a", |b| {
+        b.iter(|| enumerate_design_points(&task, &lib, &EstimatorOptions::default()))
+    });
+}
+
+/// Simulating a DCT solution.
+fn bench_simulate(c: &mut Criterion) {
+    let graph = dct_4x4();
+    let arch = Architecture::new(Area::new(1024), 512, Latency::from_us(1.0));
+    let sol = greedy_partition(&graph, &arch, DesignPointPicker::MinArea, 16)
+        .expect("greedy packs the DCT");
+    c.bench_function("sim/dct_greedy_solution", |b| {
+        b.iter(|| rtr_sim::simulate(&graph, &arch, &sol).expect("valid solution"))
+    });
+}
+
+/// Presolve on vs. off for the faithful ILP (feasibility solves).
+fn bench_presolve(c: &mut Criterion) {
+    let graph = random_layered(5, &RandomGraphParams { tasks: 6, ..Default::default() });
+    let arch = Architecture::new(Area::new(300), 64, Latency::from_us(1.0));
+    let d_max = rtr_core::max_latency(&graph, &arch, 3);
+    let ilp = IlpModel::build(&graph, &arch, 3, d_max, Latency::ZERO, &ModelOptions::default())
+        .expect("model builds");
+    let mut group = c.benchmark_group("presolve");
+    for (name, presolve) in [("on", true), ("off", false)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut opts = SolveOptions::feasibility();
+                opts.presolve = presolve;
+                ilp.model().solve(&opts).expect("solves")
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The MILP backend on one small feasibility window (CPLEX stand-in cost).
+fn bench_milp_backend(c: &mut Criterion) {
+    let graph = random_layered(11, &RandomGraphParams { tasks: 5, ..Default::default() });
+    let arch = Architecture::new(Area::new(250), 64, Latency::from_us(1.0));
+    c.bench_function("milp/feasibility_5tasks_n3", |b| {
+        b.iter(|| {
+            let params = ExploreParams { backend: Backend::Milp, ..Default::default() };
+            let part = TemporalPartitioner::new(&graph, &arch, params).expect("tasks fit");
+            part.solve_window(
+                3,
+                rtr_core::max_latency(&graph, &arch, 3),
+                Latency::ZERO,
+            )
+            .expect("solves")
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_millis(500));
+    targets = bench_ar_explore, bench_dct_window, bench_iterative_vs_optimal,
+        bench_linearization, bench_dct_scaling, bench_greedy_baseline, bench_hls,
+        bench_simulate, bench_presolve, bench_milp_backend
+}
+criterion_main!(benches);

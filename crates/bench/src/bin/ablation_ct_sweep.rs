@@ -1,0 +1,50 @@
+//! Ablation: sweep the reconfiguration overhead `C_T` on the DCT and watch
+//! the chosen partition count and design points move — §2's "Area-Latency
+//! Tradeoff" quantified. The crossover where minimizing partitions stops
+//! being optimal is the figure-of-merit.
+//!
+//! `cargo run --release -p rtr-bench --bin ablation_ct_sweep`
+
+use rtr_bench::per_solve_limits;
+use rtr_core::{Architecture, ExploreParams, TemporalPartitioner};
+use rtr_graph::{Area, Latency};
+use rtr_workloads::dct::dct_4x4;
+use std::time::Duration;
+
+fn main() {
+    let graph = dct_4x4();
+    println!("C_T sweep on the 4x4 DCT, R_max = 1024, δ = 400 ns, γ = 2");
+    println!(
+        "{:>12} {:>5} {:>14} {:>14} {:>16}",
+        "C_T", "η", "exec (ns)", "total", "mean area/cfg"
+    );
+    for ct_ns in [30.0, 100.0, 300.0, 1e3, 3e3, 1e4, 1e5, 1e6, 1e7] {
+        let arch = Architecture::new(Area::new(1024), 512, Latency::from_ns(ct_ns));
+        let params = ExploreParams {
+            delta: Latency::from_ns(400.0),
+            alpha: 0,
+            gamma: 2,
+            limits: per_solve_limits(),
+            time_budget: Some(Duration::from_secs(60)),
+            ..Default::default()
+        };
+        let partitioner = TemporalPartitioner::new(&graph, &arch, params).expect("tasks fit");
+        let ex = partitioner.explore().expect("exploration runs");
+        let best = ex.best.expect("DCT is feasible");
+        let eta = best.partitions_used();
+        let mean_area: f64 = (1..=eta)
+            .map(|p| best.partition_area(&graph, p).units() as f64)
+            .sum::<f64>()
+            / f64::from(eta);
+        println!(
+            "{:>12} {:>5} {:>14.0} {:>14} {:>16.0}",
+            Latency::from_ns(ct_ns).to_string(),
+            eta,
+            best.execution_latency(&graph).as_ns(),
+            best.total_latency(&graph, &arch).to_string(),
+            mean_area
+        );
+    }
+    println!("\nexpected shape: small C_T -> more partitions, lower execution latency;");
+    println!("large C_T -> the minimum-partition packing (η = N_min^l) wins.");
+}

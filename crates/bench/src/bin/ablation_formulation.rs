@@ -1,0 +1,88 @@
+//! Ablation over the ILP formulation choices recorded in DESIGN.md:
+//!
+//! * loose vs. tight `w` linearization (the extra `w ≤ …` cuts);
+//! * the `D_min` lower-bound cut (10) on vs. off;
+//! * greedy α/γ seeding vs. α = γ = 0.
+//!
+//! `cargo run --release -p rtr-bench --bin ablation_formulation`
+
+use rtr_core::baseline::suggest_relaxations;
+use rtr_core::model::{IlpModel, ModelOptions};
+use rtr_core::{Architecture, Backend, ExploreParams, TemporalPartitioner};
+use rtr_graph::{Area, Latency};
+use rtr_milp::SolveOptions;
+use rtr_workloads::random::{random_layered, RandomGraphParams};
+use std::time::Instant;
+
+fn main() {
+    // Part 1: linearization tightness and the D_min cut, on a corpus of
+    // seeded random instances solved by the faithful ILP backend.
+    println!("== ILP formulation variants (feasibility solves, 8 random 6-task instances) ==");
+    println!(
+        "{:>26} {:>10} {:>12} {:>12}",
+        "variant", "rows", "B&B nodes", "time"
+    );
+    let variants: [(&str, ModelOptions); 3] = [
+        ("loose w, with Dmin cut", ModelOptions::default()),
+        (
+            "tight w, with Dmin cut",
+            ModelOptions { tight_linearization: true, ..Default::default() },
+        ),
+        (
+            "loose w, no Dmin cut",
+            ModelOptions { include_dmin_cut: false, ..Default::default() },
+        ),
+    ];
+    for (name, options) in &variants {
+        let mut rows = 0usize;
+        let mut nodes = 0usize;
+        let start = Instant::now();
+        for seed in 0..8u64 {
+            let g = random_layered(
+                seed,
+                &RandomGraphParams { tasks: 6, ..Default::default() },
+            );
+            let arch = Architecture::new(Area::new(300), 64, Latency::from_us(1.0));
+            let n = 3;
+            let d_max = rtr_core::max_latency(&g, &arch, n);
+            let mid = Latency::from_ns(
+                (d_max.as_ns() + rtr_core::min_latency(&g, &arch, n).as_ns()) / 2.0,
+            );
+            let ilp = IlpModel::build(&g, &arch, n, mid, Latency::ZERO, options)
+                .expect("model builds");
+            rows += ilp.model().constraint_count();
+            let out = ilp.model().solve(&SolveOptions::feasibility()).expect("solves");
+            nodes += out.stats.nodes;
+        }
+        println!("{:>26} {:>10} {:>12} {:>12}", name, rows, nodes, format!("{:.2?}", start.elapsed()));
+    }
+
+    // Part 2: greedy α/γ seeding on the DCT (paper §3.2.2).
+    println!("\n== α/γ seeding on the DCT (R_max = 576) ==");
+    let g = rtr_workloads::dct::dct_4x4();
+    let arch = Architecture::new(Area::new(576), 512, Latency::from_us(1.0));
+    let (alpha, gamma) = suggest_relaxations(&g, &arch);
+    println!("greedy suggests α = {alpha}, γ = {gamma} (N_min^l = {}, N_min^u = {})",
+        rtr_core::min_area_partitions(&g, &arch),
+        rtr_core::max_area_partitions(&g, &arch));
+    for (name, a, c) in [("α = γ = 0", 0, 0), ("greedy-seeded", alpha, gamma)] {
+        let params = ExploreParams {
+            delta: Latency::from_ns(400.0),
+            alpha: a,
+            gamma: c,
+            backend: Backend::Structured,
+            limits: rtr_bench::per_solve_limits(),
+            ..Default::default()
+        };
+        let part = TemporalPartitioner::new(&g, &arch, params).expect("tasks fit");
+        let start = Instant::now();
+        let ex = part.explore().expect("exploration runs");
+        println!(
+            "{:>14}: D_a = {:?} ns, {} solves, {:.2?}",
+            name,
+            ex.best_latency.map(|l| l.as_ns()),
+            ex.records.len(),
+            start.elapsed()
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Table 2: the DCT task kinds and their design points (input data of the
+//! case study; reconstructed — see DESIGN.md).
+//!
+//! `cargo run --release -p rtr-bench --bin table2_design_points`
+
+use rtr_workloads::dct::dct_4x4;
+
+fn main() {
+    let graph = dct_4x4();
+    println!("Table 2 — design points for the DCT task kinds (reconstructed)");
+    println!("{:<6} {:<12} {:>8} {:>12}", "Task", "Module set", "Area", "Latency(ns)");
+    for name in ["vp1_r0_c0", "vp2_r0_c0"] {
+        let id = graph.task_by_name(name).expect("task exists");
+        let task = graph.task(id);
+        let kind = if name.starts_with("vp1") { "T1" } else { "T2" };
+        for dp in task.design_points() {
+            println!(
+                "{:<6} {:<12} {:>8} {:>12.0}",
+                kind,
+                dp.name(),
+                dp.area().units(),
+                dp.latency().as_ns()
+            );
+        }
+    }
+    println!("\nderived quantities (these pin the reconstruction to the paper):");
+    println!("  Σ max-latency  = {:>8.0} ns (paper: 25,440)", graph.total_max_latency().as_ns());
+    println!(
+        "  critical path  = {:>8.0} ns (paper: 905)",
+        graph.critical_path_min_latency().as_ns()
+    );
+    println!("  Σ min-area     = {:>8} (N_min^l: 8 @ 576, 5 @ 1024)", graph.total_min_area());
+    println!("  Σ max-area     = {:>8} (N_min^u: 11 @ 576, 7 @ 1024)", graph.total_max_area());
+}

@@ -1,0 +1,21 @@
+//! Table 8: DCT refinement log. See `DctExperiment::table8` for the
+//! parameters and DESIGN.md for the experiment index.
+//!
+//! `cargo run --release -p rtr-bench --bin table8_dct`
+
+use rtr_bench::{print_paper_table, run_dct_experiment, DctExperiment};
+use rtr_workloads::dct::dct_4x4;
+
+fn main() {
+    let exp = DctExperiment::table8();
+    let graph = dct_4x4();
+    let exploration = run_dct_experiment(&exp, &graph);
+    print_paper_table(
+        &format!(
+            "Table {} — DCT, R_max = {}, C_T = {}, δ = {} ns, α = {}, γ = {}",
+            exp.table, exp.r_max, exp.ct, exp.delta_ns, exp.alpha, exp.gamma
+        ),
+        &exp.architecture(),
+        &exploration,
+    );
+}

@@ -1,0 +1,198 @@
+//! Shared experiment harness for the table-regeneration binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table of the paper's
+//! evaluation section; the configuration and printing logic lives here so
+//! the binaries stay declarative. See `DESIGN.md` (per-experiment index)
+//! and `EXPERIMENTS.md` (paper-vs-measured record) at the repository root.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rtr_core::{
+    Architecture, ExploreParams, Exploration, IterationResult, SearchLimits,
+    TemporalPartitioner,
+};
+use rtr_graph::{Area, Latency, TaskGraph};
+use std::time::Duration;
+
+/// Configuration of one DCT experiment (one paper table).
+#[derive(Debug, Clone, Copy)]
+pub struct DctExperiment {
+    /// Table number in the paper.
+    pub table: u32,
+    /// Device capacity `R_max`.
+    pub r_max: u64,
+    /// Reconfiguration time `C_T`.
+    pub ct: Latency,
+    /// Latency tolerance `δ` in ns.
+    pub delta_ns: f64,
+    /// Starting partition relaxation `α`.
+    pub alpha: u32,
+    /// Ending partition relaxation `γ`.
+    pub gamma: u32,
+}
+
+impl DctExperiment {
+    /// Table 3: `R_max = 576`, small reconfiguration overhead, δ = 200.
+    pub fn table3() -> Self {
+        DctExperiment {
+            table: 3,
+            r_max: 576,
+            ct: Latency::from_us(1.0),
+            delta_ns: 200.0,
+            alpha: 0,
+            gamma: 1,
+        }
+    }
+
+    /// Table 4: `R_max = 576`, `C_T = 10 ms`, δ = 200.
+    pub fn table4() -> Self {
+        DctExperiment { ct: Latency::from_ms(10.0), table: 4, ..DctExperiment::table3() }
+    }
+
+    /// Table 5: `R_max = 1024`, δ = 800, small overhead, α = 1.
+    pub fn table5() -> Self {
+        DctExperiment {
+            table: 5,
+            r_max: 1024,
+            ct: Latency::from_us(1.0),
+            delta_ns: 800.0,
+            alpha: 1,
+            gamma: 1,
+        }
+    }
+
+    /// Table 6: `R_max = 1024`, δ = 800, `C_T = 10 ms`, α = 0.
+    pub fn table6() -> Self {
+        DctExperiment { table: 6, ct: Latency::from_ms(10.0), alpha: 0, ..DctExperiment::table5() }
+    }
+
+    /// Table 7: `R_max = 1024`, δ = 100, small overhead.
+    pub fn table7() -> Self {
+        DctExperiment { table: 7, delta_ns: 100.0, ..DctExperiment::table5() }
+    }
+
+    /// Table 8: `R_max = 1024`, δ = 100, `C_T = 10 ms`.
+    pub fn table8() -> Self {
+        DctExperiment { table: 8, delta_ns: 100.0, ..DctExperiment::table6() }
+    }
+
+    /// The architecture of this experiment (`M_max` = 512 words throughout,
+    /// comfortably above the DCT's peak demand so the memory constraint is
+    /// present but non-binding, as in the paper).
+    pub fn architecture(&self) -> Architecture {
+        Architecture::new(Area::new(self.r_max), 512, self.ct)
+    }
+
+    /// The exploration parameters of this experiment.
+    pub fn params(&self) -> ExploreParams {
+        ExploreParams {
+            delta: Latency::from_ns(self.delta_ns),
+            alpha: self.alpha,
+            gamma: self.gamma,
+            limits: per_solve_limits(),
+            time_budget: Some(Duration::from_secs(120)),
+            ..Default::default()
+        }
+    }
+}
+
+/// Per-`SolveModel()` limits used by all table binaries: enough to decide
+/// the paper-scale windows, bounded so a full table regenerates in seconds.
+pub fn per_solve_limits() -> SearchLimits {
+    SearchLimits { node_limit: 40_000_000, time_limit: Some(Duration::from_secs(5)) }
+}
+
+/// Runs a DCT experiment and returns the exploration.
+///
+/// # Panics
+///
+/// Panics if the partitioner rejects the instance (cannot happen for the
+/// DCT at the paper's device sizes).
+pub fn run_dct_experiment(exp: &DctExperiment, graph: &TaskGraph) -> Exploration {
+    let arch = exp.architecture();
+    let partitioner =
+        TemporalPartitioner::new(graph, &arch, exp.params()).expect("DCT tasks fit the device");
+    partitioner.explore().expect("structured backend cannot fail")
+}
+
+/// Prints an exploration in the layout of the paper's tables: one row per
+/// `SolveModel()` call with the bounds shown *without* the `N·C_T`
+/// reconfiguration overhead, exactly like the paper's "Bound (without
+/// N×C_T)" columns.
+pub fn print_paper_table(title: &str, arch: &Architecture, exploration: &Exploration) {
+    println!("{title}");
+    println!(
+        "{:>4} {:>4} {:>14} {:>14} {:>14} {:>4} {:>12}",
+        "N", "I", "Dmin(ns)", "Dmax(ns)", "Da(ns)", "η", "time"
+    );
+    for r in &exploration.records {
+        // Da is shown with the same N·C_T normalization as the bound
+        // columns, so Da ≤ Dmax holds row-wise; η shows how many
+        // partitions the solution actually used.
+        let (result, eta) = match &r.result {
+            IterationResult::Feasible { latency, eta } => (
+                format!("{:.0}", latency.as_ns() - (arch.reconfig_time() * r.n).as_ns()),
+                eta.to_string(),
+            ),
+            IterationResult::Infeasible => ("Inf.".to_owned(), "-".to_owned()),
+            IterationResult::LimitReached => ("Inf.*".to_owned(), "-".to_owned()),
+        };
+        println!(
+            "{:>4} {:>4} {:>14.0} {:>14.0} {:>14} {:>4} {:>12}",
+            r.n,
+            r.iteration,
+            r.d_min_execution(arch).as_ns(),
+            r.d_max_execution(arch).as_ns(),
+            result,
+            eta,
+            format!("{:.1?}", r.elapsed),
+        );
+    }
+    match (&exploration.best, exploration.best_latency) {
+        (Some(best), Some(latency)) => {
+            println!(
+                "best: D_a = {:.0} ns total ({:.0} ns execution over η = {} partitions)",
+                latency.as_ns(),
+                latency.as_ns() - (arch.reconfig_time() * best.partitions_used()).as_ns(),
+                best.partitions_used()
+            );
+        }
+        _ => println!("no feasible solution found"),
+    }
+    println!(
+        "(N_min^l = {}, N_min^u = {}; `Inf.*` = search budget exhausted, treated as infeasible)",
+        exploration.n_min_lower, exploration.n_min_upper
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_workloads::dct::dct_4x4;
+
+    #[test]
+    fn experiment_configs_match_paper_parameters() {
+        assert_eq!(DctExperiment::table3().r_max, 576);
+        assert_eq!(DctExperiment::table4().ct, Latency::from_ms(10.0));
+        assert_eq!(DctExperiment::table5().alpha, 1);
+        assert_eq!(DctExperiment::table7().delta_ns, 100.0);
+        assert_eq!(DctExperiment::table8().r_max, 1024);
+    }
+
+    #[test]
+    fn table_printer_does_not_panic() {
+        let g = dct_4x4();
+        let exp = DctExperiment {
+            table: 0,
+            r_max: 1024,
+            ct: Latency::from_us(1.0),
+            delta_ns: 2_000.0,
+            alpha: 0,
+            gamma: 0,
+        };
+        let ex = run_dct_experiment(&exp, &g);
+        print_paper_table("smoke", &exp.architecture(), &ex);
+        assert!(ex.best.is_some());
+    }
+}

@@ -1,0 +1,196 @@
+//! Post-hoc analysis of partitioning solutions: utilization, parallelism,
+//! and memory profiles. Useful for understanding *why* a solution looks the
+//! way it does — e.g. whether the area or the dependency structure is the
+//! binding constraint (§2's discussion made measurable).
+
+use crate::arch::Architecture;
+use crate::solution::Solution;
+use rtr_graph::{Latency, TaskGraph};
+
+/// Metrics for one used partition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionAnalysis {
+    /// Partition index (1-based).
+    pub partition: u32,
+    /// Tasks mapped here.
+    pub task_count: usize,
+    /// Area used.
+    pub area_used: u64,
+    /// Fraction of `R_max` occupied, in `[0, 1]`.
+    pub area_utilization: f64,
+    /// The partition latency `d_p`.
+    pub latency: Latency,
+    /// Sum of task latencies in this partition (total work).
+    pub work: Latency,
+    /// Average spatial parallelism: `work / d_p` (1.0 = a pure chain;
+    /// higher = tasks genuinely overlapped).
+    pub parallelism: f64,
+}
+
+/// Whole-solution analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolutionAnalysis {
+    /// Per-partition metrics, for partitions `1..=η`.
+    pub partitions: Vec<PartitionAnalysis>,
+    /// Mean area utilization across used partitions.
+    pub mean_area_utilization: f64,
+    /// Fraction of the total latency spent reconfiguring.
+    pub reconfig_fraction: f64,
+    /// Memory occupancy at each boundary (boundaries `2..=N`).
+    pub boundary_memory: Vec<u64>,
+    /// Peak boundary memory as a fraction of `M_max`.
+    pub memory_pressure: f64,
+}
+
+impl SolutionAnalysis {
+    /// Analyzes a solution. Metrics are computed directly from the
+    /// placements (nothing is trusted from a solver).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solution indexes tasks or design points outside the
+    /// graph (validate first for untrusted input).
+    pub fn analyze(graph: &TaskGraph, arch: &Architecture, solution: &Solution) -> Self {
+        let eta = solution.partitions_used();
+        let capacity = arch.resource_capacity().units();
+        let mut partitions = Vec::with_capacity(eta as usize);
+        for p in 1..=eta {
+            let tasks = solution.tasks_in_partition(p);
+            let area_used = solution.partition_area(graph, p).units();
+            let latency = solution.partition_latency(graph, p);
+            let work: Latency = tasks
+                .iter()
+                .map(|&t| {
+                    graph.task(t).design_points()[solution.placement(t).design_point].latency()
+                })
+                .sum();
+            let parallelism = if latency > Latency::ZERO {
+                work.as_ns() / latency.as_ns()
+            } else {
+                0.0
+            };
+            partitions.push(PartitionAnalysis {
+                partition: p,
+                task_count: tasks.len(),
+                area_used,
+                area_utilization: area_used as f64 / capacity as f64,
+                latency,
+                work,
+                parallelism,
+            });
+        }
+        let mean_area_utilization = if partitions.is_empty() {
+            0.0
+        } else {
+            partitions.iter().map(|p| p.area_utilization).sum::<f64>() / partitions.len() as f64
+        };
+        let total = solution.total_latency(graph, arch);
+        let reconfig = arch.reconfig_time() * eta;
+        let reconfig_fraction =
+            if total > Latency::ZERO { reconfig.as_ns() / total.as_ns() } else { 0.0 };
+        let boundary_memory = solution.boundary_memory(graph, arch.env_policy());
+        let peak = boundary_memory.iter().copied().max().unwrap_or(0);
+        let memory_pressure = if arch.memory_capacity() > 0 {
+            peak as f64 / arch.memory_capacity() as f64
+        } else {
+            0.0
+        };
+        SolutionAnalysis {
+            partitions,
+            mean_area_utilization,
+            reconfig_fraction,
+            boundary_memory,
+            memory_pressure,
+        }
+    }
+
+    /// Renders a compact text report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>4} {:>6} {:>8} {:>7} {:>12} {:>12} {:>6}\n",
+            "part", "tasks", "area", "util%", "d_p", "work", "par"
+        ));
+        for p in &self.partitions {
+            out.push_str(&format!(
+                "{:>4} {:>6} {:>8} {:>6.1}% {:>12} {:>12} {:>6.2}\n",
+                p.partition,
+                p.task_count,
+                p.area_used,
+                p.area_utilization * 100.0,
+                p.latency.to_string(),
+                p.work.to_string(),
+                p.parallelism
+            ));
+        }
+        out.push_str(&format!(
+            "mean utilization {:.1}%, reconfig {:.1}% of total, memory pressure {:.1}%",
+            self.mean_area_utilization * 100.0,
+            self.reconfig_fraction * 100.0,
+            self.memory_pressure * 100.0
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solution::Placement;
+    use rtr_graph::{Area, DesignPoint, TaskGraphBuilder};
+
+    fn dp(area: u64, lat: f64) -> DesignPoint {
+        DesignPoint::new("m", Area::new(area), Latency::from_ns(lat))
+    }
+
+    fn setup() -> (TaskGraph, Architecture, Solution) {
+        let mut b = TaskGraphBuilder::new();
+        // Partition 1: two independent 100 ns tasks (parallelism 2).
+        let a = b.add_task("a").design_point(dp(30, 100.0)).finish();
+        let c = b.add_task("c").design_point(dp(30, 100.0)).finish();
+        // Partition 2: one 200 ns task.
+        let d = b.add_task("d").design_point(dp(50, 200.0)).finish();
+        b.add_edge(a, d, 4).unwrap();
+        b.add_edge(c, d, 4).unwrap();
+        let g = b.build().unwrap();
+        let arch = Architecture::new(Area::new(100), 16, Latency::from_ns(100.0));
+        let pl = |p| Placement { partition: p, design_point: 0 };
+        (g, arch, Solution::new(vec![pl(1), pl(1), pl(2)], 2))
+    }
+
+    #[test]
+    fn per_partition_metrics() {
+        let (g, arch, sol) = setup();
+        let a = SolutionAnalysis::analyze(&g, &arch, &sol);
+        assert_eq!(a.partitions.len(), 2);
+        let p1 = &a.partitions[0];
+        assert_eq!(p1.task_count, 2);
+        assert_eq!(p1.area_used, 60);
+        assert!((p1.area_utilization - 0.6).abs() < 1e-9);
+        assert_eq!(p1.latency.as_ns(), 100.0);
+        assert_eq!(p1.work.as_ns(), 200.0);
+        assert!((p1.parallelism - 2.0).abs() < 1e-9);
+        let p2 = &a.partitions[1];
+        assert!((p2.parallelism - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregates() {
+        let (g, arch, sol) = setup();
+        let a = SolutionAnalysis::analyze(&g, &arch, &sol);
+        // Total = 100 + 200 exec + 200 reconfig = 500; reconfig 40%.
+        assert!((a.reconfig_fraction - 0.4).abs() < 1e-9);
+        assert!((a.mean_area_utilization - 0.55).abs() < 1e-9);
+        // Boundary 2 holds 8 words of 16.
+        assert_eq!(a.boundary_memory, vec![8]);
+        assert!((a.memory_pressure - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn render_contains_all_rows() {
+        let (g, arch, sol) = setup();
+        let text = SolutionAnalysis::analyze(&g, &arch, &sol).render();
+        assert!(text.contains("mean utilization"));
+        assert_eq!(text.lines().count(), 4);
+    }
+}

@@ -1,0 +1,159 @@
+//! Target architecture parameters.
+
+use rtr_graph::{Area, Latency};
+use std::fmt;
+
+/// How environment I/O occupies on-board memory across partition boundaries.
+///
+/// The paper's memory constraint (3) charges data read from and written to
+/// the environment against the on-board memory `M_max`, alongside
+/// inter-partition data. Two interpretations are supported:
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum EnvMemoryPolicy {
+    /// Environment data is resident on the board for the whole run: an input
+    /// word of task `t` occupies every boundary before `t`'s partition
+    /// executes, and an output word occupies every boundary after. This is
+    /// the conservative reading of constraint (3) and the default.
+    #[default]
+    Resident,
+    /// The host streams environment data in and out between configurations,
+    /// so only inter-task data counts against `M_max`.
+    Streamed,
+}
+
+impl fmt::Display for EnvMemoryPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            EnvMemoryPolicy::Resident => "resident",
+            EnvMemoryPolicy::Streamed => "streamed",
+        })
+    }
+}
+
+/// Parameters of the run-time reconfigurable processor: the paper's
+/// `R_max`, `M_max`, and `C_T`.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_core::Architecture;
+/// use rtr_graph::{Area, Latency};
+///
+/// let arch = Architecture::new(Area::new(576), 256, Latency::from_ms(1.0));
+/// assert_eq!(arch.resource_capacity(), Area::new(576));
+/// let fast = Architecture::time_multiplexed();
+/// assert!(fast.reconfig_time() < arch.reconfig_time());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Architecture {
+    resource_capacity: Area,
+    memory_capacity: u64,
+    reconfig_time: Latency,
+    env_policy: EnvMemoryPolicy,
+    secondary_capacities: Vec<u64>,
+}
+
+impl Architecture {
+    /// Creates an architecture with resource capacity `R_max` (FPGA area per
+    /// configuration), on-board memory `M_max` in data units, and
+    /// reconfiguration time `C_T`.
+    pub fn new(resource_capacity: Area, memory_capacity: u64, reconfig_time: Latency) -> Self {
+        Architecture {
+            resource_capacity,
+            memory_capacity,
+            reconfig_time,
+            env_policy: EnvMemoryPolicy::default(),
+            secondary_capacities: Vec::new(),
+        }
+    }
+
+    /// Builder-style environment memory policy override.
+    pub fn with_env_policy(mut self, policy: EnvMemoryPolicy) -> Self {
+        self.env_policy = policy;
+        self
+    }
+
+    /// Declares per-configuration capacities of *secondary resource
+    /// classes* (dedicated multipliers, block RAMs, …) matching the class
+    /// indices of [`DesignPoint::secondary`](rtr_graph::DesignPoint::secondary).
+    /// A class beyond this vector is unconstrained.
+    pub fn with_secondary_capacities(mut self, capacities: Vec<u64>) -> Self {
+        self.secondary_capacities = capacities;
+        self
+    }
+
+    /// A Wildforce-class board: millisecond-scale reconfiguration, the
+    /// paper's "reconfiguration time orders of magnitude greater than the
+    /// task graph latency" regime.
+    pub fn wildforce() -> Self {
+        Architecture::new(Area::new(576), 512, Latency::from_ms(10.0))
+    }
+
+    /// A time-multiplexed FPGA in the style of \[12\]: nanosecond-scale
+    /// context switches, the regime where extra partitions can pay off.
+    pub fn time_multiplexed() -> Self {
+        Architecture::new(Area::new(576), 512, Latency::from_ns(30.0))
+    }
+
+    /// Resource capacity `R_max` of one configuration.
+    pub fn resource_capacity(&self) -> Area {
+        self.resource_capacity
+    }
+
+    /// On-board memory `M_max`, in data units.
+    pub fn memory_capacity(&self) -> u64 {
+        self.memory_capacity
+    }
+
+    /// Reconfiguration time `C_T`.
+    pub fn reconfig_time(&self) -> Latency {
+        self.reconfig_time
+    }
+
+    /// Environment memory policy.
+    pub fn env_policy(&self) -> EnvMemoryPolicy {
+        self.env_policy
+    }
+
+    /// Secondary resource capacities per class (empty when only the primary
+    /// area resource is constrained).
+    pub fn secondary_capacities(&self) -> &[u64] {
+        &self.secondary_capacities
+    }
+
+    /// Capacity of secondary class `class`, or `None` if unconstrained.
+    pub fn secondary_capacity(&self, class: usize) -> Option<u64> {
+        self.secondary_capacities.get(class).copied()
+    }
+
+    /// `true` if a single design point fits an empty configuration of this
+    /// device (area and every secondary class).
+    pub fn admits(&self, dp: &rtr_graph::DesignPoint) -> bool {
+        dp.area() <= self.resource_capacity
+            && self
+                .secondary_capacities
+                .iter()
+                .enumerate()
+                .all(|(k, &cap)| dp.secondary_usage(k) <= cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_distinct_regimes() {
+        let slow = Architecture::wildforce();
+        let fast = Architecture::time_multiplexed();
+        assert!(slow.reconfig_time().as_ns() / fast.reconfig_time().as_ns() > 1e4);
+    }
+
+    #[test]
+    fn policy_override() {
+        let a = Architecture::wildforce().with_env_policy(EnvMemoryPolicy::Streamed);
+        assert_eq!(a.env_policy(), EnvMemoryPolicy::Streamed);
+        assert_eq!(EnvMemoryPolicy::Streamed.to_string(), "streamed");
+        assert_eq!(EnvMemoryPolicy::default(), EnvMemoryPolicy::Resident);
+    }
+}

@@ -1,0 +1,243 @@
+//! Greedy baseline partitioner.
+//!
+//! The paper motivates its `α`/`γ` knobs with exactly this heuristic
+//! (§3.2.2): "Using a heuristic, if we map the least area design points for
+//! each task we arrive at a solution with partition size N′ … Similarly,
+//! using a heuristic and mapping the maximum area design point for each task,
+//! we arrive at a solution with N″ partitions." The greedy partitioner also
+//! serves as a comparison baseline for the benches: it picks one design
+//! point per task up front and packs tasks into partitions level by level,
+//! with no design-space exploration.
+
+use crate::arch::{Architecture, EnvMemoryPolicy};
+use crate::solution::{Placement, Solution};
+use crate::validate::validate_solution;
+use rtr_graph::TaskGraph;
+
+/// How the greedy baseline picks a single design point per task.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DesignPointPicker {
+    /// Always the smallest-area point (fewest partitions).
+    MinArea,
+    /// Always the largest-area point (fastest execution, most partitions).
+    MaxArea,
+    /// Always the lowest-latency point.
+    MinLatency,
+}
+
+impl DesignPointPicker {
+    fn pick(self, task: &rtr_graph::Task) -> usize {
+        let dps = task.design_points();
+        let chosen = match self {
+            DesignPointPicker::MinArea => task.min_area_point(),
+            DesignPointPicker::MaxArea => task.max_area_point(),
+            DesignPointPicker::MinLatency => task.min_latency_point(),
+        };
+        dps.iter().position(|d| std::ptr::eq(d, chosen)).expect("point from same slice")
+    }
+}
+
+/// Greedily packs tasks (in topological order) into at most `n_cap`
+/// partitions with the design point chosen by `picker`: each task goes to
+/// the earliest partition that respects temporal order, area, and memory.
+/// Returns `None` if the packing fails within `n_cap` partitions.
+pub fn greedy_partition(
+    graph: &TaskGraph,
+    arch: &Architecture,
+    picker: DesignPointPicker,
+    n_cap: u32,
+) -> Option<Solution> {
+    let count = graph.task_count();
+    let mut placements = vec![Placement { partition: 0, design_point: 0 }; count];
+    let mut area_used = vec![0u64; n_cap as usize];
+    let classes = arch.secondary_capacities().len();
+    let mut sec_used = vec![vec![0u64; classes]; n_cap as usize];
+
+    for &t in graph.topological_order() {
+        let task = graph.task(t);
+        let m = picker.pick(task);
+        let dp = &task.design_points()[m];
+        let area = dp.area().units();
+        let p_min = graph
+            .predecessors(t)
+            .iter()
+            .map(|q| placements[q.index()].partition)
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        let mut placed = false;
+        for p in p_min..=n_cap {
+            if area_used[(p - 1) as usize] + area > arch.resource_capacity().units() {
+                continue;
+            }
+            if arch
+                .secondary_capacities()
+                .iter()
+                .enumerate()
+                .any(|(k, &cap)| sec_used[(p - 1) as usize][k] + dp.secondary_usage(k) > cap)
+            {
+                continue;
+            }
+            // Tentatively place and check memory.
+            placements[t.index()] = Placement { partition: p, design_point: m };
+            let partial_ok = memory_ok_partial(graph, arch, &placements, n_cap);
+            if partial_ok {
+                area_used[(p - 1) as usize] += area;
+                for (k, used) in sec_used[(p - 1) as usize].iter_mut().enumerate() {
+                    *used += dp.secondary_usage(k);
+                }
+                placed = true;
+                break;
+            }
+            placements[t.index()] = Placement { partition: 0, design_point: 0 };
+        }
+        if !placed {
+            return None;
+        }
+    }
+    let sol = Solution::new(placements, n_cap).compacted(n_cap);
+    debug_assert!(validate_solution(graph, arch, &sol).is_empty());
+    Some(sol)
+}
+
+/// Memory check over the assigned prefix (unassigned tasks, marked with
+/// partition 0, are skipped; they can only add occupancy later, so a partial
+/// violation is final).
+fn memory_ok_partial(
+    graph: &TaskGraph,
+    arch: &Architecture,
+    placements: &[Placement],
+    n: u32,
+) -> bool {
+    if n < 2 {
+        return true;
+    }
+    let mut mem = vec![0u64; (n - 1) as usize];
+    for e in graph.edges() {
+        let pa = placements[e.src().index()].partition;
+        let pb = placements[e.dst().index()].partition;
+        if pa == 0 || pb == 0 {
+            continue;
+        }
+        for p in (pa + 1)..=pb {
+            mem[(p - 2) as usize] += e.data();
+        }
+    }
+    if arch.env_policy() == EnvMemoryPolicy::Resident {
+        for (t, pl) in placements.iter().enumerate() {
+            if pl.partition == 0 {
+                continue;
+            }
+            let task = &graph.tasks()[t];
+            for p in 2..=pl.partition {
+                mem[(p - 2) as usize] += task.env_input();
+            }
+            for p in (pl.partition + 1)..=n {
+                mem[(p - 2) as usize] += task.env_output();
+            }
+        }
+    }
+    mem.into_iter().all(|m| m <= arch.memory_capacity())
+}
+
+/// Suggested `(α, γ)` relaxations per the paper's §3.2.2: run the greedy
+/// packer with min-area and max-area pickers and compare the partition
+/// counts against `N_min^l` and `N_min^u`.
+pub fn suggest_relaxations(graph: &TaskGraph, arch: &Architecture) -> (u32, u32) {
+    let n_l = crate::bounds::min_area_partitions(graph, arch);
+    let n_u = crate::bounds::max_area_partitions(graph, arch);
+    let cap = (graph.task_count() as u32).max(n_u + 4);
+    let alpha = greedy_partition(graph, arch, DesignPointPicker::MinArea, cap)
+        .map(|s| s.partitions_used().saturating_sub(n_l))
+        .unwrap_or(0);
+    let gamma = greedy_partition(graph, arch, DesignPointPicker::MaxArea, cap)
+        .map(|s| s.partitions_used().saturating_sub(n_u))
+        .unwrap_or(0);
+    (alpha, gamma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_graph::{Area, DesignPoint, Latency, TaskGraphBuilder};
+
+    fn dp(name: &str, area: u64, lat: f64) -> DesignPoint {
+        DesignPoint::new(name, Area::new(area), Latency::from_ns(lat))
+    }
+
+    fn chain(n: usize) -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let mut prev = None;
+        for i in 0..n {
+            let t = b
+                .add_task(format!("t{i}"))
+                .design_point(dp("s", 40, 400.0))
+                .design_point(dp("f", 80, 180.0))
+                .finish();
+            if let Some(p) = prev {
+                b.add_edge(p, t, 1).unwrap();
+            }
+            prev = Some(t);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn min_area_uses_fewer_partitions_than_max_area() {
+        let g = chain(4);
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(10.0));
+        let small = greedy_partition(&g, &arch, DesignPointPicker::MinArea, 10).unwrap();
+        let large = greedy_partition(&g, &arch, DesignPointPicker::MaxArea, 10).unwrap();
+        // 4 * 40 = 160 -> 2 partitions; 4 * 80 -> one per partition = 4.
+        assert_eq!(small.partitions_used(), 2);
+        assert_eq!(large.partitions_used(), 4);
+        assert!(validate_solution(&g, &arch, &small).is_empty());
+        assert!(validate_solution(&g, &arch, &large).is_empty());
+    }
+
+    #[test]
+    fn min_latency_picker_picks_fast_points() {
+        let g = chain(2);
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(10.0));
+        let sol = greedy_partition(&g, &arch, DesignPointPicker::MinLatency, 10).unwrap();
+        for pl in sol.placements() {
+            assert_eq!(pl.design_point, 1);
+        }
+    }
+
+    #[test]
+    fn cap_too_small_fails() {
+        let g = chain(4);
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(10.0));
+        assert!(greedy_partition(&g, &arch, DesignPointPicker::MaxArea, 3).is_none());
+    }
+
+    #[test]
+    fn memory_forces_later_partitions_or_failure() {
+        // Two parallel producers feeding a consumer; tiny memory forbids any
+        // boundary crossing, so everything must share one partition — which
+        // the area does not allow.
+        let mut b = TaskGraphBuilder::new();
+        let p1 = b.add_task("p1").design_point(dp("m", 60, 100.0)).finish();
+        let p2 = b.add_task("p2").design_point(dp("m", 60, 100.0)).finish();
+        let c = b.add_task("c").design_point(dp("m", 60, 100.0)).finish();
+        b.add_edge(p1, c, 5).unwrap();
+        b.add_edge(p2, c, 5).unwrap();
+        let g = b.build().unwrap();
+        let arch = Architecture::new(Area::new(100), 4, Latency::from_ns(10.0));
+        assert!(greedy_partition(&g, &arch, DesignPointPicker::MinArea, 5).is_none());
+        // With enough memory it succeeds.
+        let arch_ok = Architecture::new(Area::new(100), 16, Latency::from_ns(10.0));
+        assert!(greedy_partition(&g, &arch_ok, DesignPointPicker::MinArea, 5).is_some());
+    }
+
+    #[test]
+    fn suggested_relaxations_are_consistent() {
+        let g = chain(4);
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(10.0));
+        let (alpha, gamma) = suggest_relaxations(&g, &arch);
+        // Greedy min-area achieves exactly N_min^l here, and max-area exactly
+        // N_min^u, so both relaxations are 0.
+        assert_eq!((alpha, gamma), (0, 0));
+    }
+}

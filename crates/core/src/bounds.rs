@@ -1,0 +1,117 @@
+//! Partition-count and latency bounds (paper §3.1, "Preprocessing").
+
+use crate::arch::Architecture;
+use rtr_graph::{Latency, TaskGraph};
+
+/// `MinAreaPartitions()`: the lower bound `N_min^l` on the number of
+/// partitions — total minimum-area design-point area divided (rounding up)
+/// by the device capacity. When the architecture declares secondary
+/// resource classes, the analogous per-class bound is taken too and the
+/// maximum returned.
+///
+/// # Panics
+///
+/// Panics if the architecture has zero resource capacity.
+pub fn min_area_partitions(graph: &TaskGraph, arch: &Architecture) -> u32 {
+    let mut n = graph.total_min_area().partitions_needed(arch.resource_capacity()).max(1);
+    for (class, &cap) in arch.secondary_capacities().iter().enumerate() {
+        if cap == 0 {
+            continue; // a zero-capacity class constrains placement, not count
+        }
+        let demand: u64 = graph
+            .tasks()
+            .iter()
+            .map(|t| {
+                t.design_points().iter().map(|dp| dp.secondary_usage(class)).min().unwrap_or(0)
+            })
+            .sum();
+        n = n.max((demand.div_ceil(cap) as u32).max(1));
+    }
+    n
+}
+
+/// `MaxAreaPartitions()`: `N_min^u`, the minimum number of partitions needed
+/// if every task uses its maximum-area design point. The paper notes this is
+/// *not* an upper bound on partitions in general (dependency-induced
+/// fragmentation can force more), but it anchors the exploration window
+/// `N_min^l + α ..= N_min^u + γ`.
+///
+/// # Panics
+///
+/// Panics if the architecture has zero resource capacity.
+pub fn max_area_partitions(graph: &TaskGraph, arch: &Architecture) -> u32 {
+    graph.total_max_area().partitions_needed(arch.resource_capacity()).max(1)
+}
+
+/// `MaxLatency(N)`: the worst-case latency for `N` partitions — every task
+/// serialized on its maximum-latency design point, plus `N` reconfigurations.
+pub fn max_latency(graph: &TaskGraph, arch: &Architecture, n: u32) -> Latency {
+    graph.total_max_latency() + arch.reconfig_time() * n
+}
+
+/// `MinLatency(N)`: the best-case latency for `N` partitions — the critical
+/// path with every task on its minimum-latency design point, plus `N`
+/// reconfigurations.
+pub fn min_latency(graph: &TaskGraph, arch: &Architecture, n: u32) -> Latency {
+    graph.critical_path_min_latency() + arch.reconfig_time() * n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_graph::{Area, DesignPoint, TaskGraphBuilder};
+
+    fn two_point_graph() -> TaskGraph {
+        // Two tasks in a chain, each with a small-slow and big-fast point.
+        let mut b = TaskGraphBuilder::new();
+        let mk = |small: u64, big: u64, slow: f64, fast: f64| {
+            vec![
+                DesignPoint::new("small", Area::new(small), Latency::from_ns(slow)),
+                DesignPoint::new("big", Area::new(big), Latency::from_ns(fast)),
+            ]
+        };
+        let a = b.add_task("a").design_points(mk(100, 300, 900.0, 400.0)).finish();
+        let c = b.add_task("c").design_points(mk(150, 350, 800.0, 350.0)).finish();
+        b.add_edge(a, c, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn partition_bounds() {
+        let g = two_point_graph();
+        let arch = Architecture::new(Area::new(200), 100, Latency::from_ns(10.0));
+        // min areas: 100 + 150 = 250 -> ceil(250/200) = 2.
+        assert_eq!(min_area_partitions(&g, &arch), 2);
+        // max areas: 300 + 350 = 650 -> ceil(650/200) = 4.
+        assert_eq!(max_area_partitions(&g, &arch), 4);
+    }
+
+    #[test]
+    fn bounds_are_at_least_one() {
+        let g = two_point_graph();
+        let arch = Architecture::new(Area::new(10_000), 100, Latency::from_ns(10.0));
+        assert_eq!(min_area_partitions(&g, &arch), 1);
+        assert_eq!(max_area_partitions(&g, &arch), 1);
+    }
+
+    #[test]
+    fn latency_bounds() {
+        let g = two_point_graph();
+        let arch = Architecture::new(Area::new(200), 100, Latency::from_ns(10.0));
+        // Max: 900 + 800 serial + 3 * 10.
+        assert_eq!(max_latency(&g, &arch, 3).as_ns(), 1730.0);
+        // Min: 400 + 350 path + 3 * 10.
+        assert_eq!(min_latency(&g, &arch, 3).as_ns(), 780.0);
+        // Monotone in N.
+        assert!(min_latency(&g, &arch, 4) > min_latency(&g, &arch, 3));
+    }
+
+    #[test]
+    fn min_latency_below_max_latency() {
+        let g = two_point_graph();
+        let arch = Architecture::wildforce();
+        for n in 1..6 {
+            assert!(min_latency(&g, &arch, n) <= max_latency(&g, &arch, n));
+        }
+    }
+}

@@ -1,0 +1,516 @@
+//! The ILP formulation of combined temporal partitioning and design-point
+//! selection (paper §3.2.3, constraints (1)–(10)).
+//!
+//! Variables:
+//!
+//! * `Y_{p,t,m}` — binary; task `t` in partition `p` with module set `m`;
+//! * `w_{p,e}` — boundary-crossing indicator for edge `e` at boundary `p`
+//!   (continuous in `[0, 1]`; integral automatically given integral `Y`);
+//! * `η` — number of partitions used;
+//! * `d_p` — latency of partition `p`.
+//!
+//! Two formulation details differ from the paper's presentation and are
+//! recorded in `DESIGN.md`: the temporal-order constraint (2) is expressed
+//! through placement prefix sums `S(t,p) = Σ_{q≤p,m} Y_{q,t,m}` (an
+//! equivalent linearization with `O(|E|·N)` rows instead of `O(|E|·N²)`),
+//! and the products in (4)–(5) are linearized as bounds on `w` in terms of
+//! the same prefix sums.
+
+use crate::arch::{Architecture, EnvMemoryPolicy};
+use crate::error::PartitionError;
+use crate::solution::{Placement, Solution};
+use rtr_graph::{Latency, PathLimits, TaskGraph};
+use rtr_milp::{Constraint, LinExpr, Model, Rel, VarId, Variable};
+
+/// Options controlling [`IlpModel::build`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelOptions {
+    /// Add the upper-bound cuts `w ≤ S(t1,p-1)` and `w ≤ 1 - S(t2,p-1)` in
+    /// addition to the (sufficient) lower-bound cut. Tightens the LP
+    /// relaxation at the cost of `2·|E|·(N-1)` extra rows; the
+    /// `ablation_formulation` bench measures the tradeoff.
+    pub tight_linearization: bool,
+    /// Include the latency lower-bound constraint (10). It only prunes the
+    /// already-searched region and never excludes better solutions, so it is
+    /// kept for fidelity with the paper but can be dropped.
+    pub include_dmin_cut: bool,
+    /// Cap on root→leaf path enumeration for the latency constraints (7).
+    pub path_limits: PathLimits,
+    /// Set `minimize Σ_p d_p + C_T·η` as the objective instead of building a
+    /// pure feasibility model. Used for the paper's `Result(Optimal)` runs.
+    pub minimize_latency: bool,
+}
+
+impl Default for ModelOptions {
+    fn default() -> Self {
+        ModelOptions {
+            tight_linearization: false,
+            include_dmin_cut: true,
+            path_limits: PathLimits::default(),
+            minimize_latency: false,
+        }
+    }
+}
+
+/// A built ILP instance together with its variable registry, so solver
+/// output can be decoded back into a [`Solution`].
+#[derive(Debug, Clone)]
+pub struct IlpModel {
+    model: Model,
+    /// `y[t][p-1][m]`.
+    y: Vec<Vec<Vec<VarId>>>,
+    n: u32,
+    /// All latency coefficients are divided by this scale (the model works
+    /// in units of `D_max`) for numerical conditioning.
+    latency_scale: f64,
+}
+
+impl IlpModel {
+    /// The paper's `FormModel()`: builds the ILP for partition bound `n` and
+    /// latency window `[d_min, d_max]` (absolute latencies, including
+    /// reconfiguration overhead).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::TooManyPaths`] if the latency constraints
+    /// would need more root→leaf paths than `options.path_limits` allows,
+    /// and [`PartitionError::ZeroPartitions`] for `n == 0`.
+    pub fn build(
+        graph: &TaskGraph,
+        arch: &Architecture,
+        n: u32,
+        d_max: Latency,
+        d_min: Latency,
+        options: &ModelOptions,
+    ) -> Result<Self, PartitionError> {
+        if n == 0 {
+            return Err(PartitionError::ZeroPartitions);
+        }
+        let paths = graph.enumerate_paths(options.path_limits);
+        if paths.is_truncated() {
+            return Err(PartitionError::TooManyPaths {
+                total: paths.total_path_count(),
+                cap: options.path_limits.max_paths,
+            });
+        }
+
+        let scale = d_max.as_ns().max(1.0);
+        let mut model = Model::new();
+        let np = n as usize;
+
+        // Y variables.
+        let y: Vec<Vec<Vec<VarId>>> = graph
+            .tasks()
+            .iter()
+            .enumerate()
+            .map(|(t, task)| {
+                (1..=np)
+                    .map(|p| {
+                        (0..task.design_points().len())
+                            .map(|m| {
+                                model.add_var(
+                                    Variable::binary().with_name(format!("y_p{p}_t{t}_m{m}")),
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // Prefix-sum expression S(t, p) = sum_{q <= p, m} Y_{q,t,m}.
+        let prefix = |t: usize, p: usize| -> LinExpr {
+            let mut e = LinExpr::new();
+            for q in 1..=p {
+                for &v in &y[t][q - 1] {
+                    e.push(1.0, v);
+                }
+            }
+            e
+        };
+
+        // (1) Uniqueness.
+        for (t, _) in graph.tasks().iter().enumerate() {
+            model.add_constraint(
+                Constraint::new(prefix(t, np), Rel::Eq, 1.0).with_name(format!("unique_t{t}")),
+            );
+        }
+
+        // (2) Temporal order: S(dst, p) <= S(src, p) for p < N.
+        for (ei, e) in graph.edges().iter().enumerate() {
+            for p in 1..np {
+                let mut expr = prefix(e.dst().index(), p);
+                for (v, c) in prefix(e.src().index(), p).normalized() {
+                    expr.push(-c, v);
+                }
+                model.add_constraint(
+                    Constraint::new(expr, Rel::Le, 0.0).with_name(format!("order_e{ei}_p{p}")),
+                );
+            }
+        }
+
+        // (4)/(5) boundary-crossing variables and their linearization, and
+        // (3) memory constraints per boundary p in 2..=N.
+        if n >= 2 {
+            let w: Vec<Vec<VarId>> = graph
+                .edges()
+                .iter()
+                .enumerate()
+                .map(|(ei, _)| {
+                    (2..=np)
+                        .map(|p| {
+                            model.add_var(
+                                Variable::continuous(0.0, 1.0)
+                                    .with_name(format!("w_e{ei}_p{p}")),
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+
+            for (ei, e) in graph.edges().iter().enumerate() {
+                for p in 2..=np {
+                    let wv = w[ei][p - 2];
+                    // w >= S(src, p-1) - S(dst, p-1).
+                    let mut expr = prefix(e.src().index(), p - 1);
+                    for (v, c) in prefix(e.dst().index(), p - 1).normalized() {
+                        expr.push(-c, v);
+                    }
+                    expr.push(-1.0, wv);
+                    model.add_constraint(
+                        Constraint::new(expr, Rel::Le, 0.0)
+                            .with_name(format!("wlb_e{ei}_p{p}")),
+                    );
+                    if options.tight_linearization {
+                        // w <= S(src, p-1).
+                        let mut hi = LinExpr::new().plus(1.0, wv);
+                        for (v, c) in prefix(e.src().index(), p - 1).normalized() {
+                            hi.push(-c, v);
+                        }
+                        model.add_constraint(
+                            Constraint::new(hi, Rel::Le, 0.0)
+                                .with_name(format!("wub1_e{ei}_p{p}")),
+                        );
+                        // w <= 1 - S(dst, p-1).
+                        let mut hi2 = LinExpr::new().plus(1.0, wv);
+                        for (v, c) in prefix(e.dst().index(), p - 1).normalized() {
+                            hi2.push(c, v);
+                        }
+                        model.add_constraint(
+                            Constraint::new(hi2, Rel::Le, 1.0)
+                                .with_name(format!("wub2_e{ei}_p{p}")),
+                        );
+                    }
+                }
+            }
+
+            for p in 2..=np {
+                let mut expr = LinExpr::new();
+                for (ei, e) in graph.edges().iter().enumerate() {
+                    if e.data() > 0 {
+                        expr.push(e.data() as f64, w[ei][p - 2]);
+                    }
+                }
+                let mut rhs = arch.memory_capacity() as f64;
+                if arch.env_policy() == EnvMemoryPolicy::Resident {
+                    for (t, task) in graph.tasks().iter().enumerate() {
+                        let delta = task.env_output() as f64 - task.env_input() as f64;
+                        if delta != 0.0 {
+                            for (v, c) in prefix(t, p - 1).normalized() {
+                                expr.push(delta * c, v);
+                            }
+                        }
+                        rhs -= task.env_input() as f64;
+                    }
+                }
+                if !expr.is_empty() {
+                    model.add_constraint(
+                        Constraint::new(expr, Rel::Le, rhs).with_name(format!("mem_p{p}")),
+                    );
+                }
+            }
+        }
+
+        // (6) Resource constraint per partition; one row per secondary
+        // resource class as well ("Similar equations can be added if
+        // multiple resource types exist in the FPGA").
+        for p in 1..=np {
+            let mut expr = LinExpr::new();
+            for (t, task) in graph.tasks().iter().enumerate() {
+                for (m, dp) in task.design_points().iter().enumerate() {
+                    expr.push(dp.area().units() as f64, y[t][p - 1][m]);
+                }
+            }
+            model.add_constraint(
+                Constraint::new(expr, Rel::Le, arch.resource_capacity().units() as f64)
+                    .with_name(format!("area_p{p}")),
+            );
+            for (class, &cap) in arch.secondary_capacities().iter().enumerate() {
+                let mut expr = LinExpr::new();
+                for (t, task) in graph.tasks().iter().enumerate() {
+                    for (m, dp) in task.design_points().iter().enumerate() {
+                        let usage = dp.secondary_usage(class);
+                        if usage > 0 {
+                            expr.push(usage as f64, y[t][p - 1][m]);
+                        }
+                    }
+                }
+                if !expr.is_empty() {
+                    model.add_constraint(
+                        Constraint::new(expr, Rel::Le, cap as f64)
+                            .with_name(format!("sec{class}_p{p}")),
+                    );
+                }
+            }
+        }
+
+        // d_p variables and (7) per-path latency constraints.
+        let d: Vec<VarId> = (1..=np)
+            .map(|p| {
+                model.add_var(Variable::continuous(0.0, 1.0).with_name(format!("d_p{p}")))
+            })
+            .collect();
+        for (pi, path) in paths.paths().iter().enumerate() {
+            for p in 1..=np {
+                let mut expr = LinExpr::new();
+                for &t in path {
+                    for (m, dp) in graph.task(t).design_points().iter().enumerate() {
+                        expr.push(dp.latency().as_ns() / scale, y[t.index()][p - 1][m]);
+                    }
+                }
+                expr.push(-1.0, d[p - 1]);
+                model.add_constraint(
+                    Constraint::new(expr, Rel::Le, 0.0).with_name(format!("lat_path{pi}_p{p}")),
+                );
+            }
+        }
+
+        // (8) η >= highest partition used by any leaf.
+        let eta = model.add_var(Variable::integer(1.0, f64::from(n)).with_name("eta"));
+        for t in graph.leaves() {
+            let mut expr = LinExpr::new();
+            for p in 1..=np {
+                for &v in &y[t.index()][p - 1] {
+                    expr.push(p as f64, v);
+                }
+            }
+            expr.push(-1.0, eta);
+            model.add_constraint(
+                Constraint::new(expr, Rel::Le, 0.0).with_name(format!("eta_t{}", t.index())),
+            );
+        }
+
+        // (9)/(10) the latency window.
+        let ct = arch.reconfig_time().as_ns() / scale;
+        let window = |coeff_eta: f64| -> LinExpr {
+            let mut expr = LinExpr::new();
+            for &dv in &d {
+                expr.push(1.0, dv);
+            }
+            expr.push(coeff_eta, eta);
+            expr
+        };
+        model.add_constraint(
+            Constraint::new(window(ct), Rel::Le, d_max.as_ns() / scale).with_name("latency_ub"),
+        );
+        if options.include_dmin_cut {
+            model.add_constraint(
+                Constraint::new(window(ct), Rel::Ge, d_min.as_ns() / scale)
+                    .with_name("latency_lb"),
+            );
+        }
+        if options.minimize_latency {
+            model.minimize(window(ct));
+        }
+
+        Ok(IlpModel { model, y, n, latency_scale: scale })
+    }
+
+    /// The underlying MILP model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The latency scale (ns per model latency unit).
+    pub fn latency_scale(&self) -> f64 {
+        self.latency_scale
+    }
+
+    /// Decodes an integral MILP solution back into task placements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solution does not select exactly one `(p, m)` per task
+    /// (cannot happen for solutions produced from this model).
+    pub fn decode(&self, solution: &rtr_milp::Solution) -> Solution {
+        let placements: Vec<Placement> = self
+            .y
+            .iter()
+            .map(|per_task| {
+                for (p_idx, per_p) in per_task.iter().enumerate() {
+                    for (m, &v) in per_p.iter().enumerate() {
+                        if solution.values[v.index()] > 0.5 {
+                            return Placement { partition: p_idx as u32 + 1, design_point: m };
+                        }
+                    }
+                }
+                panic!("uniqueness constraint guarantees a selected placement")
+            })
+            .collect();
+        Solution::new(placements, self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_solution;
+    use rtr_graph::{Area, DesignPoint, TaskGraphBuilder};
+    use rtr_milp::SolveOptions;
+
+    fn dp(name: &str, area: u64, lat: f64) -> DesignPoint {
+        DesignPoint::new(name, Area::new(area), Latency::from_ns(lat))
+    }
+
+    /// Two chained tasks, two design points each.
+    fn small_graph() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let a = b
+            .add_task("a")
+            .design_point(dp("s", 50, 300.0))
+            .design_point(dp("f", 90, 150.0))
+            .env_input(2)
+            .finish();
+        let c = b
+            .add_task("c")
+            .design_point(dp("s", 60, 250.0))
+            .design_point(dp("f", 95, 120.0))
+            .env_output(1)
+            .finish();
+        b.add_edge(a, c, 3).unwrap();
+        b.build().unwrap()
+    }
+
+    fn solve(
+        graph: &TaskGraph,
+        arch: &Architecture,
+        n: u32,
+        d_max: f64,
+    ) -> Option<Solution> {
+        let ilp = IlpModel::build(
+            graph,
+            arch,
+            n,
+            Latency::from_ns(d_max),
+            Latency::ZERO,
+            &ModelOptions::default(),
+        )
+        .unwrap();
+        let out = ilp.model().solve(&SolveOptions::feasibility()).unwrap();
+        out.solution.map(|s| ilp.decode(&s))
+    }
+
+    #[test]
+    fn feasible_window_yields_valid_solution() {
+        let g = small_graph();
+        let arch = Architecture::new(Area::new(100), 16, Latency::from_ns(50.0));
+        // Both tasks cannot share a partition (50+60 > 100): need 2 partitions.
+        let sol = solve(&g, &arch, 2, 1_000.0).expect("feasible");
+        assert!(validate_solution(&g, &arch, &sol).is_empty());
+        assert_eq!(sol.partitions_used(), 2);
+        assert!(sol.total_latency(&g, &arch).as_ns() <= 1_000.0);
+    }
+
+    #[test]
+    fn too_tight_window_is_infeasible() {
+        let g = small_graph();
+        let arch = Architecture::new(Area::new(100), 16, Latency::from_ns(50.0));
+        // Fastest possible: 150 + 120 + 2*50 = 370. Ask for 300.
+        assert!(solve(&g, &arch, 2, 300.0).is_none());
+        // And 370 exactly is feasible.
+        let sol = solve(&g, &arch, 2, 370.0).expect("feasible at the exact optimum");
+        assert_eq!(sol.total_latency(&g, &arch).as_ns(), 370.0);
+    }
+
+    #[test]
+    fn tight_latency_forces_fast_design_points() {
+        let g = small_graph();
+        let arch = Architecture::new(Area::new(200), 16, Latency::from_ns(10.0));
+        // One partition: serial chain. Slow points: 550 + 10. Fast: 270 + 10.
+        let sol = solve(&g, &arch, 1, 280.0).expect("feasible with fast points");
+        assert_eq!(sol.placement(rtr_graph::TaskId::from_index(0)).design_point, 1);
+        assert_eq!(sol.placement(rtr_graph::TaskId::from_index(1)).design_point, 1);
+    }
+
+    #[test]
+    fn memory_constraint_binds() {
+        let g = small_graph();
+        // Edge carries 3 units; memory 2 forbids splitting (and env-in 2 also
+        // counts under Resident); area 100 forbids sharing -> infeasible.
+        let arch = Architecture::new(Area::new(100), 2, Latency::from_ns(50.0));
+        assert!(solve(&g, &arch, 2, 10_000.0).is_none());
+        // Streamed policy with memory 3 allows the split.
+        let arch2 = Architecture::new(Area::new(100), 3, Latency::from_ns(50.0))
+            .with_env_policy(EnvMemoryPolicy::Streamed);
+        assert!(solve(&g, &arch2, 2, 10_000.0).is_some());
+    }
+
+    #[test]
+    fn temporal_order_is_enforced() {
+        // Force dst earlier than src would be needed: single partition big
+        // enough only for one task at a time and reversed-capacity trick is
+        // hard; instead check order on every feasible solve.
+        let g = small_graph();
+        let arch = Architecture::new(Area::new(100), 16, Latency::from_ns(5.0));
+        for n in 2..=4 {
+            if let Some(sol) = solve(&g, &arch, n, 100_000.0) {
+                assert!(validate_solution(&g, &arch, &sol).is_empty(), "n = {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_partitions_rejected() {
+        let g = small_graph();
+        let arch = Architecture::wildforce();
+        assert!(matches!(
+            IlpModel::build(&g, &arch, 0, Latency::from_ns(1.0), Latency::ZERO, &Default::default()),
+            Err(PartitionError::ZeroPartitions)
+        ));
+    }
+
+    #[test]
+    fn path_cap_is_surfaced() {
+        let g = small_graph();
+        let arch = Architecture::wildforce();
+        let opts = ModelOptions {
+            path_limits: PathLimits { max_paths: 0 },
+            ..Default::default()
+        };
+        assert!(matches!(
+            IlpModel::build(&g, &arch, 2, Latency::from_ns(1e6), Latency::ZERO, &opts),
+            Err(PartitionError::TooManyPaths { .. })
+        ));
+    }
+
+    #[test]
+    fn tight_linearization_gives_same_answers() {
+        let g = small_graph();
+        let arch = Architecture::new(Area::new(100), 16, Latency::from_ns(50.0));
+        for d_max in [300.0, 370.0, 1_000.0] {
+            let loose = solve(&g, &arch, 2, d_max).is_some();
+            let ilp = IlpModel::build(
+                &g,
+                &arch,
+                2,
+                Latency::from_ns(d_max),
+                Latency::ZERO,
+                &ModelOptions { tight_linearization: true, ..Default::default() },
+            )
+            .unwrap();
+            let tight =
+                ilp.model().solve(&SolveOptions::feasibility()).unwrap().solution.is_some();
+            assert_eq!(loose, tight, "d_max = {d_max}");
+        }
+    }
+}

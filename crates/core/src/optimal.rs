@@ -1,0 +1,226 @@
+//! Solving to optimality — the paper's `Result(Optimal)` comparison runs.
+
+use crate::arch::Architecture;
+use crate::error::PartitionError;
+use crate::model::{IlpModel, ModelOptions};
+use crate::search::Backend;
+use crate::solution::Solution;
+use crate::structured::{SearchGoal, SearchLimits, SearchOutcome, StructuredSolver};
+use rtr_graph::{Latency, TaskGraph};
+use rtr_milp::SolveOptions;
+
+/// Result of an optimality run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptimalOutcome {
+    /// Proven-optimal solution and its latency.
+    Optimal(Solution, Latency),
+    /// A limit fired; the incumbent (if any) is returned unproven.
+    Interrupted(Option<(Solution, Latency)>),
+    /// Proven infeasible under the partition bound.
+    Infeasible,
+}
+
+impl OptimalOutcome {
+    /// The solution, if one was found (proven optimal or incumbent).
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            OptimalOutcome::Optimal(s, _) => Some(s),
+            OptimalOutcome::Interrupted(Some((s, _))) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The latency of the returned solution, if any.
+    pub fn latency(&self) -> Option<Latency> {
+        match self {
+            OptimalOutcome::Optimal(_, l) => Some(*l),
+            OptimalOutcome::Interrupted(Some((_, l))) => Some(*l),
+            _ => None,
+        }
+    }
+}
+
+/// Minimizes the total latency `Σ_p d_p + η·C_T` under partition bound `n`,
+/// the way the paper solves small instances "to optimality using the ILP
+/// solver" for comparison against the iterative procedure.
+///
+/// # Errors
+///
+/// Propagates model-building and MILP failures.
+pub fn solve_optimal(
+    graph: &TaskGraph,
+    arch: &Architecture,
+    n: u32,
+    backend: Backend,
+    limits: SearchLimits,
+) -> Result<OptimalOutcome, PartitionError> {
+    match backend {
+        Backend::Structured => {
+            let d_max = crate::bounds::max_latency(graph, arch, n);
+            let solver = StructuredSolver::new(
+                graph,
+                arch,
+                n,
+                d_max.as_ns(),
+                SearchGoal::Optimal,
+                limits,
+            );
+            let (outcome, stats) = solver.run();
+            Ok(match outcome {
+                SearchOutcome::Feasible(sol) => {
+                    let latency = sol.total_latency(graph, arch);
+                    if stats.exhausted {
+                        OptimalOutcome::Optimal(sol, latency)
+                    } else {
+                        OptimalOutcome::Interrupted(Some((sol, latency)))
+                    }
+                }
+                SearchOutcome::Infeasible => OptimalOutcome::Infeasible,
+                SearchOutcome::LimitReached => OptimalOutcome::Interrupted(None),
+            })
+        }
+        Backend::Milp => {
+            let d_max = crate::bounds::max_latency(graph, arch, n);
+            let options = ModelOptions {
+                minimize_latency: true,
+                include_dmin_cut: false,
+                ..Default::default()
+            };
+            let ilp = IlpModel::build(graph, arch, n, d_max, Latency::ZERO, &options)?;
+            let mut solve = SolveOptions::optimal();
+            if let Some(t) = limits.time_limit {
+                solve = solve.with_time_limit(t);
+            }
+            let outcome = ilp.model().solve(&solve)?;
+            Ok(match outcome.status {
+                rtr_milp::Status::Optimal => {
+                    let sol = ilp
+                        .decode(outcome.solution.as_ref().expect("optimal has solution"))
+                        .compacted(n);
+                    let latency = sol.total_latency(graph, arch);
+                    OptimalOutcome::Optimal(sol, latency)
+                }
+                rtr_milp::Status::Feasible => {
+                    let sol = ilp
+                        .decode(outcome.solution.as_ref().expect("feasible has solution"))
+                        .compacted(n);
+                    let latency = sol.total_latency(graph, arch);
+                    OptimalOutcome::Interrupted(Some((sol, latency)))
+                }
+                rtr_milp::Status::Infeasible => OptimalOutcome::Infeasible,
+                _ => OptimalOutcome::Interrupted(None),
+            })
+        }
+    }
+}
+
+/// Sweeps partition bounds `1..=n_cap` and returns the best optimal solution
+/// across all of them — the true global optimum of the instance.
+///
+/// # Errors
+///
+/// Propagates backend failures.
+pub fn solve_optimal_over_bounds(
+    graph: &TaskGraph,
+    arch: &Architecture,
+    n_cap: u32,
+    backend: Backend,
+    limits: SearchLimits,
+) -> Result<OptimalOutcome, PartitionError> {
+    let mut best: Option<(Solution, Latency)> = None;
+    let mut any_interrupted = false;
+    for n in 1..=n_cap {
+        match solve_optimal(graph, arch, n, backend, limits)? {
+            OptimalOutcome::Optimal(sol, lat) => {
+                if best.as_ref().map(|(_, b)| lat < *b).unwrap_or(true) {
+                    best = Some((sol, lat));
+                }
+            }
+            OptimalOutcome::Interrupted(inc) => {
+                any_interrupted = true;
+                if let Some((sol, lat)) = inc {
+                    if best.as_ref().map(|(_, b)| lat < *b).unwrap_or(true) {
+                        best = Some((sol, lat));
+                    }
+                }
+            }
+            OptimalOutcome::Infeasible => {}
+        }
+    }
+    Ok(match (best, any_interrupted) {
+        (Some((sol, lat)), false) => OptimalOutcome::Optimal(sol, lat),
+        (best, true) => OptimalOutcome::Interrupted(best),
+        (None, false) => OptimalOutcome::Infeasible,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_graph::{Area, DesignPoint, TaskGraphBuilder};
+
+    fn dp(name: &str, area: u64, lat: f64) -> DesignPoint {
+        DesignPoint::new(name, Area::new(area), Latency::from_ns(lat))
+    }
+
+    fn graph() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let a = b
+            .add_task("a")
+            .design_point(dp("s", 50, 300.0))
+            .design_point(dp("f", 90, 150.0))
+            .finish();
+        let c = b
+            .add_task("c")
+            .design_point(dp("s", 60, 250.0))
+            .design_point(dp("f", 95, 120.0))
+            .finish();
+        b.add_edge(a, c, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn both_backends_prove_the_same_optimum() {
+        let g = graph();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(50.0));
+        // Optimum at N=2: 150 + 120 + 100 = 370.
+        for backend in [Backend::Structured, Backend::Milp] {
+            match solve_optimal(&g, &arch, 2, backend, SearchLimits::default()).unwrap() {
+                OptimalOutcome::Optimal(_, lat) => {
+                    assert_eq!(lat.as_ns(), 370.0, "backend {backend}")
+                }
+                other => panic!("{backend}: expected optimal, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn single_partition_forces_slow_or_infeasible() {
+        let g = graph();
+        // Both fast points: 90 + 95 = 185 > 100. Slow+slow = 110 > 100. The
+        // only single-partition options mix: 50+60=110 > 100 too -> infeasible.
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(50.0));
+        assert_eq!(
+            solve_optimal(&g, &arch, 1, Backend::Structured, SearchLimits::default()).unwrap(),
+            OptimalOutcome::Infeasible
+        );
+    }
+
+    #[test]
+    fn sweep_picks_best_bound() {
+        let g = graph();
+        let arch = Architecture::new(Area::new(200), 64, Latency::from_ms(1.0));
+        // Huge C_T: best is a single partition with both fast points:
+        // 150 + 120 serialized? They're chained: 270 + 1 ms.
+        let out =
+            solve_optimal_over_bounds(&g, &arch, 3, Backend::Structured, SearchLimits::default())
+                .unwrap();
+        match out {
+            OptimalOutcome::Optimal(sol, lat) => {
+                assert_eq!(sol.partitions_used(), 1);
+                assert_eq!(lat.as_ns(), 270.0 + 1e6);
+            }
+            other => panic!("expected optimal, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! Preprocessing of task graphs before partitioning.
+//!
+//! The paper's §2: "If the number of design alternatives for a task are too
+//! many, then exploring the large design space can become too
+//! computationally expensive. In such cases, 'candidate' design points must
+//! be obtained by effective design space pruning techniques." This module
+//! provides the two safe prunings:
+//!
+//! * dropping *dominated* design points (never part of any optimal
+//!   solution — a dominating point can always be substituted);
+//! * dropping points that no configuration of the architecture admits.
+
+use crate::arch::Architecture;
+use rtr_graph::{TaskGraph, TaskGraphBuilder};
+
+/// What [`prune_design_points`] removed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PruneReport {
+    /// Dominated design points dropped.
+    pub dominated: usize,
+    /// Points too large for the device (area or a secondary class) dropped.
+    pub inadmissible: usize,
+    /// Design points remaining.
+    pub remaining: usize,
+}
+
+/// Returns a copy of `graph` with every task's design-point set reduced to
+/// its admissible Pareto front. Tasks whose *entire* set is inadmissible
+/// keep their original points (so the partitioner can report
+/// `TaskTooLarge` with full context instead of a confusing empty set).
+///
+/// Pruning is solution-preserving: any feasible solution of the original
+/// instance maps to one of the pruned instance with equal or better
+/// latency, because a dominating point is no larger (in every resource
+/// class) and no slower.
+pub fn prune_design_points(graph: &TaskGraph, arch: &Architecture) -> (TaskGraph, PruneReport) {
+    let mut report = PruneReport::default();
+    let mut b = TaskGraphBuilder::new();
+    let mut ids = Vec::with_capacity(graph.task_count());
+    for task in graph.tasks() {
+        let admissible: Vec<_> =
+            task.design_points().iter().filter(|dp| arch.admits(dp)).cloned().collect();
+        let pool = if admissible.is_empty() {
+            task.design_points().to_vec()
+        } else {
+            report.inadmissible += task.design_points().len() - admissible.len();
+            admissible
+        };
+        let front: Vec<_> = pool
+            .iter()
+            .filter(|dp| !pool.iter().any(|other| dp.is_dominated_by(other)))
+            .cloned()
+            .collect();
+        report.dominated += pool.len() - front.len();
+        report.remaining += front.len();
+        ids.push(
+            b.add_task(task.name())
+                .design_points(front)
+                .env_input(task.env_input())
+                .env_output(task.env_output())
+                .finish(),
+        );
+    }
+    for e in graph.edges() {
+        b.add_edge(ids[e.src().index()], ids[e.dst().index()], e.data())
+            .expect("copying a valid graph");
+    }
+    let pruned = b.build().expect("pruning preserves validity");
+    (pruned, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_graph::{Area, DesignPoint, Latency};
+
+    fn graph_with_redundancy() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let a = b
+            .add_task("a")
+            .design_point(DesignPoint::new("good", Area::new(50), Latency::from_ns(100.0)))
+            .design_point(DesignPoint::new("dominated", Area::new(60), Latency::from_ns(120.0)))
+            .design_point(DesignPoint::new("huge", Area::new(900), Latency::from_ns(10.0)))
+            .finish();
+        let c = b
+            .add_task("c")
+            .design_point(DesignPoint::new("only", Area::new(40), Latency::from_ns(80.0)))
+            .finish();
+        b.add_edge(a, c, 2).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn drops_dominated_and_inadmissible_points() {
+        let g = graph_with_redundancy();
+        let arch = Architecture::new(Area::new(200), 16, Latency::from_ns(10.0));
+        let (pruned, report) = prune_design_points(&g, &arch);
+        assert_eq!(report.inadmissible, 1); // "huge"
+        assert_eq!(report.dominated, 1); // "dominated"
+        assert_eq!(report.remaining, 2);
+        let a = pruned.task(pruned.task_by_name("a").unwrap());
+        assert_eq!(a.design_points().len(), 1);
+        assert_eq!(a.design_points()[0].name(), "good");
+        // Structure preserved.
+        assert_eq!(pruned.edge_count(), 1);
+        assert_eq!(pruned.task(pruned.task_by_name("a").unwrap()).env_input(), 0);
+    }
+
+    #[test]
+    fn keeps_incomparable_points() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task("t")
+            .design_point(DesignPoint::new("small", Area::new(50), Latency::from_ns(500.0)))
+            .design_point(DesignPoint::new("fast", Area::new(150), Latency::from_ns(100.0)))
+            .finish();
+        let g = b.build().unwrap();
+        let arch = Architecture::new(Area::new(200), 16, Latency::from_ns(10.0));
+        let (pruned, report) = prune_design_points(&g, &arch);
+        assert_eq!(report.dominated, 0);
+        assert_eq!(pruned.tasks()[0].design_points().len(), 2);
+    }
+
+    #[test]
+    fn fully_inadmissible_task_keeps_points_for_diagnostics() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task("big")
+            .design_point(DesignPoint::new("m", Area::new(900), Latency::from_ns(10.0)))
+            .finish();
+        let g = b.build().unwrap();
+        let arch = Architecture::new(Area::new(100), 16, Latency::from_ns(10.0));
+        let (pruned, report) = prune_design_points(&g, &arch);
+        assert_eq!(pruned.tasks()[0].design_points().len(), 1);
+        assert_eq!(report.inadmissible, 0);
+        // And the partitioner still reports the diagnostic error.
+        assert!(crate::TemporalPartitioner::new(&pruned, &arch, Default::default()).is_err());
+    }
+
+    #[test]
+    fn pruning_preserves_the_optimum() {
+        use crate::optimal::{solve_optimal, OptimalOutcome};
+        let g = graph_with_redundancy();
+        let arch = Architecture::new(Area::new(200), 16, Latency::from_ns(10.0));
+        let (pruned, _) = prune_design_points(&g, &arch);
+        let lat = |graph: &TaskGraph| {
+            match solve_optimal(
+                graph,
+                &arch,
+                2,
+                crate::Backend::Structured,
+                Default::default(),
+            )
+            .unwrap()
+            {
+                OptimalOutcome::Optimal(_, l) => l.as_ns(),
+                other => panic!("expected optimal, got {other:?}"),
+            }
+        };
+        assert_eq!(lat(&g), lat(&pruned));
+    }
+
+    #[test]
+    fn secondary_classes_participate_in_dominance() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task("t")
+            .design_point(
+                DesignPoint::new("lean", Area::new(50), Latency::from_ns(100.0))
+                    .with_secondary(vec![1]),
+            )
+            .design_point(
+                // Same area/latency but more DSPs: dominated.
+                DesignPoint::new("greedy", Area::new(50), Latency::from_ns(100.0))
+                    .with_secondary(vec![3]),
+            )
+            .finish();
+        let g = b.build().unwrap();
+        let arch = Architecture::new(Area::new(100), 16, Latency::from_ns(10.0))
+            .with_secondary_capacities(vec![4]);
+        let (pruned, report) = prune_design_points(&g, &arch);
+        assert_eq!(report.dominated, 1);
+        assert_eq!(pruned.tasks()[0].design_points()[0].name(), "lean");
+    }
+}

@@ -1,0 +1,809 @@
+//! The iterative latency-refinement and partition-space searches
+//! (paper §3.2, Figures 1 and 2).
+
+use crate::arch::Architecture;
+use crate::bounds::{max_area_partitions, max_latency, min_area_partitions, min_latency};
+use crate::error::PartitionError;
+use crate::model::{IlpModel, ModelOptions};
+use crate::solution::Solution;
+use crate::structured::{SearchGoal, SearchLimits, SearchOutcome, StructuredSolver};
+use rtr_graph::{Latency, TaskGraph};
+use rtr_milp::SolveOptions;
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Which constraint-satisfaction engine `SolveModel()` uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// The specialized branch-and-bound of [`crate::structured`] — the
+    /// scalable default (handles the paper's 32-task DCT).
+    #[default]
+    Structured,
+    /// The faithful ILP formulation of [`crate::model`] solved by
+    /// `rtr-milp` — the paper's CPLEX path; practical for small task graphs.
+    Milp,
+}
+
+impl fmt::Display for Backend {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Backend::Structured => "structured",
+            Backend::Milp => "milp",
+        })
+    }
+}
+
+/// How `Reduce_Latency` tightens the window after a feasible solution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RefinementStrategy {
+    /// Binary subdivision between the proven lower bound and the achieved
+    /// latency — the paper's Figure 1 (default).
+    #[default]
+    Bisection,
+    /// Aggressive descent: each round demands an improvement of at least
+    /// `δ` (`D_max ← D_a − δ`) and stops at the first failure. Fewer
+    /// solves, but a single hard window ends the refinement; measured by
+    /// the `ablation_strategy` bench.
+    AggressiveDescent,
+}
+
+impl fmt::Display for RefinementStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RefinementStrategy::Bisection => "bisection",
+            RefinementStrategy::AggressiveDescent => "aggressive-descent",
+        })
+    }
+}
+
+/// Parameters of the exploration, mirroring the paper's user knobs.
+#[derive(Debug, Clone)]
+pub struct ExploreParams {
+    /// Latency tolerance `δ`: the binary subdivision stops when the window
+    /// shrinks below this.
+    pub delta: Latency,
+    /// Starting partition relaxation `α`: exploration starts at
+    /// `N_min^l + α`.
+    pub alpha: u32,
+    /// Ending partition relaxation `γ`: exploration stops at `N_min^u + γ`.
+    pub gamma: u32,
+    /// Constraint-satisfaction backend.
+    pub backend: Backend,
+    /// Per-solve limits (structured backend).
+    pub limits: SearchLimits,
+    /// ILP model options (milp backend).
+    pub model_options: ModelOptions,
+    /// Per-solve limits (milp backend).
+    pub milp_options: SolveOptions,
+    /// Overall wall-clock budget — the paper's `TimeExpired()`.
+    pub time_budget: Option<Duration>,
+    /// Window-tightening strategy of `Reduce_Latency`.
+    pub strategy: RefinementStrategy,
+}
+
+impl Default for ExploreParams {
+    fn default() -> Self {
+        ExploreParams {
+            delta: Latency::from_ns(100.0),
+            alpha: 0,
+            gamma: 1,
+            backend: Backend::default(),
+            limits: SearchLimits::default(),
+            model_options: ModelOptions::default(),
+            milp_options: SolveOptions::feasibility(),
+            time_budget: Some(Duration::from_secs(600)),
+            strategy: RefinementStrategy::default(),
+        }
+    }
+}
+
+/// Outcome of one `SolveModel()` call.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IterationResult {
+    /// A constraint-satisfying solution with its recomputed latency.
+    Feasible {
+        /// `CalculateSolnLatency()` of the solution found.
+        latency: Latency,
+        /// Partitions actually used by that solution (`η ≤ N`).
+        eta: u32,
+    },
+    /// The window was proven empty.
+    Infeasible,
+    /// A node/time limit fired before the window was decided; the search
+    /// treats it like an infeasible window (it can only forgo improvements,
+    /// never produce invalid output).
+    LimitReached,
+}
+
+/// One row of the paper's result tables: the window solved, the iteration
+/// index, and what happened.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationRecord {
+    /// Partition bound `N` of this solve.
+    pub n: u32,
+    /// Iteration index `I` within this `N` (1-based).
+    pub iteration: u32,
+    /// Window upper bound `D_max` (absolute, including `N·C_T`).
+    pub d_max: Latency,
+    /// Window lower bound `D_min` (absolute, including `N·C_T`).
+    pub d_min: Latency,
+    /// What `SolveModel()` returned.
+    pub result: IterationResult,
+    /// Wall-clock time of the solve.
+    pub elapsed: Duration,
+}
+
+impl IterationRecord {
+    /// `D_max` with the `N·C_T` reconfiguration overhead subtracted — the
+    /// "Bound (without N×C_T)" column of the paper's tables.
+    pub fn d_max_execution(&self, arch: &Architecture) -> Latency {
+        self.d_max.saturating_sub(arch.reconfig_time() * self.n)
+    }
+
+    /// `D_min` with the `N·C_T` overhead subtracted.
+    pub fn d_min_execution(&self, arch: &Architecture) -> Latency {
+        self.d_min.saturating_sub(arch.reconfig_time() * self.n)
+    }
+}
+
+/// Result of a full partition-space exploration.
+#[derive(Debug, Clone)]
+pub struct Exploration {
+    /// The best solution found, if any.
+    pub best: Option<Solution>,
+    /// Its total latency.
+    pub best_latency: Option<Latency>,
+    /// Every `SolveModel()` call, in order — the rows of the paper's tables.
+    pub records: Vec<IterationRecord>,
+    /// `N_min^l` for this instance.
+    pub n_min_lower: u32,
+    /// `N_min^u` for this instance.
+    pub n_min_upper: u32,
+}
+
+impl Exploration {
+    /// Records grouped by partition bound, preserving order.
+    pub fn records_for(&self, n: u32) -> impl Iterator<Item = &IterationRecord> {
+        self.records.iter().filter(move |r| r.n == n)
+    }
+
+    /// Serializes the refinement log as CSV (one row per `SolveModel()`
+    /// call), convenient for plotting the paper-style tables.
+    ///
+    /// Columns: `n, iteration, d_min_ns, d_max_ns, result, latency_ns,
+    /// eta, elapsed_us`. `latency_ns` and `eta` are empty for infeasible
+    /// rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("n,iteration,d_min_ns,d_max_ns,result,latency_ns,eta,elapsed_us\n");
+        for r in &self.records {
+            let (result, latency, eta) = match &r.result {
+                IterationResult::Feasible { latency, eta } => {
+                    ("feasible", format!("{}", latency.as_ns()), eta.to_string())
+                }
+                IterationResult::Infeasible => ("infeasible", String::new(), String::new()),
+                IterationResult::LimitReached => ("limit", String::new(), String::new()),
+            };
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{}\n",
+                r.n,
+                r.iteration,
+                r.d_min.as_ns(),
+                r.d_max.as_ns(),
+                result,
+                latency,
+                eta,
+                r.elapsed.as_micros()
+            ));
+        }
+        out
+    }
+}
+
+/// The temporal partitioning and design-space-exploration system.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_core::{TemporalPartitioner, Architecture, ExploreParams};
+/// use rtr_graph::{TaskGraphBuilder, DesignPoint, Area, Latency};
+///
+/// # fn main() -> Result<(), rtr_core::PartitionError> {
+/// let mut b = TaskGraphBuilder::new();
+/// let a = b.add_task("a")
+///     .design_point(DesignPoint::new("s", Area::new(50), Latency::from_ns(300.0)))
+///     .design_point(DesignPoint::new("f", Area::new(90), Latency::from_ns(150.0)))
+///     .finish();
+/// let c = b.add_task("c")
+///     .design_point(DesignPoint::new("s", Area::new(60), Latency::from_ns(250.0)))
+///     .finish();
+/// b.add_edge(a, c, 2).expect("fresh edge");
+/// let graph = b.build().expect("valid graph");
+///
+/// let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(50.0));
+/// let partitioner = TemporalPartitioner::new(&graph, &arch, ExploreParams::default())?;
+/// let exploration = partitioner.explore()?;
+/// let best = exploration.best.expect("this instance is feasible");
+/// assert!(exploration.best_latency.unwrap() <= Latency::from_ns(600.0));
+/// assert_eq!(best.partitions_used(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TemporalPartitioner<'g> {
+    graph: &'g TaskGraph,
+    arch: &'g Architecture,
+    params: ExploreParams,
+}
+
+impl<'g> TemporalPartitioner<'g> {
+    /// Creates a partitioner after checking that every task can fit the
+    /// device at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::TaskTooLarge`] if some task's smallest
+    /// design point exceeds `R_max`.
+    pub fn new(
+        graph: &'g TaskGraph,
+        arch: &'g Architecture,
+        params: ExploreParams,
+    ) -> Result<Self, PartitionError> {
+        for task in graph.tasks() {
+            if !task.design_points().iter().any(|dp| arch.admits(dp)) {
+                return Err(PartitionError::TaskTooLarge {
+                    task: task.name().to_owned(),
+                    min_area: task.min_area_point().area().units(),
+                    capacity: arch.resource_capacity().units(),
+                });
+            }
+        }
+        Ok(TemporalPartitioner { graph, arch, params })
+    }
+
+    /// The task graph being partitioned.
+    pub fn graph(&self) -> &TaskGraph {
+        self.graph
+    }
+
+    /// The target architecture.
+    pub fn arch(&self) -> &Architecture {
+        self.arch
+    }
+
+    /// The exploration parameters.
+    pub fn params(&self) -> &ExploreParams {
+        &self.params
+    }
+
+    /// One `SolveModel()` call: find any solution with total latency in
+    /// `[d_min, d_max]` under partition bound `n`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-building or MILP failures (milp backend only).
+    pub fn solve_window(
+        &self,
+        n: u32,
+        d_max: Latency,
+        d_min: Latency,
+    ) -> Result<(IterationResult, Option<Solution>), PartitionError> {
+        self.solve_window_hinted(n, d_max, d_min, None)
+    }
+
+    /// [`solve_window`](Self::solve_window) with a warm-start hint: the
+    /// structured backend tries the hint's placements first at every search
+    /// node (local search around an incumbent).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model-building or MILP failures (milp backend only).
+    pub fn solve_window_hinted(
+        &self,
+        n: u32,
+        d_max: Latency,
+        d_min: Latency,
+        hint: Option<&Solution>,
+    ) -> Result<(IterationResult, Option<Solution>), PartitionError> {
+        match self.params.backend {
+            Backend::Structured => {
+                // Try the data-flow assignment order first; if the budget
+                // runs out undecided, spend the same budget again on the
+                // level order — the two explore different basins first.
+                let half = SearchLimits {
+                    node_limit: self.params.limits.node_limit / 2,
+                    time_limit: self.params.limits.time_limit.map(|t| t / 2),
+                };
+                let mut outcome = SearchOutcome::LimitReached;
+                for (order, use_hint) in [
+                    // First attempt: local search around the incumbent.
+                    (crate::structured::OrderHeuristic::DataFlow, true),
+                    // Fallback: a fresh basin, unbiased by the hint.
+                    (crate::structured::OrderHeuristic::Level, false),
+                ] {
+                    let mut solver = StructuredSolver::with_order(
+                        self.graph,
+                        self.arch,
+                        n,
+                        d_max.as_ns(),
+                        SearchGoal::FirstFeasible,
+                        half,
+                        order,
+                    );
+                    if use_hint {
+                        if let Some(hint) = hint {
+                            solver = solver.with_hint(hint.placements().to_vec());
+                        }
+                    }
+                    outcome = solver.run().0;
+                    if !matches!(outcome, SearchOutcome::LimitReached) {
+                        break;
+                    }
+                }
+                Ok(match outcome {
+                    SearchOutcome::Feasible(sol) => {
+                        let latency = sol.total_latency(self.graph, self.arch);
+                        let eta = sol.partitions_used();
+                        (IterationResult::Feasible { latency, eta }, Some(sol))
+                    }
+                    SearchOutcome::Infeasible => (IterationResult::Infeasible, None),
+                    SearchOutcome::LimitReached => (IterationResult::LimitReached, None),
+                })
+            }
+            Backend::Milp => {
+                let ilp = IlpModel::build(
+                    self.graph,
+                    self.arch,
+                    n,
+                    d_max,
+                    d_min,
+                    &self.params.model_options,
+                )?;
+                let outcome = ilp.model().solve(&self.params.milp_options)?;
+                Ok(match outcome.status {
+                    rtr_milp::Status::Feasible | rtr_milp::Status::Optimal => {
+                        let sol = ilp
+                            .decode(outcome.solution.as_ref().expect("status has solution"))
+                            .compacted(n);
+                        let latency = sol.total_latency(self.graph, self.arch);
+                        let eta = sol.partitions_used();
+                        (IterationResult::Feasible { latency, eta }, Some(sol))
+                    }
+                    rtr_milp::Status::Infeasible => (IterationResult::Infeasible, None),
+                    rtr_milp::Status::LimitReached | rtr_milp::Status::Unbounded => {
+                        (IterationResult::LimitReached, None)
+                    }
+                })
+            }
+        }
+    }
+
+    /// The paper's `Reduce_Latency(N, D_max, D_min)` (Figure 1): binary
+    /// subdivision of the latency window down to tolerance `δ`. Returns the
+    /// best solution found for this partition bound, if any, and appends one
+    /// [`IterationRecord`] per solve to `records`.
+    ///
+    /// The paper's pseudo-code for re-tightening `D_max` after a feasible
+    /// solution is garbled in the available text; we implement the behaviour
+    /// its prose describes: a feasible solution's recomputed latency becomes
+    /// the upper bound, an infeasible window's midpoint becomes the lower
+    /// bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn reduce_latency(
+        &self,
+        n: u32,
+        d_max: Latency,
+        d_min: Latency,
+        records: &mut Vec<IterationRecord>,
+    ) -> Result<Option<(Solution, Latency)>, PartitionError> {
+        self.reduce_latency_observed(n, d_max, d_min, records, &mut |_| {})
+    }
+
+    fn reduce_latency_observed(
+        &self,
+        n: u32,
+        d_max: Latency,
+        d_min: Latency,
+        records: &mut Vec<IterationRecord>,
+        observer: &mut dyn FnMut(&IterationRecord),
+    ) -> Result<Option<(Solution, Latency)>, PartitionError> {
+        let delta = self.params.delta.as_ns().max(1e-9);
+        let mut iteration = 0u32;
+        let mut solve = |d_max: Latency,
+                         d_min: Latency,
+                         hint: Option<&Solution>,
+                         records: &mut Vec<IterationRecord>|
+         -> Result<(IterationResult, Option<Solution>), PartitionError> {
+            iteration += 1;
+            let start = Instant::now();
+            let (result, sol) = self.solve_window_hinted(n, d_max, d_min, hint)?;
+            let record = IterationRecord {
+                n,
+                iteration,
+                d_max,
+                d_min,
+                result: result.clone(),
+                elapsed: start.elapsed(),
+            };
+            observer(&record);
+            records.push(record);
+            Ok((result, sol))
+        };
+
+        // First solve over the full window.
+        let (first, sol) = solve(d_max, d_min, None, records)?;
+        let mut best = match (first, sol) {
+            (IterationResult::Feasible { latency, .. }, Some(sol)) => (sol, latency),
+            _ => return Ok(None),
+        };
+
+        let mut lower = d_min.as_ns();
+        match self.params.strategy {
+            RefinementStrategy::Bisection => {
+                // The achieved latency is the effective upper bound from
+                // here on.
+                while best.1.as_ns() - lower >= delta {
+                    let mid = Latency::from_ns((best.1.as_ns() + lower) / 2.0);
+                    let (result, sol) =
+                        solve(mid, Latency::from_ns(lower), Some(&best.0), records)?;
+                    match (result, sol) {
+                        (IterationResult::Feasible { latency, .. }, Some(sol)) => {
+                            debug_assert!(latency <= mid + Latency::from_ns(1e-6));
+                            best = (sol, latency);
+                        }
+                        _ => lower = mid.as_ns(),
+                    }
+                }
+            }
+            RefinementStrategy::AggressiveDescent => {
+                while best.1.as_ns() - lower >= delta {
+                    let target = Latency::from_ns(best.1.as_ns() - delta);
+                    let (result, sol) =
+                        solve(target, Latency::from_ns(lower), Some(&best.0), records)?;
+                    match (result, sol) {
+                        (IterationResult::Feasible { latency, .. }, Some(sol)) => {
+                            best = (sol, latency);
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        }
+        Ok(Some(best))
+    }
+
+    /// The paper's `Refine_Partitions_Bound()` (Figure 2): explores
+    /// partition bounds `N_min^l + α ..= N_min^u + γ`, running
+    /// [`reduce_latency`](Self::reduce_latency) at each bound and carrying
+    /// the achieved latency forward as the new upper bound.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn explore(&self) -> Result<Exploration, PartitionError> {
+        self.explore_with_observer(|_| {})
+    }
+
+    /// [`explore`](Self::explore) with a progress observer: `observer` is
+    /// called once per `SolveModel()` record, as it happens — useful for
+    /// streaming UIs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures.
+    pub fn explore_with_observer<F: FnMut(&IterationRecord)>(
+        &self,
+        mut observer: F,
+    ) -> Result<Exploration, PartitionError> {
+        let observer = &mut observer;
+        let n_min_lower = min_area_partitions(self.graph, self.arch);
+        let n_min_upper = max_area_partitions(self.graph, self.arch);
+        let n_cap = n_min_upper.max(n_min_lower) + self.params.gamma;
+        let started = Instant::now();
+        let expired = |started: Instant| match self.params.time_budget {
+            Some(budget) => started.elapsed() >= budget,
+            None => false,
+        };
+
+        let mut records = Vec::new();
+        let mut n = (n_min_lower + self.params.alpha).min(n_cap);
+
+        // Phase 1: find the first feasible partition bound.
+        let mut best = self.reduce_latency_observed(
+            n,
+            max_latency(self.graph, self.arch, n),
+            min_latency(self.graph, self.arch, n),
+            &mut records,
+            observer,
+        )?;
+        while best.is_none() && n < n_cap && !expired(started) {
+            n += 1;
+            best = self.reduce_latency_observed(
+                n,
+                max_latency(self.graph, self.arch, n),
+                min_latency(self.graph, self.arch, n),
+                &mut records,
+                observer,
+            )?;
+        }
+
+        // Phase 2: relax N looking for better solutions.
+        if let Some((_, mut best_latency)) = best.as_ref().map(|(s, l)| (s.clone(), *l)) {
+            while n < n_cap && !expired(started) {
+                n += 1;
+                let d_min = min_latency(self.graph, self.arch, n);
+                if d_min >= best_latency {
+                    // MinLatency(N) already exceeds the achieved latency:
+                    // relaxation cannot help (paper's early exit).
+                    break;
+                }
+                if let Some((sol, latency)) =
+                    self.reduce_latency_observed(n, best_latency, d_min, &mut records, observer)?
+                {
+                    if latency < best_latency {
+                        best_latency = latency;
+                        best = Some((sol, latency));
+                    }
+                }
+            }
+        }
+
+        let (best, best_latency) = match best {
+            Some((sol, latency)) => (Some(sol), Some(latency)),
+            None => (None, None),
+        };
+        Ok(Exploration { best, best_latency, records, n_min_lower, n_min_upper })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_solution;
+    use rtr_graph::{Area, DesignPoint, TaskGraphBuilder};
+
+    fn dp(name: &str, area: u64, lat: f64) -> DesignPoint {
+        DesignPoint::new(name, Area::new(area), Latency::from_ns(lat))
+    }
+
+    /// Chain of 3 tasks, each with a slow-small and fast-big point.
+    fn chain3() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let mut prev = None;
+        for i in 0..3 {
+            let t = b
+                .add_task(format!("t{i}"))
+                .design_point(dp("s", 40, 400.0))
+                .design_point(dp("f", 80, 180.0))
+                .finish();
+            if let Some(p) = prev {
+                b.add_edge(p, t, 1).unwrap();
+            }
+            prev = Some(t);
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn explore_finds_validated_optimum_small_ct() {
+        let g = chain3();
+        // Capacity 100: two slow tasks share a partition (80) or one fast (80).
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(20.0));
+        let params = ExploreParams {
+            delta: Latency::from_ns(10.0),
+            gamma: 2,
+            ..Default::default()
+        };
+        let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+        let ex = part.explore().unwrap();
+        let best = ex.best.expect("feasible");
+        assert!(validate_solution(&g, &arch, &best).is_empty());
+        // All-fast needs 3 partitions: 3*180 + 3*20 = 600.
+        // (Each partition fits one fast task only.)
+        let lat = ex.best_latency.unwrap().as_ns();
+        assert!((lat - 600.0).abs() < 10.0 + 1e-6, "latency {lat}");
+    }
+
+    #[test]
+    fn explore_prefers_fewer_partitions_with_huge_ct() {
+        let g = chain3();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ms(1.0));
+        let params = ExploreParams { delta: Latency::from_ns(10.0), ..Default::default() };
+        let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+        let ex = part.explore().unwrap();
+        let best = ex.best.clone().expect("feasible");
+        // N_min^l = ceil(120/100) = 2: two partitions minimum; with C_T = 1 ms
+        // per reconfiguration, 2 partitions beat 3 despite slower points.
+        assert_eq!(best.partitions_used(), 2);
+        // Phase 2 must stop early: MinLatency(3) > achieved.
+        let relaxed: Vec<_> = ex.records_for(3).collect();
+        assert!(relaxed.is_empty(), "no N=3 solve should run: {relaxed:?}");
+    }
+
+    #[test]
+    fn backends_agree() {
+        let g = chain3();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(20.0));
+        let mut results = Vec::new();
+        for backend in [Backend::Structured, Backend::Milp] {
+            let params = ExploreParams {
+                delta: Latency::from_ns(10.0),
+                gamma: 2,
+                backend,
+                ..Default::default()
+            };
+            let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+            let ex = part.explore().unwrap();
+            results.push(ex.best_latency.expect("feasible").as_ns());
+        }
+        assert!(
+            (results[0] - results[1]).abs() < 10.0 + 1e-6,
+            "structured {} vs milp {}",
+            results[0],
+            results[1]
+        );
+    }
+
+    #[test]
+    fn records_form_table_rows() {
+        let g = chain3();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(20.0));
+        let part = TemporalPartitioner::new(&g, &arch, Default::default()).unwrap();
+        let ex = part.explore().unwrap();
+        assert!(!ex.records.is_empty());
+        for r in &ex.records {
+            assert!(r.d_min <= r.d_max);
+            assert!(r.iteration >= 1);
+            if let IterationResult::Feasible { latency, .. } = r.result {
+                assert!(latency <= r.d_max + Latency::from_ns(1e-6));
+            }
+            // The execution-only bounds subtract N*C_T.
+            assert!(r.d_max_execution(&arch) <= r.d_max);
+        }
+    }
+
+    #[test]
+    fn oversized_task_rejected_at_construction() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task("huge").design_point(dp("m", 1000, 1.0)).finish();
+        let g = b.build().unwrap();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(1.0));
+        assert!(matches!(
+            TemporalPartitioner::new(&g, &arch, Default::default()),
+            Err(PartitionError::TaskTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn aggressive_descent_reaches_the_same_optimum_on_decidable_instances() {
+        let g = chain3();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(20.0));
+        let mut results = Vec::new();
+        for strategy in [RefinementStrategy::Bisection, RefinementStrategy::AggressiveDescent] {
+            let params = ExploreParams {
+                delta: Latency::from_ns(10.0),
+                gamma: 2,
+                strategy,
+                ..Default::default()
+            };
+            let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+            let ex = part.explore().unwrap();
+            results.push(ex.best_latency.unwrap().as_ns());
+        }
+        // Both strategies converge within δ of each other on an instance
+        // where every window is decided.
+        assert!((results[0] - results[1]).abs() <= 10.0 + 1e-6, "{results:?}");
+        assert_eq!(RefinementStrategy::AggressiveDescent.to_string(), "aggressive-descent");
+    }
+
+    #[test]
+    fn smaller_delta_never_worse() {
+        let g = chain3();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(20.0));
+        let run = |delta: f64| {
+            let params = ExploreParams {
+                delta: Latency::from_ns(delta),
+                gamma: 2,
+                ..Default::default()
+            };
+            let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+            let ex = part.explore().unwrap();
+            (ex.best_latency.unwrap().as_ns(), ex.records.len())
+        };
+        let (coarse, coarse_iters) = run(500.0);
+        let (fine, fine_iters) = run(5.0);
+        assert!(fine <= coarse + 1e-6);
+        assert!(fine_iters >= coarse_iters, "finer δ explores at least as much");
+    }
+
+    #[test]
+    fn observer_sees_every_record_in_order() {
+        let g = chain3();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(20.0));
+        let part = TemporalPartitioner::new(&g, &arch, Default::default()).unwrap();
+        let mut seen = Vec::new();
+        let ex = part
+            .explore_with_observer(|r| seen.push((r.n, r.iteration)))
+            .unwrap();
+        let expected: Vec<(u32, u32)> =
+            ex.records.iter().map(|r| (r.n, r.iteration)).collect();
+        assert_eq!(seen, expected);
+        assert!(!seen.is_empty());
+    }
+
+    #[test]
+    fn csv_export_has_one_row_per_solve() {
+        let g = chain3();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(20.0));
+        let part = TemporalPartitioner::new(&g, &arch, Default::default()).unwrap();
+        let ex = part.explore().unwrap();
+        let csv = ex.to_csv();
+        let mut lines = csv.lines();
+        assert_eq!(
+            lines.next().unwrap(),
+            "n,iteration,d_min_ns,d_max_ns,result,latency_ns,eta,elapsed_us"
+        );
+        assert_eq!(csv.lines().count(), ex.records.len() + 1);
+        for (line, r) in lines.zip(&ex.records) {
+            let fields: Vec<&str> = line.split(',').collect();
+            assert_eq!(fields.len(), 8);
+            assert_eq!(fields[0], r.n.to_string());
+            match &r.result {
+                IterationResult::Feasible { .. } => assert_eq!(fields[4], "feasible"),
+                IterationResult::Infeasible => assert_eq!(fields[4], "infeasible"),
+                IterationResult::LimitReached => assert_eq!(fields[4], "limit"),
+            }
+        }
+    }
+
+    #[test]
+    fn records_for_filters_by_bound() {
+        let g = chain3();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(20.0));
+        let params = ExploreParams { gamma: 2, ..Default::default() };
+        let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+        let ex = part.explore().unwrap();
+        let total: usize = (0..20).map(|n| ex.records_for(n).count()).sum();
+        assert_eq!(total, ex.records.len());
+        for n in 0..20 {
+            assert!(ex.records_for(n).all(|r| r.n == n));
+        }
+    }
+
+    #[test]
+    fn hint_makes_the_seeded_window_cheap() {
+        let g = chain3();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(20.0));
+        let part = TemporalPartitioner::new(&g, &arch, Default::default()).unwrap();
+        // Find any solution, then re-solve a window that the hint satisfies.
+        let d_max = max_latency(&g, &arch, 3);
+        let (_, sol) = part.solve_window(3, d_max, Latency::ZERO).unwrap();
+        let sol = sol.expect("feasible");
+        let target = sol.total_latency(&g, &arch);
+        let (result, hinted) = part
+            .solve_window_hinted(3, target, Latency::ZERO, Some(&sol))
+            .unwrap();
+        assert!(matches!(result, IterationResult::Feasible { .. }));
+        // The hint itself satisfies the window, so it must be recovered (or
+        // bettered).
+        assert!(
+            hinted.unwrap().total_latency(&g, &arch) <= target + Latency::from_ns(1e-6)
+        );
+    }
+
+    #[test]
+    fn zero_time_budget_still_reports_first_bound() {
+        let g = chain3();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(20.0));
+        let params = ExploreParams {
+            time_budget: Some(Duration::ZERO),
+            ..Default::default()
+        };
+        let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+        // The first reduce_latency still runs; the relaxation loop does not.
+        let ex = part.explore().unwrap();
+        assert!(ex.records.iter().all(|r| r.n == ex.records[0].n));
+    }
+}

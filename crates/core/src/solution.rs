@@ -1,0 +1,447 @@
+//! Partitioning solutions and their derived metrics.
+
+use crate::arch::{Architecture, EnvMemoryPolicy};
+use rtr_graph::{Area, Latency, TaskGraph, TaskId};
+use std::fmt;
+
+/// Where one task went: its temporal partition (1-based, `1..=N`) and the
+/// index of the selected design point within the task's `M_t`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Placement {
+    /// Temporal partition, 1-based.
+    pub partition: u32,
+    /// Index into [`Task::design_points`](rtr_graph::Task::design_points).
+    pub design_point: usize,
+}
+
+/// A complete temporal partitioning solution: one [`Placement`] per task.
+///
+/// A `Solution` corresponds to an integral assignment of the paper's
+/// `Y_{p,t,m}` variables. All derived metrics (partition latencies `d_p`,
+/// the used-partition count `η`, boundary memory occupancies) are computed
+/// from the placements, never trusted from a solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Solution {
+    placements: Vec<Placement>,
+    n_bound: u32,
+}
+
+impl Solution {
+    /// Wraps raw placements (indexed by task id) under partition bound `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any placement names partition 0 or a partition above `n`.
+    pub fn new(placements: Vec<Placement>, n_bound: u32) -> Self {
+        for p in &placements {
+            assert!(
+                p.partition >= 1 && p.partition <= n_bound,
+                "placement partition {} outside 1..={n_bound}",
+                p.partition
+            );
+        }
+        Solution { placements, n_bound }
+    }
+
+    /// The placement of every task, indexed by [`TaskId::index`].
+    pub fn placements(&self) -> &[Placement] {
+        &self.placements
+    }
+
+    /// The placement of one task.
+    pub fn placement(&self, t: TaskId) -> Placement {
+        self.placements[t.index()]
+    }
+
+    /// The partition bound `N` the solution was solved under.
+    pub fn n_bound(&self) -> u32 {
+        self.n_bound
+    }
+
+    /// The number of partitions actually used, the paper's `η`: the highest
+    /// partition index holding any task.
+    pub fn partitions_used(&self) -> u32 {
+        self.placements.iter().map(|p| p.partition).max().unwrap_or(0)
+    }
+
+    /// Area occupied in partition `p` (1-based).
+    pub fn partition_area(&self, graph: &TaskGraph, p: u32) -> Area {
+        self.placements
+            .iter()
+            .enumerate()
+            .filter(|(_, pl)| pl.partition == p)
+            .map(|(t, pl)| graph.tasks()[t].design_points()[pl.design_point].area())
+            .sum()
+    }
+
+    /// Secondary-resource usage of class `class` in partition `p`.
+    pub fn partition_secondary(&self, graph: &TaskGraph, p: u32, class: usize) -> u64 {
+        self.placements
+            .iter()
+            .enumerate()
+            .filter(|(_, pl)| pl.partition == p)
+            .map(|(t, pl)| {
+                graph.tasks()[t].design_points()[pl.design_point].secondary_usage(class)
+            })
+            .sum()
+    }
+
+    /// The latency `d_p` of partition `p`: the longest dependency chain
+    /// among tasks mapped to `p` (tasks without a dependency run spatially
+    /// in parallel; the paper's Figure 4).
+    pub fn partition_latency(&self, graph: &TaskGraph, p: u32) -> Latency {
+        let mut best = vec![Latency::ZERO; graph.task_count()];
+        let mut overall = Latency::ZERO;
+        for &t in graph.topological_order() {
+            let pl = self.placements[t.index()];
+            if pl.partition != p {
+                continue;
+            }
+            let own = graph.task(t).design_points()[pl.design_point].latency();
+            let pred = graph
+                .predecessors(t)
+                .iter()
+                .filter(|q| self.placements[q.index()].partition == p)
+                .map(|q| best[q.index()])
+                .fold(Latency::ZERO, Latency::max);
+            best[t.index()] = pred + own;
+            overall = overall.max(best[t.index()]);
+        }
+        overall
+    }
+
+    /// All partition latencies `d_1 ..= d_N` (unused partitions report 0).
+    pub fn partition_latencies(&self, graph: &TaskGraph) -> Vec<Latency> {
+        (1..=self.n_bound).map(|p| self.partition_latency(graph, p)).collect()
+    }
+
+    /// Total execution latency `Σ_p d_p` (no reconfiguration overhead).
+    pub fn execution_latency(&self, graph: &TaskGraph) -> Latency {
+        self.partition_latencies(graph).into_iter().sum()
+    }
+
+    /// The paper's `CalculateSolnLatency()`: `Σ_p d_p + η · C_T`.
+    pub fn total_latency(&self, graph: &TaskGraph, arch: &Architecture) -> Latency {
+        self.execution_latency(graph) + arch.reconfig_time() * self.partitions_used()
+    }
+
+    /// Memory occupancy at each partition boundary, indexed so that entry
+    /// `p - 2` is the data resident between partitions `p - 1` and `p`
+    /// (boundaries `2 ..= N`).
+    ///
+    /// An inter-task edge `a → b` occupies every boundary `p` with
+    /// `partition(a) < p ≤ partition(b)`. Under
+    /// [`EnvMemoryPolicy::Resident`], an environment input of task `t`
+    /// additionally occupies boundaries `2 ..= partition(t)` and an
+    /// environment output occupies boundaries `partition(t) + 1 ..= N`.
+    pub fn boundary_memory(&self, graph: &TaskGraph, policy: EnvMemoryPolicy) -> Vec<u64> {
+        let n = self.n_bound as usize;
+        if n < 2 {
+            return Vec::new();
+        }
+        let mut mem = vec![0u64; n - 1]; // boundary p stored at index p-2
+        for e in graph.edges() {
+            let pa = self.placements[e.src().index()].partition;
+            let pb = self.placements[e.dst().index()].partition;
+            for p in (pa + 1)..=pb {
+                mem[(p - 2) as usize] += e.data();
+            }
+        }
+        if policy == EnvMemoryPolicy::Resident {
+            for (t, pl) in self.placements.iter().enumerate() {
+                let task = &graph.tasks()[t];
+                for p in 2..=pl.partition {
+                    mem[(p - 2) as usize] += task.env_input();
+                }
+                for p in (pl.partition + 1)..=(n as u32) {
+                    mem[(p - 2) as usize] += task.env_output();
+                }
+            }
+        }
+        mem
+    }
+
+    /// Peak boundary memory occupancy (0 for single-partition solutions).
+    pub fn peak_memory(&self, graph: &TaskGraph, policy: EnvMemoryPolicy) -> u64 {
+        self.boundary_memory(graph, policy).into_iter().max().unwrap_or(0)
+    }
+
+    /// Renumbers partitions to squeeze out empty ones (e.g. a solution using
+    /// partitions {1, 3} becomes {1, 2}) and returns the compacted solution.
+    /// Empty partitions waste a reconfiguration under the `η = max index`
+    /// accounting, so solvers call this before reporting.
+    pub fn compacted(&self, n_bound: u32) -> Solution {
+        let mut used: Vec<u32> =
+            self.placements.iter().map(|p| p.partition).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        used.sort_unstable();
+        let remap: std::collections::HashMap<u32, u32> =
+            used.iter().enumerate().map(|(i, &p)| (p, i as u32 + 1)).collect();
+        let placements = self
+            .placements
+            .iter()
+            .map(|pl| Placement { partition: remap[&pl.partition], design_point: pl.design_point })
+            .collect();
+        Solution::new(placements, n_bound)
+    }
+
+    /// Tasks mapped to partition `p`, in task-id order.
+    pub fn tasks_in_partition(&self, p: u32) -> Vec<TaskId> {
+        self.placements
+            .iter()
+            .enumerate()
+            .filter(|(_, pl)| pl.partition == p)
+            .map(|(t, _)| TaskId::from_index(t))
+            .collect()
+    }
+
+    /// Serializes the solution as text: a header line with the partition
+    /// bound, then one `task <name> partition <p> dp <index>` line per task
+    /// (names resolved through `graph`).
+    pub fn to_text(&self, graph: &TaskGraph) -> String {
+        let mut out = format!("solution n_bound={}\n", self.n_bound);
+        for (t, pl) in self.placements.iter().enumerate() {
+            out.push_str(&format!(
+                "task {} partition {} dp {}\n",
+                graph.tasks()[t].name(),
+                pl.partition,
+                pl.design_point
+            ));
+        }
+        out
+    }
+
+    /// Parses a solution serialized by [`to_text`](Self::to_text) against
+    /// the same graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first malformed line, unknown task,
+    /// or missing task.
+    pub fn from_text(graph: &TaskGraph, input: &str) -> Result<Solution, String> {
+        let mut lines = input.lines().filter(|l| !l.trim().is_empty());
+        let header = lines.next().ok_or("empty solution text")?;
+        let n_bound: u32 = header
+            .trim()
+            .strip_prefix("solution n_bound=")
+            .ok_or_else(|| format!("bad header `{header}`"))?
+            .parse()
+            .map_err(|_| format!("bad n_bound in `{header}`"))?;
+        let mut placements =
+            vec![None; graph.task_count()];
+        for line in lines {
+            let words: Vec<&str> = line.split_whitespace().collect();
+            match words.as_slice() {
+                ["task", name, "partition", p, "dp", m] => {
+                    let id = graph
+                        .task_by_name(name)
+                        .ok_or_else(|| format!("unknown task `{name}`"))?;
+                    let partition: u32 =
+                        p.parse().map_err(|_| format!("bad partition `{p}`"))?;
+                    if partition == 0 || partition > n_bound {
+                        return Err(format!("partition {partition} outside 1..={n_bound}"));
+                    }
+                    let design_point: usize =
+                        m.parse().map_err(|_| format!("bad design point `{m}`"))?;
+                    placements[id.index()] = Some(Placement { partition, design_point });
+                }
+                _ => return Err(format!("malformed line `{line}`")),
+            }
+        }
+        let placements: Option<Vec<Placement>> = placements.into_iter().collect();
+        let placements = placements.ok_or("solution does not cover every task")?;
+        Ok(Solution::new(placements, n_bound))
+    }
+
+    /// Renders a one-line-per-partition summary.
+    pub fn summary(&self, graph: &TaskGraph, arch: &Architecture) -> String {
+        let mut out = String::new();
+        for p in 1..=self.partitions_used() {
+            let names: Vec<&str> =
+                self.tasks_in_partition(p).into_iter().map(|t| graph.task(t).name()).collect();
+            out.push_str(&format!(
+                "partition {p}: area {} latency {} tasks [{}]\n",
+                self.partition_area(graph, p),
+                self.partition_latency(graph, p),
+                names.join(", ")
+            ));
+        }
+        out.push_str(&format!(
+            "total: {} ({} partitions, reconfig {})",
+            self.total_latency(graph, arch),
+            self.partitions_used(),
+            arch.reconfig_time() * self.partitions_used(),
+        ));
+        out
+    }
+}
+
+impl fmt::Display for Solution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "solution over {} tasks, η = {}", self.placements.len(), self.partitions_used())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_graph::{DesignPoint, TaskGraphBuilder};
+
+    fn dp(area: u64, lat: f64) -> DesignPoint {
+        DesignPoint::new("m", Area::new(area), Latency::from_ns(lat))
+    }
+
+    /// The paper's Figure 4 example: partition 1 holds three chains with
+    /// latencies 350, 400, 150; partition 2 holds a 300 ns chain.
+    fn figure4() -> (TaskGraph, Solution) {
+        let mut b = TaskGraphBuilder::new();
+        // Partition 1: chain A (200 + 150 = 350), chain B (400), task C (150).
+        let a1 = b.add_task("a1").design_point(dp(10, 200.0)).finish();
+        let a2 = b.add_task("a2").design_point(dp(10, 150.0)).finish();
+        let bb = b.add_task("b").design_point(dp(10, 400.0)).finish();
+        let c = b.add_task("c").design_point(dp(10, 150.0)).finish();
+        // Partition 2: chain D (100 + 200 = 300).
+        let d1 = b.add_task("d1").design_point(dp(10, 100.0)).finish();
+        let d2 = b.add_task("d2").design_point(dp(10, 200.0)).finish();
+        b.add_edge(a1, a2, 1).unwrap();
+        b.add_edge(a2, d1, 2).unwrap();
+        b.add_edge(bb, d1, 1).unwrap();
+        b.add_edge(c, d2, 3).unwrap();
+        b.add_edge(d1, d2, 1).unwrap();
+        let g = b.build().unwrap();
+        let pl = |p| Placement { partition: p, design_point: 0 };
+        let sol = Solution::new(vec![pl(1), pl(1), pl(1), pl(1), pl(2), pl(2)], 2);
+        (g, sol)
+    }
+
+    #[test]
+    fn figure4_partition_latencies() {
+        let (g, sol) = figure4();
+        assert_eq!(sol.partition_latency(&g, 1).as_ns(), 400.0);
+        assert_eq!(sol.partition_latency(&g, 2).as_ns(), 300.0);
+        assert_eq!(sol.execution_latency(&g).as_ns(), 700.0);
+        assert_eq!(sol.partitions_used(), 2);
+    }
+
+    #[test]
+    fn total_latency_adds_reconfig_overhead() {
+        let (g, sol) = figure4();
+        let arch = Architecture::new(Area::new(100), 100, Latency::from_ns(50.0));
+        assert_eq!(sol.total_latency(&g, &arch).as_ns(), 700.0 + 2.0 * 50.0);
+    }
+
+    #[test]
+    fn boundary_memory_counts_crossing_edges() {
+        let (g, sol) = figure4();
+        // Crossing edges: a2->d1 (2), b->d1 (1), c->d2 (3) = 6 at boundary 2.
+        let mem = sol.boundary_memory(&g, EnvMemoryPolicy::Streamed);
+        assert_eq!(mem, vec![6]);
+        assert_eq!(sol.peak_memory(&g, EnvMemoryPolicy::Streamed), 6);
+    }
+
+    #[test]
+    fn resident_env_io_is_charged() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("a").design_point(dp(1, 1.0)).env_input(5).finish();
+        let c = b.add_task("c").design_point(dp(1, 1.0)).env_input(7).env_output(2).finish();
+        b.add_edge(a, c, 4).unwrap();
+        let g = b.build().unwrap();
+        let pl = |p| Placement { partition: p, design_point: 0 };
+        let sol = Solution::new(vec![pl(1), pl(3)], 3);
+        // Boundary 2: edge a->c (4) + env_in(c)=7 (c at 3 >= 2). = 11.
+        // Boundary 3: edge (4) + env_in(c)=7. = 11. a's env_in only before p1.
+        let mem = sol.boundary_memory(&g, EnvMemoryPolicy::Resident);
+        assert_eq!(mem, vec![11, 11]);
+        // Streamed: only the edge.
+        assert_eq!(sol.boundary_memory(&g, EnvMemoryPolicy::Streamed), vec![4, 4]);
+        // Output of c would be charged after partition 3 — no boundary there.
+        // Move c to partition 2: output charged at boundary 3.
+        let sol2 = Solution::new(vec![pl(1), pl(2)], 3);
+        let mem2 = sol2.boundary_memory(&g, EnvMemoryPolicy::Resident);
+        assert_eq!(mem2, vec![4 + 7, 2]);
+    }
+
+    #[test]
+    fn multi_boundary_edge_spans() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("a").design_point(dp(1, 1.0)).finish();
+        let c = b.add_task("c").design_point(dp(1, 1.0)).finish();
+        b.add_edge(a, c, 10).unwrap();
+        let g = b.build().unwrap();
+        let sol = Solution::new(
+            vec![
+                Placement { partition: 1, design_point: 0 },
+                Placement { partition: 4, design_point: 0 },
+            ],
+            4,
+        );
+        // The edge is live at boundaries 2, 3, 4.
+        assert_eq!(sol.boundary_memory(&g, EnvMemoryPolicy::Streamed), vec![10, 10, 10]);
+    }
+
+    #[test]
+    fn compaction_removes_empty_partitions() {
+        let (g, sol) = figure4();
+        let stretched = Solution::new(
+            sol.placements()
+                .iter()
+                .map(|pl| Placement {
+                    partition: if pl.partition == 2 { 5 } else { 1 },
+                    design_point: pl.design_point,
+                })
+                .collect(),
+            5,
+        );
+        assert_eq!(stretched.partitions_used(), 5);
+        let compact = stretched.compacted(5);
+        assert_eq!(compact.partitions_used(), 2);
+        assert_eq!(compact.execution_latency(&g), stretched.execution_latency(&g));
+    }
+
+    #[test]
+    fn partition_area_sums_selected_points() {
+        let (g, sol) = figure4();
+        assert_eq!(sol.partition_area(&g, 1), Area::new(40));
+        assert_eq!(sol.partition_area(&g, 2), Area::new(20));
+        assert_eq!(sol.partition_area(&g, 7), Area::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside 1..=")]
+    fn zero_partition_rejected() {
+        let _ = Solution::new(vec![Placement { partition: 0, design_point: 0 }], 3);
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let (g, sol) = figure4();
+        let text = sol.to_text(&g);
+        let parsed = Solution::from_text(&g, &text).unwrap();
+        assert_eq!(sol, parsed);
+    }
+
+    #[test]
+    fn from_text_rejects_garbage() {
+        let (g, sol) = figure4();
+        assert!(Solution::from_text(&g, "").is_err());
+        assert!(Solution::from_text(&g, "solution n_bound=x").is_err());
+        assert!(Solution::from_text(&g, "solution n_bound=2\nnonsense").is_err());
+        assert!(
+            Solution::from_text(&g, "solution n_bound=2\ntask ghost partition 1 dp 0").is_err()
+        );
+        // Missing tasks.
+        assert!(Solution::from_text(&g, "solution n_bound=2").is_err());
+        // Partition outside the bound.
+        let bad = sol.to_text(&g).replace("partition 2", "partition 9");
+        assert!(Solution::from_text(&g, &bad).is_err());
+    }
+
+    #[test]
+    fn summary_mentions_every_used_partition() {
+        let (g, sol) = figure4();
+        let arch = Architecture::new(Area::new(100), 100, Latency::from_ns(50.0));
+        let s = sol.summary(&g, &arch);
+        assert!(s.contains("partition 1"));
+        assert!(s.contains("partition 2"));
+        assert!(s.contains("total"));
+    }
+}

@@ -1,0 +1,833 @@
+//! A structured branch-and-bound solver specialized to the temporal
+//! partitioning constraints.
+//!
+//! The ILP backend ([`crate::model`]) is faithful to the paper but — with a
+//! from-scratch simplex instead of CPLEX — does not scale to the 32-task DCT
+//! case study. This solver performs implicit enumeration over the *same*
+//! feasible set: tasks are assigned in level order to (partition, design
+//! point) pairs with incremental checking of the resource, temporal-order,
+//! memory, and latency-window constraints, plus admissible lower-bound
+//! pruning and symmetry breaking over interchangeable tasks. Equivalence
+//! with the ILP backend is asserted by cross-checking tests on small
+//! instances (`tests/backend_equivalence.rs`).
+
+use crate::arch::{Architecture, EnvMemoryPolicy};
+use crate::solution::{Placement, Solution};
+use rtr_graph::{TaskGraph, TaskId};
+use std::time::{Duration, Instant};
+
+/// Limits for one structured search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchLimits {
+    /// Maximum number of (partition, design point) assignments tried.
+    pub node_limit: u64,
+    /// Wall-clock deadline.
+    pub time_limit: Option<Duration>,
+}
+
+impl Default for SearchLimits {
+    fn default() -> Self {
+        SearchLimits { node_limit: 50_000_000, time_limit: Some(Duration::from_secs(60)) }
+    }
+}
+
+/// Result of one structured search.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SearchOutcome {
+    /// A constraint-satisfying solution (already compacted).
+    Feasible(Solution),
+    /// The whole space was exhausted without a solution.
+    Infeasible,
+    /// A limit fired before the space was exhausted.
+    LimitReached,
+}
+
+impl SearchOutcome {
+    /// The solution, if feasible.
+    pub fn solution(&self) -> Option<&Solution> {
+        match self {
+            SearchOutcome::Feasible(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Search statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Assignments tried.
+    pub nodes: u64,
+    /// Subtrees cut by the latency lower bound.
+    pub latency_prunes: u64,
+    /// Subtrees cut by area look-ahead.
+    pub area_prunes: u64,
+    /// Assignments rejected by the memory constraint.
+    pub memory_rejects: u64,
+    /// `true` if the search space was fully exhausted (a returned solution
+    /// is proven optimal for the [`SearchGoal::Optimal`] goal).
+    pub exhausted: bool,
+}
+
+/// Goal of the structured search.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchGoal {
+    /// Stop at the first solution with total latency `≤ d_max`.
+    FirstFeasible,
+    /// Exhaust the space and return the minimum-latency solution with total
+    /// latency `≤ d_max`.
+    Optimal,
+}
+
+/// Which topological order tasks are assigned in. Different orders explore
+/// different solution basins first; callers that hit a limit with one order
+/// can retry with the other.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OrderHeuristic {
+    /// Follow the data: consumers are assigned soon after their producers
+    /// (default; best when intra-partition chains dominate).
+    #[default]
+    DataFlow,
+    /// Strict level order: a whole graph level is assigned before the next.
+    Level,
+}
+
+/// The solver. See the module docs for the algorithm outline.
+#[derive(Debug)]
+pub struct StructuredSolver<'g> {
+    graph: &'g TaskGraph,
+    arch: &'g Architecture,
+    n: u32,
+    d_max_ns: f64,
+    goal: SearchGoal,
+    limits: SearchLimits,
+    // Precomputed per task (by task index):
+    order: Vec<TaskId>,
+    /// Design-point trial order per task (latency ascending).
+    dp_order: Vec<Vec<usize>>,
+    /// Symmetry group of each task (same group ⇒ interchangeable); the
+    /// predecessor of a task within its group in assignment order, if any.
+    group_prev: Vec<Option<usize>>,
+    /// Total minimum area of tasks from position `i` of `order` onwards.
+    suffix_min_area: Vec<u64>,
+    eta_floor: u32,
+    /// Incoming edges of each task as `(pred index, data units)`.
+    pred_edges: Vec<Vec<(usize, u64)>>,
+    /// Longest min-latency path strictly below each task (to any leaf).
+    tail_after_ns: Vec<f64>,
+    /// Warm-start hint: a (typically incumbent) placement tried first at
+    /// every node.
+    hint: Option<Vec<Placement>>,
+}
+
+struct State {
+    part: Vec<u32>,
+    dpc: Vec<usize>,
+    area_used: Vec<u64>,
+    /// Secondary-resource usage, `[partition][class]` (empty when the
+    /// architecture declares no secondary classes).
+    sec_used: Vec<Vec<u64>>,
+    chain_ns: Vec<f64>,
+    /// Longest whole-graph path ending at each assigned task, with chosen
+    /// design-point latencies (all predecessors are assigned first).
+    gdepth_ns: Vec<f64>,
+    d_part_ns: Vec<f64>,
+    sum_d_ns: f64,
+    mem: Vec<u64>,
+    max_part: u32,
+    stats: SearchStats,
+    best: Option<(f64, Vec<Placement>)>,
+    nodes_exhausted: bool,
+    start: Instant,
+}
+
+impl<'g> StructuredSolver<'g> {
+    /// Creates a solver for partition bound `n` and absolute latency budget
+    /// `d_max_ns` (including reconfiguration overhead).
+    pub fn new(
+        graph: &'g TaskGraph,
+        arch: &'g Architecture,
+        n: u32,
+        d_max_ns: f64,
+        goal: SearchGoal,
+        limits: SearchLimits,
+    ) -> Self {
+        Self::with_order(graph, arch, n, d_max_ns, goal, limits, OrderHeuristic::default())
+    }
+
+    /// [`new`](Self::new) with an explicit assignment-order heuristic.
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_order(
+        graph: &'g TaskGraph,
+        arch: &'g Architecture,
+        n: u32,
+        d_max_ns: f64,
+        goal: SearchGoal,
+        limits: SearchLimits,
+        order_heuristic: OrderHeuristic,
+    ) -> Self {
+        let count = graph.task_count();
+        let min_latency_ns: Vec<f64> =
+            graph.tasks().iter().map(|t| t.min_latency_point().latency().as_ns()).collect();
+        let min_area: Vec<u64> =
+            graph.tasks().iter().map(|t| t.min_area_point().area().units()).collect();
+
+        // Level = longest-path depth; sorting by it is a topological order.
+        let mut level = vec![0u32; count];
+        for &t in graph.topological_order() {
+            let l = graph
+                .predecessors(t)
+                .iter()
+                .map(|p| level[p.index()] + 1)
+                .max()
+                .unwrap_or(0);
+            level[t.index()] = l;
+        }
+
+        // Interchangeability groups: same preds, succs, env I/O, and design
+        // point multiset.
+        let group_key = |t: usize| -> String {
+            let task = &graph.tasks()[t];
+            let mut preds: Vec<usize> =
+                graph.predecessors(TaskId::from_index(t)).iter().map(|p| p.index()).collect();
+            preds.sort_unstable();
+            let mut succs: Vec<usize> =
+                graph.successors(TaskId::from_index(t)).iter().map(|s| s.index()).collect();
+            succs.sort_unstable();
+            let dps: Vec<String> = task
+                .design_points()
+                .iter()
+                .map(|d| format!("{}:{}", d.area().units(), d.latency().as_ns()))
+                .collect();
+            format!("{preds:?}|{succs:?}|{dps:?}|{}|{}", task.env_input(), task.env_output())
+        };
+        let keys: Vec<String> = (0..count).map(group_key).collect();
+
+        // Assignment order: a topological order that "follows the data" —
+        // among ready tasks, prefer (1) siblings of the task just assigned
+        // (keeps interchangeable groups consecutive for symmetry breaking),
+        // then (2) tasks whose predecessors were assigned most recently
+        // (keeps producers and their consumers close, which lets pruning see
+        // the consequences of a packing early), then id order.
+        let order: Vec<TaskId> = match order_heuristic {
+            OrderHeuristic::DataFlow => {
+                let mut remaining_deps: Vec<usize> = (0..count)
+                    .map(|t| graph.predecessors(TaskId::from_index(t)).len())
+                    .collect();
+                let mut ready: Vec<usize> =
+                    (0..count).filter(|&t| remaining_deps[t] == 0).collect();
+                let mut last_pred_pos = vec![-1i64; count];
+                let mut order: Vec<TaskId> = Vec::with_capacity(count);
+                let mut last_key: Option<&str> = None;
+                while !ready.is_empty() {
+                    let pos = ready
+                        .iter()
+                        .enumerate()
+                        .max_by(|(_, &a), (_, &b)| {
+                            let sib_a = last_key == Some(keys[a].as_str());
+                            let sib_b = last_key == Some(keys[b].as_str());
+                            sib_a
+                                .cmp(&sib_b)
+                                .then(last_pred_pos[a].cmp(&last_pred_pos[b]))
+                                .then(b.cmp(&a))
+                        })
+                        .map(|(i, _)| i)
+                        .expect("ready is non-empty");
+                    let t = ready.swap_remove(pos);
+                    last_key = Some(keys[t].as_str());
+                    let assigned_pos = order.len() as i64;
+                    order.push(TaskId::from_index(t));
+                    for s in graph.successors(TaskId::from_index(t)) {
+                        let si = s.index();
+                        last_pred_pos[si] = last_pred_pos[si].max(assigned_pos);
+                        remaining_deps[si] -= 1;
+                        if remaining_deps[si] == 0 {
+                            ready.push(si);
+                        }
+                    }
+                }
+                order
+            }
+            OrderHeuristic::Level => {
+                let mut order: Vec<TaskId> = (0..count).map(TaskId::from_index).collect();
+                order.sort_by(|a, b| {
+                    level[a.index()]
+                        .cmp(&level[b.index()])
+                        .then_with(|| keys[a.index()].cmp(&keys[b.index()]))
+                        .then_with(|| a.index().cmp(&b.index()))
+                });
+                order
+            }
+        };
+        debug_assert_eq!(order.len(), count);
+
+        // group_prev: the previous same-group task in assignment order.
+        let mut group_prev = vec![None; count];
+        for w in order.windows(2) {
+            let (a, b) = (w[0].index(), w[1].index());
+            if keys[a] == keys[b] && level[a] == level[b] {
+                group_prev[b] = Some(a);
+            }
+        }
+
+        // Smallest-area first: packing feasibility dominates the search; the
+        // chain lower bound rejects too-slow points cheaply when the window
+        // is tight.
+        let dp_order: Vec<Vec<usize>> = graph
+            .tasks()
+            .iter()
+            .map(|task| {
+                let mut idx: Vec<usize> = (0..task.design_points().len()).collect();
+                idx.sort_by(|&a, &b| {
+                    let da = &task.design_points()[a];
+                    let db = &task.design_points()[b];
+                    da.area().cmp(&db.area()).then(da.latency().total_cmp(&db.latency()))
+                });
+                idx
+            })
+            .collect();
+
+        let mut suffix_min_area = vec![0u64; count + 1];
+        for i in (0..count).rev() {
+            suffix_min_area[i] = suffix_min_area[i + 1] + min_area[order[i].index()];
+        }
+        let eta_floor = graph
+            .total_min_area()
+            .partitions_needed(arch.resource_capacity())
+            .max(1);
+
+        let mut pred_edges = vec![Vec::new(); count];
+        for e in graph.edges() {
+            pred_edges[e.dst().index()].push((e.src().index(), e.data()));
+        }
+        let mut tail_after_ns = vec![0.0f64; count];
+        for &t in graph.topological_order().iter().rev() {
+            let ti = t.index();
+            tail_after_ns[ti] = graph
+                .successors(t)
+                .iter()
+                .map(|s| min_latency_ns[s.index()] + tail_after_ns[s.index()])
+                .fold(0.0f64, f64::max);
+        }
+
+        StructuredSolver {
+            graph,
+            arch,
+            n,
+            d_max_ns,
+            goal,
+            limits,
+            order,
+            dp_order,
+            group_prev,
+            suffix_min_area,
+            eta_floor,
+            pred_edges,
+            tail_after_ns,
+            hint: None,
+        }
+    }
+
+    /// Installs a warm-start hint: `placements[t]` is tried first when task
+    /// `t` is assigned. Typically the incumbent of a previous, looser
+    /// window; completeness is unaffected (the hint only reorders the
+    /// search).
+    pub fn with_hint(mut self, placements: Vec<Placement>) -> Self {
+        self.hint = Some(placements);
+        self
+    }
+
+    /// Runs the search.
+    pub fn run(&self) -> (SearchOutcome, SearchStats) {
+        let count = self.graph.task_count();
+        let np = self.n as usize;
+        // A task none of whose design points fits the device can never be
+        // placed.
+        for task in self.graph.tasks() {
+            if !task.design_points().iter().any(|dp| self.arch.admits(dp)) {
+                return (SearchOutcome::Infeasible, SearchStats::default());
+            }
+        }
+
+        // Greedy seeding: a constructive packing often satisfies loose
+        // windows outright, and otherwise provides an incumbent for the
+        // optimal goal.
+        let mut seed: Option<(f64, Vec<Placement>)> = None;
+        for picker in [
+            crate::baseline::DesignPointPicker::MinArea,
+            crate::baseline::DesignPointPicker::MinLatency,
+            crate::baseline::DesignPointPicker::MaxArea,
+        ] {
+            if let Some(sol) = crate::baseline::greedy_partition(self.graph, self.arch, picker, self.n)
+            {
+                let total = sol.total_latency(self.graph, self.arch).as_ns();
+                if total <= self.d_max_ns + 1e-9 {
+                    if self.goal == SearchGoal::FirstFeasible {
+                        return (SearchOutcome::Feasible(sol), SearchStats::default());
+                    }
+                    if seed.as_ref().map(|(b, _)| total < *b).unwrap_or(true) {
+                        seed = Some((total, sol.placements().to_vec()));
+                    }
+                }
+            }
+        }
+
+        let mut st = State {
+            part: vec![0; count],
+            dpc: vec![0; count],
+            area_used: vec![0; np],
+            sec_used: vec![vec![0; self.arch.secondary_capacities().len()]; np],
+            chain_ns: vec![0.0; count],
+            gdepth_ns: vec![0.0; count],
+            d_part_ns: vec![0.0; np],
+            sum_d_ns: 0.0,
+            mem: vec![0; np.saturating_sub(1)],
+            max_part: 0,
+            stats: SearchStats::default(),
+            best: seed,
+            nodes_exhausted: true,
+            start: Instant::now(),
+        };
+        self.dfs(0, &mut st);
+        let mut stats = st.stats;
+        stats.exhausted = st.nodes_exhausted;
+        match st.best {
+            Some((_, placements)) => {
+                let sol = Solution::new(placements, self.n).compacted(self.n);
+                (SearchOutcome::Feasible(sol), stats)
+            }
+            None if st.nodes_exhausted => (SearchOutcome::Infeasible, stats),
+            None => (SearchOutcome::LimitReached, stats),
+        }
+    }
+
+    /// Returns `true` to abort the whole search (first-feasible found, or a
+    /// limit fired).
+    fn dfs(&self, idx: usize, st: &mut State) -> bool {
+        if idx == self.order.len() {
+            let total = st.sum_d_ns + self.ct_ns() * f64::from(st.max_part);
+            if total <= self.d_max_ns + 1e-9 {
+                let better = match &st.best {
+                    Some((b, _)) => total < b - 1e-9,
+                    None => true,
+                };
+                if better {
+                    let placements: Vec<Placement> = st
+                        .part
+                        .iter()
+                        .zip(&st.dpc)
+                        .map(|(&p, &m)| Placement { partition: p, design_point: m })
+                        .collect();
+                    st.best = Some((total, placements));
+                }
+                if self.goal == SearchGoal::FirstFeasible {
+                    return true;
+                }
+            }
+            return false;
+        }
+
+        let t = self.order[idx];
+        let ti = t.index();
+        let task = &self.graph.tasks()[ti];
+        let p_min = self
+            .graph
+            .predecessors(t)
+            .iter()
+            .map(|q| st.part[q.index()])
+            .max()
+            .unwrap_or(1)
+            .max(1);
+        // Symmetry breaking: within an interchangeable group, (partition,
+        // design point) must be lexicographically non-decreasing.
+        let sym_floor = self.group_prev[ti].map(|prev| (st.part[prev], st.dpc[prev]));
+
+        // Warm start: follow the hint solution first (local search around
+        // an incumbent from a previous, looser window).
+        let hint_pair = self
+            .hint
+            .as_ref()
+            .and_then(|h| h.get(ti).copied())
+            .map(|pl| (pl.partition, pl.design_point))
+            .filter(|&(p, m)| {
+                p >= p_min
+                    && p <= self.n
+                    && m < task.design_points().len()
+                    && match sym_floor {
+                        Some((sp, sm)) => p > sp || (p == sp && m >= sm),
+                        None => true,
+                    }
+            });
+        if let Some((p, m)) = hint_pair {
+            if let Some(abort) = self.try_candidate(idx, t, p, m, st) {
+                if abort {
+                    return true;
+                }
+            }
+        }
+
+        for p in p_min..=self.n {
+            for &m in &self.dp_order[ti] {
+                if Some((p, m)) == hint_pair {
+                    continue;
+                }
+                if let Some((sp, sm)) = sym_floor {
+                    if p < sp || (p == sp && m < sm) {
+                        continue;
+                    }
+                }
+                if let Some(abort) = self.try_candidate(idx, t, p, m, st) {
+                    if abort {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Tries assigning task `t` to `(p, m)`. Returns `None` if the
+    /// candidate was rejected by a constraint or prune, `Some(abort)` after
+    /// descending.
+    fn try_candidate(
+        &self,
+        idx: usize,
+        t: TaskId,
+        p: u32,
+        m: usize,
+        st: &mut State,
+    ) -> Option<bool> {
+        let ti = t.index();
+        let task = &self.graph.tasks()[ti];
+        let pi = (p - 1) as usize;
+        {
+            {
+                if st.stats.nodes >= self.limits.node_limit {
+                    st.nodes_exhausted = false;
+                    return Some(true);
+                }
+                if let Some(limit) = self.limits.time_limit {
+                    if st.stats.nodes.is_multiple_of(1024) && st.start.elapsed() >= limit {
+                        st.nodes_exhausted = false;
+                        return Some(true);
+                    }
+                }
+                st.stats.nodes += 1;
+
+                let dp = &task.design_points()[m];
+                // Resource.
+                if st.area_used[pi] + dp.area().units()
+                    > self.arch.resource_capacity().units()
+                {
+                    return None;
+                }
+                // Secondary resource classes (constraint (6) per class).
+                if self
+                    .arch
+                    .secondary_capacities()
+                    .iter()
+                    .enumerate()
+                    .any(|(k, &cap)| st.sec_used[pi][k] + dp.secondary_usage(k) > cap)
+                {
+                    return None;
+                }
+                // Area look-ahead: remaining minimum areas (excluding t) must
+                // fit in the total free area.
+                let free_total: u64 = (0..self.n as usize)
+                    .map(|q| self.arch.resource_capacity().units() - st.area_used[q])
+                    .sum::<u64>()
+                    - dp.area().units();
+                if self.suffix_min_area[idx + 1] > free_total {
+                    st.stats.area_prunes += 1;
+                    return None;
+                }
+
+                // Latency bookkeeping.
+                let chain = dp.latency().as_ns()
+                    + self
+                        .graph
+                        .predecessors(t)
+                        .iter()
+                        .filter(|q| st.part[q.index()] == p)
+                        .map(|q| st.chain_ns[q.index()])
+                        .fold(0.0f64, f64::max);
+                let new_d = st.d_part_ns[pi].max(chain);
+                let delta_d = new_d - st.d_part_ns[pi];
+                let new_sum = st.sum_d_ns + delta_d;
+                let new_max_part = st.max_part.max(p);
+                let eta_lb = new_max_part.max(self.eta_floor);
+                // Admissible chain bound: the longest assigned-latency path
+                // ending at t plus the cheapest possible completion below it.
+                let gdepth = dp.latency().as_ns()
+                    + self
+                        .pred_edges[ti]
+                        .iter()
+                        .map(|&(q, _)| st.gdepth_ns[q])
+                        .fold(0.0f64, f64::max);
+                let chain_lb = gdepth + self.tail_after_ns[ti];
+                let lb = new_sum.max(chain_lb) + self.ct_ns() * f64::from(eta_lb);
+                if lb > self.d_max_ns + 1e-9 {
+                    st.stats.latency_prunes += 1;
+                    return None;
+                }
+                if let Some((best, _)) = &st.best {
+                    if self.goal == SearchGoal::Optimal && lb >= best - 1e-9 {
+                        st.stats.latency_prunes += 1;
+                        return None;
+                    }
+                }
+
+                // Memory: apply deltas, tracking what we touched for undo.
+                let mut mem_ok = true;
+                let mut touched: Vec<(usize, u64)> = Vec::new();
+                {
+                    let mut add = |boundary: u32, amount: u64, st: &mut State| {
+                        if amount == 0 {
+                            return true;
+                        }
+                        let i = (boundary - 2) as usize;
+                        st.mem[i] += amount;
+                        touched.push((i, amount));
+                        st.mem[i] <= self.arch.memory_capacity()
+                    };
+                    'mem: {
+                        for &(q, data) in &self.pred_edges[ti] {
+                            let pa = st.part[q];
+                            if pa < p {
+                                for b in (pa + 1)..=p {
+                                    if !add(b, data, st) {
+                                        mem_ok = false;
+                                        break 'mem;
+                                    }
+                                }
+                            }
+                        }
+                        if self.arch.env_policy() == EnvMemoryPolicy::Resident {
+                            for b in 2..=p {
+                                if !add(b, task.env_input(), st) {
+                                    mem_ok = false;
+                                    break 'mem;
+                                }
+                            }
+                            for b in (p + 1)..=self.n {
+                                if !add(b, task.env_output(), st) {
+                                    mem_ok = false;
+                                    break 'mem;
+                                }
+                            }
+                        }
+                    }
+                }
+                if !mem_ok {
+                    st.stats.memory_rejects += 1;
+                    for (i, amount) in touched {
+                        st.mem[i] -= amount;
+                    }
+                    return None;
+                }
+
+                // Apply.
+                st.part[ti] = p;
+                st.dpc[ti] = m;
+                st.area_used[pi] += dp.area().units();
+                for (k, used) in st.sec_used[pi].iter_mut().enumerate() {
+                    *used += dp.secondary_usage(k);
+                }
+                st.chain_ns[ti] = chain;
+                st.gdepth_ns[ti] = gdepth;
+                let old_d = st.d_part_ns[pi];
+                st.d_part_ns[pi] = new_d;
+                st.sum_d_ns = new_sum;
+                let old_max = st.max_part;
+                st.max_part = new_max_part;
+
+                let abort = self.dfs(idx + 1, st);
+
+                // Undo.
+                st.part[ti] = 0;
+                st.dpc[ti] = 0;
+                st.area_used[pi] -= dp.area().units();
+                for (k, used) in st.sec_used[pi].iter_mut().enumerate() {
+                    *used -= dp.secondary_usage(k);
+                }
+                st.chain_ns[ti] = 0.0;
+                st.gdepth_ns[ti] = 0.0;
+                st.d_part_ns[pi] = old_d;
+                st.sum_d_ns -= delta_d;
+                st.max_part = old_max;
+                for (i, amount) in touched {
+                    st.mem[i] -= amount;
+                }
+
+                Some(abort)
+            }
+        }
+    }
+
+    fn ct_ns(&self) -> f64 {
+        self.arch.reconfig_time().as_ns()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validate::validate_solution;
+    use rtr_graph::{Area, DesignPoint, Latency, TaskGraphBuilder};
+
+    fn dp(name: &str, area: u64, lat: f64) -> DesignPoint {
+        DesignPoint::new(name, Area::new(area), Latency::from_ns(lat))
+    }
+
+    fn small_graph() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let a = b
+            .add_task("a")
+            .design_point(dp("s", 50, 300.0))
+            .design_point(dp("f", 90, 150.0))
+            .env_input(2)
+            .finish();
+        let c = b
+            .add_task("c")
+            .design_point(dp("s", 60, 250.0))
+            .design_point(dp("f", 95, 120.0))
+            .env_output(1)
+            .finish();
+        b.add_edge(a, c, 3).unwrap();
+        b.build().unwrap()
+    }
+
+    fn run(
+        graph: &TaskGraph,
+        arch: &Architecture,
+        n: u32,
+        d_max: f64,
+        goal: SearchGoal,
+    ) -> SearchOutcome {
+        StructuredSolver::new(graph, arch, n, d_max, goal, SearchLimits::default()).run().0
+    }
+
+    #[test]
+    fn finds_feasible_and_respects_window() {
+        let g = small_graph();
+        let arch = Architecture::new(Area::new(100), 16, Latency::from_ns(50.0));
+        match run(&g, &arch, 2, 1_000.0, SearchGoal::FirstFeasible) {
+            SearchOutcome::Feasible(sol) => {
+                assert!(validate_solution(&g, &arch, &sol).is_empty());
+                assert!(sol.total_latency(&g, &arch).as_ns() <= 1_000.0);
+            }
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn window_below_optimum_is_infeasible() {
+        let g = small_graph();
+        let arch = Architecture::new(Area::new(100), 16, Latency::from_ns(50.0));
+        // Optimum is 150 + 120 + 2*50 = 370.
+        assert_eq!(run(&g, &arch, 2, 369.0, SearchGoal::FirstFeasible), SearchOutcome::Infeasible);
+        assert!(matches!(
+            run(&g, &arch, 2, 370.0, SearchGoal::FirstFeasible),
+            SearchOutcome::Feasible(_)
+        ));
+    }
+
+    #[test]
+    fn optimal_mode_finds_minimum() {
+        let g = small_graph();
+        let arch = Architecture::new(Area::new(100), 16, Latency::from_ns(50.0));
+        match run(&g, &arch, 2, 1e9, SearchGoal::Optimal) {
+            SearchOutcome::Feasible(sol) => {
+                assert_eq!(sol.total_latency(&g, &arch).as_ns(), 370.0);
+            }
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_task_is_infeasible() {
+        let g = small_graph();
+        let arch = Architecture::new(Area::new(40), 16, Latency::from_ns(50.0));
+        assert_eq!(run(&g, &arch, 4, 1e9, SearchGoal::FirstFeasible), SearchOutcome::Infeasible);
+    }
+
+    #[test]
+    fn memory_blocks_split() {
+        let g = small_graph();
+        // Splitting puts edge data (3 units) across the boundary; the area
+        // (50 + 60 > 100) rules out sharing a partition, so memory 2 makes
+        // the instance infeasible while memory 3 admits the split.
+        let arch = Architecture::new(Area::new(100), 2, Latency::from_ns(50.0));
+        assert_eq!(run(&g, &arch, 2, 1e9, SearchGoal::FirstFeasible), SearchOutcome::Infeasible);
+        let arch_ok = Architecture::new(Area::new(100), 3, Latency::from_ns(50.0));
+        assert!(matches!(
+            run(&g, &arch_ok, 2, 1e9, SearchGoal::FirstFeasible),
+            SearchOutcome::Feasible(_)
+        ));
+    }
+
+    #[test]
+    fn node_limit_reports_limit() {
+        let g = small_graph();
+        let arch = Architecture::new(Area::new(100), 16, Latency::from_ns(50.0));
+        let limits = SearchLimits { node_limit: 1, time_limit: None };
+        // Force a search that needs more than one node: infeasible window.
+        let (out, stats) =
+            StructuredSolver::new(&g, &arch, 2, 369.0, SearchGoal::FirstFeasible, limits).run();
+        assert_eq!(out, SearchOutcome::LimitReached);
+        assert_eq!(stats.nodes, 1);
+    }
+
+    #[test]
+    fn symmetric_tasks_are_broken() {
+        // Four identical independent tasks: symmetry breaking should keep the
+        // node count tiny even for an exhaustive (infeasible) search.
+        let mut b = TaskGraphBuilder::new();
+        for i in 0..4 {
+            b.add_task(format!("t{i}")).design_point(dp("m", 10, 100.0)).finish();
+        }
+        let g = b.build().unwrap();
+        let arch = Architecture::new(Area::new(10), 16, Latency::from_ns(1.0));
+        // Each partition fits exactly one task; with N=4 the only solutions
+        // (up to symmetry) place one task per partition: total = 400 + 4.
+        let (out, stats) = StructuredSolver::new(
+            &g,
+            &arch,
+            4,
+            1.0, // infeasible: forces exhaustion
+            SearchGoal::FirstFeasible,
+            SearchLimits::default(),
+        )
+        .run();
+        assert_eq!(out, SearchOutcome::Infeasible);
+        assert!(stats.nodes < 100, "symmetry breaking failed: {} nodes", stats.nodes);
+
+        let (out2, _) = StructuredSolver::new(
+            &g,
+            &arch,
+            4,
+            404.0,
+            SearchGoal::FirstFeasible,
+            SearchLimits::default(),
+        )
+        .run();
+        match out2 {
+            SearchOutcome::Feasible(sol) => {
+                assert_eq!(sol.partitions_used(), 4);
+                assert_eq!(sol.total_latency(&g, &arch).as_ns(), 404.0);
+            }
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn solutions_are_compacted() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task("only").design_point(dp("m", 10, 100.0)).finish();
+        let g = b.build().unwrap();
+        let arch = Architecture::new(Area::new(100), 16, Latency::from_ns(1.0));
+        match run(&g, &arch, 5, 1e9, SearchGoal::FirstFeasible) {
+            SearchOutcome::Feasible(sol) => assert_eq!(sol.partitions_used(), 1),
+            other => panic!("expected feasible, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Independent validation of partitioning solutions.
+//!
+//! Every solver in this crate funnels its output through
+//! [`validate_solution`], which re-checks the paper's constraints (1)–(6)
+//! directly against the task graph and architecture — nothing is trusted
+//! from a solver's internal bookkeeping.
+
+use crate::arch::Architecture;
+use crate::solution::Solution;
+use rtr_graph::TaskGraph;
+use std::fmt;
+
+/// One violated constraint.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Violation {
+    /// A placement names a design point the task does not have.
+    BadDesignPoint {
+        /// Task name.
+        task: String,
+        /// The out-of-range design-point index.
+        index: usize,
+    },
+    /// The solution has a different number of placements than the graph has
+    /// tasks.
+    WrongTaskCount {
+        /// Placements in the solution.
+        got: usize,
+        /// Tasks in the graph.
+        expected: usize,
+    },
+    /// A dependency runs backwards in time: `src` is placed after `dst`.
+    TemporalOrder {
+        /// Producer task name.
+        src: String,
+        /// Consumer task name.
+        dst: String,
+        /// Producer's partition.
+        src_partition: u32,
+        /// Consumer's partition.
+        dst_partition: u32,
+    },
+    /// A partition exceeds the device capacity `R_max`.
+    Resource {
+        /// The overfull partition.
+        partition: u32,
+        /// Area used.
+        used: u64,
+        /// Capacity.
+        capacity: u64,
+    },
+    /// A partition exceeds a secondary resource class capacity.
+    SecondaryResource {
+        /// The overfull partition.
+        partition: u32,
+        /// The resource class index.
+        class: usize,
+        /// Units used.
+        used: u64,
+        /// Capacity of the class.
+        capacity: u64,
+    },
+    /// A boundary exceeds the on-board memory `M_max`.
+    Memory {
+        /// The boundary (data held before this partition executes).
+        boundary: u32,
+        /// Data units resident.
+        used: u64,
+        /// Capacity.
+        capacity: u64,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::BadDesignPoint { task, index } => {
+                write!(f, "task `{task}` has no design point {index}")
+            }
+            Violation::WrongTaskCount { got, expected } => {
+                write!(f, "solution has {got} placements for {expected} tasks")
+            }
+            Violation::TemporalOrder { src, dst, src_partition, dst_partition } => write!(
+                f,
+                "dependency `{src}` (partition {src_partition}) -> `{dst}` (partition {dst_partition}) runs backwards"
+            ),
+            Violation::Resource { partition, used, capacity } => {
+                write!(f, "partition {partition} uses {used} of {capacity} area units")
+            }
+            Violation::SecondaryResource { partition, class, used, capacity } => write!(
+                f,
+                "partition {partition} uses {used} of {capacity} units of secondary resource class {class}"
+            ),
+            Violation::Memory { boundary, used, capacity } => {
+                write!(f, "boundary {boundary} holds {used} of {capacity} memory units")
+            }
+        }
+    }
+}
+
+/// Checks a solution against every constraint of the formulation. Returns
+/// all violations (empty means the solution is feasible).
+pub fn validate_solution(
+    graph: &TaskGraph,
+    arch: &Architecture,
+    solution: &Solution,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    if solution.placements().len() != graph.task_count() {
+        violations.push(Violation::WrongTaskCount {
+            got: solution.placements().len(),
+            expected: graph.task_count(),
+        });
+        return violations;
+    }
+    for (t, pl) in solution.placements().iter().enumerate() {
+        let task = &graph.tasks()[t];
+        if pl.design_point >= task.design_points().len() {
+            violations.push(Violation::BadDesignPoint {
+                task: task.name().to_owned(),
+                index: pl.design_point,
+            });
+        }
+    }
+    if !violations.is_empty() {
+        return violations; // metric computations below would index out of range
+    }
+
+    for e in graph.edges() {
+        let pa = solution.placement(e.src()).partition;
+        let pb = solution.placement(e.dst()).partition;
+        if pa > pb {
+            violations.push(Violation::TemporalOrder {
+                src: graph.task(e.src()).name().to_owned(),
+                dst: graph.task(e.dst()).name().to_owned(),
+                src_partition: pa,
+                dst_partition: pb,
+            });
+        }
+    }
+
+    for p in 1..=solution.n_bound() {
+        let used = solution.partition_area(graph, p).units();
+        let capacity = arch.resource_capacity().units();
+        if used > capacity {
+            violations.push(Violation::Resource { partition: p, used, capacity });
+        }
+        for (class, &capacity) in arch.secondary_capacities().iter().enumerate() {
+            let used = solution.partition_secondary(graph, p, class);
+            if used > capacity {
+                violations.push(Violation::SecondaryResource { partition: p, class, used, capacity });
+            }
+        }
+    }
+
+    for (i, used) in solution.boundary_memory(graph, arch.env_policy()).into_iter().enumerate() {
+        if used > arch.memory_capacity() {
+            violations.push(Violation::Memory {
+                boundary: i as u32 + 2,
+                used,
+                capacity: arch.memory_capacity(),
+            });
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solution::Placement;
+    use rtr_graph::{Area, DesignPoint, Latency, TaskGraphBuilder};
+
+    fn graph() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let dp = |a: u64| DesignPoint::new("m", Area::new(a), Latency::from_ns(100.0));
+        let x = b.add_task("x").design_point(dp(60)).finish();
+        let y = b.add_task("y").design_point(dp(70)).finish();
+        b.add_edge(x, y, 5).unwrap();
+        b.build().unwrap()
+    }
+
+    fn arch() -> Architecture {
+        Architecture::new(Area::new(100), 4, Latency::from_ns(10.0))
+    }
+
+    fn pl(p: u32) -> Placement {
+        Placement { partition: p, design_point: 0 }
+    }
+
+    #[test]
+    fn feasible_solution_passes() {
+        let g = graph();
+        let sol = Solution::new(vec![pl(1), pl(2)], 2);
+        // Edge data 5 > memory 4 — pick a bigger memory arch.
+        let arch = Architecture::new(Area::new(100), 8, Latency::from_ns(10.0));
+        assert!(validate_solution(&g, &arch, &sol).is_empty());
+    }
+
+    #[test]
+    fn detects_temporal_order_violation() {
+        let g = graph();
+        let sol = Solution::new(vec![pl(2), pl(1)], 2);
+        let v = validate_solution(&g, &arch(), &sol);
+        assert!(v.iter().any(|v| matches!(v, Violation::TemporalOrder { .. })), "{v:?}");
+    }
+
+    #[test]
+    fn detects_resource_violation() {
+        let g = graph();
+        let sol = Solution::new(vec![pl(1), pl(1)], 1);
+        let v = validate_solution(&g, &arch(), &sol);
+        assert!(v.iter().any(|v| matches!(
+            v,
+            Violation::Resource { partition: 1, used: 130, capacity: 100 }
+        )));
+    }
+
+    #[test]
+    fn detects_memory_violation() {
+        let g = graph();
+        let sol = Solution::new(vec![pl(1), pl(2)], 2);
+        let v = validate_solution(&g, &arch(), &sol); // memory 4 < edge 5
+        assert!(v.iter().any(|v| matches!(v, Violation::Memory { boundary: 2, used: 5, .. })));
+    }
+
+    #[test]
+    fn detects_bad_design_point_and_count() {
+        let g = graph();
+        let sol = Solution::new(vec![Placement { partition: 1, design_point: 3 }, pl(1)], 1);
+        let v = validate_solution(&g, &arch(), &sol);
+        assert!(v.iter().any(|v| matches!(v, Violation::BadDesignPoint { .. })));
+        let short = Solution::new(vec![pl(1)], 1);
+        let v = validate_solution(&g, &arch(), &short);
+        assert_eq!(v.len(), 1);
+        assert!(matches!(v[0], Violation::WrongTaskCount { got: 1, expected: 2 }));
+    }
+
+    #[test]
+    fn same_partition_edge_uses_no_memory() {
+        let g = graph();
+        let sol = Solution::new(vec![pl(1), pl(1)], 2);
+        assert_eq!(sol.peak_memory(&g, crate::arch::EnvMemoryPolicy::Resident), 0);
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = Violation::Resource { partition: 2, used: 700, capacity: 576 };
+        assert_eq!(v.to_string(), "partition 2 uses 700 of 576 area units");
+    }
+}

@@ -1,0 +1,226 @@
+//! Builder for [`TaskGraph`].
+
+use crate::error::GraphError;
+use crate::graph::{Edge, TaskGraph, TaskId};
+use crate::task::{DesignPoint, Task};
+
+/// Incremental builder for a [`TaskGraph`].
+///
+/// The builder enforces the graph invariants at [`build`](Self::build) time:
+/// the graph is non-empty and acyclic, task names are unique, every task has
+/// at least one design point, and every design point has positive area.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_graph::{TaskGraphBuilder, DesignPoint, Area, Latency};
+///
+/// # fn main() -> Result<(), rtr_graph::GraphError> {
+/// let mut b = TaskGraphBuilder::new();
+/// let src = b.add_task("src")
+///     .design_point(DesignPoint::new("m", Area::new(10), Latency::from_ns(5.0)))
+///     .finish();
+/// let dst = b.add_task("dst")
+///     .design_point(DesignPoint::new("m", Area::new(20), Latency::from_ns(9.0)))
+///     .finish();
+/// b.add_edge(src, dst, 3)?;
+/// let graph = b.build()?;
+/// assert_eq!(graph.edge_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Default)]
+pub struct TaskGraphBuilder {
+    tasks: Vec<Task>,
+    edges: Vec<Edge>,
+}
+
+impl TaskGraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        TaskGraphBuilder::default()
+    }
+
+    /// Starts a new task with the given name; call
+    /// [`TaskBuilder::finish`] to obtain its [`TaskId`].
+    pub fn add_task(&mut self, name: impl Into<String>) -> TaskBuilder<'_> {
+        TaskBuilder {
+            owner: self,
+            name: name.into(),
+            design_points: Vec::new(),
+            env_input: 0,
+            env_output: 0,
+        }
+    }
+
+    /// Adds a finished [`Task`] directly and returns its id. Useful when the
+    /// task was produced by an HLS estimator.
+    pub fn add_prepared_task(&mut self, task: Task) -> TaskId {
+        self.tasks.push(task);
+        TaskId(self.tasks.len() - 1)
+    }
+
+    /// Adds a directed dependency `src → dst` carrying `data` units
+    /// (`B(src, dst)` of the paper).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownTask`] if either endpoint was not created
+    /// by this builder, [`GraphError::SelfLoop`] if `src == dst`, or
+    /// [`GraphError::DuplicateEdge`] if the edge already exists.
+    pub fn add_edge(&mut self, src: TaskId, dst: TaskId, data: u64) -> Result<(), GraphError> {
+        for id in [src, dst] {
+            if id.index() >= self.tasks.len() {
+                return Err(GraphError::UnknownTask {
+                    index: id.index(),
+                    task_count: self.tasks.len(),
+                });
+            }
+        }
+        if src == dst {
+            return Err(GraphError::SelfLoop {
+                task: self.tasks[src.index()].name().to_owned(),
+            });
+        }
+        if self.edges.iter().any(|e| e.src() == src && e.dst() == dst) {
+            return Err(GraphError::DuplicateEdge {
+                src: self.tasks[src.index()].name().to_owned(),
+                dst: self.tasks[dst.index()].name().to_owned(),
+            });
+        }
+        self.edges.push(Edge { src, dst, data });
+        Ok(())
+    }
+
+    /// Number of tasks added so far.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Validates the accumulated tasks and edges into a [`TaskGraph`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as a [`GraphError`].
+    pub fn build(self) -> Result<TaskGraph, GraphError> {
+        TaskGraph::assemble(self.tasks, self.edges)
+    }
+}
+
+/// Builder for a single task; created by [`TaskGraphBuilder::add_task`].
+#[derive(Debug)]
+pub struct TaskBuilder<'a> {
+    owner: &'a mut TaskGraphBuilder,
+    name: String,
+    design_points: Vec<DesignPoint>,
+    env_input: u64,
+    env_output: u64,
+}
+
+impl TaskBuilder<'_> {
+    /// Adds a design point to the task's set `M_t`.
+    pub fn design_point(mut self, dp: DesignPoint) -> Self {
+        self.design_points.push(dp);
+        self
+    }
+
+    /// Adds every design point from an iterator.
+    pub fn design_points<I: IntoIterator<Item = DesignPoint>>(mut self, dps: I) -> Self {
+        self.design_points.extend(dps);
+        self
+    }
+
+    /// Sets the environment input volume `B(env, t)` in data units.
+    pub fn env_input(mut self, units: u64) -> Self {
+        self.env_input = units;
+        self
+    }
+
+    /// Sets the environment output volume `B(t, env)` in data units.
+    pub fn env_output(mut self, units: u64) -> Self {
+        self.env_output = units;
+        self
+    }
+
+    /// Registers the task with the graph builder and returns its id.
+    pub fn finish(self) -> TaskId {
+        let task = Task::new(self.name, self.design_points, self.env_input, self.env_output);
+        self.owner.add_prepared_task(task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quantity::{Area, Latency};
+
+    fn dp() -> DesignPoint {
+        DesignPoint::new("m", Area::new(10), Latency::from_ns(1.0))
+    }
+
+    #[test]
+    fn rejects_empty_graph() {
+        assert!(matches!(TaskGraphBuilder::new().build(), Err(GraphError::Empty)));
+    }
+
+    #[test]
+    fn rejects_task_without_design_points() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task("bare").finish();
+        assert!(matches!(b.build(), Err(GraphError::NoDesignPoints { .. })));
+    }
+
+    #[test]
+    fn rejects_zero_area_design_point() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task("z")
+            .design_point(DesignPoint::new("void", Area::ZERO, Latency::from_ns(1.0)))
+            .finish();
+        assert!(matches!(b.build(), Err(GraphError::ZeroAreaDesignPoint { .. })));
+    }
+
+    #[test]
+    fn rejects_duplicate_names() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task("x").design_point(dp()).finish();
+        b.add_task("x").design_point(dp()).finish();
+        assert!(matches!(b.build(), Err(GraphError::DuplicateTaskName { .. })));
+    }
+
+    #[test]
+    fn rejects_self_loop_eagerly() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("a").design_point(dp()).finish();
+        assert!(matches!(b.add_edge(a, a, 1), Err(GraphError::SelfLoop { .. })));
+    }
+
+    #[test]
+    fn rejects_duplicate_edge_eagerly() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("a").design_point(dp()).finish();
+        let c = b.add_task("b").design_point(dp()).finish();
+        b.add_edge(a, c, 1).unwrap();
+        assert!(matches!(b.add_edge(a, c, 2), Err(GraphError::DuplicateEdge { .. })));
+    }
+
+    #[test]
+    fn rejects_unknown_endpoint() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("a").design_point(dp()).finish();
+        let bogus = {
+            let mut other = TaskGraphBuilder::new();
+            other.add_task("x").design_point(dp()).finish();
+            other.add_task("y").design_point(dp()).finish()
+        };
+        assert!(matches!(b.add_edge(a, bogus, 1), Err(GraphError::UnknownTask { .. })));
+    }
+
+    #[test]
+    fn env_io_is_recorded() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("io").design_point(dp()).env_input(4).env_output(1).finish();
+        let g = b.build().unwrap();
+        assert_eq!(g.task(a).env_input(), 4);
+        assert_eq!(g.task(a).env_output(), 1);
+    }
+}

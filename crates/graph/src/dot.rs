@@ -1,0 +1,78 @@
+//! Graphviz DOT export.
+
+use crate::graph::TaskGraph;
+use std::fmt::Write as _;
+
+impl TaskGraph {
+    /// Renders the task graph in Graphviz DOT syntax.
+    ///
+    /// Each node is labeled with the task name and its design-point count;
+    /// each edge with its data volume `B(t_i, t_j)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rtr_graph::{TaskGraphBuilder, DesignPoint, Area, Latency};
+    /// # fn main() -> Result<(), rtr_graph::GraphError> {
+    /// let mut b = TaskGraphBuilder::new();
+    /// let a = b.add_task("a")
+    ///     .design_point(DesignPoint::new("m", Area::new(1), Latency::from_ns(1.0)))
+    ///     .finish();
+    /// let c = b.add_task("c")
+    ///     .design_point(DesignPoint::new("m", Area::new(1), Latency::from_ns(1.0)))
+    ///     .finish();
+    /// b.add_edge(a, c, 4)?;
+    /// let dot = b.build()?.to_dot();
+    /// assert!(dot.contains("digraph task_graph"));
+    /// assert!(dot.contains("label=\"4\""));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_dot(&self) -> String {
+        let mut out = String::from("digraph task_graph {\n  rankdir=TB;\n  node [shape=box];\n");
+        for (i, t) in self.tasks().iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "  t{i} [label=\"{}\\n|M_t| = {}\"];",
+                escape(t.name()),
+                t.design_points().len()
+            );
+        }
+        for e in self.edges() {
+            let _ = writeln!(
+                out,
+                "  t{} -> t{} [label=\"{}\"];",
+                e.src().index(),
+                e.dst().index(),
+                e.data()
+            );
+        }
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::TaskGraphBuilder;
+    use crate::quantity::{Area, Latency};
+    use crate::task::DesignPoint;
+
+    #[test]
+    fn dot_contains_all_nodes_and_edges() {
+        let mut b = TaskGraphBuilder::new();
+        let dp = DesignPoint::new("m", Area::new(1), Latency::from_ns(1.0));
+        let a = b.add_task("alpha").design_point(dp.clone()).finish();
+        let c = b.add_task("beta \"q\"").design_point(dp.clone()).finish();
+        b.add_edge(a, c, 7).unwrap();
+        let dot = b.build().unwrap().to_dot();
+        assert!(dot.contains("t0 [label=\"alpha"));
+        assert!(dot.contains("beta \\\"q\\\""));
+        assert!(dot.contains("t0 -> t1 [label=\"7\"]"));
+        assert!(dot.ends_with("}\n"));
+    }
+}

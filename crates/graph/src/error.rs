@@ -1,0 +1,118 @@
+//! Error type for task-graph construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while building, validating, or parsing a task graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// The graph has no tasks.
+    Empty,
+    /// A task index was out of range.
+    UnknownTask {
+        /// The offending raw index.
+        index: usize,
+        /// Number of tasks in the graph.
+        task_count: usize,
+    },
+    /// An edge connects a task to itself.
+    SelfLoop {
+        /// Name of the task.
+        task: String,
+    },
+    /// The same directed edge was added twice.
+    DuplicateEdge {
+        /// Name of the source task.
+        src: String,
+        /// Name of the destination task.
+        dst: String,
+    },
+    /// The graph contains a dependency cycle.
+    Cycle {
+        /// Name of a task on the cycle.
+        task: String,
+    },
+    /// A task has no design points.
+    NoDesignPoints {
+        /// Name of the task.
+        task: String,
+    },
+    /// A design point has zero area, which would let the partitioner place
+    /// unboundedly many tasks in one partition.
+    ZeroAreaDesignPoint {
+        /// Name of the task.
+        task: String,
+        /// Name of the design point.
+        design_point: String,
+    },
+    /// Two tasks share the same name, which would make text round-trips
+    /// ambiguous.
+    DuplicateTaskName {
+        /// The duplicated name.
+        name: String,
+    },
+    /// A serialized task graph could not be parsed.
+    Parse {
+        /// 1-based line number of the offending input line.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Empty => write!(f, "task graph has no tasks"),
+            GraphError::UnknownTask { index, task_count } => {
+                write!(f, "task index {index} out of range for {task_count} tasks")
+            }
+            GraphError::SelfLoop { task } => write!(f, "task `{task}` depends on itself"),
+            GraphError::DuplicateEdge { src, dst } => {
+                write!(f, "duplicate edge `{src}` -> `{dst}`")
+            }
+            GraphError::Cycle { task } => {
+                write!(f, "dependency cycle through task `{task}`")
+            }
+            GraphError::NoDesignPoints { task } => {
+                write!(f, "task `{task}` has no design points")
+            }
+            GraphError::ZeroAreaDesignPoint { task, design_point } => {
+                write!(f, "design point `{design_point}` of task `{task}` has zero area")
+            }
+            GraphError::DuplicateTaskName { name } => {
+                write!(f, "duplicate task name `{name}`")
+            }
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(GraphError::Empty.to_string(), "task graph has no tasks");
+        assert_eq!(
+            GraphError::SelfLoop { task: "t".into() }.to_string(),
+            "task `t` depends on itself"
+        );
+        assert_eq!(
+            GraphError::Parse { line: 3, message: "bad".into() }.to_string(),
+            "parse error at line 3: bad"
+        );
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<GraphError>();
+    }
+}

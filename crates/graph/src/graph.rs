@@ -1,0 +1,412 @@
+//! The validated task graph.
+
+use crate::error::GraphError;
+use crate::quantity::{Area, Latency};
+use crate::task::Task;
+use std::collections::HashSet;
+use std::fmt;
+
+/// Index of a task within a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TaskId(pub(crate) usize);
+
+impl TaskId {
+    /// Raw index of the task in [`TaskGraph::tasks`].
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Builds a task id from a raw index. The id is only meaningful for the
+    /// graph whose task at that index is intended; passing it to another
+    /// graph addresses whatever task sits at the same position there.
+    pub const fn from_index(index: usize) -> TaskId {
+        TaskId(index)
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Index of an edge within a [`TaskGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EdgeId(pub(crate) usize);
+
+impl EdgeId {
+    /// Raw index of the edge in [`TaskGraph::edges`].
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for EdgeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+/// A directed data dependency `t_src → t_dst` carrying `B(t_src, t_dst)`
+/// data units.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    pub(crate) src: TaskId,
+    pub(crate) dst: TaskId,
+    pub(crate) data: u64,
+}
+
+impl Edge {
+    /// Source (producer) task.
+    pub fn src(&self) -> TaskId {
+        self.src
+    }
+
+    /// Destination (consumer) task.
+    pub fn dst(&self) -> TaskId {
+        self.dst
+    }
+
+    /// Data units communicated, `B(src, dst)`.
+    pub fn data(&self) -> u64 {
+        self.data
+    }
+}
+
+/// A validated, acyclic task graph: the behavioral specification input of the
+/// temporal partitioning system.
+///
+/// Construct one through [`TaskGraphBuilder`](crate::TaskGraphBuilder), which
+/// enforces the invariants documented there (acyclicity, unique names, at
+/// least one design point per task, positive design-point areas).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskGraph {
+    pub(crate) tasks: Vec<Task>,
+    pub(crate) edges: Vec<Edge>,
+    pub(crate) successors: Vec<Vec<TaskId>>,
+    pub(crate) predecessors: Vec<Vec<TaskId>>,
+    pub(crate) topo: Vec<TaskId>,
+}
+
+impl TaskGraph {
+    /// Validates and assembles a graph; used by the builder.
+    pub(crate) fn assemble(tasks: Vec<Task>, edges: Vec<Edge>) -> Result<Self, GraphError> {
+        if tasks.is_empty() {
+            return Err(GraphError::Empty);
+        }
+        let mut names = HashSet::new();
+        for t in &tasks {
+            if !names.insert(t.name().to_owned()) {
+                return Err(GraphError::DuplicateTaskName { name: t.name().to_owned() });
+            }
+            if t.design_points().is_empty() {
+                return Err(GraphError::NoDesignPoints { task: t.name().to_owned() });
+            }
+            for dp in t.design_points() {
+                if dp.area() == Area::ZERO {
+                    return Err(GraphError::ZeroAreaDesignPoint {
+                        task: t.name().to_owned(),
+                        design_point: dp.name().to_owned(),
+                    });
+                }
+            }
+        }
+        let n = tasks.len();
+        let mut seen_edges = HashSet::new();
+        let mut successors = vec![Vec::new(); n];
+        let mut predecessors = vec![Vec::new(); n];
+        for e in &edges {
+            for id in [e.src, e.dst] {
+                if id.0 >= n {
+                    return Err(GraphError::UnknownTask { index: id.0, task_count: n });
+                }
+            }
+            if e.src == e.dst {
+                return Err(GraphError::SelfLoop { task: tasks[e.src.0].name().to_owned() });
+            }
+            if !seen_edges.insert((e.src, e.dst)) {
+                return Err(GraphError::DuplicateEdge {
+                    src: tasks[e.src.0].name().to_owned(),
+                    dst: tasks[e.dst.0].name().to_owned(),
+                });
+            }
+            successors[e.src.0].push(e.dst);
+            predecessors[e.dst.0].push(e.src);
+        }
+        let topo = topological_order(n, &successors, &predecessors, &tasks)?;
+        Ok(TaskGraph { tasks, edges, successors, predecessors, topo })
+    }
+
+    /// Number of tasks `|T|`.
+    pub fn task_count(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Number of edges `|E|`.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// All tasks, indexable by [`TaskId::index`].
+    pub fn tasks(&self) -> &[Task] {
+        &self.tasks
+    }
+
+    /// All edges, indexable by [`EdgeId::index`].
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// The task with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn task(&self, id: TaskId) -> &Task {
+        &self.tasks[id.0]
+    }
+
+    /// The edge with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn edge(&self, id: EdgeId) -> &Edge {
+        &self.edges[id.0]
+    }
+
+    /// Iterator over all task ids in index order.
+    pub fn task_ids(&self) -> impl Iterator<Item = TaskId> + '_ {
+        (0..self.tasks.len()).map(TaskId)
+    }
+
+    /// Iterator over all edge ids in index order.
+    pub fn edge_ids(&self) -> impl Iterator<Item = EdgeId> + '_ {
+        (0..self.edges.len()).map(EdgeId)
+    }
+
+    /// Looks up a task by name.
+    pub fn task_by_name(&self, name: &str) -> Option<TaskId> {
+        self.tasks.iter().position(|t| t.name() == name).map(TaskId)
+    }
+
+    /// Direct successors of `id` (consumers of its data).
+    pub fn successors(&self, id: TaskId) -> &[TaskId] {
+        &self.successors[id.0]
+    }
+
+    /// Direct predecessors of `id` (producers it depends on).
+    pub fn predecessors(&self, id: TaskId) -> &[TaskId] {
+        &self.predecessors[id.0]
+    }
+
+    /// Tasks with no predecessors: the paper's root set `T_r`.
+    pub fn roots(&self) -> Vec<TaskId> {
+        self.task_ids().filter(|t| self.predecessors[t.0].is_empty()).collect()
+    }
+
+    /// Tasks with no successors: the paper's leaf set `T_l`.
+    pub fn leaves(&self) -> Vec<TaskId> {
+        self.task_ids().filter(|t| self.successors[t.0].is_empty()).collect()
+    }
+
+    /// A topological order of the tasks (dependencies before dependents).
+    pub fn topological_order(&self) -> &[TaskId] {
+        &self.topo
+    }
+
+    /// Sum of minimum-area design points over all tasks — the numerator of
+    /// the paper's `MinAreaPartitions()` bound `N_min^l`.
+    pub fn total_min_area(&self) -> Area {
+        self.tasks.iter().map(|t| t.min_area_point().area()).sum()
+    }
+
+    /// Sum of maximum-area design points over all tasks — the numerator of
+    /// the paper's `MaxAreaPartitions()` bound `N_min^u`.
+    pub fn total_max_area(&self) -> Area {
+        self.tasks.iter().map(|t| t.max_area_point().area()).sum()
+    }
+
+    /// Sum of maximum-latency design points over all tasks: the serial
+    /// worst-case execution time of the paper's `MaxLatency(N)` (excluding
+    /// reconfiguration overhead).
+    pub fn total_max_latency(&self) -> Latency {
+        self.tasks.iter().map(|t| t.max_latency_point().latency()).sum()
+    }
+
+    /// Longest root→leaf path latency when every task uses its
+    /// minimum-latency design point: the execution component of the paper's
+    /// `MinLatency(N)` lower bound.
+    ///
+    /// Computed by dynamic programming over the topological order, so it is
+    /// exact even when explicit path enumeration would blow up.
+    pub fn critical_path_min_latency(&self) -> Latency {
+        let mut best = vec![Latency::ZERO; self.tasks.len()];
+        let mut overall = Latency::ZERO;
+        for &t in &self.topo {
+            let own = self.tasks[t.0].min_latency_point().latency();
+            let pred_best = self.predecessors[t.0]
+                .iter()
+                .map(|p| best[p.0])
+                .fold(Latency::ZERO, Latency::max);
+            best[t.0] = pred_best + own;
+            overall = overall.max(best[t.0]);
+        }
+        overall
+    }
+
+    /// `true` if `ancestor` can reach `descendant` along directed edges.
+    pub fn reaches(&self, ancestor: TaskId, descendant: TaskId) -> bool {
+        if ancestor == descendant {
+            return true;
+        }
+        let mut stack = vec![ancestor];
+        let mut seen = vec![false; self.tasks.len()];
+        seen[ancestor.0] = true;
+        while let Some(t) = stack.pop() {
+            for &s in &self.successors[t.0] {
+                if s == descendant {
+                    return true;
+                }
+                if !seen[s.0] {
+                    seen[s.0] = true;
+                    stack.push(s);
+                }
+            }
+        }
+        false
+    }
+}
+
+fn topological_order(
+    n: usize,
+    successors: &[Vec<TaskId>],
+    predecessors: &[Vec<TaskId>],
+    tasks: &[Task],
+) -> Result<Vec<TaskId>, GraphError> {
+    let mut indegree: Vec<usize> = predecessors.iter().map(Vec::len).collect();
+    let mut ready: Vec<TaskId> =
+        (0..n).filter(|&i| indegree[i] == 0).map(TaskId).collect();
+    let mut order = Vec::with_capacity(n);
+    while let Some(t) = ready.pop() {
+        order.push(t);
+        for &s in &successors[t.0] {
+            indegree[s.0] -= 1;
+            if indegree[s.0] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+    if order.len() != n {
+        let on_cycle = (0..n).find(|&i| indegree[i] > 0).expect("cycle exists");
+        return Err(GraphError::Cycle { task: tasks[on_cycle].name().to_owned() });
+    }
+    Ok(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TaskGraphBuilder;
+    use crate::task::DesignPoint;
+
+    fn dp(area: u64, lat: f64) -> DesignPoint {
+        DesignPoint::new("dp", Area::new(area), Latency::from_ns(lat))
+    }
+
+    /// Diamond: a -> b, a -> c, b -> d, c -> d.
+    fn diamond() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("a").design_point(dp(10, 100.0)).finish();
+        let t_b = b.add_task("b").design_point(dp(20, 200.0)).finish();
+        let c = b.add_task("c").design_point(dp(30, 50.0)).finish();
+        let d = b.add_task("d").design_point(dp(40, 300.0)).finish();
+        b.add_edge(a, t_b, 1).unwrap();
+        b.add_edge(a, c, 1).unwrap();
+        b.add_edge(t_b, d, 1).unwrap();
+        b.add_edge(c, d, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roots_and_leaves() {
+        let g = diamond();
+        assert_eq!(g.roots(), vec![TaskId(0)]);
+        assert_eq!(g.leaves(), vec![TaskId(3)]);
+        assert_eq!(g.task_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn topological_order_respects_edges() {
+        let g = diamond();
+        let order = g.topological_order();
+        let pos: Vec<usize> =
+            g.task_ids().map(|t| order.iter().position(|&x| x == t).unwrap()).collect();
+        for e in g.edges() {
+            assert!(pos[e.src().index()] < pos[e.dst().index()]);
+        }
+    }
+
+    #[test]
+    fn critical_path_uses_min_latency_points() {
+        let g = diamond();
+        // a(100) -> b(200) -> d(300) = 600 is the longest chain.
+        assert_eq!(g.critical_path_min_latency().as_ns(), 600.0);
+    }
+
+    #[test]
+    fn critical_path_picks_fastest_design_point() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b
+            .add_task("a")
+            .design_point(dp(10, 500.0))
+            .design_point(DesignPoint::new("fast", Area::new(90), Latency::from_ns(100.0)))
+            .finish();
+        let c = b.add_task("c").design_point(dp(10, 50.0)).finish();
+        b.add_edge(a, c, 1).unwrap();
+        let g = b.build().unwrap();
+        assert_eq!(g.critical_path_min_latency().as_ns(), 150.0);
+    }
+
+    #[test]
+    fn totals() {
+        let g = diamond();
+        assert_eq!(g.total_min_area(), Area::new(100));
+        assert_eq!(g.total_max_area(), Area::new(100));
+        assert_eq!(g.total_max_latency().as_ns(), 650.0);
+    }
+
+    #[test]
+    fn reachability() {
+        let g = diamond();
+        assert!(g.reaches(TaskId(0), TaskId(3)));
+        assert!(g.reaches(TaskId(1), TaskId(3)));
+        assert!(!g.reaches(TaskId(1), TaskId(2)));
+        assert!(!g.reaches(TaskId(3), TaskId(0)));
+        assert!(g.reaches(TaskId(2), TaskId(2)));
+    }
+
+    #[test]
+    fn cycle_detected() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("a").design_point(dp(1, 1.0)).finish();
+        let c = b.add_task("b").design_point(dp(1, 1.0)).finish();
+        b.add_edge(a, c, 1).unwrap();
+        b.add_edge(c, a, 1).unwrap();
+        assert!(matches!(b.build(), Err(GraphError::Cycle { .. })));
+    }
+
+    #[test]
+    fn task_lookup_by_name() {
+        let g = diamond();
+        assert_eq!(g.task_by_name("c"), Some(TaskId(2)));
+        assert_eq!(g.task_by_name("zzz"), None);
+    }
+
+    #[test]
+    fn id_display() {
+        assert_eq!(TaskId(4).to_string(), "t4");
+        assert_eq!(EdgeId(2).to_string(), "e2");
+    }
+}

@@ -1,0 +1,55 @@
+//! Task-graph model for temporal partitioning of run-time reconfigurable
+//! designs.
+//!
+//! This crate implements the input model of Kaul & Vemuri (DATE 1999):
+//! a directed acyclic *task graph* whose vertices are behavioral tasks and
+//! whose edges carry the number of data units `B(t_i, t_j)` communicated
+//! between tasks. Every task owns a set of *design points* — alternative
+//! implementations produced by a high-level-synthesis estimator, each
+//! characterized by an area `R(m)` and a latency `D(m)` for its module set
+//! `m ∈ M_t`.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtr_graph::{TaskGraphBuilder, DesignPoint, Area, Latency};
+//!
+//! # fn main() -> Result<(), rtr_graph::GraphError> {
+//! let mut b = TaskGraphBuilder::new();
+//! let producer = b.add_task("producer")
+//!     .design_point(DesignPoint::new("small", Area::new(100), Latency::from_ns(40.0)))
+//!     .design_point(DesignPoint::new("fast", Area::new(220), Latency::from_ns(15.0)))
+//!     .env_input(4)
+//!     .finish();
+//! let consumer = b.add_task("consumer")
+//!     .design_point(DesignPoint::new("only", Area::new(150), Latency::from_ns(25.0)))
+//!     .env_output(1)
+//!     .finish();
+//! b.add_edge(producer, consumer, 2)?;
+//! let graph = b.build()?;
+//! assert_eq!(graph.task_count(), 2);
+//! assert_eq!(graph.roots(), vec![producer]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod dot;
+mod error;
+mod graph;
+mod paths;
+mod quantity;
+mod stats;
+mod task;
+mod textfmt;
+
+pub use builder::{TaskBuilder, TaskGraphBuilder};
+pub use error::GraphError;
+pub use graph::{Edge, EdgeId, TaskGraph, TaskId};
+pub use paths::{PathEnumeration, PathLimits};
+pub use quantity::{Area, Latency};
+pub use stats::GraphStats;
+pub use task::{DesignPoint, Task};

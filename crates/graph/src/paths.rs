@@ -1,0 +1,245 @@
+//! Root→leaf path enumeration.
+//!
+//! The paper's latency constraint (7) ranges over "all the paths in the task
+//! graph" from root tasks `T_r` to leaf tasks `T_l`. The number of such paths
+//! can be exponential in the number of tasks, so enumeration is guarded by
+//! [`PathLimits`]; callers that hit the cap learn how many paths were dropped
+//! instead of silently truncating.
+
+use crate::graph::{TaskGraph, TaskId};
+
+/// Limits for path enumeration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PathLimits {
+    /// Maximum number of paths to collect before giving up.
+    pub max_paths: usize,
+}
+
+impl PathLimits {
+    /// A generous default: enough for the paper's case studies (the DCT has
+    /// 64 paths) and typical clustered task graphs, small enough to keep ILP
+    /// model sizes sane.
+    pub const DEFAULT: PathLimits = PathLimits { max_paths: 100_000 };
+}
+
+impl Default for PathLimits {
+    fn default() -> Self {
+        PathLimits::DEFAULT
+    }
+}
+
+/// Result of enumerating root→leaf paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathEnumeration {
+    paths: Vec<Vec<TaskId>>,
+    truncated: bool,
+    total_path_count: Option<u128>,
+}
+
+impl PathEnumeration {
+    /// The collected paths, each a root→leaf task sequence.
+    pub fn paths(&self) -> &[Vec<TaskId>] {
+        &self.paths
+    }
+
+    /// `true` if the enumeration stopped early at [`PathLimits::max_paths`].
+    pub fn is_truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Exact number of root→leaf paths in the graph, computed by dynamic
+    /// programming (counting, not enumeration), or `None` if it overflows
+    /// `u128`.
+    pub fn total_path_count(&self) -> Option<u128> {
+        self.total_path_count
+    }
+
+    /// Consumes the enumeration and returns the paths.
+    pub fn into_paths(self) -> Vec<Vec<TaskId>> {
+        self.paths
+    }
+}
+
+/// Exact root→leaf path count by DP over the topological order; `None` on
+/// `u128` overflow.
+pub(crate) fn count_paths(graph: &TaskGraph) -> Option<u128> {
+    let n = graph.task_count();
+    let mut counts = vec![0u128; n];
+    let mut total: u128 = 0;
+    for &t in graph.topological_order() {
+        let c = if graph.predecessors(t).is_empty() {
+            1
+        } else {
+            let mut acc: u128 = 0;
+            for &p in graph.predecessors(t) {
+                acc = acc.checked_add(counts[p.index()])?;
+            }
+            acc
+        };
+        counts[t.index()] = c;
+        if graph.successors(t).is_empty() {
+            total = total.checked_add(c)?;
+        }
+    }
+    Some(total)
+}
+
+impl TaskGraph {
+    /// Enumerates root→leaf paths, the paper's set `P_{t_i ⇝ t_j}` over all
+    /// roots `t_i ∈ T_r` and leaves `t_j ∈ T_l`.
+    ///
+    /// Enumeration stops once `limits.max_paths` paths have been collected;
+    /// the result records whether truncation happened and the exact total
+    /// count.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rtr_graph::{TaskGraphBuilder, DesignPoint, Area, Latency, PathLimits};
+    /// # fn main() -> Result<(), rtr_graph::GraphError> {
+    /// let mut b = TaskGraphBuilder::new();
+    /// let dp = DesignPoint::new("m", Area::new(1), Latency::from_ns(1.0));
+    /// let a = b.add_task("a").design_point(dp.clone()).finish();
+    /// let c = b.add_task("c").design_point(dp.clone()).finish();
+    /// b.add_edge(a, c, 1)?;
+    /// let g = b.build()?;
+    /// let e = g.enumerate_paths(PathLimits::default());
+    /// assert_eq!(e.paths().len(), 1);
+    /// assert!(!e.is_truncated());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn enumerate_paths(&self, limits: PathLimits) -> PathEnumeration {
+        let total_path_count = count_paths(self);
+        let mut paths = Vec::new();
+        let mut truncated = false;
+        let mut current: Vec<TaskId> = Vec::new();
+        for root in self.roots() {
+            if truncated {
+                break;
+            }
+            dfs(self, root, &mut current, &mut paths, limits.max_paths, &mut truncated);
+        }
+        PathEnumeration { paths, truncated, total_path_count }
+    }
+}
+
+fn dfs(
+    graph: &TaskGraph,
+    t: TaskId,
+    current: &mut Vec<TaskId>,
+    out: &mut Vec<Vec<TaskId>>,
+    cap: usize,
+    truncated: &mut bool,
+) {
+    if *truncated {
+        return;
+    }
+    current.push(t);
+    if graph.successors(t).is_empty() {
+        if out.len() >= cap {
+            *truncated = true;
+        } else {
+            out.push(current.clone());
+        }
+    } else {
+        for &s in graph.successors(t) {
+            dfs(graph, s, current, out, cap, truncated);
+            if *truncated {
+                break;
+            }
+        }
+    }
+    current.pop();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TaskGraphBuilder;
+    use crate::quantity::{Area, Latency};
+    use crate::task::DesignPoint;
+
+    fn dp() -> DesignPoint {
+        DesignPoint::new("m", Area::new(1), Latency::from_ns(1.0))
+    }
+
+    fn chain(n: usize) -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let ids: Vec<_> =
+            (0..n).map(|i| b.add_task(format!("t{i}")).design_point(dp()).finish()).collect();
+        for w in ids.windows(2) {
+            b.add_edge(w[0], w[1], 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    /// k stacked diamonds: path count 2^k.
+    fn diamond_stack(k: usize) -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let mut prev = b.add_task("s0").design_point(dp()).finish();
+        for i in 0..k {
+            let l = b.add_task(format!("l{i}")).design_point(dp()).finish();
+            let r = b.add_task(format!("r{i}")).design_point(dp()).finish();
+            let join = b.add_task(format!("j{i}")).design_point(dp()).finish();
+            b.add_edge(prev, l, 1).unwrap();
+            b.add_edge(prev, r, 1).unwrap();
+            b.add_edge(l, join, 1).unwrap();
+            b.add_edge(r, join, 1).unwrap();
+            prev = join;
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn chain_has_one_path() {
+        let g = chain(5);
+        let e = g.enumerate_paths(PathLimits::default());
+        assert_eq!(e.paths().len(), 1);
+        assert_eq!(e.paths()[0].len(), 5);
+        assert_eq!(e.total_path_count(), Some(1));
+        assert!(!e.is_truncated());
+    }
+
+    #[test]
+    fn diamond_stack_path_count_is_exponential() {
+        let g = diamond_stack(6);
+        let e = g.enumerate_paths(PathLimits::default());
+        assert_eq!(e.paths().len(), 64);
+        assert_eq!(e.total_path_count(), Some(64));
+    }
+
+    #[test]
+    fn truncation_respects_cap_and_reports_total() {
+        let g = diamond_stack(6);
+        let e = g.enumerate_paths(PathLimits { max_paths: 10 });
+        assert_eq!(e.paths().len(), 10);
+        assert!(e.is_truncated());
+        assert_eq!(e.total_path_count(), Some(64));
+    }
+
+    #[test]
+    fn disconnected_tasks_are_their_own_paths() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task("a").design_point(dp()).finish();
+        b.add_task("b").design_point(dp()).finish();
+        let g = b.build().unwrap();
+        let e = g.enumerate_paths(PathLimits::default());
+        assert_eq!(e.paths().len(), 2);
+        assert!(e.paths().iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn every_path_starts_at_root_and_ends_at_leaf() {
+        let g = diamond_stack(3);
+        let roots = g.roots();
+        let leaves = g.leaves();
+        for p in g.enumerate_paths(PathLimits::default()).paths() {
+            assert!(roots.contains(&p[0]));
+            assert!(leaves.contains(p.last().unwrap()));
+            for w in p.windows(2) {
+                assert!(g.successors(w[0]).contains(&w[1]));
+            }
+        }
+    }
+}

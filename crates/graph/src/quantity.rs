@@ -1,0 +1,288 @@
+//! Strongly-typed quantities: FPGA area and latency.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// FPGA resource area, in device resource units (e.g. CLBs or function
+/// generators), the `R(m)` of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_graph::Area;
+/// let a = Area::new(180) + Area::new(216);
+/// assert_eq!(a.units(), 396);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Area(u64);
+
+impl Area {
+    /// The zero area.
+    pub const ZERO: Area = Area(0);
+
+    /// Creates an area of `units` device resource units.
+    pub const fn new(units: u64) -> Self {
+        Area(units)
+    }
+
+    /// Returns the raw number of resource units.
+    pub const fn units(self) -> u64 {
+        self.0
+    }
+
+    /// Saturating subtraction; clamps at zero.
+    pub const fn saturating_sub(self, rhs: Area) -> Area {
+        Area(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Number of partitions of capacity `capacity` needed to hold this much
+    /// area, ignoring fragmentation (the ⌈·⌉ of the paper's partition-bound
+    /// estimates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn partitions_needed(self, capacity: Area) -> u32 {
+        assert!(capacity.0 > 0, "partition capacity must be positive");
+        self.0.div_ceil(capacity.0) as u32
+    }
+}
+
+impl Add for Area {
+    type Output = Area;
+    fn add(self, rhs: Area) -> Area {
+        Area(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Area {
+    fn add_assign(&mut self, rhs: Area) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Area {
+    type Output = Area;
+    fn sub(self, rhs: Area) -> Area {
+        Area(self.0 - rhs.0)
+    }
+}
+
+impl Mul<u64> for Area {
+    type Output = Area;
+    fn mul(self, rhs: u64) -> Area {
+        Area(self.0 * rhs)
+    }
+}
+
+impl Sum for Area {
+    fn sum<I: Iterator<Item = Area>>(iter: I) -> Area {
+        Area(iter.map(|a| a.0).sum())
+    }
+}
+
+impl fmt::Display for Area {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Execution or reconfiguration latency, stored in nanoseconds; the `D(m)`
+/// and `C_T` of the paper.
+///
+/// The paper expresses design-point latency "in terms of total execution time
+/// and not in number of clock cycles"; nanoseconds are its base unit, with
+/// reconfiguration overheads ranging up to milliseconds.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_graph::Latency;
+/// let d = Latency::from_ns(430.0) + Latency::from_ns(475.0);
+/// assert_eq!(d.as_ns(), 905.0);
+/// assert!(Latency::from_ms(1.0) > d);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Latency(f64);
+
+impl Latency {
+    /// The zero latency.
+    pub const ZERO: Latency = Latency(0.0);
+
+    /// Creates a latency of `ns` nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or not finite.
+    pub fn from_ns(ns: f64) -> Self {
+        assert!(ns.is_finite() && ns >= 0.0, "latency must be finite and non-negative");
+        Latency(ns)
+    }
+
+    /// Creates a latency of `us` microseconds.
+    pub fn from_us(us: f64) -> Self {
+        Latency::from_ns(us * 1e3)
+    }
+
+    /// Creates a latency of `ms` milliseconds.
+    pub fn from_ms(ms: f64) -> Self {
+        Latency::from_ns(ms * 1e6)
+    }
+
+    /// Returns the latency in nanoseconds.
+    pub const fn as_ns(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the latency in milliseconds.
+    pub fn as_ms(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// Returns the larger of two latencies.
+    pub fn max(self, other: Latency) -> Latency {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the smaller of two latencies.
+    pub fn min(self, other: Latency) -> Latency {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Total-order comparison (via [`f64::total_cmp`]), for sorting.
+    pub fn total_cmp(&self, other: &Latency) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+
+    /// Saturating subtraction; clamps at zero.
+    pub fn saturating_sub(self, rhs: Latency) -> Latency {
+        Latency((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl Add for Latency {
+    type Output = Latency;
+    fn add(self, rhs: Latency) -> Latency {
+        Latency(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Latency {
+    fn add_assign(&mut self, rhs: Latency) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<f64> for Latency {
+    type Output = Latency;
+    fn mul(self, rhs: f64) -> Latency {
+        Latency(self.0 * rhs)
+    }
+}
+
+impl Mul<u32> for Latency {
+    type Output = Latency;
+    fn mul(self, rhs: u32) -> Latency {
+        Latency(self.0 * f64::from(rhs))
+    }
+}
+
+impl Sum for Latency {
+    fn sum<I: Iterator<Item = Latency>>(iter: I) -> Latency {
+        Latency(iter.map(|l| l.0).sum())
+    }
+}
+
+impl fmt::Display for Latency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1e6 {
+            write!(f, "{:.3} ms", self.0 / 1e6)
+        } else if self.0 >= 1e3 {
+            write!(f, "{:.3} µs", self.0 / 1e3)
+        } else {
+            // Round to 0.1 ns to hide floating-point dust.
+            let v = (self.0 * 10.0).round() / 10.0;
+            if v.fract() == 0.0 {
+                write!(f, "{v} ns")
+            } else {
+                write!(f, "{v:.1} ns")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_arithmetic() {
+        assert_eq!(Area::new(3) + Area::new(4), Area::new(7));
+        assert_eq!(Area::new(10) - Area::new(4), Area::new(6));
+        assert_eq!(Area::new(10).saturating_sub(Area::new(40)), Area::ZERO);
+        assert_eq!(Area::new(7) * 3, Area::new(21));
+        let total: Area = [Area::new(1), Area::new(2), Area::new(3)].into_iter().sum();
+        assert_eq!(total, Area::new(6));
+    }
+
+    #[test]
+    fn partitions_needed_rounds_up() {
+        assert_eq!(Area::new(4480).partitions_needed(Area::new(576)), 8);
+        assert_eq!(Area::new(4480).partitions_needed(Area::new(1024)), 5);
+        assert_eq!(Area::new(6240).partitions_needed(Area::new(576)), 11);
+        assert_eq!(Area::new(576).partitions_needed(Area::new(576)), 1);
+        assert_eq!(Area::new(577).partitions_needed(Area::new(576)), 2);
+        assert_eq!(Area::ZERO.partitions_needed(Area::new(576)), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn partitions_needed_zero_capacity_panics() {
+        let _ = Area::new(1).partitions_needed(Area::ZERO);
+    }
+
+    #[test]
+    fn latency_units() {
+        assert_eq!(Latency::from_us(1.5).as_ns(), 1500.0);
+        assert_eq!(Latency::from_ms(10.0).as_ns(), 1e7);
+        assert_eq!(Latency::from_ms(2.0).as_ms(), 2.0);
+    }
+
+    #[test]
+    fn latency_arithmetic_and_order() {
+        let a = Latency::from_ns(100.0);
+        let b = Latency::from_ns(250.0);
+        assert_eq!(a + b, Latency::from_ns(350.0));
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+        assert_eq!(b * 2.0, Latency::from_ns(500.0));
+        assert_eq!(b * 3u32, Latency::from_ns(750.0));
+        assert_eq!(b.saturating_sub(a), Latency::from_ns(150.0));
+        assert_eq!(a.saturating_sub(b), Latency::ZERO);
+        let total: Latency = [a, b].into_iter().sum();
+        assert_eq!(total.as_ns(), 350.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_latency_panics() {
+        let _ = Latency::from_ns(-1.0);
+    }
+
+    #[test]
+    fn display_picks_scale() {
+        assert_eq!(Latency::from_ns(905.0).to_string(), "905 ns");
+        assert_eq!(Latency::from_ns(25_440.0).to_string(), "25.440 µs");
+        assert_eq!(Latency::from_ms(10.0).to_string(), "10.000 ms");
+        assert_eq!(Area::new(576).to_string(), "576");
+    }
+}

@@ -1,0 +1,187 @@
+//! Structural statistics of a task graph.
+
+use crate::graph::TaskGraph;
+use crate::quantity::Latency;
+use std::fmt;
+
+/// Aggregate shape metrics of a task graph, useful for sizing devices and
+/// explaining partitioner behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Number of edges.
+    pub edges: usize,
+    /// Number of root tasks (the paper's `T_r`).
+    pub roots: usize,
+    /// Number of leaf tasks (`T_l`).
+    pub leaves: usize,
+    /// Length (in tasks) of the longest dependency chain.
+    pub depth: usize,
+    /// Maximum number of tasks at one depth level (graph width).
+    pub width: usize,
+    /// Mean out-degree over non-leaf tasks.
+    pub mean_fanout: f64,
+    /// Total data volume on all edges.
+    pub edge_data: u64,
+    /// Total environment input volume `Σ B(env, t)`.
+    pub env_input: u64,
+    /// Total environment output volume `Σ B(t, env)`.
+    pub env_output: u64,
+    /// Mean number of design points per task.
+    pub mean_design_points: f64,
+    /// Serial work: the sum of min-latency design points (a lower bound on
+    /// single-FU execution).
+    pub min_work: Latency,
+    /// Min-latency critical path.
+    pub critical_path: Latency,
+}
+
+impl GraphStats {
+    /// Intrinsic parallelism: serial work divided by the critical path
+    /// (1.0 for a pure chain).
+    pub fn parallelism(&self) -> f64 {
+        if self.critical_path > Latency::ZERO {
+            self.min_work.as_ns() / self.critical_path.as_ns()
+        } else {
+            0.0
+        }
+    }
+}
+
+impl fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} tasks, {} edges ({} roots, {} leaves), depth {}, width {}",
+            self.tasks, self.edges, self.roots, self.leaves, self.depth, self.width
+        )?;
+        writeln!(
+            f,
+            "fanout {:.2}, {:.1} design points/task, edge data {} + env {}/{} words",
+            self.mean_fanout, self.mean_design_points, self.edge_data, self.env_input,
+            self.env_output
+        )?;
+        write!(
+            f,
+            "work {} over critical path {} (parallelism {:.2})",
+            self.min_work,
+            self.critical_path,
+            self.parallelism()
+        )
+    }
+}
+
+impl TaskGraph {
+    /// Computes [`GraphStats`] for this graph.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use rtr_graph::{TaskGraphBuilder, DesignPoint, Area, Latency};
+    /// # let mut b = TaskGraphBuilder::new();
+    /// # let dp = DesignPoint::new("m", Area::new(1), Latency::from_ns(10.0));
+    /// # let a = b.add_task("a").design_point(dp.clone()).finish();
+    /// # let c = b.add_task("c").design_point(dp).finish();
+    /// # b.add_edge(a, c, 1).unwrap();
+    /// # let g = b.build().unwrap();
+    /// let stats = g.stats();
+    /// assert_eq!(stats.depth, 2);
+    /// assert_eq!(stats.parallelism(), 1.0);
+    /// ```
+    pub fn stats(&self) -> GraphStats {
+        let mut level = vec![0usize; self.task_count()];
+        for &t in self.topological_order() {
+            level[t.index()] = self
+                .predecessors(t)
+                .iter()
+                .map(|p| level[p.index()] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        let depth = level.iter().copied().max().unwrap_or(0) + 1;
+        let mut width_at = vec![0usize; depth];
+        for &l in &level {
+            width_at[l] += 1;
+        }
+        let non_leaves = self
+            .task_ids()
+            .filter(|&t| !self.successors(t).is_empty())
+            .count();
+        let mean_fanout = if non_leaves > 0 {
+            self.edge_count() as f64 / non_leaves as f64
+        } else {
+            0.0
+        };
+        GraphStats {
+            tasks: self.task_count(),
+            edges: self.edge_count(),
+            roots: self.roots().len(),
+            leaves: self.leaves().len(),
+            depth,
+            width: width_at.into_iter().max().unwrap_or(0),
+            mean_fanout,
+            edge_data: self.edges().iter().map(|e| e.data()).sum(),
+            env_input: self.tasks().iter().map(|t| t.env_input()).sum(),
+            env_output: self.tasks().iter().map(|t| t.env_output()).sum(),
+            mean_design_points: self
+                .tasks()
+                .iter()
+                .map(|t| t.design_points().len())
+                .sum::<usize>() as f64
+                / self.task_count() as f64,
+            min_work: self.tasks().iter().map(|t| t.min_latency_point().latency()).sum(),
+            critical_path: self.critical_path_min_latency(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TaskGraphBuilder;
+    use crate::quantity::Area;
+    use crate::task::DesignPoint;
+
+    fn dp(lat: f64) -> DesignPoint {
+        DesignPoint::new("m", Area::new(10), Latency::from_ns(lat))
+    }
+
+    #[test]
+    fn diamond_stats() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("a").design_point(dp(100.0)).env_input(4).finish();
+        let l = b.add_task("l").design_point(dp(200.0)).finish();
+        let r = b.add_task("r").design_point(dp(50.0)).finish();
+        let j = b.add_task("j").design_point(dp(100.0)).env_output(1).finish();
+        b.add_edge(a, l, 2).unwrap();
+        b.add_edge(a, r, 3).unwrap();
+        b.add_edge(l, j, 1).unwrap();
+        b.add_edge(r, j, 1).unwrap();
+        let s = b.build().unwrap().stats();
+        assert_eq!(s.tasks, 4);
+        assert_eq!(s.edges, 4);
+        assert_eq!(s.roots, 1);
+        assert_eq!(s.leaves, 1);
+        assert_eq!(s.depth, 3);
+        assert_eq!(s.width, 2);
+        assert_eq!(s.edge_data, 7);
+        assert_eq!(s.env_input, 4);
+        assert_eq!(s.env_output, 1);
+        assert_eq!(s.min_work.as_ns(), 450.0);
+        assert_eq!(s.critical_path.as_ns(), 400.0);
+        assert!((s.parallelism() - 450.0 / 400.0).abs() < 1e-9);
+        // mean fanout: 4 edges over 3 non-leaf tasks.
+        assert!((s.mean_fanout - 4.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_three_lines() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task("only").design_point(dp(5.0)).finish();
+        let s = b.build().unwrap().stats();
+        assert_eq!(s.to_string().lines().count(), 3);
+        assert_eq!(s.depth, 1);
+        assert_eq!(s.mean_fanout, 0.0);
+    }
+}

@@ -1,0 +1,266 @@
+//! Tasks and their synthesized design points.
+
+use crate::quantity::{Area, Latency};
+use std::fmt;
+
+/// One synthesized implementation alternative for a task: the paper's design
+/// point with module set `m ∈ M_t`, area `R(m)` and latency `D(m)`.
+///
+/// Design points normally come from a high-level-synthesis estimator (see the
+/// `rtr-hls` crate); they can also be entered directly, as the DCT case study
+/// does with its published design-point table.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_graph::{DesignPoint, Area, Latency};
+/// let dp = DesignPoint::new("2mul-1add", Area::new(155), Latency::from_ns(580.0));
+/// assert_eq!(dp.area(), Area::new(155));
+/// assert_eq!(dp.latency().as_ns(), 580.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignPoint {
+    name: String,
+    area: Area,
+    latency: Latency,
+    secondary: Vec<u64>,
+}
+
+impl DesignPoint {
+    /// Creates a design point with the given module-set `name`, `area`, and
+    /// `latency`.
+    pub fn new(name: impl Into<String>, area: Area, latency: Latency) -> Self {
+        DesignPoint { name: name.into(), area, latency, secondary: Vec::new() }
+    }
+
+    /// Adds consumption of *secondary resource classes* (the paper's
+    /// "Similar equations can be added if multiple resource types exist in
+    /// the FPGA" — e.g. dedicated multipliers or block RAMs, indexed by
+    /// class). Entries beyond the vector's length count as 0.
+    pub fn with_secondary(mut self, secondary: Vec<u64>) -> Self {
+        self.secondary = secondary;
+        self
+    }
+
+    /// Name of the module set implementing this design point.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The FPGA area `R(m)` consumed by this design point.
+    pub fn area(&self) -> Area {
+        self.area
+    }
+
+    /// The execution latency `D(m)` of this design point.
+    pub fn latency(&self) -> Latency {
+        self.latency
+    }
+
+    /// Secondary resource consumption per class (empty for points that use
+    /// only the primary area resource).
+    pub fn secondary(&self) -> &[u64] {
+        &self.secondary
+    }
+
+    /// Consumption of secondary class `class` (0 beyond the vector).
+    pub fn secondary_usage(&self, class: usize) -> u64 {
+        self.secondary.get(class).copied().unwrap_or(0)
+    }
+
+    /// `true` if `self` is dominated by `other`: `other` is no larger (in
+    /// area and every secondary class) and no slower, and strictly better in
+    /// at least one dimension.
+    pub fn is_dominated_by(&self, other: &DesignPoint) -> bool {
+        let classes = self.secondary.len().max(other.secondary.len());
+        let secondary_no_worse =
+            (0..classes).all(|k| other.secondary_usage(k) <= self.secondary_usage(k));
+        let secondary_strictly_better =
+            (0..classes).any(|k| other.secondary_usage(k) < self.secondary_usage(k));
+        let no_worse =
+            other.area <= self.area && other.latency <= self.latency && secondary_no_worse;
+        let strictly_better = other.area < self.area
+            || other.latency < self.latency
+            || secondary_strictly_better;
+        no_worse && strictly_better
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} (area {}, {})", self.name, self.area, self.latency)
+    }
+}
+
+/// A behavioral task: a vertex of the task graph, with its set of design
+/// points `M_t` and its environment I/O volumes `B(env, t)` and `B(t, env)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Task {
+    name: String,
+    design_points: Vec<DesignPoint>,
+    env_input: u64,
+    env_output: u64,
+}
+
+impl Task {
+    pub(crate) fn new(
+        name: String,
+        design_points: Vec<DesignPoint>,
+        env_input: u64,
+        env_output: u64,
+    ) -> Self {
+        Task { name, design_points, env_input, env_output }
+    }
+
+    /// Task name (unique within a graph).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The design points `M_t` available for this task.
+    pub fn design_points(&self) -> &[DesignPoint] {
+        &self.design_points
+    }
+
+    /// Data units read from the environment, `B(env, t)`.
+    pub fn env_input(&self) -> u64 {
+        self.env_input
+    }
+
+    /// Data units written to the environment, `B(t, env)`.
+    pub fn env_output(&self) -> u64 {
+        self.env_output
+    }
+
+    /// The design point with minimum area (ties broken by lower latency).
+    ///
+    /// This is the `min(R(m))` selection of the paper's
+    /// `MinAreaPartitions()` bound.
+    pub fn min_area_point(&self) -> &DesignPoint {
+        self.design_points
+            .iter()
+            .min_by(|a, b| {
+                a.area().cmp(&b.area()).then(a.latency().total_cmp(&b.latency()))
+            })
+            .expect("validated tasks have at least one design point")
+    }
+
+    /// The design point with maximum area (ties broken by lower latency);
+    /// the `max(R(m))` selection of `MaxAreaPartitions()`.
+    pub fn max_area_point(&self) -> &DesignPoint {
+        self.design_points
+            .iter()
+            .max_by(|a, b| {
+                a.area().cmp(&b.area()).then(b.latency().total_cmp(&a.latency()))
+            })
+            .expect("validated tasks have at least one design point")
+    }
+
+    /// The design point with minimum latency (ties broken by smaller area);
+    /// used by the paper's `MinLatency(N)` lower bound.
+    pub fn min_latency_point(&self) -> &DesignPoint {
+        self.design_points
+            .iter()
+            .min_by(|a, b| {
+                a.latency().total_cmp(&b.latency()).then(a.area().cmp(&b.area()))
+            })
+            .expect("validated tasks have at least one design point")
+    }
+
+    /// The design point with maximum latency (ties broken by smaller area);
+    /// used by the paper's `MaxLatency(N)` upper bound.
+    pub fn max_latency_point(&self) -> &DesignPoint {
+        self.design_points
+            .iter()
+            .max_by(|a, b| {
+                a.latency().total_cmp(&b.latency()).then(b.area().cmp(&a.area()))
+            })
+            .expect("validated tasks have at least one design point")
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{} design points]", self.name, self.design_points.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dp(name: &str, area: u64, lat: f64) -> DesignPoint {
+        DesignPoint::new(name, Area::new(area), Latency::from_ns(lat))
+    }
+
+    #[test]
+    fn secondary_resources_default_empty() {
+        let p = dp("a", 100, 800.0);
+        assert!(p.secondary().is_empty());
+        assert_eq!(p.secondary_usage(0), 0);
+        assert_eq!(p.secondary_usage(7), 0);
+        let q = dp("b", 100, 800.0).with_secondary(vec![2, 0, 1]);
+        assert_eq!(q.secondary_usage(0), 2);
+        assert_eq!(q.secondary_usage(2), 1);
+        assert_eq!(q.secondary_usage(3), 0);
+    }
+
+    #[test]
+    fn dominance_considers_secondary_classes() {
+        let cheap_dsp = dp("a", 100, 800.0).with_secondary(vec![1]);
+        let many_dsp = dp("b", 100, 800.0).with_secondary(vec![4]);
+        // Same area and latency, fewer DSPs: `a` dominates `b`.
+        assert!(many_dsp.is_dominated_by(&cheap_dsp));
+        assert!(!cheap_dsp.is_dominated_by(&many_dsp));
+        // Smaller area but more DSPs: incomparable.
+        let small_hungry = dp("c", 50, 800.0).with_secondary(vec![4]);
+        assert!(!small_hungry.is_dominated_by(&cheap_dsp));
+        assert!(!cheap_dsp.is_dominated_by(&small_hungry));
+    }
+
+    #[test]
+    fn dominance() {
+        let small_slow = dp("a", 100, 800.0);
+        let big_fast = dp("b", 200, 400.0);
+        let big_slow = dp("c", 200, 800.0);
+        assert!(!small_slow.is_dominated_by(&big_fast));
+        assert!(!big_fast.is_dominated_by(&small_slow));
+        assert!(big_slow.is_dominated_by(&small_slow));
+        assert!(big_slow.is_dominated_by(&big_fast));
+        assert!(!big_slow.is_dominated_by(&big_slow), "a point never dominates itself");
+    }
+
+    #[test]
+    fn extreme_point_selectors() {
+        let t = Task::new(
+            "t".into(),
+            vec![dp("mid", 155, 580.0), dp("small", 130, 790.0), dp("big", 180, 430.0)],
+            0,
+            0,
+        );
+        assert_eq!(t.min_area_point().name(), "small");
+        assert_eq!(t.max_area_point().name(), "big");
+        assert_eq!(t.min_latency_point().name(), "big");
+        assert_eq!(t.max_latency_point().name(), "small");
+    }
+
+    #[test]
+    fn tie_breaking_prefers_pareto_points() {
+        // Same area, different latency: min_area should pick the faster one.
+        let t = Task::new("t".into(), vec![dp("slow", 100, 900.0), dp("fast", 100, 300.0)], 0, 0);
+        assert_eq!(t.min_area_point().name(), "fast");
+        assert_eq!(t.max_area_point().name(), "fast");
+        // Same latency, different area: min_latency should pick the smaller one.
+        let t =
+            Task::new("t".into(), vec![dp("big", 300, 500.0), dp("small", 120, 500.0)], 0, 0);
+        assert_eq!(t.min_latency_point().name(), "small");
+        assert_eq!(t.max_latency_point().name(), "small");
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(dp("m1", 130, 790.0).to_string(), "m1 (area 130, 790 ns)");
+        let t = Task::new("vp0".into(), vec![dp("m1", 130, 790.0)], 4, 0);
+        assert_eq!(t.to_string(), "vp0 [1 design points]");
+    }
+}

@@ -1,0 +1,283 @@
+//! A small, self-contained text format for task graphs.
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! # comment
+//! task <name> env_in=<units> env_out=<units>
+//!   dp <name> area=<units> latency_ns=<f64>
+//! edge <src_name> -> <dst_name> data=<units>
+//! ```
+//!
+//! Task names containing whitespace are not supported; the builders used in
+//! this workspace never produce them.
+
+use crate::builder::TaskGraphBuilder;
+use crate::error::GraphError;
+use crate::graph::TaskGraph;
+use crate::quantity::{Area, Latency};
+use crate::task::DesignPoint;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+impl TaskGraph {
+    /// Serializes the graph into the text format described in the module
+    /// documentation.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for t in self.tasks() {
+            let _ = writeln!(
+                out,
+                "task {} env_in={} env_out={}",
+                t.name(),
+                t.env_input(),
+                t.env_output()
+            );
+            for dp in t.design_points() {
+                let _ = write!(
+                    out,
+                    "  dp {} area={} latency_ns={}",
+                    dp.name(),
+                    dp.area().units(),
+                    dp.latency().as_ns()
+                );
+                if !dp.secondary().is_empty() {
+                    let list: Vec<String> =
+                        dp.secondary().iter().map(u64::to_string).collect();
+                    let _ = write!(out, " secondary={}", list.join(","));
+                }
+                out.push('\n');
+            }
+        }
+        for e in self.edges() {
+            let _ = writeln!(
+                out,
+                "edge {} -> {} data={}",
+                self.task(e.src()).name(),
+                self.task(e.dst()).name(),
+                e.data()
+            );
+        }
+        out
+    }
+
+    /// Parses a graph from the text format produced by
+    /// [`to_text`](Self::to_text).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::Parse`] for malformed input, or any validation
+    /// error of [`TaskGraphBuilder::build`].
+    pub fn from_text(input: &str) -> Result<TaskGraph, GraphError> {
+        let mut builder = TaskGraphBuilder::new();
+        let mut ids = HashMap::new();
+        // Pending task being assembled: (name, env_in, env_out, design points).
+        let mut pending: Option<(String, u64, u64, Vec<DesignPoint>)> = None;
+        let mut edges: Vec<(String, String, u64, usize)> = Vec::new();
+
+        let flush =
+            |builder: &mut TaskGraphBuilder,
+             ids: &mut HashMap<String, crate::graph::TaskId>,
+             pending: &mut Option<(String, u64, u64, Vec<DesignPoint>)>| {
+                if let Some((name, env_in, env_out, dps)) = pending.take() {
+                    let id = builder
+                        .add_task(name.clone())
+                        .design_points(dps)
+                        .env_input(env_in)
+                        .env_output(env_out)
+                        .finish();
+                    ids.insert(name, id);
+                }
+            };
+
+        for (lineno, raw) in input.lines().enumerate() {
+            let line = raw.trim();
+            let lineno = lineno + 1;
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut words = line.split_whitespace();
+            match words.next() {
+                Some("task") => {
+                    flush(&mut builder, &mut ids, &mut pending);
+                    let name = words
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing task name"))?
+                        .to_owned();
+                    let env_in = parse_kv(words.next(), "env_in", lineno)?;
+                    let env_out = parse_kv(words.next(), "env_out", lineno)?;
+                    pending = Some((name, env_in, env_out, Vec::new()));
+                }
+                Some("dp") => {
+                    let (_, _, _, dps) = pending
+                        .as_mut()
+                        .ok_or_else(|| parse_err(lineno, "dp line before any task"))?;
+                    let name = words
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing design point name"))?;
+                    let area: u64 = parse_kv(words.next(), "area", lineno)?;
+                    let latency: f64 = parse_kv(words.next(), "latency_ns", lineno)?;
+                    if !latency.is_finite() || latency < 0.0 {
+                        return Err(parse_err(lineno, "latency must be finite and non-negative"));
+                    }
+                    let mut point =
+                        DesignPoint::new(name, Area::new(area), Latency::from_ns(latency));
+                    if let Some(word) = words.next() {
+                        let list: String = parse_kv(Some(word), "secondary", lineno)?;
+                        let secondary: Result<Vec<u64>, _> =
+                            list.split(',').map(str::parse).collect();
+                        let secondary = secondary.map_err(|_| {
+                            parse_err(lineno, &format!("invalid `secondary` list `{list}`"))
+                        })?;
+                        point = point.with_secondary(secondary);
+                    }
+                    dps.push(point);
+                }
+                Some("edge") => {
+                    let src = words
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing edge source"))?
+                        .to_owned();
+                    match words.next() {
+                        Some("->") => {}
+                        _ => return Err(parse_err(lineno, "expected `->`")),
+                    }
+                    let dst = words
+                        .next()
+                        .ok_or_else(|| parse_err(lineno, "missing edge destination"))?
+                        .to_owned();
+                    let data: u64 = parse_kv(words.next(), "data", lineno)?;
+                    edges.push((src, dst, data, lineno));
+                }
+                Some(other) => {
+                    return Err(parse_err(lineno, &format!("unknown directive `{other}`")));
+                }
+                None => unreachable!("blank lines were skipped"),
+            }
+        }
+        flush(&mut builder, &mut ids, &mut pending);
+
+        for (src, dst, data, lineno) in edges {
+            let &s = ids
+                .get(&src)
+                .ok_or_else(|| parse_err(lineno, &format!("unknown task `{src}`")))?;
+            let &d = ids
+                .get(&dst)
+                .ok_or_else(|| parse_err(lineno, &format!("unknown task `{dst}`")))?;
+            builder.add_edge(s, d, data)?;
+        }
+        builder.build()
+    }
+}
+
+fn parse_err(line: usize, message: &str) -> GraphError {
+    GraphError::Parse { line, message: message.to_owned() }
+}
+
+fn parse_kv<T: std::str::FromStr>(
+    word: Option<&str>,
+    key: &str,
+    lineno: usize,
+) -> Result<T, GraphError> {
+    let word = word.ok_or_else(|| parse_err(lineno, &format!("missing `{key}=`")))?;
+    let value = word
+        .strip_prefix(key)
+        .and_then(|rest| rest.strip_prefix('='))
+        .ok_or_else(|| parse_err(lineno, &format!("expected `{key}=<value>`, got `{word}`")))?;
+    value
+        .parse()
+        .map_err(|_| parse_err(lineno, &format!("invalid value for `{key}`: `{value}`")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let a = b
+            .add_task("a")
+            .design_point(DesignPoint::new("s", Area::new(10), Latency::from_ns(100.0)))
+            .design_point(DesignPoint::new("f", Area::new(25), Latency::from_ns(40.5)))
+            .env_input(4)
+            .finish();
+        let c = b
+            .add_task("c")
+            .design_point(DesignPoint::new("only", Area::new(12), Latency::from_ns(55.0)))
+            .env_output(1)
+            .finish();
+        b.add_edge(a, c, 3).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn secondary_resources_round_trip() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task("dsp")
+            .design_point(
+                DesignPoint::new("m", Area::new(10), Latency::from_ns(5.0))
+                    .with_secondary(vec![3, 0, 1]),
+            )
+            .finish();
+        let g = b.build().unwrap();
+        let text = g.to_text();
+        assert!(text.contains("secondary=3,0,1"));
+        assert_eq!(TaskGraph::from_text(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn bad_secondary_list_is_an_error() {
+        let text = "task a env_in=0 env_out=0\n dp m area=1 latency_ns=1 secondary=1,x\n";
+        assert!(matches!(TaskGraph::from_text(text), Err(GraphError::Parse { line: 2, .. })));
+    }
+
+    #[test]
+    fn round_trip() {
+        let g = sample();
+        let text = g.to_text();
+        let parsed = TaskGraph::from_text(&text).unwrap();
+        assert_eq!(g, parsed);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# header\ntask a env_in=0 env_out=0\n  dp m area=1 latency_ns=2\n\n";
+        let g = TaskGraph::from_text(text).unwrap();
+        assert_eq!(g.task_count(), 1);
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let text = "task a env_in=0 env_out=0\n  dp m area=x latency_ns=2\n";
+        match TaskGraph::from_text(text) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dp_before_task_is_an_error() {
+        assert!(matches!(
+            TaskGraph::from_text("dp m area=1 latency_ns=1\n"),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn edge_with_unknown_task_is_an_error() {
+        let text = "task a env_in=0 env_out=0\n dp m area=1 latency_ns=1\nedge a -> ghost data=1\n";
+        assert!(matches!(TaskGraph::from_text(text), Err(GraphError::Parse { line: 3, .. })));
+    }
+
+    #[test]
+    fn malformed_arrow_is_an_error() {
+        let text = "task a env_in=0 env_out=0\n dp m area=1 latency_ns=1\nedge a => a data=1\n";
+        assert!(matches!(TaskGraph::from_text(text), Err(GraphError::Parse { .. })));
+    }
+
+    #[test]
+    fn negative_latency_rejected() {
+        let text = "task a env_in=0 env_out=0\n dp m area=1 latency_ns=-5\n";
+        assert!(matches!(TaskGraph::from_text(text), Err(GraphError::Parse { line: 2, .. })));
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for HLS estimation.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while building or synthesizing a behavioral task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HlsError {
+    /// The behavioral task has no operations.
+    EmptyTask {
+        /// Task name.
+        task: String,
+    },
+    /// An operation referenced a dependency that does not exist yet
+    /// (operations must be added in dataflow order).
+    UnknownDependency {
+        /// Task name.
+        task: String,
+        /// Raw index of the unknown operation.
+        index: usize,
+    },
+    /// An operation was declared with a zero bit width.
+    ZeroWidth {
+        /// Task name.
+        task: String,
+    },
+    /// Allocation enumeration was asked for zero functional units of a kind
+    /// the task uses.
+    EmptyAllocation {
+        /// The operation kind with no functional units.
+        kind: String,
+    },
+}
+
+impl fmt::Display for HlsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HlsError::EmptyTask { task } => write!(f, "behavioral task `{task}` has no operations"),
+            HlsError::UnknownDependency { task, index } => {
+                write!(f, "task `{task}` references unknown operation {index}")
+            }
+            HlsError::ZeroWidth { task } => {
+                write!(f, "task `{task}` has an operation with zero bit width")
+            }
+            HlsError::EmptyAllocation { kind } => {
+                write!(f, "allocation provides no functional unit for `{kind}` operations")
+            }
+        }
+    }
+}
+
+impl Error for HlsError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            HlsError::EmptyTask { task: "t".into() }.to_string(),
+            "behavioral task `t` has no operations"
+        );
+    }
+}

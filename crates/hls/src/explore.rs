@@ -1,0 +1,288 @@
+//! Design-space exploration: allocation enumeration and Pareto pruning.
+
+use crate::error::HlsError;
+use crate::library::FuLibrary;
+use crate::op::BehavioralTask;
+use crate::schedule::{schedule, Allocation};
+use rtr_graph::{DesignPoint, Task, TaskGraphBuilder};
+
+/// Options for [`enumerate_design_points`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EstimatorOptions {
+    /// Maximum functional units per operation kind (also capped by the
+    /// number of operations of that kind — more units can never help).
+    pub max_units_per_kind: usize,
+    /// Maximum number of allocations to schedule before giving up
+    /// enumeration (guards combinatorial blow-up on many-kind tasks).
+    pub max_allocations: usize,
+    /// Maximum number of Pareto points to keep ("candidate design points
+    /// must be obtained by effective design space pruning techniques", §2).
+    pub max_points: usize,
+}
+
+impl Default for EstimatorOptions {
+    fn default() -> Self {
+        EstimatorOptions { max_units_per_kind: 8, max_allocations: 4096, max_points: 8 }
+    }
+}
+
+/// A synthesized design point together with the module set that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynthesizedPoint {
+    /// The area/latency design point (named after the module set).
+    pub design_point: DesignPoint,
+    /// The functional-unit allocation (module set) behind it.
+    pub allocation: Allocation,
+}
+
+/// Enumerates functional-unit allocations for `task`, schedules each, and
+/// returns the Pareto-optimal (area, latency) design points sorted by
+/// increasing area (hence decreasing latency).
+///
+/// # Errors
+///
+/// Returns an [`HlsError`] if the task is invalid.
+pub fn enumerate_design_points(
+    task: &BehavioralTask,
+    library: &FuLibrary,
+    options: &EstimatorOptions,
+) -> Result<Vec<SynthesizedPoint>, HlsError> {
+    task.validate()?;
+    let kinds = task.kinds_used();
+    let maxima: Vec<usize> = kinds
+        .iter()
+        .map(|&k| task.count_of(k).min(options.max_units_per_kind).max(1))
+        .collect();
+
+    // Cartesian product of per-kind counts, capped.
+    let mut allocations = Vec::new();
+    let mut counts = vec![1usize; kinds.len()];
+    'outer: loop {
+        let mut alloc = Allocation::new();
+        for (i, &k) in kinds.iter().enumerate() {
+            alloc = alloc.with(k, counts[i]);
+        }
+        allocations.push(alloc);
+        if allocations.len() >= options.max_allocations {
+            break;
+        }
+        // Odometer increment.
+        for i in 0..kinds.len() {
+            if counts[i] < maxima[i] {
+                counts[i] += 1;
+                continue 'outer;
+            }
+            counts[i] = 1;
+        }
+        break;
+    }
+
+    let mut points: Vec<SynthesizedPoint> = Vec::with_capacity(allocations.len());
+    for alloc in allocations {
+        let sched = schedule(task, &alloc, library)?;
+        let area = alloc.area(task, library);
+        let dp = DesignPoint::new(alloc.label(), area, sched.latency)
+            .with_secondary(alloc.secondary(task, library));
+        points.push(SynthesizedPoint { design_point: dp, allocation: alloc });
+    }
+
+    // Pareto pruning.
+    let mut front: Vec<SynthesizedPoint> = Vec::new();
+    for p in points {
+        if front.iter().any(|q| p.design_point.is_dominated_by(&q.design_point)) {
+            continue;
+        }
+        front.retain(|q| !q.design_point.is_dominated_by(&p.design_point));
+        // Drop exact duplicates in both dimensions.
+        if !front.iter().any(|q| {
+            q.design_point.area() == p.design_point.area()
+                && q.design_point.latency() == p.design_point.latency()
+        }) {
+            front.push(p);
+        }
+    }
+    front.sort_by_key(|a| a.design_point.area());
+
+    // Thin the front to at most `max_points`, always keeping the extremes
+    // (a single-point budget keeps the smallest implementation).
+    if front.len() > options.max_points && options.max_points == 1 {
+        front.truncate(1);
+    }
+    if front.len() > options.max_points && options.max_points >= 2 {
+        let keep = options.max_points;
+        let last = front.len() - 1;
+        let mut kept = Vec::with_capacity(keep);
+        for i in 0..keep {
+            let idx = i * last / (keep - 1);
+            kept.push(front[idx].clone());
+        }
+        kept.dedup_by(|a, b| a.design_point.area() == b.design_point.area());
+        front = kept;
+    }
+    Ok(front)
+}
+
+/// Synthesizes a ready-to-insert [`Task`] for a task graph: runs
+/// [`enumerate_design_points`] and wraps the result with the environment
+/// I/O volumes.
+///
+/// # Errors
+///
+/// Returns an [`HlsError`] if the task is invalid.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_hls::{BehavioralTask, OpKind, FuLibrary, EstimatorOptions, synthesize_task};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = BehavioralTask::new("stage");
+/// let m = b.add_op(OpKind::Mul, 12, &[]);
+/// b.add_op(OpKind::Add, 12, &[m]);
+/// let task = synthesize_task(&b, &FuLibrary::default(), &EstimatorOptions::default(), 2, 1)?;
+/// assert_eq!(task.name(), "stage");
+/// assert!(!task.design_points().is_empty());
+/// # Ok(())
+/// # }
+/// ```
+pub fn synthesize_task(
+    task: &BehavioralTask,
+    library: &FuLibrary,
+    options: &EstimatorOptions,
+    env_input: u64,
+    env_output: u64,
+) -> Result<Task, HlsError> {
+    let points = enumerate_design_points(task, library, options)?;
+    // Build through a throwaway graph builder to reuse its Task assembly.
+    let mut b = TaskGraphBuilder::new();
+    let id = b
+        .add_task(task.name())
+        .design_points(points.into_iter().map(|p| p.design_point))
+        .env_input(env_input)
+        .env_output(env_output)
+        .finish();
+    let g = b.build().expect("single synthesized task is always a valid graph");
+    Ok(g.task(id).clone())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::OpKind;
+
+    fn vector_product(width: u32) -> BehavioralTask {
+        let mut t = BehavioralTask::new("vp");
+        let m: Vec<_> = (0..4).map(|_| t.add_op(OpKind::Mul, width, &[])).collect();
+        let a0 = t.add_op(OpKind::Add, width, &[m[0], m[1]]);
+        let a1 = t.add_op(OpKind::Add, width, &[m[2], m[3]]);
+        t.add_op(OpKind::Add, width, &[a0, a1]);
+        t
+    }
+
+    #[test]
+    fn front_is_sorted_and_pareto() {
+        let pts =
+            enumerate_design_points(&vector_product(16), &FuLibrary::default(), &Default::default())
+                .unwrap();
+        assert!(pts.len() >= 2, "expected several tradeoff points, got {}", pts.len());
+        for w in pts.windows(2) {
+            assert!(w[0].design_point.area() < w[1].design_point.area());
+            assert!(
+                w[0].design_point.latency() > w[1].design_point.latency(),
+                "front must trade area for latency"
+            );
+        }
+    }
+
+    #[test]
+    fn no_point_is_dominated() {
+        let pts =
+            enumerate_design_points(&vector_product(12), &FuLibrary::default(), &Default::default())
+                .unwrap();
+        for a in &pts {
+            for b in &pts {
+                assert!(!a.design_point.is_dominated_by(&b.design_point));
+            }
+        }
+    }
+
+    #[test]
+    fn max_points_thins_but_keeps_extremes() {
+        let task = vector_product(16);
+        let all = enumerate_design_points(
+            &task,
+            &FuLibrary::default(),
+            &EstimatorOptions { max_points: 100, ..Default::default() },
+        )
+        .unwrap();
+        let thin = enumerate_design_points(
+            &task,
+            &FuLibrary::default(),
+            &EstimatorOptions { max_points: 2, ..Default::default() },
+        )
+        .unwrap();
+        assert!(thin.len() <= 2);
+        assert_eq!(thin.first().unwrap().design_point.area(), all.first().unwrap().design_point.area());
+        assert_eq!(thin.last().unwrap().design_point.area(), all.last().unwrap().design_point.area());
+    }
+
+    #[test]
+    fn single_kind_task() {
+        let mut t = BehavioralTask::new("adds");
+        let a = t.add_op(OpKind::Add, 8, &[]);
+        let b = t.add_op(OpKind::Add, 8, &[]);
+        t.add_op(OpKind::Add, 8, &[a, b]);
+        let pts = enumerate_design_points(&t, &FuLibrary::unit(), &Default::default()).unwrap();
+        // 1 adder: 3*8 = 24 ns at area 8; 2 adders: 16 ns at area 16.
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].design_point.latency().as_ns(), 24.0);
+        assert_eq!(pts[1].design_point.latency().as_ns(), 16.0);
+    }
+
+    #[test]
+    fn allocation_cap_respected() {
+        let t = vector_product(8);
+        let opts = EstimatorOptions { max_allocations: 1, ..Default::default() };
+        let pts = enumerate_design_points(&t, &FuLibrary::unit(), &opts).unwrap();
+        assert_eq!(pts.len(), 1, "only the all-ones allocation was explored");
+    }
+
+    #[test]
+    fn synthesize_task_carries_env_io() {
+        let task =
+            synthesize_task(&vector_product(8), &FuLibrary::default(), &Default::default(), 4, 1)
+                .unwrap();
+        assert_eq!(task.env_input(), 4);
+        assert_eq!(task.env_output(), 1);
+        assert_eq!(task.name(), "vp");
+    }
+
+    #[test]
+    fn invalid_task_is_rejected() {
+        let t = BehavioralTask::new("empty");
+        assert!(enumerate_design_points(&t, &FuLibrary::unit(), &Default::default()).is_err());
+    }
+
+    #[test]
+    fn virtex_points_carry_dsp_usage() {
+        let pts = enumerate_design_points(
+            &vector_product(16),
+            &FuLibrary::virtex_style(),
+            &Default::default(),
+        )
+        .unwrap();
+        for p in &pts {
+            // DSP usage equals the number of multipliers in the module set.
+            assert_eq!(
+                p.design_point.secondary(),
+                &[p.allocation.count(OpKind::Mul) as u64],
+                "{}",
+                p.design_point
+            );
+        }
+        // The front contains allocations with different multiplier counts.
+        let dsp_counts: std::collections::BTreeSet<u64> =
+            pts.iter().map(|p| p.design_point.secondary_usage(0)).collect();
+        assert!(dsp_counts.len() > 1, "expected a DSP tradeoff, got {dsp_counts:?}");
+    }
+}

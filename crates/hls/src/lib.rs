@@ -1,0 +1,54 @@
+//! High-level synthesis estimation: design-point generation.
+//!
+//! This crate is the workspace's substitute for the in-house HLS estimation
+//! tool the paper relies on for preprocessing ("Each task in the task graph
+//! is synthesized by a high level synthesis estimation tool. The high level
+//! synthesis tool generates a set of design points for each task. Each
+//! design point has an associated module set.").
+//!
+//! A behavioral task is an operation dataflow graph ([`BehavioralTask`]);
+//! a functional-unit library ([`FuLibrary`]) maps operation kinds and bit
+//! widths to area/delay estimates; [`enumerate_design_points`] explores
+//! functional-unit allocations (module sets), schedules the task under each
+//! with a resource-constrained list scheduler, and Pareto-prunes the
+//! resulting (area, latency) points.
+//!
+//! # Examples
+//!
+//! ```
+//! use rtr_hls::{BehavioralTask, OpKind, FuLibrary, EstimatorOptions, enumerate_design_points};
+//!
+//! # fn main() -> Result<(), rtr_hls::HlsError> {
+//! // A 4-element vector product: 4 multiplies feeding an adder tree.
+//! let mut t = BehavioralTask::new("vprod");
+//! let muls: Vec<_> = (0..4).map(|_| t.add_op(OpKind::Mul, 16, &[])).collect();
+//! let s0 = t.add_op(OpKind::Add, 16, &[muls[0], muls[1]]);
+//! let s1 = t.add_op(OpKind::Add, 16, &[muls[2], muls[3]]);
+//! t.add_op(OpKind::Add, 16, &[s0, s1]);
+//!
+//! let lib = FuLibrary::xc4000_style();
+//! let points = enumerate_design_points(&t, &lib, &EstimatorOptions::default())?;
+//! assert!(!points.is_empty());
+//! // More multipliers -> strictly faster within the Pareto front.
+//! for w in points.windows(2) {
+//!     assert!(w[0].design_point.area() < w[1].design_point.area());
+//!     assert!(w[0].design_point.latency() > w[1].design_point.latency());
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod explore;
+mod library;
+mod op;
+mod schedule;
+
+pub use error::HlsError;
+pub use explore::{enumerate_design_points, synthesize_task, EstimatorOptions, SynthesizedPoint};
+pub use library::{FuLibrary, FuSpec};
+pub use op::{BehavioralTask, OpId, OpKind, Operation};
+pub use schedule::{schedule, schedule_clocked, Allocation, Schedule, ScheduledOp};

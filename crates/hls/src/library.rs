@@ -1,0 +1,217 @@
+//! Functional-unit libraries: area/delay estimates per operation kind and
+//! bit width.
+
+use crate::op::OpKind;
+use rtr_graph::{Area, Latency};
+
+/// Area and delay of one functional unit instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuSpec {
+    /// FPGA area of the unit.
+    pub area: Area,
+    /// Combinational delay of one operation on the unit.
+    pub delay: Latency,
+    /// Secondary resource consumption per class (e.g. dedicated multiplier
+    /// blocks); empty for pure-fabric units.
+    pub secondary: Vec<u64>,
+}
+
+/// A parameterized functional-unit library.
+///
+/// The default [`xc4000_style`](Self::xc4000_style) library models a mid-90s
+/// LUT-based FPGA of the kind targeted by the paper's SPARCS environment
+/// (Wildforce boards carry XC4000-class parts): ripple-carry adders cost
+/// about half a CLB per bit, array multipliers grow quadratically with
+/// width, and combinational delays grow linearly with the carry/array
+/// chains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FuLibrary {
+    name: String,
+    /// (area per unit, area per bit, area per bit², delay ns per bit, base delay ns)
+    coeffs: Vec<(OpKind, FuCoeffs)>,
+}
+
+/// Cost-model coefficients for one operation kind.
+#[derive(Debug, Clone, PartialEq)]
+struct FuCoeffs {
+    area_base: f64,
+    area_per_bit: f64,
+    area_per_bit2: f64,
+    delay_base_ns: f64,
+    delay_per_bit_ns: f64,
+    /// Dedicated blocks of each secondary class consumed per unit.
+    secondary: &'static [u64],
+}
+
+impl FuLibrary {
+    /// A library styled after XC4000-era LUT FPGAs (see type-level docs).
+    pub fn xc4000_style() -> Self {
+        let c = |area_base, area_per_bit, area_per_bit2, delay_base_ns, delay_per_bit_ns| {
+            FuCoeffs {
+                area_base,
+                area_per_bit,
+                area_per_bit2,
+                delay_base_ns,
+                delay_per_bit_ns,
+                secondary: &[],
+            }
+        };
+        FuLibrary {
+            name: "xc4000-style".into(),
+            coeffs: vec![
+                (OpKind::Add, c(2.0, 0.5, 0.0, 4.0, 0.9)),
+                (OpKind::Sub, c(2.0, 0.5, 0.0, 4.0, 0.9)),
+                (OpKind::Mul, c(4.0, 0.0, 0.5, 10.0, 2.2)),
+                (OpKind::Mac, c(6.0, 0.5, 0.5, 12.0, 2.6)),
+                (OpKind::Shift, c(1.0, 0.75, 0.0, 3.0, 0.3)),
+                (OpKind::Cmp, c(1.0, 0.5, 0.0, 3.0, 0.5)),
+            ],
+        }
+    }
+
+    /// A library styled after early-2000s FPGAs with *dedicated multiplier
+    /// blocks* (Virtex-II class): multipliers and MACs consume one block of
+    /// secondary resource class 0 and very little fabric, trading the
+    /// quadratic soft-multiplier area for a scarce hard resource. Pair with
+    /// [`Architecture::with_secondary_capacities`] on the partitioner side.
+    ///
+    /// [`Architecture::with_secondary_capacities`]:
+    ///     https://docs.rs/rtr-core (rtr_core::Architecture)
+    pub fn virtex_style() -> Self {
+        let c = |area_base, area_per_bit, area_per_bit2, delay_base_ns, delay_per_bit_ns, secondary| {
+            FuCoeffs {
+                area_base,
+                area_per_bit,
+                area_per_bit2,
+                delay_base_ns,
+                delay_per_bit_ns,
+                secondary,
+            }
+        };
+        const ONE_DSP: &[u64] = &[1];
+        FuLibrary {
+            name: "virtex-style".into(),
+            coeffs: vec![
+                (OpKind::Add, c(2.0, 0.5, 0.0, 3.0, 0.5, &[])),
+                (OpKind::Sub, c(2.0, 0.5, 0.0, 3.0, 0.5, &[])),
+                (OpKind::Mul, c(6.0, 0.25, 0.0, 8.0, 0.3, ONE_DSP)),
+                (OpKind::Mac, c(8.0, 0.5, 0.0, 9.0, 0.4, ONE_DSP)),
+                (OpKind::Shift, c(1.0, 0.75, 0.0, 2.0, 0.2, &[])),
+                (OpKind::Cmp, c(1.0, 0.5, 0.0, 2.0, 0.3, &[])),
+            ],
+        }
+    }
+
+    /// A uniform unit-cost library, useful in tests: every functional unit
+    /// has area `width` and delay `width` ns regardless of kind.
+    pub fn unit() -> Self {
+        let c = FuCoeffs {
+            area_base: 0.0,
+            area_per_bit: 1.0,
+            area_per_bit2: 0.0,
+            delay_base_ns: 0.0,
+            delay_per_bit_ns: 1.0,
+            secondary: &[],
+        };
+        FuLibrary { name: "unit".into(), coeffs: OpKind::ALL.map(|k| (k, c.clone())).to_vec() }
+    }
+
+    /// Library name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Area and delay of a `kind` functional unit sized for `width`-bit
+    /// operands.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero (validated tasks never ask for it).
+    pub fn spec(&self, kind: OpKind, width: u32) -> FuSpec {
+        assert!(width > 0, "functional units have positive width");
+        let c = self
+            .coeffs
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|(_, c)| c.clone())
+            .expect("library covers all operation kinds");
+        let w = f64::from(width);
+        let area = (c.area_base + c.area_per_bit * w + c.area_per_bit2 * w * w).ceil() as u64;
+        let delay = c.delay_base_ns + c.delay_per_bit_ns * w;
+        FuSpec {
+            area: Area::new(area.max(1)),
+            delay: Latency::from_ns(delay),
+            secondary: c.secondary.to_vec(),
+        }
+    }
+}
+
+impl Default for FuLibrary {
+    fn default() -> Self {
+        FuLibrary::xc4000_style()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adder_scales_linearly() {
+        let lib = FuLibrary::xc4000_style();
+        let a8 = lib.spec(OpKind::Add, 8);
+        let a16 = lib.spec(OpKind::Add, 16);
+        assert!(a16.area > a8.area);
+        assert!(a16.delay > a8.delay);
+        // Linear area: delta per 8 bits is constant.
+        let a24 = lib.spec(OpKind::Add, 24);
+        assert_eq!(a24.area.units() - a16.area.units(), a16.area.units() - a8.area.units());
+    }
+
+    #[test]
+    fn multiplier_scales_quadratically() {
+        let lib = FuLibrary::xc4000_style();
+        let m8 = lib.spec(OpKind::Mul, 8);
+        let m16 = lib.spec(OpKind::Mul, 16);
+        // Quadratic: doubling width should much more than double area.
+        assert!(m16.area.units() > 3 * m8.area.units());
+    }
+
+    #[test]
+    fn multiplier_dominates_adder() {
+        let lib = FuLibrary::xc4000_style();
+        for w in [4u32, 8, 16, 24, 32] {
+            assert!(lib.spec(OpKind::Mul, w).area > lib.spec(OpKind::Add, w).area);
+            assert!(lib.spec(OpKind::Mul, w).delay > lib.spec(OpKind::Add, w).delay);
+        }
+    }
+
+    #[test]
+    fn unit_library_is_uniform() {
+        let lib = FuLibrary::unit();
+        for k in OpKind::ALL {
+            let s = lib.spec(k, 12);
+            assert_eq!(s.area, Area::new(12));
+            assert_eq!(s.delay, Latency::from_ns(12.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive width")]
+    fn zero_width_panics() {
+        FuLibrary::unit().spec(OpKind::Add, 0);
+    }
+
+    #[test]
+    fn virtex_multipliers_consume_dsp_blocks() {
+        let lib = FuLibrary::virtex_style();
+        assert_eq!(lib.spec(OpKind::Mul, 16).secondary, vec![1]);
+        assert_eq!(lib.spec(OpKind::Mac, 16).secondary, vec![1]);
+        assert!(lib.spec(OpKind::Add, 16).secondary.is_empty());
+        // Hard multipliers trade quadratic fabric for a dedicated block.
+        let soft = FuLibrary::xc4000_style().spec(OpKind::Mul, 16);
+        let hard = lib.spec(OpKind::Mul, 16);
+        assert!(hard.area < soft.area);
+        assert!(hard.delay < soft.delay);
+    }
+}

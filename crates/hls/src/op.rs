@@ -1,0 +1,232 @@
+//! Behavioral tasks as operation dataflow graphs.
+
+use crate::error::HlsError;
+use std::fmt;
+
+/// Kind of a behavioral operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpKind {
+    /// Two's-complement addition.
+    Add,
+    /// Two's-complement subtraction.
+    Sub,
+    /// Integer multiplication.
+    Mul,
+    /// Multiply-accumulate.
+    Mac,
+    /// Barrel shift.
+    Shift,
+    /// Magnitude comparison.
+    Cmp,
+}
+
+impl OpKind {
+    /// All operation kinds, in a fixed order.
+    pub const ALL: [OpKind; 6] =
+        [OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Mac, OpKind::Shift, OpKind::Cmp];
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            OpKind::Add => "add",
+            OpKind::Sub => "sub",
+            OpKind::Mul => "mul",
+            OpKind::Mac => "mac",
+            OpKind::Shift => "shift",
+            OpKind::Cmp => "cmp",
+        })
+    }
+}
+
+/// Index of an operation within a [`BehavioralTask`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OpId(pub(crate) usize);
+
+impl OpId {
+    /// Raw index of the operation.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+/// One operation of a behavioral task.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Operation {
+    pub(crate) kind: OpKind,
+    pub(crate) width: u32,
+    pub(crate) deps: Vec<OpId>,
+}
+
+impl Operation {
+    /// Operation kind.
+    pub fn kind(&self) -> OpKind {
+        self.kind
+    }
+
+    /// Operand bit width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Dataflow predecessors.
+    pub fn deps(&self) -> &[OpId] {
+        &self.deps
+    }
+}
+
+/// A behavioral task: an acyclic operation dataflow graph.
+///
+/// Operations are appended in dataflow order (dependencies first), which
+/// makes the graph acyclic by construction; [`validate`](Self::validate)
+/// checks the remaining invariants.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BehavioralTask {
+    name: String,
+    ops: Vec<Operation>,
+}
+
+impl BehavioralTask {
+    /// Creates an empty task named `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        BehavioralTask { name: name.into(), ops: Vec::new() }
+    }
+
+    /// Task name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends an operation that depends on the given earlier operations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dependency id refers to an operation not yet added;
+    /// use [`validate`](Self::validate) for a fallible check of a fully
+    /// built task.
+    pub fn add_op(&mut self, kind: OpKind, width: u32, deps: &[OpId]) -> OpId {
+        for d in deps {
+            assert!(
+                d.0 < self.ops.len(),
+                "dependency {d} of a new {kind} operation does not exist yet"
+            );
+        }
+        self.ops.push(Operation { kind, width, deps: deps.to_vec() });
+        OpId(self.ops.len() - 1)
+    }
+
+    /// The operations in dataflow order.
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Number of operations.
+    pub fn op_count(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Checks the task invariants: non-empty, all widths positive, all
+    /// dependencies in range and pointing backwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant as an [`HlsError`].
+    pub fn validate(&self) -> Result<(), HlsError> {
+        if self.ops.is_empty() {
+            return Err(HlsError::EmptyTask { task: self.name.clone() });
+        }
+        for (i, op) in self.ops.iter().enumerate() {
+            if op.width == 0 {
+                return Err(HlsError::ZeroWidth { task: self.name.clone() });
+            }
+            for d in &op.deps {
+                if d.0 >= i {
+                    return Err(HlsError::UnknownDependency {
+                        task: self.name.clone(),
+                        index: d.0,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The distinct operation kinds used, in [`OpKind::ALL`] order.
+    pub fn kinds_used(&self) -> Vec<OpKind> {
+        OpKind::ALL
+            .into_iter()
+            .filter(|k| self.ops.iter().any(|o| o.kind == *k))
+            .collect()
+    }
+
+    /// Number of operations of the given kind.
+    pub fn count_of(&self, kind: OpKind) -> usize {
+        self.ops.iter().filter(|o| o.kind == kind).count()
+    }
+
+    /// Maximum bit width among operations of the given kind (0 if none).
+    pub fn max_width_of(&self, kind: OpKind) -> u32 {
+        self.ops.iter().filter(|o| o.kind == kind).map(|o| o.width).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vector_product(width: u32) -> BehavioralTask {
+        let mut t = BehavioralTask::new("vp");
+        let m: Vec<_> = (0..4).map(|_| t.add_op(OpKind::Mul, width, &[])).collect();
+        let a0 = t.add_op(OpKind::Add, width, &[m[0], m[1]]);
+        let a1 = t.add_op(OpKind::Add, width, &[m[2], m[3]]);
+        t.add_op(OpKind::Add, width, &[a0, a1]);
+        t
+    }
+
+    #[test]
+    fn construction_and_counts() {
+        let t = vector_product(16);
+        assert_eq!(t.op_count(), 7);
+        assert_eq!(t.count_of(OpKind::Mul), 4);
+        assert_eq!(t.count_of(OpKind::Add), 3);
+        assert_eq!(t.count_of(OpKind::Sub), 0);
+        assert_eq!(t.kinds_used(), vec![OpKind::Add, OpKind::Mul]);
+        assert_eq!(t.max_width_of(OpKind::Mul), 16);
+        assert_eq!(t.max_width_of(OpKind::Cmp), 0);
+        assert!(t.validate().is_ok());
+    }
+
+    #[test]
+    fn empty_task_invalid() {
+        assert!(matches!(
+            BehavioralTask::new("e").validate(),
+            Err(HlsError::EmptyTask { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_width_invalid() {
+        let mut t = BehavioralTask::new("z");
+        t.add_op(OpKind::Add, 0, &[]);
+        assert!(matches!(t.validate(), Err(HlsError::ZeroWidth { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not exist yet")]
+    fn forward_dependency_panics() {
+        let mut t = BehavioralTask::new("f");
+        t.add_op(OpKind::Add, 8, &[OpId(5)]);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(OpKind::Mul.to_string(), "mul");
+        assert_eq!(OpKind::Shift.to_string(), "shift");
+    }
+}

@@ -1,0 +1,397 @@
+//! Resource-constrained list scheduling.
+
+use crate::error::HlsError;
+use crate::library::FuLibrary;
+use crate::op::{BehavioralTask, OpId, OpKind};
+use rtr_graph::{Area, Latency};
+use std::collections::BTreeMap;
+
+/// A module set: how many functional units of each kind are allocated.
+///
+/// This is the paper's "module set `m`" — "the set of, possibly multiple,
+/// functional units used to implement the design point".
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Allocation {
+    counts: BTreeMap<OpKind, usize>,
+}
+
+impl Allocation {
+    /// An empty allocation.
+    pub fn new() -> Self {
+        Allocation::default()
+    }
+
+    /// Sets the number of `kind` functional units.
+    pub fn with(mut self, kind: OpKind, count: usize) -> Self {
+        self.counts.insert(kind, count);
+        self
+    }
+
+    /// Number of `kind` functional units allocated.
+    pub fn count(&self, kind: OpKind) -> usize {
+        self.counts.get(&kind).copied().unwrap_or(0)
+    }
+
+    /// Iterator over `(kind, count)` pairs with non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (OpKind, usize)> + '_ {
+        self.counts.iter().filter(|(_, &c)| c > 0).map(|(&k, &c)| (k, c))
+    }
+
+    /// Total FPGA area of the allocation for `task` under `library`: each
+    /// unit is sized for the widest operation of its kind in the task.
+    pub fn area(&self, task: &BehavioralTask, library: &FuLibrary) -> Area {
+        self.iter()
+            .map(|(kind, count)| {
+                let width = task.max_width_of(kind);
+                if width == 0 {
+                    Area::ZERO
+                } else {
+                    library.spec(kind, width).area * count as u64
+                }
+            })
+            .sum()
+    }
+
+    /// Total secondary-resource consumption of the allocation for `task`
+    /// under `library`, summed elementwise across classes.
+    pub fn secondary(&self, task: &BehavioralTask, library: &FuLibrary) -> Vec<u64> {
+        let mut totals: Vec<u64> = Vec::new();
+        for (kind, count) in self.iter() {
+            let width = task.max_width_of(kind);
+            if width == 0 {
+                continue;
+            }
+            let spec = library.spec(kind, width);
+            for (k, &units) in spec.secondary.iter().enumerate() {
+                if k >= totals.len() {
+                    totals.resize(k + 1, 0);
+                }
+                totals[k] += units * count as u64;
+            }
+        }
+        totals
+    }
+
+    /// A human-readable module-set name, e.g. `2mul-1add`.
+    pub fn label(&self) -> String {
+        let parts: Vec<String> =
+            self.iter().map(|(k, c)| format!("{c}{k}")).collect();
+        if parts.is_empty() {
+            "empty".to_owned()
+        } else {
+            parts.join("-")
+        }
+    }
+}
+
+/// One scheduled operation: start/finish times and the functional unit
+/// instance it ran on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduledOp {
+    /// The operation.
+    pub op: OpId,
+    /// Start time relative to task start.
+    pub start: Latency,
+    /// Finish time relative to task start.
+    pub finish: Latency,
+    /// Index of the functional-unit instance (within its kind) used.
+    pub unit: usize,
+}
+
+/// A complete schedule of a behavioral task on an allocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schedule {
+    /// Per-operation placement, indexed like the task's operations.
+    pub ops: Vec<ScheduledOp>,
+    /// Overall latency (the makespan).
+    pub latency: Latency,
+}
+
+/// Schedules `task` on `allocation` using list scheduling with critical-path
+/// priority: ready operations are served longest-remaining-path first, each
+/// on the earliest-available functional unit of its kind.
+///
+/// # Errors
+///
+/// Returns [`HlsError::EmptyAllocation`] if the task uses an operation kind
+/// for which the allocation provides no unit, or any task validation error.
+pub fn schedule(
+    task: &BehavioralTask,
+    allocation: &Allocation,
+    library: &FuLibrary,
+) -> Result<Schedule, HlsError> {
+    let delays: Vec<f64> = task
+        .ops()
+        .iter()
+        .map(|o| library.spec(o.kind, o.width).delay.as_ns())
+        .collect();
+    schedule_with_delays(task, allocation, delays)
+}
+
+/// Clocked variant of [`schedule`]: every operation occupies a whole number
+/// of clock cycles (`⌈delay / clock⌉`), the way cycle-based HLS estimators
+/// in the style of the paper's reference \[18\] count latency. The
+/// resulting makespan is a multiple of the cycle time for chain-structured
+/// tasks and never shorter than the continuous-time schedule.
+///
+/// # Errors
+///
+/// Like [`schedule`]; additionally if `clock` is not positive.
+///
+/// # Panics
+///
+/// Panics if `clock` is zero.
+pub fn schedule_clocked(
+    task: &BehavioralTask,
+    allocation: &Allocation,
+    library: &FuLibrary,
+    clock: Latency,
+) -> Result<Schedule, HlsError> {
+    assert!(clock > Latency::ZERO, "clock period must be positive");
+    let delays: Vec<f64> = task
+        .ops()
+        .iter()
+        .map(|o| {
+            let d = library.spec(o.kind, o.width).delay.as_ns();
+            (d / clock.as_ns()).ceil() * clock.as_ns()
+        })
+        .collect();
+    schedule_with_delays(task, allocation, delays)
+}
+
+fn schedule_with_delays(
+    task: &BehavioralTask,
+    allocation: &Allocation,
+    delays: Vec<f64>,
+) -> Result<Schedule, HlsError> {
+    task.validate()?;
+    for kind in task.kinds_used() {
+        if allocation.count(kind) == 0 {
+            return Err(HlsError::EmptyAllocation { kind: kind.to_string() });
+        }
+    }
+
+    let n = task.op_count();
+
+    // Critical-path-to-sink priority (longer first).
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, op) in task.ops().iter().enumerate() {
+        for d in op.deps() {
+            succs[d.index()].push(i);
+        }
+    }
+    let mut priority = vec![0.0f64; n];
+    for i in (0..n).rev() {
+        let tail = succs[i].iter().map(|&s| priority[s]).fold(0.0f64, f64::max);
+        priority[i] = delays[i] + tail;
+    }
+
+    // Earliest time each op's operands are all available.
+    let mut ready_time = vec![0.0f64; n];
+    let mut remaining_deps: Vec<usize> = task.ops().iter().map(|o| o.deps().len()).collect();
+    let mut ready: Vec<usize> =
+        (0..n).filter(|&i| remaining_deps[i] == 0).collect();
+    // Per-kind unit availability times.
+    let mut unit_free: BTreeMap<OpKind, Vec<f64>> = task
+        .kinds_used()
+        .into_iter()
+        .map(|k| (k, vec![0.0; allocation.count(k)]))
+        .collect();
+
+    let mut placed: Vec<Option<ScheduledOp>> = vec![None; n];
+    let mut scheduled_count = 0usize;
+    while scheduled_count < n {
+        // Pick the highest-priority ready op.
+        let (pos, &i) = ready
+            .iter()
+            .enumerate()
+            .max_by(|(_, &a), (_, &b)| {
+                priority[a]
+                    .total_cmp(&priority[b])
+                    // Deterministic tie-break on index.
+                    .then(b.cmp(&a))
+            })
+            .expect("acyclic validated task always has a ready op");
+        ready.swap_remove(pos);
+
+        let kind = task.ops()[i].kind();
+        let units = unit_free.get_mut(&kind).expect("kind checked above");
+        let (unit, free) = units
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.total_cmp(b))
+            .map(|(u, &f)| (u, f))
+            .expect("allocation count checked non-zero");
+        let start = ready_time[i].max(free);
+        let finish = start + delays[i];
+        units[unit] = finish;
+        placed[i] = Some(ScheduledOp {
+            op: OpId(i),
+            start: Latency::from_ns(start),
+            finish: Latency::from_ns(finish),
+            unit,
+        });
+        scheduled_count += 1;
+        for &s in &succs[i] {
+            ready_time[s] = ready_time[s].max(finish);
+            remaining_deps[s] -= 1;
+            if remaining_deps[s] == 0 {
+                ready.push(s);
+            }
+        }
+    }
+
+    let ops: Vec<ScheduledOp> = placed.into_iter().map(|o| o.expect("all placed")).collect();
+    let latency = ops.iter().map(|o| o.finish).fold(Latency::ZERO, Latency::max);
+    Ok(Schedule { ops, latency })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vector_product(width: u32) -> BehavioralTask {
+        let mut t = BehavioralTask::new("vp");
+        let m: Vec<_> = (0..4).map(|_| t.add_op(OpKind::Mul, width, &[])).collect();
+        let a0 = t.add_op(OpKind::Add, width, &[m[0], m[1]]);
+        let a1 = t.add_op(OpKind::Add, width, &[m[2], m[3]]);
+        t.add_op(OpKind::Add, width, &[a0, a1]);
+        t
+    }
+
+    #[test]
+    fn serial_allocation_serializes_multiplies() {
+        let t = vector_product(8);
+        let lib = FuLibrary::unit(); // every op takes 8 ns
+        let alloc = Allocation::new().with(OpKind::Mul, 1).with(OpKind::Add, 1);
+        let s = schedule(&t, &alloc, &lib).unwrap();
+        // 4 serial muls = 32; adds: a0 after mul1 (16) but adder busy order…
+        // lower bound: 4*8 (muls serial) + 8 (last add) = 40; a0/a1 overlap muls.
+        assert!(s.latency.as_ns() >= 40.0, "latency {}", s.latency.as_ns());
+        assert!(s.latency.as_ns() <= 48.0, "latency {}", s.latency.as_ns());
+    }
+
+    #[test]
+    fn parallel_allocation_hits_critical_path() {
+        let t = vector_product(8);
+        let lib = FuLibrary::unit();
+        let alloc = Allocation::new().with(OpKind::Mul, 4).with(OpKind::Add, 2);
+        let s = schedule(&t, &alloc, &lib).unwrap();
+        // mul(8) + add(8) + add(8) = 24: the dataflow critical path.
+        assert_eq!(s.latency.as_ns(), 24.0);
+    }
+
+    #[test]
+    fn more_units_never_hurts() {
+        let t = vector_product(16);
+        let lib = FuLibrary::xc4000_style();
+        let mut prev = f64::INFINITY;
+        for muls in 1..=4 {
+            let alloc = Allocation::new().with(OpKind::Mul, muls).with(OpKind::Add, 1);
+            let s = schedule(&t, &alloc, &lib).unwrap();
+            assert!(s.latency.as_ns() <= prev + 1e-9);
+            prev = s.latency.as_ns();
+        }
+    }
+
+    #[test]
+    fn missing_unit_kind_is_an_error() {
+        let t = vector_product(8);
+        let alloc = Allocation::new().with(OpKind::Mul, 1); // no adder
+        assert!(matches!(
+            schedule(&t, &alloc, &FuLibrary::unit()),
+            Err(HlsError::EmptyAllocation { .. })
+        ));
+    }
+
+    #[test]
+    fn schedule_respects_dependencies_and_unit_exclusivity() {
+        let t = vector_product(8);
+        let lib = FuLibrary::xc4000_style();
+        let alloc = Allocation::new().with(OpKind::Mul, 2).with(OpKind::Add, 1);
+        let s = schedule(&t, &alloc, &lib).unwrap();
+        // Dependencies.
+        for (i, op) in t.ops().iter().enumerate() {
+            for d in op.deps() {
+                assert!(s.ops[d.index()].finish <= s.ops[i].start);
+            }
+        }
+        // Exclusivity per (kind, unit): intervals must not overlap.
+        for (i, a) in s.ops.iter().enumerate() {
+            for (j, b) in s.ops.iter().enumerate() {
+                if i < j
+                    && t.ops()[i].kind() == t.ops()[j].kind()
+                    && a.unit == b.unit
+                {
+                    assert!(
+                        a.finish <= b.start || b.finish <= a.start,
+                        "ops {i} and {j} overlap on the same unit"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn allocation_area_and_label() {
+        let t = vector_product(16);
+        let lib = FuLibrary::unit();
+        let alloc = Allocation::new().with(OpKind::Mul, 2).with(OpKind::Add, 1);
+        // Unit lib: mul unit area = width = 16, add = 16 -> 2*16 + 16 = 48.
+        assert_eq!(alloc.area(&t, &lib), Area::new(48));
+        assert_eq!(alloc.label(), "1add-2mul");
+        assert_eq!(Allocation::new().label(), "empty");
+    }
+
+    #[test]
+    fn clocked_schedule_quantizes_delays() {
+        let t = vector_product(10); // unit lib: every op 10 ns
+        let lib = FuLibrary::unit();
+        let alloc = Allocation::new().with(OpKind::Mul, 4).with(OpKind::Add, 2);
+        // Continuous: 10 + 10 + 10 = 30. Clock of 8 ns: each op takes
+        // ceil(10/8) = 2 cycles = 16 ns -> 48 ns.
+        let continuous = schedule(&t, &alloc, &lib).unwrap();
+        assert_eq!(continuous.latency.as_ns(), 30.0);
+        let clocked = schedule_clocked(&t, &alloc, &lib, Latency::from_ns(8.0)).unwrap();
+        assert_eq!(clocked.latency.as_ns(), 48.0);
+        // A clock that divides the delay exactly changes nothing.
+        let exact = schedule_clocked(&t, &alloc, &lib, Latency::from_ns(5.0)).unwrap();
+        assert_eq!(exact.latency.as_ns(), 30.0);
+    }
+
+    #[test]
+    fn clocked_never_beats_continuous() {
+        let t = vector_product(13);
+        let lib = FuLibrary::xc4000_style();
+        for units in 1..=3 {
+            let alloc = Allocation::new().with(OpKind::Mul, units).with(OpKind::Add, 1);
+            let continuous = schedule(&t, &alloc, &lib).unwrap();
+            for clock in [3.0, 7.0, 11.0, 20.0] {
+                let clocked =
+                    schedule_clocked(&t, &alloc, &lib, Latency::from_ns(clock)).unwrap();
+                assert!(
+                    clocked.latency >= continuous.latency,
+                    "units {units}, clock {clock}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "clock period must be positive")]
+    fn zero_clock_panics() {
+        let t = vector_product(8);
+        let alloc = Allocation::new().with(OpKind::Mul, 1).with(OpKind::Add, 1);
+        let _ = schedule_clocked(&t, &alloc, &FuLibrary::unit(), Latency::ZERO);
+    }
+
+    #[test]
+    fn single_op_task() {
+        let mut t = BehavioralTask::new("one");
+        t.add_op(OpKind::Add, 8, &[]);
+        let alloc = Allocation::new().with(OpKind::Add, 1);
+        let s = schedule(&t, &alloc, &FuLibrary::unit()).unwrap();
+        assert_eq!(s.latency.as_ns(), 8.0);
+        assert_eq!(s.ops[0].start, Latency::ZERO);
+    }
+}

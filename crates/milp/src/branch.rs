@@ -1,0 +1,406 @@
+//! Branch and bound over the LP relaxation.
+
+use crate::error::MilpError;
+use crate::model::{effective_bounds, Model, Sense, VarKind};
+use crate::simplex::{solve_lp_with_deadline, LpStatus};
+use crate::solution::{Goal, Outcome, SolveOptions, SolveStats, Solution, Status};
+use std::time::Instant;
+
+/// Solves a mixed-integer model by branch and bound.
+///
+/// In `Goal::Feasibility` mode (see [`SolveOptions`](crate::SolveOptions)) the search returns as soon as any
+/// integer-feasible point is found — the paper's `SolveModel()` use of the
+/// ILP. In `Goal::Optimal` mode the search prunes on the incumbent bound
+/// and only stops when the tree is exhausted (or a limit fires).
+///
+/// # Errors
+///
+/// Propagates [`MilpError`] from model validation or a simplex failure.
+pub fn solve_mip(model: &Model, options: &SolveOptions) -> Result<Outcome, MilpError> {
+    if options.presolve {
+        match crate::presolve::presolve(model) {
+            crate::presolve::PresolveOutcome::Reduced(reduced, _) => {
+                let mut inner = options.clone();
+                inner.presolve = false;
+                return solve_mip(&reduced, &inner);
+            }
+            crate::presolve::PresolveOutcome::Infeasible => {
+                return Ok(Outcome {
+                    status: Status::Infeasible,
+                    solution: None,
+                    stats: SolveStats::default(),
+                });
+            }
+        }
+    }
+    let start = Instant::now();
+    let int_vars: Vec<usize> = model.integer_vars().map(|v| v.index()).collect();
+    let minimize_sign = match model.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+
+    let root_bounds: Vec<(f64, f64)> = model
+        .vars
+        .iter()
+        .map(|v| {
+            let (lo, hi) = effective_bounds(v);
+            if matches!(v.kind, VarKind::Integer | VarKind::Binary) {
+                (lo.ceil(), hi.floor())
+            } else {
+                (lo, hi)
+            }
+        })
+        .collect();
+
+    let mut stats = SolveStats::default();
+    let mut incumbent: Option<Solution> = None;
+    // Incumbent objective in minimization terms.
+    let mut incumbent_obj = f64::INFINITY;
+    let mut stack: Vec<Vec<(f64, f64)>> = vec![root_bounds];
+    let mut saw_limit = false;
+    let mut root_unbounded = false;
+    let mut first_node = true;
+
+    while let Some(bounds) = stack.pop() {
+        if stats.nodes >= options.node_limit {
+            saw_limit = true;
+            break;
+        }
+        if let Some(limit) = options.time_limit {
+            if start.elapsed() >= limit {
+                saw_limit = true;
+                break;
+            }
+        }
+        stats.nodes += 1;
+
+        let deadline = options.time_limit.map(|t| start + t);
+        let lp = solve_lp_with_deadline(
+            model,
+            Some(&bounds),
+            options.lp_tol,
+            options.lp_iteration_limit,
+            deadline,
+        )?;
+        stats.simplex_iterations += lp.iterations;
+        let is_root = std::mem::take(&mut first_node);
+        match lp.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::Interrupted => {
+                saw_limit = true;
+                break;
+            }
+            LpStatus::Unbounded => {
+                // With bounded integer variables, unboundedness comes from
+                // continuous directions and already holds at the root.
+                if is_root {
+                    root_unbounded = true;
+                    break;
+                }
+                continue;
+            }
+            LpStatus::Optimal => {}
+        }
+
+        let lp_obj_min = minimize_sign * lp.objective;
+        if incumbent.is_some() && lp_obj_min >= incumbent_obj - 1e-9 {
+            continue; // dominated by the incumbent
+        }
+
+        // Rounding heuristic: at the root, try the nearest integer point.
+        if is_root && options.rounding_heuristic && !int_vars.is_empty() {
+            let mut rounded = lp.values.clone();
+            for &j in &int_vars {
+                rounded[j] = rounded[j].round().clamp(bounds[j].0, bounds[j].1);
+            }
+            if model.is_feasible_point(&rounded, options.int_tol.max(options.lp_tol)) {
+                let objective = model.objective.eval(&rounded);
+                let obj_min = minimize_sign * objective;
+                if obj_min < incumbent_obj {
+                    incumbent_obj = obj_min;
+                    incumbent = Some(Solution { values: rounded, objective });
+                    if options.goal == Goal::Feasibility {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Most-fractional branching.
+        let mut branch: Option<(usize, f64, f64)> = None; // (var, value, frac distance)
+        for &j in &int_vars {
+            let v = lp.values[j];
+            let frac = (v - v.round()).abs();
+            if frac > options.int_tol {
+                let score = (v - v.floor() - 0.5).abs(); // lower is more fractional
+                match branch {
+                    Some((_, _, best)) if best <= score => {}
+                    _ => branch = Some((j, v, score)),
+                }
+            }
+        }
+
+        match branch {
+            None => {
+                // Integer feasible. Defensively re-check the point against
+                // the raw constraints before accepting it as an incumbent:
+                // a simplex numerical failure must never surface as a bogus
+                // "feasible" answer.
+                let mut values = lp.values.clone();
+                for &j in &int_vars {
+                    values[j] = values[j].round();
+                }
+                if !model.is_feasible_point(&values, 1e-5) {
+                    continue;
+                }
+                let objective = model.objective.eval(&values);
+                let obj_min = minimize_sign * objective;
+                if obj_min < incumbent_obj {
+                    incumbent_obj = obj_min;
+                    incumbent = Some(Solution { values, objective });
+                }
+                if options.goal == Goal::Feasibility {
+                    break;
+                }
+            }
+            Some((j, v, _)) => {
+                let floor = v.floor();
+                let mut down = bounds.clone();
+                down[j].1 = down[j].1.min(floor);
+                let mut up = bounds;
+                up[j].0 = up[j].0.max(floor + 1.0);
+                // Explore the nearer branch first (depth-first).
+                if v - floor <= 0.5 {
+                    stack.push(up);
+                    stack.push(down);
+                } else {
+                    stack.push(down);
+                    stack.push(up);
+                }
+            }
+        }
+    }
+
+    let status = if root_unbounded {
+        Status::Unbounded
+    } else {
+        match (&incumbent, saw_limit, options.goal) {
+            (Some(_), false, Goal::Optimal) => Status::Optimal,
+            (Some(_), _, _) => Status::Feasible,
+            (None, true, _) => Status::LimitReached,
+            (None, false, _) => Status::Infeasible,
+        }
+    };
+    Ok(Outcome { status, solution: incumbent, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Constraint, LinExpr, Rel, Variable};
+    use std::time::Duration;
+
+    #[test]
+    fn knapsack_optimal() {
+        // max 10a + 13b + 7c s.t. 5a + 6b + 4c <= 10, binaries.
+        // Best: b + c = 20, a + c = 17, a + b -> 11 > 10 infeasible. So {b, c} = 20.
+        let mut m = Model::new();
+        let a = m.add_var(Variable::binary());
+        let b = m.add_var(Variable::binary());
+        let c = m.add_var(Variable::binary());
+        m.add_constraint(Constraint::new(
+            LinExpr::new() + (5.0, a) + (6.0, b) + (4.0, c),
+            Rel::Le,
+            10.0,
+        ));
+        m.maximize(LinExpr::new() + (10.0, a) + (13.0, b) + (7.0, c));
+        let out = m.solve(&SolveOptions::optimal()).unwrap();
+        assert_eq!(out.status, Status::Optimal);
+        let sol = out.solution.unwrap();
+        assert_eq!(sol.objective, 20.0);
+        assert_eq!(sol.int_value(a), 0);
+        assert_eq!(sol.int_value(b), 1);
+        assert_eq!(sol.int_value(c), 1);
+    }
+
+    #[test]
+    fn integer_rounding_gap() {
+        // max x s.t. 2x <= 5, x integer -> 2 (LP gives 2.5).
+        let mut m = Model::new();
+        let x = m.add_var(Variable::integer(0.0, 10.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (2.0, x), Rel::Le, 5.0));
+        m.maximize(LinExpr::new() + (1.0, x));
+        let out = m.solve(&SolveOptions::optimal()).unwrap();
+        assert_eq!(out.status, Status::Optimal);
+        assert_eq!(out.solution.unwrap().objective, 2.0);
+    }
+
+    #[test]
+    fn infeasible_integer_model() {
+        // 0.4 <= x <= 0.6, x integer: LP feasible, IP infeasible.
+        let mut m = Model::new();
+        let x = m.add_var(Variable::integer(0.0, 1.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x), Rel::Ge, 0.4));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x), Rel::Le, 0.6));
+        let out = m.solve(&SolveOptions::feasibility()).unwrap();
+        assert_eq!(out.status, Status::Infeasible);
+        assert!(out.solution.is_none());
+    }
+
+    #[test]
+    fn feasibility_mode_stops_at_first_solution() {
+        // A model with many feasible points; feasibility mode should explore
+        // very few nodes.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..12).map(|_| m.add_var(Variable::binary())).collect();
+        let sum: LinExpr = vars.iter().map(|&v| (1.0, v)).collect();
+        m.add_constraint(Constraint::new(sum, Rel::Ge, 3.0));
+        let out = m.solve(&SolveOptions::feasibility()).unwrap();
+        assert_eq!(out.status, Status::Feasible);
+        let sol = out.solution.unwrap();
+        let total: f64 = sol.values.iter().sum();
+        assert!(total >= 3.0 - 1e-6);
+        assert!(out.stats.nodes <= 5, "nodes {}", out.stats.nodes);
+    }
+
+    #[test]
+    fn equality_sum_partition() {
+        // x1 + x2 + x3 = 2 with pairwise exclusion x1 + x2 <= 1 -> x3 = 1 and
+        // exactly one of x1, x2.
+        let mut m = Model::new();
+        let x1 = m.add_var(Variable::binary());
+        let x2 = m.add_var(Variable::binary());
+        let x3 = m.add_var(Variable::binary());
+        m.add_constraint(Constraint::new(
+            LinExpr::new() + (1.0, x1) + (1.0, x2) + (1.0, x3),
+            Rel::Eq,
+            2.0,
+        ));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x1) + (1.0, x2), Rel::Le, 1.0));
+        let out = m.solve(&SolveOptions::feasibility()).unwrap();
+        assert_eq!(out.status, Status::Feasible);
+        let sol = out.solution.unwrap();
+        assert_eq!(sol.int_value(x3), 1);
+        assert_eq!(sol.int_value(x1) + sol.int_value(x2), 1);
+    }
+
+    #[test]
+    fn unbounded_integer_model() {
+        let mut m = Model::new();
+        let x = m.add_var(Variable::continuous(0.0, f64::INFINITY));
+        let y = m.add_var(Variable::binary());
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, y), Rel::Le, 1.0));
+        m.maximize(LinExpr::new() + (1.0, x));
+        let out = m.solve(&SolveOptions::optimal()).unwrap();
+        assert_eq!(out.status, Status::Unbounded);
+    }
+
+    #[test]
+    fn node_limit_reported() {
+        // A tight feasibility problem needing branching, with node_limit 1 and
+        // heuristics off: stops with LimitReached.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..10).map(|_| m.add_var(Variable::binary())).collect();
+        let sum: LinExpr = vars.iter().map(|&v| (3.0, v)).collect();
+        m.add_constraint(Constraint::new(sum.clone(), Rel::Ge, 7.0));
+        m.add_constraint(Constraint::new(sum, Rel::Le, 8.0));
+        let mut opts = SolveOptions::feasibility().with_node_limit(1);
+        opts.rounding_heuristic = false;
+        let out = m.solve(&opts).unwrap();
+        // One node explored, branching needed, then the limit fires.
+        assert!(matches!(out.status, Status::LimitReached | Status::Feasible));
+        if out.status == Status::LimitReached {
+            assert!(out.solution.is_none());
+        }
+    }
+
+    #[test]
+    fn time_limit_zero_fires_immediately() {
+        let mut m = Model::new();
+        let x = m.add_var(Variable::binary());
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x), Rel::Ge, 1.0));
+        let opts = SolveOptions::feasibility().with_time_limit(Duration::ZERO);
+        let out = m.solve(&opts).unwrap();
+        assert_eq!(out.status, Status::LimitReached);
+    }
+
+    #[test]
+    fn optimal_matches_brute_force_on_small_knapsacks() {
+        // Deterministic pseudo-random 8-item knapsacks cross-checked against
+        // exhaustive enumeration.
+        let mut seed = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            seed
+        };
+        for case in 0..25 {
+            let items = 8;
+            let weights: Vec<f64> = (0..items).map(|_| (next() % 20 + 1) as f64).collect();
+            let values: Vec<f64> = (0..items).map(|_| (next() % 30 + 1) as f64).collect();
+            let cap = (weights.iter().sum::<f64>() / 2.0).floor();
+
+            let mut m = Model::new();
+            let vars: Vec<_> = (0..items).map(|_| m.add_var(Variable::binary())).collect();
+            m.add_constraint(Constraint::new(
+                vars.iter().zip(&weights).map(|(&v, &w)| (w, v)).collect(),
+                Rel::Le,
+                cap,
+            ));
+            m.maximize(vars.iter().zip(&values).map(|(&v, &val)| (val, v)).collect());
+            let out = m.solve(&SolveOptions::optimal()).unwrap();
+            assert_eq!(out.status, Status::Optimal, "case {case}");
+            let got = out.solution.unwrap().objective;
+
+            let mut best = 0.0f64;
+            for mask in 0u32..(1 << items) {
+                let w: f64 = (0..items)
+                    .filter(|&i| mask & (1 << i) != 0)
+                    .map(|i| weights[i])
+                    .sum();
+                if w <= cap {
+                    let v: f64 = (0..items)
+                        .filter(|&i| mask & (1 << i) != 0)
+                        .map(|i| values[i])
+                        .sum();
+                    best = best.max(v);
+                }
+            }
+            assert!((got - best).abs() < 1e-6, "case {case}: milp {got} vs brute {best}");
+        }
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // max 3x + 2y, x integer in [0,4], y continuous in [0, 2.5],
+        // x + y <= 5 -> x = 4, y = 1 -> 14.
+        let mut m = Model::new();
+        let x = m.add_var(Variable::integer(0.0, 4.0));
+        let y = m.add_var(Variable::continuous(0.0, 2.5));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (1.0, y), Rel::Le, 5.0));
+        m.maximize(LinExpr::new() + (3.0, x) + (2.0, y));
+        let out = m.solve(&SolveOptions::optimal()).unwrap();
+        assert_eq!(out.status, Status::Optimal);
+        let sol = out.solution.unwrap();
+        assert_eq!(sol.int_value(x), 4);
+        assert!((sol.value(y) - 1.0).abs() < 1e-6);
+        assert!((sol.objective - 14.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fractional_bounds_are_tightened_for_integers() {
+        // x integer in [0.3, 2.7] -> effectively [1, 2].
+        let mut m = Model::new();
+        let x = m.add_var(Variable::integer(0.3, 2.7));
+        m.maximize(LinExpr::new() + (1.0, x));
+        let out = m.solve(&SolveOptions::optimal()).unwrap();
+        assert_eq!(out.solution.unwrap().objective, 2.0);
+        let mut m2 = Model::new();
+        let y = m2.add_var(Variable::integer(0.3, 2.7));
+        m2.minimize(LinExpr::new() + (1.0, y));
+        let out2 = m2.solve(&SolveOptions::optimal()).unwrap();
+        assert_eq!(out2.solution.unwrap().objective, 1.0);
+    }
+}

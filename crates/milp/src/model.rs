@@ -1,0 +1,506 @@
+//! Model-builder API: variables, linear expressions, constraints.
+
+use crate::error::MilpError;
+use crate::solution::{Outcome, SolveOptions};
+use std::fmt;
+use std::ops::Add;
+
+/// Index of a variable within a [`Model`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// Raw index of the variable.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// Integrality class of a variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarKind {
+    /// Real-valued.
+    Continuous,
+    /// Integer-valued.
+    Integer,
+    /// 0-1 valued (integer with bounds clamped to `[0, 1]`).
+    Binary,
+}
+
+/// A decision variable: bounds, integrality, and an optional name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Variable {
+    pub(crate) lower: f64,
+    pub(crate) upper: f64,
+    pub(crate) kind: VarKind,
+    pub(crate) name: Option<String>,
+}
+
+impl Variable {
+    /// A continuous variable with bounds `[lower, upper]` (either may be
+    /// infinite).
+    pub fn continuous(lower: f64, upper: f64) -> Self {
+        Variable { lower, upper, kind: VarKind::Continuous, name: None }
+    }
+
+    /// A non-negative continuous variable `[0, ∞)`.
+    pub fn non_negative() -> Self {
+        Variable::continuous(0.0, f64::INFINITY)
+    }
+
+    /// A free continuous variable `(-∞, ∞)`.
+    pub fn free() -> Self {
+        Variable::continuous(f64::NEG_INFINITY, f64::INFINITY)
+    }
+
+    /// An integer variable with bounds `[lower, upper]`.
+    pub fn integer(lower: f64, upper: f64) -> Self {
+        Variable { lower, upper, kind: VarKind::Integer, name: None }
+    }
+
+    /// A 0-1 variable.
+    pub fn binary() -> Self {
+        Variable { lower: 0.0, upper: 1.0, kind: VarKind::Binary, name: None }
+    }
+
+    /// Attaches a diagnostic name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Lower bound.
+    pub fn lower(&self) -> f64 {
+        self.lower
+    }
+
+    /// Upper bound.
+    pub fn upper(&self) -> f64 {
+        self.upper
+    }
+
+    /// Integrality class.
+    pub fn kind(&self) -> VarKind {
+        self.kind
+    }
+
+    /// Diagnostic name, if set.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+}
+
+/// A linear expression `Σ c_j · x_j`.
+///
+/// Terms on the same variable are accumulated when the expression is
+/// normalized at constraint-build time; callers may freely add duplicates.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_milp::{Model, Variable, LinExpr};
+/// let mut m = Model::new();
+/// let x = m.add_var(Variable::binary());
+/// let y = m.add_var(Variable::binary());
+/// let e = LinExpr::new() + (1.0, x) + (2.5, y) + (0.5, x);
+/// assert_eq!(e.terms().len(), 3); // normalized later to x: 1.5, y: 2.5
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinExpr {
+    terms: Vec<(VarId, f64)>,
+}
+
+impl LinExpr {
+    /// The empty expression.
+    pub fn new() -> Self {
+        LinExpr::default()
+    }
+
+    /// Adds `coeff · var` to the expression.
+    pub fn push(&mut self, coeff: f64, var: VarId) {
+        self.terms.push((var, coeff));
+    }
+
+    /// Builder-style [`push`](Self::push).
+    pub fn plus(mut self, coeff: f64, var: VarId) -> Self {
+        self.push(coeff, var);
+        self
+    }
+
+    /// The raw (unnormalized) term list.
+    pub fn terms(&self) -> &[(VarId, f64)] {
+        &self.terms
+    }
+
+    /// `true` if the expression has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Sums duplicate variables and drops exact zeros; returns terms sorted
+    /// by variable index.
+    pub fn normalized(&self) -> Vec<(VarId, f64)> {
+        let mut terms = self.terms.clone();
+        terms.sort_by_key(|(v, _)| *v);
+        let mut out: Vec<(VarId, f64)> = Vec::with_capacity(terms.len());
+        for (v, c) in terms {
+            match out.last_mut() {
+                Some((lv, lc)) if *lv == v => *lc += c,
+                _ => out.push((v, c)),
+            }
+        }
+        out.retain(|(_, c)| *c != 0.0);
+        out
+    }
+
+    /// Evaluates the expression at the given point (indexed by variable).
+    pub fn eval(&self, values: &[f64]) -> f64 {
+        self.terms.iter().map(|(v, c)| c * values[v.0]).sum()
+    }
+}
+
+impl Add<(f64, VarId)> for LinExpr {
+    type Output = LinExpr;
+    fn add(self, (coeff, var): (f64, VarId)) -> LinExpr {
+        self.plus(coeff, var)
+    }
+}
+
+impl FromIterator<(f64, VarId)> for LinExpr {
+    fn from_iter<I: IntoIterator<Item = (f64, VarId)>>(iter: I) -> Self {
+        let mut e = LinExpr::new();
+        for (c, v) in iter {
+            e.push(c, v);
+        }
+        e
+    }
+}
+
+/// Relational operator of a constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rel {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+impl fmt::Display for Rel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Rel::Le => "<=",
+            Rel::Ge => ">=",
+            Rel::Eq => "=",
+        })
+    }
+}
+
+/// A linear constraint `expr (≤ | ≥ | =) rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    pub(crate) expr: LinExpr,
+    pub(crate) rel: Rel,
+    pub(crate) rhs: f64,
+    pub(crate) name: Option<String>,
+}
+
+impl Constraint {
+    /// Creates a constraint.
+    pub fn new(expr: LinExpr, rel: Rel, rhs: f64) -> Self {
+        Constraint { expr, rel, rhs, name: None }
+    }
+
+    /// Attaches a diagnostic name.
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// The left-hand-side expression.
+    pub fn expr(&self) -> &LinExpr {
+        &self.expr
+    }
+
+    /// The relational operator.
+    pub fn rel(&self) -> Rel {
+        self.rel
+    }
+
+    /// The right-hand side.
+    pub fn rhs(&self) -> f64 {
+        self.rhs
+    }
+
+    /// Diagnostic name, if set.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// `true` if the point `values` satisfies this constraint within `tol`.
+    pub fn is_satisfied(&self, values: &[f64], tol: f64) -> bool {
+        let lhs = self.expr.eval(values);
+        match self.rel {
+            Rel::Le => lhs <= self.rhs + tol,
+            Rel::Ge => lhs >= self.rhs - tol,
+            Rel::Eq => (lhs - self.rhs).abs() <= tol,
+        }
+    }
+}
+
+/// Optimization direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Sense {
+    /// Minimize the objective (the default; feasibility models keep a zero
+    /// objective).
+    #[default]
+    Minimize,
+    /// Maximize the objective.
+    Maximize,
+}
+
+/// A mixed-integer linear program.
+///
+/// See the [crate-level documentation](crate) for a worked example.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    pub(crate) vars: Vec<Variable>,
+    pub(crate) constraints: Vec<Constraint>,
+    pub(crate) objective: LinExpr,
+    pub(crate) sense: Sense,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Self {
+        Model::default()
+    }
+
+    /// Adds a variable and returns its id.
+    pub fn add_var(&mut self, var: Variable) -> VarId {
+        self.vars.push(var);
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Adds a constraint.
+    pub fn add_constraint(&mut self, c: Constraint) {
+        self.constraints.push(c);
+    }
+
+    /// Sets a minimization objective.
+    pub fn minimize(&mut self, expr: LinExpr) {
+        self.objective = expr;
+        self.sense = Sense::Minimize;
+    }
+
+    /// Sets a maximization objective.
+    pub fn maximize(&mut self, expr: LinExpr) {
+        self.objective = expr;
+        self.sense = Sense::Maximize;
+    }
+
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// The variables.
+    pub fn vars(&self) -> &[Variable] {
+        &self.vars
+    }
+
+    /// The constraints.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Iterator over the ids of integer and binary variables.
+    pub fn integer_vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.vars
+            .iter()
+            .enumerate()
+            .filter(|(_, v)| matches!(v.kind, VarKind::Integer | VarKind::Binary))
+            .map(|(i, _)| VarId(i))
+    }
+
+    /// Validates the model: bounds are ordered, binaries are in `[0, 1]`,
+    /// every coefficient and right-hand side is finite, and all variable
+    /// references are in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found as a [`MilpError`].
+    pub fn validate(&self) -> Result<(), MilpError> {
+        for (i, v) in self.vars.iter().enumerate() {
+            let (lo, hi) = effective_bounds(v);
+            if lo > hi || lo.is_nan() || hi.is_nan() {
+                return Err(MilpError::InvalidBounds {
+                    var: v.name.clone().unwrap_or_else(|| format!("x{i}")),
+                    lower: v.lower,
+                    upper: v.upper,
+                });
+            }
+        }
+        let check_expr = |expr: &LinExpr, context: &str| -> Result<(), MilpError> {
+            for &(v, c) in expr.terms() {
+                if v.0 >= self.vars.len() {
+                    return Err(MilpError::UnknownVariable {
+                        index: v.0,
+                        var_count: self.vars.len(),
+                    });
+                }
+                if !c.is_finite() {
+                    return Err(MilpError::NonFiniteCoefficient { context: context.to_owned() });
+                }
+            }
+            Ok(())
+        };
+        check_expr(&self.objective, "objective")?;
+        for (i, c) in self.constraints.iter().enumerate() {
+            let context = c.name.clone().unwrap_or_else(|| format!("constraint {i}"));
+            check_expr(&c.expr, &context)?;
+            if !c.rhs.is_finite() {
+                return Err(MilpError::NonFiniteCoefficient { context });
+            }
+        }
+        Ok(())
+    }
+
+    /// Solves the model with the given options. This is the high-level entry
+    /// point; it validates, then runs branch and bound (or pure simplex if
+    /// there are no integer variables).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`MilpError`] for invalid models or if the simplex hits its
+    /// iteration limit.
+    pub fn solve(&self, options: &SolveOptions) -> Result<Outcome, MilpError> {
+        self.validate()?;
+        crate::branch::solve_mip(self, options)
+    }
+
+    /// `true` if the point satisfies every constraint and every variable
+    /// bound (within `tol`), and integer variables take integer values.
+    pub fn is_feasible_point(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.vars.len() {
+            return false;
+        }
+        for (i, v) in self.vars.iter().enumerate() {
+            let (lo, hi) = effective_bounds(v);
+            if values[i] < lo - tol || values[i] > hi + tol {
+                return false;
+            }
+            if matches!(v.kind, VarKind::Integer | VarKind::Binary)
+                && (values[i] - values[i].round()).abs() > tol
+            {
+                return false;
+            }
+        }
+        self.constraints.iter().all(|c| c.is_satisfied(values, tol))
+    }
+}
+
+/// Bounds with binary variables clamped to `[0, 1]`.
+pub(crate) fn effective_bounds(v: &Variable) -> (f64, f64) {
+    match v.kind {
+        VarKind::Binary => (v.lower.max(0.0), v.upper.min(1.0)),
+        _ => (v.lower, v.upper),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_merges_and_drops_zeros() {
+        let mut m = Model::new();
+        let x = m.add_var(Variable::binary());
+        let y = m.add_var(Variable::binary());
+        let e = LinExpr::new() + (1.0, y) + (2.0, x) + (3.0, y) + (-2.0, x);
+        let n = e.normalized();
+        assert_eq!(n, vec![(y, 4.0)]);
+    }
+
+    #[test]
+    fn eval_and_satisfaction() {
+        let mut m = Model::new();
+        let x = m.add_var(Variable::non_negative());
+        let y = m.add_var(Variable::non_negative());
+        let c = Constraint::new(LinExpr::new() + (2.0, x) + (1.0, y), Rel::Le, 10.0);
+        assert!(c.is_satisfied(&[3.0, 4.0], 1e-9));
+        assert!(!c.is_satisfied(&[5.0, 1.0], 1e-9));
+        let eq = Constraint::new(LinExpr::new() + (1.0, x), Rel::Eq, 2.0);
+        assert!(eq.is_satisfied(&[2.0 + 1e-10, 0.0], 1e-9));
+        assert!(!eq.is_satisfied(&[2.1, 0.0], 1e-9));
+    }
+
+    #[test]
+    fn validate_rejects_bad_bounds() {
+        let mut m = Model::new();
+        m.add_var(Variable::continuous(3.0, 1.0).with_name("bad"));
+        assert!(matches!(m.validate(), Err(MilpError::InvalidBounds { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_foreign_var() {
+        let mut m = Model::new();
+        let x = m.add_var(Variable::binary());
+        let mut other = Model::new();
+        other.add_constraint(Constraint::new(LinExpr::new() + (1.0, x), Rel::Le, 1.0));
+        assert!(matches!(other.validate(), Err(MilpError::UnknownVariable { .. })));
+    }
+
+    #[test]
+    fn validate_rejects_nan() {
+        let mut m = Model::new();
+        let x = m.add_var(Variable::binary());
+        m.add_constraint(Constraint::new(LinExpr::new() + (f64::NAN, x), Rel::Le, 1.0));
+        assert!(matches!(m.validate(), Err(MilpError::NonFiniteCoefficient { .. })));
+    }
+
+    #[test]
+    fn feasible_point_checks_integrality() {
+        let mut m = Model::new();
+        let x = m.add_var(Variable::integer(0.0, 5.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x), Rel::Le, 4.0));
+        assert!(m.is_feasible_point(&[3.0], 1e-9));
+        assert!(!m.is_feasible_point(&[3.5], 1e-9));
+        assert!(!m.is_feasible_point(&[4.5], 1e-9));
+    }
+
+    #[test]
+    fn binary_bounds_are_clamped() {
+        let v = Variable::binary();
+        assert_eq!(effective_bounds(&v), (0.0, 1.0));
+    }
+
+    #[test]
+    fn integer_var_iterator() {
+        let mut m = Model::new();
+        let _a = m.add_var(Variable::non_negative());
+        let b = m.add_var(Variable::binary());
+        let c = m.add_var(Variable::integer(0.0, 9.0));
+        assert_eq!(m.integer_vars().collect::<Vec<_>>(), vec![b, c]);
+    }
+
+    #[test]
+    fn display_impls() {
+        assert_eq!(VarId(3).to_string(), "x3");
+        assert_eq!(Rel::Le.to_string(), "<=");
+        assert_eq!(Rel::Ge.to_string(), ">=");
+        assert_eq!(Rel::Eq.to_string(), "=");
+    }
+}

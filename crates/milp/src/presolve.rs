@@ -1,0 +1,317 @@
+//! Presolve: bound propagation and redundant-row elimination.
+//!
+//! The reductions keep the variable set (and indexing) intact, so a
+//! solution of the reduced model is a solution of the original:
+//!
+//! * **activity-based bound tightening** — for every row, the minimum and
+//!   maximum activity of all-but-one variable imply bounds on the
+//!   remaining one; integer bounds are then rounded inward;
+//! * **redundant-row removal** — a row whose worst-case activity already
+//!   satisfies it is dropped;
+//! * **infeasibility detection** — a row whose best-case activity violates
+//!   it proves the model infeasible.
+//!
+//! Rounds repeat until a fixpoint (or a small cap).
+
+use crate::model::{effective_bounds, Constraint, Model, Rel, VarKind};
+
+/// Statistics of a presolve run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PresolveStats {
+    /// Number of variable bounds strengthened.
+    pub tightened_bounds: usize,
+    /// Number of constraints removed as redundant.
+    pub removed_rows: usize,
+    /// Propagation rounds performed.
+    pub rounds: usize,
+}
+
+/// Result of presolving a model.
+#[derive(Debug, Clone)]
+pub enum PresolveOutcome {
+    /// The reduced model (same variables, tightened bounds, fewer rows).
+    Reduced(Model, PresolveStats),
+    /// The constraints are provably inconsistent.
+    Infeasible,
+}
+
+/// Presolves `model`. See the module docs for the reductions applied.
+pub fn presolve(model: &Model) -> PresolveOutcome {
+    let mut m = model.clone();
+    let mut stats = PresolveStats::default();
+    const MAX_ROUNDS: usize = 8;
+    const TOL: f64 = 1e-9;
+
+    // Effective (integrality-rounded) bounds, maintained locally.
+    let mut lb: Vec<f64> = Vec::with_capacity(m.vars.len());
+    let mut ub: Vec<f64> = Vec::with_capacity(m.vars.len());
+    for v in &m.vars {
+        let (lo, hi) = effective_bounds(v);
+        if matches!(v.kind, VarKind::Integer | VarKind::Binary) {
+            lb.push(lo.ceil());
+            ub.push(hi.floor());
+        } else {
+            lb.push(lo);
+            ub.push(hi);
+        }
+    }
+
+    let mut normalized: Vec<Vec<(usize, f64)>> = m
+        .constraints
+        .iter()
+        .map(|c| c.expr.normalized().into_iter().map(|(v, coef)| (v.index(), coef)).collect())
+        .collect();
+    let mut alive: Vec<bool> = vec![true; m.constraints.len()];
+
+    for round in 0..MAX_ROUNDS {
+        let mut changed = false;
+        for (ci, c) in m.constraints.iter().enumerate() {
+            if !alive[ci] {
+                continue;
+            }
+            let terms = &normalized[ci];
+            // Row activity bounds.
+            let mut act_min = 0.0f64;
+            let mut act_max = 0.0f64;
+            for &(j, coef) in terms {
+                if coef > 0.0 {
+                    act_min += coef * lb[j];
+                    act_max += coef * ub[j];
+                } else {
+                    act_min += coef * ub[j];
+                    act_max += coef * lb[j];
+                }
+            }
+
+            // Infeasibility / redundancy.
+            match c.rel {
+                Rel::Le => {
+                    if act_min > c.rhs + TOL.max(1e-7 * c.rhs.abs()) {
+                        return PresolveOutcome::Infeasible;
+                    }
+                    if act_max <= c.rhs + TOL {
+                        alive[ci] = false;
+                        stats.removed_rows += 1;
+                        changed = true;
+                        continue;
+                    }
+                }
+                Rel::Ge => {
+                    if act_max < c.rhs - TOL.max(1e-7 * c.rhs.abs()) {
+                        return PresolveOutcome::Infeasible;
+                    }
+                    if act_min >= c.rhs - TOL {
+                        alive[ci] = false;
+                        stats.removed_rows += 1;
+                        changed = true;
+                        continue;
+                    }
+                }
+                Rel::Eq => {
+                    if act_min > c.rhs + TOL || act_max < c.rhs - TOL {
+                        return PresolveOutcome::Infeasible;
+                    }
+                }
+            }
+
+            // Bound tightening: treat Le/Eq as `expr <= rhs` and Ge/Eq as
+            // `expr >= rhs`, propagating onto each variable.
+            if act_min.is_finite() && matches!(c.rel, Rel::Le | Rel::Eq) {
+                for &(j, coef) in terms {
+                    // Residual minimum activity excluding j.
+                    let own_min = if coef > 0.0 { coef * lb[j] } else { coef * ub[j] };
+                    let residual = act_min - own_min;
+                    if coef > 0.0 {
+                        let implied = (c.rhs - residual) / coef;
+                        let implied = round_for(&m, j, implied, true);
+                        if implied < ub[j] - TOL {
+                            ub[j] = implied;
+                            stats.tightened_bounds += 1;
+                            changed = true;
+                        }
+                    } else {
+                        let implied = (c.rhs - residual) / coef;
+                        let implied = round_for(&m, j, implied, false);
+                        if implied > lb[j] + TOL {
+                            lb[j] = implied;
+                            stats.tightened_bounds += 1;
+                            changed = true;
+                        }
+                    }
+                    if lb[j] > ub[j] + TOL {
+                        return PresolveOutcome::Infeasible;
+                    }
+                }
+            }
+            if act_max.is_finite() && matches!(c.rel, Rel::Ge | Rel::Eq) {
+                for &(j, coef) in terms {
+                    let own_max = if coef > 0.0 { coef * ub[j] } else { coef * lb[j] };
+                    let residual = act_max - own_max;
+                    if coef > 0.0 {
+                        let implied = (c.rhs - residual) / coef;
+                        let implied = round_for(&m, j, implied, false);
+                        if implied > lb[j] + TOL {
+                            lb[j] = implied;
+                            stats.tightened_bounds += 1;
+                            changed = true;
+                        }
+                    } else {
+                        let implied = (c.rhs - residual) / coef;
+                        let implied = round_for(&m, j, implied, true);
+                        if implied < ub[j] - TOL {
+                            ub[j] = implied;
+                            stats.tightened_bounds += 1;
+                            changed = true;
+                        }
+                    }
+                    if lb[j] > ub[j] + TOL {
+                        return PresolveOutcome::Infeasible;
+                    }
+                }
+            }
+        }
+        stats.rounds = round + 1;
+        if !changed {
+            break;
+        }
+    }
+
+    // Write back bounds and surviving rows.
+    for (j, v) in m.vars.iter_mut().enumerate() {
+        v.lower = lb[j];
+        v.upper = ub[j];
+    }
+    let survivors: Vec<Constraint> = m
+        .constraints
+        .iter()
+        .zip(&alive)
+        .filter(|(_, &a)| a)
+        .map(|(c, _)| c.clone())
+        .collect();
+    let _ = std::mem::take(&mut normalized);
+    m.constraints = survivors;
+    PresolveOutcome::Reduced(m, stats)
+}
+
+/// Rounds an implied bound inward for integer variables.
+fn round_for(model: &Model, var: usize, value: f64, is_upper: bool) -> f64 {
+    match model.vars[var].kind {
+        VarKind::Integer | VarKind::Binary => {
+            if is_upper {
+                (value + 1e-9).floor()
+            } else {
+                (value - 1e-9).ceil()
+            }
+        }
+        VarKind::Continuous => value,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{LinExpr, Variable};
+    use crate::solution::SolveOptions;
+
+    #[test]
+    fn singleton_row_tightens_bound() {
+        // 2x <= 5 with x integer in [0, 10] -> x <= 2, row becomes redundant.
+        let mut m = Model::new();
+        let x = m.add_var(Variable::integer(0.0, 10.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (2.0, x), Rel::Le, 5.0));
+        match presolve(&m) {
+            PresolveOutcome::Reduced(r, stats) => {
+                assert_eq!(r.vars()[0].upper(), 2.0);
+                assert!(stats.tightened_bounds >= 1);
+                assert_eq!(r.constraint_count(), 0, "tightened row is redundant");
+            }
+            PresolveOutcome::Infeasible => panic!("feasible model"),
+        }
+    }
+
+    #[test]
+    fn detects_infeasible_row() {
+        let mut m = Model::new();
+        let x = m.add_var(Variable::binary());
+        let y = m.add_var(Variable::binary());
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (1.0, y), Rel::Ge, 3.0));
+        assert!(matches!(presolve(&m), PresolveOutcome::Infeasible));
+    }
+
+    #[test]
+    fn removes_redundant_rows() {
+        let mut m = Model::new();
+        let x = m.add_var(Variable::binary());
+        let y = m.add_var(Variable::binary());
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (1.0, y), Rel::Le, 5.0));
+        match presolve(&m) {
+            PresolveOutcome::Reduced(r, stats) => {
+                assert_eq!(r.constraint_count(), 0);
+                assert_eq!(stats.removed_rows, 1);
+            }
+            PresolveOutcome::Infeasible => panic!("feasible model"),
+        }
+    }
+
+    #[test]
+    fn propagation_chains_across_rounds() {
+        // x <= 3; y <= x - 1 (as y - x <= -1); z <= y (z - y <= 0):
+        // bounds cascade to y <= 2, z <= 2.
+        let mut m = Model::new();
+        let x = m.add_var(Variable::integer(0.0, 100.0));
+        let y = m.add_var(Variable::integer(0.0, 100.0));
+        let z = m.add_var(Variable::integer(0.0, 100.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x), Rel::Le, 3.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, y) + (-1.0, x), Rel::Le, -1.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, z) + (-1.0, y), Rel::Le, 0.0));
+        match presolve(&m) {
+            PresolveOutcome::Reduced(r, stats) => {
+                assert_eq!(r.vars()[0].upper(), 3.0);
+                assert_eq!(r.vars()[1].upper(), 2.0);
+                assert_eq!(r.vars()[2].upper(), 2.0);
+                assert!(stats.rounds >= 2);
+            }
+            PresolveOutcome::Infeasible => panic!("feasible model"),
+        }
+    }
+
+    #[test]
+    fn preserves_solutions() {
+        // Presolved and raw models give the same optimum on a knapsack.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..6).map(|_| m.add_var(Variable::binary())).collect();
+        let weights = [3.0, 5.0, 7.0, 2.0, 4.0, 6.0];
+        let values = [4.0, 6.0, 9.0, 2.0, 5.0, 7.0];
+        m.add_constraint(Constraint::new(
+            vars.iter().zip(weights).map(|(&v, w)| (w, v)).collect(),
+            Rel::Le,
+            12.0,
+        ));
+        m.maximize(vars.iter().zip(values).map(|(&v, c)| (c, v)).collect());
+        let raw = m.solve(&SolveOptions::optimal()).unwrap();
+        let reduced = match presolve(&m) {
+            PresolveOutcome::Reduced(r, _) => r,
+            PresolveOutcome::Infeasible => panic!("feasible model"),
+        };
+        let pre = reduced.solve(&SolveOptions::optimal()).unwrap();
+        assert_eq!(
+            raw.solution.unwrap().objective,
+            pre.solution.unwrap().objective
+        );
+    }
+
+    #[test]
+    fn ge_rows_raise_lower_bounds() {
+        // x + y >= 1.5 with y <= 0.3 -> x >= 1.2.
+        let mut m = Model::new();
+        let x = m.add_var(Variable::continuous(0.0, 10.0));
+        let y = m.add_var(Variable::continuous(0.0, 0.3));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (1.0, y), Rel::Ge, 1.5));
+        match presolve(&m) {
+            PresolveOutcome::Reduced(r, _) => {
+                assert!((r.vars()[0].lower() - 1.2).abs() < 1e-9);
+            }
+            PresolveOutcome::Infeasible => panic!("feasible model"),
+        }
+    }
+}

@@ -1,0 +1,646 @@
+//! Bounded-variable primal simplex on the full tableau.
+//!
+//! The implementation follows the classic textbook method for linear
+//! programs with general variable bounds `l ≤ x ≤ u`:
+//!
+//! * each constraint row gets a slack column, whose bounds encode the
+//!   relation (`≤` ⇒ `s ∈ [0, ∞)`, `≥` ⇒ `s ∈ (-∞, 0]`, `=` ⇒ `s = 0`);
+//! * the initial basis is the slack identity, nonbasic structurals sit at a
+//!   finite bound (free variables at 0);
+//! * infeasible basic variables are driven to their violated bound by a
+//!   *composite phase 1* (piecewise-linear infeasibility objective with
+//!   costs in `{-1, 0, +1}`), so no artificial columns are needed;
+//! * nonbasic variables may *bound-flip* without a basis change;
+//! * Dantzig pricing with an automatic switch to Bland's rule after a run of
+//!   degenerate pivots guards against cycling.
+
+use crate::error::MilpError;
+use crate::model::{effective_bounds, Model, Rel, Sense};
+use std::time::Instant;
+
+/// Status of an LP relaxation solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LpStatus {
+    /// An optimal basic solution was found.
+    Optimal,
+    /// The constraints admit no solution.
+    Infeasible,
+    /// The objective is unbounded in the optimization direction.
+    Unbounded,
+    /// A wall-clock deadline fired mid-solve; no conclusion was reached.
+    Interrupted,
+}
+
+/// Result of an LP relaxation solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LpOutcome {
+    /// Why the solve stopped.
+    pub status: LpStatus,
+    /// Values of the structural variables (empty unless `Optimal`).
+    pub values: Vec<f64>,
+    /// Objective value in the model's original sense (0 unless `Optimal`).
+    pub objective: f64,
+    /// Simplex iterations performed.
+    pub iterations: usize,
+}
+
+/// Solves the LP relaxation of `model` (integrality dropped), optionally
+/// overriding the structural variable bounds (used by branch and bound).
+///
+/// `tol` is the feasibility/optimality tolerance; `iteration_limit` of 0
+/// selects an automatic limit.
+///
+/// # Errors
+///
+/// Returns [`MilpError::IterationLimit`] if the simplex fails to converge
+/// within the iteration limit (typically a symptom of cycling on a badly
+/// scaled model).
+pub fn solve_lp(
+    model: &Model,
+    bounds_override: Option<&[(f64, f64)]>,
+    tol: f64,
+    iteration_limit: usize,
+) -> Result<LpOutcome, MilpError> {
+    solve_lp_with_deadline(model, bounds_override, tol, iteration_limit, None)
+}
+
+/// [`solve_lp`] with a wall-clock deadline, checked every few iterations;
+/// an expired deadline yields [`LpStatus::Interrupted`].
+///
+/// # Errors
+///
+/// Returns [`MilpError::IterationLimit`] like [`solve_lp`].
+pub fn solve_lp_with_deadline(
+    model: &Model,
+    bounds_override: Option<&[(f64, f64)]>,
+    tol: f64,
+    iteration_limit: usize,
+    deadline: Option<Instant>,
+) -> Result<LpOutcome, MilpError> {
+    let n = model.vars.len();
+    let m = model.constraints.len();
+    let total = n + m;
+
+    // Column bounds.
+    let mut lb = vec![0.0f64; total];
+    let mut ub = vec![0.0f64; total];
+    for (j, v) in model.vars.iter().enumerate() {
+        let (lo, hi) = match bounds_override {
+            Some(b) => b[j],
+            None => effective_bounds(v),
+        };
+        lb[j] = lo;
+        ub[j] = hi;
+        if lo > hi {
+            // Bound-tightening in branch and bound can cross bounds: that
+            // branch is trivially infeasible.
+            return Ok(LpOutcome {
+                status: LpStatus::Infeasible,
+                values: Vec::new(),
+                objective: 0.0,
+                iterations: 0,
+            });
+        }
+    }
+    for (i, c) in model.constraints.iter().enumerate() {
+        let (lo, hi) = match c.rel {
+            Rel::Le => (0.0, f64::INFINITY),
+            Rel::Ge => (f64::NEG_INFINITY, 0.0),
+            Rel::Eq => (0.0, 0.0),
+        };
+        lb[n + i] = lo;
+        ub[n + i] = hi;
+    }
+
+    // Costs, folded to minimization.
+    let sign = match model.sense {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+    let mut cost = vec![0.0f64; total];
+    for (v, c) in model.objective.normalized() {
+        cost[v.index()] = sign * c;
+    }
+
+    // Dense tableau, initially the constraint matrix with slack identity.
+    let mut t = vec![0.0f64; m * total];
+    let mut b = vec![0.0f64; m];
+    for (i, c) in model.constraints.iter().enumerate() {
+        for (v, coeff) in c.expr.normalized() {
+            t[i * total + v.index()] = coeff;
+        }
+        t[i * total + n + i] = 1.0;
+        b[i] = c.rhs;
+    }
+
+    // Initial point: nonbasics at a finite bound (free vars at 0), slack
+    // basis takes up the residual.
+    let mut x = vec![0.0f64; total];
+    let mut at_upper = vec![false; total];
+    for j in 0..n {
+        if lb[j].is_finite() {
+            x[j] = lb[j];
+        } else if ub[j].is_finite() {
+            x[j] = ub[j];
+            at_upper[j] = true;
+        } else {
+            x[j] = 0.0;
+        }
+    }
+    let mut basis: Vec<usize> = (n..total).collect();
+    let mut is_basic = vec![false; total];
+    for &k in &basis {
+        is_basic[k] = true;
+    }
+    for i in 0..m {
+        let mut v = b[i];
+        for j in 0..n {
+            let a = t[i * total + j];
+            if a != 0.0 {
+                v -= a * x[j];
+            }
+        }
+        x[n + i] = v;
+    }
+
+    let limit = if iteration_limit == 0 { 400 * (m + n) + 2000 } else { iteration_limit };
+    let piv_eps = 1e-9;
+    let mut degenerate_run = 0usize;
+    let mut iterations = 0usize;
+
+    loop {
+        if iterations >= limit {
+            return Err(MilpError::IterationLimit { limit });
+        }
+        if let Some(deadline) = deadline {
+            if iterations.is_multiple_of(16) && Instant::now() >= deadline {
+                return Ok(LpOutcome {
+                    status: LpStatus::Interrupted,
+                    values: Vec::new(),
+                    objective: 0.0,
+                    iterations,
+                });
+            }
+        }
+        iterations += 1;
+
+        // Phase detection and composite phase-1 costs on the basis.
+        let mut phase1 = false;
+        let mut c_b = vec![0.0f64; m];
+        for i in 0..m {
+            let k = basis[i];
+            if x[k] < lb[k] - tol {
+                c_b[i] = -1.0;
+                phase1 = true;
+            } else if x[k] > ub[k] + tol {
+                c_b[i] = 1.0;
+                phase1 = true;
+            }
+        }
+        if !phase1 {
+            for i in 0..m {
+                c_b[i] = cost[basis[i]];
+            }
+        }
+
+        // Reduced costs d_j = c_j - c_B' T_j for nonbasic columns.
+        let mut y = vec![0.0f64; total];
+        for i in 0..m {
+            let cbi = c_b[i];
+            if cbi != 0.0 {
+                let row = &t[i * total..(i + 1) * total];
+                for (j, yj) in y.iter_mut().enumerate() {
+                    *yj += cbi * row[j];
+                }
+            }
+        }
+
+        let use_bland = degenerate_run > 60;
+        let mut entering: Option<(usize, f64, f64)> = None; // (col, |d|, direction)
+        for j in 0..total {
+            if is_basic[j] {
+                continue;
+            }
+            let cj = if phase1 { 0.0 } else { cost[j] };
+            let d = cj - y[j];
+            let lower_finite = lb[j].is_finite();
+            let upper_finite = ub[j].is_finite();
+            if lower_finite && upper_finite && ub[j] - lb[j] <= tol {
+                continue; // fixed variable
+            }
+            let dir = if !lower_finite && !upper_finite {
+                // Free variable: move against the gradient.
+                if d < -tol {
+                    1.0
+                } else if d > tol {
+                    -1.0
+                } else {
+                    continue;
+                }
+            } else if at_upper[j] {
+                if d > tol {
+                    -1.0
+                } else {
+                    continue;
+                }
+            } else if d < -tol {
+                1.0
+            } else {
+                continue;
+            };
+            if use_bland {
+                entering = Some((j, d.abs(), dir));
+                break;
+            }
+            match entering {
+                Some((_, best, _)) if best >= d.abs() => {}
+                _ => entering = Some((j, d.abs(), dir)),
+            }
+        }
+
+        let Some((q, _, dir)) = entering else {
+            if phase1 {
+                return Ok(LpOutcome {
+                    status: LpStatus::Infeasible,
+                    values: Vec::new(),
+                    objective: 0.0,
+                    iterations,
+                });
+            }
+            let values: Vec<f64> = x[..n].to_vec();
+            let objective = model.objective.eval(&values);
+            return Ok(LpOutcome { status: LpStatus::Optimal, values, objective, iterations });
+        };
+
+        // Ratio test: entering q moves by step >= 0 in direction `dir`;
+        // basic i changes at rate -dir * T[i][q].
+        let own_range = ub[q] - lb[q]; // may be infinite
+        let mut best_step = if own_range.is_finite() { own_range } else { f64::INFINITY };
+        let mut blocking: Option<(usize, f64)> = None; // (row, bound the leaving var hits)
+        for i in 0..m {
+            let alpha = t[i * total + q];
+            if alpha.abs() <= piv_eps {
+                continue;
+            }
+            let rate = -dir * alpha;
+            let k = basis[i];
+            let v = x[k];
+            let (limit_bound, dist) = if rate > 0.0 {
+                // Basic increases: infeasible-low basics block when they
+                // reach their lower bound; infeasible-high basics move
+                // further out and never block (phase 1 pricing guarantees a
+                // net infeasibility decrease); feasible basics block at
+                // their upper bound.
+                if v < lb[k] - tol {
+                    (lb[k], lb[k] - v)
+                } else if v > ub[k] + tol {
+                    continue;
+                } else if ub[k].is_finite() {
+                    (ub[k], (ub[k] - v).max(0.0))
+                } else {
+                    continue;
+                }
+            } else {
+                // Basic decreases: mirror image of the above.
+                if v > ub[k] + tol {
+                    (ub[k], v - ub[k])
+                } else if v < lb[k] - tol {
+                    continue;
+                } else if lb[k].is_finite() {
+                    (lb[k], (v - lb[k]).max(0.0))
+                } else {
+                    continue;
+                }
+            };
+            let step = dist / rate.abs();
+            if step < best_step - 1e-12 {
+                best_step = step;
+                blocking = Some((i, limit_bound));
+            } else if step <= best_step + 1e-12 && blocking.is_some() && use_bland {
+                // Bland tie-break: prefer the lowest leaving index.
+                let (bi, _) = blocking.unwrap();
+                if basis[i] < basis[bi] {
+                    blocking = Some((i, limit_bound));
+                }
+            }
+        }
+
+        if best_step.is_infinite() {
+            debug_assert!(!phase1, "phase 1 must always have a blocking bound");
+            return Ok(LpOutcome {
+                status: LpStatus::Unbounded,
+                values: Vec::new(),
+                objective: 0.0,
+                iterations,
+            });
+        }
+
+        if best_step <= tol {
+            degenerate_run += 1;
+        } else {
+            degenerate_run = 0;
+        }
+
+        match blocking {
+            None => {
+                // Bound flip of the entering variable.
+                let step = best_step;
+                for i in 0..m {
+                    let alpha = t[i * total + q];
+                    if alpha != 0.0 {
+                        x[basis[i]] -= dir * step * alpha;
+                    }
+                }
+                x[q] += dir * step;
+                at_upper[q] = !at_upper[q];
+            }
+            Some((r, leave_bound)) => {
+                let step = best_step;
+                for i in 0..m {
+                    if i == r {
+                        continue;
+                    }
+                    let alpha = t[i * total + q];
+                    if alpha != 0.0 {
+                        x[basis[i]] -= dir * step * alpha;
+                    }
+                }
+                let leaving = basis[r];
+                x[q] += dir * step;
+                x[leaving] = leave_bound;
+                at_upper[leaving] = (leave_bound - ub[leaving]).abs() <= tol && ub[leaving].is_finite();
+                is_basic[leaving] = false;
+                is_basic[q] = true;
+                basis[r] = q;
+
+                // Gauss-Jordan pivot on (r, q).
+                let piv = t[r * total + q];
+                let (before, rest) = t.split_at_mut(r * total);
+                let (row_r, after) = rest.split_at_mut(total);
+                let inv = 1.0 / piv;
+                for val in row_r.iter_mut() {
+                    *val *= inv;
+                }
+                let eliminate = |row: &mut [f64]| {
+                    let factor = row[q];
+                    if factor != 0.0 {
+                        for (val, &rv) in row.iter_mut().zip(row_r.iter()) {
+                            *val -= factor * rv;
+                        }
+                    }
+                };
+                for chunk in before.chunks_mut(total) {
+                    eliminate(chunk);
+                }
+                for chunk in after.chunks_mut(total) {
+                    eliminate(chunk);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Constraint, LinExpr, Model, Rel, Variable};
+
+    const TOL: f64 = 1e-7;
+
+    fn lp(model: &Model) -> LpOutcome {
+        solve_lp(model, None, TOL, 0).expect("no iteration limit expected")
+    }
+
+    #[test]
+    fn simple_maximize() {
+        // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  (classic Dantzig)
+        let mut m = Model::new();
+        let x = m.add_var(Variable::non_negative());
+        let y = m.add_var(Variable::non_negative());
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x), Rel::Le, 4.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (2.0, y), Rel::Le, 12.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (3.0, x) + (2.0, y), Rel::Le, 18.0));
+        m.maximize(LinExpr::new() + (3.0, x) + (5.0, y));
+        let out = lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.objective - 36.0).abs() < 1e-6);
+        assert!((out.values[0] - 2.0).abs() < 1e-6);
+        assert!((out.values[1] - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn minimize_with_ge_rows_needs_phase1() {
+        // min x + y s.t. x + 2y >= 4, 3x + y >= 6, x,y >= 0 -> (1.6, 1.2), obj 2.8
+        let mut m = Model::new();
+        let x = m.add_var(Variable::non_negative());
+        let y = m.add_var(Variable::non_negative());
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (2.0, y), Rel::Ge, 4.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (3.0, x) + (1.0, y), Rel::Ge, 6.0));
+        m.minimize(LinExpr::new() + (1.0, x) + (1.0, y));
+        let out = lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.objective - 2.8).abs() < 1e-6, "objective {}", out.objective);
+        assert!((out.values[0] - 1.6).abs() < 1e-6);
+        assert!((out.values[1] - 1.2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min 2x + 3y s.t. x + y = 10, x - y = 2 -> x=6, y=4, obj 24
+        let mut m = Model::new();
+        let x = m.add_var(Variable::non_negative());
+        let y = m.add_var(Variable::non_negative());
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (1.0, y), Rel::Eq, 10.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (-1.0, y), Rel::Eq, 2.0));
+        m.minimize(LinExpr::new() + (2.0, x) + (3.0, y));
+        let out = lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.values[0] - 6.0).abs() < 1e-6);
+        assert!((out.values[1] - 4.0).abs() < 1e-6);
+        assert!((out.objective - 24.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut m = Model::new();
+        let x = m.add_var(Variable::continuous(0.0, 1.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x), Rel::Ge, 2.0));
+        assert_eq!(lp(&m).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_conflicting_rows() {
+        let mut m = Model::new();
+        let x = m.add_var(Variable::free());
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x), Rel::Ge, 5.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x), Rel::Le, 3.0));
+        assert_eq!(lp(&m).status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut m = Model::new();
+        let x = m.add_var(Variable::non_negative());
+        m.maximize(LinExpr::new() + (1.0, x));
+        assert_eq!(lp(&m).status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn bounded_by_variable_bounds_only() {
+        // No constraints at all: optimum sits on a variable bound.
+        let mut m = Model::new();
+        let x = m.add_var(Variable::continuous(-3.0, 7.0));
+        m.maximize(LinExpr::new() + (2.0, x));
+        let out = lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.values[0] - 7.0).abs() < 1e-9);
+        assert!((out.objective - 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn free_variable_enters() {
+        // min y s.t. y >= x - 2, y >= -x  with x free -> x = 1, y = -1.
+        let mut m = Model::new();
+        let x = m.add_var(Variable::free());
+        let y = m.add_var(Variable::free());
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, y) + (-1.0, x), Rel::Ge, -2.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, y) + (1.0, x), Rel::Ge, 0.0));
+        m.minimize(LinExpr::new() + (1.0, y));
+        let out = lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.objective + 1.0).abs() < 1e-6, "objective {}", out.objective);
+    }
+
+    #[test]
+    fn upper_bounded_vars_flip() {
+        // max x + y with x,y in [0,1], x + y <= 1.5 -> 1.5
+        let mut m = Model::new();
+        let x = m.add_var(Variable::continuous(0.0, 1.0));
+        let y = m.add_var(Variable::continuous(0.0, 1.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (1.0, y), Rel::Le, 1.5));
+        m.maximize(LinExpr::new() + (1.0, x) + (1.0, y));
+        let out = lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.objective - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn negative_rhs_le_needs_phase1() {
+        // x + y <= -1 with x,y >= -5: feasible, e.g. (-5, 4). min x+y -> -10.
+        let mut m = Model::new();
+        let x = m.add_var(Variable::continuous(-5.0, 5.0));
+        let y = m.add_var(Variable::continuous(-5.0, 5.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (1.0, y), Rel::Le, -1.0));
+        m.minimize(LinExpr::new() + (1.0, x) + (1.0, y));
+        let out = lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.objective + 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bounds_override_is_respected() {
+        let mut m = Model::new();
+        let x = m.add_var(Variable::continuous(0.0, 10.0));
+        m.maximize(LinExpr::new() + (1.0, x));
+        let out = solve_lp(&m, Some(&[(0.0, 3.0)]), TOL, 0).unwrap();
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.values[0] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn crossed_override_bounds_are_infeasible() {
+        let mut m = Model::new();
+        let _ = m.add_var(Variable::continuous(0.0, 10.0));
+        let out = solve_lp(&m, Some(&[(4.0, 3.0)]), TOL, 0).unwrap();
+        assert_eq!(out.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Beale's classic cycling example (under Dantzig pricing without
+        // safeguards); our Bland fallback must terminate it.
+        let mut m = Model::new();
+        let x1 = m.add_var(Variable::non_negative());
+        let x2 = m.add_var(Variable::non_negative());
+        let x3 = m.add_var(Variable::non_negative());
+        let x4 = m.add_var(Variable::non_negative());
+        m.add_constraint(Constraint::new(
+            LinExpr::new() + (0.25, x1) + (-8.0, x2) + (-1.0, x3) + (9.0, x4),
+            Rel::Le,
+            0.0,
+        ));
+        m.add_constraint(Constraint::new(
+            LinExpr::new() + (0.5, x1) + (-12.0, x2) + (-0.5, x3) + (3.0, x4),
+            Rel::Le,
+            0.0,
+        ));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x3), Rel::Le, 1.0));
+        m.minimize(LinExpr::new() + (-0.75, x1) + (150.0, x2) + (-0.02, x3) + (6.0, x4));
+        let out = lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        // Optimum: x1 = 1, x3 = 1, x2 = x4 = 0 -> -0.75 - 0.02 = -0.77.
+        assert!((out.objective + 0.77).abs() < 1e-6, "objective {}", out.objective);
+    }
+
+    #[test]
+    fn fixed_variables_are_skipped() {
+        let mut m = Model::new();
+        let x = m.add_var(Variable::continuous(2.0, 2.0));
+        let y = m.add_var(Variable::non_negative());
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (1.0, y), Rel::Le, 5.0));
+        m.maximize(LinExpr::new() + (1.0, x) + (1.0, y));
+        let out = lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.values[0] - 2.0).abs() < 1e-9);
+        assert!((out.objective - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn expired_deadline_interrupts() {
+        let mut m = Model::new();
+        let x = m.add_var(Variable::non_negative());
+        let y = m.add_var(Variable::non_negative());
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (1.0, y), Rel::Le, 4.0));
+        m.maximize(LinExpr::new() + (1.0, x) + (2.0, y));
+        let past = std::time::Instant::now() - std::time::Duration::from_secs(1);
+        let out = crate::simplex::solve_lp_with_deadline(&m, None, TOL, 0, Some(past)).unwrap();
+        assert_eq!(out.status, LpStatus::Interrupted);
+        assert!(out.values.is_empty());
+    }
+
+    #[test]
+    fn larger_random_feasible_lp_agrees_with_known_optimum() {
+        // Transportation-style LP with a known optimum: two suppliers (10, 15),
+        // three consumers (8, 7, 10); costs minimize to 8*1+2*3+5*2+10*1 = 34
+        // for cost matrix [[1,3,4],[4,2,1]] — verified by hand.
+        let mut m = Model::new();
+        let mut ship = Vec::new();
+        for _ in 0..6 {
+            ship.push(m.add_var(Variable::non_negative()));
+        }
+        let cost = [1.0, 3.0, 4.0, 4.0, 2.0, 1.0];
+        // Supply rows.
+        m.add_constraint(Constraint::new(
+            LinExpr::new() + (1.0, ship[0]) + (1.0, ship[1]) + (1.0, ship[2]),
+            Rel::Le,
+            10.0,
+        ));
+        m.add_constraint(Constraint::new(
+            LinExpr::new() + (1.0, ship[3]) + (1.0, ship[4]) + (1.0, ship[5]),
+            Rel::Le,
+            15.0,
+        ));
+        // Demand columns.
+        for (j, d) in [8.0, 7.0, 10.0].iter().enumerate() {
+            m.add_constraint(Constraint::new(
+                LinExpr::new() + (1.0, ship[j]) + (1.0, ship[3 + j]),
+                Rel::Ge,
+                *d,
+            ));
+        }
+        m.minimize(ship.iter().zip(cost).map(|(&v, c)| (c, v)).collect());
+        let out = lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!((out.objective - 34.0).abs() < 1e-6, "objective {}", out.objective);
+    }
+}

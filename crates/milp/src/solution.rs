@@ -1,0 +1,182 @@
+//! Solve options, solutions, and outcomes.
+
+use std::fmt;
+use std::time::Duration;
+
+/// What the branch-and-bound driver should aim for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Goal {
+    /// Stop at the first integer-feasible solution (the paper's
+    /// `SolveModel()` constraint-satisfaction use of the ILP).
+    Feasibility,
+    /// Prove optimality of the objective.
+    Optimal,
+}
+
+/// Options controlling a solve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveOptions {
+    /// Feasibility or optimality.
+    pub goal: Goal,
+    /// Maximum number of branch-and-bound nodes to explore.
+    pub node_limit: usize,
+    /// Wall-clock deadline for the whole solve.
+    pub time_limit: Option<Duration>,
+    /// Tolerance within which a value counts as integral.
+    pub int_tol: f64,
+    /// Feasibility/optimality tolerance of the underlying simplex.
+    pub lp_tol: f64,
+    /// Simplex iteration limit per LP solve (0 means automatic).
+    pub lp_iteration_limit: usize,
+    /// Try rounding the root LP relaxation before branching.
+    pub rounding_heuristic: bool,
+    /// Run presolve (bound propagation, redundant-row removal) before
+    /// branch and bound.
+    pub presolve: bool,
+}
+
+impl SolveOptions {
+    /// Options for a feasibility run.
+    pub fn feasibility() -> Self {
+        SolveOptions { goal: Goal::Feasibility, ..SolveOptions::default() }
+    }
+
+    /// Options for an optimality run.
+    pub fn optimal() -> Self {
+        SolveOptions { goal: Goal::Optimal, ..SolveOptions::default() }
+    }
+
+    /// Builder-style time limit.
+    pub fn with_time_limit(mut self, limit: Duration) -> Self {
+        self.time_limit = Some(limit);
+        self
+    }
+
+    /// Builder-style node limit.
+    pub fn with_node_limit(mut self, limit: usize) -> Self {
+        self.node_limit = limit;
+        self
+    }
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            goal: Goal::Feasibility,
+            node_limit: 2_000_000,
+            time_limit: None,
+            int_tol: 1e-6,
+            lp_tol: 1e-7,
+            lp_iteration_limit: 0,
+            rounding_heuristic: true,
+            presolve: true,
+        }
+    }
+}
+
+/// Termination status of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Status {
+    /// Optimality was proven (optimality goal only).
+    Optimal,
+    /// An integer-feasible solution was found (feasibility goal, or an
+    /// optimality run interrupted by a limit with an incumbent in hand).
+    Feasible,
+    /// The model was proven infeasible.
+    Infeasible,
+    /// The LP relaxation is unbounded in the optimization direction.
+    Unbounded,
+    /// A node or time limit was hit with no incumbent.
+    LimitReached,
+}
+
+impl Status {
+    /// `true` for [`Status::Optimal`] and [`Status::Feasible`].
+    pub fn has_solution(self) -> bool {
+        matches!(self, Status::Optimal | Status::Feasible)
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Status::Optimal => "optimal",
+            Status::Feasible => "feasible",
+            Status::Infeasible => "infeasible",
+            Status::Unbounded => "unbounded",
+            Status::LimitReached => "limit reached",
+        })
+    }
+}
+
+/// A (mixed-)integer solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    /// Value of every variable, indexed by [`VarId::index`](crate::VarId::index).
+    pub values: Vec<f64>,
+    /// Objective value at `values` (0 for pure feasibility models).
+    pub objective: f64,
+}
+
+impl Solution {
+    /// The value of `var` rounded to the nearest integer — convenient for
+    /// binary/integer variables.
+    pub fn int_value(&self, var: crate::VarId) -> i64 {
+        self.values[var.index()].round() as i64
+    }
+
+    /// The raw value of `var`.
+    pub fn value(&self, var: crate::VarId) -> f64 {
+        self.values[var.index()]
+    }
+}
+
+/// Statistics of a branch-and-bound run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SolveStats {
+    /// Branch-and-bound nodes explored (1 for a pure LP).
+    pub nodes: usize,
+    /// Total simplex iterations across all LP solves.
+    pub simplex_iterations: usize,
+}
+
+/// Result of [`Model::solve`](crate::Model::solve).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Outcome {
+    /// Why the solve stopped.
+    pub status: Status,
+    /// The incumbent solution, present iff `status.has_solution()`.
+    pub solution: Option<Solution>,
+    /// Search statistics.
+    pub stats: SolveStats,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_has_solution() {
+        assert!(Status::Optimal.has_solution());
+        assert!(Status::Feasible.has_solution());
+        assert!(!Status::Infeasible.has_solution());
+        assert!(!Status::Unbounded.has_solution());
+        assert!(!Status::LimitReached.has_solution());
+    }
+
+    #[test]
+    fn options_builders() {
+        let o = SolveOptions::optimal()
+            .with_node_limit(5)
+            .with_time_limit(Duration::from_millis(10));
+        assert_eq!(o.goal, Goal::Optimal);
+        assert_eq!(o.node_limit, 5);
+        assert_eq!(o.time_limit, Some(Duration::from_millis(10)));
+    }
+
+    #[test]
+    fn status_display() {
+        assert_eq!(Status::Infeasible.to_string(), "infeasible");
+        assert_eq!(Status::LimitReached.to_string(), "limit reached");
+    }
+}

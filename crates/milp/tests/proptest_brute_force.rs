@@ -1,0 +1,151 @@
+//! Property tests: the MILP solver against exhaustive enumeration on random
+//! small 0-1 programs.
+
+use proptest::prelude::*;
+use rtr_milp::{Constraint, LinExpr, Model, Rel, SolveOptions, Status, Variable};
+
+#[derive(Debug, Clone)]
+struct RandomIp {
+    vars: usize,
+    objective: Vec<f64>,
+    // (coefficients, rel, rhs)
+    constraints: Vec<(Vec<f64>, Rel, f64)>,
+    maximize: bool,
+}
+
+fn arb_ip() -> impl Strategy<Value = RandomIp> {
+    (2usize..7, 1usize..5, any::<bool>()).prop_flat_map(|(vars, cons, maximize)| {
+        let coeff = -6i32..7;
+        let objective = proptest::collection::vec(coeff.clone().prop_map(f64::from), vars);
+        let row = (
+            proptest::collection::vec(coeff.prop_map(f64::from), vars),
+            prop_oneof![Just(Rel::Le), Just(Rel::Ge)],
+            (-4i32..10).prop_map(f64::from),
+        );
+        let constraints = proptest::collection::vec(row, cons);
+        (objective, constraints).prop_map(move |(objective, constraints)| RandomIp {
+            vars,
+            objective,
+            constraints,
+            maximize,
+        })
+    })
+}
+
+fn brute_force(ip: &RandomIp) -> Option<f64> {
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << ip.vars) {
+        let x: Vec<f64> =
+            (0..ip.vars).map(|i| if mask & (1 << i) != 0 { 1.0 } else { 0.0 }).collect();
+        let ok = ip.constraints.iter().all(|(row, rel, rhs)| {
+            let lhs: f64 = row.iter().zip(&x).map(|(c, v)| c * v).sum();
+            match rel {
+                Rel::Le => lhs <= *rhs + 1e-9,
+                Rel::Ge => lhs >= *rhs - 1e-9,
+                Rel::Eq => (lhs - rhs).abs() <= 1e-9,
+            }
+        });
+        if ok {
+            let obj: f64 = ip.objective.iter().zip(&x).map(|(c, v)| c * v).sum();
+            best = Some(match best {
+                None => obj,
+                Some(b) if ip.maximize => b.max(obj),
+                Some(b) => b.min(obj),
+            });
+        }
+    }
+    best
+}
+
+fn build_model(ip: &RandomIp) -> (Model, Vec<rtr_milp::VarId>) {
+    let mut m = Model::new();
+    let vars: Vec<_> = (0..ip.vars).map(|_| m.add_var(Variable::binary())).collect();
+    for (row, rel, rhs) in &ip.constraints {
+        let expr: LinExpr = vars.iter().zip(row).map(|(&v, &c)| (c, v)).collect();
+        m.add_constraint(Constraint::new(expr, *rel, *rhs));
+    }
+    let obj: LinExpr = vars.iter().zip(&ip.objective).map(|(&v, &c)| (c, v)).collect();
+    if ip.maximize {
+        m.maximize(obj);
+    } else {
+        m.minimize(obj);
+    }
+    (m, vars)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 300, .. ProptestConfig::default() })]
+
+    /// Optimality mode matches exhaustive enumeration exactly.
+    #[test]
+    fn optimal_matches_brute_force(ip in arb_ip()) {
+        let (model, _) = build_model(&ip);
+        let out = model.solve(&SolveOptions::optimal()).unwrap();
+        match brute_force(&ip) {
+            Some(best) => {
+                prop_assert_eq!(out.status, Status::Optimal);
+                let got = out.solution.as_ref().unwrap().objective;
+                prop_assert!((got - best).abs() < 1e-6, "milp {got} vs brute {best}");
+                // The returned point itself must be feasible.
+                prop_assert!(model.is_feasible_point(&out.solution.unwrap().values, 1e-6));
+            }
+            None => prop_assert_eq!(out.status, Status::Infeasible),
+        }
+    }
+
+    /// Feasibility mode agrees with enumeration on feasibility and returns
+    /// a genuinely feasible point.
+    #[test]
+    fn feasibility_matches_brute_force(ip in arb_ip()) {
+        let (model, _) = build_model(&ip);
+        let out = model.solve(&SolveOptions::feasibility()).unwrap();
+        match brute_force(&ip) {
+            Some(_) => {
+                prop_assert!(out.status.has_solution(), "status {:?}", out.status);
+                prop_assert!(model.is_feasible_point(&out.solution.unwrap().values, 1e-6));
+            }
+            None => prop_assert_eq!(out.status, Status::Infeasible),
+        }
+    }
+
+    /// Presolve preserves the feasible set: the presolved model has exactly
+    /// the same optimum (or infeasibility) as the raw model.
+    #[test]
+    fn presolve_preserves_the_optimum(ip in arb_ip()) {
+        use rtr_milp::{presolve, PresolveOutcome};
+        let (model, _) = build_model(&ip);
+        let brute = brute_force(&ip);
+        match presolve(&model) {
+            PresolveOutcome::Infeasible => prop_assert!(brute.is_none()),
+            PresolveOutcome::Reduced(reduced, _) => {
+                prop_assert!(reduced.constraint_count() <= model.constraint_count());
+                let out = reduced.solve(&SolveOptions::optimal()).unwrap();
+                match brute {
+                    Some(best) => {
+                        prop_assert_eq!(out.status, Status::Optimal);
+                        let got = out.solution.unwrap().objective;
+                        prop_assert!((got - best).abs() < 1e-6, "presolved {got} vs brute {best}");
+                    }
+                    None => prop_assert_eq!(out.status, Status::Infeasible),
+                }
+            }
+        }
+    }
+
+    /// The LP relaxation's optimum bounds the integer optimum from the
+    /// right side (weak duality of the relaxation).
+    #[test]
+    fn lp_relaxation_bounds_ip(ip in arb_ip()) {
+        let (model, _) = build_model(&ip);
+        let lp = rtr_milp::solve_lp(&model, None, 1e-7, 0).unwrap();
+        let out = model.solve(&SolveOptions::optimal()).unwrap();
+        if lp.status == rtr_milp::LpStatus::Optimal && out.status == Status::Optimal {
+            let ip_obj = out.solution.unwrap().objective;
+            if ip.maximize {
+                prop_assert!(lp.objective >= ip_obj - 1e-6);
+            } else {
+                prop_assert!(lp.objective <= ip_obj + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! Discrete-event simulation of a run-time reconfigurable processor.
+//!
+//! The paper evaluates latency analytically (`Σ_p d_p + η·C_T`); the
+//! physical machines it targets — a Wildforce-class board with millisecond
+//! reconfiguration and a time-multiplexed FPGA with nanosecond context
+//! switches — are hardware this reproduction does not have. This crate
+//! substitutes an event-driven execution model of such a processor:
+//!
+//! * the device is reconfigured once per used partition (cost `C_T`);
+//! * inside a configuration, tasks are spatially placed and start as soon
+//!   as their operands are ready (dataflow execution); operands produced in
+//!   earlier partitions are read from on-board memory at partition start;
+//! * the occupancy of the on-board memory is tracked at every partition
+//!   boundary.
+//!
+//! Simulating a solution yields the same total latency as the analytic
+//! model — asserted by the cross-check tests and usable as an independent
+//! oracle for every number the benches report — plus a full event timeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod report;
+mod simulate;
+
+pub use report::{PartitionTrace, SimError, SimReport, TaskTrace};
+pub use simulate::{simulate, simulate_with, SimOptions};

@@ -1,0 +1,250 @@
+//! Simulation reports and errors.
+
+use rtr_graph::{Latency, TaskId};
+use std::error::Error;
+use std::fmt;
+
+/// Why a simulation was rejected.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The solution failed validation against the graph and architecture;
+    /// the violations are reported verbatim.
+    InvalidSolution(Vec<rtr_core::Violation>),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::InvalidSolution(v) => {
+                write!(f, "solution fails validation with {} violation(s)", v.len())?;
+                for violation in v {
+                    write!(f, "; {violation}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Execution trace of one task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TaskTrace {
+    /// The task.
+    pub task: TaskId,
+    /// Absolute start time (from the start of the whole run).
+    pub start: Latency,
+    /// Absolute finish time.
+    pub finish: Latency,
+}
+
+/// Execution trace of one temporal partition (one configuration).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionTrace {
+    /// Partition index (1-based, after compaction).
+    pub partition: u32,
+    /// When reconfiguration for this partition began.
+    pub reconfig_start: Latency,
+    /// When the configuration was loaded and execution began.
+    pub exec_start: Latency,
+    /// When the last task of the partition finished.
+    pub exec_end: Latency,
+    /// Task traces, in start order.
+    pub tasks: Vec<TaskTrace>,
+    /// On-board memory occupancy while this partition runs (data produced
+    /// earlier and still needed, plus resident environment data).
+    pub memory_in_use: u64,
+}
+
+impl PartitionTrace {
+    /// Execution time of this partition (the realized `d_p`).
+    pub fn execution_time(&self) -> Latency {
+        self.exec_end.saturating_sub(self.exec_start)
+    }
+}
+
+/// Full report of one simulated run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Per-partition traces, in execution order.
+    pub partitions: Vec<PartitionTrace>,
+    /// Total wall-clock latency of the run (the last finish time).
+    pub total_latency: Latency,
+    /// Total time spent reconfiguring (`η · C_T`).
+    pub reconfig_time: Latency,
+    /// Peak on-board memory occupancy over the run.
+    pub peak_memory: u64,
+}
+
+impl SimReport {
+    /// Number of configurations executed (the realized `η`).
+    pub fn partitions_used(&self) -> u32 {
+        self.partitions.len() as u32
+    }
+
+    /// Sum of per-partition execution times (the realized `Σ_p d_p`).
+    pub fn execution_latency(&self) -> Latency {
+        self.partitions.iter().map(PartitionTrace::execution_time).sum()
+    }
+
+    /// Serializes the per-task trace as CSV:
+    /// `partition, task_index, start_ns, finish_ns`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("partition,task,start_ns,finish_ns\n");
+        for p in &self.partitions {
+            for t in &p.tasks {
+                out.push_str(&format!(
+                    "{},{},{},{}\n",
+                    p.partition,
+                    t.task.index(),
+                    t.start.as_ns(),
+                    t.finish.as_ns()
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders an ASCII Gantt chart of the run: one bar per partition,
+    /// reconfiguration shown as `#`, execution as `=`, scaled to `width`
+    /// columns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero.
+    pub fn gantt(&self, width: usize) -> String {
+        assert!(width > 0, "gantt width must be positive");
+        let total = self.total_latency.as_ns().max(1.0);
+        let col = |t: Latency| ((t.as_ns() / total) * width as f64).round() as usize;
+        let mut out = String::new();
+        for p in &self.partitions {
+            let r0 = col(p.reconfig_start);
+            let e0 = col(p.exec_start).min(width);
+            let e1 = col(p.exec_end).min(width);
+            let mut row = String::with_capacity(width);
+            row.push_str(&" ".repeat(r0));
+            row.push_str(&"#".repeat(e0.saturating_sub(r0).max(1)));
+            row.push_str(&"=".repeat(e1.saturating_sub(e0).max(1)));
+            out.push_str(&format!("p{:<3}|{row}\n", p.partition));
+        }
+        out.push_str(&format!("     0 {:>width$}\n", self.total_latency.to_string()));
+        out
+    }
+
+    /// Renders a human-readable timeline.
+    pub fn timeline(&self) -> String {
+        let mut out = String::new();
+        for p in &self.partitions {
+            out.push_str(&format!(
+                "partition {}: reconfig @{} -> exec [{} .. {}] ({} tasks, mem {})\n",
+                p.partition,
+                p.reconfig_start,
+                p.exec_start,
+                p.exec_end,
+                p.tasks.len(),
+                p.memory_in_use
+            ));
+        }
+        out.push_str(&format!(
+            "total {} (exec {}, reconfig {})",
+            self.total_latency,
+            self.execution_latency(),
+            self.reconfig_time
+        ));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn execution_time_is_span() {
+        let p = PartitionTrace {
+            partition: 1,
+            reconfig_start: Latency::ZERO,
+            exec_start: Latency::from_ns(50.0),
+            exec_end: Latency::from_ns(350.0),
+            tasks: Vec::new(),
+            memory_in_use: 0,
+        };
+        assert_eq!(p.execution_time(), Latency::from_ns(300.0));
+    }
+
+    #[test]
+    fn error_display_lists_violations() {
+        let e = SimError::InvalidSolution(vec![]);
+        assert!(e.to_string().contains("0 violation"));
+    }
+
+    #[test]
+    fn gantt_renders_every_partition() {
+        let mk = |p: u32, r0: f64, e0: f64, e1: f64| PartitionTrace {
+            partition: p,
+            reconfig_start: Latency::from_ns(r0),
+            exec_start: Latency::from_ns(e0),
+            exec_end: Latency::from_ns(e1),
+            tasks: Vec::new(),
+            memory_in_use: 0,
+        };
+        let report = SimReport {
+            partitions: vec![mk(1, 0.0, 100.0, 400.0), mk(2, 400.0, 500.0, 900.0)],
+            total_latency: Latency::from_ns(900.0),
+            reconfig_time: Latency::from_ns(200.0),
+            peak_memory: 0,
+        };
+        let g = report.gantt(60);
+        assert_eq!(g.lines().count(), 3);
+        assert!(g.contains("p1"));
+        assert!(g.contains('#'));
+        assert!(g.contains('='));
+    }
+
+    #[test]
+    fn csv_lists_every_task_once() {
+        use rtr_graph::TaskId;
+        let report = SimReport {
+            partitions: vec![PartitionTrace {
+                partition: 1,
+                reconfig_start: Latency::ZERO,
+                exec_start: Latency::from_ns(10.0),
+                exec_end: Latency::from_ns(40.0),
+                tasks: vec![
+                    TaskTrace {
+                        task: TaskId::from_index(0),
+                        start: Latency::from_ns(10.0),
+                        finish: Latency::from_ns(25.0),
+                    },
+                    TaskTrace {
+                        task: TaskId::from_index(1),
+                        start: Latency::from_ns(25.0),
+                        finish: Latency::from_ns(40.0),
+                    },
+                ],
+                memory_in_use: 0,
+            }],
+            total_latency: Latency::from_ns(40.0),
+            reconfig_time: Latency::from_ns(10.0),
+            peak_memory: 0,
+        };
+        let csv = report.to_csv();
+        assert_eq!(csv.lines().count(), 3);
+        assert!(csv.contains("1,0,10,25"));
+        assert!(csv.contains("1,1,25,40"));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn gantt_zero_width_panics() {
+        let report = SimReport {
+            partitions: Vec::new(),
+            total_latency: Latency::ZERO,
+            reconfig_time: Latency::ZERO,
+            peak_memory: 0,
+        };
+        let _ = report.gantt(0);
+    }
+}

@@ -1,0 +1,380 @@
+//! The event-driven execution model.
+
+use crate::report::{PartitionTrace, SimError, SimReport, TaskTrace};
+use rtr_core::{validate_solution, Architecture, Solution};
+use rtr_graph::{Latency, TaskGraph};
+
+/// Options for [`simulate_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SimOptions {
+    /// Double-buffered configuration contexts: while partition `p`
+    /// executes, the configuration port loads partition `p + 1` into the
+    /// inactive context, hiding reconfiguration time behind execution —
+    /// the behaviour of time-multiplexed FPGAs in the style of the paper's
+    /// reference \[12\]. The analytic model `Σ d_p + η·C_T` does not account
+    /// for this; the simulator is the evaluation tool for it.
+    pub prefetch: bool,
+}
+
+/// Simulates executing `solution` on the reconfigurable processor.
+///
+/// The solution is validated first; partitions then execute in order, each
+/// paying the reconfiguration cost `C_T` before its tasks run in dataflow
+/// order (a task starts once all same-partition predecessors have finished;
+/// operands from earlier partitions are available at partition start).
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidSolution`] if the solution violates any
+/// constraint.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_core::{Architecture, Solution, Placement};
+/// use rtr_graph::{TaskGraphBuilder, DesignPoint, Area, Latency};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = TaskGraphBuilder::new();
+/// let a = b.add_task("a")
+///     .design_point(DesignPoint::new("m", Area::new(10), Latency::from_ns(100.0)))
+///     .finish();
+/// let c = b.add_task("c")
+///     .design_point(DesignPoint::new("m", Area::new(10), Latency::from_ns(200.0)))
+///     .finish();
+/// b.add_edge(a, c, 1)?;
+/// let g = b.build()?;
+/// let arch = Architecture::new(Area::new(16), 8, Latency::from_ns(50.0));
+/// let sol = Solution::new(vec![
+///     Placement { partition: 1, design_point: 0 },
+///     Placement { partition: 2, design_point: 0 },
+/// ], 2);
+/// let report = rtr_sim::simulate(&g, &arch, &sol)?;
+/// // 50 (reconfig) + 100 + 50 (reconfig) + 200.
+/// assert_eq!(report.total_latency.as_ns(), 400.0);
+/// // The simulator independently confirms the analytic model:
+/// assert_eq!(report.total_latency, sol.total_latency(&g, &arch));
+/// # Ok(())
+/// # }
+/// ```
+pub fn simulate(
+    graph: &TaskGraph,
+    arch: &Architecture,
+    solution: &Solution,
+) -> Result<SimReport, SimError> {
+    simulate_with(graph, arch, solution, &SimOptions::default())
+}
+
+/// [`simulate`] with explicit [`SimOptions`] (e.g. configuration
+/// prefetching on a double-buffered device).
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidSolution`] if the solution violates any
+/// constraint.
+pub fn simulate_with(
+    graph: &TaskGraph,
+    arch: &Architecture,
+    solution: &Solution,
+    options: &SimOptions,
+) -> Result<SimReport, SimError> {
+    let violations = validate_solution(graph, arch, solution);
+    if !violations.is_empty() {
+        return Err(SimError::InvalidSolution(violations));
+    }
+    let compact = solution.compacted(solution.n_bound());
+    let eta = compact.partitions_used();
+    let boundary_memory = compact.boundary_memory(graph, arch.env_policy());
+
+    let mut finish = vec![Latency::ZERO; graph.task_count()];
+    let mut clock = Latency::ZERO;
+    let mut partitions = Vec::with_capacity(eta as usize);
+    let mut peak_memory = 0u64;
+    // With prefetch, the configuration port loads context p while p-1
+    // executes; track when the port becomes free.
+    let mut port_free = Latency::ZERO;
+    let mut prev_exec_start = Latency::ZERO;
+    let mut prev_exec_end = Latency::ZERO;
+
+    for p in 1..=eta {
+        let reconfig_start = if options.prefetch {
+            // The inactive context buffer frees once the previous partition
+            // has started executing; the port must also be free.
+            if p == 1 {
+                Latency::ZERO
+            } else {
+                port_free.max(prev_exec_start)
+            }
+        } else {
+            clock
+        };
+        let reconfig_end = reconfig_start + arch.reconfig_time();
+        port_free = reconfig_end;
+        let exec_start = if options.prefetch {
+            reconfig_end.max(prev_exec_end)
+        } else {
+            reconfig_end
+        };
+        let mut traces = Vec::new();
+        let mut exec_end = exec_start;
+        // Tasks in topological order: same-partition dataflow execution.
+        for &t in graph.topological_order() {
+            if compact.placement(t).partition != p {
+                continue;
+            }
+            let dp = &graph.task(t).design_points()[compact.placement(t).design_point];
+            let ready = graph
+                .predecessors(t)
+                .iter()
+                .filter(|q| compact.placement(**q).partition == p)
+                .map(|q| finish[q.index()])
+                .fold(exec_start, Latency::max);
+            let done = ready + dp.latency();
+            finish[t.index()] = done;
+            exec_end = exec_end.max(done);
+            traces.push(TaskTrace { task: t, start: ready, finish: done });
+        }
+        traces.sort_by(|a, b| a.start.total_cmp(&b.start));
+        // Memory in use while partition p runs = data held at boundary p
+        // (boundary p is the state entering partition p; partition 1 starts
+        // with only environment inputs, already charged at later
+        // boundaries under the resident policy).
+        let memory_in_use =
+            if p >= 2 { boundary_memory[(p - 2) as usize] } else { 0 };
+        peak_memory = peak_memory.max(memory_in_use);
+        partitions.push(PartitionTrace {
+            partition: p,
+            reconfig_start,
+            exec_start,
+            exec_end,
+            tasks: traces,
+            memory_in_use,
+        });
+        prev_exec_start = exec_start;
+        prev_exec_end = exec_end;
+        clock = clock.max(exec_end);
+    }
+
+    Ok(SimReport {
+        partitions,
+        total_latency: clock,
+        reconfig_time: arch.reconfig_time() * eta,
+        peak_memory,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rtr_core::Placement;
+    use rtr_graph::{Area, DesignPoint, TaskGraphBuilder};
+
+    fn dp(area: u64, lat: f64) -> DesignPoint {
+        DesignPoint::new("m", Area::new(area), Latency::from_ns(lat))
+    }
+
+    /// Fork-join inside one partition: latency is the critical path, not the
+    /// sum.
+    #[test]
+    fn intra_partition_parallelism() {
+        let mut b = TaskGraphBuilder::new();
+        let s = b.add_task("s").design_point(dp(5, 100.0)).finish();
+        let l = b.add_task("l").design_point(dp(5, 300.0)).finish();
+        let r = b.add_task("r").design_point(dp(5, 50.0)).finish();
+        let j = b.add_task("j").design_point(dp(5, 100.0)).finish();
+        b.add_edge(s, l, 1).unwrap();
+        b.add_edge(s, r, 1).unwrap();
+        b.add_edge(l, j, 1).unwrap();
+        b.add_edge(r, j, 1).unwrap();
+        let g = b.build().unwrap();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(10.0));
+        let pl = |p| Placement { partition: p, design_point: 0 };
+        let sol = Solution::new(vec![pl(1); 4], 1);
+        let report = simulate(&g, &arch, &sol).unwrap();
+        // 10 (reconfig) + 100 + 300 + 100.
+        assert_eq!(report.total_latency.as_ns(), 510.0);
+        assert_eq!(report.partitions_used(), 1);
+        assert_eq!(report.execution_latency().as_ns(), 500.0);
+    }
+
+    #[test]
+    fn matches_analytic_model_across_splits() {
+        let mut b = TaskGraphBuilder::new();
+        let s = b.add_task("s").design_point(dp(5, 100.0)).finish();
+        let l = b.add_task("l").design_point(dp(5, 300.0)).finish();
+        let r = b.add_task("r").design_point(dp(5, 50.0)).finish();
+        let j = b.add_task("j").design_point(dp(5, 100.0)).finish();
+        b.add_edge(s, l, 2).unwrap();
+        b.add_edge(s, r, 2).unwrap();
+        b.add_edge(l, j, 2).unwrap();
+        b.add_edge(r, j, 2).unwrap();
+        let g = b.build().unwrap();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(25.0));
+        let pl = |p| Placement { partition: p, design_point: 0 };
+        for placements in [
+            vec![pl(1), pl(1), pl(1), pl(2)],
+            vec![pl(1), pl(2), pl(1), pl(2)],
+            vec![pl(1), pl(2), pl(2), pl(3)],
+            vec![pl(1), pl(1), pl(2), pl(3)],
+        ] {
+            let sol = Solution::new(placements, 3);
+            let report = simulate(&g, &arch, &sol).unwrap();
+            assert_eq!(
+                report.total_latency,
+                sol.total_latency(&g, &arch),
+                "simulator disagrees with analytic model for {sol}"
+            );
+            assert_eq!(report.peak_memory, sol.peak_memory(&g, arch.env_policy()));
+        }
+    }
+
+    #[test]
+    fn cross_partition_data_waits_in_memory_not_time() {
+        // A producer in p1 and two consumers in p2: both consumers start at
+        // partition-2 exec start, not serialized after the producer.
+        let mut b = TaskGraphBuilder::new();
+        let s = b.add_task("s").design_point(dp(5, 100.0)).finish();
+        let c1 = b.add_task("c1").design_point(dp(5, 200.0)).finish();
+        let c2 = b.add_task("c2").design_point(dp(5, 250.0)).finish();
+        b.add_edge(s, c1, 1).unwrap();
+        b.add_edge(s, c2, 1).unwrap();
+        let g = b.build().unwrap();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(10.0));
+        let pl = |p| Placement { partition: p, design_point: 0 };
+        let sol = Solution::new(vec![pl(1), pl(2), pl(2)], 2);
+        let report = simulate(&g, &arch, &sol).unwrap();
+        let p2 = &report.partitions[1];
+        assert_eq!(p2.tasks.len(), 2);
+        assert!(p2.tasks.iter().all(|t| t.start == p2.exec_start));
+        assert_eq!(report.total_latency.as_ns(), 10.0 + 100.0 + 10.0 + 250.0);
+        assert_eq!(p2.memory_in_use, 2);
+    }
+
+    #[test]
+    fn invalid_solution_is_rejected() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("a").design_point(dp(5, 1.0)).finish();
+        let c = b.add_task("c").design_point(dp(5, 1.0)).finish();
+        b.add_edge(a, c, 1).unwrap();
+        let g = b.build().unwrap();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(10.0));
+        // Temporal order violated.
+        let sol = Solution::new(
+            vec![
+                Placement { partition: 2, design_point: 0 },
+                Placement { partition: 1, design_point: 0 },
+            ],
+            2,
+        );
+        assert!(matches!(simulate(&g, &arch, &sol), Err(SimError::InvalidSolution(_))));
+    }
+
+    #[test]
+    fn prefetch_hides_reconfiguration_behind_execution() {
+        // Chain of 3 tasks of 100 ns each in 3 partitions, C_T = 40 ns.
+        let mut b = TaskGraphBuilder::new();
+        let mut prev = None;
+        for i in 0..3 {
+            let t = b.add_task(format!("t{i}")).design_point(dp(5, 100.0)).finish();
+            if let Some(p) = prev {
+                b.add_edge(p, t, 1).unwrap();
+            }
+            prev = Some(t);
+        }
+        let g = b.build().unwrap();
+        let arch = Architecture::new(Area::new(10), 16, Latency::from_ns(40.0));
+        let pl = |p| Placement { partition: p, design_point: 0 };
+        let sol = Solution::new(vec![pl(1), pl(2), pl(3)], 3);
+        let plain = simulate(&g, &arch, &sol).unwrap();
+        assert_eq!(plain.total_latency.as_ns(), 3.0 * (40.0 + 100.0));
+        let pre = simulate_with(&g, &arch, &sol, &SimOptions { prefetch: true }).unwrap();
+        // Loads of partitions 2 and 3 hide behind 100 ns executions:
+        // 40 + 100 + 100 + 100.
+        assert_eq!(pre.total_latency.as_ns(), 340.0);
+        // Timeline stays causal.
+        for w in pre.partitions.windows(2) {
+            assert!(w[1].exec_start >= w[0].exec_end);
+            assert!(w[1].reconfig_start >= w[0].exec_start);
+        }
+    }
+
+    #[test]
+    fn prefetch_is_reconfig_bound_when_ct_dominates() {
+        // Executions of 10 ns with C_T = 100 ns: the port serializes loads.
+        let mut b = TaskGraphBuilder::new();
+        let mut prev = None;
+        for i in 0..3 {
+            let t = b.add_task(format!("t{i}")).design_point(dp(5, 10.0)).finish();
+            if let Some(p) = prev {
+                b.add_edge(p, t, 1).unwrap();
+            }
+            prev = Some(t);
+        }
+        let g = b.build().unwrap();
+        let arch = Architecture::new(Area::new(10), 16, Latency::from_ns(100.0));
+        let pl = |p| Placement { partition: p, design_point: 0 };
+        let sol = Solution::new(vec![pl(1), pl(2), pl(3)], 3);
+        let pre = simulate_with(&g, &arch, &sol, &SimOptions { prefetch: true }).unwrap();
+        // Port: loads end at 100, 200, 300; executions at 110, 210, 310.
+        assert_eq!(pre.total_latency.as_ns(), 310.0);
+    }
+
+    #[test]
+    fn prefetch_never_slower_than_blocking_reconfiguration() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("a").design_point(dp(5, 123.0)).finish();
+        let c = b.add_task("c").design_point(dp(5, 77.0)).finish();
+        let d = b.add_task("d").design_point(dp(5, 211.0)).finish();
+        b.add_edge(a, c, 1).unwrap();
+        b.add_edge(c, d, 1).unwrap();
+        let g = b.build().unwrap();
+        let pl = |p| Placement { partition: p, design_point: 0 };
+        let sol = Solution::new(vec![pl(1), pl(2), pl(3)], 3);
+        for ct in [1.0, 50.0, 150.0, 1000.0] {
+            let arch = Architecture::new(Area::new(10), 16, Latency::from_ns(ct));
+            let plain = simulate(&g, &arch, &sol).unwrap();
+            let pre = simulate_with(&g, &arch, &sol, &SimOptions { prefetch: true }).unwrap();
+            assert!(
+                pre.total_latency <= plain.total_latency,
+                "ct {ct}: {} > {}",
+                pre.total_latency,
+                plain.total_latency
+            );
+        }
+    }
+
+    #[test]
+    fn gaps_are_compacted_before_execution() {
+        let mut b = TaskGraphBuilder::new();
+        let a = b.add_task("a").design_point(dp(5, 100.0)).finish();
+        let c = b.add_task("c").design_point(dp(5, 100.0)).finish();
+        b.add_edge(a, c, 1).unwrap();
+        let g = b.build().unwrap();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(10.0));
+        // Partitions 1 and 5 used out of bound 5: the device reconfigures
+        // twice, not five times.
+        let sol = Solution::new(
+            vec![
+                Placement { partition: 1, design_point: 0 },
+                Placement { partition: 5, design_point: 0 },
+            ],
+            5,
+        );
+        let report = simulate(&g, &arch, &sol).unwrap();
+        assert_eq!(report.partitions_used(), 2);
+        assert_eq!(report.reconfig_time.as_ns(), 20.0);
+    }
+
+    #[test]
+    fn timeline_renders() {
+        let mut b = TaskGraphBuilder::new();
+        b.add_task("a").design_point(dp(5, 100.0)).finish();
+        let g = b.build().unwrap();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(10.0));
+        let sol = Solution::new(vec![Placement { partition: 1, design_point: 0 }], 1);
+        let report = simulate(&g, &arch, &sol).unwrap();
+        let text = report.timeline();
+        assert!(text.contains("partition 1"));
+        assert!(text.contains("total"));
+    }
+}

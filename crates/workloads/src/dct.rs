@@ -1,0 +1,165 @@
+//! The 4×4 DCT case study (paper §4, Figure 6, Table 2).
+//!
+//! "DCT was modeled in the form of 32 vector products … a collection of
+//! eight tasks forms a row of the 4×4 output matrix … two kinds of tasks in
+//! the task graph, T1 and T2, whose structure is similar to the vector
+//! product, but whose bit-widths differ."
+//!
+//! The standard separable 2-D DCT `Z = C·X·Cᵀ` yields exactly this shape:
+//! 16 stage-1 vector products compute `Y = C·X` (narrow datapath, kind T1)
+//! and 16 stage-2 vector products compute `Z = Y·Cᵀ` (widened intermediate
+//! values, kind T2). Row `i`'s four stage-1 tasks feed row `i`'s four
+//! stage-2 tasks — a complete bipartite 4×4 per row, eight tasks per row,
+//! four rows, 64 edges.
+//!
+//! The design-point table in the available copy of the paper is corrupted;
+//! the values here are reconstructed so that every *uncorrupted* quantity in
+//! the paper matches exactly (see `DESIGN.md`): `MaxLatency = 25,440 ns`,
+//! `MinLatency = 905 ns`, `N_min^l = 8` at `R_max = 576` and `5` at
+//! `R_max = 1024`, `N_min^u = 11` and `7`.
+
+use rtr_graph::{Area, DesignPoint, GraphError, Latency, TaskGraph, TaskGraphBuilder};
+
+/// Reconstructed design points `(area, latency ns)` for stage-1 (T1) tasks.
+pub const T1_DESIGN_POINTS: [(u64, f64); 3] = [(130, 790.0), (155, 580.0), (180, 430.0)];
+
+/// Reconstructed design points `(area, latency ns)` for stage-2 (T2) tasks.
+pub const T2_DESIGN_POINTS: [(u64, f64); 3] = [(150, 800.0), (180, 610.0), (210, 475.0)];
+
+fn design_points(table: &[(u64, f64); 3]) -> Vec<DesignPoint> {
+    let names = ["1mul-1add", "2mul-1add", "4mul-3add"];
+    table
+        .iter()
+        .zip(names)
+        .map(|(&(area, lat), name)| {
+            DesignPoint::new(name, Area::new(area), Latency::from_ns(lat))
+        })
+        .collect()
+}
+
+/// Builds the 32-task 4×4 DCT task graph of the paper's case study.
+///
+/// # Examples
+///
+/// ```
+/// let dct = rtr_workloads::dct::dct_4x4();
+/// assert_eq!(dct.task_count(), 32);
+/// assert_eq!(dct.edge_count(), 64);
+/// assert_eq!(dct.total_max_latency().as_ns(), 25_440.0);
+/// assert_eq!(dct.critical_path_min_latency().as_ns(), 905.0);
+/// ```
+pub fn dct_4x4() -> TaskGraph {
+    dct_nxn(4).expect("the 4x4 instance is statically valid")
+}
+
+/// Builds an `n × n` DCT as `2·n²` vector products with the same two task
+/// kinds — a scaling generalization used by the stress benches.
+///
+/// # Errors
+///
+/// Returns a [`GraphError`] only if `n == 0` (an empty graph).
+pub fn dct_nxn(n: usize) -> Result<TaskGraph, GraphError> {
+    let mut b = TaskGraphBuilder::new();
+    let t1 = design_points(&T1_DESIGN_POINTS);
+    let t2 = design_points(&T2_DESIGN_POINTS);
+    let mut stage1 = vec![Vec::with_capacity(n); n];
+    let mut stage2 = vec![Vec::with_capacity(n); n];
+    for row in 0..n {
+        for col in 0..n {
+            let id = b
+                .add_task(format!("vp1_r{row}_c{col}"))
+                .design_points(t1.iter().cloned())
+                .env_input(n as u64)
+                .finish();
+            stage1[row].push(id);
+        }
+        for col in 0..n {
+            let id = b
+                .add_task(format!("vp2_r{row}_c{col}"))
+                .design_points(t2.iter().cloned())
+                .env_output(1)
+                .finish();
+            stage2[row].push(id);
+        }
+    }
+    for row in 0..n {
+        for &src in &stage1[row] {
+            for &dst in &stage2[row] {
+                b.add_edge(src, dst, 1)?;
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quantities_match() {
+        let g = dct_4x4();
+        assert_eq!(g.task_count(), 32);
+        assert_eq!(g.edge_count(), 64);
+        // Quantities the paper states or implies (see DESIGN.md):
+        assert_eq!(g.total_max_latency().as_ns(), 25_440.0);
+        assert_eq!(g.critical_path_min_latency().as_ns(), 905.0);
+        assert_eq!(g.total_min_area().units(), 4_480);
+        assert_eq!(g.total_max_area().units(), 6_240);
+        // Partition bounds: N_min^l and N_min^u at both R_max values.
+        assert_eq!(g.total_min_area().partitions_needed(Area::new(576)), 8);
+        assert_eq!(g.total_min_area().partitions_needed(Area::new(1024)), 5);
+        assert_eq!(g.total_max_area().partitions_needed(Area::new(576)), 11);
+        assert_eq!(g.total_max_area().partitions_needed(Area::new(1024)), 7);
+    }
+
+    #[test]
+    fn structure_is_row_bipartite() {
+        let g = dct_4x4();
+        assert_eq!(g.roots().len(), 16);
+        assert_eq!(g.leaves().len(), 16);
+        for e in g.edges() {
+            let src = g.task(e.src()).name();
+            let dst = g.task(e.dst()).name();
+            assert!(src.starts_with("vp1_"));
+            assert!(dst.starts_with("vp2_"));
+            // Same row.
+            assert_eq!(src.split('_').nth(1), dst.split('_').nth(1));
+        }
+        // Each stage-1 task feeds exactly 4 stage-2 tasks.
+        for t in g.roots() {
+            assert_eq!(g.successors(t).len(), 4);
+        }
+    }
+
+    #[test]
+    fn path_count_is_64() {
+        let g = dct_4x4();
+        let e = g.enumerate_paths(rtr_graph::PathLimits::default());
+        assert_eq!(e.total_path_count(), Some(64));
+        assert!(e.paths().iter().all(|p| p.len() == 2));
+    }
+
+    #[test]
+    fn scaled_instances() {
+        let g2 = dct_nxn(2).unwrap();
+        assert_eq!(g2.task_count(), 8);
+        assert_eq!(g2.edge_count(), 8);
+        let g6 = dct_nxn(6).unwrap();
+        assert_eq!(g6.task_count(), 72);
+        assert_eq!(g6.edge_count(), 216); // n rows x n stage-1 x n stage-2 = n^3
+        assert!(dct_nxn(0).is_err());
+    }
+
+    #[test]
+    fn design_points_are_pareto_fronts() {
+        let g = dct_4x4();
+        for t in g.tasks() {
+            for a in t.design_points() {
+                for b in t.design_points() {
+                    assert!(!a.is_dominated_by(b), "{} dominated in {}", a, t.name());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! A radix-2 FFT task graph.
+//!
+//! The decimation-in-time FFT of `n` points has `log2(n)` stages of `n/2`
+//! butterflies; each butterfly is a complex multiply plus a complex
+//! add/subtract pair (4 multiplies, 3 adds, 3 subtracts on real words).
+//! Butterflies are clustered into tasks of `group` butterflies each (the
+//! paper's task granularity: "tasks can be automatically derived from the
+//! behavior specification by clustering"), and edges carry the number of
+//! real words flowing between clusters, derived from the exact butterfly
+//! wiring.
+
+use rtr_graph::{GraphError, TaskGraph, TaskGraphBuilder};
+use rtr_hls::{synthesize_task, BehavioralTask, EstimatorOptions, FuLibrary, HlsError, OpKind};
+use std::collections::HashMap;
+
+/// Error type for FFT construction.
+#[derive(Debug)]
+pub enum FftError {
+    /// `points` is not a power of two ≥ 4, or `group` does not divide the
+    /// butterfly count.
+    BadShape {
+        /// The offending parameters.
+        points: usize,
+        /// Requested butterflies per task.
+        group: usize,
+    },
+    /// Design-point synthesis failed.
+    Hls(HlsError),
+    /// Graph assembly failed.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for FftError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FftError::BadShape { points, group } => write!(
+                f,
+                "fft needs a power-of-two point count >= 4 and a group dividing points/2; got points = {points}, group = {group}"
+            ),
+            FftError::Hls(e) => write!(f, "hls: {e}"),
+            FftError::Graph(e) => write!(f, "graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FftError {}
+
+impl From<HlsError> for FftError {
+    fn from(e: HlsError) -> Self {
+        FftError::Hls(e)
+    }
+}
+
+impl From<GraphError> for FftError {
+    fn from(e: GraphError) -> Self {
+        FftError::Graph(e)
+    }
+}
+
+/// The behavioral template of a cluster of `group` butterflies.
+fn butterfly_cluster(name: &str, group: usize, width: u32) -> BehavioralTask {
+    let mut t = BehavioralTask::new(name);
+    for _ in 0..group {
+        // Complex multiply: 4 muls, 1 sub (real part), 1 add (imag part).
+        let m: Vec<_> = (0..4).map(|_| t.add_op(OpKind::Mul, width, &[])).collect();
+        let re = t.add_op(OpKind::Sub, width, &[m[0], m[1]]);
+        let im = t.add_op(OpKind::Add, width, &[m[2], m[3]]);
+        // Butterfly add/sub on both components.
+        t.add_op(OpKind::Add, width, &[re]);
+        t.add_op(OpKind::Sub, width, &[re]);
+        t.add_op(OpKind::Add, width, &[im]);
+        t.add_op(OpKind::Sub, width, &[im]);
+    }
+    t
+}
+
+/// The butterfly input pair at stage `s` for butterfly index `k`.
+fn butterfly_pair(s: usize, k: usize) -> (usize, usize) {
+    let span = 1usize << s;
+    let i = ((k >> s) << (s + 1)) | (k & (span - 1));
+    (i, i + span)
+}
+
+/// Builds the `points`-point FFT task graph with `group` butterflies per
+/// task, 16-bit datapaths.
+///
+/// # Errors
+///
+/// Returns [`FftError::BadShape`] for invalid parameters and propagates HLS
+/// or graph errors (which cannot occur for valid shapes).
+///
+/// # Examples
+///
+/// ```
+/// let fft = rtr_workloads::fft::fft_graph(16, 4).expect("valid shape");
+/// // log2(16) = 4 stages of 8 butterflies in groups of 4 = 2 tasks/stage.
+/// assert_eq!(fft.task_count(), 8);
+/// ```
+pub fn fft_graph(points: usize, group: usize) -> Result<TaskGraph, FftError> {
+    let butterflies = points / 2;
+    if points < 4 || !points.is_power_of_two() || group == 0 || !butterflies.is_multiple_of(group) {
+        return Err(FftError::BadShape { points, group });
+    }
+    let stages = points.trailing_zeros() as usize;
+    let tasks_per_stage = butterflies / group;
+    let lib = FuLibrary::xc4000_style();
+    let opts = EstimatorOptions { max_points: 3, ..Default::default() };
+
+    let mut b = TaskGraphBuilder::new();
+    let mut ids = vec![vec![]; stages];
+    for (s, stage_ids) in ids.iter_mut().enumerate() {
+        for g in 0..tasks_per_stage {
+            let name = format!("fft_s{s}_g{g}");
+            let template = butterfly_cluster(&name, group, 16);
+            // Stage 0 reads 4 real words per butterfly from the host; the
+            // last stage writes 4 per butterfly.
+            let env_in = if s == 0 { 4 * group as u64 } else { 0 };
+            let env_out = if s + 1 == stages { 4 * group as u64 } else { 0 };
+            let task = synthesize_task(&template, &lib, &opts, env_in, env_out)?;
+            stage_ids.push(b.add_prepared_task(task));
+        }
+    }
+
+    // Wiring: value index -> producing group at each stage.
+    for s in 0..stages.saturating_sub(1) {
+        let mut producer_of = HashMap::new();
+        for k in 0..butterflies {
+            let (lo, hi) = butterfly_pair(s, k);
+            producer_of.insert(lo, k / group);
+            producer_of.insert(hi, k / group);
+        }
+        // Count words flowing between group pairs (2 real words per value:
+        // the complex re/im pair).
+        let mut volume: HashMap<(usize, usize), u64> = HashMap::new();
+        for k in 0..butterflies {
+            let (lo, hi) = butterfly_pair(s + 1, k);
+            for idx in [lo, hi] {
+                let src = producer_of[&idx];
+                *volume.entry((src, k / group)).or_insert(0) += 2;
+            }
+        }
+        let mut pairs: Vec<_> = volume.into_iter().collect();
+        pairs.sort_unstable_by_key(|&((a, c), _)| (a, c));
+        for ((src, dst), words) in pairs {
+            b.add_edge(ids[s][src], ids[s + 1][dst], words)?;
+        }
+    }
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_of_16_point_fft() {
+        let g = fft_graph(16, 4).unwrap();
+        assert_eq!(g.task_count(), 8); // 4 stages x 2 groups
+        assert_eq!(g.roots().len(), 2);
+        assert_eq!(g.leaves().len(), 2);
+        // Every non-final stage feeds the next.
+        for t in g.task_ids() {
+            let name = g.task(t).name();
+            if !name.starts_with("fft_s3") {
+                assert!(!g.successors(t).is_empty(), "{name} has no consumers");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_volumes_conserve_data() {
+        let g = fft_graph(16, 2).unwrap();
+        // Each stage passes all 16 complex values = 32 real words.
+        let mut per_stage: std::collections::HashMap<&str, u64> = Default::default();
+        for e in g.edges() {
+            let src = g.task(e.src()).name();
+            let stage = &src[..6]; // "fft_sX"
+            *per_stage.entry(stage).or_insert(0) += e.data();
+        }
+        for (stage, words) in per_stage {
+            assert_eq!(words, 32, "stage {stage}");
+        }
+    }
+
+    #[test]
+    fn rejects_bad_shapes() {
+        assert!(matches!(fft_graph(12, 2), Err(FftError::BadShape { .. })));
+        assert!(matches!(fft_graph(16, 3), Err(FftError::BadShape { .. })));
+        assert!(matches!(fft_graph(2, 1), Err(FftError::BadShape { .. })));
+        assert!(matches!(fft_graph(16, 0), Err(FftError::BadShape { .. })));
+    }
+
+    #[test]
+    fn butterfly_pairs_are_standard() {
+        // Stage 0: (0,1), (2,3), ...; stage 1: (0,2), (1,3), (4,6), ...
+        assert_eq!(butterfly_pair(0, 0), (0, 1));
+        assert_eq!(butterfly_pair(0, 3), (6, 7));
+        assert_eq!(butterfly_pair(1, 0), (0, 2));
+        assert_eq!(butterfly_pair(1, 1), (1, 3));
+        assert_eq!(butterfly_pair(1, 2), (4, 6));
+        assert_eq!(butterfly_pair(2, 3), (3, 7));
+    }
+
+    #[test]
+    fn tasks_have_design_point_tradeoffs() {
+        let g = fft_graph(8, 2).unwrap();
+        for t in g.tasks() {
+            assert!(!t.design_points().is_empty());
+            if t.design_points().len() >= 2 {
+                assert!(t.min_area_point().latency() > t.min_latency_point().latency());
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fft_graph(16, 4).unwrap(), fft_graph(16, 4).unwrap());
+    }
+}

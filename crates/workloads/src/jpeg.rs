@@ -1,0 +1,187 @@
+//! A JPEG-encoder-style pipeline task graph.
+//!
+//! The paper motivates the DCT case study as "the most computationally
+//! intensive subtask of the JPEG image compression algorithm"; this module
+//! provides the surrounding pipeline as a workload: color conversion fans
+//! out into three channel pipelines (DCT → quantize), which join at the
+//! zigzag reorder and entropy coder. Nine tasks, two fan-out/fan-in points,
+//! HLS-synthesized design points.
+
+use rtr_graph::{GraphError, TaskGraph, TaskGraphBuilder};
+use rtr_hls::{synthesize_task, BehavioralTask, EstimatorOptions, FuLibrary, HlsError, OpKind};
+
+/// Error type for pipeline construction.
+#[derive(Debug)]
+pub enum JpegError {
+    /// Design-point synthesis failed.
+    Hls(HlsError),
+    /// Graph assembly failed.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for JpegError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JpegError::Hls(e) => write!(f, "hls: {e}"),
+            JpegError::Graph(e) => write!(f, "graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for JpegError {}
+
+impl From<HlsError> for JpegError {
+    fn from(e: HlsError) -> Self {
+        JpegError::Hls(e)
+    }
+}
+
+impl From<GraphError> for JpegError {
+    fn from(e: GraphError) -> Self {
+        JpegError::Graph(e)
+    }
+}
+
+/// Color conversion: 3x3 matrix per pixel (9 muls, 6 adds).
+fn color_convert(width: u32) -> BehavioralTask {
+    let mut t = BehavioralTask::new("rgb2ycc");
+    for _ in 0..3 {
+        let m: Vec<_> = (0..3).map(|_| t.add_op(OpKind::Mul, width, &[])).collect();
+        let a0 = t.add_op(OpKind::Add, width, &[m[0], m[1]]);
+        t.add_op(OpKind::Add, width, &[a0, m[2]]);
+    }
+    t
+}
+
+/// 1-D 8-point DCT pass (row/column): 8 MACs into an adder tree.
+fn dct_pass(name: &str, width: u32) -> BehavioralTask {
+    let mut t = BehavioralTask::new(name);
+    let macs: Vec<_> = (0..8).map(|_| t.add_op(OpKind::Mac, width, &[])).collect();
+    let mut layer = macs;
+    while layer.len() > 1 {
+        layer = layer.chunks(2).map(|pair| t.add_op(OpKind::Add, width, pair)).collect();
+    }
+    t
+}
+
+/// Quantizer: multiply by reciprocal, shift, compare-clamp.
+fn quantize(name: &str, width: u32) -> BehavioralTask {
+    let mut t = BehavioralTask::new(name);
+    let m = t.add_op(OpKind::Mul, width, &[]);
+    let s = t.add_op(OpKind::Shift, width, &[m]);
+    t.add_op(OpKind::Cmp, width, &[s]);
+    t
+}
+
+/// Zigzag reorder + run-length detect: shifts and compares.
+fn zigzag(width: u32) -> BehavioralTask {
+    let mut t = BehavioralTask::new("zigzag_rle");
+    let mut prev = None;
+    for _ in 0..4 {
+        let s = t.add_op(OpKind::Shift, width, prev.as_slice());
+        let c = t.add_op(OpKind::Cmp, width, &[s]);
+        prev = Some(c);
+    }
+    t
+}
+
+/// Entropy pack: table lookups modeled as shift/add/compare mix.
+fn entropy(width: u32) -> BehavioralTask {
+    let mut t = BehavioralTask::new("entropy");
+    let s0 = t.add_op(OpKind::Shift, width, &[]);
+    let a0 = t.add_op(OpKind::Add, width, &[s0]);
+    let c0 = t.add_op(OpKind::Cmp, width, &[a0]);
+    let s1 = t.add_op(OpKind::Shift, width, &[c0]);
+    t.add_op(OpKind::Add, width, &[s1]);
+    t
+}
+
+/// Builds the 9-task JPEG-encoder-style pipeline.
+///
+/// # Errors
+///
+/// Propagates HLS or graph errors (cannot occur for the fixed templates).
+///
+/// # Examples
+///
+/// ```
+/// let jpeg = rtr_workloads::jpeg::jpeg_pipeline().expect("static construction");
+/// assert_eq!(jpeg.task_count(), 9);
+/// assert_eq!(jpeg.roots().len(), 1);
+/// assert_eq!(jpeg.leaves().len(), 1);
+/// ```
+pub fn jpeg_pipeline() -> Result<TaskGraph, JpegError> {
+    let lib = FuLibrary::xc4000_style();
+    let opts = EstimatorOptions { max_points: 3, ..Default::default() };
+    let mut b = TaskGraphBuilder::new();
+
+    let cc = b.add_prepared_task(synthesize_task(&color_convert(10), &lib, &opts, 12, 0)?);
+    let mut quantizers = Vec::new();
+    for ch in ["y", "cb", "cr"] {
+        // Luma gets a wider datapath than chroma.
+        let width = if ch == "y" { 14 } else { 11 };
+        let dct =
+            b.add_prepared_task(synthesize_task(&dct_pass(&format!("dct_{ch}"), width), &lib, &opts, 0, 0)?);
+        let q = b.add_prepared_task(synthesize_task(
+            &quantize(&format!("quant_{ch}"), width),
+            &lib,
+            &opts,
+            0,
+            0,
+        )?);
+        b.add_edge(cc, dct, 8)?;
+        b.add_edge(dct, q, 8)?;
+        quantizers.push(q);
+    }
+    let zz = b.add_prepared_task(synthesize_task(&zigzag(12), &lib, &opts, 0, 0)?);
+    let ent = b.add_prepared_task(synthesize_task(&entropy(12), &lib, &opts, 0, 6)?);
+    for q in quantizers {
+        b.add_edge(q, zz, 8)?;
+    }
+    b.add_edge(zz, ent, 8)?;
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_shape() {
+        let g = jpeg_pipeline().unwrap();
+        assert_eq!(g.task_count(), 9);
+        assert_eq!(g.edge_count(), 10);
+        assert_eq!(g.task(g.roots()[0]).name(), "rgb2ycc");
+        assert_eq!(g.task(g.leaves()[0]).name(), "entropy");
+        // Three parallel channel pipelines between the fan-out and fan-in.
+        assert_eq!(g.successors(g.roots()[0]).len(), 3);
+    }
+
+    #[test]
+    fn luma_dct_is_larger_than_chroma() {
+        let g = jpeg_pipeline().unwrap();
+        let y = g.task(g.task_by_name("dct_y").unwrap());
+        let cb = g.task(g.task_by_name("dct_cb").unwrap());
+        assert!(y.min_area_point().area() > cb.min_area_point().area());
+    }
+
+    #[test]
+    fn dct_tasks_dominate_the_serial_latency() {
+        let g = jpeg_pipeline().unwrap();
+        let dct_latency: f64 = ["dct_y", "dct_cb", "dct_cr"]
+            .iter()
+            .map(|n| g.task(g.task_by_name(n).unwrap()).max_latency_point().latency().as_ns())
+            .sum();
+        assert!(
+            dct_latency * 2.0 > g.total_max_latency().as_ns(),
+            "the paper calls the DCT the most computationally intensive subtask: {} of {}",
+            dct_latency,
+            g.total_max_latency().as_ns()
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(jpeg_pipeline().unwrap(), jpeg_pipeline().unwrap());
+    }
+}

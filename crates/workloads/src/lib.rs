@@ -1,0 +1,24 @@
+//! Workloads for the temporal partitioning system.
+//!
+//! * [`dct`] — the paper's 4×4 DCT case study: 32 vector-product tasks with
+//!   the reconstructed design-point table, plus an `n × n` generalization;
+//! * [`ar`] — the paper's AR-filter case study: a 6-task graph with design
+//!   points synthesized by `rtr-hls` from the Figure-5 task templates;
+//! * [`fft`] — radix-2 FFT stages with exact butterfly wiring, clustered
+//!   into tasks;
+//! * [`jpeg`] — a JPEG-encoder-style pipeline (the paper's motivating
+//!   application around the DCT);
+//! * [`matmul`] — blocked matrix multiply with per-output accumulation
+//!   chains;
+//! * [`random`] — seeded random layered DAGs and simple deterministic
+//!   shapes (chains, forks, diamonds) for stress and property tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ar;
+pub mod dct;
+pub mod fft;
+pub mod jpeg;
+pub mod matmul;
+pub mod random;

@@ -1,0 +1,172 @@
+//! A blocked matrix-multiply task graph.
+//!
+//! `C = A·B` on `n×n` matrices tiled into `b×b` blocks: task `(i, j, k)`
+//! computes the partial product `A[i][k]·B[k][j]` and accumulates into
+//! `C[i][j]`. Accumulation serializes the `k` chain for each output block,
+//! while different output blocks are independent — a workload with deep
+//! chains *and* wide parallelism, complementing the shallow-wide DCT and
+//! the log-depth FFT.
+
+use rtr_graph::{GraphError, TaskGraph, TaskGraphBuilder};
+use rtr_hls::{synthesize_task, BehavioralTask, EstimatorOptions, FuLibrary, HlsError, OpKind};
+
+/// Error type for matrix-multiply construction.
+#[derive(Debug)]
+pub enum MatMulError {
+    /// `blocks` must be at least 1.
+    BadShape {
+        /// Requested blocks per dimension.
+        blocks: usize,
+    },
+    /// Design-point synthesis failed.
+    Hls(HlsError),
+    /// Graph assembly failed.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for MatMulError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatMulError::BadShape { blocks } => {
+                write!(f, "matmul needs at least 1 block per dimension, got {blocks}")
+            }
+            MatMulError::Hls(e) => write!(f, "hls: {e}"),
+            MatMulError::Graph(e) => write!(f, "graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MatMulError {}
+
+impl From<HlsError> for MatMulError {
+    fn from(e: HlsError) -> Self {
+        MatMulError::Hls(e)
+    }
+}
+
+impl From<GraphError> for MatMulError {
+    fn from(e: GraphError) -> Self {
+        MatMulError::Graph(e)
+    }
+}
+
+/// One block partial product: `tile × tile` MACs (modeled at reduced count
+/// to keep op graphs small: `tile` MAC chains of `tile` ops each).
+fn block_product(name: &str, tile: usize, width: u32) -> BehavioralTask {
+    let mut t = BehavioralTask::new(name);
+    for _ in 0..tile {
+        let mut prev = None;
+        for _ in 0..tile {
+            let deps: Vec<_> = prev.into_iter().collect();
+            prev = Some(t.add_op(OpKind::Mac, width, &deps));
+        }
+    }
+    t
+}
+
+/// Builds the blocked matrix-multiply task graph: `blocks³` tasks, with the
+/// `k`-accumulation chains as edges. `tile` controls per-task operation
+/// count (and hence design-point sizes).
+///
+/// # Errors
+///
+/// Returns [`MatMulError::BadShape`] if `blocks == 0` or `tile == 0`.
+///
+/// # Examples
+///
+/// ```
+/// let mm = rtr_workloads::matmul::matmul_graph(2, 4).expect("valid shape");
+/// assert_eq!(mm.task_count(), 8); // 2^3 partial products
+/// // Each C-block is a chain of `blocks` accumulations.
+/// assert_eq!(mm.edge_count(), 4); // 2*2 output blocks x (2-1) chain edges
+/// ```
+// Indices (i, j, k) address three dimensions of `ids` in matrix order;
+// iterator rewrites would obscure the tiling structure.
+#[allow(clippy::needless_range_loop)]
+pub fn matmul_graph(blocks: usize, tile: usize) -> Result<TaskGraph, MatMulError> {
+    if blocks == 0 || tile == 0 {
+        return Err(MatMulError::BadShape { blocks: blocks.min(tile) });
+    }
+    let lib = FuLibrary::xc4000_style();
+    let opts = EstimatorOptions { max_points: 3, ..Default::default() };
+    let mut b = TaskGraphBuilder::new();
+    let mut ids = vec![vec![vec![None; blocks]; blocks]; blocks];
+    let words = (tile * tile) as u64;
+    for i in 0..blocks {
+        for j in 0..blocks {
+            for (k, plane) in ids.iter_mut().enumerate() {
+                let name = format!("mm_i{i}_j{j}_k{k}");
+                let template = block_product(&name, tile, 16);
+                // Every partial product reads its A and B tiles from the
+                // host; the last accumulation writes the C tile back.
+                let env_out = if k + 1 == blocks { words } else { 0 };
+                let task = synthesize_task(&template, &lib, &opts, 2 * words, env_out)?;
+                plane[i][j] = Some(b.add_prepared_task(task));
+            }
+        }
+    }
+    for i in 0..blocks {
+        for j in 0..blocks {
+            for k in 1..blocks {
+                b.add_edge(
+                    ids[k - 1][i][j].expect("created above"),
+                    ids[k][i][j].expect("created above"),
+                    words,
+                )?;
+            }
+        }
+    }
+    Ok(b.build()?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_of_3_block_matmul() {
+        let g = matmul_graph(3, 2).unwrap();
+        assert_eq!(g.task_count(), 27);
+        // 9 output blocks, chains of length 3 -> 2 edges each.
+        assert_eq!(g.edge_count(), 18);
+        assert_eq!(g.roots().len(), 9);
+        assert_eq!(g.leaves().len(), 9);
+        // Accumulation chains: depth 3.
+        assert_eq!(g.stats().depth, 3);
+        assert_eq!(g.stats().width, 9);
+    }
+
+    #[test]
+    fn chains_are_per_output_block() {
+        let g = matmul_graph(2, 2).unwrap();
+        for e in g.edges() {
+            let src = g.task(e.src()).name();
+            let dst = g.task(e.dst()).name();
+            // Same (i, j), consecutive k.
+            let pre = |s: &str| s.rsplit_once("_k").map(|(a, _)| a.to_owned()).unwrap();
+            assert_eq!(pre(src), pre(dst), "{src} -> {dst}");
+        }
+    }
+
+    #[test]
+    fn rejects_degenerate_shapes() {
+        assert!(matches!(matmul_graph(0, 2), Err(MatMulError::BadShape { .. })));
+        assert!(matches!(matmul_graph(2, 0), Err(MatMulError::BadShape { .. })));
+    }
+
+    #[test]
+    fn single_block_is_one_task() {
+        let g = matmul_graph(1, 3).unwrap();
+        assert_eq!(g.task_count(), 1);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.tasks()[0].env_input(), 18);
+        assert_eq!(g.tasks()[0].env_output(), 9);
+    }
+
+    #[test]
+    fn partitions_and_simulates() {
+        // Moved end-to-end coverage lives in tests/workload_suite.rs; here
+        // just confirm the graph validates and is deterministic.
+        assert_eq!(matmul_graph(2, 2).unwrap(), matmul_graph(2, 2).unwrap());
+    }
+}

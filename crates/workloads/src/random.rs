@@ -1,0 +1,235 @@
+//! Random and deterministic synthetic task graphs for stress and property
+//! tests.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rtr_graph::{Area, DesignPoint, Latency, TaskGraph, TaskGraphBuilder};
+
+/// Parameters of the layered random DAG generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomGraphParams {
+    /// Number of tasks.
+    pub tasks: usize,
+    /// Maximum tasks per layer (controls graph width).
+    pub max_layer_width: usize,
+    /// Probability of an edge between tasks in adjacent layers.
+    pub edge_probability: f64,
+    /// Design points per task, inclusive range.
+    pub design_points: (usize, usize),
+    /// Design-point area range (the generator keeps points Pareto).
+    pub area_range: (u64, u64),
+    /// Design-point latency range in ns.
+    pub latency_range: (f64, f64),
+    /// Edge data volume range.
+    pub data_range: (u64, u64),
+}
+
+impl Default for RandomGraphParams {
+    fn default() -> Self {
+        RandomGraphParams {
+            tasks: 16,
+            max_layer_width: 4,
+            edge_probability: 0.5,
+            design_points: (1, 3),
+            area_range: (40, 200),
+            latency_range: (100.0, 900.0),
+            data_range: (1, 4),
+        }
+    }
+}
+
+/// Generates a layered random DAG: tasks are split into layers of random
+/// width, edges only go from one layer to the next, every non-first-layer
+/// task gets at least one predecessor, and each task receives a random
+/// Pareto-consistent design-point set.
+///
+/// The same seed always produces the same graph.
+///
+/// # Panics
+///
+/// Panics if `params.tasks == 0` or the ranges are inverted.
+pub fn random_layered(seed: u64, params: &RandomGraphParams) -> TaskGraph {
+    assert!(params.tasks > 0, "need at least one task");
+    assert!(params.area_range.0 <= params.area_range.1, "area range inverted");
+    assert!(params.latency_range.0 <= params.latency_range.1, "latency range inverted");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TaskGraphBuilder::new();
+
+    // Split into layers.
+    let mut layers: Vec<Vec<rtr_graph::TaskId>> = Vec::new();
+    let mut created = 0usize;
+    while created < params.tasks {
+        let width = rng
+            .gen_range(1..=params.max_layer_width)
+            .min(params.tasks - created);
+        let mut layer = Vec::with_capacity(width);
+        for _ in 0..width {
+            let id = b
+                .add_task(format!("t{created}"))
+                .design_points(random_pareto_points(&mut rng, params))
+                .env_input(rng.gen_range(0..=2))
+                .env_output(rng.gen_range(0..=1))
+                .finish();
+            layer.push(id);
+            created += 1;
+        }
+        layers.push(layer);
+    }
+
+    for li in 1..layers.len() {
+        for &dst in &layers[li] {
+            let mut got_pred = false;
+            for &src in &layers[li - 1] {
+                if rng.gen_bool(params.edge_probability) {
+                    let data = rng.gen_range(params.data_range.0..=params.data_range.1);
+                    b.add_edge(src, dst, data).expect("layered edges are unique and forward");
+                    got_pred = true;
+                }
+            }
+            if !got_pred {
+                let src = layers[li - 1][rng.gen_range(0..layers[li - 1].len())];
+                let data = rng.gen_range(params.data_range.0..=params.data_range.1);
+                b.add_edge(src, dst, data).expect("fresh edge");
+            }
+        }
+    }
+    b.build().expect("generator respects all graph invariants")
+}
+
+/// A random Pareto-consistent design-point set: sorted by area ascending and
+/// latency descending, so no point dominates another.
+fn random_pareto_points(rng: &mut StdRng, params: &RandomGraphParams) -> Vec<DesignPoint> {
+    let count = rng.gen_range(params.design_points.0.max(1)..=params.design_points.1.max(1));
+    let mut areas: Vec<u64> = (0..count)
+        .map(|_| rng.gen_range(params.area_range.0.max(1)..=params.area_range.1.max(1)))
+        .collect();
+    areas.sort_unstable();
+    areas.dedup();
+    let mut lats: Vec<f64> = (0..areas.len())
+        .map(|_| rng.gen_range(params.latency_range.0..=params.latency_range.1))
+        .collect();
+    lats.sort_by(f64::total_cmp);
+    lats.reverse();
+    areas
+        .into_iter()
+        .zip(lats)
+        .enumerate()
+        .map(|(i, (a, l))| DesignPoint::new(format!("dp{i}"), Area::new(a), Latency::from_ns(l)))
+        .collect()
+}
+
+/// A chain of `n` single-design-point tasks (area `area`, latency
+/// `latency_ns`, edge data 1).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn chain(n: usize, area: u64, latency_ns: f64) -> TaskGraph {
+    assert!(n > 0);
+    let mut b = TaskGraphBuilder::new();
+    let mut prev = None;
+    for i in 0..n {
+        let t = b
+            .add_task(format!("t{i}"))
+            .design_point(DesignPoint::new("m", Area::new(area), Latency::from_ns(latency_ns)))
+            .finish();
+        if let Some(p) = prev {
+            b.add_edge(p, t, 1).expect("fresh edge");
+        }
+        prev = Some(t);
+    }
+    b.build().expect("chains are valid")
+}
+
+/// `n` independent single-design-point tasks (an embarrassingly parallel
+/// workload).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn independent(n: usize, area: u64, latency_ns: f64) -> TaskGraph {
+    assert!(n > 0);
+    let mut b = TaskGraphBuilder::new();
+    for i in 0..n {
+        b.add_task(format!("t{i}"))
+            .design_point(DesignPoint::new("m", Area::new(area), Latency::from_ns(latency_ns)))
+            .finish();
+    }
+    b.build().expect("independent sets are valid")
+}
+
+/// `k` stacked diamonds (fork-join pairs); the number of root→leaf paths is
+/// `2^k`, which stresses path enumeration.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn diamond_stack(k: usize, area: u64, latency_ns: f64) -> TaskGraph {
+    assert!(k > 0);
+    let dp = DesignPoint::new("m", Area::new(area), Latency::from_ns(latency_ns));
+    let mut b = TaskGraphBuilder::new();
+    let mut prev = b.add_task("s").design_point(dp.clone()).finish();
+    for i in 0..k {
+        let l = b.add_task(format!("l{i}")).design_point(dp.clone()).finish();
+        let r = b.add_task(format!("r{i}")).design_point(dp.clone()).finish();
+        let j = b.add_task(format!("j{i}")).design_point(dp.clone()).finish();
+        b.add_edge(prev, l, 1).expect("fresh edge");
+        b.add_edge(prev, r, 1).expect("fresh edge");
+        b.add_edge(l, j, 1).expect("fresh edge");
+        b.add_edge(r, j, 1).expect("fresh edge");
+        prev = j;
+    }
+    b.build().expect("diamond stacks are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = RandomGraphParams::default();
+        assert_eq!(random_layered(42, &p), random_layered(42, &p));
+        assert_ne!(random_layered(42, &p), random_layered(43, &p));
+    }
+
+    #[test]
+    fn requested_task_count() {
+        for tasks in [1, 5, 16, 40] {
+            let g = random_layered(7, &RandomGraphParams { tasks, ..Default::default() });
+            assert_eq!(g.task_count(), tasks);
+        }
+    }
+
+    #[test]
+    fn non_root_tasks_have_predecessors() {
+        let g = random_layered(3, &RandomGraphParams { tasks: 30, ..Default::default() });
+        // Layer structure guarantees connectivity beyond the first layer:
+        // the number of roots equals the first layer's width (≤ max width).
+        assert!(g.roots().len() <= 4);
+    }
+
+    #[test]
+    fn design_points_are_pareto() {
+        let g = random_layered(11, &RandomGraphParams { tasks: 25, ..Default::default() });
+        for t in g.tasks() {
+            for a in t.design_points() {
+                for b in t.design_points() {
+                    assert!(!a.is_dominated_by(b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_shapes() {
+        assert_eq!(chain(4, 10, 5.0).edge_count(), 3);
+        assert_eq!(independent(6, 10, 5.0).edge_count(), 0);
+        let d = diamond_stack(3, 10, 5.0);
+        assert_eq!(d.task_count(), 10);
+        assert_eq!(
+            d.enumerate_paths(rtr_graph::PathLimits::default()).total_path_count(),
+            Some(8)
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Architecture exploration: sweep the reconfiguration time `C_T` and watch
+//! the optimal partition count move — the paper's §2 "Area-Latency
+//! Tradeoff" discussion made concrete.
+//!
+//! With a huge `C_T` (Wildforce-class board) the minimum-partition solution
+//! wins; as `C_T` shrinks toward the time-multiplexed-FPGA regime, spending
+//! extra reconfigurations on larger (faster) design points starts to pay.
+//!
+//! Run with `cargo run --release --example architecture_exploration`.
+
+use rtrpart::graph::{Area, Latency};
+use rtrpart::workloads::random::chain;
+use rtrpart::{Architecture, ExploreParams, SearchLimits, TemporalPartitioner};
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 6-stage chain whose stages each get a small-slow and big-fast
+    // implementation, so the partitioner has a real design space.
+    let base = chain(6, 1, 1.0);
+    let mut b = rtrpart::graph::TaskGraphBuilder::new();
+    let mut prev = None;
+    for t in base.tasks() {
+        let id = b
+            .add_task(t.name())
+            .design_point(rtrpart::graph::DesignPoint::new(
+                "small",
+                Area::new(60),
+                Latency::from_ns(800.0),
+            ))
+            .design_point(rtrpart::graph::DesignPoint::new(
+                "fast",
+                Area::new(150),
+                Latency::from_ns(300.0),
+            ))
+            .finish();
+        if let Some(p) = prev {
+            b.add_edge(p, id, 4)?;
+        }
+        prev = Some(id);
+    }
+    let graph = b.build()?;
+
+    println!(
+        "{:>12} {:>6} {:>14} {:>14}",
+        "C_T", "eta", "exec latency", "total latency"
+    );
+    for ct_ns in [10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0, 10_000_000.0] {
+        let arch = Architecture::new(Area::new(320), 64, Latency::from_ns(ct_ns));
+        let params = ExploreParams {
+            delta: Latency::from_ns(20.0),
+            gamma: 3,
+            limits: SearchLimits {
+                node_limit: 5_000_000,
+                time_limit: Some(Duration::from_millis(500)),
+            },
+            ..Default::default()
+        };
+        let partitioner = TemporalPartitioner::new(&graph, &arch, params)?;
+        let exploration = partitioner.explore()?;
+        let best = exploration.best.expect("feasible chain");
+        println!(
+            "{:>12} {:>6} {:>14} {:>14}",
+            Latency::from_ns(ct_ns).to_string(),
+            best.partitions_used(),
+            best.execution_latency(&graph).to_string(),
+            best.total_latency(&graph, &arch).to_string()
+        );
+    }
+    println!("\nsmaller C_T -> more partitions -> faster design points win;");
+    println!("larger C_T -> the minimum-partition packing wins.");
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! Full front-to-back flow: write behavioral tasks as operation dataflow
+//! graphs, synthesize design points with the HLS estimator, assemble the
+//! task graph, partition, and simulate — the same path the paper's SPARCS
+//! environment automates.
+//!
+//! Run with `cargo run --release --example custom_hls_flow`.
+
+use rtrpart::graph::{Area, Latency, TaskGraphBuilder};
+use rtrpart::hls::{synthesize_task, BehavioralTask, EstimatorOptions, FuLibrary, OpKind};
+use rtrpart::{Architecture, ExploreParams, TemporalPartitioner};
+
+/// An 8-tap FIR stage: 8 multiplies into an adder tree.
+fn fir_stage(name: &str, width: u32) -> BehavioralTask {
+    let mut t = BehavioralTask::new(name);
+    let muls: Vec<_> = (0..8).map(|_| t.add_op(OpKind::Mul, width, &[])).collect();
+    let mut layer = muls;
+    while layer.len() > 1 {
+        layer = layer
+            .chunks(2)
+            .map(|pair| t.add_op(OpKind::Add, width, pair))
+            .collect();
+    }
+    t
+}
+
+/// A decimator: shift + compare + subtract.
+fn decimator(name: &str, width: u32) -> BehavioralTask {
+    let mut t = BehavioralTask::new(name);
+    let s = t.add_op(OpKind::Shift, width, &[]);
+    let c = t.add_op(OpKind::Cmp, width, &[s]);
+    t.add_op(OpKind::Sub, width, &[c]);
+    t
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let lib = FuLibrary::xc4000_style();
+    let opts = EstimatorOptions::default();
+
+    // Synthesize design points for each behavioral task.
+    let mut b = TaskGraphBuilder::new();
+    let fir_i = b.add_prepared_task(synthesize_task(&fir_stage("fir_i", 12), &lib, &opts, 8, 0)?);
+    let fir_q = b.add_prepared_task(synthesize_task(&fir_stage("fir_q", 12), &lib, &opts, 8, 0)?);
+    let dec = b.add_prepared_task(synthesize_task(&decimator("decimate", 12), &lib, &opts, 0, 2)?);
+    b.add_edge(fir_i, dec, 4)?;
+    b.add_edge(fir_q, dec, 4)?;
+    let graph = b.build()?;
+
+    println!("== synthesized design points ==");
+    for task in graph.tasks() {
+        println!("{}:", task.name());
+        for dp in task.design_points() {
+            println!("  {dp}");
+        }
+    }
+
+    let arch = Architecture::new(Area::new(700), 64, Latency::from_us(5.0));
+    let partitioner = TemporalPartitioner::new(&graph, &arch, ExploreParams::default())?;
+    let exploration = partitioner.explore()?;
+    let best = exploration.best.expect("feasible");
+
+    println!("\n== partitioning ==");
+    println!("{}", best.summary(&graph, &arch));
+
+    let report = rtrpart::sim::simulate(&graph, &arch, &best)?;
+    println!("\n== simulation ==\n{}", report.timeline());
+    Ok(())
+}

@@ -1,0 +1,80 @@
+//! The paper's 4×4 DCT case study end to end: build the 32-task graph,
+//! explore at both device sizes, print paper-style refinement logs, and
+//! simulate the winner.
+//!
+//! Run with `cargo run --release --example dct_case_study`.
+
+use rtrpart::graph::{Area, Latency};
+use rtrpart::workloads::dct::dct_4x4;
+use rtrpart::{
+    max_area_partitions, min_area_partitions, Architecture, ExploreParams, SearchLimits,
+    TemporalPartitioner,
+};
+use std::time::Duration;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = dct_4x4();
+    println!(
+        "DCT task graph: {} tasks, {} edges, {} root→leaf paths",
+        graph.task_count(),
+        graph.edge_count(),
+        graph
+            .enumerate_paths(Default::default())
+            .total_path_count()
+            .expect("countable")
+    );
+
+    for r_max in [576u64, 1024] {
+        // C_T = 1 µs: the "reconfiguration comparable to task latency"
+        // regime where extra partitions can pay off.
+        let arch = Architecture::new(Area::new(r_max), 512, Latency::from_us(1.0));
+        println!(
+            "\n== R_max = {r_max}: N_min^l = {}, N_min^u = {} ==",
+            min_area_partitions(&graph, &arch),
+            max_area_partitions(&graph, &arch)
+        );
+        let params = ExploreParams {
+            delta: Latency::from_ns(200.0),
+            alpha: 0,
+            gamma: 1,
+            limits: SearchLimits {
+                node_limit: 20_000_000,
+                time_limit: Some(Duration::from_secs(4)),
+            },
+            ..Default::default()
+        };
+        let partitioner = TemporalPartitioner::new(&graph, &arch, params)?;
+        let exploration = partitioner.explore()?;
+        println!("{:>3} {:>3} {:>12} {:>12} {:>12}", "N", "I", "Dmin(ns)", "Dmax(ns)", "Da(ns)");
+        for r in &exploration.records {
+            let result = match &r.result {
+                rtrpart::IterationResult::Feasible { latency, eta } => format!(
+                    "{:.0}",
+                    latency.as_ns() - (arch.reconfig_time() * *eta).as_ns()
+                ),
+                rtrpart::IterationResult::Infeasible => "Inf.".to_owned(),
+                rtrpart::IterationResult::LimitReached => "Inf.*".to_owned(),
+            };
+            println!(
+                "{:>3} {:>3} {:>12.0} {:>12.0} {:>12}",
+                r.n,
+                r.iteration,
+                r.d_min_execution(&arch).as_ns(),
+                r.d_max_execution(&arch).as_ns(),
+                result
+            );
+        }
+
+        let best = exploration.best.expect("the DCT is feasible at these sizes");
+        println!("\nbest: {}", best.summary(&graph, &arch));
+        let report = rtrpart::sim::simulate(&graph, &arch, &best)?;
+        println!(
+            "simulator confirms: total {} across {} configurations, peak memory {} words",
+            report.total_latency,
+            report.partitions_used(),
+            report.peak_memory
+        );
+        assert_eq!(report.total_latency, exploration.best_latency.unwrap());
+    }
+    Ok(())
+}

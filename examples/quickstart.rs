@@ -1,0 +1,62 @@
+//! Quickstart: partition a small pipeline for a run-time reconfigurable
+//! device and simulate the result.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use rtrpart::graph::{Area, DesignPoint, Latency, TaskGraphBuilder};
+use rtrpart::{Architecture, ExploreParams, TemporalPartitioner};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 4-stage image pipeline; every stage has area/latency alternatives
+    // from a synthesis estimator.
+    let mut b = TaskGraphBuilder::new();
+    let capture = b
+        .add_task("capture")
+        .design_point(DesignPoint::new("slim", Area::new(90), Latency::from_ns(700.0)))
+        .design_point(DesignPoint::new("wide", Area::new(170), Latency::from_ns(300.0)))
+        .env_input(16)
+        .finish();
+    let filter = b
+        .add_task("filter")
+        .design_point(DesignPoint::new("serial", Area::new(140), Latency::from_ns(1200.0)))
+        .design_point(DesignPoint::new("unrolled", Area::new(380), Latency::from_ns(450.0)))
+        .finish();
+    let transform = b
+        .add_task("transform")
+        .design_point(DesignPoint::new("serial", Area::new(160), Latency::from_ns(900.0)))
+        .design_point(DesignPoint::new("pipelined", Area::new(320), Latency::from_ns(380.0)))
+        .finish();
+    let encode = b
+        .add_task("encode")
+        .design_point(DesignPoint::new("only", Area::new(200), Latency::from_ns(600.0)))
+        .env_output(8)
+        .finish();
+    b.add_edge(capture, filter, 16)?;
+    b.add_edge(filter, transform, 16)?;
+    b.add_edge(transform, encode, 16)?;
+    let graph = b.build()?;
+
+    // A device that fits roughly two slim stages per configuration, with a
+    // fast (time-multiplexed) reconfiguration.
+    let arch = Architecture::new(Area::new(400), 64, Latency::from_us(2.0));
+
+    println!("== exploring ==");
+    let partitioner = TemporalPartitioner::new(&graph, &arch, ExploreParams::default())?;
+    let exploration = partitioner.explore()?;
+    for r in &exploration.records {
+        println!(
+            "N={} I={} window [{} .. {}] -> {:?}",
+            r.n, r.iteration, r.d_min, r.d_max, r.result
+        );
+    }
+
+    let best = exploration.best.expect("this instance is feasible");
+    println!("\n== best solution ==");
+    println!("{}", best.summary(&graph, &arch));
+
+    println!("\n== simulated timeline ==");
+    let report = rtrpart::sim::simulate(&graph, &arch, &best)?;
+    println!("{}", report.timeline());
+    assert_eq!(report.total_latency, exploration.best_latency.unwrap());
+    Ok(())
+}

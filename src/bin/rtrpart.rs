@@ -1,0 +1,361 @@
+//! `rtrpart` — command-line front end for the temporal partitioner.
+//!
+//! ```text
+//! rtrpart partition --graph design.tg --rmax 576 --mmax 512 --ct 1us [options]
+//! rtrpart bounds    --graph design.tg --rmax 576 --mmax 512 --ct 1us
+//! rtrpart demo dct|ar|fft|jpeg|matmul [--out file.tg]
+//! rtrpart simulate  --graph design.tg --rmax ... (partitions, then simulates)
+//! ```
+//!
+//! Run `rtrpart help` for the full option list. Graphs use the text format
+//! of `rtr_graph::TaskGraph::{to_text, from_text}`.
+
+use rtrpart::graph::{Area, Latency, TaskGraph};
+use rtrpart::{
+    Architecture, Backend, EnvMemoryPolicy, ExploreParams, SearchLimits, TemporalPartitioner,
+};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const HELP: &str = "\
+rtrpart — temporal partitioning with design space exploration
+
+USAGE:
+    rtrpart <COMMAND> [OPTIONS]
+
+COMMANDS:
+    partition   explore partitionings of a task graph and print the best
+    bounds      print N_min^l / N_min^u and the latency bounds
+    simulate    partition, then run the result on the device simulator
+    demo        write a built-in workload (dct | ar | fft | jpeg | matmul) as a .tg file
+    help        print this text
+
+OPTIONS (partition / bounds / simulate):
+    --graph <file>        task graph in .tg text format (required)
+    --rmax <units>        device area per configuration (required)
+    --mmax <units>        on-board memory in data units   [default: 512]
+    --ct <time>           reconfiguration time, e.g. 30ns, 1us, 10ms (required)
+    --delta <time>        latency tolerance δ             [default: 100ns]
+    --alpha <n>           starting partition relaxation α [default: 0]
+    --gamma <n>           ending partition relaxation γ   [default: 1]
+    --backend <name>      structured | milp               [default: structured]
+    --strategy <name>     bisection | aggressive          [default: bisection]
+    --env-policy <name>   resident | streamed             [default: resident]
+    --dsp <a,b,...>       secondary resource capacities per class
+    --solve-seconds <s>   per-window time budget          [default: 5]
+    --csv <file>          write the refinement log as CSV
+    --dot <file>          write the task graph as Graphviz DOT
+    --out-solution <file> write the best solution as text
+    --quiet               only print the final solution
+
+OPTIONS (demo):
+    --out <file>          output path [default: <name>.tg]
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!("run `rtrpart help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    match args.first().map(String::as_str) {
+        Some("partition") => partition_cmd(&args[1..], false),
+        Some("simulate") => partition_cmd(&args[1..], true),
+        Some("bounds") => bounds_cmd(&args[1..]),
+        Some("demo") => demo_cmd(&args[1..]),
+        Some("help") | Some("--help") | Some("-h") | None => {
+            print!("{HELP}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command `{other}`")),
+    }
+}
+
+/// Minimal option scanner: `--key value` pairs plus boolean flags.
+struct Options<'a> {
+    args: &'a [String],
+}
+
+impl<'a> Options<'a> {
+    fn value(&self, key: &str) -> Option<&'a str> {
+        self.args
+            .iter()
+            .position(|a| a == key)
+            .and_then(|i| self.args.get(i + 1))
+            .map(String::as_str)
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.args.iter().any(|a| a == key)
+    }
+
+    fn required(&self, key: &str) -> Result<&'a str, String> {
+        self.value(key).ok_or_else(|| format!("missing required option `{key}`"))
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.value(key) {
+            Some(v) => v.parse().map_err(|_| format!("invalid value for `{key}`: `{v}`")),
+            None => Ok(default),
+        }
+    }
+}
+
+fn parse_time(s: &str) -> Result<Latency, String> {
+    let (number, unit) = s
+        .find(|c: char| c.is_ascii_alphabetic())
+        .map(|i| s.split_at(i))
+        .ok_or_else(|| format!("time `{s}` needs a unit (ns, us, ms, s)"))?;
+    let value: f64 =
+        number.parse().map_err(|_| format!("invalid time value `{number}`"))?;
+    if !value.is_finite() || value < 0.0 {
+        return Err(format!("time `{s}` must be finite and non-negative"));
+    }
+    match unit {
+        "ns" => Ok(Latency::from_ns(value)),
+        "us" | "µs" => Ok(Latency::from_us(value)),
+        "ms" => Ok(Latency::from_ms(value)),
+        "s" => Ok(Latency::from_ms(value * 1e3)),
+        other => Err(format!("unknown time unit `{other}`")),
+    }
+}
+
+fn load_graph(opts: &Options) -> Result<TaskGraph, String> {
+    let path = opts.required("--graph")?;
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    TaskGraph::from_text(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))
+}
+
+fn load_arch(opts: &Options) -> Result<Architecture, String> {
+    let rmax: u64 = opts
+        .required("--rmax")?
+        .parse()
+        .map_err(|_| "invalid `--rmax`".to_owned())?;
+    let mmax: u64 = opts.parsed("--mmax", 512)?;
+    let ct = parse_time(opts.required("--ct")?)?;
+    let env = match opts.value("--env-policy").unwrap_or("resident") {
+        "resident" => EnvMemoryPolicy::Resident,
+        "streamed" => EnvMemoryPolicy::Streamed,
+        other => return Err(format!("unknown env policy `{other}`")),
+    };
+    let mut arch = Architecture::new(Area::new(rmax), mmax, ct).with_env_policy(env);
+    if let Some(list) = opts.value("--dsp") {
+        let caps: Result<Vec<u64>, _> = list.split(',').map(str::parse).collect();
+        arch = arch.with_secondary_capacities(
+            caps.map_err(|_| format!("invalid `--dsp` list `{list}`"))?,
+        );
+    }
+    Ok(arch)
+}
+
+fn load_params(opts: &Options) -> Result<ExploreParams, String> {
+    let delta = match opts.value("--delta") {
+        Some(v) => parse_time(v)?,
+        None => Latency::from_ns(100.0),
+    };
+    let backend = match opts.value("--backend").unwrap_or("structured") {
+        "structured" => Backend::Structured,
+        "milp" => Backend::Milp,
+        other => return Err(format!("unknown backend `{other}`")),
+    };
+    let strategy = match opts.value("--strategy").unwrap_or("bisection") {
+        "bisection" => rtrpart::core::RefinementStrategy::Bisection,
+        "aggressive" => rtrpart::core::RefinementStrategy::AggressiveDescent,
+        other => return Err(format!("unknown strategy `{other}`")),
+    };
+    let solve_seconds: u64 = opts.parsed("--solve-seconds", 5)?;
+    Ok(ExploreParams {
+        delta,
+        alpha: opts.parsed("--alpha", 0)?,
+        gamma: opts.parsed("--gamma", 1)?,
+        backend,
+        strategy,
+        limits: SearchLimits {
+            node_limit: 40_000_000,
+            time_limit: Some(Duration::from_secs(solve_seconds)),
+        },
+        ..Default::default()
+    })
+}
+
+fn partition_cmd(args: &[String], simulate: bool) -> Result<(), String> {
+    let opts = Options { args };
+    let graph = load_graph(&opts)?;
+    let arch = load_arch(&opts)?;
+    let params = load_params(&opts)?;
+    let quiet = opts.flag("--quiet");
+
+    if let Some(path) = opts.value("--dot") {
+        std::fs::write(path, graph.to_dot())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+
+    let partitioner = TemporalPartitioner::new(&graph, &arch, params)
+        .map_err(|e| format!("partitioner rejected the instance: {e}"))?;
+    if !quiet {
+        println!("{:>4} {:>4} {:>14} {:>14}   result", "N", "I", "Dmin", "Dmax");
+    }
+    // Stream each SolveModel() record as it happens.
+    let exploration = partitioner
+        .explore_with_observer(|r| {
+            if quiet {
+                return;
+            }
+            let result = match &r.result {
+                rtrpart::IterationResult::Feasible { latency, eta } => {
+                    format!("feasible: {latency} over {eta} partitions")
+                }
+                rtrpart::IterationResult::Infeasible => "infeasible".to_owned(),
+                rtrpart::IterationResult::LimitReached => "undecided (budget)".to_owned(),
+            };
+            println!(
+                "{:>4} {:>4} {:>14} {:>14}   {result}",
+                r.n,
+                r.iteration,
+                r.d_min.to_string(),
+                r.d_max.to_string()
+            );
+        })
+        .map_err(|e| format!("exploration failed: {e}"))?;
+    if !quiet {
+        println!();
+    }
+
+    if let Some(path) = opts.value("--csv") {
+        std::fs::write(path, exploration.to_csv())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+
+    match &exploration.best {
+        Some(best) => {
+            println!("{}", best.summary(&graph, &arch));
+            if !quiet {
+                let analysis = rtrpart::core::SolutionAnalysis::analyze(&graph, &arch, best);
+                println!("\n{}", analysis.render());
+            }
+            if let Some(path) = opts.value("--out-solution") {
+                std::fs::write(path, best.to_text(&graph))
+                    .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+            }
+            if simulate {
+                let report = rtrpart::sim::simulate(&graph, &arch, best)
+                    .map_err(|e| format!("simulation rejected the solution: {e}"))?;
+                println!("\nsimulated timeline:\n{}", report.timeline());
+                println!("\n{}", report.gantt(64));
+            }
+            Ok(())
+        }
+        None => Err("no feasible partitioning found".to_owned()),
+    }
+}
+
+fn bounds_cmd(args: &[String]) -> Result<(), String> {
+    let opts = Options { args };
+    let graph = load_graph(&opts)?;
+    let arch = load_arch(&opts)?;
+    let n_l = rtrpart::min_area_partitions(&graph, &arch);
+    let n_u = rtrpart::max_area_partitions(&graph, &arch);
+    println!("{}", graph.stats());
+    println!("N_min^l (MinAreaPartitions) = {n_l}");
+    println!("N_min^u (MaxAreaPartitions) = {n_u}");
+    for n in n_l..=n_u {
+        println!(
+            "N = {n}: MinLatency = {}, MaxLatency = {}",
+            rtrpart::min_latency(&graph, &arch, n),
+            rtrpart::max_latency(&graph, &arch, n)
+        );
+    }
+    Ok(())
+}
+
+fn demo_cmd(args: &[String]) -> Result<(), String> {
+    let opts = Options { args: &args[1..] };
+    let name = args.first().map(String::as_str).ok_or("demo needs a workload name (dct | ar | fft | jpeg | matmul)")?;
+    let graph = match name {
+        "dct" => rtrpart::workloads::dct::dct_4x4(),
+        "ar" => rtrpart::workloads::ar::ar_filter()
+            .map_err(|e| format!("AR synthesis failed: {e}"))?,
+        "fft" => rtrpart::workloads::fft::fft_graph(16, 4)
+            .map_err(|e| format!("FFT synthesis failed: {e}"))?,
+        "jpeg" => rtrpart::workloads::jpeg::jpeg_pipeline()
+            .map_err(|e| format!("JPEG synthesis failed: {e}"))?,
+        "matmul" => rtrpart::workloads::matmul::matmul_graph(3, 2)
+            .map_err(|e| format!("matmul synthesis failed: {e}"))?,
+        other => return Err(format!("unknown demo `{other}` (expected dct | ar | fft | jpeg | matmul)")),
+    };
+    let default = format!("{name}.tg");
+    let out = opts.value("--out").unwrap_or(&default);
+    std::fs::write(out, graph.to_text()).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    println!("wrote {} tasks / {} edges to {out}", graph.task_count(), graph.edge_count());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parse_time_units() {
+        assert_eq!(parse_time("30ns").unwrap().as_ns(), 30.0);
+        assert_eq!(parse_time("1.5us").unwrap().as_ns(), 1500.0);
+        assert_eq!(parse_time("10ms").unwrap().as_ns(), 1e7);
+        assert_eq!(parse_time("2s").unwrap().as_ns(), 2e9);
+        assert!(parse_time("10").is_err());
+        assert!(parse_time("xns").is_err());
+        assert!(parse_time("5weeks").is_err());
+        assert!(parse_time("-1ms").is_err());
+    }
+
+    #[test]
+    fn options_scanner() {
+        let args = strs(&["--rmax", "576", "--quiet", "--ct", "1us"]);
+        let opts = Options { args: &args };
+        assert_eq!(opts.value("--rmax"), Some("576"));
+        assert_eq!(opts.value("--ct"), Some("1us"));
+        assert!(opts.flag("--quiet"));
+        assert!(!opts.flag("--dot"));
+        assert!(opts.required("--mmax").is_err());
+        assert_eq!(opts.parsed("--alpha", 7u32).unwrap(), 7);
+    }
+
+    #[test]
+    fn unknown_command_is_an_error() {
+        assert!(run(&strs(&["frobnicate"])).is_err());
+        assert!(run(&strs(&["help"])).is_ok());
+        assert!(run(&[]).is_ok());
+    }
+
+    #[test]
+    fn arch_parsing_including_dsp_classes() {
+        let args = strs(&[
+            "--rmax", "576", "--ct", "1us", "--mmax", "64", "--dsp", "4,2",
+            "--env-policy", "streamed",
+        ]);
+        let opts = Options { args: &args };
+        let arch = load_arch(&opts).unwrap();
+        assert_eq!(arch.resource_capacity().units(), 576);
+        assert_eq!(arch.memory_capacity(), 64);
+        assert_eq!(arch.secondary_capacities(), &[4, 2]);
+        assert_eq!(arch.env_policy(), EnvMemoryPolicy::Streamed);
+    }
+
+    #[test]
+    fn bad_backend_and_policy_rejected() {
+        let args = strs(&["--rmax", "1", "--ct", "1ns", "--env-policy", "psychic"]);
+        assert!(load_arch(&Options { args: &args }).is_err());
+        let args = strs(&["--backend", "quantum"]);
+        assert!(load_params(&Options { args: &args }).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Cross-check: the structured solver and the faithful ILP backend decide
+//! the same feasibility questions and find the same optima on a corpus of
+//! seeded random instances. This is the evidence that the structured
+//! backend implements the paper's constraint set exactly.
+
+use rtrpart::core::optimal::{solve_optimal, OptimalOutcome};
+use rtrpart::graph::Latency;
+use rtrpart::workloads::random::{random_layered, RandomGraphParams};
+use rtrpart::{
+    Architecture, Backend, ExploreParams, SearchLimits, TemporalPartitioner, validate_solution,
+};
+use rtrpart::graph::Area;
+
+fn small_params(tasks: usize) -> RandomGraphParams {
+    RandomGraphParams {
+        tasks,
+        max_layer_width: 3,
+        edge_probability: 0.6,
+        design_points: (1, 2),
+        area_range: (30, 90),
+        latency_range: (100.0, 500.0),
+        data_range: (1, 3),
+    }
+}
+
+#[test]
+fn feasibility_windows_agree_on_random_instances() {
+    for seed in 0..12u64 {
+        let g = random_layered(seed, &small_params(5));
+        let arch = Architecture::new(Area::new(120), 24, Latency::from_ns(100.0));
+        let n = 3;
+        // Probe a ladder of windows; both backends must agree at each rung.
+        let d_max_abs = rtrpart::max_latency(&g, &arch, n);
+        let d_min_abs = rtrpart::min_latency(&g, &arch, n);
+        let span = d_max_abs.as_ns() - d_min_abs.as_ns();
+        for frac in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let window = Latency::from_ns(d_min_abs.as_ns() + span * frac);
+            let mut answers = Vec::new();
+            for backend in [Backend::Structured, Backend::Milp] {
+                let params = ExploreParams { backend, ..Default::default() };
+                let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+                let (result, sol) = part.solve_window(n, window, Latency::ZERO).unwrap();
+                if let Some(sol) = &sol {
+                    assert!(
+                        validate_solution(&g, &arch, sol).is_empty(),
+                        "seed {seed}: {backend:?} returned an invalid solution"
+                    );
+                    assert!(
+                        sol.total_latency(&g, &arch) <= window + Latency::from_ns(1e-6),
+                        "seed {seed}: {backend:?} exceeded the window"
+                    );
+                }
+                answers.push(matches!(
+                    result,
+                    rtrpart::IterationResult::Feasible { .. }
+                ));
+            }
+            assert_eq!(
+                answers[0], answers[1],
+                "seed {seed}, frac {frac}: structured {} vs milp {}",
+                answers[0], answers[1]
+            );
+        }
+    }
+}
+
+#[test]
+fn optimal_latencies_agree_on_random_instances() {
+    for seed in 20..28u64 {
+        let g = random_layered(seed, &small_params(4));
+        let arch = Architecture::new(Area::new(150), 24, Latency::from_ns(250.0));
+        let mut optima = Vec::new();
+        for backend in [Backend::Structured, Backend::Milp] {
+            match solve_optimal(&g, &arch, 3, backend, SearchLimits::default()).unwrap() {
+                OptimalOutcome::Optimal(sol, lat) => {
+                    assert!(validate_solution(&g, &arch, &sol).is_empty());
+                    optima.push(Some(lat.as_ns()));
+                }
+                OptimalOutcome::Infeasible => optima.push(None),
+                OptimalOutcome::Interrupted(_) => {
+                    panic!("seed {seed}: {backend:?} hit a limit on a 4-task instance")
+                }
+            }
+        }
+        match (optima[0], optima[1]) {
+            (Some(a), Some(b)) => {
+                assert!((a - b).abs() < 1e-6, "seed {seed}: structured {a} vs milp {b}")
+            }
+            (None, None) => {}
+            other => panic!("seed {seed}: feasibility disagreement {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn explorations_land_within_delta_of_each_other() {
+    for seed in 40..46u64 {
+        let g = random_layered(seed, &small_params(5));
+        let arch = Architecture::new(Area::new(140), 32, Latency::from_ns(150.0));
+        let delta = 50.0;
+        let mut bests = Vec::new();
+        for backend in [Backend::Structured, Backend::Milp] {
+            let params = ExploreParams {
+                backend,
+                delta: Latency::from_ns(delta),
+                gamma: 1,
+                ..Default::default()
+            };
+            let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+            let ex = part.explore().unwrap();
+            bests.push(ex.best_latency.map(|l| l.as_ns()));
+        }
+        match (bests[0], bests[1]) {
+            (Some(a), Some(b)) => assert!(
+                (a - b).abs() <= delta + 1e-6,
+                "seed {seed}: structured {a} vs milp {b} differ by more than δ"
+            ),
+            (None, None) => {}
+            other => panic!("seed {seed}: feasibility disagreement {other:?}"),
+        }
+    }
+}

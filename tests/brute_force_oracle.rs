@@ -1,0 +1,155 @@
+//! Exhaustive oracle: on tiny instances, enumerate *every* assignment of
+//! (partition, design point) per task, validate each directly, and compare
+//! the true optimum against both solver backends. This checks the entire
+//! constraint semantics end to end, not just solver agreement.
+
+use rtrpart::core::optimal::{solve_optimal, OptimalOutcome};
+use rtrpart::graph::{Area, Latency, TaskGraph};
+use rtrpart::workloads::random::{random_layered, RandomGraphParams};
+use rtrpart::{validate_solution, Architecture, Backend, Placement, SearchLimits, Solution};
+
+/// Enumerates every assignment and returns the minimum total latency of a
+/// valid one (brute force over (n_bound * dps)^tasks combinations).
+fn brute_force_optimum(graph: &TaskGraph, arch: &Architecture, n_bound: u32) -> Option<f64> {
+    let tasks = graph.task_count();
+    let choices: Vec<Vec<Placement>> = graph
+        .tasks()
+        .iter()
+        .map(|t| {
+            let mut v = Vec::new();
+            for p in 1..=n_bound {
+                for m in 0..t.design_points().len() {
+                    v.push(Placement { partition: p, design_point: m });
+                }
+            }
+            v
+        })
+        .collect();
+    let mut best: Option<f64> = None;
+    let mut idx = vec![0usize; tasks];
+    loop {
+        let placements: Vec<Placement> =
+            idx.iter().enumerate().map(|(t, &i)| choices[t][i]).collect();
+        let sol = Solution::new(placements, n_bound);
+        if validate_solution(graph, arch, &sol).is_empty() {
+            let lat = sol.total_latency(graph, arch).as_ns();
+            best = Some(match best {
+                Some(b) => b.min(lat),
+                None => lat,
+            });
+        }
+        // Odometer.
+        let mut carry = true;
+        for (t, i) in idx.iter_mut().enumerate() {
+            if *i + 1 < choices[t].len() {
+                *i += 1;
+                carry = false;
+                break;
+            }
+            *i = 0;
+        }
+        if carry {
+            break;
+        }
+    }
+    best
+}
+
+#[test]
+fn both_backends_match_exhaustive_enumeration() {
+    let params = RandomGraphParams {
+        tasks: 4,
+        max_layer_width: 2,
+        edge_probability: 0.7,
+        design_points: (1, 2),
+        area_range: (30, 80),
+        latency_range: (100.0, 500.0),
+        data_range: (1, 3),
+    };
+    let mut checked = 0;
+    for seed in 0..14u64 {
+        let g = random_layered(seed, &params);
+        // Vary the device per seed to hit different binding constraints.
+        let cap = 90 + (seed % 4) * 30;
+        let mem = 3 + seed % 6;
+        let ct = 50.0 * (1.0 + seed as f64);
+        let arch = Architecture::new(Area::new(cap), mem, Latency::from_ns(ct));
+        let n = 3;
+        let brute = brute_force_optimum(&g, &arch, n);
+        for backend in [Backend::Structured, Backend::Milp] {
+            let got = match solve_optimal(&g, &arch, n, backend, SearchLimits::default()) {
+                Ok(OptimalOutcome::Optimal(sol, lat)) => {
+                    assert!(validate_solution(&g, &arch, &sol).is_empty());
+                    Some(lat.as_ns())
+                }
+                Ok(OptimalOutcome::Infeasible) => None,
+                Ok(OptimalOutcome::Interrupted(_)) => {
+                    panic!("seed {seed}: {backend:?} interrupted on a 4-task instance")
+                }
+                Err(e) => panic!("seed {seed}: {backend:?} failed: {e}"),
+            };
+            match (brute, got) {
+                (Some(b), Some(g)) => assert!(
+                    (b - g).abs() < 1e-6,
+                    "seed {seed} {backend:?}: brute {b} vs solver {g}"
+                ),
+                (None, None) => {}
+                other => {
+                    panic!("seed {seed} {backend:?}: feasibility disagreement {other:?}")
+                }
+            }
+        }
+        checked += 1;
+    }
+    assert_eq!(checked, 14);
+}
+
+#[test]
+fn oracle_with_secondary_resources() {
+    // Two tasks with a DSP-vs-fabric tradeoff; tight DSP budget.
+    use rtrpart::graph::{DesignPoint, TaskGraphBuilder};
+    let mut b = TaskGraphBuilder::new();
+    let a = b
+        .add_task("a")
+        .design_point(
+            DesignPoint::new("soft", Area::new(80), Latency::from_ns(600.0))
+                .with_secondary(vec![0]),
+        )
+        .design_point(
+            DesignPoint::new("dsp", Area::new(40), Latency::from_ns(250.0))
+                .with_secondary(vec![2]),
+        )
+        .finish();
+    let c = b
+        .add_task("c")
+        .design_point(
+            DesignPoint::new("soft", Area::new(70), Latency::from_ns(500.0))
+                .with_secondary(vec![0]),
+        )
+        .design_point(
+            DesignPoint::new("dsp", Area::new(35), Latency::from_ns(200.0))
+                .with_secondary(vec![3]),
+        )
+        .finish();
+    b.add_edge(a, c, 2).unwrap();
+    let g = b.build().unwrap();
+    for dsp in [0u64, 2, 3, 5] {
+        let arch = Architecture::new(Area::new(160), 16, Latency::from_ns(100.0))
+            .with_secondary_capacities(vec![dsp]);
+        let brute = brute_force_optimum(&g, &arch, 2);
+        for backend in [Backend::Structured, Backend::Milp] {
+            let got = match solve_optimal(&g, &arch, 2, backend, SearchLimits::default())
+                .unwrap()
+            {
+                OptimalOutcome::Optimal(_, lat) => Some(lat.as_ns()),
+                OptimalOutcome::Infeasible => None,
+                OptimalOutcome::Interrupted(_) => panic!("interrupted on a 2-task instance"),
+            };
+            assert_eq!(
+                brute.map(|b| (b * 1e6).round()),
+                got.map(|g| (g * 1e6).round()),
+                "dsp = {dsp}, backend {backend:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! End-to-end runs of the paper's two case studies through the full stack:
+//! workload construction → exploration → validation → simulation.
+
+use rtrpart::graph::{Area, Latency};
+use rtrpart::workloads::{ar::ar_filter, dct::dct_4x4};
+use rtrpart::{
+    validate_solution, Architecture, ExploreParams, SearchLimits, TemporalPartitioner,
+};
+use std::time::Duration;
+
+fn fast_limits() -> SearchLimits {
+    SearchLimits { node_limit: 5_000_000, time_limit: Some(Duration::from_secs(2)) }
+}
+
+#[test]
+fn ar_filter_explores_and_simulates() {
+    let g = ar_filter().unwrap();
+    // Size the device so 2-3 tasks share a configuration.
+    let cap = g.total_min_area().units() / 2;
+    let arch = Architecture::new(Area::new(cap), 64, Latency::from_us(1.0));
+    let params = ExploreParams {
+        delta: Latency::from_ns(50.0),
+        gamma: 2,
+        limits: fast_limits(),
+        ..Default::default()
+    };
+    let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+    let ex = part.explore().unwrap();
+    let best = ex.best.expect("AR filter is feasible");
+    assert!(validate_solution(&g, &arch, &best).is_empty());
+    let report = rtrpart::sim::simulate(&g, &arch, &best).unwrap();
+    assert_eq!(report.total_latency, ex.best_latency.unwrap());
+}
+
+#[test]
+fn dct_both_device_sizes_explore_and_simulate() {
+    let g = dct_4x4();
+    for r_max in [576u64, 1024] {
+        let arch = Architecture::new(Area::new(r_max), 512, Latency::from_us(1.0));
+        let params = ExploreParams {
+            delta: Latency::from_ns(400.0),
+            gamma: 1,
+            limits: fast_limits(),
+            time_budget: Some(Duration::from_secs(30)),
+            ..Default::default()
+        };
+        let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+        let ex = part.explore().unwrap();
+        let best = ex.best.expect("DCT is feasible");
+        assert!(validate_solution(&g, &arch, &best).is_empty(), "R_max {r_max}");
+        let report = rtrpart::sim::simulate(&g, &arch, &best).unwrap();
+        assert_eq!(report.total_latency, ex.best_latency.unwrap());
+        // The paper's partition-bound arithmetic must hold.
+        let n_l = rtrpart::min_area_partitions(&g, &arch);
+        assert!(best.partitions_used() >= n_l, "R_max {r_max}");
+    }
+}
+
+#[test]
+fn dct_large_ct_stops_relaxation_immediately() {
+    let g = dct_4x4();
+    let arch = Architecture::new(Area::new(1024), 512, Latency::from_ms(10.0));
+    let params = ExploreParams {
+        delta: Latency::from_ns(400.0),
+        gamma: 1,
+        limits: fast_limits(),
+        ..Default::default()
+    };
+    let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+    let ex = part.explore().unwrap();
+    let best = ex.best.expect("feasible");
+    let eta = best.partitions_used();
+    // With C_T = 10 ms, MinLatency(N+1) - MinLatency(N) = 10 ms dwarfs any
+    // execution gain, so no record should exist beyond the first feasible N
+    // (the paper's Table 4/6/8 behaviour).
+    let first_feasible_n = ex
+        .records
+        .iter()
+        .find(|r| matches!(r.result, rtrpart::IterationResult::Feasible { .. }))
+        .map(|r| r.n)
+        .expect("a feasible record exists");
+    assert!(ex.records.iter().all(|r| r.n <= first_feasible_n));
+    assert!(eta <= first_feasible_n);
+}
+
+#[test]
+fn graph_round_trips_through_text_format() {
+    for g in [dct_4x4(), ar_filter().unwrap()] {
+        let text = g.to_text();
+        let parsed = rtrpart::graph::TaskGraph::from_text(&text).unwrap();
+        assert_eq!(g, parsed);
+    }
+}
+
+#[test]
+fn dct_dot_export_is_complete() {
+    let g = dct_4x4();
+    let dot = g.to_dot();
+    assert_eq!(dot.matches(" -> ").count(), 64);
+    assert!(dot.contains("vp1_r0_c0"));
+    assert!(dot.contains("vp2_r3_c3"));
+}

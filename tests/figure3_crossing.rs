@@ -1,0 +1,100 @@
+//! Figure 3 worked example: the boundary-crossing variable `w` semantics.
+//!
+//! The paper's Figure 3 shows a mapping of dependent tasks to three
+//! temporal partitions and which crossing variables become 1 at each
+//! boundary. This test reconstructs an equivalent scenario and checks the
+//! memory accounting that the `w` variables model: an edge whose producer
+//! is in partitions `1..p-1` and consumer in `p..N` occupies boundary `p` —
+//! including edges spanning *non-adjacent* partitions.
+
+use rtrpart::graph::{Area, DesignPoint, Latency, TaskGraphBuilder};
+use rtrpart::{EnvMemoryPolicy, Placement, Solution};
+
+fn dp() -> DesignPoint {
+    DesignPoint::new("m", Area::new(10), Latency::from_ns(100.0))
+}
+
+#[test]
+fn crossing_data_occupies_every_spanned_boundary() {
+    // t1 -> t2 -> t4, t1 -> t3 (t3 skips a partition).
+    let mut b = TaskGraphBuilder::new();
+    let t1 = b.add_task("t1").design_point(dp()).finish();
+    let t2 = b.add_task("t2").design_point(dp()).finish();
+    let t3 = b.add_task("t3").design_point(dp()).finish();
+    let t4 = b.add_task("t4").design_point(dp()).finish();
+    b.add_edge(t1, t2, 5).unwrap();
+    b.add_edge(t1, t3, 7).unwrap();
+    b.add_edge(t2, t4, 3).unwrap();
+    let g = b.build().unwrap();
+
+    // Partition 1: {t1}; partition 2: {t2}; partition 3: {t3, t4}.
+    let sol = Solution::new(
+        vec![
+            Placement { partition: 1, design_point: 0 },
+            Placement { partition: 2, design_point: 0 },
+            Placement { partition: 3, design_point: 0 },
+            Placement { partition: 3, design_point: 0 },
+        ],
+        3,
+    );
+    let mem = sol.boundary_memory(&g, EnvMemoryPolicy::Streamed);
+    // Boundary 2 (between partitions 1 and 2): t1->t2 (5) and t1->t3 (7),
+    // the latter because t3 sits beyond partition 2 — the "non-adjacent"
+    // case Figure 3 highlights.
+    assert_eq!(mem[0], 5 + 7);
+    // Boundary 3: t1->t3 still in flight (7) plus t2->t4 (3); t1->t2 has
+    // been consumed.
+    assert_eq!(mem[1], 7 + 3);
+}
+
+#[test]
+fn same_partition_edges_never_cross() {
+    let mut b = TaskGraphBuilder::new();
+    let t1 = b.add_task("t1").design_point(dp()).finish();
+    let t2 = b.add_task("t2").design_point(dp()).finish();
+    b.add_edge(t1, t2, 100).unwrap();
+    let g = b.build().unwrap();
+    for p in 1..=3u32 {
+        let sol = Solution::new(
+            vec![
+                Placement { partition: p, design_point: 0 },
+                Placement { partition: p, design_point: 0 },
+            ],
+            3,
+        );
+        assert_eq!(sol.peak_memory(&g, EnvMemoryPolicy::Streamed), 0, "partition {p}");
+    }
+}
+
+#[test]
+fn crossing_semantics_match_the_ilp_window() {
+    // The ILP's memory constraint must agree with the direct accounting:
+    // build a model whose only restriction is memory, and check the
+    // feasibility frontier sits exactly at the crossing volume.
+    use rtrpart::core::model::{IlpModel, ModelOptions};
+    use rtrpart::milp::SolveOptions;
+    use rtrpart::Architecture;
+
+    let mut b = TaskGraphBuilder::new();
+    let t1 = b.add_task("t1").design_point(dp()).finish();
+    let t2 = b.add_task("t2").design_point(dp()).finish();
+    b.add_edge(t1, t2, 6).unwrap();
+    let g = b.build().unwrap();
+
+    // Capacity forces a split (each task is 10, device is 10): the edge
+    // must cross, so M_max = 5 is infeasible and M_max = 6 feasible.
+    for (m_max, feasible) in [(5u64, false), (6, true)] {
+        let arch = Architecture::new(Area::new(10), m_max, Latency::from_ns(1.0));
+        let ilp = IlpModel::build(
+            &g,
+            &arch,
+            2,
+            Latency::from_us(1.0),
+            Latency::ZERO,
+            &ModelOptions::default(),
+        )
+        .unwrap();
+        let out = ilp.model().solve(&SolveOptions::feasibility()).unwrap();
+        assert_eq!(out.status.has_solution(), feasible, "M_max = {m_max}");
+    }
+}

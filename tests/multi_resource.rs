@@ -1,0 +1,138 @@
+//! The paper's multiple-resource-types extension: "Similar equations can be
+//! added if multiple resource types exist in the FPGA" (§3.2.3). Design
+//! points can consume secondary resource classes (dedicated multipliers,
+//! block RAMs, …) with per-configuration capacities; both backends enforce
+//! the per-class constraint.
+
+use rtrpart::graph::{Area, DesignPoint, Latency, TaskGraphBuilder};
+use rtrpart::{
+    validate_solution, Architecture, Backend, ExploreParams, TemporalPartitioner,
+};
+
+/// Two independent tasks whose *fast* design points each need 3 dedicated
+/// multipliers (class 0); plenty of raw area everywhere.
+fn dsp_graph() -> rtrpart::graph::TaskGraph {
+    let mut b = TaskGraphBuilder::new();
+    for i in 0..2 {
+        b.add_task(format!("t{i}"))
+            .design_point(
+                DesignPoint::new("soft", Area::new(120), Latency::from_ns(900.0))
+                    .with_secondary(vec![0]),
+            )
+            .design_point(
+                DesignPoint::new("dsp", Area::new(60), Latency::from_ns(300.0))
+                    .with_secondary(vec![3]),
+            )
+            .finish();
+    }
+    b.build().unwrap()
+}
+
+#[test]
+fn dsp_capacity_forces_soft_logic_or_extra_partitions() {
+    let g = dsp_graph();
+    // 4 DSPs per configuration: both tasks cannot use their DSP point in
+    // the same partition (3 + 3 > 4); area alone would allow it.
+    let arch = Architecture::new(Area::new(1000), 64, Latency::from_us(1.0))
+        .with_secondary_capacities(vec![4]);
+    for backend in [Backend::Structured, Backend::Milp] {
+        let params = ExploreParams { backend, gamma: 2, ..Default::default() };
+        let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+        let (result, sol) = part
+            .solve_window(1, Latency::from_us(100.0), Latency::ZERO)
+            .unwrap();
+        let sol = sol.unwrap_or_else(|| panic!("{backend:?}: single partition is feasible ({result:?})"));
+        assert!(validate_solution(&g, &arch, &sol).is_empty());
+        // At most one task can sit on the DSP point.
+        let dsp_users = sol
+            .placements()
+            .iter()
+            .filter(|pl| pl.design_point == 1)
+            .count();
+        assert!(dsp_users <= 1, "{backend:?}: {dsp_users} DSP users in one partition");
+    }
+}
+
+#[test]
+fn exploration_uses_more_partitions_to_unlock_dsp_points() {
+    let g = dsp_graph();
+    // Tiny reconfiguration cost: splitting into 2 partitions lets both
+    // tasks run on DSPs (300 ns each) instead of one soft (900 ns).
+    let arch = Architecture::new(Area::new(1000), 64, Latency::from_ns(10.0))
+        .with_secondary_capacities(vec![3]);
+    let params = ExploreParams {
+        delta: Latency::from_ns(10.0),
+        gamma: 3,
+        ..Default::default()
+    };
+    let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+    let ex = part.explore().unwrap();
+    let best = ex.best.expect("feasible");
+    assert!(validate_solution(&g, &arch, &best).is_empty());
+    // Independent tasks: 2 partitions of one DSP task each = 300 + 300 + 20;
+    // vs 1 partition mixing soft+dsp = max(900, 300) + 10 = 910.
+    assert_eq!(best.partitions_used(), 2);
+    assert_eq!(ex.best_latency.unwrap().as_ns(), 620.0);
+}
+
+#[test]
+fn unplaceable_dsp_demand_is_rejected_up_front() {
+    let mut b = TaskGraphBuilder::new();
+    b.add_task("hungry")
+        .design_point(
+            DesignPoint::new("only", Area::new(10), Latency::from_ns(5.0))
+                .with_secondary(vec![9]),
+        )
+        .finish();
+    let g = b.build().unwrap();
+    let arch = Architecture::new(Area::new(1000), 64, Latency::from_ns(10.0))
+        .with_secondary_capacities(vec![4]);
+    assert!(matches!(
+        TemporalPartitioner::new(&g, &arch, Default::default()),
+        Err(rtrpart::PartitionError::TaskTooLarge { .. })
+    ));
+}
+
+#[test]
+fn min_partitions_accounts_for_secondary_demand() {
+    // 4 tasks, each irreducibly needing 2 DSPs; device has 3 DSPs but vast
+    // area: at least ceil(8/3) = 3 partitions.
+    let mut b = TaskGraphBuilder::new();
+    for i in 0..4 {
+        b.add_task(format!("t{i}"))
+            .design_point(
+                DesignPoint::new("m", Area::new(10), Latency::from_ns(100.0))
+                    .with_secondary(vec![2]),
+            )
+            .finish();
+    }
+    let g = b.build().unwrap();
+    let arch = Architecture::new(Area::new(10_000), 64, Latency::from_ns(10.0))
+        .with_secondary_capacities(vec![3]);
+    assert_eq!(rtrpart::min_area_partitions(&g, &arch), 3);
+    // And the exploration respects it.
+    let part = TemporalPartitioner::new(&g, &arch, Default::default()).unwrap();
+    let ex = part.explore().unwrap();
+    assert!(ex.best.unwrap().partitions_used() >= 3);
+}
+
+#[test]
+fn backends_agree_with_secondary_constraints() {
+    let g = dsp_graph();
+    for caps in [vec![3u64], vec![4], vec![6]] {
+        let arch = Architecture::new(Area::new(1000), 64, Latency::from_ns(50.0))
+            .with_secondary_capacities(caps.clone());
+        let mut answers = Vec::new();
+        for backend in [Backend::Structured, Backend::Milp] {
+            let params = ExploreParams { backend, ..Default::default() };
+            let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+            // Window: both on DSP in one partition = 300 + 50 = 350 ns.
+            let (result, _) =
+                part.solve_window(1, Latency::from_ns(350.0), Latency::ZERO).unwrap();
+            answers.push(matches!(result, rtrpart::IterationResult::Feasible { .. }));
+        }
+        assert_eq!(answers[0], answers[1], "caps {caps:?}");
+        // 6 DSPs admit the both-DSP single partition; fewer do not.
+        assert_eq!(answers[0], caps[0] >= 6, "caps {caps:?}");
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests over the whole stack, driven by seeded random task
+//! graphs.
+
+use proptest::prelude::*;
+use rtrpart::graph::{Area, Latency};
+use rtrpart::workloads::random::{random_layered, RandomGraphParams};
+use rtrpart::{
+    validate_solution, Architecture, EnvMemoryPolicy, ExploreParams, SearchLimits,
+    TemporalPartitioner,
+};
+use std::time::Duration;
+
+fn arb_params() -> impl Strategy<Value = (u64, RandomGraphParams, u64, u64, f64)> {
+    (
+        any::<u64>(),                 // seed
+        2usize..10,                   // tasks
+        1usize..4,                    // max layer width
+        60u64..240,                   // device capacity
+        8u64..64,                     // memory
+        10.0f64..100_000.0,           // reconfig ns
+    )
+        .prop_map(|(seed, tasks, width, cap, mem, ct)| {
+            (
+                seed,
+                RandomGraphParams {
+                    tasks,
+                    max_layer_width: width,
+                    design_points: (1, 3),
+                    area_range: (20, 60),
+                    latency_range: (50.0, 600.0),
+                    data_range: (1, 3),
+                    ..Default::default()
+                },
+                cap,
+                mem,
+                ct,
+            )
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+
+    /// Every solution the exploration produces satisfies every constraint,
+    /// and the simulator realizes exactly the analytic latency.
+    #[test]
+    fn explored_solutions_are_always_valid((seed, gp, cap, mem, ct) in arb_params()) {
+        let g = random_layered(seed, &gp);
+        let arch = Architecture::new(Area::new(cap), mem, Latency::from_ns(ct));
+        let params = ExploreParams {
+            delta: Latency::from_ns(100.0),
+            gamma: 1,
+            limits: SearchLimits { node_limit: 300_000, time_limit: Some(Duration::from_millis(300)) },
+            time_budget: Some(Duration::from_secs(5)),
+            ..Default::default()
+        };
+        let Ok(part) = TemporalPartitioner::new(&g, &arch, params) else {
+            // Some task cannot fit the device at all: a legal outcome.
+            return Ok(());
+        };
+        let ex = part.explore().unwrap();
+        if let Some(best) = &ex.best {
+            prop_assert!(validate_solution(&g, &arch, best).is_empty());
+            let lat = best.total_latency(&g, &arch);
+            prop_assert_eq!(ex.best_latency.unwrap(), lat);
+            let report = rtrpart::sim::simulate(&g, &arch, best).unwrap();
+            prop_assert!(
+                (report.total_latency.as_ns() - lat.as_ns()).abs() < 1e-6,
+                "simulator disagrees: {} vs {}",
+                report.total_latency,
+                lat
+            );
+            // Latency decomposition is consistent.
+            let eta = best.partitions_used();
+            prop_assert!(eta >= 1 && eta <= best.n_bound());
+            let decomposed =
+                best.execution_latency(&g).as_ns() + (arch.reconfig_time() * eta).as_ns();
+            prop_assert!(
+                (lat.as_ns() - decomposed).abs() < 1e-6,
+                "decomposition drifted: {} vs {}",
+                lat.as_ns(),
+                decomposed
+            );
+        }
+    }
+
+    /// Feasible iterations never report a latency above their window, and
+    /// windows only shrink within one partition bound.
+    #[test]
+    fn iteration_records_are_well_formed((seed, gp, cap, mem, ct) in arb_params()) {
+        let g = random_layered(seed, &gp);
+        let arch = Architecture::new(Area::new(cap), mem, Latency::from_ns(ct));
+        let params = ExploreParams {
+            delta: Latency::from_ns(50.0),
+            limits: SearchLimits { node_limit: 300_000, time_limit: Some(Duration::from_millis(300)) },
+            time_budget: Some(Duration::from_secs(5)),
+            ..Default::default()
+        };
+        let Ok(part) = TemporalPartitioner::new(&g, &arch, params) else { return Ok(()); };
+        let ex = part.explore().unwrap();
+        for r in &ex.records {
+            prop_assert!(r.d_min <= r.d_max);
+            if let rtrpart::IterationResult::Feasible { latency, .. } = r.result {
+                prop_assert!(latency.as_ns() <= r.d_max.as_ns() + 1e-6);
+            }
+        }
+        let mut last_n = 0;
+        for r in &ex.records {
+            prop_assert!(r.n >= last_n, "partition bounds never shrink");
+            last_n = r.n;
+        }
+    }
+
+    /// The greedy baseline, when it succeeds, always produces valid
+    /// solutions and never beats the exploration by more than δ.
+    #[test]
+    fn greedy_baseline_is_valid_and_no_better((seed, gp, cap, mem, ct) in arb_params()) {
+        use rtrpart::core::baseline::{greedy_partition, DesignPointPicker};
+        let g = random_layered(seed, &gp);
+        let arch = Architecture::new(Area::new(cap), mem, Latency::from_ns(ct));
+        let n_cap = g.task_count() as u32;
+        for picker in [DesignPointPicker::MinArea, DesignPointPicker::MaxArea, DesignPointPicker::MinLatency] {
+            if let Some(sol) = greedy_partition(&g, &arch, picker, n_cap) {
+                prop_assert!(validate_solution(&g, &arch, &sol).is_empty());
+            }
+        }
+    }
+
+    /// Boundary memory is monotone under the Resident policy relative to
+    /// Streamed: the resident accounting can only add occupancy.
+    #[test]
+    fn resident_memory_dominates_streamed((seed, gp, cap, mem, ct) in arb_params()) {
+        use rtrpart::core::baseline::{greedy_partition, DesignPointPicker};
+        let g = random_layered(seed, &gp);
+        let arch = Architecture::new(Area::new(cap), mem.max(1024), Latency::from_ns(ct));
+        if let Some(sol) = greedy_partition(&g, &arch, DesignPointPicker::MinArea, g.task_count() as u32) {
+            let resident = sol.boundary_memory(&g, EnvMemoryPolicy::Resident);
+            let streamed = sol.boundary_memory(&g, EnvMemoryPolicy::Streamed);
+            for (r, s) in resident.iter().zip(&streamed) {
+                prop_assert!(r >= s);
+            }
+        }
+    }
+
+    /// The paper's bounds really bound: MinLatency(N) ≤ any achieved
+    /// latency ≤ MaxLatency(N) for solutions under partition bound N.
+    #[test]
+    fn latency_bounds_bracket_solutions((seed, gp, cap, mem, ct) in arb_params()) {
+        let g = random_layered(seed, &gp);
+        let arch = Architecture::new(Area::new(cap), mem, Latency::from_ns(ct));
+        let params = ExploreParams {
+            limits: SearchLimits { node_limit: 300_000, time_limit: Some(Duration::from_millis(300)) },
+            time_budget: Some(Duration::from_secs(5)),
+            ..Default::default()
+        };
+        let Ok(part) = TemporalPartitioner::new(&g, &arch, params) else { return Ok(()); };
+        let ex = part.explore().unwrap();
+        if let Some(best) = &ex.best {
+            let n = best.partitions_used();
+            let lo = rtrpart::min_latency(&g, &arch, n);
+            let hi = rtrpart::max_latency(&g, &arch, n);
+            let lat = best.total_latency(&g, &arch);
+            prop_assert!(lat >= lo, "latency {lat} below MinLatency {lo}");
+            prop_assert!(lat <= hi, "latency {lat} above MaxLatency {hi}");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Full-stack runs over the extended workload gallery (FFT, JPEG): explore,
+//! validate, analyze, and simulate each, in both reconfiguration regimes.
+
+use rtrpart::core::SolutionAnalysis;
+use rtrpart::graph::{Area, Latency, TaskGraph};
+use rtrpart::sim::{simulate, simulate_with, SimOptions};
+use rtrpart::{
+    validate_solution, Architecture, ExploreParams, SearchLimits, TemporalPartitioner,
+};
+use std::time::Duration;
+
+fn quick_params() -> ExploreParams {
+    ExploreParams {
+        delta: Latency::from_ns(100.0),
+        gamma: 2,
+        limits: SearchLimits { node_limit: 3_000_000, time_limit: Some(Duration::from_secs(1)) },
+        time_budget: Some(Duration::from_secs(20)),
+        ..Default::default()
+    }
+}
+
+fn full_stack(graph: &TaskGraph, name: &str) {
+    let r_max = (graph.total_min_area().units() / 2).max(64);
+    for ct in [Latency::from_ns(200.0), Latency::from_ms(2.0)] {
+        let arch = Architecture::new(Area::new(r_max), 4096, ct);
+        let part =
+            TemporalPartitioner::new(graph, &arch, quick_params()).expect("tasks fit the device");
+        let ex = part.explore().expect("exploration runs");
+        let best = ex
+            .best
+            .unwrap_or_else(|| panic!("{name} at C_T {ct}: expected a feasible partitioning"));
+        assert!(
+            validate_solution(graph, &arch, &best).is_empty(),
+            "{name} at C_T {ct}: invalid solution"
+        );
+        // Simulator agrees with the analytic model.
+        let report = simulate(graph, &arch, &best).expect("valid solution");
+        let analytic = best.total_latency(graph, &arch);
+        assert!(
+            (report.total_latency.as_ns() - analytic.as_ns()).abs() < 1e-6,
+            "{name}: simulator {} vs analytic {}",
+            report.total_latency,
+            analytic
+        );
+        // Prefetch never hurts.
+        let pre = simulate_with(graph, &arch, &best, &SimOptions { prefetch: true })
+            .expect("valid solution");
+        assert!(pre.total_latency <= report.total_latency, "{name}: prefetch slower");
+        // Analysis invariants.
+        let analysis = SolutionAnalysis::analyze(graph, &arch, &best);
+        assert_eq!(analysis.partitions.len() as u32, best.partitions_used());
+        for p in &analysis.partitions {
+            assert!(p.area_utilization > 0.0 && p.area_utilization <= 1.0, "{name}");
+            assert!(p.parallelism >= 1.0 - 1e-9, "{name}: parallelism below 1");
+        }
+        assert!(analysis.memory_pressure <= 1.0, "{name}: memory over capacity");
+    }
+}
+
+#[test]
+fn fft_16_full_stack() {
+    let g = rtrpart::workloads::fft::fft_graph(16, 4).expect("valid shape");
+    full_stack(&g, "fft_16");
+}
+
+#[test]
+fn fft_8_fine_grained_full_stack() {
+    let g = rtrpart::workloads::fft::fft_graph(8, 1).expect("valid shape");
+    full_stack(&g, "fft_8");
+}
+
+#[test]
+fn matmul_full_stack() {
+    let g = rtrpart::workloads::matmul::matmul_graph(2, 2).expect("valid shape");
+    full_stack(&g, "matmul");
+}
+
+#[test]
+fn jpeg_full_stack() {
+    let g = rtrpart::workloads::jpeg::jpeg_pipeline().expect("static construction");
+    full_stack(&g, "jpeg");
+}
+
+#[test]
+fn text_round_trips_for_new_workloads() {
+    for (name, g) in [
+        ("fft", rtrpart::workloads::fft::fft_graph(16, 2).unwrap()),
+        ("jpeg", rtrpart::workloads::jpeg::jpeg_pipeline().unwrap()),
+    ] {
+        let parsed = TaskGraph::from_text(&g.to_text()).unwrap();
+        assert_eq!(g, parsed, "{name}");
+    }
+}
+
+#[test]
+fn solution_text_round_trips_through_the_cli_format() {
+    let g = rtrpart::workloads::jpeg::jpeg_pipeline().unwrap();
+    let r_max = g.total_min_area().units();
+    let arch = Architecture::new(Area::new(r_max), 4096, Latency::from_us(1.0));
+    let part = TemporalPartitioner::new(&g, &arch, quick_params()).unwrap();
+    let best = part.explore().unwrap().best.expect("feasible");
+    let text = best.to_text(&g);
+    let parsed = rtrpart::Solution::from_text(&g, &text).expect("round trip");
+    assert_eq!(best, parsed);
+}
