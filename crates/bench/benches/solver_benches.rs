@@ -1,8 +1,14 @@
-//! Criterion benches for the solver stack.
+//! Micro-benchmarks for the solver stack, on a small self-contained
+//! harness (no external benchmark framework, so the workspace builds
+//! offline).
 //!
-//! `cargo bench -p rtr-bench`
+//! `cargo bench -p rtr-bench` — pass a substring to filter, e.g.
+//! `cargo bench -p rtr-bench -- dct`.
+//!
+//! Each benchmark reports min / mean / max wall-clock per iteration, and
+//! the whole run is summarized into `BENCH_microbench.json`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rtr_bench::BenchRun;
 use rtr_core::baseline::{greedy_partition, DesignPointPicker};
 use rtr_core::model::{IlpModel, ModelOptions};
 use rtr_core::structured::{SearchGoal, StructuredSolver};
@@ -13,19 +19,60 @@ use rtr_milp::SolveOptions;
 use rtr_workloads::ar::{ar_filter, template_a};
 use rtr_workloads::dct::{dct_4x4, dct_nxn};
 use rtr_workloads::random::{random_layered, RandomGraphParams};
-use std::time::Duration;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
 
 fn quick_limits() -> SearchLimits {
     SearchLimits { node_limit: 2_000_000, time_limit: Some(Duration::from_millis(500)) }
 }
 
-/// Full iterative exploration of the AR filter (Table 1 inner loop).
-fn bench_ar_explore(c: &mut Criterion) {
-    let graph = ar_filter().expect("static construction");
-    let r_max = graph.total_min_area().units() / 2;
-    let arch = Architecture::new(Area::new(r_max), 64, Latency::from_us(1.0));
-    c.bench_function("ar_filter/explore", |b| {
-        b.iter(|| {
+/// Times `f` adaptively: one warm-up call sizes the batch so each bench
+/// costs roughly `BUDGET` total, with at least three iterations.
+fn bench(report: &mut BenchRun, filter: &str, name: &str, mut f: impl FnMut()) {
+    const BUDGET: Duration = Duration::from_millis(600);
+    if !name.contains(filter) {
+        return;
+    }
+    let warmup = Instant::now();
+    f();
+    let once = warmup.elapsed();
+    let iters = (BUDGET.as_secs_f64() / once.as_secs_f64().max(1e-9)).clamp(3.0, 10_000.0) as u32;
+    let mut min = f64::INFINITY;
+    let mut max = 0.0f64;
+    let mut total = 0.0f64;
+    for _ in 0..iters {
+        let start = Instant::now();
+        f();
+        let dt = start.elapsed().as_secs_f64();
+        min = min.min(dt);
+        max = max.max(dt);
+        total += dt;
+    }
+    let mean = total / f64::from(iters);
+    println!(
+        "{name:<32} {iters:>6} iters  min {:>10.1} µs  mean {:>10.1} µs  max {:>10.1} µs",
+        min * 1e6,
+        mean * 1e6,
+        max * 1e6
+    );
+    report.metric(format!("{name}.min_us"), min * 1e6);
+    report.metric(format!("{name}.mean_us"), mean * 1e6);
+    report.counter(format!("{name}.iters"), u64::from(iters));
+}
+
+fn main() {
+    // `cargo bench` invokes the binary with `--bench`; the first non-flag
+    // argument is a substring filter.
+    let filter = std::env::args().skip(1).find(|a| !a.starts_with('-')).unwrap_or_default();
+    let mut report = BenchRun::new("microbench");
+    let r = &mut report;
+
+    // Full iterative exploration of the AR filter (Table 1 inner loop).
+    {
+        let graph = ar_filter().expect("static construction");
+        let r_max = graph.total_min_area().units() / 2;
+        let arch = Architecture::new(Area::new(r_max), 64, Latency::from_us(1.0));
+        bench(r, &filter, "ar_filter/explore", || {
             let params = ExploreParams {
                 delta: Latency::from_ns(50.0),
                 gamma: 1,
@@ -33,18 +80,16 @@ fn bench_ar_explore(c: &mut Criterion) {
                 ..Default::default()
             };
             let part = TemporalPartitioner::new(&graph, &arch, params).expect("tasks fit");
-            part.explore().expect("explores")
-        })
-    });
-}
+            black_box(part.explore().expect("explores"));
+        });
+    }
 
-/// One feasible window solve on the paper-scale DCT (structured backend).
-fn bench_dct_window(c: &mut Criterion) {
-    let graph = dct_4x4();
-    let arch = Architecture::new(Area::new(1024), 512, Latency::from_us(1.0));
-    let d_max = rtr_core::max_latency(&graph, &arch, 6);
-    c.bench_function("dct/window_feasible_n6", |b| {
-        b.iter(|| {
+    // One feasible window solve on the paper-scale DCT (structured backend).
+    {
+        let graph = dct_4x4();
+        let arch = Architecture::new(Area::new(1024), 512, Latency::from_us(1.0));
+        let d_max = rtr_core::max_latency(&graph, &arch, 6);
+        bench(r, &filter, "dct/window_feasible_n6", || {
             let solver = StructuredSolver::new(
                 &graph,
                 &arch,
@@ -53,161 +98,130 @@ fn bench_dct_window(c: &mut Criterion) {
                 SearchGoal::FirstFeasible,
                 quick_limits(),
             );
-            solver.run()
-        })
-    });
-}
+            black_box(solver.run());
+        });
+    }
 
-/// The iterative procedure vs. solving to optimality with the ILP on the
-/// same instance — the paper's §4 runtime comparison, as a measured bench.
-fn bench_iterative_vs_optimal(c: &mut Criterion) {
-    let graph = random_layered(3, &RandomGraphParams { tasks: 6, ..Default::default() });
-    let arch = Architecture::new(Area::new(300), 64, Latency::from_us(1.0));
-    let mut group = c.benchmark_group("iterative_vs_optimal");
-    group.sample_size(10);
-    group.bench_function("iterative_structured", |b| {
-        b.iter(|| {
+    // The iterative procedure vs. solving to optimality with the ILP on the
+    // same instance — the paper's §4 runtime comparison, as a measured bench.
+    {
+        let graph = random_layered(3, &RandomGraphParams { tasks: 6, ..Default::default() });
+        let arch = Architecture::new(Area::new(300), 64, Latency::from_us(1.0));
+        bench(r, &filter, "iterative_vs_optimal/iterative", || {
             let params = ExploreParams {
                 delta: Latency::from_ns(100.0),
                 limits: quick_limits(),
                 ..Default::default()
             };
             let part = TemporalPartitioner::new(&graph, &arch, params).expect("tasks fit");
-            part.explore().expect("explores")
-        })
-    });
-    group.bench_function("optimal_milp", |b| {
-        b.iter(|| {
+            black_box(part.explore().expect("explores"));
+        });
+        bench(r, &filter, "iterative_vs_optimal/milp", || {
             let d_max = rtr_core::max_latency(&graph, &arch, 3);
-            let options =
-                ModelOptions { minimize_latency: true, include_dmin_cut: false, ..Default::default() };
+            let options = ModelOptions {
+                minimize_latency: true,
+                include_dmin_cut: false,
+                ..Default::default()
+            };
             let ilp = IlpModel::build(&graph, &arch, 3, d_max, Latency::ZERO, &options)
                 .expect("model builds");
-            ilp.model().solve(&SolveOptions::optimal()).expect("solves")
-        })
-    });
-    group.finish();
-}
+            black_box(ilp.model().solve(&SolveOptions::optimal()).expect("solves"));
+        });
+    }
 
-/// Loose vs. tight `w` linearization on the faithful ILP (feasibility).
-fn bench_linearization(c: &mut Criterion) {
-    let graph = random_layered(7, &RandomGraphParams { tasks: 6, ..Default::default() });
-    let arch = Architecture::new(Area::new(300), 64, Latency::from_us(1.0));
-    let d_max = rtr_core::max_latency(&graph, &arch, 3);
-    let mut group = c.benchmark_group("linearization");
-    for (name, tight) in [("loose", false), ("tight", true)] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
+    // Loose vs. tight `w` linearization on the faithful ILP (feasibility).
+    {
+        let graph = random_layered(7, &RandomGraphParams { tasks: 6, ..Default::default() });
+        let arch = Architecture::new(Area::new(300), 64, Latency::from_us(1.0));
+        let d_max = rtr_core::max_latency(&graph, &arch, 3);
+        for (name, tight) in [("linearization/loose", false), ("linearization/tight", true)] {
+            bench(r, &filter, name, || {
                 let options = ModelOptions { tight_linearization: tight, ..Default::default() };
                 let ilp = IlpModel::build(&graph, &arch, 3, d_max, Latency::ZERO, &options)
                     .expect("model builds");
-                ilp.model().solve(&SolveOptions::feasibility()).expect("solves")
-            })
-        });
+                black_box(ilp.model().solve(&SolveOptions::feasibility()).expect("solves"));
+            });
+        }
     }
-    group.finish();
-}
 
-/// Structured-solver scaling over DCT instance sizes.
-fn bench_dct_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dct_scaling");
-    group.sample_size(10);
+    // Structured-solver scaling over DCT instance sizes.
     for n in [2usize, 3, 4] {
         let graph = dct_nxn(n).expect("valid size");
         let arch = Architecture::new(Area::new(1024), 512, Latency::from_us(1.0));
         let bound = rtr_core::min_area_partitions(&graph, &arch) + 1;
         let d_max = rtr_core::max_latency(&graph, &arch, bound);
-        group.bench_with_input(BenchmarkId::from_parameter(graph.task_count()), &n, |b, _| {
-            b.iter(|| {
-                let solver = StructuredSolver::new(
-                    &graph,
-                    &arch,
-                    bound,
-                    d_max.as_ns(),
-                    SearchGoal::FirstFeasible,
-                    quick_limits(),
-                );
-                solver.run()
-            })
+        bench(r, &filter, &format!("dct_scaling/{}", graph.task_count()), || {
+            let solver = StructuredSolver::new(
+                &graph,
+                &arch,
+                bound,
+                d_max.as_ns(),
+                SearchGoal::FirstFeasible,
+                quick_limits(),
+            );
+            black_box(solver.run());
         });
     }
-    group.finish();
-}
 
-/// The greedy baseline against a single structured window solve.
-fn bench_greedy_baseline(c: &mut Criterion) {
-    let graph = dct_4x4();
-    let arch = Architecture::new(Area::new(576), 512, Latency::from_us(1.0));
-    c.bench_function("dct/greedy_min_area", |b| {
-        b.iter(|| greedy_partition(&graph, &arch, DesignPointPicker::MinArea, 16))
-    });
-}
+    // The greedy baseline against a single structured window solve.
+    {
+        let graph = dct_4x4();
+        let arch = Architecture::new(Area::new(576), 512, Latency::from_us(1.0));
+        bench(r, &filter, "dct/greedy_min_area", || {
+            black_box(greedy_partition(&graph, &arch, DesignPointPicker::MinArea, 16));
+        });
+    }
 
-/// HLS design-point enumeration on the AR filter's template A.
-fn bench_hls(c: &mut Criterion) {
-    let task = template_a("bench", 16);
-    let lib = FuLibrary::xc4000_style();
-    c.bench_function("hls/enumerate_template_a", |b| {
-        b.iter(|| enumerate_design_points(&task, &lib, &EstimatorOptions::default()))
-    });
-}
+    // HLS design-point enumeration on the AR filter's template A.
+    {
+        let task = template_a("bench", 16);
+        let lib = FuLibrary::xc4000_style();
+        bench(r, &filter, "hls/enumerate_template_a", || {
+            black_box(enumerate_design_points(&task, &lib, &EstimatorOptions::default()))
+                .expect("enumerates");
+        });
+    }
 
-/// Simulating a DCT solution.
-fn bench_simulate(c: &mut Criterion) {
-    let graph = dct_4x4();
-    let arch = Architecture::new(Area::new(1024), 512, Latency::from_us(1.0));
-    let sol = greedy_partition(&graph, &arch, DesignPointPicker::MinArea, 16)
-        .expect("greedy packs the DCT");
-    c.bench_function("sim/dct_greedy_solution", |b| {
-        b.iter(|| rtr_sim::simulate(&graph, &arch, &sol).expect("valid solution"))
-    });
-}
+    // Simulating a DCT solution.
+    {
+        let graph = dct_4x4();
+        let arch = Architecture::new(Area::new(1024), 512, Latency::from_us(1.0));
+        let sol = greedy_partition(&graph, &arch, DesignPointPicker::MinArea, 16)
+            .expect("greedy packs the DCT");
+        bench(r, &filter, "sim/dct_greedy_solution", || {
+            black_box(rtr_sim::simulate(&graph, &arch, &sol).expect("valid solution"));
+        });
+    }
 
-/// Presolve on vs. off for the faithful ILP (feasibility solves).
-fn bench_presolve(c: &mut Criterion) {
-    let graph = random_layered(5, &RandomGraphParams { tasks: 6, ..Default::default() });
-    let arch = Architecture::new(Area::new(300), 64, Latency::from_us(1.0));
-    let d_max = rtr_core::max_latency(&graph, &arch, 3);
-    let ilp = IlpModel::build(&graph, &arch, 3, d_max, Latency::ZERO, &ModelOptions::default())
-        .expect("model builds");
-    let mut group = c.benchmark_group("presolve");
-    for (name, presolve) in [("on", true), ("off", false)] {
-        group.bench_function(name, |b| {
-            b.iter(|| {
+    // Presolve on vs. off for the faithful ILP (feasibility solves).
+    {
+        let graph = random_layered(5, &RandomGraphParams { tasks: 6, ..Default::default() });
+        let arch = Architecture::new(Area::new(300), 64, Latency::from_us(1.0));
+        let d_max = rtr_core::max_latency(&graph, &arch, 3);
+        let ilp = IlpModel::build(&graph, &arch, 3, d_max, Latency::ZERO, &ModelOptions::default())
+            .expect("model builds");
+        for (name, presolve) in [("presolve/on", true), ("presolve/off", false)] {
+            bench(r, &filter, name, || {
                 let mut opts = SolveOptions::feasibility();
                 opts.presolve = presolve;
-                ilp.model().solve(&opts).expect("solves")
-            })
-        });
+                black_box(ilp.model().solve(&opts).expect("solves"));
+            });
+        }
     }
-    group.finish();
-}
 
-/// The MILP backend on one small feasibility window (CPLEX stand-in cost).
-fn bench_milp_backend(c: &mut Criterion) {
-    let graph = random_layered(11, &RandomGraphParams { tasks: 5, ..Default::default() });
-    let arch = Architecture::new(Area::new(250), 64, Latency::from_us(1.0));
-    c.bench_function("milp/feasibility_5tasks_n3", |b| {
-        b.iter(|| {
+    // The MILP backend on one small feasibility window (CPLEX stand-in cost).
+    {
+        let graph = random_layered(11, &RandomGraphParams { tasks: 5, ..Default::default() });
+        let arch = Architecture::new(Area::new(250), 64, Latency::from_us(1.0));
+        bench(r, &filter, "milp/feasibility_5tasks_n3", || {
             let params = ExploreParams { backend: Backend::Milp, ..Default::default() };
             let part = TemporalPartitioner::new(&graph, &arch, params).expect("tasks fit");
-            part.solve_window(
-                3,
-                rtr_core::max_latency(&graph, &arch, 3),
-                Latency::ZERO,
-            )
-            .expect("solves")
-        })
-    });
-}
+            black_box(
+                part.solve_window(3, rtr_core::max_latency(&graph, &arch, 3), Latency::ZERO)
+                    .expect("solves"),
+            );
+        });
+    }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_millis(500));
-    targets = bench_ar_explore, bench_dct_window, bench_iterative_vs_optimal,
-        bench_linearization, bench_dct_scaling, bench_greedy_baseline, bench_hls,
-        bench_simulate, bench_presolve, bench_milp_backend
+    report.write_and_report();
 }
-criterion_main!(benches);

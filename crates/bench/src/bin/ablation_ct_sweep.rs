@@ -5,7 +5,7 @@
 //!
 //! `cargo run --release -p rtr-bench --bin ablation_ct_sweep`
 
-use rtr_bench::per_solve_limits;
+use rtr_bench::{per_solve_limits, BenchRun};
 use rtr_core::{Architecture, ExploreParams, TemporalPartitioner};
 use rtr_graph::{Area, Latency};
 use rtr_workloads::dct::dct_4x4;
@@ -18,6 +18,7 @@ fn main() {
         "{:>12} {:>5} {:>14} {:>14} {:>16}",
         "C_T", "η", "exec (ns)", "total", "mean area/cfg"
     );
+    let mut bench = BenchRun::new("ablation_ct_sweep");
     for ct_ns in [30.0, 100.0, 300.0, 1e3, 3e3, 1e4, 1e5, 1e6, 1e7] {
         let arch = Architecture::new(Area::new(1024), 512, Latency::from_ns(ct_ns));
         let params = ExploreParams {
@@ -32,10 +33,9 @@ fn main() {
         let ex = partitioner.explore().expect("exploration runs");
         let best = ex.best.expect("DCT is feasible");
         let eta = best.partitions_used();
-        let mean_area: f64 = (1..=eta)
-            .map(|p| best.partition_area(&graph, p).units() as f64)
-            .sum::<f64>()
-            / f64::from(eta);
+        let mean_area: f64 =
+            (1..=eta).map(|p| best.partition_area(&graph, p).units() as f64).sum::<f64>()
+                / f64::from(eta);
         println!(
             "{:>12} {:>5} {:>14.0} {:>14} {:>16.0}",
             Latency::from_ns(ct_ns).to_string(),
@@ -44,7 +44,13 @@ fn main() {
             best.total_latency(&graph, &arch).to_string(),
             mean_area
         );
+        let prefix = format!("ct{ct_ns:.0}ns.");
+        bench.counter(format!("{prefix}eta"), u64::from(eta));
+        bench.metric(format!("{prefix}exec_ns"), best.execution_latency(&graph).as_ns());
+        bench.metric(format!("{prefix}total_ns"), best.total_latency(&graph, &arch).as_ns());
+        bench.metric(format!("{prefix}mean_area"), mean_area);
     }
     println!("\nexpected shape: small C_T -> more partitions, lower execution latency;");
     println!("large C_T -> the minimum-partition packing (η = N_min^l) wins.");
+    bench.write_and_report();
 }

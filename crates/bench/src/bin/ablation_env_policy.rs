@@ -6,9 +6,8 @@
 //!
 //! `cargo run --release -p rtr-bench --bin ablation_env_policy`
 
-use rtr_core::{
-    Architecture, EnvMemoryPolicy, ExploreParams, SearchLimits, TemporalPartitioner,
-};
+use rtr_bench::BenchRun;
+use rtr_core::{Architecture, EnvMemoryPolicy, ExploreParams, SearchLimits, TemporalPartitioner};
 use rtr_graph::{Area, Latency};
 use rtr_workloads::dct::dct_4x4;
 use std::time::Duration;
@@ -16,10 +15,8 @@ use std::time::Duration;
 fn main() {
     let graph = dct_4x4();
     // Total env input is 16 tasks × 4 words = 64; outputs 16 × 1.
-    println!(
-        "{:>8} {:>12} {:>16} {:>16}",
-        "M_max", "policy", "feasible?", "D_a exec (ns)"
-    );
+    println!("{:>8} {:>12} {:>16} {:>16}", "M_max", "policy", "feasible?", "D_a exec (ns)");
+    let mut bench = BenchRun::new("ablation_env_policy");
     for m_max in [16u64, 48, 80, 512] {
         for policy in [EnvMemoryPolicy::Resident, EnvMemoryPolicy::Streamed] {
             let arch = Architecture::new(Area::new(1024), m_max, Latency::from_us(1.0))
@@ -34,8 +31,7 @@ fn main() {
                 time_budget: Some(Duration::from_secs(30)),
                 ..Default::default()
             };
-            let partitioner =
-                TemporalPartitioner::new(&graph, &arch, params).expect("tasks fit");
+            let partitioner = TemporalPartitioner::new(&graph, &arch, params).expect("tasks fit");
             let ex = partitioner.explore().expect("exploration runs");
             let exec = ex.best.as_ref().map(|b| {
                 ex.best_latency.unwrap().as_ns()
@@ -48,9 +44,18 @@ fn main() {
                 if ex.best.is_some() { "yes" } else { "no" },
                 exec.map(|e| format!("{e:.0}")).unwrap_or_else(|| "-".into())
             );
+            let slug = match policy {
+                EnvMemoryPolicy::Resident => "resident",
+                EnvMemoryPolicy::Streamed => "streamed",
+            };
+            bench.counter(format!("mmax{m_max}.{slug}.feasible"), u64::from(ex.best.is_some()));
+            if let Some(e) = exec {
+                bench.metric(format!("mmax{m_max}.{slug}.exec_ns"), e);
+            }
         }
     }
     println!("\nexpected shape: at tight M_max the resident policy is infeasible (or");
     println!("forced into worse packings) while streaming remains feasible; with ample");
     println!("memory the two coincide.");
+    bench.write_and_report();
 }

@@ -6,6 +6,7 @@
 //!
 //! `cargo run --release -p rtr-bench --bin ablation_formulation`
 
+use rtr_bench::BenchRun;
 use rtr_core::baseline::suggest_relaxations;
 use rtr_core::model::{IlpModel, ModelOptions};
 use rtr_core::{Architecture, Backend, ExploreParams, TemporalPartitioner};
@@ -18,43 +19,45 @@ fn main() {
     // Part 1: linearization tightness and the D_min cut, on a corpus of
     // seeded random instances solved by the faithful ILP backend.
     println!("== ILP formulation variants (feasibility solves, 8 random 6-task instances) ==");
-    println!(
-        "{:>26} {:>10} {:>12} {:>12}",
-        "variant", "rows", "B&B nodes", "time"
-    );
+    println!("{:>26} {:>10} {:>12} {:>12}", "variant", "rows", "B&B nodes", "time");
     let variants: [(&str, ModelOptions); 3] = [
         ("loose w, with Dmin cut", ModelOptions::default()),
         (
             "tight w, with Dmin cut",
             ModelOptions { tight_linearization: true, ..Default::default() },
         ),
-        (
-            "loose w, no Dmin cut",
-            ModelOptions { include_dmin_cut: false, ..Default::default() },
-        ),
+        ("loose w, no Dmin cut", ModelOptions { include_dmin_cut: false, ..Default::default() }),
     ];
-    for (name, options) in &variants {
+    let mut bench = BenchRun::new("ablation_formulation");
+    let slugs = ["loose_w_dmin", "tight_w_dmin", "loose_w_no_dmin"];
+    for ((name, options), slug) in variants.iter().zip(slugs) {
         let mut rows = 0usize;
         let mut nodes = 0usize;
         let start = Instant::now();
         for seed in 0..8u64 {
-            let g = random_layered(
-                seed,
-                &RandomGraphParams { tasks: 6, ..Default::default() },
-            );
+            let g = random_layered(seed, &RandomGraphParams { tasks: 6, ..Default::default() });
             let arch = Architecture::new(Area::new(300), 64, Latency::from_us(1.0));
             let n = 3;
             let d_max = rtr_core::max_latency(&g, &arch, n);
             let mid = Latency::from_ns(
                 (d_max.as_ns() + rtr_core::min_latency(&g, &arch, n).as_ns()) / 2.0,
             );
-            let ilp = IlpModel::build(&g, &arch, n, mid, Latency::ZERO, options)
-                .expect("model builds");
+            let ilp =
+                IlpModel::build(&g, &arch, n, mid, Latency::ZERO, options).expect("model builds");
             rows += ilp.model().constraint_count();
             let out = ilp.model().solve(&SolveOptions::feasibility()).expect("solves");
             nodes += out.stats.nodes;
         }
-        println!("{:>26} {:>10} {:>12} {:>12}", name, rows, nodes, format!("{:.2?}", start.elapsed()));
+        println!(
+            "{:>26} {:>10} {:>12} {:>12}",
+            name,
+            rows,
+            nodes,
+            format!("{:.2?}", start.elapsed())
+        );
+        bench.counter(format!("{slug}.rows"), rows as u64);
+        bench.counter(format!("{slug}.nodes"), nodes as u64);
+        bench.metric(format!("{slug}.elapsed_ms"), start.elapsed().as_secs_f64() * 1e3);
     }
 
     // Part 2: greedy α/γ seeding on the DCT (paper §3.2.2).
@@ -62,10 +65,14 @@ fn main() {
     let g = rtr_workloads::dct::dct_4x4();
     let arch = Architecture::new(Area::new(576), 512, Latency::from_us(1.0));
     let (alpha, gamma) = suggest_relaxations(&g, &arch);
-    println!("greedy suggests α = {alpha}, γ = {gamma} (N_min^l = {}, N_min^u = {})",
+    println!(
+        "greedy suggests α = {alpha}, γ = {gamma} (N_min^l = {}, N_min^u = {})",
         rtr_core::min_area_partitions(&g, &arch),
-        rtr_core::max_area_partitions(&g, &arch));
-    for (name, a, c) in [("α = γ = 0", 0, 0), ("greedy-seeded", alpha, gamma)] {
+        rtr_core::max_area_partitions(&g, &arch)
+    );
+    for (name, slug, a, c) in
+        [("α = γ = 0", "unseeded", 0, 0), ("greedy-seeded", "seeded", alpha, gamma)]
+    {
         let params = ExploreParams {
             delta: Latency::from_ns(400.0),
             alpha: a,
@@ -77,12 +84,16 @@ fn main() {
         let part = TemporalPartitioner::new(&g, &arch, params).expect("tasks fit");
         let start = Instant::now();
         let ex = part.explore().expect("exploration runs");
+        let elapsed = start.elapsed();
         println!(
             "{:>14}: D_a = {:?} ns, {} solves, {:.2?}",
             name,
             ex.best_latency.map(|l| l.as_ns()),
             ex.records.len(),
-            start.elapsed()
+            elapsed
         );
+        bench.record_exploration(&format!("{slug}."), &ex);
+        bench.metric(format!("{slug}.elapsed_ms"), elapsed.as_secs_f64() * 1e3);
     }
+    bench.write_and_report();
 }

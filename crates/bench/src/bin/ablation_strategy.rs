@@ -3,13 +3,14 @@
 //!
 //! `cargo run --release -p rtr-bench --bin ablation_strategy`
 
-use rtr_bench::{per_solve_limits, DctExperiment};
+use rtr_bench::{per_solve_limits, BenchRun, DctExperiment};
 use rtr_core::{RefinementStrategy, TemporalPartitioner};
 use rtr_workloads::dct::dct_4x4;
 use std::time::Instant;
 
 fn main() {
     let graph = dct_4x4();
+    let mut bench = BenchRun::new("ablation_strategy");
     for exp in [DctExperiment::table5(), DctExperiment::table7()] {
         let arch = exp.architecture();
         println!(
@@ -23,15 +24,27 @@ fn main() {
             let part = TemporalPartitioner::new(&graph, &arch, params).expect("tasks fit");
             let start = Instant::now();
             let ex = part.explore().expect("exploration runs");
+            let elapsed = start.elapsed();
             println!(
                 "  {:>18}: D_a = {:?} ns in {} solves, {:.2?}",
                 strategy.to_string(),
                 ex.best_latency.map(|l| l.as_ns()),
                 ex.records.len(),
-                start.elapsed()
+                elapsed
             );
+            let prefix = format!(
+                "table{}.{}.",
+                exp.table,
+                match strategy {
+                    RefinementStrategy::Bisection => "bisection",
+                    RefinementStrategy::AggressiveDescent => "aggressive",
+                }
+            );
+            bench.record_exploration(&prefix, &ex);
+            bench.metric(format!("{prefix}elapsed_ms"), elapsed.as_secs_f64() * 1e3);
         }
     }
     println!("\nbisection pays extra solves to recover from undecided windows;");
     println!("aggressive descent stops refining a bound at its first failure.");
+    bench.write_and_report();
 }

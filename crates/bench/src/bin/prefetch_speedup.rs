@@ -7,6 +7,7 @@
 //!
 //! `cargo run --release -p rtr-bench --bin prefetch_speedup`
 
+use rtr_bench::BenchRun;
 use rtr_core::{Architecture, ExploreParams, SearchLimits, TemporalPartitioner};
 use rtr_graph::{Area, Latency};
 use rtr_sim::{simulate, simulate_with, SimOptions};
@@ -15,10 +16,8 @@ use std::time::Duration;
 
 fn main() {
     let graph = dct_4x4();
-    println!(
-        "{:>12} {:>5} {:>14} {:>14} {:>9}",
-        "C_T", "η", "blocking", "prefetch", "speedup"
-    );
+    let mut bench = BenchRun::new("prefetch_speedup");
+    println!("{:>12} {:>5} {:>14} {:>14} {:>9}", "C_T", "η", "blocking", "prefetch", "speedup");
     for ct_ns in [30.0, 100.0, 300.0, 1e3, 3e3, 1e4] {
         let arch = Architecture::new(Area::new(1024), 512, Latency::from_ns(ct_ns));
         let params = ExploreParams {
@@ -45,7 +44,16 @@ fn main() {
             prefetch.total_latency.to_string(),
             blocking.total_latency.as_ns() / prefetch.total_latency.as_ns()
         );
+        let prefix = format!("ct{ct_ns:.0}ns.");
+        bench.counter(format!("{prefix}eta"), u64::from(best.partitions_used()));
+        bench.metric(format!("{prefix}blocking_ns"), blocking.total_latency.as_ns());
+        bench.metric(format!("{prefix}prefetch_ns"), prefetch.total_latency.as_ns());
+        bench.metric(
+            format!("{prefix}speedup"),
+            blocking.total_latency.as_ns() / prefetch.total_latency.as_ns(),
+        );
     }
     println!("\nthe speedup peaks where C_T is comparable to per-partition execution;");
     println!("tiny C_T has nothing to hide, huge C_T cannot be hidden.");
+    bench.write_and_report();
 }

@@ -8,7 +8,7 @@
 //!
 //! `cargo run --release -p rtr-bench --bin runtime_comparison`
 
-use rtr_bench::DctExperiment;
+use rtr_bench::{BenchRun, DctExperiment};
 use rtr_core::model::{IlpModel, ModelOptions};
 use rtr_core::TemporalPartitioner;
 use rtr_graph::Latency;
@@ -18,10 +18,10 @@ use std::time::Instant;
 
 fn main() {
     let graph = dct_4x4();
+    let mut bench = BenchRun::new("solver");
     for exp in [DctExperiment::table3(), DctExperiment::table5()] {
         let arch = exp.architecture();
-        let partitioner =
-            TemporalPartitioner::new(&graph, &arch, exp.params()).expect("tasks fit");
+        let partitioner = TemporalPartitioner::new(&graph, &arch, exp.params()).expect("tasks fit");
         let start = Instant::now();
         let exploration = partitioner.explore().expect("exploration runs");
         let iterative_time = start.elapsed();
@@ -32,11 +32,15 @@ fn main() {
             iterative.as_ns(),
             iterative_time
         );
+        let prefix = format!("rmax{}.", exp.r_max);
+        bench.record_exploration(&prefix, &exploration);
+        bench.metric(format!("{prefix}iterative_ms"), iterative_time.as_secs_f64() * 1e3);
 
         // Optimality run on the faithful ILP with the same budget.
         let n = exploration.best.as_ref().expect("feasible").partitions_used();
         let d_max = rtr_core::max_latency(&graph, &arch, n);
-        let options = ModelOptions { minimize_latency: true, include_dmin_cut: false, ..Default::default() };
+        let options =
+            ModelOptions { minimize_latency: true, include_dmin_cut: false, ..Default::default() };
         let ilp = IlpModel::build(&graph, &arch, n, d_max, Latency::ZERO, &options)
             .expect("model builds");
         println!(
@@ -59,9 +63,16 @@ fn main() {
                     "  -> {} ({} nodes, {} simplex iterations)\n",
                     verdict, out.stats.nodes, out.stats.simplex_iterations
                 );
+                bench.counter(format!("{prefix}ilp.nodes"), out.stats.nodes as u64);
+                bench.counter(format!("{prefix}ilp.pivots"), out.stats.simplex_iterations as u64);
+                bench.counter(
+                    format!("{prefix}ilp.found_feasible"),
+                    u64::from(out.status.has_solution()),
+                );
             }
             Err(e) => println!("  -> solver error: {e}\n"),
         }
     }
     println!("paper's claim reproduced if the ILP optimality runs report no feasible solution.");
+    bench.write_and_report();
 }

@@ -5,12 +5,14 @@
 //!
 //! `cargo run --release -p rtr-bench --bin scaling_dct`
 
+use rtr_bench::BenchRun;
 use rtr_core::{Architecture, ExploreParams, SearchLimits, TemporalPartitioner};
 use rtr_graph::{Area, Latency};
 use rtr_workloads::dct::dct_nxn;
 use std::time::{Duration, Instant};
 
 fn main() {
+    let mut bench = BenchRun::new("scaling_dct");
     println!(
         "{:>4} {:>6} {:>6} {:>6} {:>8} {:>14} {:>10}",
         "n", "tasks", "edges", "N_l", "solves", "D_a exec (ns)", "time"
@@ -46,7 +48,15 @@ fn main() {
             exec.map(|e| format!("{e:.0}")).unwrap_or_else(|| "-".into()),
             format!("{elapsed:.2?}")
         );
+        let prefix = format!("n{n}.");
+        bench.record_exploration(&prefix, &exploration);
+        bench.counter(format!("{prefix}tasks"), graph.task_count() as u64);
+        bench.metric(format!("{prefix}elapsed_ms"), elapsed.as_secs_f64() * 1e3);
+        if let Some(e) = exec {
+            bench.metric(format!("{prefix}exec_ns"), e);
+        }
     }
     println!("\nper-window budgets keep the wall clock bounded; larger instances spend");
     println!("their budget on fewer, harder windows (undecided windows count as Inf.*).");
+    bench.write_and_report();
 }

@@ -3,7 +3,7 @@
 //!
 //! `cargo run --release -p rtr-bench --bin table1_ar`
 
-use rtr_bench::per_solve_limits;
+use rtr_bench::{per_solve_limits, BenchRun};
 use rtr_core::optimal::{solve_optimal, OptimalOutcome};
 use rtr_core::{Architecture, Backend, ExploreParams, IterationResult, TemporalPartitioner};
 use rtr_graph::{Area, Latency};
@@ -79,15 +79,28 @@ fn main() {
         ..Default::default()
     };
     let milp_part = TemporalPartitioner::new(&graph, &arch, milp_params).expect("tasks fit");
+    let mut bench = BenchRun::new("table1");
+    bench.record_exploration("", &exploration);
+    bench.metric("iterative_ns", iterative);
+    bench.metric("optimal_ns", optimal_best);
+    bench.metric("gap_ns", gap);
     match milp_part.explore() {
-        Ok(ex) => match ex.best_latency {
-            Some(lat) => println!(
-                "ILP-backend cross-check: D_a = {:.1} ns ({} within δ of structured)",
-                lat.as_ns(),
-                if (lat.as_ns() - iterative).abs() <= 20.0 + 1e-6 { "agrees" } else { "DISAGREES" }
-            ),
-            None => println!("ILP-backend cross-check: no solution (DISAGREES)"),
-        },
+        Ok(ex) => {
+            bench.record_exploration("milp_backend.", &ex);
+            match ex.best_latency {
+                Some(lat) => println!(
+                    "ILP-backend cross-check: D_a = {:.1} ns ({} within δ of structured)",
+                    lat.as_ns(),
+                    if (lat.as_ns() - iterative).abs() <= 20.0 + 1e-6 {
+                        "agrees"
+                    } else {
+                        "DISAGREES"
+                    }
+                ),
+                None => println!("ILP-backend cross-check: no solution (DISAGREES)"),
+            }
+        }
         Err(e) => println!("ILP-backend cross-check failed: {e}"),
     }
+    bench.write_and_report();
 }

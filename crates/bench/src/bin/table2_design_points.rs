@@ -3,6 +3,7 @@
 //!
 //! `cargo run --release -p rtr-bench --bin table2_design_points`
 
+use rtr_bench::BenchRun;
 use rtr_workloads::dct::dct_4x4;
 
 fn main() {
@@ -31,4 +32,13 @@ fn main() {
     );
     println!("  Σ min-area     = {:>8} (N_min^l: 8 @ 576, 5 @ 1024)", graph.total_min_area());
     println!("  Σ max-area     = {:>8} (N_min^u: 11 @ 576, 7 @ 1024)", graph.total_max_area());
+
+    let mut bench = BenchRun::new("table2");
+    bench.counter("tasks", graph.tasks().len() as u64);
+    bench.counter("edges", graph.edge_count() as u64);
+    bench.metric("total_max_latency_ns", graph.total_max_latency().as_ns());
+    bench.metric("critical_path_ns", graph.critical_path_min_latency().as_ns());
+    bench.counter("total_min_area", graph.total_min_area().units() as u64);
+    bench.counter("total_max_area", graph.total_max_area().units() as u64);
+    bench.write_and_report();
 }

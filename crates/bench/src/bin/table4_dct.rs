@@ -3,13 +3,16 @@
 //!
 //! `cargo run --release -p rtr-bench --bin table4_dct`
 
-use rtr_bench::{print_paper_table, run_dct_experiment, DctExperiment};
+use rtr_bench::{print_paper_table, run_dct_experiment, BenchRun, DctExperiment};
 use rtr_workloads::dct::dct_4x4;
+use std::time::Instant;
 
 fn main() {
     let exp = DctExperiment::table4();
     let graph = dct_4x4();
+    let start = Instant::now();
     let exploration = run_dct_experiment(&exp, &graph);
+    let elapsed = start.elapsed();
     print_paper_table(
         &format!(
             "Table {} — DCT, R_max = {}, C_T = {}, δ = {} ns, α = {}, γ = {}",
@@ -18,4 +21,8 @@ fn main() {
         &exp.architecture(),
         &exploration,
     );
+    let mut bench = BenchRun::new("table4");
+    bench.record_exploration("", &exploration);
+    bench.metric("elapsed_ms", elapsed.as_secs_f64() * 1e3);
+    bench.write_and_report();
 }

@@ -5,6 +5,7 @@
 //!
 //! `cargo run --release -p rtr-bench --bin workload_gallery`
 
+use rtr_bench::BenchRun;
 use rtr_core::{Architecture, ExploreParams, SearchLimits, TemporalPartitioner};
 use rtr_graph::{Area, Latency, TaskGraph};
 use std::time::Duration;
@@ -19,10 +20,7 @@ fn main() {
         ("random_20", {
             rtr_workloads::random::random_layered(
                 7,
-                &rtr_workloads::random::RandomGraphParams {
-                    tasks: 20,
-                    ..Default::default()
-                },
+                &rtr_workloads::random::RandomGraphParams { tasks: 20, ..Default::default() },
             )
         }),
     ];
@@ -31,10 +29,11 @@ fn main() {
         "{:<12} {:>6} {:>6} {:>10} {:>5} {:>14} {:>14}",
         "workload", "tasks", "edges", "C_T", "η", "exec", "total"
     );
+    let mut bench = BenchRun::new("workload_gallery");
     for (name, graph) in &workloads {
         // Device sized to half the min-area total, capped sensibly.
         let r_max = (graph.total_min_area().units() / 2).max(64);
-        for ct in [Latency::from_ns(100.0), Latency::from_ms(5.0)] {
+        for (ct_slug, ct) in [("fast", Latency::from_ns(100.0)), ("slow", Latency::from_ms(5.0))] {
             let arch = Architecture::new(Area::new(r_max), 4096, ct);
             let params = ExploreParams {
                 delta: Latency::from_ns(50.0),
@@ -65,11 +64,19 @@ fn main() {
                         exec.to_string(),
                         latency.to_string()
                     );
+                    let prefix = format!("{name}.{ct_slug}.");
+                    bench.counter(format!("{prefix}eta"), u64::from(eta));
+                    bench.metric(format!("{prefix}exec_ns"), exec.as_ns());
+                    bench.metric(format!("{prefix}total_ns"), latency.as_ns());
                 }
-                _ => println!("{name:<12} no feasible solution at R_max = {r_max}"),
+                _ => {
+                    println!("{name:<12} no feasible solution at R_max = {r_max}");
+                    bench.counter(format!("{name}.{ct_slug}.infeasible"), 1);
+                }
             }
         }
     }
     println!("\nslow-reconfiguration devices (5 ms) pin η at the packing minimum; the");
     println!("fast regime trades extra configurations for faster design points.");
+    bench.write_and_report();
 }

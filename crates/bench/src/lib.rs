@@ -9,10 +9,11 @@
 #![warn(missing_docs)]
 
 use rtr_core::{
-    Architecture, ExploreParams, Exploration, IterationResult, SearchLimits,
-    TemporalPartitioner,
+    Architecture, Exploration, ExploreParams, IterationResult, SearchLimits, TemporalPartitioner,
 };
 use rtr_graph::{Area, Latency, TaskGraph};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
 use std::time::Duration;
 
 /// Configuration of one DCT experiment (one paper table).
@@ -166,10 +167,185 @@ pub fn print_paper_table(title: &str, arch: &Architecture, exploration: &Explora
     );
 }
 
+/// A machine-readable summary of one bench binary's run, written as
+/// `BENCH_<name>.json` next to where the binary was invoked. Keys are kept
+/// in sorted order so re-runs diff cleanly.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BenchRun {
+    name: String,
+    metrics: BTreeMap<String, f64>,
+    counters: BTreeMap<String, u64>,
+}
+
+impl BenchRun {
+    /// An empty run summary named `name` (the `<name>` of
+    /// `BENCH_<name>.json`).
+    pub fn new(name: impl Into<String>) -> Self {
+        BenchRun { name: name.into(), ..BenchRun::default() }
+    }
+
+    /// Records a real-valued measurement. Non-finite values are dropped
+    /// (JSON has no representation for them).
+    pub fn metric(&mut self, key: impl Into<String>, value: f64) {
+        if value.is_finite() {
+            self.metrics.insert(key.into(), value);
+        }
+    }
+
+    /// Records an integer-valued measurement.
+    pub fn counter(&mut self, key: impl Into<String>, value: u64) {
+        self.counters.insert(key.into(), value);
+    }
+
+    /// Records the standard summary of an exploration under `prefix`
+    /// (e.g. `prefix = "table3."`): solve counts by outcome, the best
+    /// latency, and the backend solver totals.
+    pub fn record_exploration(&mut self, prefix: &str, ex: &Exploration) {
+        let mut feasible = 0u64;
+        let mut infeasible = 0u64;
+        let mut limit = 0u64;
+        for r in &ex.records {
+            match r.result {
+                IterationResult::Feasible { .. } => feasible += 1,
+                IterationResult::Infeasible => infeasible += 1,
+                IterationResult::LimitReached => limit += 1,
+            }
+        }
+        self.counter(format!("{prefix}solves"), ex.records.len() as u64);
+        self.counter(format!("{prefix}feasible_windows"), feasible);
+        self.counter(format!("{prefix}infeasible_windows"), infeasible);
+        self.counter(format!("{prefix}limit_windows"), limit);
+        if let Some(latency) = ex.best_latency {
+            self.metric(format!("{prefix}best_latency_ns"), latency.as_ns());
+        }
+        let st = ex.structured_totals();
+        if st.nodes > 0 {
+            self.counter(format!("{prefix}structured.nodes"), st.nodes);
+            self.counter(format!("{prefix}structured.latency_prunes"), st.latency_prunes);
+            self.counter(format!("{prefix}structured.area_prunes"), st.area_prunes);
+            self.counter(format!("{prefix}structured.memory_rejects"), st.memory_rejects);
+        }
+        let mt = ex.milp_totals();
+        if mt.nodes > 0 {
+            self.counter(format!("{prefix}milp.nodes"), mt.nodes as u64);
+            self.counter(format!("{prefix}milp.pivots"), mt.simplex_iterations as u64);
+            self.counter(format!("{prefix}milp.nodes_pruned"), mt.nodes_pruned as u64);
+            self.counter(format!("{prefix}milp.lp_time_us"), mt.lp_time.as_micros() as u64);
+        }
+    }
+
+    /// The JSON document: `{"name": ..., "counters": {...}, "metrics": {...}}`.
+    pub fn to_json(&self) -> String {
+        fn escape(s: &str) -> String {
+            s.chars()
+                .flat_map(|c| match c {
+                    '"' => "\\\"".chars().collect::<Vec<_>>(),
+                    '\\' => "\\\\".chars().collect(),
+                    c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                    c => vec![c],
+                })
+                .collect()
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"name\": \"{}\",\n", escape(&self.name)));
+        out.push_str("  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n    \"{}\": {v}", escape(k)));
+        }
+        out.push_str(if self.counters.is_empty() { "},\n" } else { "\n  },\n" });
+        out.push_str("  \"metrics\": {");
+        for (i, (k, v)) in self.metrics.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            // Integral floats keep a trailing .0 so the value round-trips
+            // as a float.
+            let rendered =
+                if v.fract() == 0.0 && v.abs() < 1e15 { format!("{v:.1}") } else { format!("{v}") };
+            out.push_str(&format!("\n    \"{}\": {rendered}", escape(k)));
+        }
+        out.push_str(if self.metrics.is_empty() { "}\n" } else { "\n  }\n" });
+        out.push_str("}\n");
+        out
+    }
+
+    /// Writes `BENCH_<name>.json` into the current directory and returns
+    /// its path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-system failures.
+    pub fn write(&self) -> std::io::Result<PathBuf> {
+        let path = PathBuf::from(format!("BENCH_{}.json", self.name));
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+
+    /// [`write`](Self::write), reporting the outcome on standard output /
+    /// error instead of returning it — the convenience every bench binary
+    /// tail-calls.
+    pub fn write_and_report(&self) {
+        match self.write() {
+            Ok(path) => println!("\nwrote {}", path.display()),
+            Err(e) => eprintln!("\ncannot write BENCH_{}.json: {e}", self.name),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rtr_workloads::dct::dct_4x4;
+
+    #[test]
+    fn bench_run_json_shape() {
+        let mut run = BenchRun::new("shape");
+        run.counter("b.count", 3);
+        run.counter("a.count", 1);
+        run.metric("elapsed_ms", 12.5);
+        run.metric("round", 7.0);
+        run.metric("dropped", f64::NAN); // non-finite values are discarded
+        let json = run.to_json();
+        assert_eq!(
+            json,
+            "{\n  \"name\": \"shape\",\n  \"counters\": {\n    \"a.count\": 1,\n    \
+             \"b.count\": 3\n  },\n  \"metrics\": {\n    \"elapsed_ms\": 12.5,\n    \
+             \"round\": 7.0\n  }\n}\n"
+        );
+    }
+
+    #[test]
+    fn bench_run_json_escapes_and_empty_maps() {
+        let run = BenchRun::new("quo\"te");
+        let json = run.to_json();
+        assert!(json.contains("\"quo\\\"te\""), "{json}");
+        assert!(json.contains("\"counters\": {}"), "{json}");
+        assert!(json.contains("\"metrics\": {}"), "{json}");
+    }
+
+    #[test]
+    fn bench_run_records_exploration_counters() {
+        let g = rtr_workloads::ar::ar_filter().expect("static construction");
+        let arch =
+            Architecture::new(Area::new(g.total_min_area().units() / 2), 64, Latency::from_us(1.0));
+        let params = ExploreParams {
+            delta: Latency::from_ns(50.0),
+            gamma: 1,
+            limits: per_solve_limits(),
+            ..Default::default()
+        };
+        let part = TemporalPartitioner::new(&g, &arch, params).expect("tasks fit");
+        let ex = part.explore().expect("exploration runs");
+        let mut run = BenchRun::new("probe");
+        run.record_exploration("x.", &ex);
+        let json = run.to_json();
+        assert!(json.contains("\"x.solves\""), "{json}");
+        assert!(json.contains("\"x.structured.nodes\""), "{json}");
+        assert!(json.contains("\"x.best_latency_ns\""), "{json}");
+    }
 
     #[test]
     fn experiment_configs_match_paper_parameters() {

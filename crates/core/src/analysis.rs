@@ -64,11 +64,8 @@ impl SolutionAnalysis {
                     graph.task(t).design_points()[solution.placement(t).design_point].latency()
                 })
                 .sum();
-            let parallelism = if latency > Latency::ZERO {
-                work.as_ns() / latency.as_ns()
-            } else {
-                0.0
-            };
+            let parallelism =
+                if latency > Latency::ZERO { work.as_ns() / latency.as_ns() } else { 0.0 };
             partitions.push(PartitionAnalysis {
                 partition: p,
                 task_count: tasks.len(),

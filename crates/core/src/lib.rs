@@ -49,8 +49,8 @@ pub use arch::{Architecture, EnvMemoryPolicy};
 pub use bounds::{max_area_partitions, max_latency, min_area_partitions, min_latency};
 pub use error::PartitionError;
 pub use search::{
-    Backend, ExploreParams, Exploration, IterationRecord, IterationResult, RefinementStrategy,
-    TemporalPartitioner,
+    Backend, Exploration, ExploreParams, IterationRecord, IterationResult, RefinementStrategy,
+    TemporalPartitioner, WindowStats,
 };
 pub use solution::{Placement, Solution};
 pub use structured::{SearchGoal, SearchLimits, SearchOutcome, SearchStats};

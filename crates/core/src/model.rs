@@ -160,8 +160,7 @@ impl IlpModel {
                     (2..=np)
                         .map(|p| {
                             model.add_var(
-                                Variable::continuous(0.0, 1.0)
-                                    .with_name(format!("w_e{ei}_p{p}")),
+                                Variable::continuous(0.0, 1.0).with_name(format!("w_e{ei}_p{p}")),
                             )
                         })
                         .collect()
@@ -178,8 +177,7 @@ impl IlpModel {
                     }
                     expr.push(-1.0, wv);
                     model.add_constraint(
-                        Constraint::new(expr, Rel::Le, 0.0)
-                            .with_name(format!("wlb_e{ei}_p{p}")),
+                        Constraint::new(expr, Rel::Le, 0.0).with_name(format!("wlb_e{ei}_p{p}")),
                     );
                     if options.tight_linearization {
                         // w <= S(src, p-1).
@@ -188,8 +186,7 @@ impl IlpModel {
                             hi.push(-c, v);
                         }
                         model.add_constraint(
-                            Constraint::new(hi, Rel::Le, 0.0)
-                                .with_name(format!("wub1_e{ei}_p{p}")),
+                            Constraint::new(hi, Rel::Le, 0.0).with_name(format!("wub1_e{ei}_p{p}")),
                         );
                         // w <= 1 - S(dst, p-1).
                         let mut hi2 = LinExpr::new().plus(1.0, wv);
@@ -266,9 +263,7 @@ impl IlpModel {
 
         // d_p variables and (7) per-path latency constraints.
         let d: Vec<VarId> = (1..=np)
-            .map(|p| {
-                model.add_var(Variable::continuous(0.0, 1.0).with_name(format!("d_p{p}")))
-            })
+            .map(|p| model.add_var(Variable::continuous(0.0, 1.0).with_name(format!("d_p{p}"))))
             .collect();
         for (pi, path) in paths.paths().iter().enumerate() {
             for p in 1..=np {
@@ -315,8 +310,7 @@ impl IlpModel {
         );
         if options.include_dmin_cut {
             model.add_constraint(
-                Constraint::new(window(ct), Rel::Ge, d_min.as_ns() / scale)
-                    .with_name("latency_lb"),
+                Constraint::new(window(ct), Rel::Ge, d_min.as_ns() / scale).with_name("latency_lb"),
             );
         }
         if options.minimize_latency {
@@ -391,12 +385,7 @@ mod tests {
         b.build().unwrap()
     }
 
-    fn solve(
-        graph: &TaskGraph,
-        arch: &Architecture,
-        n: u32,
-        d_max: f64,
-    ) -> Option<Solution> {
+    fn solve(graph: &TaskGraph, arch: &Architecture, n: u32, d_max: f64) -> Option<Solution> {
         let ilp = IlpModel::build(
             graph,
             arch,
@@ -474,7 +463,14 @@ mod tests {
         let g = small_graph();
         let arch = Architecture::wildforce();
         assert!(matches!(
-            IlpModel::build(&g, &arch, 0, Latency::from_ns(1.0), Latency::ZERO, &Default::default()),
+            IlpModel::build(
+                &g,
+                &arch,
+                0,
+                Latency::from_ns(1.0),
+                Latency::ZERO,
+                &Default::default()
+            ),
             Err(PartitionError::ZeroPartitions)
         ));
     }
@@ -483,10 +479,7 @@ mod tests {
     fn path_cap_is_surfaced() {
         let g = small_graph();
         let arch = Architecture::wildforce();
-        let opts = ModelOptions {
-            path_limits: PathLimits { max_paths: 0 },
-            ..Default::default()
-        };
+        let opts = ModelOptions { path_limits: PathLimits { max_paths: 0 }, ..Default::default() };
         assert!(matches!(
             IlpModel::build(&g, &arch, 2, Latency::from_ns(1e6), Latency::ZERO, &opts),
             Err(PartitionError::TooManyPaths { .. })
@@ -508,8 +501,7 @@ mod tests {
                 &ModelOptions { tight_linearization: true, ..Default::default() },
             )
             .unwrap();
-            let tight =
-                ilp.model().solve(&SolveOptions::feasibility()).unwrap().solution.is_some();
+            let tight = ilp.model().solve(&SolveOptions::feasibility()).unwrap().solution.is_some();
             assert_eq!(loose, tight, "d_max = {d_max}");
         }
     }

@@ -8,6 +8,7 @@ use crate::solution::Solution;
 use crate::structured::{SearchGoal, SearchLimits, SearchOutcome, StructuredSolver};
 use rtr_graph::{Latency, TaskGraph};
 use rtr_milp::SolveOptions;
+use rtr_trace::Instrument as _;
 
 /// Result of an optimality run.
 #[derive(Debug, Clone, PartialEq)]
@@ -54,18 +55,34 @@ pub fn solve_optimal(
     backend: Backend,
     limits: SearchLimits,
 ) -> Result<OptimalOutcome, PartitionError> {
+    let span = rtr_trace::span("optimal.solve").with("n", n).with("backend", backend.to_string());
+    let outcome = solve_optimal_inner(graph, arch, n, backend, limits)?;
+    if span.armed() {
+        let label = match &outcome {
+            OptimalOutcome::Optimal(..) => "optimal",
+            OptimalOutcome::Interrupted(Some(_)) => "interrupted-incumbent",
+            OptimalOutcome::Interrupted(None) => "interrupted",
+            OptimalOutcome::Infeasible => "infeasible",
+        };
+        span.with("outcome", label).finish();
+    }
+    Ok(outcome)
+}
+
+fn solve_optimal_inner(
+    graph: &TaskGraph,
+    arch: &Architecture,
+    n: u32,
+    backend: Backend,
+    limits: SearchLimits,
+) -> Result<OptimalOutcome, PartitionError> {
     match backend {
         Backend::Structured => {
             let d_max = crate::bounds::max_latency(graph, arch, n);
-            let solver = StructuredSolver::new(
-                graph,
-                arch,
-                n,
-                d_max.as_ns(),
-                SearchGoal::Optimal,
-                limits,
-            );
+            let solver =
+                StructuredSolver::new(graph, arch, n, d_max.as_ns(), SearchGoal::Optimal, limits);
             let (outcome, stats) = solver.run();
+            stats.emit_metrics("optimal.structured");
             Ok(match outcome {
                 SearchOutcome::Feasible(sol) => {
                     let latency = sol.total_latency(graph, arch);
@@ -92,6 +109,9 @@ pub fn solve_optimal(
                 solve = solve.with_time_limit(t);
             }
             let outcome = ilp.model().solve(&solve)?;
+            // `milp.*` counters were already emitted inside the solve; this
+            // re-emission scopes the same stats to the optimality run.
+            outcome.stats.emit_metrics("optimal.milp");
             Ok(match outcome.status {
                 rtr_milp::Status::Optimal => {
                     let sol = ilp

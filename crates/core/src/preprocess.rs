@@ -141,19 +141,17 @@ mod tests {
         let g = graph_with_redundancy();
         let arch = Architecture::new(Area::new(200), 16, Latency::from_ns(10.0));
         let (pruned, _) = prune_design_points(&g, &arch);
-        let lat = |graph: &TaskGraph| {
-            match solve_optimal(
-                graph,
-                &arch,
-                2,
-                crate::Backend::Structured,
-                Default::default(),
-            )
-            .unwrap()
-            {
-                OptimalOutcome::Optimal(_, l) => l.as_ns(),
-                other => panic!("expected optimal, got {other:?}"),
-            }
+        let lat = |graph: &TaskGraph| match solve_optimal(
+            graph,
+            &arch,
+            2,
+            crate::Backend::Structured,
+            Default::default(),
+        )
+        .unwrap()
+        {
+            OptimalOutcome::Optimal(_, l) => l.as_ns(),
+            other => panic!("expected optimal, got {other:?}"),
         };
         assert_eq!(lat(&g), lat(&pruned));
     }

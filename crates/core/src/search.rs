@@ -9,6 +9,7 @@ use crate::solution::Solution;
 use crate::structured::{SearchGoal, SearchLimits, SearchOutcome, StructuredSolver};
 use rtr_graph::{Latency, TaskGraph};
 use rtr_milp::SolveOptions;
+use rtr_trace::Instrument as _;
 use std::fmt;
 use std::time::{Duration, Instant};
 
@@ -115,6 +116,17 @@ pub enum IterationResult {
     LimitReached,
 }
 
+/// Backend solver statistics of one `SolveModel()` window. Exactly one of
+/// the two options is populated, matching [`ExploreParams::backend`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WindowStats {
+    /// Branch-and-bound statistics (milp backend).
+    pub milp: Option<rtr_milp::SolveStats>,
+    /// Structured-search statistics, summed over the (up to two) ordering
+    /// attempts spent on this window (structured backend).
+    pub structured: Option<crate::structured::SearchStats>,
+}
+
 /// One row of the paper's result tables: the window solved, the iteration
 /// index, and what happened.
 #[derive(Debug, Clone, PartialEq)]
@@ -131,6 +143,8 @@ pub struct IterationRecord {
     pub result: IterationResult,
     /// Wall-clock time of the solve.
     pub elapsed: Duration,
+    /// Backend solver statistics of this window.
+    pub stats: WindowStats,
 }
 
 impl IterationRecord {
@@ -167,6 +181,31 @@ impl Exploration {
         self.records.iter().filter(move |r| r.n == n)
     }
 
+    /// Sum of the MILP branch-and-bound statistics over every recorded
+    /// `SolveModel()` call (all-zero under the structured backend). These
+    /// totals are what a trace report's `milp.*` counters aggregate to.
+    pub fn milp_totals(&self) -> rtr_milp::SolveStats {
+        let mut total = rtr_milp::SolveStats::default();
+        for r in &self.records {
+            if let Some(s) = &r.stats.milp {
+                total.absorb(s);
+            }
+        }
+        total
+    }
+
+    /// Sum of the structured-search statistics over every recorded
+    /// `SolveModel()` call (all-zero under the milp backend).
+    pub fn structured_totals(&self) -> crate::structured::SearchStats {
+        let mut total = crate::structured::SearchStats::default();
+        for r in &self.records {
+            if let Some(s) = &r.stats.structured {
+                total.absorb(s);
+            }
+        }
+        total
+    }
+
     /// Serializes the refinement log as CSV (one row per `SolveModel()`
     /// call), convenient for plotting the paper-style tables.
     ///
@@ -174,7 +213,8 @@ impl Exploration {
     /// eta, elapsed_us`. `latency_ns` and `eta` are empty for infeasible
     /// rows.
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("n,iteration,d_min_ns,d_max_ns,result,latency_ns,eta,elapsed_us\n");
+        let mut out =
+            String::from("n,iteration,d_min_ns,d_max_ns,result,latency_ns,eta,elapsed_us\n");
         for r in &self.records {
             let (result, latency, eta) = match &r.result {
                 IterationResult::Feasible { latency, eta } => {
@@ -197,6 +237,36 @@ impl Exploration {
         }
         out
     }
+}
+
+/// Emits one structured `search.iteration` trace event for `record` — the
+/// streaming twin of the CSV row produced by [`Exploration::to_csv`]. The
+/// `n` and `result` fields feed the run report's iterations-per-`N` and
+/// window-outcome rollups.
+fn emit_iteration_event(record: &IterationRecord) {
+    rtr_trace::event("search.iteration", || {
+        let mut fields: Vec<(String, rtr_trace::Value)> = vec![
+            ("n".to_owned(), u64::from(record.n).into()),
+            ("iteration".to_owned(), u64::from(record.iteration).into()),
+            ("d_min_ns".to_owned(), record.d_min.as_ns().into()),
+            ("d_max_ns".to_owned(), record.d_max.as_ns().into()),
+            ("elapsed_us".to_owned(), record.elapsed.into()),
+        ];
+        match &record.result {
+            IterationResult::Feasible { latency, eta } => {
+                fields.push(("result".to_owned(), "feasible".into()));
+                fields.push(("latency_ns".to_owned(), latency.as_ns().into()));
+                fields.push(("eta".to_owned(), u64::from(*eta).into()));
+            }
+            IterationResult::Infeasible => {
+                fields.push(("result".to_owned(), "infeasible".into()));
+            }
+            IterationResult::LimitReached => {
+                fields.push(("result".to_owned(), "limit".into()));
+            }
+        }
+        fields
+    });
 }
 
 /// The temporal partitioning and design-space-exploration system.
@@ -304,6 +374,19 @@ impl<'g> TemporalPartitioner<'g> {
         d_min: Latency,
         hint: Option<&Solution>,
     ) -> Result<(IterationResult, Option<Solution>), PartitionError> {
+        let (result, sol, _) = self.solve_window_traced(n, d_max, d_min, hint)?;
+        Ok((result, sol))
+    }
+
+    /// [`solve_window_hinted`](Self::solve_window_hinted) that also returns
+    /// the backend's solver statistics for the window.
+    fn solve_window_traced(
+        &self,
+        n: u32,
+        d_max: Latency,
+        d_min: Latency,
+        hint: Option<&Solution>,
+    ) -> Result<(IterationResult, Option<Solution>, WindowStats), PartitionError> {
         match self.params.backend {
             Backend::Structured => {
                 // Try the data-flow assignment order first; if the budget
@@ -314,6 +397,7 @@ impl<'g> TemporalPartitioner<'g> {
                     time_limit: self.params.limits.time_limit.map(|t| t / 2),
                 };
                 let mut outcome = SearchOutcome::LimitReached;
+                let mut stats = crate::structured::SearchStats::default();
                 for (order, use_hint) in [
                     // First attempt: local search around the incumbent.
                     (crate::structured::OrderHeuristic::DataFlow, true),
@@ -334,19 +418,23 @@ impl<'g> TemporalPartitioner<'g> {
                             solver = solver.with_hint(hint.placements().to_vec());
                         }
                     }
-                    outcome = solver.run().0;
+                    let (run_outcome, run_stats) = solver.run();
+                    outcome = run_outcome;
+                    stats.absorb(&run_stats);
                     if !matches!(outcome, SearchOutcome::LimitReached) {
                         break;
                     }
                 }
+                stats.emit_metrics("structured");
+                let stats = WindowStats { milp: None, structured: Some(stats) };
                 Ok(match outcome {
                     SearchOutcome::Feasible(sol) => {
                         let latency = sol.total_latency(self.graph, self.arch);
                         let eta = sol.partitions_used();
-                        (IterationResult::Feasible { latency, eta }, Some(sol))
+                        (IterationResult::Feasible { latency, eta }, Some(sol), stats)
                     }
-                    SearchOutcome::Infeasible => (IterationResult::Infeasible, None),
-                    SearchOutcome::LimitReached => (IterationResult::LimitReached, None),
+                    SearchOutcome::Infeasible => (IterationResult::Infeasible, None, stats),
+                    SearchOutcome::LimitReached => (IterationResult::LimitReached, None, stats),
                 })
             }
             Backend::Milp => {
@@ -358,7 +446,10 @@ impl<'g> TemporalPartitioner<'g> {
                     d_min,
                     &self.params.model_options,
                 )?;
+                // `Model::solve` emits the `milp.solve` span and `milp.*`
+                // counters itself; here we only capture the stats.
                 let outcome = ilp.model().solve(&self.params.milp_options)?;
+                let stats = WindowStats { milp: Some(outcome.stats), structured: None };
                 Ok(match outcome.status {
                     rtr_milp::Status::Feasible | rtr_milp::Status::Optimal => {
                         let sol = ilp
@@ -366,11 +457,11 @@ impl<'g> TemporalPartitioner<'g> {
                             .compacted(n);
                         let latency = sol.total_latency(self.graph, self.arch);
                         let eta = sol.partitions_used();
-                        (IterationResult::Feasible { latency, eta }, Some(sol))
+                        (IterationResult::Feasible { latency, eta }, Some(sol), stats)
                     }
-                    rtr_milp::Status::Infeasible => (IterationResult::Infeasible, None),
+                    rtr_milp::Status::Infeasible => (IterationResult::Infeasible, None, stats),
                     rtr_milp::Status::LimitReached | rtr_milp::Status::Unbounded => {
-                        (IterationResult::LimitReached, None)
+                        (IterationResult::LimitReached, None, stats)
                     }
                 })
             }
@@ -409,6 +500,7 @@ impl<'g> TemporalPartitioner<'g> {
         records: &mut Vec<IterationRecord>,
         observer: &mut dyn FnMut(&IterationRecord),
     ) -> Result<Option<(Solution, Latency)>, PartitionError> {
+        let _span = rtr_trace::span("search.reduce_latency").with("n", n);
         let delta = self.params.delta.as_ns().max(1e-9);
         let mut iteration = 0u32;
         let mut solve = |d_max: Latency,
@@ -418,7 +510,7 @@ impl<'g> TemporalPartitioner<'g> {
          -> Result<(IterationResult, Option<Solution>), PartitionError> {
             iteration += 1;
             let start = Instant::now();
-            let (result, sol) = self.solve_window_hinted(n, d_max, d_min, hint)?;
+            let (result, sol, stats) = self.solve_window_traced(n, d_max, d_min, hint)?;
             let record = IterationRecord {
                 n,
                 iteration,
@@ -426,7 +518,9 @@ impl<'g> TemporalPartitioner<'g> {
                 d_min,
                 result: result.clone(),
                 elapsed: start.elapsed(),
+                stats,
             };
+            emit_iteration_event(&record);
             observer(&record);
             records.push(record);
             Ok((result, sol))
@@ -498,6 +592,9 @@ impl<'g> TemporalPartitioner<'g> {
         mut observer: F,
     ) -> Result<Exploration, PartitionError> {
         let observer = &mut observer;
+        let mut span = rtr_trace::span("search.explore")
+            .with("backend", self.params.backend.to_string())
+            .with("tasks", self.graph.tasks().len());
         let n_min_lower = min_area_partitions(self.graph, self.arch);
         let n_min_upper = max_area_partitions(self.graph, self.arch);
         let n_cap = n_min_upper.max(n_min_lower) + self.params.gamma;
@@ -554,6 +651,14 @@ impl<'g> TemporalPartitioner<'g> {
             Some((sol, latency)) => (Some(sol), Some(latency)),
             None => (None, None),
         };
+        if span.armed() {
+            span.add("solves", records.len());
+            span.add("feasible", best.is_some());
+            if let Some(latency) = best_latency {
+                span.add("best_latency_ns", latency.as_ns());
+            }
+        }
+        span.finish();
         Ok(Exploration { best, best_latency, records, n_min_lower, n_min_upper })
     }
 }
@@ -591,11 +696,8 @@ mod tests {
         let g = chain3();
         // Capacity 100: two slow tasks share a partition (80) or one fast (80).
         let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(20.0));
-        let params = ExploreParams {
-            delta: Latency::from_ns(10.0),
-            gamma: 2,
-            ..Default::default()
-        };
+        let params =
+            ExploreParams { delta: Latency::from_ns(10.0), gamma: 2, ..Default::default() };
         let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
         let ex = part.explore().unwrap();
         let best = ex.best.expect("feasible");
@@ -703,11 +805,8 @@ mod tests {
         let g = chain3();
         let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(20.0));
         let run = |delta: f64| {
-            let params = ExploreParams {
-                delta: Latency::from_ns(delta),
-                gamma: 2,
-                ..Default::default()
-            };
+            let params =
+                ExploreParams { delta: Latency::from_ns(delta), gamma: 2, ..Default::default() };
             let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
             let ex = part.explore().unwrap();
             (ex.best_latency.unwrap().as_ns(), ex.records.len())
@@ -724,11 +823,8 @@ mod tests {
         let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(20.0));
         let part = TemporalPartitioner::new(&g, &arch, Default::default()).unwrap();
         let mut seen = Vec::new();
-        let ex = part
-            .explore_with_observer(|r| seen.push((r.n, r.iteration)))
-            .unwrap();
-        let expected: Vec<(u32, u32)> =
-            ex.records.iter().map(|r| (r.n, r.iteration)).collect();
+        let ex = part.explore_with_observer(|r| seen.push((r.n, r.iteration))).unwrap();
+        let expected: Vec<(u32, u32)> = ex.records.iter().map(|r| (r.n, r.iteration)).collect();
         assert_eq!(seen, expected);
         assert!(!seen.is_empty());
     }
@@ -782,25 +878,19 @@ mod tests {
         let (_, sol) = part.solve_window(3, d_max, Latency::ZERO).unwrap();
         let sol = sol.expect("feasible");
         let target = sol.total_latency(&g, &arch);
-        let (result, hinted) = part
-            .solve_window_hinted(3, target, Latency::ZERO, Some(&sol))
-            .unwrap();
+        let (result, hinted) =
+            part.solve_window_hinted(3, target, Latency::ZERO, Some(&sol)).unwrap();
         assert!(matches!(result, IterationResult::Feasible { .. }));
         // The hint itself satisfies the window, so it must be recovered (or
         // bettered).
-        assert!(
-            hinted.unwrap().total_latency(&g, &arch) <= target + Latency::from_ns(1e-6)
-        );
+        assert!(hinted.unwrap().total_latency(&g, &arch) <= target + Latency::from_ns(1e-6));
     }
 
     #[test]
     fn zero_time_budget_still_reports_first_bound() {
         let g = chain3();
         let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(20.0));
-        let params = ExploreParams {
-            time_budget: Some(Duration::ZERO),
-            ..Default::default()
-        };
+        let params = ExploreParams { time_budget: Some(Duration::ZERO), ..Default::default() };
         let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
         // The first reduce_latency still runs; the relaxation loop does not.
         let ex = part.explore().unwrap();

@@ -80,9 +80,7 @@ impl Solution {
             .iter()
             .enumerate()
             .filter(|(_, pl)| pl.partition == p)
-            .map(|(t, pl)| {
-                graph.tasks()[t].design_points()[pl.design_point].secondary_usage(class)
-            })
+            .map(|(t, pl)| graph.tasks()[t].design_points()[pl.design_point].secondary_usage(class))
             .sum()
     }
 
@@ -171,8 +169,13 @@ impl Solution {
     /// Empty partitions waste a reconfiguration under the `η = max index`
     /// accounting, so solvers call this before reporting.
     pub fn compacted(&self, n_bound: u32) -> Solution {
-        let mut used: Vec<u32> =
-            self.placements.iter().map(|p| p.partition).collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        let mut used: Vec<u32> = self
+            .placements
+            .iter()
+            .map(|p| p.partition)
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
         used.sort_unstable();
         let remap: std::collections::HashMap<u32, u32> =
             used.iter().enumerate().map(|(i, &p)| (p, i as u32 + 1)).collect();
@@ -226,17 +229,14 @@ impl Solution {
             .ok_or_else(|| format!("bad header `{header}`"))?
             .parse()
             .map_err(|_| format!("bad n_bound in `{header}`"))?;
-        let mut placements =
-            vec![None; graph.task_count()];
+        let mut placements = vec![None; graph.task_count()];
         for line in lines {
             let words: Vec<&str> = line.split_whitespace().collect();
             match words.as_slice() {
                 ["task", name, "partition", p, "dp", m] => {
-                    let id = graph
-                        .task_by_name(name)
-                        .ok_or_else(|| format!("unknown task `{name}`"))?;
-                    let partition: u32 =
-                        p.parse().map_err(|_| format!("bad partition `{p}`"))?;
+                    let id =
+                        graph.task_by_name(name).ok_or_else(|| format!("unknown task `{name}`"))?;
+                    let partition: u32 = p.parse().map_err(|_| format!("bad partition `{p}`"))?;
                     if partition == 0 || partition > n_bound {
                         return Err(format!("partition {partition} outside 1..={n_bound}"));
                     }
@@ -425,9 +425,7 @@ mod tests {
         assert!(Solution::from_text(&g, "").is_err());
         assert!(Solution::from_text(&g, "solution n_bound=x").is_err());
         assert!(Solution::from_text(&g, "solution n_bound=2\nnonsense").is_err());
-        assert!(
-            Solution::from_text(&g, "solution n_bound=2\ntask ghost partition 1 dp 0").is_err()
-        );
+        assert!(Solution::from_text(&g, "solution n_bound=2\ntask ghost partition 1 dp 0").is_err());
         // Missing tasks.
         assert!(Solution::from_text(&g, "solution n_bound=2").is_err());
         // Partition outside the bound.

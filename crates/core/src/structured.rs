@@ -68,6 +68,33 @@ pub struct SearchStats {
     pub exhausted: bool,
 }
 
+impl SearchStats {
+    /// Accumulates another run's counters into this one. `exhausted`
+    /// reflects the most recent run absorbed — it describes a single
+    /// search, not a sum.
+    pub fn absorb(&mut self, other: &SearchStats) {
+        self.nodes += other.nodes;
+        self.latency_prunes += other.latency_prunes;
+        self.area_prunes += other.area_prunes;
+        self.memory_rejects += other.memory_rejects;
+        self.exhausted = other.exhausted;
+    }
+}
+
+impl rtr_trace::Instrument for SearchStats {
+    /// Emits the structured-search counters under `scope` (e.g. scope
+    /// `structured` yields `structured.nodes`, `structured.area_prunes`, ...).
+    fn emit_metrics(&self, scope: &str) {
+        if !rtr_trace::enabled() {
+            return;
+        }
+        rtr_trace::counter(&format!("{scope}.nodes"), self.nodes);
+        rtr_trace::counter(&format!("{scope}.latency_prunes"), self.latency_prunes);
+        rtr_trace::counter(&format!("{scope}.area_prunes"), self.area_prunes);
+        rtr_trace::counter(&format!("{scope}.memory_rejects"), self.memory_rejects);
+    }
+}
+
 /// Goal of the structured search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SearchGoal {
@@ -174,12 +201,7 @@ impl<'g> StructuredSolver<'g> {
         // Level = longest-path depth; sorting by it is a topological order.
         let mut level = vec![0u32; count];
         for &t in graph.topological_order() {
-            let l = graph
-                .predecessors(t)
-                .iter()
-                .map(|p| level[p.index()] + 1)
-                .max()
-                .unwrap_or(0);
+            let l = graph.predecessors(t).iter().map(|p| level[p.index()] + 1).max().unwrap_or(0);
             level[t.index()] = l;
         }
 
@@ -210,9 +232,8 @@ impl<'g> StructuredSolver<'g> {
         // the consequences of a packing early), then id order.
         let order: Vec<TaskId> = match order_heuristic {
             OrderHeuristic::DataFlow => {
-                let mut remaining_deps: Vec<usize> = (0..count)
-                    .map(|t| graph.predecessors(TaskId::from_index(t)).len())
-                    .collect();
+                let mut remaining_deps: Vec<usize> =
+                    (0..count).map(|t| graph.predecessors(TaskId::from_index(t)).len()).collect();
                 let mut ready: Vec<usize> =
                     (0..count).filter(|&t| remaining_deps[t] == 0).collect();
                 let mut last_pred_pos = vec![-1i64; count];
@@ -290,10 +311,7 @@ impl<'g> StructuredSolver<'g> {
         for i in (0..count).rev() {
             suffix_min_area[i] = suffix_min_area[i + 1] + min_area[order[i].index()];
         }
-        let eta_floor = graph
-            .total_min_area()
-            .partitions_needed(arch.resource_capacity())
-            .max(1);
+        let eta_floor = graph.total_min_area().partitions_needed(arch.resource_capacity()).max(1);
 
         let mut pred_edges = vec![Vec::new(); count];
         for e in graph.edges() {
@@ -357,7 +375,8 @@ impl<'g> StructuredSolver<'g> {
             crate::baseline::DesignPointPicker::MinLatency,
             crate::baseline::DesignPointPicker::MaxArea,
         ] {
-            if let Some(sol) = crate::baseline::greedy_partition(self.graph, self.arch, picker, self.n)
+            if let Some(sol) =
+                crate::baseline::greedy_partition(self.graph, self.arch, picker, self.n)
             {
                 let total = sol.total_latency(self.graph, self.arch).as_ns();
                 if total <= self.d_max_ns + 1e-9 {
@@ -429,14 +448,8 @@ impl<'g> StructuredSolver<'g> {
         let t = self.order[idx];
         let ti = t.index();
         let task = &self.graph.tasks()[ti];
-        let p_min = self
-            .graph
-            .predecessors(t)
-            .iter()
-            .map(|q| st.part[q.index()])
-            .max()
-            .unwrap_or(1)
-            .max(1);
+        let p_min =
+            self.graph.predecessors(t).iter().map(|q| st.part[q.index()]).max().unwrap_or(1).max(1);
         // Symmetry breaking: within an interchangeable group, (partition,
         // design point) must be lexicographically non-decreasing.
         let sym_floor = self.group_prev[ti].map(|prev| (st.part[prev], st.dpc[prev]));
@@ -515,9 +528,7 @@ impl<'g> StructuredSolver<'g> {
 
                 let dp = &task.design_points()[m];
                 // Resource.
-                if st.area_used[pi] + dp.area().units()
-                    > self.arch.resource_capacity().units()
-                {
+                if st.area_used[pi] + dp.area().units() > self.arch.resource_capacity().units() {
                     return None;
                 }
                 // Secondary resource classes (constraint (6) per class).
@@ -558,8 +569,7 @@ impl<'g> StructuredSolver<'g> {
                 // Admissible chain bound: the longest assigned-latency path
                 // ending at t plus the cheapest possible completion below it.
                 let gdepth = dp.latency().as_ns()
-                    + self
-                        .pred_edges[ti]
+                    + self.pred_edges[ti]
                         .iter()
                         .map(|&(q, _)| st.gdepth_ns[q])
                         .fold(0.0f64, f64::max);

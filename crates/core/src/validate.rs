@@ -148,7 +148,12 @@ pub fn validate_solution(
         for (class, &capacity) in arch.secondary_capacities().iter().enumerate() {
             let used = solution.partition_secondary(graph, p, class);
             if used > capacity {
-                violations.push(Violation::SecondaryResource { partition: p, class, used, capacity });
+                violations.push(Violation::SecondaryResource {
+                    partition: p,
+                    class,
+                    used,
+                    capacity,
+                });
             }
         }
     }
@@ -210,10 +215,9 @@ mod tests {
         let g = graph();
         let sol = Solution::new(vec![pl(1), pl(1)], 1);
         let v = validate_solution(&g, &arch(), &sol);
-        assert!(v.iter().any(|v| matches!(
-            v,
-            Violation::Resource { partition: 1, used: 130, capacity: 100 }
-        )));
+        assert!(v
+            .iter()
+            .any(|v| matches!(v, Violation::Resource { partition: 1, used: 130, capacity: 100 })));
     }
 
     #[test]

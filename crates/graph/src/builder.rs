@@ -78,9 +78,7 @@ impl TaskGraphBuilder {
             }
         }
         if src == dst {
-            return Err(GraphError::SelfLoop {
-                task: self.tasks[src.index()].name().to_owned(),
-            });
+            return Err(GraphError::SelfLoop { task: self.tasks[src.index()].name().to_owned() });
         }
         if self.edges.iter().any(|e| e.src() == src && e.dst() == dst) {
             return Err(GraphError::DuplicateEdge {

@@ -245,10 +245,8 @@ impl TaskGraph {
         let mut overall = Latency::ZERO;
         for &t in &self.topo {
             let own = self.tasks[t.0].min_latency_point().latency();
-            let pred_best = self.predecessors[t.0]
-                .iter()
-                .map(|p| best[p.0])
-                .fold(Latency::ZERO, Latency::max);
+            let pred_best =
+                self.predecessors[t.0].iter().map(|p| best[p.0]).fold(Latency::ZERO, Latency::max);
             best[t.0] = pred_best + own;
             overall = overall.max(best[t.0]);
         }
@@ -285,8 +283,7 @@ fn topological_order(
     tasks: &[Task],
 ) -> Result<Vec<TaskId>, GraphError> {
     let mut indegree: Vec<usize> = predecessors.iter().map(Vec::len).collect();
-    let mut ready: Vec<TaskId> =
-        (0..n).filter(|&i| indegree[i] == 0).map(TaskId).collect();
+    let mut ready: Vec<TaskId> = (0..n).filter(|&i| indegree[i] == 0).map(TaskId).collect();
     let mut order = Vec::with_capacity(n);
     while let Some(t) = ready.pop() {
         order.push(t);

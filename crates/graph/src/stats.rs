@@ -59,7 +59,10 @@ impl fmt::Display for GraphStats {
         writeln!(
             f,
             "fanout {:.2}, {:.1} design points/task, edge data {} + env {}/{} words",
-            self.mean_fanout, self.mean_design_points, self.edge_data, self.env_input,
+            self.mean_fanout,
+            self.mean_design_points,
+            self.edge_data,
+            self.env_input,
             self.env_output
         )?;
         write!(
@@ -92,27 +95,17 @@ impl TaskGraph {
     pub fn stats(&self) -> GraphStats {
         let mut level = vec![0usize; self.task_count()];
         for &t in self.topological_order() {
-            level[t.index()] = self
-                .predecessors(t)
-                .iter()
-                .map(|p| level[p.index()] + 1)
-                .max()
-                .unwrap_or(0);
+            level[t.index()] =
+                self.predecessors(t).iter().map(|p| level[p.index()] + 1).max().unwrap_or(0);
         }
         let depth = level.iter().copied().max().unwrap_or(0) + 1;
         let mut width_at = vec![0usize; depth];
         for &l in &level {
             width_at[l] += 1;
         }
-        let non_leaves = self
-            .task_ids()
-            .filter(|&t| !self.successors(t).is_empty())
-            .count();
-        let mean_fanout = if non_leaves > 0 {
-            self.edge_count() as f64 / non_leaves as f64
-        } else {
-            0.0
-        };
+        let non_leaves = self.task_ids().filter(|&t| !self.successors(t).is_empty()).count();
+        let mean_fanout =
+            if non_leaves > 0 { self.edge_count() as f64 / non_leaves as f64 } else { 0.0 };
         GraphStats {
             tasks: self.task_count(),
             edges: self.edge_count(),
@@ -124,11 +117,8 @@ impl TaskGraph {
             edge_data: self.edges().iter().map(|e| e.data()).sum(),
             env_input: self.tasks().iter().map(|t| t.env_input()).sum(),
             env_output: self.tasks().iter().map(|t| t.env_output()).sum(),
-            mean_design_points: self
-                .tasks()
-                .iter()
-                .map(|t| t.design_points().len())
-                .sum::<usize>() as f64
+            mean_design_points: self.tasks().iter().map(|t| t.design_points().len()).sum::<usize>()
+                as f64
                 / self.task_count() as f64,
             min_work: self.tasks().iter().map(|t| t.min_latency_point().latency()).sum(),
             critical_path: self.critical_path_min_latency(),

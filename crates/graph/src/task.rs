@@ -79,9 +79,8 @@ impl DesignPoint {
             (0..classes).any(|k| other.secondary_usage(k) < self.secondary_usage(k));
         let no_worse =
             other.area <= self.area && other.latency <= self.latency && secondary_no_worse;
-        let strictly_better = other.area < self.area
-            || other.latency < self.latency
-            || secondary_strictly_better;
+        let strictly_better =
+            other.area < self.area || other.latency < self.latency || secondary_strictly_better;
         no_worse && strictly_better
     }
 }
@@ -139,9 +138,7 @@ impl Task {
     pub fn min_area_point(&self) -> &DesignPoint {
         self.design_points
             .iter()
-            .min_by(|a, b| {
-                a.area().cmp(&b.area()).then(a.latency().total_cmp(&b.latency()))
-            })
+            .min_by(|a, b| a.area().cmp(&b.area()).then(a.latency().total_cmp(&b.latency())))
             .expect("validated tasks have at least one design point")
     }
 
@@ -150,9 +147,7 @@ impl Task {
     pub fn max_area_point(&self) -> &DesignPoint {
         self.design_points
             .iter()
-            .max_by(|a, b| {
-                a.area().cmp(&b.area()).then(b.latency().total_cmp(&a.latency()))
-            })
+            .max_by(|a, b| a.area().cmp(&b.area()).then(b.latency().total_cmp(&a.latency())))
             .expect("validated tasks have at least one design point")
     }
 
@@ -161,9 +156,7 @@ impl Task {
     pub fn min_latency_point(&self) -> &DesignPoint {
         self.design_points
             .iter()
-            .min_by(|a, b| {
-                a.latency().total_cmp(&b.latency()).then(a.area().cmp(&b.area()))
-            })
+            .min_by(|a, b| a.latency().total_cmp(&b.latency()).then(a.area().cmp(&b.area())))
             .expect("validated tasks have at least one design point")
     }
 
@@ -172,9 +165,7 @@ impl Task {
     pub fn max_latency_point(&self) -> &DesignPoint {
         self.design_points
             .iter()
-            .max_by(|a, b| {
-                a.latency().total_cmp(&b.latency()).then(b.area().cmp(&a.area()))
-            })
+            .max_by(|a, b| a.latency().total_cmp(&b.latency()).then(b.area().cmp(&a.area())))
             .expect("validated tasks have at least one design point")
     }
 }
@@ -251,8 +242,7 @@ mod tests {
         assert_eq!(t.min_area_point().name(), "fast");
         assert_eq!(t.max_area_point().name(), "fast");
         // Same latency, different area: min_latency should pick the smaller one.
-        let t =
-            Task::new("t".into(), vec![dp("big", 300, 500.0), dp("small", 120, 500.0)], 0, 0);
+        let t = Task::new("t".into(), vec![dp("big", 300, 500.0), dp("small", 120, 500.0)], 0, 0);
         assert_eq!(t.min_latency_point().name(), "small");
         assert_eq!(t.max_latency_point().name(), "small");
     }

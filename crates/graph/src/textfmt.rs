@@ -42,8 +42,7 @@ impl TaskGraph {
                     dp.latency().as_ns()
                 );
                 if !dp.secondary().is_empty() {
-                    let list: Vec<String> =
-                        dp.secondary().iter().map(u64::to_string).collect();
+                    let list: Vec<String> = dp.secondary().iter().map(u64::to_string).collect();
                     let _ = write!(out, " secondary={}", list.join(","));
                 }
                 out.push('\n');
@@ -158,12 +157,10 @@ impl TaskGraph {
         flush(&mut builder, &mut ids, &mut pending);
 
         for (src, dst, data, lineno) in edges {
-            let &s = ids
-                .get(&src)
-                .ok_or_else(|| parse_err(lineno, &format!("unknown task `{src}`")))?;
-            let &d = ids
-                .get(&dst)
-                .ok_or_else(|| parse_err(lineno, &format!("unknown task `{dst}`")))?;
+            let &s =
+                ids.get(&src).ok_or_else(|| parse_err(lineno, &format!("unknown task `{src}`")))?;
+            let &d =
+                ids.get(&dst).ok_or_else(|| parse_err(lineno, &format!("unknown task `{dst}`")))?;
             builder.add_edge(s, d, data)?;
         }
         builder.build()
@@ -184,9 +181,7 @@ fn parse_kv<T: std::str::FromStr>(
         .strip_prefix(key)
         .and_then(|rest| rest.strip_prefix('='))
         .ok_or_else(|| parse_err(lineno, &format!("expected `{key}=<value>`, got `{word}`")))?;
-    value
-        .parse()
-        .map_err(|_| parse_err(lineno, &format!("invalid value for `{key}`: `{value}`")))
+    value.parse().map_err(|_| parse_err(lineno, &format!("invalid value for `{key}`: `{value}`")))
 }
 
 #[cfg(test)]

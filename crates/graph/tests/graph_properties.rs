@@ -1,166 +1,207 @@
-//! Property tests for the task-graph model on randomly shaped DAGs.
+//! Randomized tests for the task-graph model on seeded random DAGs.
+//! Deterministic (xorshift streams), so any failure reproduces exactly.
 
-use proptest::prelude::*;
 use rtr_graph::{Area, DesignPoint, Latency, PathLimits, TaskGraph, TaskGraphBuilder};
+
+const CASES: u64 = 120;
+
+/// A deterministic xorshift64 stream.
+fn stream(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    }
+}
 
 /// Builds a random DAG directly (edges always point forward in id order, so
 /// acyclicity holds by construction).
-fn arb_graph() -> impl Strategy<Value = TaskGraph> {
-    (1usize..20, any::<u64>()).prop_map(|(n, seed)| {
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        let mut b = TaskGraphBuilder::new();
-        let ids: Vec<_> = (0..n)
-            .map(|i| {
-                let dps = 1 + (next() % 3) as usize;
-                let mut task = b.add_task(format!("t{i}"));
-                for d in 0..dps {
-                    task = task.design_point(DesignPoint::new(
-                        format!("dp{d}"),
-                        Area::new(next() % 100 + 1),
-                        Latency::from_ns((next() % 1000) as f64),
-                    ));
-                }
-                task.env_input(next() % 4).env_output(next() % 2).finish()
-            })
-            .collect();
-        for j in 1..n {
-            let edges = next() % 3;
-            for _ in 0..edges {
-                let i = (next() % j as u64) as usize;
-                // Ignore duplicates.
-                let _ = b.add_edge(ids[i], ids[j], next() % 8 + 1);
+fn random_graph(salt: u64, case: u64) -> TaskGraph {
+    let mut next = stream(salt.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(case));
+    let n = (next() % 19 + 1) as usize; // 1..20
+    let mut b = TaskGraphBuilder::new();
+    let ids: Vec<_> = (0..n)
+        .map(|i| {
+            let dps = 1 + (next() % 3) as usize;
+            let mut task = b.add_task(format!("t{i}"));
+            for d in 0..dps {
+                task = task.design_point(DesignPoint::new(
+                    format!("dp{d}"),
+                    Area::new(next() % 100 + 1),
+                    Latency::from_ns((next() % 1000) as f64),
+                ));
             }
+            task.env_input(next() % 4).env_output(next() % 2).finish()
+        })
+        .collect();
+    for j in 1..n {
+        let edges = next() % 3;
+        for _ in 0..edges {
+            let i = (next() % j as u64) as usize;
+            // Ignore duplicates.
+            let _ = b.add_edge(ids[i], ids[j], next() % 8 + 1);
         }
-        b.build().expect("forward edges keep the graph acyclic")
-    })
+    }
+    b.build().expect("forward edges keep the graph acyclic")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 120, .. ProptestConfig::default() })]
+/// A random string mixing ASCII printables and a few multi-byte chars, to
+/// stress the parser the way proptest's `\PC` regex did.
+fn random_text(next: &mut impl FnMut() -> u64, max_len: u64) -> String {
+    let len = next() % (max_len + 1);
+    (0..len)
+        .map(|_| match next() % 20 {
+            0 => 'é',
+            1 => 'λ',
+            2 => '→',
+            3 => '\t',
+            _ => char::from((next() % 95 + 32) as u8),
+        })
+        .collect()
+}
 
-    /// The topological order is a permutation that respects every edge.
-    #[test]
-    fn topological_order_is_valid(g in arb_graph()) {
+/// The topological order is a permutation that respects every edge.
+#[test]
+fn topological_order_is_valid() {
+    for case in 0..CASES {
+        let g = random_graph(1, case);
         let order = g.topological_order();
-        prop_assert_eq!(order.len(), g.task_count());
+        assert_eq!(order.len(), g.task_count());
         let mut pos = vec![usize::MAX; g.task_count()];
         for (i, t) in order.iter().enumerate() {
             pos[t.index()] = i;
         }
-        prop_assert!(pos.iter().all(|&p| p != usize::MAX));
+        assert!(pos.iter().all(|&p| p != usize::MAX));
         for e in g.edges() {
-            prop_assert!(pos[e.src().index()] < pos[e.dst().index()]);
+            assert!(pos[e.src().index()] < pos[e.dst().index()], "case {case}");
         }
     }
+}
 
-    /// Successor and predecessor lists mirror the edge list exactly.
-    #[test]
-    fn adjacency_mirrors_edges(g in arb_graph()) {
+/// Successor and predecessor lists mirror the edge list exactly.
+#[test]
+fn adjacency_mirrors_edges() {
+    for case in 0..CASES {
+        let g = random_graph(2, case);
         for e in g.edges() {
-            prop_assert!(g.successors(e.src()).contains(&e.dst()));
-            prop_assert!(g.predecessors(e.dst()).contains(&e.src()));
+            assert!(g.successors(e.src()).contains(&e.dst()), "case {case}");
+            assert!(g.predecessors(e.dst()).contains(&e.src()), "case {case}");
         }
         let degree_sum: usize = g.task_ids().map(|t| g.successors(t).len()).sum();
-        prop_assert_eq!(degree_sum, g.edge_count());
+        assert_eq!(degree_sum, g.edge_count(), "case {case}");
     }
+}
 
-    /// Text serialization round-trips exactly.
-    #[test]
-    fn text_round_trip(g in arb_graph()) {
+/// Text serialization round-trips exactly.
+#[test]
+fn text_round_trip() {
+    for case in 0..CASES {
+        let g = random_graph(3, case);
         let text = g.to_text();
         let parsed = TaskGraph::from_text(&text).unwrap();
-        prop_assert_eq!(&g, &parsed);
+        assert_eq!(&g, &parsed, "case {case}");
     }
+}
 
-    /// Path enumeration agrees with the DP path count when not truncated.
-    #[test]
-    fn path_enumeration_agrees_with_count(g in arb_graph()) {
+/// Path enumeration agrees with the DP path count when not truncated.
+#[test]
+fn path_enumeration_agrees_with_count() {
+    for case in 0..CASES {
+        let g = random_graph(4, case);
         let e = g.enumerate_paths(PathLimits { max_paths: 5000 });
         if !e.is_truncated() {
-            prop_assert_eq!(Some(e.paths().len() as u128), e.total_path_count());
+            assert_eq!(Some(e.paths().len() as u128), e.total_path_count(), "case {case}");
         }
         for p in e.paths() {
-            prop_assert!(g.predecessors(p[0]).is_empty());
-            prop_assert!(g.successors(*p.last().unwrap()).is_empty());
+            assert!(g.predecessors(p[0]).is_empty(), "case {case}");
+            assert!(g.successors(*p.last().unwrap()).is_empty(), "case {case}");
         }
     }
+}
 
-    /// The min-latency critical path is a lower bound on any path sum and
-    /// is realized by some root→leaf path.
-    #[test]
-    fn critical_path_is_max_over_paths(g in arb_graph()) {
+/// The min-latency critical path is a lower bound on any path sum and
+/// is realized by some root→leaf path.
+#[test]
+fn critical_path_is_max_over_paths() {
+    for case in 0..CASES {
+        let g = random_graph(5, case);
         let e = g.enumerate_paths(PathLimits { max_paths: 5000 });
         if e.is_truncated() {
-            return Ok(());
+            continue;
         }
         let best = e
             .paths()
             .iter()
             .map(|p| {
-                p.iter()
-                    .map(|t| g.task(*t).min_latency_point().latency().as_ns())
-                    .sum::<f64>()
+                p.iter().map(|t| g.task(*t).min_latency_point().latency().as_ns()).sum::<f64>()
             })
             .fold(0.0f64, f64::max);
-        prop_assert!((g.critical_path_min_latency().as_ns() - best).abs() < 1e-6);
+        assert!((g.critical_path_min_latency().as_ns() - best).abs() < 1e-6, "case {case}");
     }
+}
 
-    /// Reachability is consistent with edges and transitive.
-    #[test]
-    fn reachability_is_transitive(g in arb_graph()) {
+/// Reachability is consistent with edges and transitive.
+#[test]
+fn reachability_is_transitive() {
+    for case in 0..CASES {
+        let g = random_graph(6, case);
         for e in g.edges() {
-            prop_assert!(g.reaches(e.src(), e.dst()));
-            prop_assert!(!g.reaches(e.dst(), e.src()), "a DAG has no back reachability");
+            assert!(g.reaches(e.src(), e.dst()), "case {case}");
+            assert!(!g.reaches(e.dst(), e.src()), "case {case}: a DAG has no back reachability");
         }
         // Spot-check transitivity along two consecutive edges.
         for e1 in g.edges() {
             for &s in g.successors(e1.dst()) {
-                prop_assert!(g.reaches(e1.src(), s));
+                assert!(g.reaches(e1.src(), s), "case {case}");
             }
         }
     }
+}
 
-    /// The text parser never panics, whatever bytes it is fed.
-    #[test]
-    fn parser_never_panics(input in "\\PC{0,400}") {
+/// The text parser never panics, whatever bytes it is fed.
+#[test]
+fn parser_never_panics() {
+    let mut next = stream(7);
+    for _ in 0..CASES {
+        let input = random_text(&mut next, 400);
         let _ = TaskGraph::from_text(&input);
     }
+}
 
-    /// The parser also survives near-miss inputs built from real directives.
-    #[test]
-    fn parser_survives_directive_soup(
-        parts in proptest::collection::vec(
-            prop_oneof![
-                Just("task a env_in=0 env_out=0".to_owned()),
-                Just(" dp m area=1 latency_ns=1".to_owned()),
-                Just("edge a -> a data=1".to_owned()),
-                Just("task".to_owned()),
-                Just("dp".to_owned()),
-                Just("edge x -> y".to_owned()),
-                Just("# comment".to_owned()),
-                "\\PC{0,30}",
-            ],
-            0..12,
-        )
-    ) {
+/// The parser also survives near-miss inputs built from real directives.
+#[test]
+fn parser_survives_directive_soup() {
+    let mut next = stream(8);
+    for _ in 0..CASES {
+        let lines = next() % 12;
+        let parts: Vec<String> = (0..lines)
+            .map(|_| match next() % 8 {
+                0 => "task a env_in=0 env_out=0".to_owned(),
+                1 => " dp m area=1 latency_ns=1".to_owned(),
+                2 => "edge a -> a data=1".to_owned(),
+                3 => "task".to_owned(),
+                4 => "dp".to_owned(),
+                5 => "edge x -> y".to_owned(),
+                6 => "# comment".to_owned(),
+                _ => random_text(&mut next, 30),
+            })
+            .collect();
         let _ = TaskGraph::from_text(&parts.join("\n"));
     }
+}
 
-    /// DOT export names every task and edge.
-    #[test]
-    fn dot_is_complete(g in arb_graph()) {
+/// DOT export names every task and edge.
+#[test]
+fn dot_is_complete() {
+    for case in 0..CASES {
+        let g = random_graph(9, case);
         let dot = g.to_dot();
-        prop_assert_eq!(dot.matches(" -> ").count(), g.edge_count());
+        assert_eq!(dot.matches(" -> ").count(), g.edge_count(), "case {case}");
         for t in g.task_ids() {
             let node = format!("t{} [label=", t.index());
-            let found = dot.contains(&node);
-            prop_assert!(found, "missing node {}", node);
+            assert!(dot.contains(&node), "case {case}: missing node {node}");
         }
     }
 }

@@ -49,10 +49,8 @@ pub fn enumerate_design_points(
 ) -> Result<Vec<SynthesizedPoint>, HlsError> {
     task.validate()?;
     let kinds = task.kinds_used();
-    let maxima: Vec<usize> = kinds
-        .iter()
-        .map(|&k| task.count_of(k).min(options.max_units_per_kind).max(1))
-        .collect();
+    let maxima: Vec<usize> =
+        kinds.iter().map(|&k| task.count_of(k).min(options.max_units_per_kind).max(1)).collect();
 
     // Cartesian product of per-kind counts, capped.
     let mut allocations = Vec::new();
@@ -181,9 +179,12 @@ mod tests {
 
     #[test]
     fn front_is_sorted_and_pareto() {
-        let pts =
-            enumerate_design_points(&vector_product(16), &FuLibrary::default(), &Default::default())
-                .unwrap();
+        let pts = enumerate_design_points(
+            &vector_product(16),
+            &FuLibrary::default(),
+            &Default::default(),
+        )
+        .unwrap();
         assert!(pts.len() >= 2, "expected several tradeoff points, got {}", pts.len());
         for w in pts.windows(2) {
             assert!(w[0].design_point.area() < w[1].design_point.area());
@@ -196,9 +197,12 @@ mod tests {
 
     #[test]
     fn no_point_is_dominated() {
-        let pts =
-            enumerate_design_points(&vector_product(12), &FuLibrary::default(), &Default::default())
-                .unwrap();
+        let pts = enumerate_design_points(
+            &vector_product(12),
+            &FuLibrary::default(),
+            &Default::default(),
+        )
+        .unwrap();
         for a in &pts {
             for b in &pts {
                 assert!(!a.design_point.is_dominated_by(&b.design_point));
@@ -222,8 +226,14 @@ mod tests {
         )
         .unwrap();
         assert!(thin.len() <= 2);
-        assert_eq!(thin.first().unwrap().design_point.area(), all.first().unwrap().design_point.area());
-        assert_eq!(thin.last().unwrap().design_point.area(), all.last().unwrap().design_point.area());
+        assert_eq!(
+            thin.first().unwrap().design_point.area(),
+            all.first().unwrap().design_point.area()
+        );
+        assert_eq!(
+            thin.last().unwrap().design_point.area(),
+            all.last().unwrap().design_point.area()
+        );
     }
 
     #[test]

@@ -46,16 +46,15 @@ struct FuCoeffs {
 impl FuLibrary {
     /// A library styled after XC4000-era LUT FPGAs (see type-level docs).
     pub fn xc4000_style() -> Self {
-        let c = |area_base, area_per_bit, area_per_bit2, delay_base_ns, delay_per_bit_ns| {
-            FuCoeffs {
+        let c =
+            |area_base, area_per_bit, area_per_bit2, delay_base_ns, delay_per_bit_ns| FuCoeffs {
                 area_base,
                 area_per_bit,
                 area_per_bit2,
                 delay_base_ns,
                 delay_per_bit_ns,
                 secondary: &[],
-            }
-        };
+            };
         FuLibrary {
             name: "xc4000-style".into(),
             coeffs: vec![
@@ -78,16 +77,17 @@ impl FuLibrary {
     /// [`Architecture::with_secondary_capacities`]:
     ///     https://docs.rs/rtr-core (rtr_core::Architecture)
     pub fn virtex_style() -> Self {
-        let c = |area_base, area_per_bit, area_per_bit2, delay_base_ns, delay_per_bit_ns, secondary| {
-            FuCoeffs {
-                area_base,
-                area_per_bit,
-                area_per_bit2,
-                delay_base_ns,
-                delay_per_bit_ns,
-                secondary,
-            }
-        };
+        let c =
+            |area_base, area_per_bit, area_per_bit2, delay_base_ns, delay_per_bit_ns, secondary| {
+                FuCoeffs {
+                    area_base,
+                    area_per_bit,
+                    area_per_bit2,
+                    delay_base_ns,
+                    delay_per_bit_ns,
+                    secondary,
+                }
+            };
         const ONE_DSP: &[u64] = &[1];
         FuLibrary {
             name: "virtex-style".into(),

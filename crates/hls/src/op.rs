@@ -159,10 +159,7 @@ impl BehavioralTask {
 
     /// The distinct operation kinds used, in [`OpKind::ALL`] order.
     pub fn kinds_used(&self) -> Vec<OpKind> {
-        OpKind::ALL
-            .into_iter()
-            .filter(|k| self.ops.iter().any(|o| o.kind == *k))
-            .collect()
+        OpKind::ALL.into_iter().filter(|k| self.ops.iter().any(|o| o.kind == *k)).collect()
     }
 
     /// Number of operations of the given kind.
@@ -204,10 +201,7 @@ mod tests {
 
     #[test]
     fn empty_task_invalid() {
-        assert!(matches!(
-            BehavioralTask::new("e").validate(),
-            Err(HlsError::EmptyTask { .. })
-        ));
+        assert!(matches!(BehavioralTask::new("e").validate(), Err(HlsError::EmptyTask { .. })));
     }
 
     #[test]

@@ -74,8 +74,7 @@ impl Allocation {
 
     /// A human-readable module-set name, e.g. `2mul-1add`.
     pub fn label(&self) -> String {
-        let parts: Vec<String> =
-            self.iter().map(|(k, c)| format!("{c}{k}")).collect();
+        let parts: Vec<String> = self.iter().map(|(k, c)| format!("{c}{k}")).collect();
         if parts.is_empty() {
             "empty".to_owned()
         } else {
@@ -120,11 +119,8 @@ pub fn schedule(
     allocation: &Allocation,
     library: &FuLibrary,
 ) -> Result<Schedule, HlsError> {
-    let delays: Vec<f64> = task
-        .ops()
-        .iter()
-        .map(|o| library.spec(o.kind, o.width).delay.as_ns())
-        .collect();
+    let delays: Vec<f64> =
+        task.ops().iter().map(|o| library.spec(o.kind, o.width).delay.as_ns()).collect();
     schedule_with_delays(task, allocation, delays)
 }
 
@@ -164,6 +160,7 @@ fn schedule_with_delays(
     allocation: &Allocation,
     delays: Vec<f64>,
 ) -> Result<Schedule, HlsError> {
+    let span = rtr_trace::span("hls.schedule").with("ops", task.op_count());
     task.validate()?;
     for kind in task.kinds_used() {
         if allocation.count(kind) == 0 {
@@ -189,14 +186,10 @@ fn schedule_with_delays(
     // Earliest time each op's operands are all available.
     let mut ready_time = vec![0.0f64; n];
     let mut remaining_deps: Vec<usize> = task.ops().iter().map(|o| o.deps().len()).collect();
-    let mut ready: Vec<usize> =
-        (0..n).filter(|&i| remaining_deps[i] == 0).collect();
+    let mut ready: Vec<usize> = (0..n).filter(|&i| remaining_deps[i] == 0).collect();
     // Per-kind unit availability times.
-    let mut unit_free: BTreeMap<OpKind, Vec<f64>> = task
-        .kinds_used()
-        .into_iter()
-        .map(|k| (k, vec![0.0; allocation.count(k)]))
-        .collect();
+    let mut unit_free: BTreeMap<OpKind, Vec<f64>> =
+        task.kinds_used().into_iter().map(|k| (k, vec![0.0; allocation.count(k)])).collect();
 
     let mut placed: Vec<Option<ScheduledOp>> = vec![None; n];
     let mut scheduled_count = 0usize;
@@ -243,6 +236,7 @@ fn schedule_with_delays(
 
     let ops: Vec<ScheduledOp> = placed.into_iter().map(|o| o.expect("all placed")).collect();
     let latency = ops.iter().map(|o| o.finish).fold(Latency::ZERO, Latency::max);
+    span.with("makespan_ns", latency.as_ns()).finish();
     Ok(Schedule { ops, latency })
 }
 
@@ -319,10 +313,7 @@ mod tests {
         // Exclusivity per (kind, unit): intervals must not overlap.
         for (i, a) in s.ops.iter().enumerate() {
             for (j, b) in s.ops.iter().enumerate() {
-                if i < j
-                    && t.ops()[i].kind() == t.ops()[j].kind()
-                    && a.unit == b.unit
-                {
+                if i < j && t.ops()[i].kind() == t.ops()[j].kind() && a.unit == b.unit {
                     assert!(
                         a.finish <= b.start || b.finish <= a.start,
                         "ops {i} and {j} overlap on the same unit"
@@ -367,12 +358,8 @@ mod tests {
             let alloc = Allocation::new().with(OpKind::Mul, units).with(OpKind::Add, 1);
             let continuous = schedule(&t, &alloc, &lib).unwrap();
             for clock in [3.0, 7.0, 11.0, 20.0] {
-                let clocked =
-                    schedule_clocked(&t, &alloc, &lib, Latency::from_ns(clock)).unwrap();
-                assert!(
-                    clocked.latency >= continuous.latency,
-                    "units {units}, clock {clock}"
-                );
+                let clocked = schedule_clocked(&t, &alloc, &lib, Latency::from_ns(clock)).unwrap();
+                assert!(clocked.latency >= continuous.latency, "units {units}, clock {clock}");
             }
         }
     }

@@ -1,39 +1,45 @@
-//! Property tests for the list scheduler on random operation dataflow
-//! graphs: dependency correctness, functional-unit exclusivity, and
-//! monotonicity in the allocation.
+//! Randomized tests for the list scheduler on seeded random operation
+//! dataflow graphs: dependency correctness, functional-unit exclusivity,
+//! and monotonicity in the allocation. Deterministic (xorshift streams),
+//! so any failure reproduces exactly.
 
-use proptest::prelude::*;
 use rtr_hls::{schedule, Allocation, BehavioralTask, FuLibrary, OpKind};
+
+const CASES: u64 = 200;
+
+/// A deterministic xorshift64 stream.
+fn stream(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    }
+}
 
 /// A random behavioral task: ops added in dataflow order with random
 /// backward dependencies.
-fn arb_task() -> impl Strategy<Value = BehavioralTask> {
-    (1usize..14, any::<u64>()).prop_map(|(ops, seed)| {
-        let mut state = seed | 1;
-        let mut next = move || {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            state
-        };
-        let kinds = [OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Shift, OpKind::Cmp];
-        let mut t = BehavioralTask::new("prop");
-        let mut ids = Vec::new();
-        for i in 0..ops {
-            let kind = kinds[(next() % kinds.len() as u64) as usize];
-            let width = (next() % 24 + 4) as u32;
-            let dep_count = if i == 0 { 0 } else { (next() % 3) as usize };
-            let mut deps = Vec::new();
-            for _ in 0..dep_count {
-                let d = ids[(next() % i as u64) as usize];
-                if !deps.contains(&d) {
-                    deps.push(d);
-                }
+fn random_task(salt: u64, case: u64) -> BehavioralTask {
+    let mut next = stream(salt.wrapping_mul(0xd6e8_feb8_6659_fd93).wrapping_add(case));
+    let ops = (next() % 13 + 1) as usize; // 1..14
+    let kinds = [OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Shift, OpKind::Cmp];
+    let mut t = BehavioralTask::new("prop");
+    let mut ids = Vec::new();
+    for i in 0..ops {
+        let kind = kinds[(next() % kinds.len() as u64) as usize];
+        let width = (next() % 24 + 4) as u32;
+        let dep_count = if i == 0 { 0 } else { (next() % 3) as usize };
+        let mut deps = Vec::new();
+        for _ in 0..dep_count {
+            let d = ids[(next() % i as u64) as usize];
+            if !deps.contains(&d) {
+                deps.push(d);
             }
-            ids.push(t.add_op(kind, width, &deps));
         }
-        t
-    })
+        ids.push(t.add_op(kind, width, &deps));
+    }
+    t
 }
 
 fn full_allocation(task: &BehavioralTask, units: usize) -> Allocation {
@@ -44,20 +50,20 @@ fn full_allocation(task: &BehavioralTask, units: usize) -> Allocation {
     alloc
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 200, .. ProptestConfig::default() })]
-
-    /// Dependencies always finish before their consumers start, and no two
-    /// operations overlap on the same functional-unit instance.
-    #[test]
-    fn schedules_are_structurally_valid(task in arb_task(), units in 1usize..4) {
+/// Dependencies always finish before their consumers start, and no two
+/// operations overlap on the same functional-unit instance.
+#[test]
+fn schedules_are_structurally_valid() {
+    for case in 0..CASES {
+        let task = random_task(1, case);
+        let units = (case % 3 + 1) as usize;
         let lib = FuLibrary::xc4000_style();
         let alloc = full_allocation(&task, units);
         let s = schedule(&task, &alloc, &lib).unwrap();
         for (i, op) in task.ops().iter().enumerate() {
-            prop_assert!(s.ops[i].finish > s.ops[i].start);
+            assert!(s.ops[i].finish > s.ops[i].start, "case {case}");
             for d in op.deps() {
-                prop_assert!(s.ops[d.index()].finish <= s.ops[i].start);
+                assert!(s.ops[d.index()].finish <= s.ops[i].start, "case {case}");
             }
         }
         for i in 0..task.op_count() {
@@ -65,9 +71,9 @@ proptest! {
                 if task.ops()[i].kind() == task.ops()[j].kind() && s.ops[i].unit == s.ops[j].unit {
                     let a = &s.ops[i];
                     let b = &s.ops[j];
-                    prop_assert!(
+                    assert!(
                         a.finish <= b.start || b.finish <= a.start,
-                        "ops {i}/{j} overlap on unit {}",
+                        "case {case}: ops {i}/{j} overlap on unit {}",
                         a.unit
                     );
                 }
@@ -75,38 +81,42 @@ proptest! {
         }
         // Makespan is the max finish.
         let max_finish = s.ops.iter().map(|o| o.finish.as_ns()).fold(0.0f64, f64::max);
-        prop_assert_eq!(s.latency.as_ns(), max_finish);
+        assert_eq!(s.latency.as_ns(), max_finish, "case {case}");
     }
+}
 
-    /// More functional units never lengthen the schedule.
-    #[test]
-    fn more_units_never_hurt(task in arb_task()) {
+/// More functional units never lengthen the schedule.
+#[test]
+fn more_units_never_hurt() {
+    for case in 0..CASES {
+        let task = random_task(2, case);
         let lib = FuLibrary::xc4000_style();
         let mut prev = f64::INFINITY;
         for units in 1..=4 {
             let alloc = full_allocation(&task, units);
             let s = schedule(&task, &alloc, &lib).unwrap();
-            prop_assert!(
+            assert!(
                 s.latency.as_ns() <= prev + 1e-9,
-                "units {units}: {} > {prev}",
+                "case {case}, units {units}: {} > {prev}",
                 s.latency.as_ns()
             );
             prev = s.latency.as_ns();
         }
     }
+}
 
-    /// The makespan is never below the critical path and never above the
-    /// serial sum of all operation delays.
-    #[test]
-    fn makespan_is_bracketed(task in arb_task(), units in 1usize..4) {
+/// The makespan is never below the critical path and never above the
+/// serial sum of all operation delays.
+#[test]
+fn makespan_is_bracketed() {
+    for case in 0..CASES {
+        let task = random_task(3, case);
+        let units = (case % 3 + 1) as usize;
         let lib = FuLibrary::xc4000_style();
         let alloc = full_allocation(&task, units);
         let s = schedule(&task, &alloc, &lib).unwrap();
-        let delays: Vec<f64> = task
-            .ops()
-            .iter()
-            .map(|o| lib.spec(o.kind(), o.width()).delay.as_ns())
-            .collect();
+        let delays: Vec<f64> =
+            task.ops().iter().map(|o| lib.spec(o.kind(), o.width()).delay.as_ns()).collect();
         // Critical path by DP.
         let mut depth = vec![0.0f64; task.op_count()];
         for (i, op) in task.ops().iter().enumerate() {
@@ -115,25 +125,28 @@ proptest! {
         }
         let cp = depth.iter().copied().fold(0.0f64, f64::max);
         let serial: f64 = delays.iter().sum();
-        prop_assert!(s.latency.as_ns() >= cp - 1e-9);
-        prop_assert!(s.latency.as_ns() <= serial + 1e-9);
+        assert!(s.latency.as_ns() >= cp - 1e-9, "case {case}");
+        assert!(s.latency.as_ns() <= serial + 1e-9, "case {case}");
     }
+}
 
-    /// Pareto fronts from enumeration are internally consistent for random
-    /// tasks too.
-    #[test]
-    fn enumerated_fronts_are_pareto(task in arb_task()) {
-        use rtr_hls::{enumerate_design_points, EstimatorOptions};
+/// Pareto fronts from enumeration are internally consistent for random
+/// tasks too.
+#[test]
+fn enumerated_fronts_are_pareto() {
+    use rtr_hls::{enumerate_design_points, EstimatorOptions};
+    for case in 0..CASES {
+        let task = random_task(4, case);
         let pts = enumerate_design_points(
             &task,
             &FuLibrary::xc4000_style(),
             &EstimatorOptions::default(),
         )
         .unwrap();
-        prop_assert!(!pts.is_empty());
+        assert!(!pts.is_empty(), "case {case}");
         for a in &pts {
             for b in &pts {
-                prop_assert!(!a.design_point.is_dominated_by(&b.design_point));
+                assert!(!a.design_point.is_dominated_by(&b.design_point), "case {case}");
             }
         }
     }

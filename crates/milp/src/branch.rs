@@ -3,7 +3,8 @@
 use crate::error::MilpError;
 use crate::model::{effective_bounds, Model, Sense, VarKind};
 use crate::simplex::{solve_lp_with_deadline, LpStatus};
-use crate::solution::{Goal, Outcome, SolveOptions, SolveStats, Solution, Status};
+use crate::solution::{Goal, Outcome, Solution, SolveOptions, SolveStats, Status};
+use rtr_trace::Instrument as _;
 use std::time::Instant;
 
 /// Solves a mixed-integer model by branch and bound.
@@ -13,26 +14,46 @@ use std::time::Instant;
 /// ILP. In `Goal::Optimal` mode the search prunes on the incumbent bound
 /// and only stops when the tree is exhausted (or a limit fires).
 ///
+/// When a [`rtr_trace`] sink is installed, each solve closes one
+/// `milp.solve` span and emits its [`SolveStats`] as `milp.*` counters.
+/// Tracing never changes the search: the same pivots and branches happen
+/// with a sink installed, absent, or disabled.
+///
 /// # Errors
 ///
 /// Propagates [`MilpError`] from model validation or a simplex failure.
 pub fn solve_mip(model: &Model, options: &SolveOptions) -> Result<Outcome, MilpError> {
-    if options.presolve {
+    let span = rtr_trace::span("milp.solve")
+        .with("vars", model.vars.len())
+        .with("rows", model.constraints.len());
+    let outcome = if options.presolve {
         match crate::presolve::presolve(model) {
-            crate::presolve::PresolveOutcome::Reduced(reduced, _) => {
+            crate::presolve::PresolveOutcome::Reduced(reduced, pstats) => {
                 let mut inner = options.clone();
                 inner.presolve = false;
-                return solve_mip(&reduced, &inner);
+                let mut outcome = branch_and_bound(&reduced, &inner)?;
+                outcome.stats.presolve_tightened_bounds = pstats.tightened_bounds;
+                outcome.stats.presolve_removed_rows = pstats.removed_rows;
+                outcome
             }
             crate::presolve::PresolveOutcome::Infeasible => {
-                return Ok(Outcome {
-                    status: Status::Infeasible,
-                    solution: None,
-                    stats: SolveStats::default(),
-                });
+                Outcome { status: Status::Infeasible, solution: None, stats: SolveStats::default() }
             }
         }
+    } else {
+        branch_and_bound(model, options)?
+    };
+    if rtr_trace::enabled() {
+        outcome.stats.emit_metrics("milp");
+        span.with("status", outcome.status.to_string())
+            .with("nodes", outcome.stats.nodes as u64)
+            .finish();
     }
+    Ok(outcome)
+}
+
+/// The branch-and-bound core, run on an (optionally presolved) model.
+fn branch_and_bound(model: &Model, options: &SolveOptions) -> Result<Outcome, MilpError> {
     let start = Instant::now();
     let int_vars: Vec<usize> = model.integer_vars().map(|v| v.index()).collect();
     let minimize_sign = match model.sense {
@@ -76,6 +97,7 @@ pub fn solve_mip(model: &Model, options: &SolveOptions) -> Result<Outcome, MilpE
         stats.nodes += 1;
 
         let deadline = options.time_limit.map(|t| start + t);
+        let lp_start = Instant::now();
         let lp = solve_lp_with_deadline(
             model,
             Some(&bounds),
@@ -83,10 +105,14 @@ pub fn solve_mip(model: &Model, options: &SolveOptions) -> Result<Outcome, MilpE
             options.lp_iteration_limit,
             deadline,
         )?;
+        stats.lp_time += lp_start.elapsed();
         stats.simplex_iterations += lp.iterations;
         let is_root = std::mem::take(&mut first_node);
         match lp.status {
-            LpStatus::Infeasible => continue,
+            LpStatus::Infeasible => {
+                stats.infeasible_nodes += 1;
+                continue;
+            }
             LpStatus::Interrupted => {
                 saw_limit = true;
                 break;
@@ -105,6 +131,7 @@ pub fn solve_mip(model: &Model, options: &SolveOptions) -> Result<Outcome, MilpE
 
         let lp_obj_min = minimize_sign * lp.objective;
         if incumbent.is_some() && lp_obj_min >= incumbent_obj - 1e-9 {
+            stats.nodes_pruned += 1;
             continue; // dominated by the incumbent
         }
 
@@ -356,15 +383,10 @@ mod tests {
 
             let mut best = 0.0f64;
             for mask in 0u32..(1 << items) {
-                let w: f64 = (0..items)
-                    .filter(|&i| mask & (1 << i) != 0)
-                    .map(|i| weights[i])
-                    .sum();
+                let w: f64 = (0..items).filter(|&i| mask & (1 << i) != 0).map(|i| weights[i]).sum();
                 if w <= cap {
-                    let v: f64 = (0..items)
-                        .filter(|&i| mask & (1 << i) != 0)
-                        .map(|i| values[i])
-                        .sum();
+                    let v: f64 =
+                        (0..items).filter(|&i| mask & (1 << i) != 0).map(|i| values[i]).sum();
                     best = best.max(v);
                 }
             }

@@ -54,4 +54,4 @@ pub use error::MilpError;
 pub use model::{Constraint, LinExpr, Model, Rel, Sense, VarId, VarKind, Variable};
 pub use presolve::{presolve, PresolveOutcome, PresolveStats};
 pub use simplex::{solve_lp, solve_lp_with_deadline, LpOutcome, LpStatus};
-pub use solution::{Outcome, SolveOptions, SolveStats, Solution, Status};
+pub use solution::{Outcome, Solution, SolveOptions, SolveStats, Status};

@@ -156,10 +156,16 @@ fn fmt_num(x: f64) -> String {
 /// LP names must start with a letter and avoid operators; invalid or empty
 /// names fall back to `fallback`.
 fn sanitize(name: &str, fallback: &str) -> String {
-    let cleaned: String = name
-        .chars()
-        .map(|ch| if ch.is_ascii_alphanumeric() || "_!#$%&(),.;?@{}~'`".contains(ch) { ch } else { '_' })
-        .collect();
+    let cleaned: String =
+        name.chars()
+            .map(|ch| {
+                if ch.is_ascii_alphanumeric() || "_!#$%&(),.;?@{}~'`".contains(ch) {
+                    ch
+                } else {
+                    '_'
+                }
+            })
+            .collect();
     if cleaned.is_empty() || !cleaned.chars().next().is_some_and(|c| c.is_ascii_alphabetic()) {
         fallback.to_owned()
     } else {
@@ -179,8 +185,7 @@ mod tests {
         let y = m.add_var(Variable::integer(0.0, 9.0));
         let z = m.add_var(Variable::free());
         m.add_constraint(
-            Constraint::new(LinExpr::new() + (1.5, x) + (-2.0, y), Rel::Le, 4.0)
-                .with_name("cap"),
+            Constraint::new(LinExpr::new() + (1.5, x) + (-2.0, y), Rel::Le, 4.0).with_name("cap"),
         );
         m.add_constraint(Constraint::new(LinExpr::new() + (1.0, z), Rel::Eq, 0.5));
         m.minimize(LinExpr::new() + (3.0, x) + (1.0, z));
@@ -225,12 +230,8 @@ mod tests {
             .collect();
         for t in 0..3 {
             m.add_constraint(
-                Constraint::new(
-                    LinExpr::new() + (1.0, vars[t]) + (1.0, vars[t + 3]),
-                    Rel::Eq,
-                    1.0,
-                )
-                .with_name(format!("unique_t{t}")),
+                Constraint::new(LinExpr::new() + (1.0, vars[t]) + (1.0, vars[t + 3]), Rel::Eq, 1.0)
+                    .with_name(format!("unique_t{t}")),
             );
         }
         let lp = m.to_lp_format();

@@ -181,13 +181,8 @@ pub fn presolve(model: &Model) -> PresolveOutcome {
         v.lower = lb[j];
         v.upper = ub[j];
     }
-    let survivors: Vec<Constraint> = m
-        .constraints
-        .iter()
-        .zip(&alive)
-        .filter(|(_, &a)| a)
-        .map(|(c, _)| c.clone())
-        .collect();
+    let survivors: Vec<Constraint> =
+        m.constraints.iter().zip(&alive).filter(|(_, &a)| a).map(|(c, _)| c.clone()).collect();
     let _ = std::mem::take(&mut normalized);
     m.constraints = survivors;
     PresolveOutcome::Reduced(m, stats)
@@ -294,10 +289,7 @@ mod tests {
             PresolveOutcome::Infeasible => panic!("feasible model"),
         };
         let pre = reduced.solve(&SolveOptions::optimal()).unwrap();
-        assert_eq!(
-            raw.solution.unwrap().objective,
-            pre.solution.unwrap().objective
-        );
+        assert_eq!(raw.solution.unwrap().objective, pre.solution.unwrap().objective);
     }
 
     #[test]

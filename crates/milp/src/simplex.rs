@@ -368,7 +368,8 @@ pub fn solve_lp_with_deadline(
                 let leaving = basis[r];
                 x[q] += dir * step;
                 x[leaving] = leave_bound;
-                at_upper[leaving] = (leave_bound - ub[leaving]).abs() <= tol && ub[leaving].is_finite();
+                at_upper[leaving] =
+                    (leave_bound - ub[leaving]).abs() <= tol && ub[leaving].is_finite();
                 is_basic[leaving] = false;
                 is_basic[q] = true;
                 basis[r] = q;

@@ -136,8 +136,57 @@ impl Solution {
 pub struct SolveStats {
     /// Branch-and-bound nodes explored (1 for a pure LP).
     pub nodes: usize,
-    /// Total simplex iterations across all LP solves.
+    /// Total simplex iterations (pivots) across all LP solves.
     pub simplex_iterations: usize,
+    /// Nodes pruned because their LP bound was dominated by the incumbent.
+    pub nodes_pruned: usize,
+    /// Nodes whose LP relaxation was infeasible.
+    pub infeasible_nodes: usize,
+    /// Wall-clock time spent inside per-node LP solves.
+    pub lp_time: Duration,
+    /// Variable bounds strengthened by presolve.
+    pub presolve_tightened_bounds: usize,
+    /// Constraints removed as redundant by presolve.
+    pub presolve_removed_rows: usize,
+}
+
+impl SolveStats {
+    /// Accumulates another run's statistics into this one (used when a
+    /// caller sums stats across a sequence of solves).
+    pub fn absorb(&mut self, other: &SolveStats) {
+        self.nodes += other.nodes;
+        self.simplex_iterations += other.simplex_iterations;
+        self.nodes_pruned += other.nodes_pruned;
+        self.infeasible_nodes += other.infeasible_nodes;
+        self.lp_time += other.lp_time;
+        self.presolve_tightened_bounds += other.presolve_tightened_bounds;
+        self.presolve_removed_rows += other.presolve_removed_rows;
+    }
+}
+
+impl rtr_trace::Instrument for SolveStats {
+    /// Emits the branch-and-bound counters under `scope` (e.g. scope
+    /// `milp` yields `milp.nodes`, `milp.pivots`, ...). This is the single
+    /// emission path for MILP statistics — the driver and the optimality
+    /// runner both report through it rather than hand-copying counters.
+    fn emit_metrics(&self, scope: &str) {
+        if !rtr_trace::enabled() {
+            return;
+        }
+        rtr_trace::counter(&format!("{scope}.nodes"), self.nodes as u64);
+        rtr_trace::counter(&format!("{scope}.pivots"), self.simplex_iterations as u64);
+        rtr_trace::counter(&format!("{scope}.nodes_pruned"), self.nodes_pruned as u64);
+        rtr_trace::counter(&format!("{scope}.infeasible_nodes"), self.infeasible_nodes as u64);
+        rtr_trace::counter(&format!("{scope}.lp_time_us"), self.lp_time.as_micros() as u64);
+        rtr_trace::counter(
+            &format!("{scope}.presolve_tightened_bounds"),
+            self.presolve_tightened_bounds as u64,
+        );
+        rtr_trace::counter(
+            &format!("{scope}.presolve_removed_rows"),
+            self.presolve_removed_rows as u64,
+        );
+    }
 }
 
 /// Result of [`Model::solve`](crate::Model::solve).
@@ -166,9 +215,8 @@ mod tests {
 
     #[test]
     fn options_builders() {
-        let o = SolveOptions::optimal()
-            .with_node_limit(5)
-            .with_time_limit(Duration::from_millis(10));
+        let o =
+            SolveOptions::optimal().with_node_limit(5).with_time_limit(Duration::from_millis(10));
         assert_eq!(o.goal, Goal::Optimal);
         assert_eq!(o.node_limit, 5);
         assert_eq!(o.time_limit, Some(Duration::from_millis(10)));

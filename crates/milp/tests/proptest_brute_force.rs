@@ -1,8 +1,10 @@
-//! Property tests: the MILP solver against exhaustive enumeration on random
-//! small 0-1 programs.
+//! Randomized tests: the MILP solver against exhaustive enumeration on
+//! seeded random small 0-1 programs. Deterministic (xorshift streams), so
+//! any failure reproduces exactly.
 
-use proptest::prelude::*;
 use rtr_milp::{Constraint, LinExpr, Model, Rel, SolveOptions, Status, Variable};
+
+const CASES: u64 = 300;
 
 #[derive(Debug, Clone)]
 struct RandomIp {
@@ -13,23 +15,34 @@ struct RandomIp {
     maximize: bool,
 }
 
-fn arb_ip() -> impl Strategy<Value = RandomIp> {
-    (2usize..7, 1usize..5, any::<bool>()).prop_flat_map(|(vars, cons, maximize)| {
-        let coeff = -6i32..7;
-        let objective = proptest::collection::vec(coeff.clone().prop_map(f64::from), vars);
-        let row = (
-            proptest::collection::vec(coeff.prop_map(f64::from), vars),
-            prop_oneof![Just(Rel::Le), Just(Rel::Ge)],
-            (-4i32..10).prop_map(f64::from),
-        );
-        let constraints = proptest::collection::vec(row, cons);
-        (objective, constraints).prop_map(move |(objective, constraints)| RandomIp {
-            vars,
-            objective,
-            constraints,
-            maximize,
+/// A deterministic xorshift64 stream.
+fn stream(seed: u64) -> impl FnMut() -> u64 {
+    let mut state = seed | 1;
+    move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    }
+}
+
+fn random_ip(salt: u64, case: u64) -> RandomIp {
+    let mut next = stream(salt.wrapping_mul(0x2545_f491_4f6c_dd1d).wrapping_add(case));
+    let vars = (next() % 5 + 2) as usize; // 2..7
+    let cons = (next() % 4 + 1) as usize; // 1..5
+    let maximize = next().is_multiple_of(2);
+    // Coefficients in -6..=6, right-hand sides in -4..=9, as the proptest
+    // ranges this replaces used.
+    let objective = (0..vars).map(|_| (next() % 13) as f64 - 6.0).collect();
+    let constraints = (0..cons)
+        .map(|_| {
+            let row = (0..vars).map(|_| (next() % 13) as f64 - 6.0).collect();
+            let rel = if next().is_multiple_of(2) { Rel::Le } else { Rel::Ge };
+            let rhs = (next() % 14) as f64 - 4.0;
+            (row, rel, rhs)
         })
-    })
+        .collect();
+    RandomIp { vars, objective, constraints, maximize }
 }
 
 fn brute_force(ip: &RandomIp) -> Option<f64> {
@@ -73,78 +86,92 @@ fn build_model(ip: &RandomIp) -> (Model, Vec<rtr_milp::VarId>) {
     (m, vars)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 300, .. ProptestConfig::default() })]
-
-    /// Optimality mode matches exhaustive enumeration exactly.
-    #[test]
-    fn optimal_matches_brute_force(ip in arb_ip()) {
+/// Optimality mode matches exhaustive enumeration exactly.
+#[test]
+fn optimal_matches_brute_force() {
+    for case in 0..CASES {
+        let ip = random_ip(1, case);
         let (model, _) = build_model(&ip);
         let out = model.solve(&SolveOptions::optimal()).unwrap();
         match brute_force(&ip) {
             Some(best) => {
-                prop_assert_eq!(out.status, Status::Optimal);
+                assert_eq!(out.status, Status::Optimal, "case {case}: {ip:?}");
                 let got = out.solution.as_ref().unwrap().objective;
-                prop_assert!((got - best).abs() < 1e-6, "milp {got} vs brute {best}");
+                assert!(
+                    (got - best).abs() < 1e-6,
+                    "case {case}: milp {got} vs brute {best}: {ip:?}"
+                );
                 // The returned point itself must be feasible.
-                prop_assert!(model.is_feasible_point(&out.solution.unwrap().values, 1e-6));
+                assert!(model.is_feasible_point(&out.solution.unwrap().values, 1e-6));
             }
-            None => prop_assert_eq!(out.status, Status::Infeasible),
+            None => assert_eq!(out.status, Status::Infeasible, "case {case}: {ip:?}"),
         }
     }
+}
 
-    /// Feasibility mode agrees with enumeration on feasibility and returns
-    /// a genuinely feasible point.
-    #[test]
-    fn feasibility_matches_brute_force(ip in arb_ip()) {
+/// Feasibility mode agrees with enumeration on feasibility and returns
+/// a genuinely feasible point.
+#[test]
+fn feasibility_matches_brute_force() {
+    for case in 0..CASES {
+        let ip = random_ip(2, case);
         let (model, _) = build_model(&ip);
         let out = model.solve(&SolveOptions::feasibility()).unwrap();
         match brute_force(&ip) {
             Some(_) => {
-                prop_assert!(out.status.has_solution(), "status {:?}", out.status);
-                prop_assert!(model.is_feasible_point(&out.solution.unwrap().values, 1e-6));
+                assert!(out.status.has_solution(), "case {case}: status {:?}", out.status);
+                assert!(model.is_feasible_point(&out.solution.unwrap().values, 1e-6));
             }
-            None => prop_assert_eq!(out.status, Status::Infeasible),
+            None => assert_eq!(out.status, Status::Infeasible, "case {case}: {ip:?}"),
         }
     }
+}
 
-    /// Presolve preserves the feasible set: the presolved model has exactly
-    /// the same optimum (or infeasibility) as the raw model.
-    #[test]
-    fn presolve_preserves_the_optimum(ip in arb_ip()) {
-        use rtr_milp::{presolve, PresolveOutcome};
+/// Presolve preserves the feasible set: the presolved model has exactly
+/// the same optimum (or infeasibility) as the raw model.
+#[test]
+fn presolve_preserves_the_optimum() {
+    use rtr_milp::{presolve, PresolveOutcome};
+    for case in 0..CASES {
+        let ip = random_ip(3, case);
         let (model, _) = build_model(&ip);
         let brute = brute_force(&ip);
         match presolve(&model) {
-            PresolveOutcome::Infeasible => prop_assert!(brute.is_none()),
+            PresolveOutcome::Infeasible => assert!(brute.is_none(), "case {case}: {ip:?}"),
             PresolveOutcome::Reduced(reduced, _) => {
-                prop_assert!(reduced.constraint_count() <= model.constraint_count());
+                assert!(reduced.constraint_count() <= model.constraint_count());
                 let out = reduced.solve(&SolveOptions::optimal()).unwrap();
                 match brute {
                     Some(best) => {
-                        prop_assert_eq!(out.status, Status::Optimal);
+                        assert_eq!(out.status, Status::Optimal, "case {case}: {ip:?}");
                         let got = out.solution.unwrap().objective;
-                        prop_assert!((got - best).abs() < 1e-6, "presolved {got} vs brute {best}");
+                        assert!(
+                            (got - best).abs() < 1e-6,
+                            "case {case}: presolved {got} vs brute {best}: {ip:?}"
+                        );
                     }
-                    None => prop_assert_eq!(out.status, Status::Infeasible),
+                    None => assert_eq!(out.status, Status::Infeasible, "case {case}: {ip:?}"),
                 }
             }
         }
     }
+}
 
-    /// The LP relaxation's optimum bounds the integer optimum from the
-    /// right side (weak duality of the relaxation).
-    #[test]
-    fn lp_relaxation_bounds_ip(ip in arb_ip()) {
+/// The LP relaxation's optimum bounds the integer optimum from the
+/// right side (weak duality of the relaxation).
+#[test]
+fn lp_relaxation_bounds_ip() {
+    for case in 0..CASES {
+        let ip = random_ip(4, case);
         let (model, _) = build_model(&ip);
         let lp = rtr_milp::solve_lp(&model, None, 1e-7, 0).unwrap();
         let out = model.solve(&SolveOptions::optimal()).unwrap();
         if lp.status == rtr_milp::LpStatus::Optimal && out.status == Status::Optimal {
             let ip_obj = out.solution.unwrap().objective;
             if ip.maximize {
-                prop_assert!(lp.objective >= ip_obj - 1e-6);
+                assert!(lp.objective >= ip_obj - 1e-6, "case {case}: {ip:?}");
             } else {
-                prop_assert!(lp.objective <= ip_obj + 1e-6);
+                assert!(lp.objective <= ip_obj + 1e-6, "case {case}: {ip:?}");
             }
         }
     }

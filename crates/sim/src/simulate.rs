@@ -78,6 +78,7 @@ pub fn simulate_with(
     solution: &Solution,
     options: &SimOptions,
 ) -> Result<SimReport, SimError> {
+    let span = rtr_trace::span("sim.simulate").with("prefetch", options.prefetch);
     let violations = validate_solution(graph, arch, solution);
     if !violations.is_empty() {
         return Err(SimError::InvalidSolution(violations));
@@ -110,11 +111,8 @@ pub fn simulate_with(
         };
         let reconfig_end = reconfig_start + arch.reconfig_time();
         port_free = reconfig_end;
-        let exec_start = if options.prefetch {
-            reconfig_end.max(prev_exec_end)
-        } else {
-            reconfig_end
-        };
+        let exec_start =
+            if options.prefetch { reconfig_end.max(prev_exec_end) } else { reconfig_end };
         let mut traces = Vec::new();
         let mut exec_end = exec_start;
         // Tasks in topological order: same-partition dataflow execution.
@@ -139,8 +137,7 @@ pub fn simulate_with(
         // (boundary p is the state entering partition p; partition 1 starts
         // with only environment inputs, already charged at later
         // boundaries under the resident policy).
-        let memory_in_use =
-            if p >= 2 { boundary_memory[(p - 2) as usize] } else { 0 };
+        let memory_in_use = if p >= 2 { boundary_memory[(p - 2) as usize] } else { 0 };
         peak_memory = peak_memory.max(memory_in_use);
         partitions.push(PartitionTrace {
             partition: p,
@@ -154,6 +151,24 @@ pub fn simulate_with(
         prev_exec_end = exec_end;
         clock = clock.max(exec_end);
     }
+
+    // One timeline event per partition: when its configuration loaded, when
+    // it executed, and what it held in memory.
+    if rtr_trace::enabled() {
+        for pt in &partitions {
+            rtr_trace::event("sim.partition", || {
+                vec![
+                    ("partition".to_owned(), u64::from(pt.partition).into()),
+                    ("reconfig_start_ns".to_owned(), pt.reconfig_start.as_ns().into()),
+                    ("exec_start_ns".to_owned(), pt.exec_start.as_ns().into()),
+                    ("exec_end_ns".to_owned(), pt.exec_end.as_ns().into()),
+                    ("tasks".to_owned(), (pt.tasks.len() as u64).into()),
+                    ("memory_in_use".to_owned(), pt.memory_in_use.into()),
+                ]
+            });
+        }
+    }
+    span.with("eta", u64::from(eta)).with("total_latency_ns", clock.as_ns()).finish();
 
     Ok(SimReport {
         partitions,

@@ -1,0 +1,157 @@
+//! Power-of-two duration histograms for span aggregation.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Number of buckets: bucket `i` holds durations in
+/// `[2^(i-1), 2^i)` microseconds (bucket 0 holds `< 1 µs`).
+const BUCKETS: usize = 40;
+
+/// A log₂-bucketed histogram of durations.
+///
+/// Cheap to record into (one increment), compact to store, and good
+/// enough to show whether a phase's cost is dominated by many small solves
+/// or a few giant ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurationHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        DurationHistogram { counts: [0; BUCKETS], total: 0 }
+    }
+}
+
+impl DurationHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(d: Duration) -> usize {
+        let us = d.as_micros().min(u64::MAX as u128) as u64;
+        if us == 0 {
+            0
+        } else {
+            ((64 - us.leading_zeros()) as usize).min(BUCKETS - 1)
+        }
+    }
+
+    /// Records one duration.
+    pub fn record(&mut self, d: Duration) {
+        self.counts[Self::bucket_of(d)] += 1;
+        self.total += 1;
+    }
+
+    /// Total samples recorded.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total += other.total;
+    }
+
+    /// An upper bound of bucket `i` in microseconds.
+    fn bucket_upper_us(i: usize) -> u64 {
+        if i == 0 {
+            1
+        } else {
+            1u64 << i
+        }
+    }
+
+    /// The smallest bucket upper bound at or above quantile `q` (0..=1).
+    /// Returns `None` on an empty histogram.
+    pub fn quantile_upper_bound(&self, q: f64) -> Option<Duration> {
+        if self.total == 0 {
+            return None;
+        }
+        let rank = ((self.total as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Some(Duration::from_micros(Self::bucket_upper_us(i)));
+            }
+        }
+        Some(Duration::from_micros(Self::bucket_upper_us(BUCKETS - 1)))
+    }
+
+    /// A compact one-line rendering of the non-empty buckets, e.g.
+    /// `<1µs:3 <2µs:1 <16ms:7`.
+    pub fn render_compact(&self) -> String {
+        let mut parts = Vec::new();
+        for (i, c) in self.counts.iter().enumerate() {
+            if *c == 0 {
+                continue;
+            }
+            let upper = Self::bucket_upper_us(i);
+            let label = if upper < 1_000 {
+                format!("<{upper}\u{b5}s")
+            } else if upper < 1_000_000 {
+                format!("<{}ms", upper / 1_000)
+            } else {
+                format!("<{}s", upper / 1_000_000)
+            };
+            parts.push(format!("{label}:{c}"));
+        }
+        parts.join(" ")
+    }
+}
+
+impl fmt::Display for DurationHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_compact())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_log2() {
+        let mut h = DurationHistogram::new();
+        h.record(Duration::from_micros(0));
+        h.record(Duration::from_micros(1));
+        h.record(Duration::from_micros(2));
+        h.record(Duration::from_micros(3));
+        h.record(Duration::from_micros(1500));
+        assert_eq!(h.count(), 5);
+        let text = h.render_compact();
+        assert!(text.contains("<1\u{b5}s:1"), "{text}");
+        assert!(text.contains("<2\u{b5}s:1"), "{text}");
+        assert!(text.contains("<4\u{b5}s:2"), "{text}");
+        assert!(text.contains("<2ms:1"), "{text}");
+    }
+
+    #[test]
+    fn quantiles_and_merge() {
+        let mut h = DurationHistogram::new();
+        assert_eq!(h.quantile_upper_bound(0.5), None);
+        for _ in 0..99 {
+            h.record(Duration::from_micros(1));
+        }
+        let mut slow = DurationHistogram::new();
+        slow.record(Duration::from_millis(500));
+        h.merge(&slow);
+        assert_eq!(h.count(), 100);
+        assert!(h.quantile_upper_bound(0.5).unwrap() <= Duration::from_micros(2));
+        assert!(h.quantile_upper_bound(1.0).unwrap() >= Duration::from_millis(500));
+    }
+
+    #[test]
+    fn huge_durations_saturate_the_last_bucket() {
+        let mut h = DurationHistogram::new();
+        h.record(Duration::from_secs(1 << 50));
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile_upper_bound(1.0).is_some());
+    }
+}

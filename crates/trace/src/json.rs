@@ -1,0 +1,459 @@
+//! A minimal JSON writer/parser for trace events.
+//!
+//! The workspace builds offline with zero external dependencies, so the
+//! JSONL trace format is implemented here: a writer for [`Event`] and a
+//! small recursive-descent parser that accepts standard JSON (objects,
+//! arrays, strings with escapes, numbers, booleans, null) — enough to read
+//! back anything the writer produces, plus hand-edited files.
+
+use crate::event::{Event, EventKind, Value};
+use std::fmt;
+
+/// Serializes one event as a single-line JSON object:
+///
+/// ```text
+/// {"ts_us":12,"kind":"span","name":"milp.solve","fields":{"nodes":4,"dur_us":88}}
+/// ```
+pub fn write_event(out: &mut String, event: &Event) {
+    out.push_str("{\"ts_us\":");
+    out.push_str(&event.ts_us.to_string());
+    out.push_str(",\"kind\":\"");
+    out.push_str(event.kind.label());
+    out.push_str("\",\"name\":");
+    write_string(out, &event.name);
+    out.push_str(",\"fields\":{");
+    for (i, (key, value)) in event.fields.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_string(out, key);
+        out.push(':');
+        write_value(out, value);
+    }
+    out.push_str("}}");
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn write_value(out: &mut String, value: &Value) {
+    match value {
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) if v.is_finite() => {
+            let s = format!("{v}");
+            out.push_str(&s);
+            // Keep floats recognizable as floats on re-parse.
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                out.push_str(".0");
+            }
+        }
+        // JSON has no NaN/inf; null is the conventional stand-in.
+        Value::F64(_) => out.push_str("null"),
+        Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        Value::Str(v) => write_string(out, v),
+    }
+}
+
+/// Why a line failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset of the failure.
+    pub at: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "byte {}: {}", self.at, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A parsed JSON value (internal; converted to [`Event`] by
+/// [`parse_event`]).
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64, bool), // (value, had fraction/exponent)
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, message: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError { at: self.pos, message: message.into() })
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), ParseError> {
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            self.err(format!("expected `{}`", byte as char))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, ParseError> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => self.number(),
+            _ => self.err("expected a JSON value"),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, ParseError> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            self.err(format!("expected `{text}`"))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, ParseError> {
+        let start = self.pos;
+        let mut fractional = false;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while let Some(c) = self.bytes.get(self.pos) {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    fractional = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| ParseError { at: start, message: "invalid utf-8".into() })?;
+        match text.parse::<f64>() {
+            Ok(v) => Ok(Json::Num(v, fractional)),
+            Err(_) => Err(ParseError { at: start, message: format!("bad number `{text}`") }),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok());
+                            match hex.and_then(char::from_u32) {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return self.err("bad \\u escape"),
+                            }
+                        }
+                        _ => return self.err("bad escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| {
+                        ParseError { at: self.pos, message: "invalid utf-8".into() }
+                    })?;
+                    let c = rest.chars().next().expect("non-empty by guard");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return self.err("expected `,` or `]`"),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, ParseError> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return self.err("expected `,` or `}`"),
+            }
+        }
+    }
+}
+
+fn json_to_value(json: &Json) -> Value {
+    match json {
+        Json::Null => Value::F64(f64::NAN),
+        Json::Bool(b) => Value::Bool(*b),
+        Json::Num(v, fractional) => {
+            if !fractional && v.fract() == 0.0 {
+                if *v >= 0.0 && *v <= u64::MAX as f64 {
+                    Value::U64(*v as u64)
+                } else if *v >= i64::MIN as f64 {
+                    Value::I64(*v as i64)
+                } else {
+                    Value::F64(*v)
+                }
+            } else {
+                Value::F64(*v)
+            }
+        }
+        Json::Str(s) => Value::Str(s.clone()),
+        // Events carry flat fields; containers degrade to their JSON text.
+        Json::Arr(_) | Json::Obj(_) => Value::Str(format!("{json:?}")),
+    }
+}
+
+/// Parses one JSONL line into an [`Event`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed JSON or a JSON shape that is not a
+/// trace event.
+pub fn parse_event(line: &str) -> Result<Event, ParseError> {
+    let mut parser = Parser { bytes: line.as_bytes(), pos: 0 };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != line.len() {
+        return parser.err("trailing characters after the event object");
+    }
+    let Json::Obj(entries) = value else {
+        return Err(ParseError { at: 0, message: "event line is not an object".into() });
+    };
+    let get = |key: &str| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let ts_us = match get("ts_us") {
+        Some(Json::Num(v, _)) if *v >= 0.0 => *v as u64,
+        _ => return Err(ParseError { at: 0, message: "missing numeric `ts_us`".into() }),
+    };
+    let kind = match get("kind") {
+        Some(Json::Str(s)) => EventKind::from_label(s)
+            .ok_or_else(|| ParseError { at: 0, message: format!("unknown kind `{s}`") })?,
+        _ => return Err(ParseError { at: 0, message: "missing string `kind`".into() }),
+    };
+    let name = match get("name") {
+        Some(Json::Str(s)) => s.clone(),
+        _ => return Err(ParseError { at: 0, message: "missing string `name`".into() }),
+    };
+    let fields = match get("fields") {
+        Some(Json::Obj(fields)) => {
+            fields.iter().map(|(k, v)| (k.clone(), json_to_value(v))).collect()
+        }
+        None => Vec::new(),
+        _ => return Err(ParseError { at: 0, message: "`fields` is not an object".into() }),
+    };
+    Ok(Event { ts_us, kind, name, fields })
+}
+
+/// Parses a whole JSONL document, skipping blank lines.
+///
+/// # Errors
+///
+/// Returns the first [`ParseError`] encountered, annotated with nothing
+/// more than its in-line byte offset — trace files are line-oriented, so
+/// callers can enumerate lines for context.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Event>, ParseError> {
+    text.lines().map(str::trim).filter(|l| !l.is_empty()).map(parse_event).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(event: &Event) -> Event {
+        let mut line = String::new();
+        write_event(&mut line, event);
+        parse_event(&line).expect("writer output parses")
+    }
+
+    #[test]
+    fn event_round_trips_exactly() {
+        let e = Event {
+            ts_us: 123,
+            kind: EventKind::Span,
+            name: "milp.solve".into(),
+            fields: vec![
+                ("nodes".into(), Value::U64(42)),
+                ("obj".into(), Value::F64(-1.5)),
+                ("neg".into(), Value::I64(-7)),
+                ("ok".into(), Value::Bool(true)),
+                ("label".into(), Value::Str("weird \"quotes\"\nand\ttabs".into())),
+            ],
+        };
+        assert_eq!(round_trip(&e), e);
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let e = Event {
+            ts_us: 0,
+            kind: EventKind::Gauge,
+            name: "g".into(),
+            fields: vec![("value".into(), Value::F64(4.0))],
+        };
+        assert_eq!(round_trip(&e).field("value"), Some(&Value::F64(4.0)));
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let e = Event {
+            ts_us: 0,
+            kind: EventKind::Gauge,
+            name: "g".into(),
+            fields: vec![("value".into(), Value::F64(f64::INFINITY))],
+        };
+        let mut line = String::new();
+        write_event(&mut line, &e);
+        assert!(line.contains("null"));
+        let parsed = parse_event(&line).unwrap();
+        match parsed.field("value") {
+            Some(Value::F64(v)) => assert!(v.is_nan()),
+            other => panic!("expected NaN stand-in, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parser_accepts_foreign_json_and_rejects_junk() {
+        let line = r#" { "ts_us" : 1 , "kind" : "event", "name": "x",
+            "fields": { "a": [1, 2], "b": { "c": null } } } "#
+            .replace('\n', " ");
+        let parsed = parse_event(&line).unwrap();
+        assert_eq!(parsed.name, "x");
+        assert_eq!(parsed.fields.len(), 2);
+
+        assert!(parse_event("").is_err());
+        assert!(parse_event("{}").is_err());
+        assert!(parse_event("[1]").is_err());
+        assert!(parse_event("{\"ts_us\":1}").is_err());
+        assert!(parse_event("{\"ts_us\":1,\"kind\":\"blah\",\"name\":\"x\"}").is_err());
+        assert!(parse_event("{\"ts_us\":1,\"kind\":\"event\",\"name\":\"x\"} extra").is_err());
+        assert!(parse_event("{\"ts_us\":1,\"kind\":\"event\",\"name\":\"x\"").is_err());
+        assert!(parse_event("{\"ts_us\":1,\"kind\":\"event\",\"name\":\"\\q\"}").is_err());
+    }
+
+    #[test]
+    fn jsonl_documents() {
+        let mut doc = String::new();
+        for i in 0..3u64 {
+            let e = Event {
+                ts_us: i,
+                kind: EventKind::Counter,
+                name: format!("c{i}"),
+                fields: vec![("value".into(), Value::U64(i))],
+            };
+            write_event(&mut doc, &e);
+            doc.push('\n');
+        }
+        doc.push('\n'); // blank line is fine
+        let events = parse_jsonl(&doc).unwrap();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[2].u64_field("value"), Some(2));
+        assert!(parse_jsonl("not json").is_err());
+        let err = parse_event("nope").unwrap_err();
+        assert!(err.to_string().contains("byte"));
+    }
+
+    #[test]
+    fn unicode_and_u_escapes() {
+        let e = Event {
+            ts_us: 5,
+            kind: EventKind::Event,
+            name: "η→latency".into(),
+            fields: vec![("s".into(), Value::Str("π ≈ 3".into()))],
+        };
+        assert_eq!(round_trip(&e), e);
+        let line = r#"{"ts_us":1,"kind":"event","name":"\u0041","fields":{}}"#;
+        assert_eq!(parse_event(line).unwrap().name, "A");
+    }
+}

@@ -1,0 +1,350 @@
+//! Run reports: aggregation of a trace into a human-readable summary.
+
+use crate::event::{Event, EventKind};
+use crate::histogram::DurationHistogram;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Aggregated statistics of one span name.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanStats {
+    /// Spans closed under this name.
+    pub count: u64,
+    /// Summed duration.
+    pub total: Duration,
+    /// Shortest single span.
+    pub min: Duration,
+    /// Longest single span.
+    pub max: Duration,
+    /// Log₂ duration histogram.
+    pub histogram: DurationHistogram,
+}
+
+impl SpanStats {
+    fn record(&mut self, d: Duration) {
+        self.count += 1;
+        self.total += d;
+        self.min = self.min.min(d);
+        self.max = self.max.max(d);
+        self.histogram.record(d);
+    }
+
+    /// Mean span duration.
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            self.total / self.count as u32
+        }
+    }
+}
+
+impl Default for SpanStats {
+    fn default() -> Self {
+        SpanStats {
+            count: 0,
+            total: Duration::ZERO,
+            min: Duration::MAX,
+            max: Duration::ZERO,
+            histogram: DurationHistogram::new(),
+        }
+    }
+}
+
+/// Aggregated statistics of one gauge name.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct GaugeStats {
+    /// Samples seen.
+    pub count: u64,
+    /// Most recent sample.
+    pub last: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+/// An aggregated view of a whole trace: per-phase (span) time breakdown,
+/// counter totals, gauge ranges, event counts, and solver-specific rollups
+/// (iterations per partition bound `N`, window outcome counts).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunReport {
+    /// Span aggregation by name.
+    pub spans: BTreeMap<String, SpanStats>,
+    /// Counter totals by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge aggregation by name.
+    pub gauges: BTreeMap<String, GaugeStats>,
+    /// Point-event counts by name.
+    pub event_counts: BTreeMap<String, u64>,
+    /// `search.iteration` events per partition bound `N`.
+    pub iterations_per_n: BTreeMap<u64, u64>,
+    /// `search.iteration` events per `result` label
+    /// (feasible / infeasible / limit).
+    pub outcomes: BTreeMap<String, u64>,
+    /// Events in the trace.
+    pub event_total: u64,
+    /// Span of trace timestamps (first to last event).
+    pub wall: Duration,
+}
+
+impl RunReport {
+    /// Aggregates a sequence of events.
+    pub fn from_events<'a, I>(events: I) -> Self
+    where
+        I: IntoIterator<Item = &'a Event>,
+    {
+        let mut report = RunReport::default();
+        let mut first_ts = u64::MAX;
+        let mut last_ts = 0u64;
+        for event in events {
+            report.event_total += 1;
+            first_ts = first_ts.min(event.ts_us);
+            last_ts = last_ts.max(event.ts_us);
+            match event.kind {
+                EventKind::Span => {
+                    let d = event.duration().unwrap_or(Duration::ZERO);
+                    report.spans.entry(event.name.clone()).or_default().record(d);
+                }
+                EventKind::Counter => {
+                    let inc = event.u64_field("value").unwrap_or(0);
+                    *report.counters.entry(event.name.clone()).or_insert(0) += inc;
+                }
+                EventKind::Gauge => {
+                    let v = event.f64_field("value").unwrap_or(f64::NAN);
+                    let g = report.gauges.entry(event.name.clone()).or_insert(GaugeStats {
+                        count: 0,
+                        last: v,
+                        min: f64::INFINITY,
+                        max: f64::NEG_INFINITY,
+                    });
+                    g.count += 1;
+                    g.last = v;
+                    g.min = g.min.min(v);
+                    g.max = g.max.max(v);
+                }
+                EventKind::Event => {
+                    *report.event_counts.entry(event.name.clone()).or_insert(0) += 1;
+                    if event.name == "search.iteration" {
+                        if let Some(n) = event.u64_field("n") {
+                            *report.iterations_per_n.entry(n).or_insert(0) += 1;
+                        }
+                        if let Some(result) = event.str_field("result") {
+                            *report.outcomes.entry(result.to_owned()).or_insert(0) += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if report.event_total > 0 {
+            report.wall = Duration::from_micros(last_ts.saturating_sub(first_ts));
+        }
+        report
+    }
+
+    /// The total of counter `name` (0 when absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The aggregated span stats for `name`, if any span closed under it.
+    pub fn span(&self, name: &str) -> Option<&SpanStats> {
+        self.spans.get(name)
+    }
+
+    /// Renders the report as aligned text tables.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "run report: {} events over {}",
+            self.event_total,
+            fmt_duration(self.wall)
+        );
+
+        if !self.spans.is_empty() {
+            let mut rows: Vec<(&String, &SpanStats)> = self.spans.iter().collect();
+            rows.sort_by_key(|&(_, s)| std::cmp::Reverse(s.total));
+            let grand_total: Duration = rows.iter().map(|(_, s)| s.total).sum();
+            out.push_str("\nphase breakdown (by total time):\n");
+            let _ = writeln!(
+                out,
+                "  {:<28} {:>7} {:>12} {:>6} {:>12} {:>12} {:>12}",
+                "span", "count", "total", "%", "mean", "min", "max"
+            );
+            for (name, s) in rows {
+                let pct = if grand_total.is_zero() {
+                    0.0
+                } else {
+                    100.0 * s.total.as_secs_f64() / grand_total.as_secs_f64()
+                };
+                let _ = writeln!(
+                    out,
+                    "  {:<28} {:>7} {:>12} {:>5.1}% {:>12} {:>12} {:>12}",
+                    name,
+                    s.count,
+                    fmt_duration(s.total),
+                    pct,
+                    fmt_duration(s.mean()),
+                    fmt_duration(if s.count == 0 { Duration::ZERO } else { s.min }),
+                    fmt_duration(s.max),
+                );
+                let hist = s.histogram.render_compact();
+                if !hist.is_empty() && s.count > 1 {
+                    let _ = writeln!(out, "  {:<28} {}", "", hist);
+                }
+            }
+        }
+
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters:\n");
+            for (name, total) in &self.counters {
+                let _ = writeln!(out, "  {name:<40} {total:>14}");
+            }
+        }
+
+        if !self.gauges.is_empty() {
+            out.push_str("\ngauges (last / min / max):\n");
+            for (name, g) in &self.gauges {
+                let _ = writeln!(
+                    out,
+                    "  {name:<32} {:>10.3} / {:>10.3} / {:>10.3}  ({} samples)",
+                    g.last, g.min, g.max, g.count
+                );
+            }
+        }
+
+        if !self.iterations_per_n.is_empty() {
+            out.push_str("\nSolveModel() iterations per partition bound N:\n");
+            for (n, count) in &self.iterations_per_n {
+                let _ = writeln!(out, "  N = {n:<4} {count:>6} iterations");
+            }
+        }
+        if !self.outcomes.is_empty() {
+            out.push_str("window outcomes:\n");
+            for (result, count) in &self.outcomes {
+                let _ = writeln!(out, "  {result:<12} {count:>6}");
+            }
+        }
+
+        if !self.event_counts.is_empty() {
+            out.push_str("\nevents:\n");
+            for (name, count) in &self.event_counts {
+                let _ = writeln!(out, "  {name:<40} {count:>10}");
+            }
+        }
+        out
+    }
+}
+
+/// Formats a duration compactly (`873ns`, `14.2µs`, `3.1ms`, `2.45s`).
+pub fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}\u{b5}s", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Value;
+
+    fn span_event(name: &str, dur_us: u64, ts: u64) -> Event {
+        Event {
+            ts_us: ts,
+            kind: EventKind::Span,
+            name: name.into(),
+            fields: vec![("dur_us".into(), Value::U64(dur_us))],
+        }
+    }
+
+    #[test]
+    fn aggregates_all_kinds() {
+        let events = vec![
+            span_event("milp.solve", 100, 0),
+            span_event("milp.solve", 300, 400),
+            Event {
+                ts_us: 410,
+                kind: EventKind::Counter,
+                name: "milp.nodes".into(),
+                fields: vec![("value".into(), Value::U64(7))],
+            },
+            Event {
+                ts_us: 420,
+                kind: EventKind::Counter,
+                name: "milp.nodes".into(),
+                fields: vec![("value".into(), Value::U64(5))],
+            },
+            Event {
+                ts_us: 500,
+                kind: EventKind::Gauge,
+                name: "window".into(),
+                fields: vec![("value".into(), Value::F64(2.5))],
+            },
+            Event {
+                ts_us: 600,
+                kind: EventKind::Event,
+                name: "search.iteration".into(),
+                fields: vec![
+                    ("n".into(), Value::U64(3)),
+                    ("result".into(), Value::Str("feasible".into())),
+                ],
+            },
+            Event {
+                ts_us: 700,
+                kind: EventKind::Event,
+                name: "search.iteration".into(),
+                fields: vec![
+                    ("n".into(), Value::U64(3)),
+                    ("result".into(), Value::Str("infeasible".into())),
+                ],
+            },
+        ];
+        let r = RunReport::from_events(&events);
+        assert_eq!(r.event_total, 7);
+        assert_eq!(r.counter("milp.nodes"), 12);
+        assert_eq!(r.counter("absent"), 0);
+        let s = r.span("milp.solve").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.total, Duration::from_micros(400));
+        assert_eq!(s.mean(), Duration::from_micros(200));
+        assert_eq!(s.min, Duration::from_micros(100));
+        assert_eq!(s.max, Duration::from_micros(300));
+        assert_eq!(r.iterations_per_n.get(&3), Some(&2));
+        assert_eq!(r.outcomes.get("feasible"), Some(&1));
+        assert_eq!(r.wall, Duration::from_micros(700));
+        let g = r.gauges.get("window").unwrap();
+        assert_eq!(g.count, 1);
+        assert_eq!(g.last, 2.5);
+
+        let text = r.render();
+        assert!(text.contains("phase breakdown"), "{text}");
+        assert!(text.contains("milp.solve"), "{text}");
+        assert!(text.contains("milp.nodes"), "{text}");
+        assert!(text.contains("N = 3"), "{text}");
+        assert!(text.contains("feasible"), "{text}");
+    }
+
+    #[test]
+    fn empty_report_renders() {
+        let r = RunReport::from_events(std::iter::empty());
+        assert_eq!(r.event_total, 0);
+        assert!(r.render().contains("0 events"));
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(5)), "5ns");
+        assert_eq!(fmt_duration(Duration::from_micros(1500)), "1.5ms");
+        assert_eq!(fmt_duration(Duration::from_millis(2450)), "2.45s");
+        assert!(fmt_duration(Duration::from_micros(14)).contains("\u{b5}s"));
+    }
+}

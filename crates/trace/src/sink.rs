@@ -1,0 +1,309 @@
+//! Sinks and the global dispatch point.
+//!
+//! The global sink defaults to *none*: every emission site first checks one
+//! relaxed atomic load, so an untraced run pays a single predictable branch
+//! per potential event and allocates nothing.
+
+use crate::event::{Event, EventKind, Value};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+/// A destination for trace events.
+///
+/// Implementations must be thread-safe: the solver stack emits from
+/// whatever thread is running a solve.
+pub trait Sink: Send + Sync {
+    /// Records one event.
+    fn record(&self, event: Event);
+
+    /// Flushes buffered output, if any.
+    fn flush(&self) {}
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// `true` when a sink is installed. The hot-path guard: a relaxed atomic
+/// load and a branch, nothing else.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Microseconds since the process trace epoch (the first trace activity).
+pub fn now_us() -> u64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_micros() as u64
+}
+
+/// Installs `sink` as the global event destination, replacing and
+/// returning any previous one.
+pub fn install(sink: Arc<dyn Sink>) -> Option<Arc<dyn Sink>> {
+    // Touch the epoch first so timestamps are relative to installation of
+    // the first sink rather than the first event.
+    let _ = EPOCH.get_or_init(Instant::now);
+    let mut slot = SINK.write().expect("trace sink lock poisoned");
+    let previous = slot.replace(sink);
+    ENABLED.store(true, Ordering::Relaxed);
+    previous
+}
+
+/// Removes the global sink (flushing it) and returns it, if any.
+pub fn uninstall() -> Option<Arc<dyn Sink>> {
+    let mut slot = SINK.write().expect("trace sink lock poisoned");
+    ENABLED.store(false, Ordering::Relaxed);
+    let sink = slot.take();
+    if let Some(sink) = &sink {
+        sink.flush();
+    }
+    sink
+}
+
+/// Sends `event` to the installed sink, if any.
+pub fn dispatch(event: Event) {
+    if !enabled() {
+        return;
+    }
+    let slot = SINK.read().expect("trace sink lock poisoned");
+    if let Some(sink) = slot.as_ref() {
+        sink.record(event);
+    }
+}
+
+/// Emits a counter increment `name += value`.
+#[inline]
+pub fn counter(name: &str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    dispatch(Event::new(EventKind::Counter, name).with("value", value));
+}
+
+/// Emits a gauge sample `name = value`.
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    dispatch(Event::new(EventKind::Gauge, name).with("value", value));
+}
+
+/// Emits a structured point event with the fields produced by `fields`.
+/// The closure only runs when tracing is enabled, so field construction
+/// costs nothing on untraced runs.
+#[inline]
+pub fn event<F>(name: &str, fields: F)
+where
+    F: FnOnce() -> Vec<(String, Value)>,
+{
+    if !enabled() {
+        return;
+    }
+    let mut e = Event::new(EventKind::Event, name);
+    e.fields = fields();
+    dispatch(e);
+}
+
+/// An in-flight span. Created by [`span`]; emits one
+/// [`EventKind::Span`] event with a `dur_us` field when dropped (or
+/// [`finish`](Span::finish)ed). Disarmed spans (tracing disabled at
+/// creation) never touch the clock or allocate.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    start: Option<Instant>,
+    fields: Vec<(String, Value)>,
+}
+
+impl Span {
+    /// Attaches a field to the eventual span event.
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<Value>) -> Self {
+        if self.start.is_some() {
+            self.fields.push((key.into(), value.into()));
+        }
+        self
+    }
+
+    /// Attaches a field in place (for fields known only mid-span).
+    pub fn add(&mut self, key: impl Into<String>, value: impl Into<Value>) {
+        if self.start.is_some() {
+            self.fields.push((key.into(), value.into()));
+        }
+    }
+
+    /// `true` when this span will emit an event.
+    pub fn armed(&self) -> bool {
+        self.start.is_some()
+    }
+
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let Some(start) = self.start.take() else { return };
+        let mut e = Event::new(EventKind::Span, self.name);
+        e.fields = std::mem::take(&mut self.fields);
+        e.fields.push(("dur_us".to_owned(), Value::U64(start.elapsed().as_micros() as u64)));
+        dispatch(e);
+    }
+}
+
+/// Opens a span named `name`. Returns a disarmed no-op guard when tracing
+/// is disabled.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { name, start: None, fields: Vec::new() };
+    }
+    Span { name, start: Some(Instant::now()), fields: Vec::new() }
+}
+
+/// An in-memory sink: a mutex-guarded vector of events.
+///
+/// The critical section is one `Vec::push`, so contention stays negligible
+/// even when many solver threads emit concurrently.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<Event>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of everything recorded so far.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Drains and returns everything recorded so far.
+    pub fn take(&self) -> Vec<Event> {
+        std::mem::take(&mut *self.events.lock().expect("memory sink poisoned"))
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn record(&self, event: Event) {
+        self.events.lock().expect("memory sink poisoned").push(event);
+    }
+}
+
+/// A sink that appends one JSON object per event to a file (JSONL).
+///
+/// Lines are buffered; [`flush`](Sink::flush) (called by
+/// [`uninstall`]) or dropping the sink writes them out.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: Mutex<BufWriter<File>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) the file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation failures.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink { out: Mutex::new(BufWriter::new(file)) })
+    }
+}
+
+impl Sink for JsonlSink {
+    fn record(&self, event: Event) {
+        let mut line = String::with_capacity(128);
+        crate::json::write_event(&mut line, &event);
+        line.push('\n');
+        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        // A full disk is not worth panicking a solver over; drop the line.
+        let _ = out.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        Sink::flush(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Global-state tests share one process; serialize them.
+    static GUARD: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_by_default_and_emission_is_a_noop() {
+        let _g = GUARD.lock().unwrap();
+        uninstall();
+        assert!(!enabled());
+        counter("x", 1);
+        gauge("y", 2.0);
+        event("z", || vec![("a".into(), Value::U64(1))]);
+        let s = span("untraced");
+        assert!(!s.armed());
+        drop(s);
+        // Nothing to observe: the point is that none of the above panicked
+        // or needed a sink.
+    }
+
+    #[test]
+    fn install_uninstall_round_trip() {
+        let _g = GUARD.lock().unwrap();
+        let sink = Arc::new(MemorySink::new());
+        assert!(install(sink.clone()).is_none());
+        assert!(enabled());
+        counter("nodes", 5);
+        {
+            let mut sp = span("phase").with("n", 3u32);
+            sp.add("extra", true);
+            assert!(sp.armed());
+        }
+        let removed = uninstall().expect("was installed");
+        assert!(!enabled());
+        drop(removed);
+        let events = sink.take();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].kind, EventKind::Counter);
+        assert_eq!(events[0].u64_field("value"), Some(5));
+        assert_eq!(events[1].kind, EventKind::Span);
+        assert_eq!(events[1].u64_field("n"), Some(3));
+        assert!(events[1].duration().is_some());
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn spans_created_while_disabled_stay_silent_after_enable() {
+        let _g = GUARD.lock().unwrap();
+        uninstall();
+        let quiet = span("pre");
+        let sink = Arc::new(MemorySink::new());
+        install(sink.clone());
+        drop(quiet); // was disarmed at creation
+        uninstall();
+        assert!(sink.is_empty());
+    }
+}

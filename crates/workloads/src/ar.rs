@@ -120,11 +120,8 @@ mod tests {
     fn six_tasks_with_paper_design_point_counts() {
         let g = ar_filter().unwrap();
         assert_eq!(g.task_count(), 6);
-        let counts: Vec<(String, usize)> = g
-            .tasks()
-            .iter()
-            .map(|t| (t.name().to_owned(), t.design_points().len()))
-            .collect();
+        let counts: Vec<(String, usize)> =
+            g.tasks().iter().map(|t| (t.name().to_owned(), t.design_points().len())).collect();
         let by_name = |n: &str| counts.iter().find(|(name, _)| name == n).unwrap().1;
         assert_eq!(by_name("T1"), 3);
         assert_eq!(by_name("T2"), 1);

@@ -31,9 +31,7 @@ fn design_points(table: &[(u64, f64); 3]) -> Vec<DesignPoint> {
     table
         .iter()
         .zip(names)
-        .map(|(&(area, lat), name)| {
-            DesignPoint::new(name, Area::new(area), Latency::from_ns(lat))
-        })
+        .map(|(&(area, lat), name)| DesignPoint::new(name, Area::new(area), Latency::from_ns(lat)))
         .collect()
 }
 

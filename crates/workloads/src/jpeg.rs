@@ -120,8 +120,13 @@ pub fn jpeg_pipeline() -> Result<TaskGraph, JpegError> {
     for ch in ["y", "cb", "cr"] {
         // Luma gets a wider datapath than chroma.
         let width = if ch == "y" { 14 } else { 11 };
-        let dct =
-            b.add_prepared_task(synthesize_task(&dct_pass(&format!("dct_{ch}"), width), &lib, &opts, 0, 0)?);
+        let dct = b.add_prepared_task(synthesize_task(
+            &dct_pass(&format!("dct_{ch}"), width),
+            &lib,
+            &opts,
+            0,
+            0,
+        )?);
         let q = b.add_prepared_task(synthesize_task(
             &quantize(&format!("quant_{ch}"), width),
             &lib,

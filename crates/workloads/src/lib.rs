@@ -22,3 +22,4 @@ pub mod fft;
 pub mod jpeg;
 pub mod matmul;
 pub mod random;
+pub mod rng;

@@ -1,8 +1,7 @@
 //! Random and deterministic synthetic task graphs for stress and property
 //! tests.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use crate::rng::Rng;
 use rtr_graph::{Area, DesignPoint, Latency, TaskGraph, TaskGraphBuilder};
 
 /// Parameters of the layered random DAG generator.
@@ -52,23 +51,21 @@ pub fn random_layered(seed: u64, params: &RandomGraphParams) -> TaskGraph {
     assert!(params.tasks > 0, "need at least one task");
     assert!(params.area_range.0 <= params.area_range.1, "area range inverted");
     assert!(params.latency_range.0 <= params.latency_range.1, "latency range inverted");
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let mut b = TaskGraphBuilder::new();
 
     // Split into layers.
     let mut layers: Vec<Vec<rtr_graph::TaskId>> = Vec::new();
     let mut created = 0usize;
     while created < params.tasks {
-        let width = rng
-            .gen_range(1..=params.max_layer_width)
-            .min(params.tasks - created);
+        let width = rng.range_usize(1, params.max_layer_width).min(params.tasks - created);
         let mut layer = Vec::with_capacity(width);
         for _ in 0..width {
             let id = b
                 .add_task(format!("t{created}"))
                 .design_points(random_pareto_points(&mut rng, params))
-                .env_input(rng.gen_range(0..=2))
-                .env_output(rng.gen_range(0..=1))
+                .env_input(rng.range_u64(0, 2))
+                .env_output(rng.range_u64(0, 1))
                 .finish();
             layer.push(id);
             created += 1;
@@ -80,15 +77,15 @@ pub fn random_layered(seed: u64, params: &RandomGraphParams) -> TaskGraph {
         for &dst in &layers[li] {
             let mut got_pred = false;
             for &src in &layers[li - 1] {
-                if rng.gen_bool(params.edge_probability) {
-                    let data = rng.gen_range(params.data_range.0..=params.data_range.1);
+                if rng.chance(params.edge_probability) {
+                    let data = rng.range_u64(params.data_range.0, params.data_range.1);
                     b.add_edge(src, dst, data).expect("layered edges are unique and forward");
                     got_pred = true;
                 }
             }
             if !got_pred {
-                let src = layers[li - 1][rng.gen_range(0..layers[li - 1].len())];
-                let data = rng.gen_range(params.data_range.0..=params.data_range.1);
+                let src = layers[li - 1][rng.range_usize(0, layers[li - 1].len() - 1)];
+                let data = rng.range_u64(params.data_range.0, params.data_range.1);
                 b.add_edge(src, dst, data).expect("fresh edge");
             }
         }
@@ -98,15 +95,15 @@ pub fn random_layered(seed: u64, params: &RandomGraphParams) -> TaskGraph {
 
 /// A random Pareto-consistent design-point set: sorted by area ascending and
 /// latency descending, so no point dominates another.
-fn random_pareto_points(rng: &mut StdRng, params: &RandomGraphParams) -> Vec<DesignPoint> {
-    let count = rng.gen_range(params.design_points.0.max(1)..=params.design_points.1.max(1));
+fn random_pareto_points(rng: &mut Rng, params: &RandomGraphParams) -> Vec<DesignPoint> {
+    let count = rng.range_usize(params.design_points.0.max(1), params.design_points.1.max(1));
     let mut areas: Vec<u64> = (0..count)
-        .map(|_| rng.gen_range(params.area_range.0.max(1)..=params.area_range.1.max(1)))
+        .map(|_| rng.range_u64(params.area_range.0.max(1), params.area_range.1.max(1)))
         .collect();
     areas.sort_unstable();
     areas.dedup();
     let mut lats: Vec<f64> = (0..areas.len())
-        .map(|_| rng.gen_range(params.latency_range.0..=params.latency_range.1))
+        .map(|_| rng.range_f64(params.latency_range.0, params.latency_range.1))
         .collect();
     lats.sort_by(f64::total_cmp);
     lats.reverse();
@@ -227,9 +224,6 @@ mod tests {
         assert_eq!(independent(6, 10, 5.0).edge_count(), 0);
         let d = diamond_stack(3, 10, 5.0);
         assert_eq!(d.task_count(), 10);
-        assert_eq!(
-            d.enumerate_paths(rtr_graph::PathLimits::default()).total_path_count(),
-            Some(8)
-        );
+        assert_eq!(d.enumerate_paths(rtr_graph::PathLimits::default()).total_path_count(), Some(8));
     }
 }

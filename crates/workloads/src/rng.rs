@@ -1,0 +1,136 @@
+//! A small deterministic pseudo-random number generator for workload
+//! synthesis and seeded stress tests.
+//!
+//! The generators in this crate only need reproducible streams, not
+//! cryptographic quality, so we use SplitMix64 (Steele, Lea & Flood,
+//! OOPSLA 2014) — the same mixer `rand`'s `StdRng` seeds itself with —
+//! which keeps the whole workspace free of external dependencies and
+//! buildable offline.
+
+/// A deterministic SplitMix64 generator.
+///
+/// The same seed always produces the same stream, on every platform.
+///
+/// # Examples
+///
+/// ```
+/// use rtr_workloads::rng::Rng;
+///
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// assert!(a.range_u64(1, 6) >= 1 && b.range_u64(1, 6) <= 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// The next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform integer in `[lo, hi]` (inclusive on both ends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "inverted range [{lo}, {hi}]");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        // Modulo bias is negligible for the small spans used here and
+        // determinism matters more than perfect uniformity.
+        lo + self.next_u64() % (span + 1)
+    }
+
+    /// A uniform `usize` in `[lo, hi]` (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// A uniform `f64` in `[lo, hi)` (degenerate ranges return `lo`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo <= hi, "inverted range [{lo}, {hi}]");
+        // 53 random mantissa bits -> uniform in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.range_f64(0.0, 1.0) < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        assert_ne!(Rng::new(1).next_u64(), Rng::new(2).next_u64());
+    }
+
+    #[test]
+    fn ranges_are_inclusive_and_bounded() {
+        let mut r = Rng::new(99);
+        let mut seen_lo = false;
+        let mut seen_hi = false;
+        for _ in 0..1000 {
+            let v = r.range_u64(3, 5);
+            assert!((3..=5).contains(&v));
+            seen_lo |= v == 3;
+            seen_hi |= v == 5;
+        }
+        assert!(seen_lo && seen_hi, "both endpoints reachable");
+        assert_eq!(r.range_u64(9, 9), 9);
+        assert_eq!(r.range_usize(4, 4), 4);
+    }
+
+    #[test]
+    fn f64_range_and_chance() {
+        let mut r = Rng::new(123);
+        for _ in 0..1000 {
+            let v = r.range_f64(10.0, 20.0);
+            assert!((10.0..20.0).contains(&v));
+        }
+        assert_eq!(r.range_f64(5.0, 5.0), 5.0);
+        let mut hits = 0;
+        for _ in 0..1000 {
+            if r.chance(0.5) {
+                hits += 1;
+            }
+        }
+        assert!((300..700).contains(&hits), "p=0.5 hit {hits}/1000");
+        let mut r2 = Rng::new(5);
+        assert!(!r2.chance(0.0));
+        assert!(r2.chance(1.0));
+    }
+}

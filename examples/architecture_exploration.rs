@@ -40,10 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let graph = b.build()?;
 
-    println!(
-        "{:>12} {:>6} {:>14} {:>14}",
-        "C_T", "eta", "exec latency", "total latency"
-    );
+    println!("{:>12} {:>6} {:>14} {:>14}", "C_T", "eta", "exec latency", "total latency");
     for ct_ns in [10.0, 100.0, 1_000.0, 10_000.0, 100_000.0, 1_000_000.0, 10_000_000.0] {
         let arch = Architecture::new(Area::new(320), 64, Latency::from_ns(ct_ns));
         let params = ExploreParams {

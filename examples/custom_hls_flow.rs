@@ -15,10 +15,7 @@ fn fir_stage(name: &str, width: u32) -> BehavioralTask {
     let muls: Vec<_> = (0..8).map(|_| t.add_op(OpKind::Mul, width, &[])).collect();
     let mut layer = muls;
     while layer.len() > 1 {
-        layer = layer
-            .chunks(2)
-            .map(|pair| t.add_op(OpKind::Add, width, pair))
-            .collect();
+        layer = layer.chunks(2).map(|pair| t.add_op(OpKind::Add, width, pair)).collect();
     }
     t
 }

@@ -18,10 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "DCT task graph: {} tasks, {} edges, {} root→leaf paths",
         graph.task_count(),
         graph.edge_count(),
-        graph
-            .enumerate_paths(Default::default())
-            .total_path_count()
-            .expect("countable")
+        graph.enumerate_paths(Default::default()).total_path_count().expect("countable")
     );
 
     for r_max in [576u64, 1024] {
@@ -48,10 +45,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("{:>3} {:>3} {:>12} {:>12} {:>12}", "N", "I", "Dmin(ns)", "Dmax(ns)", "Da(ns)");
         for r in &exploration.records {
             let result = match &r.result {
-                rtrpart::IterationResult::Feasible { latency, eta } => format!(
-                    "{:.0}",
-                    latency.as_ns() - (arch.reconfig_time() * *eta).as_ns()
-                ),
+                rtrpart::IterationResult::Feasible { latency, eta } => {
+                    format!("{:.0}", latency.as_ns() - (arch.reconfig_time() * *eta).as_ns())
+                }
                 rtrpart::IterationResult::Infeasible => "Inf.".to_owned(),
                 rtrpart::IterationResult::LimitReached => "Inf.*".to_owned(),
             };

@@ -49,13 +49,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for dsp_budget in [2u64, 6, 12] {
         let arch = Architecture::new(Area::new(400), 64, Latency::from_us(1.0))
             .with_secondary_capacities(vec![dsp_budget]);
-        let params = ExploreParams { delta: Latency::from_ns(20.0), gamma: 3, ..Default::default() };
+        let params =
+            ExploreParams { delta: Latency::from_ns(20.0), gamma: 3, ..Default::default() };
         let partitioner = TemporalPartitioner::new(&graph, &arch, params)?;
         let exploration = partitioner.explore()?;
         let best = exploration.best.expect("feasible");
-        let dsp_per_partition: Vec<u64> = (1..=best.partitions_used())
-            .map(|p| best.partition_secondary(&graph, p, 0))
-            .collect();
+        let dsp_per_partition: Vec<u64> =
+            (1..=best.partitions_used()).map(|p| best.partition_secondary(&graph, p, 0)).collect();
         println!(
             "\nDSP budget {dsp_budget}: total {}, η = {}, DSPs per configuration {:?}",
             exploration.best_latency.unwrap(),

@@ -24,11 +24,12 @@ USAGE:
     rtrpart <COMMAND> [OPTIONS]
 
 COMMANDS:
-    partition   explore partitionings of a task graph and print the best
-    bounds      print N_min^l / N_min^u and the latency bounds
-    simulate    partition, then run the result on the device simulator
-    demo        write a built-in workload (dct | ar | fft | jpeg | matmul) as a .tg file
-    help        print this text
+    partition    explore partitionings of a task graph and print the best
+    bounds       print N_min^l / N_min^u and the latency bounds
+    simulate     partition, then run the result on the device simulator
+    demo         write a built-in workload (dct | ar | fft | jpeg | matmul) as a .tg file
+    trace-report aggregate a --trace JSONL file into a run report
+    help         print this text
 
 OPTIONS (partition / bounds / simulate):
     --graph <file>        task graph in .tg text format (required)
@@ -46,10 +47,15 @@ OPTIONS (partition / bounds / simulate):
     --csv <file>          write the refinement log as CSV
     --dot <file>          write the task graph as Graphviz DOT
     --out-solution <file> write the best solution as text
+    --trace <file>        write a structured trace of the run as JSONL
     --quiet               only print the final solution
 
 OPTIONS (demo):
     --out <file>          output path [default: <name>.tg]
+
+EXAMPLE (tracing):
+    rtrpart partition --graph dct.tg --rmax 576 --ct 1us --trace run.jsonl
+    rtrpart trace-report run.jsonl
 ";
 
 fn main() -> ExitCode {
@@ -70,6 +76,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("simulate") => partition_cmd(&args[1..], true),
         Some("bounds") => bounds_cmd(&args[1..]),
         Some("demo") => demo_cmd(&args[1..]),
+        Some("trace-report") => trace_report_cmd(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{HELP}");
             Ok(())
@@ -113,8 +120,7 @@ fn parse_time(s: &str) -> Result<Latency, String> {
         .find(|c: char| c.is_ascii_alphabetic())
         .map(|i| s.split_at(i))
         .ok_or_else(|| format!("time `{s}` needs a unit (ns, us, ms, s)"))?;
-    let value: f64 =
-        number.parse().map_err(|_| format!("invalid time value `{number}`"))?;
+    let value: f64 = number.parse().map_err(|_| format!("invalid time value `{number}`"))?;
     if !value.is_finite() || value < 0.0 {
         return Err(format!("time `{s}` must be finite and non-negative"));
     }
@@ -129,16 +135,12 @@ fn parse_time(s: &str) -> Result<Latency, String> {
 
 fn load_graph(opts: &Options) -> Result<TaskGraph, String> {
     let path = opts.required("--graph")?;
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     TaskGraph::from_text(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))
 }
 
 fn load_arch(opts: &Options) -> Result<Architecture, String> {
-    let rmax: u64 = opts
-        .required("--rmax")?
-        .parse()
-        .map_err(|_| "invalid `--rmax`".to_owned())?;
+    let rmax: u64 = opts.required("--rmax")?.parse().map_err(|_| "invalid `--rmax`".to_owned())?;
     let mmax: u64 = opts.parsed("--mmax", 512)?;
     let ct = parse_time(opts.required("--ct")?)?;
     let env = match opts.value("--env-policy").unwrap_or("resident") {
@@ -149,9 +151,8 @@ fn load_arch(opts: &Options) -> Result<Architecture, String> {
     let mut arch = Architecture::new(Area::new(rmax), mmax, ct).with_env_policy(env);
     if let Some(list) = opts.value("--dsp") {
         let caps: Result<Vec<u64>, _> = list.split(',').map(str::parse).collect();
-        arch = arch.with_secondary_capacities(
-            caps.map_err(|_| format!("invalid `--dsp` list `{list}`"))?,
-        );
+        arch = arch
+            .with_secondary_capacities(caps.map_err(|_| format!("invalid `--dsp` list `{list}`"))?);
     }
     Ok(arch)
 }
@@ -188,14 +189,34 @@ fn load_params(opts: &Options) -> Result<ExploreParams, String> {
 
 fn partition_cmd(args: &[String], simulate: bool) -> Result<(), String> {
     let opts = Options { args };
-    let graph = load_graph(&opts)?;
-    let arch = load_arch(&opts)?;
-    let params = load_params(&opts)?;
+    let tracing = match opts.value("--trace") {
+        Some(path) => {
+            let sink = rtrpart::trace::JsonlSink::create(path)
+                .map_err(|e| format!("cannot create trace file `{path}`: {e}"))?;
+            rtrpart::trace::install(std::sync::Arc::new(sink));
+            Some(path)
+        }
+        None => None,
+    };
+    let result = partition_body(&opts, simulate);
+    if let Some(path) = tracing {
+        // Flushes the JSONL sink.
+        rtrpart::trace::uninstall();
+        if result.is_ok() && !opts.flag("--quiet") {
+            println!("\ntrace written to {path} (inspect with `rtrpart trace-report {path}`)");
+        }
+    }
+    result
+}
+
+fn partition_body(opts: &Options, simulate: bool) -> Result<(), String> {
+    let graph = load_graph(opts)?;
+    let arch = load_arch(opts)?;
+    let params = load_params(opts)?;
     let quiet = opts.flag("--quiet");
 
     if let Some(path) = opts.value("--dot") {
-        std::fs::write(path, graph.to_dot())
-            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        std::fs::write(path, graph.to_dot()).map_err(|e| format!("cannot write `{path}`: {e}"))?;
     }
 
     let partitioner = TemporalPartitioner::new(&graph, &arch, params)
@@ -276,20 +297,39 @@ fn bounds_cmd(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn trace_report_cmd(args: &[String]) -> Result<(), String> {
+    let path = args
+        .first()
+        .map(String::as_str)
+        .ok_or("trace-report needs a JSONL trace file (from `partition --trace <file>`)")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let events =
+        rtrpart::trace::parse_jsonl(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))?;
+    let report = rtrpart::trace::RunReport::from_events(&events);
+    print!("{}", report.render());
+    Ok(())
+}
+
 fn demo_cmd(args: &[String]) -> Result<(), String> {
     let opts = Options { args: &args[1..] };
-    let name = args.first().map(String::as_str).ok_or("demo needs a workload name (dct | ar | fft | jpeg | matmul)")?;
+    let name = args
+        .first()
+        .map(String::as_str)
+        .ok_or("demo needs a workload name (dct | ar | fft | jpeg | matmul)")?;
     let graph = match name {
         "dct" => rtrpart::workloads::dct::dct_4x4(),
-        "ar" => rtrpart::workloads::ar::ar_filter()
-            .map_err(|e| format!("AR synthesis failed: {e}"))?,
+        "ar" => {
+            rtrpart::workloads::ar::ar_filter().map_err(|e| format!("AR synthesis failed: {e}"))?
+        }
         "fft" => rtrpart::workloads::fft::fft_graph(16, 4)
             .map_err(|e| format!("FFT synthesis failed: {e}"))?,
         "jpeg" => rtrpart::workloads::jpeg::jpeg_pipeline()
             .map_err(|e| format!("JPEG synthesis failed: {e}"))?,
         "matmul" => rtrpart::workloads::matmul::matmul_graph(3, 2)
             .map_err(|e| format!("matmul synthesis failed: {e}"))?,
-        other => return Err(format!("unknown demo `{other}` (expected dct | ar | fft | jpeg | matmul)")),
+        other => {
+            return Err(format!("unknown demo `{other}` (expected dct | ar | fft | jpeg | matmul)"))
+        }
     };
     let default = format!("{name}.tg");
     let out = opts.value("--out").unwrap_or(&default);
@@ -340,8 +380,16 @@ mod tests {
     #[test]
     fn arch_parsing_including_dsp_classes() {
         let args = strs(&[
-            "--rmax", "576", "--ct", "1us", "--mmax", "64", "--dsp", "4,2",
-            "--env-policy", "streamed",
+            "--rmax",
+            "576",
+            "--ct",
+            "1us",
+            "--mmax",
+            "64",
+            "--dsp",
+            "4,2",
+            "--env-policy",
+            "streamed",
         ]);
         let opts = Options { args: &args };
         let arch = load_arch(&opts).unwrap();

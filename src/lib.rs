@@ -12,7 +12,41 @@
 //! * [`core`] — the partitioner and its searches ([`rtr_core`]);
 //! * [`sim`] — the reconfigurable-processor simulator ([`rtr_sim`]);
 //! * [`workloads`] — the paper's case studies and generators
-//!   ([`rtr_workloads`]).
+//!   ([`rtr_workloads`]);
+//! * [`trace`] — structured tracing, metrics, and run reports
+//!   ([`rtr_trace`]).
+//!
+//! # Observability
+//!
+//! Every solver layer emits structured trace events through [`trace`];
+//! install a sink to capture them (nothing is recorded by default):
+//!
+//! ```
+//! use std::sync::Arc;
+//! # use rtrpart::{Architecture, ExploreParams, TemporalPartitioner};
+//! # use rtrpart::graph::{TaskGraphBuilder, DesignPoint, Area, Latency};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! # let mut b = TaskGraphBuilder::new();
+//! # b.add_task("t")
+//! #     .design_point(DesignPoint::new("m", Area::new(10), Latency::from_ns(100.0)))
+//! #     .finish();
+//! # let graph = b.build()?;
+//! # let arch = Architecture::new(Area::new(32), 64, Latency::from_us(1.0));
+//! let sink = Arc::new(rtrpart::trace::MemorySink::new());
+//! rtrpart::trace::install(sink.clone());
+//! let partitioner = TemporalPartitioner::new(&graph, &arch, ExploreParams::default())?;
+//! let exploration = partitioner.explore()?;
+//! rtrpart::trace::uninstall();
+//! let report = rtrpart::trace::RunReport::from_events(&sink.take());
+//! println!("{}", report.render());
+//! # assert!(report.event_total > 0);
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! The `rtrpart` binary exposes the same machinery as
+//! `rtrpart partition --trace run.jsonl ...` followed by
+//! `rtrpart trace-report run.jsonl`.
 //!
 //! The most common entry points are re-exported at the top level.
 //!
@@ -60,10 +94,11 @@ pub use rtr_graph as graph;
 pub use rtr_hls as hls;
 pub use rtr_milp as milp;
 pub use rtr_sim as sim;
+pub use rtr_trace as trace;
 pub use rtr_workloads as workloads;
 
 pub use rtr_core::{
     max_area_partitions, max_latency, min_area_partitions, min_latency, validate_solution,
-    Architecture, Backend, EnvMemoryPolicy, ExploreParams, Exploration, IterationRecord,
+    Architecture, Backend, EnvMemoryPolicy, Exploration, ExploreParams, IterationRecord,
     IterationResult, PartitionError, Placement, SearchLimits, Solution, TemporalPartitioner,
 };

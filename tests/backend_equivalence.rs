@@ -4,12 +4,12 @@
 //! backend implements the paper's constraint set exactly.
 
 use rtrpart::core::optimal::{solve_optimal, OptimalOutcome};
+use rtrpart::graph::Area;
 use rtrpart::graph::Latency;
 use rtrpart::workloads::random::{random_layered, RandomGraphParams};
 use rtrpart::{
-    Architecture, Backend, ExploreParams, SearchLimits, TemporalPartitioner, validate_solution,
+    validate_solution, Architecture, Backend, ExploreParams, SearchLimits, TemporalPartitioner,
 };
-use rtrpart::graph::Area;
 
 fn small_params(tasks: usize) -> RandomGraphParams {
     RandomGraphParams {
@@ -50,10 +50,7 @@ fn feasibility_windows_agree_on_random_instances() {
                         "seed {seed}: {backend:?} exceeded the window"
                     );
                 }
-                answers.push(matches!(
-                    result,
-                    rtrpart::IterationResult::Feasible { .. }
-                ));
+                answers.push(matches!(result, rtrpart::IterationResult::Feasible { .. }));
             }
             assert_eq!(
                 answers[0], answers[1],

@@ -116,8 +116,7 @@ fn oracle_with_secondary_resources() {
                 .with_secondary(vec![0]),
         )
         .design_point(
-            DesignPoint::new("dsp", Area::new(40), Latency::from_ns(250.0))
-                .with_secondary(vec![2]),
+            DesignPoint::new("dsp", Area::new(40), Latency::from_ns(250.0)).with_secondary(vec![2]),
         )
         .finish();
     let c = b
@@ -127,8 +126,7 @@ fn oracle_with_secondary_resources() {
                 .with_secondary(vec![0]),
         )
         .design_point(
-            DesignPoint::new("dsp", Area::new(35), Latency::from_ns(200.0))
-                .with_secondary(vec![3]),
+            DesignPoint::new("dsp", Area::new(35), Latency::from_ns(200.0)).with_secondary(vec![3]),
         )
         .finish();
     b.add_edge(a, c, 2).unwrap();
@@ -138,9 +136,7 @@ fn oracle_with_secondary_resources() {
             .with_secondary_capacities(vec![dsp]);
         let brute = brute_force_optimum(&g, &arch, 2);
         for backend in [Backend::Structured, Backend::Milp] {
-            let got = match solve_optimal(&g, &arch, 2, backend, SearchLimits::default())
-                .unwrap()
-            {
+            let got = match solve_optimal(&g, &arch, 2, backend, SearchLimits::default()).unwrap() {
                 OptimalOutcome::Optimal(_, lat) => Some(lat.as_ns()),
                 OptimalOutcome::Infeasible => None,
                 OptimalOutcome::Interrupted(_) => panic!("interrupted on a 2-task instance"),

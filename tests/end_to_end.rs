@@ -3,9 +3,7 @@
 
 use rtrpart::graph::{Area, Latency};
 use rtrpart::workloads::{ar::ar_filter, dct::dct_4x4};
-use rtrpart::{
-    validate_solution, Architecture, ExploreParams, SearchLimits, TemporalPartitioner,
-};
+use rtrpart::{validate_solution, Architecture, ExploreParams, SearchLimits, TemporalPartitioner};
 use std::time::Duration;
 
 fn fast_limits() -> SearchLimits {

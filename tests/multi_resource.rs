@@ -5,9 +5,7 @@
 //! the per-class constraint.
 
 use rtrpart::graph::{Area, DesignPoint, Latency, TaskGraphBuilder};
-use rtrpart::{
-    validate_solution, Architecture, Backend, ExploreParams, TemporalPartitioner,
-};
+use rtrpart::{validate_solution, Architecture, Backend, ExploreParams, TemporalPartitioner};
 
 /// Two independent tasks whose *fast* design points each need 3 dedicated
 /// multipliers (class 0); plenty of raw area everywhere.
@@ -38,17 +36,12 @@ fn dsp_capacity_forces_soft_logic_or_extra_partitions() {
     for backend in [Backend::Structured, Backend::Milp] {
         let params = ExploreParams { backend, gamma: 2, ..Default::default() };
         let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
-        let (result, sol) = part
-            .solve_window(1, Latency::from_us(100.0), Latency::ZERO)
-            .unwrap();
-        let sol = sol.unwrap_or_else(|| panic!("{backend:?}: single partition is feasible ({result:?})"));
+        let (result, sol) = part.solve_window(1, Latency::from_us(100.0), Latency::ZERO).unwrap();
+        let sol =
+            sol.unwrap_or_else(|| panic!("{backend:?}: single partition is feasible ({result:?})"));
         assert!(validate_solution(&g, &arch, &sol).is_empty());
         // At most one task can sit on the DSP point.
-        let dsp_users = sol
-            .placements()
-            .iter()
-            .filter(|pl| pl.design_point == 1)
-            .count();
+        let dsp_users = sol.placements().iter().filter(|pl| pl.design_point == 1).count();
         assert!(dsp_users <= 1, "{backend:?}: {dsp_users} DSP users in one partition");
     }
 }
@@ -60,11 +53,7 @@ fn exploration_uses_more_partitions_to_unlock_dsp_points() {
     // tasks run on DSPs (300 ns each) instead of one soft (900 ns).
     let arch = Architecture::new(Area::new(1000), 64, Latency::from_ns(10.0))
         .with_secondary_capacities(vec![3]);
-    let params = ExploreParams {
-        delta: Latency::from_ns(10.0),
-        gamma: 3,
-        ..Default::default()
-    };
+    let params = ExploreParams { delta: Latency::from_ns(10.0), gamma: 3, ..Default::default() };
     let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
     let ex = part.explore().unwrap();
     let best = ex.best.expect("feasible");
@@ -80,8 +69,7 @@ fn unplaceable_dsp_demand_is_rejected_up_front() {
     let mut b = TaskGraphBuilder::new();
     b.add_task("hungry")
         .design_point(
-            DesignPoint::new("only", Area::new(10), Latency::from_ns(5.0))
-                .with_secondary(vec![9]),
+            DesignPoint::new("only", Area::new(10), Latency::from_ns(5.0)).with_secondary(vec![9]),
         )
         .finish();
     let g = b.build().unwrap();
@@ -127,8 +115,7 @@ fn backends_agree_with_secondary_constraints() {
             let params = ExploreParams { backend, ..Default::default() };
             let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
             // Window: both on DSP in one partition = 300 + 50 = 350 ns.
-            let (result, _) =
-                part.solve_window(1, Latency::from_ns(350.0), Latency::ZERO).unwrap();
+            let (result, _) = part.solve_window(1, Latency::from_ns(350.0), Latency::ZERO).unwrap();
             answers.push(matches!(result, rtrpart::IterationResult::Feasible { .. }));
         }
         assert_eq!(answers[0], answers[1], "caps {caps:?}");

@@ -1,167 +1,196 @@
-//! Property-based tests over the whole stack, driven by seeded random task
-//! graphs.
+//! Randomized tests over the whole stack, driven by seeded random task
+//! graphs. The cases are deterministic (SplitMix64 streams), so failures
+//! reproduce exactly; to widen coverage, raise `CASES`.
 
-use proptest::prelude::*;
 use rtrpart::graph::{Area, Latency};
 use rtrpart::workloads::random::{random_layered, RandomGraphParams};
+use rtrpart::workloads::rng::Rng;
 use rtrpart::{
     validate_solution, Architecture, EnvMemoryPolicy, ExploreParams, SearchLimits,
     TemporalPartitioner,
 };
 use std::time::Duration;
 
-fn arb_params() -> impl Strategy<Value = (u64, RandomGraphParams, u64, u64, f64)> {
-    (
-        any::<u64>(),                 // seed
-        2usize..10,                   // tasks
-        1usize..4,                    // max layer width
-        60u64..240,                   // device capacity
-        8u64..64,                     // memory
-        10.0f64..100_000.0,           // reconfig ns
-    )
-        .prop_map(|(seed, tasks, width, cap, mem, ct)| {
-            (
-                seed,
-                RandomGraphParams {
-                    tasks,
-                    max_layer_width: width,
-                    design_points: (1, 3),
-                    area_range: (20, 60),
-                    latency_range: (50.0, 600.0),
-                    data_range: (1, 3),
-                    ..Default::default()
-                },
-                cap,
-                mem,
-                ct,
-            )
-        })
+const CASES: u64 = 48;
+
+struct Instance {
+    seed: u64,
+    gp: RandomGraphParams,
+    cap: u64,
+    mem: u64,
+    ct: f64,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 48, .. ProptestConfig::default() })]
+/// One deterministic random instance per case index (`salt` decorrelates
+/// the streams between tests).
+fn instance(salt: u64, case: u64) -> Instance {
+    let mut r = Rng::new(salt.wrapping_mul(0x9e37_79b9).wrapping_add(case));
+    Instance {
+        seed: r.next_u64(),
+        gp: RandomGraphParams {
+            tasks: r.range_usize(2, 9),
+            max_layer_width: r.range_usize(1, 3),
+            design_points: (1, 3),
+            area_range: (20, 60),
+            latency_range: (50.0, 600.0),
+            data_range: (1, 3),
+            ..Default::default()
+        },
+        cap: r.range_u64(60, 239),
+        mem: r.range_u64(8, 63),
+        ct: r.range_f64(10.0, 100_000.0),
+    }
+}
 
-    /// Every solution the exploration produces satisfies every constraint,
-    /// and the simulator realizes exactly the analytic latency.
-    #[test]
-    fn explored_solutions_are_always_valid((seed, gp, cap, mem, ct) in arb_params()) {
-        let g = random_layered(seed, &gp);
-        let arch = Architecture::new(Area::new(cap), mem, Latency::from_ns(ct));
+/// Every solution the exploration produces satisfies every constraint,
+/// and the simulator realizes exactly the analytic latency.
+#[test]
+fn explored_solutions_are_always_valid() {
+    for case in 0..CASES {
+        let inst = instance(1, case);
+        let g = random_layered(inst.seed, &inst.gp);
+        let arch = Architecture::new(Area::new(inst.cap), inst.mem, Latency::from_ns(inst.ct));
         let params = ExploreParams {
             delta: Latency::from_ns(100.0),
             gamma: 1,
-            limits: SearchLimits { node_limit: 300_000, time_limit: Some(Duration::from_millis(300)) },
+            limits: SearchLimits {
+                node_limit: 300_000,
+                time_limit: Some(Duration::from_millis(300)),
+            },
             time_budget: Some(Duration::from_secs(5)),
             ..Default::default()
         };
         let Ok(part) = TemporalPartitioner::new(&g, &arch, params) else {
             // Some task cannot fit the device at all: a legal outcome.
-            return Ok(());
+            continue;
         };
         let ex = part.explore().unwrap();
         if let Some(best) = &ex.best {
-            prop_assert!(validate_solution(&g, &arch, best).is_empty());
+            assert!(validate_solution(&g, &arch, best).is_empty(), "case {case}");
             let lat = best.total_latency(&g, &arch);
-            prop_assert_eq!(ex.best_latency.unwrap(), lat);
+            assert_eq!(ex.best_latency.unwrap(), lat, "case {case}");
             let report = rtrpart::sim::simulate(&g, &arch, best).unwrap();
-            prop_assert!(
+            assert!(
                 (report.total_latency.as_ns() - lat.as_ns()).abs() < 1e-6,
-                "simulator disagrees: {} vs {}",
+                "case {case}: simulator disagrees: {} vs {}",
                 report.total_latency,
                 lat
             );
             // Latency decomposition is consistent.
             let eta = best.partitions_used();
-            prop_assert!(eta >= 1 && eta <= best.n_bound());
+            assert!(eta >= 1 && eta <= best.n_bound(), "case {case}");
             let decomposed =
                 best.execution_latency(&g).as_ns() + (arch.reconfig_time() * eta).as_ns();
-            prop_assert!(
+            assert!(
                 (lat.as_ns() - decomposed).abs() < 1e-6,
-                "decomposition drifted: {} vs {}",
+                "case {case}: decomposition drifted: {} vs {}",
                 lat.as_ns(),
                 decomposed
             );
         }
     }
+}
 
-    /// Feasible iterations never report a latency above their window, and
-    /// windows only shrink within one partition bound.
-    #[test]
-    fn iteration_records_are_well_formed((seed, gp, cap, mem, ct) in arb_params()) {
-        let g = random_layered(seed, &gp);
-        let arch = Architecture::new(Area::new(cap), mem, Latency::from_ns(ct));
+/// Feasible iterations never report a latency above their window, and
+/// windows only shrink within one partition bound.
+#[test]
+fn iteration_records_are_well_formed() {
+    for case in 0..CASES {
+        let inst = instance(2, case);
+        let g = random_layered(inst.seed, &inst.gp);
+        let arch = Architecture::new(Area::new(inst.cap), inst.mem, Latency::from_ns(inst.ct));
         let params = ExploreParams {
             delta: Latency::from_ns(50.0),
-            limits: SearchLimits { node_limit: 300_000, time_limit: Some(Duration::from_millis(300)) },
+            limits: SearchLimits {
+                node_limit: 300_000,
+                time_limit: Some(Duration::from_millis(300)),
+            },
             time_budget: Some(Duration::from_secs(5)),
             ..Default::default()
         };
-        let Ok(part) = TemporalPartitioner::new(&g, &arch, params) else { return Ok(()); };
+        let Ok(part) = TemporalPartitioner::new(&g, &arch, params) else { continue };
         let ex = part.explore().unwrap();
         for r in &ex.records {
-            prop_assert!(r.d_min <= r.d_max);
+            assert!(r.d_min <= r.d_max, "case {case}");
             if let rtrpart::IterationResult::Feasible { latency, .. } = r.result {
-                prop_assert!(latency.as_ns() <= r.d_max.as_ns() + 1e-6);
+                assert!(latency.as_ns() <= r.d_max.as_ns() + 1e-6, "case {case}");
             }
         }
         let mut last_n = 0;
         for r in &ex.records {
-            prop_assert!(r.n >= last_n, "partition bounds never shrink");
+            assert!(r.n >= last_n, "case {case}: partition bounds never shrink");
             last_n = r.n;
         }
     }
+}
 
-    /// The greedy baseline, when it succeeds, always produces valid
-    /// solutions and never beats the exploration by more than δ.
-    #[test]
-    fn greedy_baseline_is_valid_and_no_better((seed, gp, cap, mem, ct) in arb_params()) {
-        use rtrpart::core::baseline::{greedy_partition, DesignPointPicker};
-        let g = random_layered(seed, &gp);
-        let arch = Architecture::new(Area::new(cap), mem, Latency::from_ns(ct));
+/// The greedy baseline, when it succeeds, always produces valid
+/// solutions.
+#[test]
+fn greedy_baseline_is_valid() {
+    use rtrpart::core::baseline::{greedy_partition, DesignPointPicker};
+    for case in 0..CASES {
+        let inst = instance(3, case);
+        let g = random_layered(inst.seed, &inst.gp);
+        let arch = Architecture::new(Area::new(inst.cap), inst.mem, Latency::from_ns(inst.ct));
         let n_cap = g.task_count() as u32;
-        for picker in [DesignPointPicker::MinArea, DesignPointPicker::MaxArea, DesignPointPicker::MinLatency] {
+        for picker in
+            [DesignPointPicker::MinArea, DesignPointPicker::MaxArea, DesignPointPicker::MinLatency]
+        {
             if let Some(sol) = greedy_partition(&g, &arch, picker, n_cap) {
-                prop_assert!(validate_solution(&g, &arch, &sol).is_empty());
+                assert!(validate_solution(&g, &arch, &sol).is_empty(), "case {case}");
             }
         }
     }
+}
 
-    /// Boundary memory is monotone under the Resident policy relative to
-    /// Streamed: the resident accounting can only add occupancy.
-    #[test]
-    fn resident_memory_dominates_streamed((seed, gp, cap, mem, ct) in arb_params()) {
-        use rtrpart::core::baseline::{greedy_partition, DesignPointPicker};
-        let g = random_layered(seed, &gp);
-        let arch = Architecture::new(Area::new(cap), mem.max(1024), Latency::from_ns(ct));
-        if let Some(sol) = greedy_partition(&g, &arch, DesignPointPicker::MinArea, g.task_count() as u32) {
+/// Boundary memory is monotone under the Resident policy relative to
+/// Streamed: the resident accounting can only add occupancy.
+#[test]
+fn resident_memory_dominates_streamed() {
+    use rtrpart::core::baseline::{greedy_partition, DesignPointPicker};
+    for case in 0..CASES {
+        let inst = instance(4, case);
+        let g = random_layered(inst.seed, &inst.gp);
+        let arch =
+            Architecture::new(Area::new(inst.cap), inst.mem.max(1024), Latency::from_ns(inst.ct));
+        if let Some(sol) =
+            greedy_partition(&g, &arch, DesignPointPicker::MinArea, g.task_count() as u32)
+        {
             let resident = sol.boundary_memory(&g, EnvMemoryPolicy::Resident);
             let streamed = sol.boundary_memory(&g, EnvMemoryPolicy::Streamed);
             for (r, s) in resident.iter().zip(&streamed) {
-                prop_assert!(r >= s);
+                assert!(r >= s, "case {case}");
             }
         }
     }
+}
 
-    /// The paper's bounds really bound: MinLatency(N) ≤ any achieved
-    /// latency ≤ MaxLatency(N) for solutions under partition bound N.
-    #[test]
-    fn latency_bounds_bracket_solutions((seed, gp, cap, mem, ct) in arb_params()) {
-        let g = random_layered(seed, &gp);
-        let arch = Architecture::new(Area::new(cap), mem, Latency::from_ns(ct));
+/// The paper's bounds really bound: MinLatency(N) ≤ any achieved
+/// latency ≤ MaxLatency(N) for solutions under partition bound N.
+#[test]
+fn latency_bounds_bracket_solutions() {
+    for case in 0..CASES {
+        let inst = instance(5, case);
+        let g = random_layered(inst.seed, &inst.gp);
+        let arch = Architecture::new(Area::new(inst.cap), inst.mem, Latency::from_ns(inst.ct));
         let params = ExploreParams {
-            limits: SearchLimits { node_limit: 300_000, time_limit: Some(Duration::from_millis(300)) },
+            limits: SearchLimits {
+                node_limit: 300_000,
+                time_limit: Some(Duration::from_millis(300)),
+            },
             time_budget: Some(Duration::from_secs(5)),
             ..Default::default()
         };
-        let Ok(part) = TemporalPartitioner::new(&g, &arch, params) else { return Ok(()); };
+        let Ok(part) = TemporalPartitioner::new(&g, &arch, params) else { continue };
         let ex = part.explore().unwrap();
         if let Some(best) = &ex.best {
             let n = best.partitions_used();
             let lo = rtrpart::min_latency(&g, &arch, n);
             let hi = rtrpart::max_latency(&g, &arch, n);
             let lat = best.total_latency(&g, &arch);
-            prop_assert!(lat >= lo, "latency {lat} below MinLatency {lo}");
-            prop_assert!(lat <= hi, "latency {lat} above MaxLatency {hi}");
+            assert!(lat >= lo, "case {case}: latency {lat} below MinLatency {lo}");
+            assert!(lat <= hi, "case {case}: latency {lat} above MaxLatency {hi}");
         }
     }
 }

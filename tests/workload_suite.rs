@@ -4,9 +4,7 @@
 use rtrpart::core::SolutionAnalysis;
 use rtrpart::graph::{Area, Latency, TaskGraph};
 use rtrpart::sim::{simulate, simulate_with, SimOptions};
-use rtrpart::{
-    validate_solution, Architecture, ExploreParams, SearchLimits, TemporalPartitioner,
-};
+use rtrpart::{validate_solution, Architecture, ExploreParams, SearchLimits, TemporalPartitioner};
 use std::time::Duration;
 
 fn quick_params() -> ExploreParams {
