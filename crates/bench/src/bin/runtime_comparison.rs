@@ -19,6 +19,10 @@ use std::time::Instant;
 fn main() {
     let graph = dct_4x4();
     let mut bench = BenchRun::new("solver");
+    // Context for the parallel columns: with a single host core the workers
+    // time-slice and the speedup sits near (or below) 1.0 by construction.
+    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    bench.counter("host_cpus", cpus as u64);
     for exp in [DctExperiment::table3(), DctExperiment::table5()] {
         let arch = exp.architecture();
         let partitioner = TemporalPartitioner::new(&graph, &arch, exp.params()).expect("tasks fit");
@@ -35,6 +39,23 @@ fn main() {
         let prefix = format!("rmax{}.", exp.r_max);
         bench.record_exploration(&prefix, &exploration);
         bench.metric(format!("{prefix}iterative_ms"), iterative_time.as_secs_f64() * 1e3);
+
+        // The same exploration fanned out on 4 worker threads: the relaxed
+        // bounds' wall-clock-limited windows overlap instead of serializing.
+        let start = Instant::now();
+        let parallel = partitioner.explore_parallel(4).expect("exploration runs");
+        let parallel_time = start.elapsed();
+        let parallel_latency = parallel.best_latency.expect("DCT is feasible");
+        let speedup = iterative_time.as_secs_f64() / parallel_time.as_secs_f64();
+        println!(
+            "R_max = {}: parallel (4 threads) found D_a = {:.0} ns in {:.2?} ({speedup:.2}x)",
+            exp.r_max,
+            parallel_latency.as_ns(),
+            parallel_time
+        );
+        bench.metric(format!("{prefix}parallel4_ms"), parallel_time.as_secs_f64() * 1e3);
+        bench.metric(format!("{prefix}parallel4_best_latency_ns"), parallel_latency.as_ns());
+        bench.metric(format!("{prefix}parallel4_speedup"), speedup);
 
         // Optimality run on the faithful ILP with the same budget.
         let n = exploration.best.as_ref().expect("feasible").partitions_used();

@@ -104,17 +104,44 @@ pub fn per_solve_limits() -> SearchLimits {
     SearchLimits { node_limit: 40_000_000, time_limit: Some(Duration::from_secs(5)) }
 }
 
-/// Runs a DCT experiment and returns the exploration.
+/// Worker threads the table binaries use: the `RTR_THREADS` environment
+/// variable if it parses to a positive integer, else 1. The sequential
+/// default keeps unadorned table regeneration deterministic on any machine;
+/// CI sets `RTR_THREADS=8` to exercise the parallel schedule.
+pub fn thread_count() -> usize {
+    std::env::var("RTR_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
+/// Runs a DCT experiment on [`thread_count`] worker threads and returns the
+/// exploration.
 ///
 /// # Panics
 ///
 /// Panics if the partitioner rejects the instance (cannot happen for the
 /// DCT at the paper's device sizes).
 pub fn run_dct_experiment(exp: &DctExperiment, graph: &TaskGraph) -> Exploration {
+    run_dct_experiment_threaded(exp, graph, thread_count())
+}
+
+/// [`run_dct_experiment`] with an explicit worker-thread count (`0` = auto,
+/// `1` = sequential; see `TemporalPartitioner::explore_parallel`).
+///
+/// # Panics
+///
+/// Panics if the partitioner rejects the instance.
+pub fn run_dct_experiment_threaded(
+    exp: &DctExperiment,
+    graph: &TaskGraph,
+    threads: usize,
+) -> Exploration {
     let arch = exp.architecture();
     let partitioner =
         TemporalPartitioner::new(graph, &arch, exp.params()).expect("DCT tasks fit the device");
-    partitioner.explore().expect("structured backend cannot fail")
+    partitioner.explore_parallel(threads).expect("structured backend cannot fail")
 }
 
 /// Prints an exploration in the layout of the paper's tables: one row per

@@ -17,7 +17,9 @@
 //! formulation, wrapped in two nested searches: a binary subdivision on the
 //! latency bound ([`TemporalPartitioner::reduce_latency`], the paper's
 //! Figure 1) and a partition-bound relaxation loop
-//! ([`TemporalPartitioner::explore`], Figure 2). Two interchangeable
+//! ([`TemporalPartitioner::explore`], Figure 2, with a deterministic
+//! multi-threaded twin in [`TemporalPartitioner::explore_parallel`]).
+//! Two interchangeable
 //! backends implement the feasibility solve: the faithful ILP
 //! ([`model::IlpModel`] over the `rtr-milp` simplex/branch-and-bound) and a
 //! specialized structured search ([`structured::StructuredSolver`]) that
@@ -49,8 +51,8 @@ pub use arch::{Architecture, EnvMemoryPolicy};
 pub use bounds::{max_area_partitions, max_latency, min_area_partitions, min_latency};
 pub use error::PartitionError;
 pub use search::{
-    Backend, Exploration, ExploreParams, IterationRecord, IterationResult, RefinementStrategy,
-    TemporalPartitioner, WindowStats,
+    default_thread_count, Backend, Exploration, ExploreParams, IterationRecord, IterationResult,
+    RefinementStrategy, TemporalPartitioner, WindowStats,
 };
 pub use solution::{Placement, Solution};
 pub use structured::{SearchGoal, SearchLimits, SearchOutcome, SearchStats};

@@ -11,7 +11,45 @@ use rtr_graph::{Latency, TaskGraph};
 use rtr_milp::SolveOptions;
 use rtr_trace::Instrument as _;
 use std::fmt;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// The worker-thread count [`TemporalPartitioner::explore_parallel`] uses
+/// when asked for `0` ("auto"): the `RTR_THREADS` environment variable if it
+/// parses to a positive integer, otherwise
+/// [`std::thread::available_parallelism`] (1 if that is unknown).
+pub fn default_thread_count() -> usize {
+    if let Ok(value) = std::env::var("RTR_THREADS") {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// What happened to one phase-2 candidate bound in
+/// [`TemporalPartitioner::explore_parallel`].
+enum CandidateSlot {
+    /// No worker reached this bound (the time budget expired first, or a
+    /// smaller bound was already proven dominated). The merge stops here,
+    /// exactly where the sequential loop would have stopped.
+    NotRun,
+    /// The shared-incumbent skip rule fired: `MinLatency(N)` is at least the
+    /// prefix bound `min(pivot, achieved latencies of smaller candidates)`,
+    /// so the sequential loop provably breaks at or before this bound.
+    Dominated,
+    /// The bound was evaluated; its record stream and captured trace events
+    /// are replayed by the merge in ascending-`N` order.
+    Done {
+        records: Vec<IterationRecord>,
+        found: Option<(Solution, Latency)>,
+        events: Vec<rtr_trace::Event>,
+        error: Option<PartitionError>,
+    },
+}
 
 /// Which constraint-satisfaction engine `SolveModel()` uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -210,11 +248,31 @@ impl Exploration {
     /// call), convenient for plotting the paper-style tables.
     ///
     /// Columns: `n, iteration, d_min_ns, d_max_ns, result, latency_ns,
-    /// eta, elapsed_us`. `latency_ns` and `eta` are empty for infeasible
-    /// rows.
+    /// eta`. `latency_ns` and `eta` are empty for infeasible rows.
+    ///
+    /// The output is deterministic: it carries no timing, so two
+    /// explorations that made the same decisions serialize byte-identically
+    /// regardless of machine load or thread count — the contract
+    /// `tests/parallel_determinism.rs` locks in for
+    /// [`TemporalPartitioner::explore_parallel`]. Use
+    /// [`to_csv_timed`](Self::to_csv_timed) when per-solve wall-clock
+    /// matters more than reproducibility.
     pub fn to_csv(&self) -> String {
-        let mut out =
-            String::from("n,iteration,d_min_ns,d_max_ns,result,latency_ns,eta,elapsed_us\n");
+        self.csv(false)
+    }
+
+    /// [`to_csv`](Self::to_csv) with a trailing `elapsed_us` column holding
+    /// each solve's wall-clock time (not deterministic across runs).
+    pub fn to_csv_timed(&self) -> String {
+        self.csv(true)
+    }
+
+    fn csv(&self, timed: bool) -> String {
+        let mut out = String::from("n,iteration,d_min_ns,d_max_ns,result,latency_ns,eta");
+        if timed {
+            out.push_str(",elapsed_us");
+        }
+        out.push('\n');
         for r in &self.records {
             let (result, latency, eta) = match &r.result {
                 IterationResult::Feasible { latency, eta } => {
@@ -224,7 +282,7 @@ impl Exploration {
                 IterationResult::LimitReached => ("limit", String::new(), String::new()),
             };
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{}",
                 r.n,
                 r.iteration,
                 r.d_min.as_ns(),
@@ -232,8 +290,11 @@ impl Exploration {
                 result,
                 latency,
                 eta,
-                r.elapsed.as_micros()
             ));
+            if timed {
+                out.push_str(&format!(",{}", r.elapsed.as_micros()));
+            }
+            out.push('\n');
         }
         out
     }
@@ -568,10 +629,61 @@ impl<'g> TemporalPartitioner<'g> {
         Ok(Some(best))
     }
 
+    /// `true` once the overall wall-clock budget (the paper's
+    /// `TimeExpired()`) has run out.
+    fn expired(&self, started: Instant) -> bool {
+        match self.params.time_budget {
+            Some(budget) => started.elapsed() >= budget,
+            None => false,
+        }
+    }
+
+    /// Phase 1 of `Refine_Partitions_Bound`: ascending `n` from `n_start`,
+    /// solving the full `[MinLatency(n), MaxLatency(n)]` window at each
+    /// bound until the first feasible one (or the cap / the time budget
+    /// stops the climb). Returns the bound reached and the incumbent found
+    /// there, if any.
+    ///
+    /// This phase is inherently sequential — bound `n + 1` is tried only
+    /// because bound `n` failed — so both [`explore`](Self::explore) and
+    /// [`explore_parallel`](Self::explore_parallel) run it on the calling
+    /// thread.
+    fn first_feasible(
+        &self,
+        n_start: u32,
+        n_cap: u32,
+        started: Instant,
+        records: &mut Vec<IterationRecord>,
+        observer: &mut dyn FnMut(&IterationRecord),
+    ) -> Result<(u32, Option<(Solution, Latency)>), PartitionError> {
+        let mut n = n_start;
+        let mut best = self.reduce_latency_observed(
+            n,
+            max_latency(self.graph, self.arch, n),
+            min_latency(self.graph, self.arch, n),
+            records,
+            observer,
+        )?;
+        while best.is_none() && n < n_cap && !self.expired(started) {
+            n += 1;
+            best = self.reduce_latency_observed(
+                n,
+                max_latency(self.graph, self.arch, n),
+                min_latency(self.graph, self.arch, n),
+                records,
+                observer,
+            )?;
+        }
+        Ok((n, best))
+    }
+
     /// The paper's `Refine_Partitions_Bound()` (Figure 2): explores
     /// partition bounds `N_min^l + α ..= N_min^u + γ`, running
-    /// [`reduce_latency`](Self::reduce_latency) at each bound and carrying
-    /// the achieved latency forward as the new upper bound.
+    /// [`reduce_latency`](Self::reduce_latency) at each bound. Once a first
+    /// feasible bound is found, every relaxed bound refines against that
+    /// phase-1 incumbent (see [`explore_with_observer`](Self::explore_with_observer)
+    /// for why), and the paper's early exit still stops the relaxation as
+    /// soon as `MinLatency(N)` reaches the best latency achieved so far.
     ///
     /// # Errors
     ///
@@ -583,6 +695,17 @@ impl<'g> TemporalPartitioner<'g> {
     /// [`explore`](Self::explore) with a progress observer: `observer` is
     /// called once per `SolveModel()` record, as it happens — useful for
     /// streaming UIs.
+    ///
+    /// Phase 2 anchors every relaxed bound's window at the phase-1
+    /// incumbent `L1` rather than chaining each bound's achieved latency
+    /// into the next bound's `D_max`. This makes the relaxed bounds
+    /// independent of each other — the property
+    /// [`explore_parallel`](Self::explore_parallel) exploits — and costs no
+    /// solution quality: each bound still bisects to within `δ` of its own
+    /// optimum, and a tighter chained window could only hide solutions that
+    /// would not have improved the best anyway. The paper's early exit
+    /// (`MinLatency(N) ≥ best`) still uses the running best, so dominated
+    /// bounds are skipped exactly as in Figure 2.
     ///
     /// # Errors
     ///
@@ -599,36 +722,19 @@ impl<'g> TemporalPartitioner<'g> {
         let n_min_upper = max_area_partitions(self.graph, self.arch);
         let n_cap = n_min_upper.max(n_min_lower) + self.params.gamma;
         let started = Instant::now();
-        let expired = |started: Instant| match self.params.time_budget {
-            Some(budget) => started.elapsed() >= budget,
-            None => false,
-        };
 
         let mut records = Vec::new();
-        let mut n = (n_min_lower + self.params.alpha).min(n_cap);
+        let n_start = (n_min_lower + self.params.alpha).min(n_cap);
 
         // Phase 1: find the first feasible partition bound.
-        let mut best = self.reduce_latency_observed(
-            n,
-            max_latency(self.graph, self.arch, n),
-            min_latency(self.graph, self.arch, n),
-            &mut records,
-            observer,
-        )?;
-        while best.is_none() && n < n_cap && !expired(started) {
-            n += 1;
-            best = self.reduce_latency_observed(
-                n,
-                max_latency(self.graph, self.arch, n),
-                min_latency(self.graph, self.arch, n),
-                &mut records,
-                observer,
-            )?;
-        }
+        let (mut n, mut best) =
+            self.first_feasible(n_start, n_cap, started, &mut records, observer)?;
 
-        // Phase 2: relax N looking for better solutions.
-        if let Some((_, mut best_latency)) = best.as_ref().map(|(s, l)| (s.clone(), *l)) {
-            while n < n_cap && !expired(started) {
+        // Phase 2: relax N looking for better solutions, each bound
+        // refining against the phase-1 incumbent.
+        if let Some(pivot) = best.as_ref().map(|(_, latency)| *latency) {
+            let mut best_latency = pivot;
+            while n < n_cap && !self.expired(started) {
                 n += 1;
                 let d_min = min_latency(self.graph, self.arch, n);
                 if d_min >= best_latency {
@@ -637,7 +743,7 @@ impl<'g> TemporalPartitioner<'g> {
                     break;
                 }
                 if let Some((sol, latency)) =
-                    self.reduce_latency_observed(n, best_latency, d_min, &mut records, observer)?
+                    self.reduce_latency_observed(n, pivot, d_min, &mut records, observer)?
                 {
                     if latency < best_latency {
                         best_latency = latency;
@@ -661,6 +767,218 @@ impl<'g> TemporalPartitioner<'g> {
         span.finish();
         Ok(Exploration { best, best_latency, records, n_min_lower, n_min_upper })
     }
+
+    /// [`explore`](Self::explore) with the phase-2 candidate bounds
+    /// evaluated concurrently on `threads` scoped worker threads.
+    ///
+    /// `threads == 0` resolves via [`default_thread_count`] (the
+    /// `RTR_THREADS` environment variable, else the machine's available
+    /// parallelism); `threads <= 1` delegates to the sequential
+    /// [`explore`](Self::explore).
+    ///
+    /// Workers share an atomic incumbent latency: a candidate whose
+    /// `MinLatency(N)` already exceeds the incumbent is checked against the
+    /// order-safe prefix bound (the phase-1 incumbent combined with the
+    /// achieved latencies of *smaller* candidates only) and, if still
+    /// dominated, skipped without solving — the same bounds the sequential
+    /// early exit would have refused to visit. A merge pass then replays
+    /// per-candidate record streams and captured trace events in ascending
+    /// `N` order, chaining the running best exactly like the sequential
+    /// loop, so the returned [`Exploration`] — iteration order, chosen
+    /// solution, [`Exploration::to_csv`] output, and the logical trace
+    /// stream — is identical to [`explore`](Self::explore) regardless of
+    /// thread count.
+    ///
+    /// The guarantee requires deterministic per-solve limits: with a
+    /// wall-clock limit in [`SearchLimits`] or a tight
+    /// [`ExploreParams::time_budget`], individual windows (or the whole
+    /// relaxation) may time out at machine-dependent points on any path,
+    /// sequential included.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures; when several candidates fail, the error
+    /// of the smallest undominated bound is returned (matching what the
+    /// sequential loop would have hit first).
+    pub fn explore_parallel(&self, threads: usize) -> Result<Exploration, PartitionError> {
+        let threads = if threads == 0 { default_thread_count() } else { threads };
+        if threads <= 1 {
+            return self.explore();
+        }
+        let mut span = rtr_trace::span("search.explore")
+            .with("backend", self.params.backend.to_string())
+            .with("tasks", self.graph.tasks().len())
+            .with("threads", threads);
+        let n_min_lower = min_area_partitions(self.graph, self.arch);
+        let n_min_upper = max_area_partitions(self.graph, self.arch);
+        let n_cap = n_min_upper.max(n_min_lower) + self.params.gamma;
+        let started = Instant::now();
+
+        let mut records = Vec::new();
+        let n_start = (n_min_lower + self.params.alpha).min(n_cap);
+
+        // Phase 1 (sequential by nature): find the first feasible bound.
+        let (n1, mut best) =
+            self.first_feasible(n_start, n_cap, started, &mut records, &mut |_| {})?;
+
+        // Phase 2: fan the independent candidate bounds out to workers,
+        // then merge in ascending-N order.
+        if let Some(pivot) = best.as_ref().map(|(_, latency)| *latency) {
+            let candidates: Vec<u32> = (n1 + 1..=n_cap).collect();
+            let slots = self.run_candidates(&candidates, pivot, threads, started);
+            let mut best_latency = pivot;
+            for (slot, &n) in slots.into_iter().zip(&candidates) {
+                let d_min = min_latency(self.graph, self.arch, n);
+                if d_min >= best_latency {
+                    // Same early exit as the sequential loop; any slots past
+                    // this bound are discarded unseen.
+                    break;
+                }
+                match slot {
+                    CandidateSlot::Done { records: candidate_records, found, events, error } => {
+                        rtr_trace::dispatch_all(events);
+                        records.extend(candidate_records);
+                        if let Some(error) = error {
+                            return Err(error);
+                        }
+                        if let Some((sol, latency)) = found {
+                            if latency < best_latency {
+                                best_latency = latency;
+                                best = Some((sol, latency));
+                            }
+                        }
+                    }
+                    CandidateSlot::Dominated => {
+                        // The skip rule only fires when the prefix bound —
+                        // never below the merge's running best — already
+                        // dominates d_min, so this arm is unreachable.
+                        debug_assert!(false, "skip rule fired at an undominated bound N={n}");
+                        break;
+                    }
+                    // The time budget expired before a worker reached this
+                    // bound: stop, as the sequential loop would have.
+                    CandidateSlot::NotRun => break,
+                }
+            }
+        }
+
+        let (best, best_latency) = match best {
+            Some((sol, latency)) => (Some(sol), Some(latency)),
+            None => (None, None),
+        };
+        if span.armed() {
+            span.add("solves", records.len());
+            span.add("feasible", best.is_some());
+            if let Some(latency) = best_latency {
+                span.add("best_latency_ns", latency.as_ns());
+            }
+        }
+        span.finish();
+        Ok(Exploration { best, best_latency, records, n_min_lower, n_min_upper })
+    }
+
+    /// Evaluates the phase-2 candidate bounds on a scoped thread pool and
+    /// returns one [`CandidateSlot`] per candidate, index-aligned.
+    ///
+    /// Latencies travel through the atomics as IEEE-754 bits: for
+    /// non-negative floats the bit pattern orders like the number, so
+    /// `fetch_min` on bits is `fetch_min` on latencies.
+    fn run_candidates(
+        &self,
+        candidates: &[u32],
+        pivot: Latency,
+        threads: usize,
+        started: Instant,
+    ) -> Vec<CandidateSlot> {
+        let slots: Vec<Mutex<CandidateSlot>> =
+            candidates.iter().map(|_| Mutex::new(CandidateSlot::NotRun)).collect();
+        // Best latency achieved anywhere so far, phase 1 included. Purely a
+        // pruning accelerator: correctness rests on the prefix confirmation
+        // below, so stale reads are harmless.
+        let incumbent = AtomicU64::new(pivot.as_ns().to_bits());
+        // Per-candidate achieved latency (+∞ until that bound finds one).
+        let achieved: Vec<AtomicU64> =
+            candidates.iter().map(|_| AtomicU64::new(f64::INFINITY.to_bits())).collect();
+        // Work queue: candidates are claimed in ascending-N order.
+        let next = AtomicUsize::new(0);
+        // Smallest bound proven dominated; the merge can never get past it,
+        // so larger bounds need not run at all.
+        let stop_at = AtomicU32::new(u32::MAX);
+        let workers = threads.min(candidates.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= candidates.len() {
+                        break;
+                    }
+                    let n = candidates[idx];
+                    if self.expired(started) {
+                        // Slot stays NotRun: the merge stops here, exactly
+                        // where the sequential loop's budget check would.
+                        break;
+                    }
+                    if n >= stop_at.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    let d_min = min_latency(self.graph, self.arch, n);
+                    // Shared-incumbent pruning: the cheap global test may
+                    // reflect achievements of *larger* bounds the sequential
+                    // order could not have seen, so a hit must be confirmed
+                    // against the order-safe prefix bound before skipping.
+                    if d_min.as_ns() >= f64::from_bits(incumbent.load(Ordering::Relaxed)) {
+                        let prefix = achieved[..idx]
+                            .iter()
+                            .map(|a| f64::from_bits(a.load(Ordering::Relaxed)))
+                            .fold(pivot.as_ns(), f64::min);
+                        if d_min.as_ns() >= prefix {
+                            stop_at.fetch_min(n, Ordering::Relaxed);
+                            *slots[idx].lock().expect("candidate slot poisoned") =
+                                CandidateSlot::Dominated;
+                            continue;
+                        }
+                    }
+                    let mut candidate_records = Vec::new();
+                    let (result, events) = rtr_trace::capture(|| {
+                        self.reduce_latency_observed(
+                            n,
+                            pivot,
+                            d_min,
+                            &mut candidate_records,
+                            &mut |_| {},
+                        )
+                    });
+                    let (found, error) = match result {
+                        Ok(found) => (found, None),
+                        Err(error) => (None, Some(error)),
+                    };
+                    if let Some((_, latency)) = &found {
+                        let bits = latency.as_ns().to_bits();
+                        achieved[idx].store(bits, Ordering::Relaxed);
+                        incumbent.fetch_min(bits, Ordering::Relaxed);
+                    }
+                    *slots[idx].lock().expect("candidate slot poisoned") =
+                        CandidateSlot::Done { records: candidate_records, found, events, error };
+                });
+            }
+        });
+        slots.into_iter().map(|slot| slot.into_inner().expect("candidate slot poisoned")).collect()
+    }
+}
+
+/// Compile-time proof that the partitioner can be shared across the scoped
+/// workers of [`TemporalPartitioner::explore_parallel`] and that
+/// per-candidate results can move back to the merging thread.
+#[allow(dead_code)]
+fn assert_thread_safe() {
+    fn sync<T: Sync>() {}
+    fn send<T: Send>() {}
+    sync::<TemporalPartitioner<'static>>();
+    sync::<ExploreParams>();
+    send::<IterationRecord>();
+    send::<Exploration>();
+    send::<Solution>();
+    send::<PartitionError>();
 }
 
 #[cfg(test)]
@@ -837,14 +1155,11 @@ mod tests {
         let ex = part.explore().unwrap();
         let csv = ex.to_csv();
         let mut lines = csv.lines();
-        assert_eq!(
-            lines.next().unwrap(),
-            "n,iteration,d_min_ns,d_max_ns,result,latency_ns,eta,elapsed_us"
-        );
+        assert_eq!(lines.next().unwrap(), "n,iteration,d_min_ns,d_max_ns,result,latency_ns,eta");
         assert_eq!(csv.lines().count(), ex.records.len() + 1);
         for (line, r) in lines.zip(&ex.records) {
             let fields: Vec<&str> = line.split(',').collect();
-            assert_eq!(fields.len(), 8);
+            assert_eq!(fields.len(), 7);
             assert_eq!(fields[0], r.n.to_string());
             match &r.result {
                 IterationResult::Feasible { .. } => assert_eq!(fields[4], "feasible"),
@@ -852,6 +1167,81 @@ mod tests {
                 IterationResult::LimitReached => assert_eq!(fields[4], "limit"),
             }
         }
+        // The timed variant appends exactly one elapsed_us column.
+        let timed = ex.to_csv_timed();
+        let mut timed_lines = timed.lines();
+        assert_eq!(
+            timed_lines.next().unwrap(),
+            "n,iteration,d_min_ns,d_max_ns,result,latency_ns,eta,elapsed_us"
+        );
+        for (timed_line, line) in timed_lines.zip(csv.lines().skip(1)) {
+            assert!(timed_line.starts_with(line));
+            assert_eq!(timed_line.split(',').count(), 8);
+        }
+    }
+
+    #[test]
+    fn parallel_explore_matches_sequential_bit_for_bit() {
+        let g = chain3();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(20.0));
+        let params = ExploreParams {
+            delta: Latency::from_ns(10.0),
+            gamma: 2,
+            time_budget: None,
+            ..Default::default()
+        };
+        let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+        let sequential = part.explore().unwrap();
+        for threads in [1, 2, 4, 8] {
+            let parallel = part.explore_parallel(threads).unwrap();
+            assert_eq!(parallel.to_csv(), sequential.to_csv(), "threads={threads}");
+            assert_eq!(parallel.best_latency, sequential.best_latency, "threads={threads}");
+            assert_eq!(parallel.best, sequential.best, "threads={threads}");
+            assert_eq!(parallel.n_min_lower, sequential.n_min_lower);
+            assert_eq!(parallel.n_min_upper, sequential.n_min_upper);
+        }
+    }
+
+    #[test]
+    fn parallel_explore_skips_dominated_bounds_like_the_sequential_early_exit() {
+        let g = chain3();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ms(1.0));
+        let params = ExploreParams {
+            delta: Latency::from_ns(10.0),
+            time_budget: None,
+            ..Default::default()
+        };
+        let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+        let ex = part.explore_parallel(4).unwrap();
+        // With C_T = 1 ms the relaxed bound N=3 is dominated and must not be
+        // solved on the parallel path either.
+        assert_eq!(ex.best.as_ref().unwrap().partitions_used(), 2);
+        assert!(ex.records_for(3).next().is_none());
+    }
+
+    #[test]
+    fn parallel_explore_auto_thread_count_resolves() {
+        let g = chain3();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(20.0));
+        let params = ExploreParams { time_budget: None, gamma: 2, ..Default::default() };
+        let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+        // threads == 0 resolves via default_thread_count (env or machine).
+        let ex = part.explore_parallel(0).unwrap();
+        assert!(ex.best.is_some());
+        assert!(default_thread_count() >= 1);
+    }
+
+    #[test]
+    fn zero_time_budget_parallel_still_reports_first_bound() {
+        let g = chain3();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(20.0));
+        let params = ExploreParams { time_budget: Some(Duration::ZERO), ..Default::default() };
+        let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+        let ex = part.explore_parallel(4).unwrap();
+        // Phase 1's first reduce_latency runs; no worker starts a candidate,
+        // and the expired exploration still surfaces the incumbent.
+        assert!(ex.best.is_some());
+        assert!(ex.records.iter().all(|r| r.n == ex.records[0].n));
     }
 
     #[test]

@@ -146,6 +146,19 @@ pub struct StructuredSolver<'g> {
     hint: Option<Vec<Placement>>,
 }
 
+/// Compile-time proof that the solver is re-entrant across threads: all
+/// mutable search state lives in a per-`run` `State`, so
+/// `TemporalPartitioner::explore_parallel` workers may build and run solvers
+/// over the same graph and architecture concurrently.
+#[allow(dead_code)]
+fn assert_thread_safe() {
+    fn sync_and_send<T: Sync + Send>() {}
+    sync_and_send::<StructuredSolver<'static>>();
+    sync_and_send::<SearchLimits>();
+    sync_and_send::<SearchOutcome>();
+    sync_and_send::<SearchStats>();
+}
+
 struct State {
     part: Vec<u32>,
     dpc: Vec<usize>,

@@ -277,6 +277,18 @@ pub struct Model {
     pub(crate) sense: Sense,
 }
 
+/// Compile-time proof that models can be built and solved from several
+/// threads at once: `Model::solve` takes `&self` and keeps all simplex and
+/// branch-and-bound scratch on the call stack, which the parallel
+/// exploration in `rtr-core` relies on.
+#[allow(dead_code)]
+fn assert_thread_safe() {
+    fn sync_and_send<T: Sync + Send>() {}
+    sync_and_send::<Model>();
+    sync_and_send::<crate::SolveOptions>();
+    sync_and_send::<crate::Outcome>();
+}
+
 impl Model {
     /// Creates an empty model.
     pub fn new() -> Self {

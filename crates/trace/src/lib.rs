@@ -26,6 +26,9 @@
 //!   counter totals and duration histograms.
 //! * [`Instrument`] — implemented by solver-statistics structs across the
 //!   workspace so each layer emits its counters through one shared path.
+//! * [`capture`] — diverts one thread's events into a buffer so parallel
+//!   drivers can re-emit per-worker streams in a deterministic order with
+//!   [`dispatch_all`] (used by the parallel partition-count exploration).
 //!
 //! ## Cost when disabled
 //!
@@ -70,6 +73,6 @@ pub use histogram::DurationHistogram;
 pub use json::{parse_event, parse_jsonl, write_event, ParseError};
 pub use report::{fmt_duration, GaugeStats, RunReport, SpanStats};
 pub use sink::{
-    counter, dispatch, enabled, event, gauge, install, now_us, span, uninstall, JsonlSink,
-    MemorySink, Sink, Span,
+    capture, counter, dispatch, dispatch_all, enabled, event, gauge, install, now_us, span,
+    uninstall, JsonlSink, MemorySink, Sink, Span,
 };

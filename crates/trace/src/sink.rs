@@ -5,6 +5,7 @@
 //! per potential event and allocates nothing.
 
 use crate::event::{Event, EventKind, Value};
+use std::cell::RefCell;
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
@@ -63,11 +64,64 @@ pub fn uninstall() -> Option<Arc<dyn Sink>> {
     sink
 }
 
-/// Sends `event` to the installed sink, if any.
+thread_local! {
+    /// Per-thread capture buffer (see [`capture`]). When present, events
+    /// emitted by this thread are diverted here instead of the global sink.
+    static CAPTURE: RefCell<Option<Vec<Event>>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with this thread's trace events diverted into a buffer and
+/// returns them alongside `f`'s result.
+///
+/// This is how parallel drivers keep a deterministic event stream: each
+/// worker thread captures its own events, and the coordinator re-emits the
+/// buffers in a deterministic order with [`dispatch_all`] after joining.
+/// Timestamps are assigned at the original emission time, so captured
+/// events record when work actually happened, not when they were merged.
+///
+/// When no sink is installed ([`enabled`] is `false`) the emission helpers
+/// produce nothing, so `f` runs at full speed and the returned buffer is
+/// empty. Calls may nest; each `capture` sees only the events of its own
+/// scope.
+pub fn capture<R>(f: impl FnOnce() -> R) -> (R, Vec<Event>) {
+    let previous = CAPTURE.with(|c| c.borrow_mut().replace(Vec::new()));
+    let result = f();
+    let events = CAPTURE.with(|c| {
+        let mut slot = c.borrow_mut();
+        let events = slot.take().unwrap_or_default();
+        *slot = previous;
+        events
+    });
+    (result, events)
+}
+
+/// Re-emits already-captured events (from [`capture`]) through the normal
+/// dispatch path, preserving their original timestamps and order.
+pub fn dispatch_all(events: Vec<Event>) {
+    for event in events {
+        dispatch(event);
+    }
+}
+
+/// Sends `event` to this thread's capture buffer if one is active (see
+/// [`capture`]), otherwise to the installed sink, if any.
 pub fn dispatch(event: Event) {
     if !enabled() {
         return;
     }
+    let event = match CAPTURE.with(|c| {
+        let mut slot = c.borrow_mut();
+        match slot.as_mut() {
+            Some(buffer) => {
+                buffer.push(event);
+                None
+            }
+            None => Some(event),
+        }
+    }) {
+        Some(event) => event,
+        None => return,
+    };
     let slot = SINK.read().expect("trace sink lock poisoned");
     if let Some(sink) = slot.as_ref() {
         sink.record(event);
@@ -293,6 +347,52 @@ mod tests {
         assert_eq!(events[1].u64_field("n"), Some(3));
         assert!(events[1].duration().is_some());
         assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn capture_diverts_this_threads_events_and_forwards_on_dispatch_all() {
+        let _g = GUARD.lock().unwrap();
+        let sink = Arc::new(MemorySink::new());
+        install(sink.clone());
+        counter("before", 1);
+        let ((), captured) = capture(|| {
+            counter("inside", 2);
+            let _sp = span("inner.phase").with("n", 7u32);
+        });
+        counter("after", 3);
+        // Nothing from the capture scope reached the sink directly.
+        let direct: Vec<String> = sink.snapshot().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(direct, vec!["before", "after"]);
+        assert_eq!(captured.len(), 2);
+        assert_eq!(captured[0].name, "inside");
+        assert_eq!(captured[1].name, "inner.phase");
+        // Forwarding preserves the events verbatim.
+        dispatch_all(captured);
+        uninstall();
+        let names: Vec<String> = sink.take().iter().map(|e| e.name.clone()).collect();
+        assert_eq!(names, vec!["before", "after", "inside", "inner.phase"]);
+    }
+
+    #[test]
+    fn capture_nests_and_is_empty_when_disabled() {
+        let _g = GUARD.lock().unwrap();
+        uninstall();
+        let ((), events) = capture(|| counter("ghost", 1));
+        assert!(events.is_empty(), "disabled tracing captures nothing");
+
+        let sink = Arc::new(MemorySink::new());
+        install(sink.clone());
+        let ((), outer) = capture(|| {
+            counter("outer.a", 1);
+            let ((), inner) = capture(|| counter("inner.only", 2));
+            assert_eq!(inner.len(), 1);
+            assert_eq!(inner[0].name, "inner.only");
+            counter("outer.b", 3);
+        });
+        uninstall();
+        let names: Vec<&str> = outer.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["outer.a", "outer.b"]);
+        assert!(sink.take().is_empty());
     }
 
     #[test]

@@ -44,6 +44,8 @@ OPTIONS (partition / bounds / simulate):
     --env-policy <name>   resident | streamed             [default: resident]
     --dsp <a,b,...>       secondary resource capacities per class
     --solve-seconds <s>   per-window time budget          [default: 5]
+    --threads <n>         worker threads for the relaxation phase; 0 = auto
+                          (RTR_THREADS env var, else CPU count) [default: 1]
     --csv <file>          write the refinement log as CSV
     --dot <file>          write the task graph as Graphviz DOT
     --out-solution <file> write the best solution as text
@@ -219,39 +221,52 @@ fn partition_body(opts: &Options, simulate: bool) -> Result<(), String> {
         std::fs::write(path, graph.to_dot()).map_err(|e| format!("cannot write `{path}`: {e}"))?;
     }
 
+    let threads: usize = opts.parsed("--threads", 1)?;
     let partitioner = TemporalPartitioner::new(&graph, &arch, params)
         .map_err(|e| format!("partitioner rejected the instance: {e}"))?;
     if !quiet {
         println!("{:>4} {:>4} {:>14} {:>14}   result", "N", "I", "Dmin", "Dmax");
     }
-    // Stream each SolveModel() record as it happens.
-    let exploration = partitioner
-        .explore_with_observer(|r| {
-            if quiet {
-                return;
+    let print_record = |r: &rtrpart::IterationRecord| {
+        if quiet {
+            return;
+        }
+        let result = match &r.result {
+            rtrpart::IterationResult::Feasible { latency, eta } => {
+                format!("feasible: {latency} over {eta} partitions")
             }
-            let result = match &r.result {
-                rtrpart::IterationResult::Feasible { latency, eta } => {
-                    format!("feasible: {latency} over {eta} partitions")
-                }
-                rtrpart::IterationResult::Infeasible => "infeasible".to_owned(),
-                rtrpart::IterationResult::LimitReached => "undecided (budget)".to_owned(),
-            };
-            println!(
-                "{:>4} {:>4} {:>14} {:>14}   {result}",
-                r.n,
-                r.iteration,
-                r.d_min.to_string(),
-                r.d_max.to_string()
-            );
-        })
-        .map_err(|e| format!("exploration failed: {e}"))?;
+            rtrpart::IterationResult::Infeasible => "infeasible".to_owned(),
+            rtrpart::IterationResult::LimitReached => "undecided (budget)".to_owned(),
+        };
+        println!(
+            "{:>4} {:>4} {:>14} {:>14}   {result}",
+            r.n,
+            r.iteration,
+            r.d_min.to_string(),
+            r.d_max.to_string()
+        );
+    };
+    let exploration = if threads == 1 {
+        // Stream each SolveModel() record as it happens.
+        partitioner.explore_with_observer(print_record)
+    } else {
+        // Workers race, so the table is printed from the merged (and
+        // deterministic) record stream once the exploration finishes.
+        let exploration = partitioner.explore_parallel(threads);
+        if let Ok(exploration) = &exploration {
+            for r in &exploration.records {
+                print_record(r);
+            }
+        }
+        exploration
+    }
+    .map_err(|e| format!("exploration failed: {e}"))?;
     if !quiet {
         println!();
     }
 
     if let Some(path) = opts.value("--csv") {
-        std::fs::write(path, exploration.to_csv())
+        std::fs::write(path, exploration.to_csv_timed())
             .map_err(|e| format!("cannot write `{path}`: {e}"))?;
     }
 

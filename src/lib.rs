@@ -98,7 +98,8 @@ pub use rtr_trace as trace;
 pub use rtr_workloads as workloads;
 
 pub use rtr_core::{
-    max_area_partitions, max_latency, min_area_partitions, min_latency, validate_solution,
-    Architecture, Backend, EnvMemoryPolicy, Exploration, ExploreParams, IterationRecord,
-    IterationResult, PartitionError, Placement, SearchLimits, Solution, TemporalPartitioner,
+    default_thread_count, max_area_partitions, max_latency, min_area_partitions, min_latency,
+    validate_solution, Architecture, Backend, EnvMemoryPolicy, Exploration, ExploreParams,
+    IterationRecord, IterationResult, PartitionError, Placement, SearchLimits, Solution,
+    TemporalPartitioner,
 };

@@ -6,7 +6,10 @@
 use rtrpart::core::optimal::{solve_optimal, OptimalOutcome};
 use rtrpart::graph::{Area, Latency, TaskGraph};
 use rtrpart::workloads::random::{random_layered, RandomGraphParams};
-use rtrpart::{validate_solution, Architecture, Backend, Placement, SearchLimits, Solution};
+use rtrpart::{
+    validate_solution, Architecture, Backend, EnvMemoryPolicy, ExploreParams, Placement,
+    SearchLimits, Solution, TemporalPartitioner,
+};
 
 /// Enumerates every assignment and returns the minimum total latency of a
 /// valid one (brute force over (n_bound * dps)^tasks combinations).
@@ -69,39 +72,108 @@ fn both_backends_match_exhaustive_enumeration() {
     let mut checked = 0;
     for seed in 0..14u64 {
         let g = random_layered(seed, &params);
-        // Vary the device per seed to hit different binding constraints.
+        // Vary the device per seed to hit different binding constraints, and
+        // sweep both boundary-memory policies: with only a handful of memory
+        // units the Resident/Streamed accounting decides feasibility.
         let cap = 90 + (seed % 4) * 30;
         let mem = 3 + seed % 6;
         let ct = 50.0 * (1.0 + seed as f64);
-        let arch = Architecture::new(Area::new(cap), mem, Latency::from_ns(ct));
-        let n = 3;
-        let brute = brute_force_optimum(&g, &arch, n);
-        for backend in [Backend::Structured, Backend::Milp] {
-            let got = match solve_optimal(&g, &arch, n, backend, SearchLimits::default()) {
-                Ok(OptimalOutcome::Optimal(sol, lat)) => {
-                    assert!(validate_solution(&g, &arch, &sol).is_empty());
-                    Some(lat.as_ns())
-                }
-                Ok(OptimalOutcome::Infeasible) => None,
-                Ok(OptimalOutcome::Interrupted(_)) => {
-                    panic!("seed {seed}: {backend:?} interrupted on a 4-task instance")
-                }
-                Err(e) => panic!("seed {seed}: {backend:?} failed: {e}"),
-            };
-            match (brute, got) {
-                (Some(b), Some(g)) => assert!(
-                    (b - g).abs() < 1e-6,
-                    "seed {seed} {backend:?}: brute {b} vs solver {g}"
-                ),
-                (None, None) => {}
-                other => {
-                    panic!("seed {seed} {backend:?}: feasibility disagreement {other:?}")
+        for policy in [EnvMemoryPolicy::Resident, EnvMemoryPolicy::Streamed] {
+            let arch = Architecture::new(Area::new(cap), mem, Latency::from_ns(ct))
+                .with_env_policy(policy);
+            let n = 3;
+            let brute = brute_force_optimum(&g, &arch, n);
+            for backend in [Backend::Structured, Backend::Milp] {
+                let got = match solve_optimal(&g, &arch, n, backend, SearchLimits::default()) {
+                    Ok(OptimalOutcome::Optimal(sol, lat)) => {
+                        assert!(validate_solution(&g, &arch, &sol).is_empty());
+                        Some(lat.as_ns())
+                    }
+                    Ok(OptimalOutcome::Infeasible) => None,
+                    Ok(OptimalOutcome::Interrupted(_)) => {
+                        panic!("seed {seed}: {backend:?} interrupted on a 4-task instance")
+                    }
+                    Err(e) => panic!("seed {seed}: {backend:?} failed: {e}"),
+                };
+                match (brute, got) {
+                    (Some(b), Some(g)) => assert!(
+                        (b - g).abs() < 1e-6,
+                        "seed {seed} {policy:?} {backend:?}: brute {b} vs solver {g}"
+                    ),
+                    (None, None) => {}
+                    other => {
+                        panic!("seed {seed} {policy:?} {backend:?}: feasibility disagreement {other:?}")
+                    }
                 }
             }
+            checked += 1;
         }
-        checked += 1;
     }
-    assert_eq!(checked, 14);
+    assert_eq!(checked, 28);
+}
+
+/// The full exploration — sequential and parallel — against the oracle,
+/// under both memory policies: the two paths must agree exactly with each
+/// other, and their best latency must land within `δ` of the true optimum
+/// at the exploration's own partition cap (infeasibility must agree too).
+#[test]
+fn explorations_land_within_delta_of_the_oracle() {
+    let params = RandomGraphParams {
+        tasks: 4,
+        max_layer_width: 2,
+        edge_probability: 0.7,
+        design_points: (1, 2),
+        area_range: (30, 80),
+        latency_range: (100.0, 500.0),
+        data_range: (1, 3),
+    };
+    let delta_ns = 1.0;
+    let mut feasible = 0;
+    for seed in 0..10u64 {
+        let g = random_layered(seed, &params);
+        let cap = 90 + (seed % 4) * 30;
+        let mem = 3 + seed % 6;
+        let ct = 50.0 * (1.0 + seed as f64);
+        for policy in [EnvMemoryPolicy::Resident, EnvMemoryPolicy::Streamed] {
+            let arch = Architecture::new(Area::new(cap), mem, Latency::from_ns(ct))
+                .with_env_policy(policy);
+            // Node-limit-only limits: deterministic windows, so sequential
+            // and parallel explorations are comparable byte-for-byte.
+            let explore_params = ExploreParams {
+                delta: Latency::from_ns(delta_ns),
+                gamma: 1,
+                limits: SearchLimits { node_limit: 50_000_000, time_limit: None },
+                time_budget: None,
+                ..Default::default()
+            };
+            let part = TemporalPartitioner::new(&g, &arch, explore_params)
+                .expect("every task fits these devices");
+            let sequential = part.explore().unwrap();
+            let parallel = part.explore_parallel(4).unwrap();
+            assert_eq!(parallel.to_csv(), sequential.to_csv(), "seed {seed} {policy:?}");
+            assert_eq!(parallel.best, sequential.best, "seed {seed} {policy:?}");
+            assert_eq!(parallel.best_latency, sequential.best_latency, "seed {seed} {policy:?}");
+
+            // The exploration covers bounds up to n_cap = max(N_min^u,
+            // N_min^l) + γ, and optimum(N) is non-increasing in N, so its
+            // best must sit within δ of the oracle optimum at n_cap.
+            let n_cap = sequential.n_min_upper.max(sequential.n_min_lower) + 1;
+            let brute = brute_force_optimum(&g, &arch, n_cap);
+            match (sequential.best_latency, brute) {
+                (Some(lat), Some(b)) => {
+                    feasible += 1;
+                    assert!(
+                        lat.as_ns() >= b - 1e-6 && lat.as_ns() <= b + delta_ns + 1e-6,
+                        "seed {seed} {policy:?}: explored {} vs oracle {b}",
+                        lat.as_ns()
+                    );
+                }
+                (None, None) => {}
+                other => panic!("seed {seed} {policy:?}: feasibility disagreement {other:?}"),
+            }
+        }
+    }
+    assert!(feasible >= 8, "only {feasible} feasible oracle comparisons");
 }
 
 #[test]

@@ -1,0 +1,205 @@
+//! Differential harness for `TemporalPartitioner::explore_parallel`: on a
+//! seeded matrix of random graphs, the parallel exploration must be
+//! *bit-identical* to the sequential one — same CSV, same chosen solution,
+//! same logical trace stream — for every thread count.
+//!
+//! All cases use node-limit-only `SearchLimits` and no overall time budget:
+//! wall-clock deadlines are the one knob that is inherently
+//! machine-dependent (on the sequential path too), so they are excluded
+//! from the determinism contract and covered separately by the
+//! deadline tests at the bottom.
+
+use rtrpart::graph::{Area, Latency};
+use rtrpart::workloads::random::{random_layered, RandomGraphParams};
+use rtrpart::workloads::rng::Rng;
+use rtrpart::{validate_solution, Architecture, ExploreParams, SearchLimits, TemporalPartitioner};
+use std::time::Duration;
+
+const CASES: u64 = 24;
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+struct Instance {
+    seed: u64,
+    gp: RandomGraphParams,
+    cap: u64,
+    mem: u64,
+    ct: f64,
+}
+
+/// One deterministic random instance per case index (same scheme as
+/// `tests/property_based.rs`; the salt decorrelates the streams).
+fn instance(salt: u64, case: u64) -> Instance {
+    let mut r = Rng::new(salt.wrapping_mul(0x9e37_79b9).wrapping_add(case));
+    Instance {
+        seed: r.next_u64(),
+        gp: RandomGraphParams {
+            tasks: r.range_usize(2, 9),
+            max_layer_width: r.range_usize(1, 3),
+            design_points: (1, 3),
+            area_range: (20, 60),
+            latency_range: (50.0, 600.0),
+            data_range: (1, 3),
+            ..Default::default()
+        },
+        cap: r.range_u64(60, 239),
+        mem: r.range_u64(8, 63),
+        ct: r.range_f64(10.0, 100_000.0),
+    }
+}
+
+/// Deterministic exploration parameters: node limit only, no deadlines.
+/// `gamma = 2` widens phase 2 so several candidate bounds actually fan out.
+fn deterministic_params() -> ExploreParams {
+    ExploreParams {
+        delta: Latency::from_ns(100.0),
+        gamma: 2,
+        limits: SearchLimits { node_limit: 300_000, time_limit: None },
+        time_budget: None,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn parallel_output_is_bit_identical_across_thread_counts() {
+    let mut feasible = 0u64;
+    for case in 0..CASES {
+        let inst = instance(11, case);
+        let g = random_layered(inst.seed, &inst.gp);
+        let arch = Architecture::new(Area::new(inst.cap), inst.mem, Latency::from_ns(inst.ct));
+        let Ok(part) = TemporalPartitioner::new(&g, &arch, deterministic_params()) else {
+            continue;
+        };
+        let sequential = part.explore().unwrap();
+        let reference_csv = sequential.to_csv();
+        feasible += u64::from(sequential.best.is_some());
+        for threads in THREAD_COUNTS {
+            let parallel = part.explore_parallel(threads).unwrap();
+            assert_eq!(
+                parallel.to_csv(),
+                reference_csv,
+                "case {case}: CSV diverged at {threads} threads"
+            );
+            assert_eq!(
+                parallel.best, sequential.best,
+                "case {case}: chosen solution diverged at {threads} threads"
+            );
+            assert_eq!(parallel.best_latency, sequential.best_latency, "case {case}");
+            assert_eq!(parallel.n_min_lower, sequential.n_min_lower, "case {case}");
+            assert_eq!(parallel.n_min_upper, sequential.n_min_upper, "case {case}");
+            if let Some(best) = &parallel.best {
+                assert!(validate_solution(&g, &arch, best).is_empty(), "case {case}");
+            }
+        }
+    }
+    // The matrix is only meaningful if a healthy share of cases is feasible.
+    assert!(feasible >= CASES / 2, "only {feasible}/{CASES} cases feasible");
+}
+
+/// `explore_parallel(0)` resolves a machine-dependent thread count, but the
+/// result must still match the sequential exploration exactly.
+#[test]
+fn auto_thread_count_matches_sequential() {
+    for case in 0..8 {
+        let inst = instance(12, case);
+        let g = random_layered(inst.seed, &inst.gp);
+        let arch = Architecture::new(Area::new(inst.cap), inst.mem, Latency::from_ns(inst.ct));
+        let Ok(part) = TemporalPartitioner::new(&g, &arch, deterministic_params()) else {
+            continue;
+        };
+        let sequential = part.explore().unwrap();
+        let auto = part.explore_parallel(0).unwrap();
+        assert_eq!(auto.to_csv(), sequential.to_csv(), "case {case}");
+        assert_eq!(auto.best_latency, sequential.best_latency, "case {case}");
+    }
+}
+
+/// The merged logical trace stream is deterministic too: the same
+/// `search.iteration` events, in the same order, with the same windows and
+/// outcomes, at every thread count. (Only timing differs, which the
+/// comparison strips.)
+#[test]
+fn merged_trace_stream_matches_sequential() {
+    use std::sync::Arc;
+
+    // One deterministic feasible instance with several phase-2 candidates.
+    let inst = instance(11, 0);
+    let g = random_layered(inst.seed, &inst.gp);
+    let arch = Architecture::new(Area::new(inst.cap), inst.mem, Latency::from_ns(inst.ct));
+    let part = TemporalPartitioner::new(&g, &arch, deterministic_params()).unwrap();
+
+    // A sink must be installed for events to flow at all; `capture` then
+    // diverts this thread's stream (including the merge's `dispatch_all`
+    // re-emissions) into a buffer, so concurrent tests cannot pollute it.
+    rtrpart::trace::install(Arc::new(rtrpart::trace::MemorySink::new()));
+    let logical = |threads: Option<usize>| {
+        let (result, events) = rtrpart::trace::capture(|| match threads {
+            None => part.explore(),
+            Some(threads) => part.explore_parallel(threads),
+        });
+        result.unwrap();
+        events
+            .into_iter()
+            .map(|e| {
+                // Strip timing (machine-dependent by nature) and the
+                // `threads` annotation the parallel span intentionally adds.
+                let fields: Vec<(String, String)> = e
+                    .fields
+                    .into_iter()
+                    .filter(|(k, _)| k != "elapsed_us" && k != "dur_us" && k != "threads")
+                    .map(|(k, v)| (k, v.to_string()))
+                    .collect();
+                (format!("{:?}", e.kind), e.name, fields)
+            })
+            .collect::<Vec<_>>()
+    };
+    let sequential = logical(None);
+    let streams: Vec<_> = THREAD_COUNTS.iter().map(|&t| logical(Some(t))).collect();
+    rtrpart::trace::uninstall();
+
+    assert!(
+        sequential.iter().any(|(_, name, _)| name == "search.iteration"),
+        "expected iteration events in the sequential stream"
+    );
+    for (threads, stream) in THREAD_COUNTS.iter().zip(streams) {
+        assert_eq!(stream, sequential, "logical trace diverged at {threads} threads");
+    }
+}
+
+/// A mid-exploration deadline must yield the best-so-far incumbent — never
+/// an error — on the sequential path. A zero budget expires immediately
+/// after phase 1's first `Reduce_Latency`, which is the earliest
+/// deterministic deadline an exploration can hit.
+#[test]
+fn sequential_deadline_yields_best_so_far() {
+    deadline_yields_best_so_far(|part| part.explore().unwrap());
+}
+
+/// Same contract on the parallel path: workers observe the expired budget,
+/// unevaluated candidates stay unmerged, and the incumbent survives.
+#[test]
+fn parallel_deadline_yields_best_so_far() {
+    deadline_yields_best_so_far(|part| part.explore_parallel(4).unwrap());
+}
+
+fn deadline_yields_best_so_far(run: impl Fn(&TemporalPartitioner) -> rtrpart::Exploration) {
+    let mut exercised = 0u64;
+    for case in 0..CASES {
+        let inst = instance(13, case);
+        let g = random_layered(inst.seed, &inst.gp);
+        let arch = Architecture::new(Area::new(inst.cap), inst.mem, Latency::from_ns(inst.ct));
+        let params = ExploreParams { time_budget: Some(Duration::ZERO), ..deterministic_params() };
+        let Ok(part) = TemporalPartitioner::new(&g, &arch, params) else { continue };
+        let ex = run(&part);
+        // Expired straight after the first bound: every record shares the
+        // first record's N, and any phase-1 incumbent is still reported.
+        if let Some(first) = ex.records.first() {
+            assert!(ex.records.iter().all(|r| r.n == first.n), "case {case}");
+        }
+        if let Some(best) = &ex.best {
+            exercised += 1;
+            assert!(validate_solution(&g, &arch, best).is_empty(), "case {case}");
+            assert_eq!(ex.best_latency.unwrap(), best.total_latency(&g, &arch), "case {case}");
+        }
+    }
+    assert!(exercised >= CASES / 3, "only {exercised}/{CASES} cases hit the deadline feasibly");
+}

@@ -124,6 +124,56 @@ fn iteration_records_are_well_formed() {
     }
 }
 
+/// Regression ported from the proptest era (seed
+/// `3ec69589e8cb215be1bba0b84aee33c1dde9bf013a862b0da1effc49ebbb9e5e`,
+/// removed with proptest in PR 1): a 6-task chain on a 68-unit device with
+/// only 8 memory units and a tiny `C_T`. The shrunken case exercised the
+/// boundary-memory accounting on deep chains; keep it green forever, on the
+/// sequential and the parallel path alike.
+#[test]
+fn proptest_regression_deep_chain_with_tight_memory() {
+    let gp = RandomGraphParams {
+        tasks: 6,
+        max_layer_width: 1,
+        edge_probability: 0.5,
+        design_points: (1, 3),
+        area_range: (20, 60),
+        latency_range: (50.0, 600.0),
+        data_range: (1, 3),
+    };
+    let g = random_layered(4083985647177036957, &gp);
+    let arch = Architecture::new(Area::new(68), 8, Latency::from_ns(10.0));
+    // Node-limit-only limits: deterministic, so the sequential and the
+    // parallel run below are comparable outcome-for-outcome.
+    let params = ExploreParams {
+        delta: Latency::from_ns(100.0),
+        gamma: 1,
+        limits: SearchLimits { node_limit: 300_000, time_limit: None },
+        time_budget: None,
+        ..Default::default()
+    };
+    let Ok(part) = TemporalPartitioner::new(&g, &arch, params) else {
+        panic!("the regression instance admits a partitioner");
+    };
+    let ex = part.explore().unwrap();
+    if let Some(best) = &ex.best {
+        assert!(validate_solution(&g, &arch, best).is_empty());
+        assert_eq!(ex.best_latency.unwrap(), best.total_latency(&g, &arch));
+    }
+    for r in &ex.records {
+        assert!(r.d_min <= r.d_max);
+        if let rtrpart::IterationResult::Feasible { latency, .. } = r.result {
+            assert!(latency.as_ns() <= r.d_max.as_ns() + 1e-6);
+        }
+    }
+    // The parallel path must reach the same verdict on the regression.
+    let par = part.explore_parallel(4).unwrap();
+    assert_eq!(par.best_latency, ex.best_latency);
+    if let Some(best) = &par.best {
+        assert!(validate_solution(&g, &arch, best).is_empty());
+    }
+}
+
 /// The greedy baseline, when it succeeds, always produces valid
 /// solutions.
 #[test]
