@@ -251,6 +251,21 @@ impl BenchRun {
             self.counter(format!("{prefix}structured.latency_prunes"), st.latency_prunes);
             self.counter(format!("{prefix}structured.area_prunes"), st.area_prunes);
             self.counter(format!("{prefix}structured.memory_rejects"), st.memory_rejects);
+            self.counter(format!("{prefix}structured.dominance_prunes"), st.dominance_prunes);
+            // Search throughput: nodes over the wall-clock of the windows
+            // that actually ran the structured solver.
+            let solve_secs: f64 = ex
+                .records
+                .iter()
+                .filter(|r| r.stats.structured.is_some())
+                .map(|r| r.elapsed.as_secs_f64())
+                .sum();
+            if solve_secs > 0.0 {
+                self.metric(
+                    format!("{prefix}structured.nodes_per_sec"),
+                    st.nodes as f64 / solve_secs,
+                );
+            }
         }
         let mt = ex.milp_totals();
         if mt.nodes > 0 {

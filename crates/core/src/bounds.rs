@@ -43,6 +43,19 @@ pub fn max_area_partitions(graph: &TaskGraph, arch: &Architecture) -> u32 {
     graph.total_max_area().partitions_needed(arch.resource_capacity()).max(1)
 }
 
+/// The minimum number of partitions `units` area units can occupy on a
+/// device with `capacity` units per partition — `⌈units / capacity⌉`, at
+/// least 1. The structured search uses this with *committed* areas (actual
+/// design-point choices, not per-task minimums) as an admissible η lower
+/// bound mid-path.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn min_partitions_for_area(units: u64, capacity: u64) -> u32 {
+    (units.div_ceil(capacity) as u32).max(1)
+}
+
 /// `MaxLatency(N)`: the worst-case latency for `N` partitions — every task
 /// serialized on its maximum-latency design point, plus `N` reconfigurations.
 pub fn max_latency(graph: &TaskGraph, arch: &Architecture, n: u32) -> Latency {
@@ -92,6 +105,14 @@ mod tests {
         let arch = Architecture::new(Area::new(10_000), 100, Latency::from_ns(10.0));
         assert_eq!(min_area_partitions(&g, &arch), 1);
         assert_eq!(max_area_partitions(&g, &arch), 1);
+    }
+
+    #[test]
+    fn partitions_for_area() {
+        assert_eq!(min_partitions_for_area(0, 200), 1);
+        assert_eq!(min_partitions_for_area(200, 200), 1);
+        assert_eq!(min_partitions_for_area(201, 200), 2);
+        assert_eq!(min_partitions_for_area(650, 200), 4);
     }
 
     #[test]

@@ -48,7 +48,9 @@ mod validate;
 
 pub use analysis::{PartitionAnalysis, SolutionAnalysis};
 pub use arch::{Architecture, EnvMemoryPolicy};
-pub use bounds::{max_area_partitions, max_latency, min_area_partitions, min_latency};
+pub use bounds::{
+    max_area_partitions, max_latency, min_area_partitions, min_latency, min_partitions_for_area,
+};
 pub use error::PartitionError;
 pub use search::{
     default_thread_count, Backend, Exploration, ExploreParams, IterationRecord, IterationResult,

@@ -118,6 +118,18 @@ pub struct ExploreParams {
     pub time_budget: Option<Duration>,
     /// Window-tightening strategy of `Reduce_Latency`.
     pub strategy: RefinementStrategy,
+    /// Worker threads *inside* each structured window solve
+    /// ([`StructuredSolver::run_parallel`]): `1` keeps the sequential
+    /// search, `0` resolves via `RTR_THREADS` / available parallelism.
+    /// Results are bit-identical at any value (limit-fired solves are
+    /// best-effort, as on the sequential path), so this composes freely
+    /// with [`TemporalPartitioner::explore_parallel`] — though nesting both
+    /// multiplies thread counts.
+    pub solver_threads: usize,
+    /// Dominance-memoization table bound for the structured backend
+    /// (`0` disables; [`crate::structured::DEFAULT_MEMO_LIMIT`] by
+    /// default). Only node counts change with this knob, never results.
+    pub memo_limit: usize,
 }
 
 impl Default for ExploreParams {
@@ -132,6 +144,8 @@ impl Default for ExploreParams {
             milp_options: SolveOptions::feasibility(),
             time_budget: Some(Duration::from_secs(600)),
             strategy: RefinementStrategy::default(),
+            solver_threads: 1,
+            memo_limit: crate::structured::DEFAULT_MEMO_LIMIT,
         }
     }
 }
@@ -235,7 +249,8 @@ impl Exploration {
     /// Sum of the structured-search statistics over every recorded
     /// `SolveModel()` call (all-zero under the milp backend).
     pub fn structured_totals(&self) -> crate::structured::SearchStats {
-        let mut total = crate::structured::SearchStats::default();
+        // Neutral element for `absorb`, whose `exhausted` is an AND.
+        let mut total = crate::structured::SearchStats { exhausted: true, ..Default::default() };
         for r in &self.records {
             if let Some(s) = &r.stats.structured {
                 total.absorb(s);
@@ -458,7 +473,10 @@ impl<'g> TemporalPartitioner<'g> {
                     time_limit: self.params.limits.time_limit.map(|t| t / 2),
                 };
                 let mut outcome = SearchOutcome::LimitReached;
-                let mut stats = crate::structured::SearchStats::default();
+                // `absorb` ANDs `exhausted`, so the accumulator starts from
+                // the neutral element `true`.
+                let mut stats =
+                    crate::structured::SearchStats { exhausted: true, ..Default::default() };
                 for (order, use_hint) in [
                     // First attempt: local search around the incumbent.
                     (crate::structured::OrderHeuristic::DataFlow, true),
@@ -473,13 +491,18 @@ impl<'g> TemporalPartitioner<'g> {
                         SearchGoal::FirstFeasible,
                         half,
                         order,
-                    );
+                    )
+                    .with_memo_limit(self.params.memo_limit);
                     if use_hint {
                         if let Some(hint) = hint {
                             solver = solver.with_hint(hint.placements().to_vec());
                         }
                     }
-                    let (run_outcome, run_stats) = solver.run();
+                    let (run_outcome, run_stats) = if self.params.solver_threads == 1 {
+                        solver.run()
+                    } else {
+                        solver.run_parallel(self.params.solver_threads)
+                    };
                     outcome = run_outcome;
                     stats.absorb(&run_stats);
                     if !matches!(outcome, SearchOutcome::LimitReached) {

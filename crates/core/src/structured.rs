@@ -14,7 +14,33 @@
 use crate::arch::{Architecture, EnvMemoryPolicy};
 use crate::solution::{Placement, Solution};
 use rtr_graph::{TaskGraph, TaskId};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Default bound on the number of dominance-memo entries kept per search
+/// (see [`StructuredSolver::with_memo_limit`]). Each entry stores one
+/// discrete key and one float vector, so the table caps out at a few
+/// hundred MB on the largest paper-scale instances.
+pub const DEFAULT_MEMO_LIMIT: usize = 1 << 20;
+
+/// Entries kept per discrete memo key before new states stop being
+/// recorded under that key (lookups always continue).
+const MEMO_BUCKET_CAP: usize = 8;
+
+/// Subtree jobs [`StructuredSolver::run_parallel`] aims to generate per
+/// worker thread: enough slack that an unlucky giant subtree does not
+/// serialize the whole search.
+const JOBS_PER_THREAD: usize = 8;
+
+/// Hard cap on generated subtree jobs (prefix expansion stops growing the
+/// frontier once it is exceeded).
+const MAX_JOBS: usize = 4096;
+
+/// Granularity with which parallel workers claim node allowance from the
+/// shared [`SearchLimits::node_limit`] budget.
+const BUDGET_CHUNK: u64 = 4096;
 
 /// Limits for one structured search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -63,6 +89,10 @@ pub struct SearchStats {
     pub area_prunes: u64,
     /// Assignments rejected by the memory constraint.
     pub memory_rejects: u64,
+    /// Subtrees cut because an already fully explored state at the same
+    /// level dominated them (see the dominance memoization in
+    /// [`StructuredSolver`]).
+    pub dominance_prunes: u64,
     /// `true` if the search space was fully exhausted (a returned solution
     /// is proven optimal for the [`SearchGoal::Optimal`] goal).
     pub exhausted: bool,
@@ -70,14 +100,17 @@ pub struct SearchStats {
 
 impl SearchStats {
     /// Accumulates another run's counters into this one. `exhausted`
-    /// reflects the most recent run absorbed — it describes a single
-    /// search, not a sum.
+    /// becomes the logical AND of both sides: a merge of several runs (or
+    /// of per-thread partial searches) is exhaustive only if every part
+    /// was. Accumulators that start from a neutral element must therefore
+    /// initialize `exhausted` to `true`, not rely on `default()`.
     pub fn absorb(&mut self, other: &SearchStats) {
         self.nodes += other.nodes;
         self.latency_prunes += other.latency_prunes;
         self.area_prunes += other.area_prunes;
         self.memory_rejects += other.memory_rejects;
-        self.exhausted = other.exhausted;
+        self.dominance_prunes += other.dominance_prunes;
+        self.exhausted &= other.exhausted;
     }
 }
 
@@ -92,6 +125,7 @@ impl rtr_trace::Instrument for SearchStats {
         rtr_trace::counter(&format!("{scope}.latency_prunes"), self.latency_prunes);
         rtr_trace::counter(&format!("{scope}.area_prunes"), self.area_prunes);
         rtr_trace::counter(&format!("{scope}.memory_rejects"), self.memory_rejects);
+        rtr_trace::counter(&format!("{scope}.dominance_prunes"), self.dominance_prunes);
     }
 }
 
@@ -136,11 +170,23 @@ pub struct StructuredSolver<'g> {
     group_prev: Vec<Option<usize>>,
     /// Total minimum area of tasks from position `i` of `order` onwards.
     suffix_min_area: Vec<u64>,
-    eta_floor: u32,
     /// Incoming edges of each task as `(pred index, data units)`.
     pred_edges: Vec<Vec<(usize, u64)>>,
     /// Longest min-latency path strictly below each task (to any leaf).
     tail_after_ns: Vec<f64>,
+    /// Static suffix latency bound: the longest min-latency whole-graph
+    /// path through any task at position `≥ i` of `order`. Any completion's
+    /// `Σ_p d_p` is at least the graph's critical path, so this is an
+    /// admissible per-level floor that stays tight near the root where the
+    /// dynamic chain bound knows nothing yet.
+    suffix_path_ns: Vec<f64>,
+    /// Tasks "open" at each level: assigned before position `i` but with a
+    /// successor at position `≥ i`. Together with the symmetry anchor these
+    /// are the only already-assigned tasks a subtree below `i` can observe,
+    /// and therefore the only ones in the dominance-memo key.
+    memo_scope: Vec<Vec<usize>>,
+    /// Bound on dominance-memo entries (0 disables memoization).
+    memo_limit: usize,
     /// Warm-start hint: a (typically incumbent) placement tried first at
     /// every node.
     hint: Option<Vec<Placement>>,
@@ -159,7 +205,116 @@ fn assert_thread_safe() {
     sync_and_send::<SearchStats>();
 }
 
-struct State {
+/// One fully-explored state recorded in the dominance memo: a float vector
+/// (componentwise `≤` means "at least as good") plus the value `proven`,
+/// with the claim *"this state has no in-window completion with total
+/// latency `< proven − 1e-9`"*.
+struct MemoEntry {
+    dom: Vec<f64>,
+    proven: f64,
+}
+
+/// Per-search (per-worker under [`StructuredSolver::run_parallel`])
+/// dominance-memoization table. Keyed on the discrete part of a search
+/// state; each bucket holds float vectors of states already explored to
+/// completion at that key.
+struct MemoTable {
+    map: HashMap<Vec<u32>, Vec<MemoEntry>>,
+    entries: usize,
+    limit: usize,
+}
+
+impl MemoTable {
+    fn new(limit: usize) -> Self {
+        MemoTable { map: HashMap::new(), entries: 0, limit }
+    }
+
+    /// `true` if some recorded state dominates `(key, dom)` closely enough
+    /// that exploring the current state cannot improve on `best_now`: the
+    /// entry's completions are a superset with no larger totals, and none
+    /// of them beats `entry.proven`, which `best_now` already matches.
+    fn dominated(&self, key: &[u32], dom: &[f64], best_now: f64) -> bool {
+        let Some(bucket) = self.map.get(key) else { return false };
+        bucket.iter().any(|e| best_now <= e.proven && e.dom.iter().zip(dom).all(|(a, b)| *a <= *b))
+    }
+
+    fn insert(&mut self, key: Vec<u32>, dom: Vec<f64>, proven: f64) {
+        if self.limit == 0 || self.entries >= self.limit {
+            return;
+        }
+        let bucket = self.map.entry(key).or_default();
+        // Skip states an existing entry already covers; drop entries the
+        // new one covers (prunes at least as often).
+        if bucket
+            .iter()
+            .any(|e| e.proven >= proven && e.dom.iter().zip(&dom).all(|(a, b)| *a <= *b))
+        {
+            return;
+        }
+        let before = bucket.len();
+        bucket.retain(|e| !(proven >= e.proven && dom.iter().zip(&e.dom).all(|(a, b)| *a <= *b)));
+        self.entries -= before - bucket.len();
+        if bucket.len() >= MEMO_BUCKET_CAP {
+            return;
+        }
+        bucket.push(MemoEntry { dom, proven });
+        self.entries += 1;
+    }
+}
+
+/// State shared by the workers of [`StructuredSolver::run_parallel`].
+/// Latencies travel through `incumbent_bits` as IEEE-754 bits: for
+/// non-negative floats the bit pattern orders like the number, so
+/// `fetch_min` on bits is `fetch_min` on latencies (the PR-2 explorer's
+/// encoding).
+struct Shared {
+    /// Best total latency accepted by any worker (or the greedy seed).
+    incumbent_bits: AtomicU64,
+    /// Node allowance claimed so far against the global `node_limit`.
+    nodes_claimed: AtomicU64,
+    node_limit: u64,
+    /// Next subtree job to claim (ascending order).
+    next_job: AtomicUsize,
+    /// Lowest job index that found a solution ([`SearchGoal::FirstFeasible`]
+    /// only); higher-indexed jobs become irrelevant.
+    first_found: AtomicUsize,
+    /// A node or time limit fired somewhere; stop claiming jobs.
+    limit_hit: AtomicBool,
+}
+
+/// Undo frame of one applied assignment.
+struct Undo {
+    ti: usize,
+    pi: usize,
+    m: usize,
+    delta_d: f64,
+    old_d: f64,
+    old_max: u32,
+    old_chain_lb: f64,
+    touched_from: usize,
+}
+
+/// Result of [`StructuredSolver::check_and_apply`].
+enum Step {
+    /// A constraint or prune rejected the candidate; state unchanged.
+    Rejected,
+    /// A limit fired (or the job became irrelevant); abort the search.
+    Abort,
+    /// The assignment was applied; undo with [`StructuredSolver::undo_step`].
+    Applied(Undo),
+}
+
+/// Per-job outcome a parallel worker hands to the deterministic merge.
+struct JobResult {
+    /// Improvement found while running this job, if any.
+    found: Option<(f64, Vec<Placement>)>,
+    /// This job's share of the search statistics.
+    stats: SearchStats,
+    /// Trace events captured while the job ran, replayed in job order.
+    events: Vec<rtr_trace::Event>,
+}
+
+struct State<'s> {
     part: Vec<u32>,
     dpc: Vec<usize>,
     area_used: Vec<u64>,
@@ -174,10 +329,31 @@ struct State {
     sum_d_ns: f64,
     mem: Vec<u64>,
     max_part: u32,
+    /// Total area committed by the assignments on the current path.
+    total_area: u64,
+    /// Running max over assigned tasks of `gdepth + tail_after`: a
+    /// monotone-per-path admissible bound on the final `Σ_p d_p`.
+    chain_lb_max: f64,
     stats: SearchStats,
     best: Option<(f64, Vec<Placement>)>,
     nodes_exhausted: bool,
     start: Instant,
+    /// Memory-delta undo stack (frames delimited by [`Undo::touched_from`]).
+    touched: Vec<(usize, u64)>,
+    /// Per-level candidate buffers: `(bound key, enumeration seq, p, m)`.
+    cand: Vec<Vec<(f64, u32, u32, u32)>>,
+    memo: MemoTable,
+    key_buf: Vec<u32>,
+    dom_buf: Vec<f64>,
+    /// `Some(depth)`: collect surviving prefixes of `depth` assignments
+    /// into `jobs` instead of descending past them (job generation).
+    gen_depth: Option<usize>,
+    jobs: Vec<Vec<(u32, u32)>>,
+    /// Set on parallel workers; `None` on the sequential path.
+    shared: Option<&'s Shared>,
+    /// Node allowance left from the last claimed budget chunk.
+    budget_left: u64,
+    job_index: usize,
 }
 
 impl<'g> StructuredSolver<'g> {
@@ -324,7 +500,6 @@ impl<'g> StructuredSolver<'g> {
         for i in (0..count).rev() {
             suffix_min_area[i] = suffix_min_area[i + 1] + min_area[order[i].index()];
         }
-        let eta_floor = graph.total_min_area().partitions_needed(arch.resource_capacity()).max(1);
 
         let mut pred_edges = vec![Vec::new(); count];
         for e in graph.edges() {
@@ -340,6 +515,42 @@ impl<'g> StructuredSolver<'g> {
                 .fold(0.0f64, f64::max);
         }
 
+        // Longest min-latency path ending at each task (inclusive), then
+        // the per-level suffix of the "longest path through" values.
+        let mut head_min_ns = vec![0.0f64; count];
+        for &t in graph.topological_order() {
+            let ti = t.index();
+            head_min_ns[ti] = min_latency_ns[ti]
+                + graph
+                    .predecessors(t)
+                    .iter()
+                    .map(|q| head_min_ns[q.index()])
+                    .fold(0.0f64, f64::max);
+        }
+        let mut suffix_path_ns = vec![0.0f64; count + 1];
+        for i in (0..count).rev() {
+            let ti = order[i].index();
+            suffix_path_ns[i] = suffix_path_ns[i + 1].max(head_min_ns[ti] + tail_after_ns[ti]);
+        }
+
+        // Open-task scope per level for the dominance memo key.
+        let mut pos_of = vec![0usize; count];
+        for (i, t) in order.iter().enumerate() {
+            pos_of[t.index()] = i;
+        }
+        let max_succ_pos: Vec<Option<usize>> = (0..count)
+            .map(|t| {
+                graph.successors(TaskId::from_index(t)).iter().map(|s| pos_of[s.index()]).max()
+            })
+            .collect();
+        let memo_scope: Vec<Vec<usize>> = (0..count)
+            .map(|i| {
+                (0..count)
+                    .filter(|&t| pos_of[t] < i && max_succ_pos[t].is_some_and(|s| s >= i))
+                    .collect()
+            })
+            .collect();
+
         StructuredSolver {
             graph,
             arch,
@@ -351,9 +562,11 @@ impl<'g> StructuredSolver<'g> {
             dp_order,
             group_prev,
             suffix_min_area,
-            eta_floor,
             pred_edges,
             tail_after_ns,
+            suffix_path_ns,
+            memo_scope,
+            memo_limit: DEFAULT_MEMO_LIMIT,
             hint: None,
         }
     }
@@ -367,22 +580,31 @@ impl<'g> StructuredSolver<'g> {
         self
     }
 
-    /// Runs the search.
-    pub fn run(&self) -> (SearchOutcome, SearchStats) {
-        let count = self.graph.task_count();
-        let np = self.n as usize;
-        // A task none of whose design points fits the device can never be
-        // placed.
-        for task in self.graph.tasks() {
-            if !task.design_points().iter().any(|dp| self.arch.admits(dp)) {
-                return (SearchOutcome::Infeasible, SearchStats::default());
-            }
-        }
+    /// Caps the dominance-memoization table at `limit` entries
+    /// ([`DEFAULT_MEMO_LIMIT`] unless overridden); `0` disables
+    /// memoization entirely. Memoization only ever prunes states proven
+    /// unable to improve the incumbent, so the returned solution and
+    /// outcome are identical at any limit — only the node count changes.
+    pub fn with_memo_limit(mut self, limit: usize) -> Self {
+        self.memo_limit = limit;
+        self
+    }
 
-        // Greedy seeding: a constructive packing often satisfies loose
-        // windows outright, and otherwise provides an incumbent for the
-        // optimal goal.
-        let mut seed: Option<(f64, Vec<Placement>)> = None;
+    /// `false` if some task fits no design point on the device at all.
+    fn admissible(&self) -> bool {
+        self.graph
+            .tasks()
+            .iter()
+            .all(|task| task.design_points().iter().any(|dp| self.arch.admits(dp)))
+    }
+
+    /// Greedy seeding: a constructive packing often satisfies loose
+    /// windows outright, and otherwise provides an incumbent for the
+    /// optimal goal. For [`SearchGoal::FirstFeasible`] the first in-window
+    /// packing wins (matching the search's early return); for
+    /// [`SearchGoal::Optimal`] the best of the three pickers.
+    fn greedy_seed(&self) -> Option<(f64, Solution)> {
+        let mut seed: Option<(f64, Solution)> = None;
         for picker in [
             crate::baseline::DesignPointPicker::MinArea,
             crate::baseline::DesignPointPicker::MinLatency,
@@ -392,18 +614,23 @@ impl<'g> StructuredSolver<'g> {
                 crate::baseline::greedy_partition(self.graph, self.arch, picker, self.n)
             {
                 let total = sol.total_latency(self.graph, self.arch).as_ns();
-                if total <= self.d_max_ns + 1e-9 {
+                if total <= self.d_max_ns + 1e-9
+                    && seed.as_ref().map(|(b, _)| total < *b).unwrap_or(true)
+                {
+                    seed = Some((total, sol));
                     if self.goal == SearchGoal::FirstFeasible {
-                        return (SearchOutcome::Feasible(sol), SearchStats::default());
-                    }
-                    if seed.as_ref().map(|(b, _)| total < *b).unwrap_or(true) {
-                        seed = Some((total, sol.placements().to_vec()));
+                        return seed;
                     }
                 }
             }
         }
+        seed
+    }
 
-        let mut st = State {
+    fn fresh_state(&self, best: Option<(f64, Vec<Placement>)>, start: Instant) -> State<'_> {
+        let count = self.graph.task_count();
+        let np = self.n as usize;
+        State {
             part: vec![0; count],
             dpc: vec![0; count],
             area_used: vec![0; np],
@@ -414,11 +641,40 @@ impl<'g> StructuredSolver<'g> {
             sum_d_ns: 0.0,
             mem: vec![0; np.saturating_sub(1)],
             max_part: 0,
+            total_area: 0,
+            chain_lb_max: 0.0,
             stats: SearchStats::default(),
-            best: seed,
+            best,
             nodes_exhausted: true,
-            start: Instant::now(),
-        };
+            start,
+            touched: Vec::new(),
+            cand: vec![Vec::new(); count],
+            memo: MemoTable::new(self.memo_limit),
+            key_buf: Vec::new(),
+            dom_buf: Vec::new(),
+            gen_depth: None,
+            jobs: Vec::new(),
+            shared: None,
+            budget_left: 0,
+            job_index: 0,
+        }
+    }
+
+    /// Runs the search.
+    pub fn run(&self) -> (SearchOutcome, SearchStats) {
+        // A task none of whose design points fits the device can never be
+        // placed.
+        if !self.admissible() {
+            return (SearchOutcome::Infeasible, SearchStats::default());
+        }
+        let seed = self.greedy_seed();
+        if self.goal == SearchGoal::FirstFeasible {
+            if let Some((_, sol)) = seed {
+                return (SearchOutcome::Feasible(sol), SearchStats::default());
+            }
+        }
+        let seed = seed.map(|(total, sol)| (total, sol.placements().to_vec()));
+        let mut st = self.fresh_state(seed, Instant::now());
         self.dfs(0, &mut st);
         let mut stats = st.stats;
         stats.exhausted = st.nodes_exhausted;
@@ -429,6 +685,52 @@ impl<'g> StructuredSolver<'g> {
             }
             None if st.nodes_exhausted => (SearchOutcome::Infeasible, stats),
             None => (SearchOutcome::LimitReached, stats),
+        }
+    }
+
+    /// `true` when the dominance memo applies at level `idx`: never during
+    /// job generation (a truncated descent proves nothing), never when
+    /// disabled, and only where a subtree is deep enough that a lookup can
+    /// pay for itself.
+    fn memo_active(&self, idx: usize, st: &State) -> bool {
+        st.gen_depth.is_none() && self.memo_limit > 0 && idx >= 1 && self.order.len() - idx >= 4
+    }
+
+    /// Fills `st.key_buf` (discrete part) and `st.dom_buf` (float part,
+    /// componentwise `≤` = at-least-as-good) with the dominance signature of
+    /// the current state at level `idx`. Only quantities a subtree below
+    /// `idx` can observe participate: the open-task scope's partitions and
+    /// chains, the symmetry anchor, and the per-partition loads. The
+    /// admissible-bound inputs (`gdepth`, `chain_lb_max`) are deliberately
+    /// excluded — they only tighten pruning, never completion totals.
+    fn build_memo_key(&self, idx: usize, st: &mut State) {
+        let ti = self.order[idx].index();
+        st.key_buf.clear();
+        st.key_buf.push(idx as u32);
+        st.key_buf.push(st.max_part);
+        match self.group_prev[ti] {
+            // `dpc + 1` so the anchor can never collide with "no anchor".
+            Some(prev) => {
+                st.key_buf.push(st.part[prev]);
+                st.key_buf.push(st.dpc[prev] as u32 + 1);
+            }
+            None => {
+                st.key_buf.push(0);
+                st.key_buf.push(0);
+            }
+        }
+        for &q in &self.memo_scope[idx] {
+            st.key_buf.push(st.part[q]);
+        }
+        st.dom_buf.clear();
+        st.dom_buf.extend_from_slice(&st.d_part_ns);
+        st.dom_buf.extend(st.area_used.iter().map(|&a| a as f64));
+        for per_partition in &st.sec_used {
+            st.dom_buf.extend(per_partition.iter().map(|&u| u as f64));
+        }
+        st.dom_buf.extend(st.mem.iter().map(|&m| m as f64));
+        for &q in &self.memo_scope[idx] {
+            st.dom_buf.push(st.chain_ns[q]);
         }
     }
 
@@ -450,12 +752,35 @@ impl<'g> StructuredSolver<'g> {
                         .map(|(&p, &m)| Placement { partition: p, design_point: m })
                         .collect();
                     st.best = Some((total, placements));
+                    if let Some(sh) = st.shared {
+                        sh.incumbent_bits.fetch_min(total.to_bits(), Ordering::Relaxed);
+                    }
                 }
                 if self.goal == SearchGoal::FirstFeasible {
                     return true;
                 }
             }
             return false;
+        }
+
+        // Job generation: record the surviving prefix instead of descending.
+        if st.gen_depth == Some(idx) {
+            let prefix: Vec<(u32, u32)> = self.order[..idx]
+                .iter()
+                .map(|t| (st.part[t.index()], st.dpc[t.index()] as u32))
+                .collect();
+            st.jobs.push(prefix);
+            return false;
+        }
+
+        let memo_here = self.memo_active(idx, st);
+        if memo_here {
+            self.build_memo_key(idx, st);
+            let best_now = st.best.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY);
+            if st.memo.dominated(&st.key_buf, &st.dom_buf, best_now) {
+                st.stats.dominance_prunes += 1;
+                return false;
+            }
         }
 
         let t = self.order[idx];
@@ -491,8 +816,27 @@ impl<'g> StructuredSolver<'g> {
             }
         }
 
+        // Candidate ordering: try cheap assignments first so the incumbent
+        // closes early. The key is the exact objective increment — the
+        // partition-latency growth plus `C_T` times the partition-count
+        // growth; only the `p_min` partition can chain with predecessors
+        // (every predecessor lives at a partition `≤ p_min`), so the chain
+        // contribution is known without applying the assignment. Enumeration
+        // order breaks ties, which keeps the order deterministic.
+        let chain_pmin = self
+            .graph
+            .predecessors(t)
+            .iter()
+            .filter(|q| st.part[q.index()] == p_min)
+            .map(|q| st.chain_ns[q.index()])
+            .fold(0.0f64, f64::max);
+        let mut cand = std::mem::take(&mut st.cand[idx]);
+        cand.clear();
+        let mut seq = 0u32;
         for p in p_min..=self.n {
+            let pi = (p - 1) as usize;
             for &m in &self.dp_order[ti] {
+                seq += 1;
                 if Some((p, m)) == hint_pair {
                     continue;
                 }
@@ -501,14 +845,288 @@ impl<'g> StructuredSolver<'g> {
                         continue;
                     }
                 }
-                if let Some(abort) = self.try_candidate(idx, t, p, m, st) {
-                    if abort {
+                let dp = &task.design_points()[m];
+                let base = if p == p_min { chain_pmin } else { 0.0 };
+                let delta_d = st.d_part_ns[pi].max(base + dp.latency().as_ns()) - st.d_part_ns[pi];
+                let eta_delta = f64::from(p.max(st.max_part) - st.max_part);
+                cand.push((delta_d + self.ct_ns() * eta_delta, seq, p, m as u32));
+            }
+        }
+        cand.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        let mut aborted = false;
+        for &(_, _, p, m) in &cand {
+            if let Some(true) = self.try_candidate(idx, t, p, m as usize, st) {
+                aborted = true;
+                break;
+            }
+        }
+        st.cand[idx] = cand;
+        if aborted {
+            return true;
+        }
+
+        // Fully explored without a limit firing: record the dominance entry.
+        // `proven` is the tightest incumbent this exploration pruned against
+        // — nothing below this state beats it by more than the tolerance.
+        if memo_here {
+            // The buffers were clobbered by deeper levels; rebuild them.
+            self.build_memo_key(idx, st);
+            let local = st.best.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY);
+            let shared_best = st
+                .shared
+                .map(|sh| f64::from_bits(sh.incumbent_bits.load(Ordering::Relaxed)))
+                .unwrap_or(f64::INFINITY);
+            let key = st.key_buf.clone();
+            let dom = st.dom_buf.clone();
+            st.memo.insert(key, dom, local.min(shared_best));
+        }
+        false
+    }
+
+    /// Charges one node against the active limits. Returns `true` to abort.
+    ///
+    /// Sequential path: exact node/time limits, unchanged semantics. Shared
+    /// path: workers claim allowances from the *global* node budget in
+    /// [`BUDGET_CHUNK`]-sized chunks, so a `node_limit` of 50M means 50M
+    /// nodes across all threads (allowances never exceed the remainder);
+    /// wall-clock and first-found aborts piggyback on the every-1024 check.
+    fn charge_node(&self, st: &mut State) -> bool {
+        match st.shared {
+            None => {
+                if st.stats.nodes >= self.limits.node_limit {
+                    st.nodes_exhausted = false;
+                    return true;
+                }
+                if let Some(limit) = self.limits.time_limit {
+                    if st.stats.nodes.is_multiple_of(1024) && st.start.elapsed() >= limit {
+                        st.nodes_exhausted = false;
                         return true;
                     }
                 }
             }
+            Some(sh) => {
+                if st.budget_left == 0 {
+                    if sh.limit_hit.load(Ordering::Relaxed) {
+                        st.nodes_exhausted = false;
+                        return true;
+                    }
+                    let claimed = sh.nodes_claimed.fetch_add(BUDGET_CHUNK, Ordering::Relaxed);
+                    if claimed >= sh.node_limit {
+                        sh.limit_hit.store(true, Ordering::Relaxed);
+                        st.nodes_exhausted = false;
+                        return true;
+                    }
+                    st.budget_left = BUDGET_CHUNK.min(sh.node_limit - claimed);
+                }
+                if st.stats.nodes.is_multiple_of(1024) {
+                    if let Some(limit) = self.limits.time_limit {
+                        if st.start.elapsed() >= limit {
+                            sh.limit_hit.store(true, Ordering::Relaxed);
+                            st.nodes_exhausted = false;
+                            return true;
+                        }
+                    }
+                    // First-feasible found in an earlier subtree: this job
+                    // can no longer win the merge, stop without marking the
+                    // search non-exhaustive.
+                    if self.goal == SearchGoal::FirstFeasible
+                        && sh.first_found.load(Ordering::Relaxed) < st.job_index
+                    {
+                        return true;
+                    }
+                }
+                st.budget_left -= 1;
+            }
         }
+        st.stats.nodes += 1;
         false
+    }
+
+    /// Checks task `t` on `(p, m)` against every constraint and bound and,
+    /// if it survives, applies the assignment. `charge` is `false` only
+    /// when a parallel worker replays an already-charged job prefix.
+    fn check_and_apply(
+        &self,
+        idx: usize,
+        t: TaskId,
+        p: u32,
+        m: usize,
+        st: &mut State,
+        charge: bool,
+    ) -> Step {
+        let ti = t.index();
+        let task = &self.graph.tasks()[ti];
+        let pi = (p - 1) as usize;
+        if charge && self.charge_node(st) {
+            return Step::Abort;
+        }
+
+        let dp = &task.design_points()[m];
+        // Resource.
+        if st.area_used[pi] + dp.area().units() > self.arch.resource_capacity().units() {
+            return Step::Rejected;
+        }
+        // Secondary resource classes (constraint (6) per class).
+        if self
+            .arch
+            .secondary_capacities()
+            .iter()
+            .enumerate()
+            .any(|(k, &cap)| st.sec_used[pi][k] + dp.secondary_usage(k) > cap)
+        {
+            return Step::Rejected;
+        }
+        // Area look-ahead: remaining minimum areas (excluding t) must
+        // fit in the total free area.
+        let free_total: u64 = (0..self.n as usize)
+            .map(|q| self.arch.resource_capacity().units() - st.area_used[q])
+            .sum::<u64>()
+            - dp.area().units();
+        if self.suffix_min_area[idx + 1] > free_total {
+            st.stats.area_prunes += 1;
+            return Step::Rejected;
+        }
+
+        // Latency bookkeeping.
+        let chain = dp.latency().as_ns()
+            + self
+                .graph
+                .predecessors(t)
+                .iter()
+                .filter(|q| st.part[q.index()] == p)
+                .map(|q| st.chain_ns[q.index()])
+                .fold(0.0f64, f64::max);
+        let new_d = st.d_part_ns[pi].max(chain);
+        let delta_d = new_d - st.d_part_ns[pi];
+        let new_sum = st.sum_d_ns + delta_d;
+        let new_max_part = st.max_part.max(p);
+        // Admissible chain bound: the longest assigned-latency path ending
+        // at t plus the cheapest possible completion below it; tracked as a
+        // running max because it is monotone along a path.
+        let gdepth = dp.latency().as_ns()
+            + self.pred_edges[ti].iter().map(|&(q, _)| st.gdepth_ns[q]).fold(0.0f64, f64::max);
+        let chain_track = st.chain_lb_max.max(gdepth + self.tail_after_ns[ti]);
+        // η lower bound: partitions already opened, or however many the
+        // committed area plus the cheapest remaining areas must occupy.
+        let eta_lb = new_max_part.max(crate::bounds::min_partitions_for_area(
+            st.total_area + dp.area().units() + self.suffix_min_area[idx + 1],
+            self.arch.resource_capacity().units(),
+        ));
+        let lb = new_sum.max(chain_track).max(self.suffix_path_ns[idx + 1])
+            + self.ct_ns() * f64::from(eta_lb);
+        if lb > self.d_max_ns + 1e-9 {
+            st.stats.latency_prunes += 1;
+            return Step::Rejected;
+        }
+        if self.goal == SearchGoal::Optimal {
+            if let Some((best, _)) = &st.best {
+                if lb >= best - 1e-9 {
+                    st.stats.latency_prunes += 1;
+                    return Step::Rejected;
+                }
+            }
+            // Cross-thread incumbent: strictly worse only, so a bound that
+            // ties the (racy) shared value never prunes — that keeps the
+            // merged result independent of arrival order.
+            if let Some(sh) = st.shared {
+                let shared_best = f64::from_bits(sh.incumbent_bits.load(Ordering::Relaxed));
+                if lb > shared_best + 1e-9 {
+                    st.stats.latency_prunes += 1;
+                    return Step::Rejected;
+                }
+            }
+        }
+
+        // Memory: apply deltas, tracking what we touched for undo.
+        let touched_from = st.touched.len();
+        let mut mem_ok = true;
+        {
+            let add = |boundary: u32, amount: u64, st: &mut State| {
+                if amount == 0 {
+                    return true;
+                }
+                let i = (boundary - 2) as usize;
+                st.mem[i] += amount;
+                st.touched.push((i, amount));
+                st.mem[i] <= self.arch.memory_capacity()
+            };
+            'mem: {
+                for &(q, data) in &self.pred_edges[ti] {
+                    let pa = st.part[q];
+                    if pa < p {
+                        for b in (pa + 1)..=p {
+                            if !add(b, data, st) {
+                                mem_ok = false;
+                                break 'mem;
+                            }
+                        }
+                    }
+                }
+                if self.arch.env_policy() == EnvMemoryPolicy::Resident {
+                    for b in 2..=p {
+                        if !add(b, task.env_input(), st) {
+                            mem_ok = false;
+                            break 'mem;
+                        }
+                    }
+                    for b in (p + 1)..=self.n {
+                        if !add(b, task.env_output(), st) {
+                            mem_ok = false;
+                            break 'mem;
+                        }
+                    }
+                }
+            }
+        }
+        if !mem_ok {
+            st.stats.memory_rejects += 1;
+            while st.touched.len() > touched_from {
+                let (i, amount) = st.touched.pop().expect("touched frame underflow");
+                st.mem[i] -= amount;
+            }
+            return Step::Rejected;
+        }
+
+        // Apply.
+        st.part[ti] = p;
+        st.dpc[ti] = m;
+        st.area_used[pi] += dp.area().units();
+        for (k, used) in st.sec_used[pi].iter_mut().enumerate() {
+            *used += dp.secondary_usage(k);
+        }
+        st.chain_ns[ti] = chain;
+        st.gdepth_ns[ti] = gdepth;
+        let old_d = st.d_part_ns[pi];
+        st.d_part_ns[pi] = new_d;
+        st.sum_d_ns = new_sum;
+        let old_max = st.max_part;
+        st.max_part = new_max_part;
+        let old_chain_lb = st.chain_lb_max;
+        st.chain_lb_max = chain_track;
+        st.total_area += dp.area().units();
+        Step::Applied(Undo { ti, pi, m, delta_d, old_d, old_max, old_chain_lb, touched_from })
+    }
+
+    /// Reverses one [`Step::Applied`] assignment.
+    fn undo_step(&self, u: Undo, st: &mut State) {
+        let dp = &self.graph.tasks()[u.ti].design_points()[u.m];
+        st.part[u.ti] = 0;
+        st.dpc[u.ti] = 0;
+        st.area_used[u.pi] -= dp.area().units();
+        for (k, used) in st.sec_used[u.pi].iter_mut().enumerate() {
+            *used -= dp.secondary_usage(k);
+        }
+        st.chain_ns[u.ti] = 0.0;
+        st.gdepth_ns[u.ti] = 0.0;
+        st.d_part_ns[u.pi] = u.old_d;
+        st.sum_d_ns -= u.delta_d;
+        st.max_part = u.old_max;
+        st.chain_lb_max = u.old_chain_lb;
+        st.total_area -= dp.area().units();
+        while st.touched.len() > u.touched_from {
+            let (i, amount) = st.touched.pop().expect("touched frame underflow");
+            st.mem[i] -= amount;
+        }
     }
 
     /// Tries assigning task `t` to `(p, m)`. Returns `None` if the
@@ -522,165 +1140,12 @@ impl<'g> StructuredSolver<'g> {
         m: usize,
         st: &mut State,
     ) -> Option<bool> {
-        let ti = t.index();
-        let task = &self.graph.tasks()[ti];
-        let pi = (p - 1) as usize;
-        {
-            {
-                if st.stats.nodes >= self.limits.node_limit {
-                    st.nodes_exhausted = false;
-                    return Some(true);
-                }
-                if let Some(limit) = self.limits.time_limit {
-                    if st.stats.nodes.is_multiple_of(1024) && st.start.elapsed() >= limit {
-                        st.nodes_exhausted = false;
-                        return Some(true);
-                    }
-                }
-                st.stats.nodes += 1;
-
-                let dp = &task.design_points()[m];
-                // Resource.
-                if st.area_used[pi] + dp.area().units() > self.arch.resource_capacity().units() {
-                    return None;
-                }
-                // Secondary resource classes (constraint (6) per class).
-                if self
-                    .arch
-                    .secondary_capacities()
-                    .iter()
-                    .enumerate()
-                    .any(|(k, &cap)| st.sec_used[pi][k] + dp.secondary_usage(k) > cap)
-                {
-                    return None;
-                }
-                // Area look-ahead: remaining minimum areas (excluding t) must
-                // fit in the total free area.
-                let free_total: u64 = (0..self.n as usize)
-                    .map(|q| self.arch.resource_capacity().units() - st.area_used[q])
-                    .sum::<u64>()
-                    - dp.area().units();
-                if self.suffix_min_area[idx + 1] > free_total {
-                    st.stats.area_prunes += 1;
-                    return None;
-                }
-
-                // Latency bookkeeping.
-                let chain = dp.latency().as_ns()
-                    + self
-                        .graph
-                        .predecessors(t)
-                        .iter()
-                        .filter(|q| st.part[q.index()] == p)
-                        .map(|q| st.chain_ns[q.index()])
-                        .fold(0.0f64, f64::max);
-                let new_d = st.d_part_ns[pi].max(chain);
-                let delta_d = new_d - st.d_part_ns[pi];
-                let new_sum = st.sum_d_ns + delta_d;
-                let new_max_part = st.max_part.max(p);
-                let eta_lb = new_max_part.max(self.eta_floor);
-                // Admissible chain bound: the longest assigned-latency path
-                // ending at t plus the cheapest possible completion below it.
-                let gdepth = dp.latency().as_ns()
-                    + self.pred_edges[ti]
-                        .iter()
-                        .map(|&(q, _)| st.gdepth_ns[q])
-                        .fold(0.0f64, f64::max);
-                let chain_lb = gdepth + self.tail_after_ns[ti];
-                let lb = new_sum.max(chain_lb) + self.ct_ns() * f64::from(eta_lb);
-                if lb > self.d_max_ns + 1e-9 {
-                    st.stats.latency_prunes += 1;
-                    return None;
-                }
-                if let Some((best, _)) = &st.best {
-                    if self.goal == SearchGoal::Optimal && lb >= best - 1e-9 {
-                        st.stats.latency_prunes += 1;
-                        return None;
-                    }
-                }
-
-                // Memory: apply deltas, tracking what we touched for undo.
-                let mut mem_ok = true;
-                let mut touched: Vec<(usize, u64)> = Vec::new();
-                {
-                    let mut add = |boundary: u32, amount: u64, st: &mut State| {
-                        if amount == 0 {
-                            return true;
-                        }
-                        let i = (boundary - 2) as usize;
-                        st.mem[i] += amount;
-                        touched.push((i, amount));
-                        st.mem[i] <= self.arch.memory_capacity()
-                    };
-                    'mem: {
-                        for &(q, data) in &self.pred_edges[ti] {
-                            let pa = st.part[q];
-                            if pa < p {
-                                for b in (pa + 1)..=p {
-                                    if !add(b, data, st) {
-                                        mem_ok = false;
-                                        break 'mem;
-                                    }
-                                }
-                            }
-                        }
-                        if self.arch.env_policy() == EnvMemoryPolicy::Resident {
-                            for b in 2..=p {
-                                if !add(b, task.env_input(), st) {
-                                    mem_ok = false;
-                                    break 'mem;
-                                }
-                            }
-                            for b in (p + 1)..=self.n {
-                                if !add(b, task.env_output(), st) {
-                                    mem_ok = false;
-                                    break 'mem;
-                                }
-                            }
-                        }
-                    }
-                }
-                if !mem_ok {
-                    st.stats.memory_rejects += 1;
-                    for (i, amount) in touched {
-                        st.mem[i] -= amount;
-                    }
-                    return None;
-                }
-
-                // Apply.
-                st.part[ti] = p;
-                st.dpc[ti] = m;
-                st.area_used[pi] += dp.area().units();
-                for (k, used) in st.sec_used[pi].iter_mut().enumerate() {
-                    *used += dp.secondary_usage(k);
-                }
-                st.chain_ns[ti] = chain;
-                st.gdepth_ns[ti] = gdepth;
-                let old_d = st.d_part_ns[pi];
-                st.d_part_ns[pi] = new_d;
-                st.sum_d_ns = new_sum;
-                let old_max = st.max_part;
-                st.max_part = new_max_part;
-
+        match self.check_and_apply(idx, t, p, m, st, true) {
+            Step::Rejected => None,
+            Step::Abort => Some(true),
+            Step::Applied(u) => {
                 let abort = self.dfs(idx + 1, st);
-
-                // Undo.
-                st.part[ti] = 0;
-                st.dpc[ti] = 0;
-                st.area_used[pi] -= dp.area().units();
-                for (k, used) in st.sec_used[pi].iter_mut().enumerate() {
-                    *used -= dp.secondary_usage(k);
-                }
-                st.chain_ns[ti] = 0.0;
-                st.gdepth_ns[ti] = 0.0;
-                st.d_part_ns[pi] = old_d;
-                st.sum_d_ns -= delta_d;
-                st.max_part = old_max;
-                for (i, amount) in touched {
-                    st.mem[i] -= amount;
-                }
-
+                self.undo_step(u, st);
                 Some(abort)
             }
         }
@@ -688,6 +1153,226 @@ impl<'g> StructuredSolver<'g> {
 
     fn ct_ns(&self) -> f64 {
         self.arch.reconfig_time().as_ns()
+    }
+
+    /// Runs the search with up to `threads` workers splitting the
+    /// assignment tree into subtree jobs (`0` = auto via `RTR_THREADS` /
+    /// available parallelism).
+    ///
+    /// The first levels of the tree are expanded sequentially — pruning
+    /// against the greedy seed only — into prefix jobs; workers claim jobs
+    /// in ascending order, share an incumbent as `AtomicU64` latency bits,
+    /// and the merge scans job results in ascending job order accepting
+    /// strict improvements, so the returned `Solution` and `SearchOutcome`
+    /// are identical to [`run`](Self::run) for any thread count. Fired
+    /// node/time limits are the exception: the global budget is exact, but
+    /// *which* nodes it covers depends on scheduling, so limit-hit results
+    /// are best-effort (exactly like wall-clock deadlines on the
+    /// sequential path).
+    pub fn run_parallel(&self, threads: usize) -> (SearchOutcome, SearchStats) {
+        let threads = if threads == 0 { crate::search::default_thread_count() } else { threads };
+        let count = self.graph.task_count();
+        if threads <= 1 || count < 2 {
+            return self.run();
+        }
+        if !self.admissible() {
+            return (SearchOutcome::Infeasible, SearchStats::default());
+        }
+        let seed = self.greedy_seed();
+        if self.goal == SearchGoal::FirstFeasible {
+            if let Some((_, sol)) = seed {
+                return (SearchOutcome::Feasible(sol), SearchStats::default());
+            }
+        }
+        let seed = seed.map(|(total, sol)| (total, sol.placements().to_vec()));
+        let start = Instant::now();
+
+        // Job generation: deepen the split frontier until every worker can
+        // claim several jobs (work stealing by job granularity). Each pass
+        // re-expands from the root, which is cheap — the frontier is tiny
+        // compared to the tree below it.
+        let target = (threads * JOBS_PER_THREAD).min(MAX_JOBS);
+        let mut gen = self.fresh_state(seed.clone(), start);
+        let mut jobs: Vec<Vec<(u32, u32)>> = vec![Vec::new()];
+        let mut depth = 0usize;
+        while jobs.len() < target && depth + 1 < count {
+            depth += 1;
+            gen.gen_depth = Some(depth);
+            gen.jobs = Vec::new();
+            let abort = self.dfs(0, &mut gen);
+            if abort {
+                // A node/time limit fired while only generating jobs.
+                let mut stats = gen.stats;
+                stats.exhausted = false;
+                return match gen.best {
+                    Some((_, pl)) => (
+                        SearchOutcome::Feasible(Solution::new(pl, self.n).compacted(self.n)),
+                        stats,
+                    ),
+                    None => (SearchOutcome::LimitReached, stats),
+                };
+            }
+            if gen.jobs.is_empty() {
+                // Every prefix of this depth was pruned: the tree is
+                // exhausted without ever reaching a leaf.
+                let mut stats = gen.stats;
+                stats.exhausted = true;
+                return match gen.best {
+                    Some((_, pl)) => (
+                        SearchOutcome::Feasible(Solution::new(pl, self.n).compacted(self.n)),
+                        stats,
+                    ),
+                    None => (SearchOutcome::Infeasible, stats),
+                };
+            }
+            if gen.jobs.len() > MAX_JOBS && jobs.len() > 1 {
+                // Deepening exploded; the previous, coarser frontier wins.
+                break;
+            }
+            jobs = std::mem::take(&mut gen.jobs);
+        }
+        gen.gen_depth = None;
+        let depth = jobs[0].len();
+        debug_assert!(jobs.iter().all(|j| j.len() == depth));
+
+        let shared = Shared {
+            incumbent_bits: AtomicU64::new(
+                seed.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY).to_bits(),
+            ),
+            // Generation nodes were already charged sequentially; count them
+            // against the global budget so run_parallel never exceeds it.
+            nodes_claimed: AtomicU64::new(gen.stats.nodes),
+            node_limit: self.limits.node_limit,
+            next_job: AtomicUsize::new(0),
+            first_found: AtomicUsize::new(usize::MAX),
+            limit_hit: AtomicBool::new(false),
+        };
+        let results: Vec<Mutex<Option<JobResult>>> =
+            (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+        let workers = threads.min(jobs.len());
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| {
+                    let mut st = self.fresh_state(seed.clone(), start);
+                    st.shared = Some(&shared);
+                    loop {
+                        let j = shared.next_job.fetch_add(1, Ordering::Relaxed);
+                        if j >= jobs.len() || shared.limit_hit.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        if self.goal == SearchGoal::FirstFeasible {
+                            // Lower-indexed subtrees win; later jobs become
+                            // irrelevant once one of them finds a solution.
+                            if shared.first_found.load(Ordering::Relaxed) < j {
+                                continue;
+                            }
+                            st.best = None;
+                        }
+                        st.job_index = j;
+                        st.nodes_exhausted = true;
+                        st.stats = SearchStats::default();
+                        let prev_best = st.best.as_ref().map(|(b, _)| *b);
+                        let job = &jobs[j];
+                        // Capture diverts this worker thread's trace stream
+                        // into a buffer the merge replays in job order.
+                        let ((), events) = rtr_trace::capture(|| {
+                            let span = rtr_trace::span("structured.subtree")
+                                .with("job", j as u64)
+                                .with("depth", depth as u64);
+                            let mut undos: Vec<Undo> = Vec::with_capacity(depth);
+                            let mut pruned = false;
+                            for (lvl, &(p, m)) in job.iter().enumerate() {
+                                // Replaying the prefix can legitimately be
+                                // rejected now: a better incumbent may have
+                                // arrived since generation, pruning the
+                                // whole subtree.
+                                match self.check_and_apply(
+                                    lvl,
+                                    self.order[lvl],
+                                    p,
+                                    m as usize,
+                                    &mut st,
+                                    false,
+                                ) {
+                                    Step::Applied(u) => undos.push(u),
+                                    _ => {
+                                        pruned = true;
+                                        break;
+                                    }
+                                }
+                            }
+                            if !pruned {
+                                self.dfs(depth, &mut st);
+                            }
+                            for u in undos.into_iter().rev() {
+                                self.undo_step(u, &mut st);
+                            }
+                            span.finish();
+                        });
+                        let found = match (&st.best, prev_best) {
+                            (Some((b, pl)), Some(pb)) if *b < pb - 1e-9 => Some((*b, pl.clone())),
+                            (Some((b, pl)), None) => Some((*b, pl.clone())),
+                            _ => None,
+                        };
+                        if self.goal == SearchGoal::FirstFeasible && found.is_some() {
+                            shared.first_found.fetch_min(j, Ordering::Relaxed);
+                        }
+                        let mut job_stats = std::mem::take(&mut st.stats);
+                        job_stats.exhausted = st.nodes_exhausted;
+                        *results[j].lock().expect("job slot poisoned") =
+                            Some(JobResult { found, stats: job_stats, events });
+                    }
+                });
+            }
+        });
+
+        // Deterministic merge: ascending job order, strict improvement only
+        // — exactly the order and acceptance rule the sequential search
+        // applies across these subtrees.
+        let mut stats = gen.stats;
+        stats.exhausted = true;
+        let mut best = seed;
+        let mut first_feasible: Option<Vec<Placement>> = None;
+        for slot in &results {
+            match slot.lock().expect("job slot poisoned").take() {
+                Some(r) => {
+                    rtr_trace::dispatch_all(r.events);
+                    stats.absorb(&r.stats);
+                    if let Some((lat, pl)) = r.found {
+                        match self.goal {
+                            SearchGoal::FirstFeasible => {
+                                if first_feasible.is_none() {
+                                    first_feasible = Some(pl);
+                                }
+                            }
+                            SearchGoal::Optimal => {
+                                let cur = best.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY);
+                                if lat < cur - 1e-9 {
+                                    best = Some((lat, pl));
+                                }
+                            }
+                        }
+                    }
+                }
+                None => stats.exhausted = false,
+            }
+        }
+        if self.goal == SearchGoal::FirstFeasible && first_feasible.is_some() {
+            // Matches the sequential path, where stopping at the first
+            // solution still counts as an exhaustive answer.
+            stats.exhausted = !shared.limit_hit.load(Ordering::Relaxed);
+        }
+        let winner = match self.goal {
+            SearchGoal::FirstFeasible => first_feasible,
+            SearchGoal::Optimal => best.map(|(_, pl)| pl),
+        };
+        match winner {
+            Some(pl) => {
+                (SearchOutcome::Feasible(Solution::new(pl, self.n).compacted(self.n)), stats)
+            }
+            None if stats.exhausted => (SearchOutcome::Infeasible, stats),
+            None => (SearchOutcome::LimitReached, stats),
+        }
     }
 }
 
@@ -852,5 +1537,102 @@ mod tests {
             SearchOutcome::Feasible(sol) => assert_eq!(sol.partitions_used(), 1),
             other => panic!("expected feasible, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn absorb_ands_exhausted() {
+        let exhausted = |e| SearchStats { exhausted: e, ..SearchStats::default() };
+        let mut acc = exhausted(true);
+        acc.absorb(&exhausted(true));
+        assert!(acc.exhausted);
+        acc.absorb(&exhausted(false));
+        assert!(!acc.exhausted);
+        // Once false, a later exhaustive run must not flip it back.
+        acc.absorb(&exhausted(true));
+        assert!(!acc.exhausted);
+    }
+
+    /// A two-layer graph wide enough to spawn many subtree jobs and deep
+    /// enough for memoization to apply.
+    fn layered_graph(width: usize) -> TaskGraph {
+        let mut b = TaskGraphBuilder::new();
+        let top: Vec<_> = (0..width)
+            .map(|i| {
+                b.add_task(format!("u{i}"))
+                    .design_point(dp("s", 20 + 7 * i as u64, 200.0 + 30.0 * i as f64))
+                    .design_point(dp("f", 45 + 5 * i as u64, 90.0 + 11.0 * i as f64))
+                    .finish()
+            })
+            .collect();
+        let bottom: Vec<_> = (0..width)
+            .map(|i| {
+                b.add_task(format!("v{i}"))
+                    .design_point(dp("s", 25 + 6 * i as u64, 180.0 + 23.0 * i as f64))
+                    .design_point(dp("f", 50 + 4 * i as u64, 80.0 + 13.0 * i as f64))
+                    .finish()
+            })
+            .collect();
+        for i in 0..width {
+            b.add_edge(top[i], bottom[i], 1 + (i as u64 % 3)).unwrap();
+            b.add_edge(top[i], bottom[(i + 1) % width], 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn run_parallel_matches_run() {
+        let g = layered_graph(4);
+        let arch = Architecture::new(Area::new(120), 32, Latency::from_ns(40.0));
+        for goal in [SearchGoal::Optimal, SearchGoal::FirstFeasible] {
+            for d_max in [900.0, 1_400.0, 2_500.0, 1e9] {
+                let solver =
+                    StructuredSolver::new(&g, &arch, 3, d_max, goal, SearchLimits::default());
+                let (sequential, seq_stats) = solver.run();
+                for threads in [2, 4, 8] {
+                    let (parallel, par_stats) = solver.run_parallel(threads);
+                    assert_eq!(
+                        parallel, sequential,
+                        "goal {goal:?} d_max {d_max} diverged at {threads} threads"
+                    );
+                    assert_eq!(par_stats.exhausted, seq_stats.exhausted);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_node_budget_is_global() {
+        let g = layered_graph(5);
+        let arch = Architecture::new(Area::new(120), 32, Latency::from_ns(40.0));
+        let limits = SearchLimits { node_limit: 500, time_limit: None };
+        let solver = StructuredSolver::new(&g, &arch, 3, 1e9, SearchGoal::Optimal, limits);
+        let (_, stats) = solver.run_parallel(4);
+        assert!(
+            stats.nodes <= 500,
+            "global budget exceeded: {} nodes across all workers",
+            stats.nodes
+        );
+        assert!(!stats.exhausted, "a 500-node budget cannot exhaust this tree");
+    }
+
+    #[test]
+    fn memoization_prunes_without_changing_the_optimum() {
+        let g = layered_graph(4);
+        let arch = Architecture::new(Area::new(120), 32, Latency::from_ns(40.0));
+        let base =
+            StructuredSolver::new(&g, &arch, 3, 1e9, SearchGoal::Optimal, SearchLimits::default());
+        let (with_memo, memo_stats) = base.run();
+        let off =
+            StructuredSolver::new(&g, &arch, 3, 1e9, SearchGoal::Optimal, SearchLimits::default())
+                .with_memo_limit(0);
+        let (without_memo, off_stats) = off.run();
+        assert_eq!(with_memo, without_memo);
+        assert_eq!(off_stats.dominance_prunes, 0);
+        assert!(
+            memo_stats.nodes <= off_stats.nodes,
+            "memoization increased nodes: {} > {}",
+            memo_stats.nodes,
+            off_stats.nodes
+        );
     }
 }

@@ -44,8 +44,10 @@ OPTIONS (partition / bounds / simulate):
     --env-policy <name>   resident | streamed             [default: resident]
     --dsp <a,b,...>       secondary resource capacities per class
     --solve-seconds <s>   per-window time budget          [default: 5]
-    --threads <n>         worker threads for the relaxation phase; 0 = auto
-                          (RTR_THREADS env var, else CPU count) [default: 1]
+    --threads <n>         worker threads; 0 = auto (RTR_THREADS env var, else
+                          CPU count) [default: 1]. Parallelizes both the
+                          relaxation phase and each window's structured
+                          search; results are identical at any count
     --csv <file>          write the refinement log as CSV
     --dot <file>          write the task graph as Graphviz DOT
     --out-solution <file> write the best solution as text
@@ -214,7 +216,7 @@ fn partition_cmd(args: &[String], simulate: bool) -> Result<(), String> {
 fn partition_body(opts: &Options, simulate: bool) -> Result<(), String> {
     let graph = load_graph(opts)?;
     let arch = load_arch(opts)?;
-    let params = load_params(opts)?;
+    let mut params = load_params(opts)?;
     let quiet = opts.flag("--quiet");
 
     if let Some(path) = opts.value("--dot") {
@@ -222,6 +224,10 @@ fn partition_body(opts: &Options, simulate: bool) -> Result<(), String> {
     }
 
     let threads: usize = opts.parsed("--threads", 1)?;
+    // `--threads` drives both layers: candidate windows fan out via
+    // `explore_parallel`, and each structured window solve splits its
+    // assignment tree across the same number of workers.
+    params.solver_threads = threads;
     let partitioner = TemporalPartitioner::new(&graph, &arch, params)
         .map_err(|e| format!("partitioner rejected the instance: {e}"))?;
     if !quiet {
