@@ -85,22 +85,44 @@ impl DctExperiment {
         Architecture::new(Area::new(self.r_max), 512, self.ct)
     }
 
-    /// The exploration parameters of this experiment.
+    /// The exploration parameters of this experiment: pure node budgets
+    /// and no wall-clock cut-offs, so a committed table reproduces the
+    /// same solve trace on any machine.
     pub fn params(&self) -> ExploreParams {
         ExploreParams {
             delta: Latency::from_ns(self.delta_ns),
             alpha: self.alpha,
             gamma: self.gamma,
             limits: per_solve_limits(),
-            time_budget: Some(Duration::from_secs(120)),
             ..Default::default()
+        }
+    }
+
+    /// [`params`](Self::params) under the historical wall-clock deadlines
+    /// (5 s per solve, 120 s per exploration). Faster on slow hosts but
+    /// machine-dependent; selected by `runtime_comparison --deadline`.
+    pub fn params_deadline(&self) -> ExploreParams {
+        ExploreParams {
+            limits: per_solve_limits_deadline(),
+            time_budget: Some(Duration::from_secs(120)),
+            ..self.params()
         }
     }
 }
 
-/// Per-`SolveModel()` limits used by all table binaries: enough to decide
-/// the paper-scale windows, bounded so a full table regenerates in seconds.
+/// Per-`SolveModel()` limits used by all table binaries: a pure node
+/// budget — enough to decide the paper-scale windows, deterministic on any
+/// host. (40 M nodes corresponds to roughly the historical 5 s deadline at
+/// the ~10 M nodes/s the structured solver sustains on one core.)
 pub fn per_solve_limits() -> SearchLimits {
+    SearchLimits { node_limit: 40_000_000, time_limit: None }
+}
+
+/// The wall-clock variant of [`per_solve_limits`]: the same node budget
+/// plus the historical 5 s per-solve deadline. Opt-in (`--deadline`) for
+/// hosts where 40 M nodes takes too long; the resulting tables depend on
+/// machine speed.
+pub fn per_solve_limits_deadline() -> SearchLimits {
     SearchLimits { node_limit: 40_000_000, time_limit: Some(Duration::from_secs(5)) }
 }
 
@@ -273,6 +295,10 @@ impl BenchRun {
             self.counter(format!("{prefix}milp.pivots"), mt.simplex_iterations as u64);
             self.counter(format!("{prefix}milp.nodes_pruned"), mt.nodes_pruned as u64);
             self.counter(format!("{prefix}milp.lp_time_us"), mt.lp_time.as_micros() as u64);
+            self.counter(format!("{prefix}milp.lp.warm_starts"), mt.warm_starts as u64);
+            self.counter(format!("{prefix}milp.lp.cold_starts"), mt.cold_starts as u64);
+            self.counter(format!("{prefix}milp.lp.refactorizations"), mt.refactorizations as u64);
+            self.counter(format!("{prefix}milp.lp.pivots_saved"), mt.pivots_saved as u64);
         }
     }
 

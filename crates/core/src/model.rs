@@ -63,6 +63,11 @@ pub struct IlpModel {
     /// All latency coefficients are divided by this scale (the model works
     /// in units of `D_max`) for numerical conditioning.
     latency_scale: f64,
+    /// Row index of the latency upper-bound constraint (9).
+    latency_ub_row: usize,
+    /// Row index of the latency lower-bound constraint (10), when
+    /// [`ModelOptions::include_dmin_cut`] kept it.
+    latency_lb_row: Option<usize>,
 }
 
 impl IlpModel {
@@ -305,19 +310,42 @@ impl IlpModel {
             expr.push(coeff_eta, eta);
             expr
         };
+        let latency_ub_row = model.constraints().len();
         model.add_constraint(
             Constraint::new(window(ct), Rel::Le, d_max.as_ns() / scale).with_name("latency_ub"),
         );
-        if options.include_dmin_cut {
+        let latency_lb_row = if options.include_dmin_cut {
+            let row = model.constraints().len();
             model.add_constraint(
                 Constraint::new(window(ct), Rel::Ge, d_min.as_ns() / scale).with_name("latency_lb"),
             );
-        }
+            Some(row)
+        } else {
+            None
+        };
         if options.minimize_latency {
             model.minimize(window(ct));
         }
 
-        Ok(IlpModel { model, y, n, latency_scale: scale })
+        Ok(IlpModel { model, y, n, latency_scale: scale, latency_ub_row, latency_lb_row })
+    }
+
+    /// Re-targets the latency window rows (9)/(10) to `[d_min, d_max]`
+    /// without rebuilding the model — the mutation the paper's
+    /// `Reduce_Latency` subdivision applies between solves. Coefficients
+    /// keep the build-time scale, so this is an RHS-only change and a
+    /// [`Basis`](rtr_milp::Basis) returned by a previous solve of this
+    /// model stays valid for a warm re-solve
+    /// ([`rtr_milp::solve_mip_warm`]).
+    ///
+    /// Intended for the shrinking windows of the subdivision loop: `d_max`
+    /// must not exceed the build-time `D_max` (the `d_p` variables are
+    /// capped at one build-time scale unit).
+    pub fn set_latency_window(&mut self, d_max: Latency, d_min: Latency) {
+        self.model.set_rhs(self.latency_ub_row, d_max.as_ns() / self.latency_scale);
+        if let Some(row) = self.latency_lb_row {
+            self.model.set_rhs(row, d_min.as_ns() / self.latency_scale);
+        }
     }
 
     /// The underlying MILP model.
@@ -484,6 +512,32 @@ mod tests {
             IlpModel::build(&g, &arch, 2, Latency::from_ns(1e6), Latency::ZERO, &opts),
             Err(PartitionError::TooManyPaths { .. })
         ));
+    }
+
+    #[test]
+    fn set_latency_window_moves_only_the_rhs() {
+        let g = small_graph();
+        let arch = Architecture::new(Area::new(100), 16, Latency::from_ns(50.0));
+        let mut ilp = IlpModel::build(
+            &g,
+            &arch,
+            2,
+            Latency::from_ns(1_000.0),
+            Latency::ZERO,
+            &ModelOptions::default(),
+        )
+        .unwrap();
+        let opts = SolveOptions::feasibility();
+        assert!(ilp.model().solve(&opts).unwrap().solution.is_some());
+        // Tighten below the instance optimum of 370: infeasible.
+        ilp.set_latency_window(Latency::from_ns(300.0), Latency::ZERO);
+        assert!(ilp.model().solve(&opts).unwrap().solution.is_none());
+        // Exactly the optimum again: feasible, same answer as a fresh
+        // build at that window.
+        ilp.set_latency_window(Latency::from_ns(370.0), Latency::ZERO);
+        let sol = ilp.model().solve(&opts).unwrap().solution.expect("feasible at optimum");
+        let decoded = ilp.decode(&sol);
+        assert_eq!(decoded.total_latency(&g, &arch).as_ns(), 370.0);
     }
 
     #[test]

@@ -51,6 +51,14 @@ enum CandidateSlot {
     },
 }
 
+/// Per-partition-bound warm-start state of the milp backend inside
+/// `Reduce_Latency`: the ILP built once for the bound plus the root basis
+/// of the latest solve, carried into the next (RHS-only-different) window.
+struct MilpSession {
+    ilp: IlpModel,
+    basis: Option<rtr_milp::Basis>,
+}
+
 /// Which constraint-satisfaction engine `SolveModel()` uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Backend {
@@ -533,23 +541,80 @@ impl<'g> TemporalPartitioner<'g> {
                 // `Model::solve` emits the `milp.solve` span and `milp.*`
                 // counters itself; here we only capture the stats.
                 let outcome = ilp.model().solve(&self.params.milp_options)?;
-                let stats = WindowStats { milp: Some(outcome.stats), structured: None };
-                Ok(match outcome.status {
-                    rtr_milp::Status::Feasible | rtr_milp::Status::Optimal => {
-                        let sol = ilp
-                            .decode(outcome.solution.as_ref().expect("status has solution"))
-                            .compacted(n);
-                        let latency = sol.total_latency(self.graph, self.arch);
-                        let eta = sol.partitions_used();
-                        (IterationResult::Feasible { latency, eta }, Some(sol), stats)
-                    }
-                    rtr_milp::Status::Infeasible => (IterationResult::Infeasible, None, stats),
-                    rtr_milp::Status::LimitReached | rtr_milp::Status::Unbounded => {
-                        (IterationResult::LimitReached, None, stats)
-                    }
-                })
+                Ok(self.decode_milp_outcome(&ilp, n, outcome))
             }
         }
+    }
+
+    /// Maps a MILP [`rtr_milp::Outcome`] of the window ILP back onto the
+    /// search vocabulary, decoding the incumbent when there is one.
+    fn decode_milp_outcome(
+        &self,
+        ilp: &IlpModel,
+        n: u32,
+        outcome: rtr_milp::Outcome,
+    ) -> (IterationResult, Option<Solution>, WindowStats) {
+        let stats = WindowStats { milp: Some(outcome.stats), structured: None };
+        match outcome.status {
+            rtr_milp::Status::Feasible | rtr_milp::Status::Optimal => {
+                let sol = ilp
+                    .decode(outcome.solution.as_ref().expect("status has solution"))
+                    .compacted(n);
+                let latency = sol.total_latency(self.graph, self.arch);
+                let eta = sol.partitions_used();
+                (IterationResult::Feasible { latency, eta }, Some(sol), stats)
+            }
+            rtr_milp::Status::Infeasible => (IterationResult::Infeasible, None, stats),
+            rtr_milp::Status::LimitReached | rtr_milp::Status::Unbounded => {
+                (IterationResult::LimitReached, None, stats)
+            }
+        }
+    }
+
+    /// [`solve_window_traced`](Self::solve_window_traced) that chains the
+    /// milp backend's window solves through one [`MilpSession`]: the ILP is
+    /// built once per partition bound, each subsequent window moves only
+    /// the latency-row right-hand sides
+    /// ([`IlpModel::set_latency_window`]), and every solve warm-starts from
+    /// the previous one's root basis. Falls through to the stateless path
+    /// for the structured backend or when
+    /// [`SolveOptions::warm_start`](rtr_milp::SolveOptions) is off.
+    fn solve_window_in_session(
+        &self,
+        n: u32,
+        d_max: Latency,
+        d_min: Latency,
+        hint: Option<&Solution>,
+        session: &mut Option<MilpSession>,
+    ) -> Result<(IterationResult, Option<Solution>, WindowStats), PartitionError> {
+        if self.params.backend != Backend::Milp || !self.params.milp_options.warm_start {
+            return self.solve_window_traced(n, d_max, d_min, hint);
+        }
+        match session {
+            Some(s) => s.ilp.set_latency_window(d_max, d_min),
+            None => {
+                *session = Some(MilpSession {
+                    ilp: IlpModel::build(
+                        self.graph,
+                        self.arch,
+                        n,
+                        d_max,
+                        d_min,
+                        &self.params.model_options,
+                    )?,
+                    basis: None,
+                });
+            }
+        }
+        let s = session.as_mut().expect("session was just built");
+        // Presolve would re-index rows under the chained basis, so session
+        // solves run on the unreduced model (`solve_mip_warm` enforces the
+        // same rule whenever a basis is supplied).
+        let mut opts = self.params.milp_options.clone();
+        opts.presolve = false;
+        let mut outcome = rtr_milp::solve_mip_warm(s.ilp.model(), &opts, s.basis.as_ref())?;
+        s.basis = outcome.root_basis.take();
+        Ok(self.decode_milp_outcome(&s.ilp, n, outcome))
     }
 
     /// The paper's `Reduce_Latency(N, D_max, D_min)` (Figure 1): binary
@@ -587,6 +652,9 @@ impl<'g> TemporalPartitioner<'g> {
         let _span = rtr_trace::span("search.reduce_latency").with("n", n);
         let delta = self.params.delta.as_ns().max(1e-9);
         let mut iteration = 0u32;
+        // The subdivision's successive windows differ only in the latency
+        // RHS, so the milp backend's solves chain through one session.
+        let mut session: Option<MilpSession> = None;
         let mut solve = |d_max: Latency,
                          d_min: Latency,
                          hint: Option<&Solution>,
@@ -594,7 +662,8 @@ impl<'g> TemporalPartitioner<'g> {
          -> Result<(IterationResult, Option<Solution>), PartitionError> {
             iteration += 1;
             let start = Instant::now();
-            let (result, sol, stats) = self.solve_window_traced(n, d_max, d_min, hint)?;
+            let (result, sol, stats) =
+                self.solve_window_in_session(n, d_max, d_min, hint, &mut session)?;
             let record = IterationRecord {
                 n,
                 iteration,
@@ -1087,6 +1156,47 @@ mod tests {
             results[0],
             results[1]
         );
+    }
+
+    #[test]
+    fn milp_warm_sessions_match_cold_solves_with_fewer_pivots() {
+        let g = chain3();
+        let arch = Architecture::new(Area::new(100), 64, Latency::from_ns(20.0));
+        let run = |warm: bool| {
+            let params = ExploreParams {
+                delta: Latency::from_ns(10.0),
+                gamma: 2,
+                backend: Backend::Milp,
+                // Presolve off on both sides so warm starting is the only
+                // difference between the two runs.
+                milp_options: SolveOptions {
+                    warm_start: warm,
+                    presolve: false,
+                    ..SolveOptions::feasibility()
+                },
+                ..Default::default()
+            };
+            let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+            part.explore().unwrap()
+        };
+        let warm = run(true);
+        let cold = run(false);
+        // A warm node LP may sit down on a different optimal vertex of a
+        // degenerate relaxation than a cold one, steering branch and bound
+        // to a different — equally feasible — incumbent inside a window, so
+        // trajectories are not compared row by row. The refinement *result*
+        // must agree to within the bisection tolerance δ.
+        let (w, c) =
+            (warm.best_latency.expect("feasible").as_ns(), cold.best_latency.expect("feasible"));
+        assert!((w - c.as_ns()).abs() <= 10.0 + 1e-6, "warm {w} vs cold {c:?}");
+        assert!(validate_solution(&g, &arch, warm.best.as_ref().unwrap()).is_empty());
+        assert!(validate_solution(&g, &arch, cold.best.as_ref().unwrap()).is_empty());
+        // The warm run chained bases across the subdivision windows; the
+        // cold run never did.
+        let wt = warm.milp_totals();
+        let ct = cold.milp_totals();
+        assert!(wt.warm_starts > 0, "no warm solves recorded: {wt:?}");
+        assert_eq!(ct.warm_starts, 0, "cold run must not warm start: {ct:?}");
     }
 
     #[test]

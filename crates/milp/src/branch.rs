@@ -2,9 +2,10 @@
 
 use crate::error::MilpError;
 use crate::model::{effective_bounds, Model, Sense, VarKind};
-use crate::simplex::{solve_lp_with_deadline, LpStatus};
+use crate::simplex::{resolve_lp_with_deadline, solve_lp_with_deadline, Basis, LpStatus};
 use crate::solution::{Goal, Outcome, Solution, SolveOptions, SolveStats, Status};
 use rtr_trace::Instrument as _;
+use std::rc::Rc;
 use std::time::Instant;
 
 /// Solves a mixed-integer model by branch and bound.
@@ -14,34 +15,66 @@ use std::time::Instant;
 /// ILP. In `Goal::Optimal` mode the search prunes on the incumbent bound
 /// and only stops when the tree is exhausted (or a limit fires).
 ///
+/// With `options.warm_start` (the default) every child node's LP re-solves
+/// from its parent's optimal basis by dual simplex — branching only
+/// tightens one variable's bounds, which leaves that basis dual feasible —
+/// and falls back to a cold start on any trouble, so the search outcome is
+/// independent of the flag.
+///
 /// When a [`rtr_trace`] sink is installed, each solve closes one
-/// `milp.solve` span and emits its [`SolveStats`] as `milp.*` counters.
-/// Tracing never changes the search: the same pivots and branches happen
-/// with a sink installed, absent, or disabled.
+/// `milp.solve` span and emits its [`SolveStats`] as `milp.*` counters
+/// (including the `milp.lp.*` warm-start counters). Tracing never changes
+/// the search: the same pivots and branches happen with a sink installed,
+/// absent, or disabled.
 ///
 /// # Errors
 ///
 /// Propagates [`MilpError`] from model validation or a simplex failure.
 pub fn solve_mip(model: &Model, options: &SolveOptions) -> Result<Outcome, MilpError> {
+    solve_mip_warm(model, options, None)
+}
+
+/// [`solve_mip`] with an optional warm-start basis for the *root* LP,
+/// produced by a previous solve of the same model after a bounds- or
+/// RHS-only mutation (the paper's binary-subdivision loop re-solves).
+///
+/// Supplying a basis skips presolve: the basis indexes the unreduced
+/// model's rows, and row removal would silently invalidate it. A stale or
+/// unusable basis degrades to a cold root solve — results never change.
+///
+/// # Errors
+///
+/// Propagates [`MilpError`] like [`solve_mip`].
+pub fn solve_mip_warm(
+    model: &Model,
+    options: &SolveOptions,
+    root_basis: Option<&Basis>,
+) -> Result<Outcome, MilpError> {
     let span = rtr_trace::span("milp.solve")
         .with("vars", model.vars.len())
         .with("rows", model.constraints.len());
-    let outcome = if options.presolve {
+    let outcome = if options.presolve && root_basis.is_none() {
         match crate::presolve::presolve(model) {
             crate::presolve::PresolveOutcome::Reduced(reduced, pstats) => {
                 let mut inner = options.clone();
                 inner.presolve = false;
-                let mut outcome = branch_and_bound(&reduced, &inner)?;
+                let mut outcome = branch_and_bound(&reduced, &inner, None)?;
                 outcome.stats.presolve_tightened_bounds = pstats.tightened_bounds;
                 outcome.stats.presolve_removed_rows = pstats.removed_rows;
+                // The root basis indexes the reduced row space; it cannot
+                // seed a re-solve of the original model.
+                outcome.root_basis = None;
                 outcome
             }
-            crate::presolve::PresolveOutcome::Infeasible => {
-                Outcome { status: Status::Infeasible, solution: None, stats: SolveStats::default() }
-            }
+            crate::presolve::PresolveOutcome::Infeasible => Outcome {
+                status: Status::Infeasible,
+                solution: None,
+                stats: SolveStats::default(),
+                root_basis: None,
+            },
         }
     } else {
-        branch_and_bound(model, options)?
+        branch_and_bound(model, options, root_basis)?
     };
     if rtr_trace::enabled() {
         outcome.stats.emit_metrics("milp");
@@ -52,8 +85,19 @@ pub fn solve_mip(model: &Model, options: &SolveOptions) -> Result<Outcome, MilpE
     Ok(outcome)
 }
 
+/// A branch-and-bound node: its bound box plus the parent LP's optimal
+/// basis (shared between sibling children).
+struct Node {
+    bounds: Vec<(f64, f64)>,
+    parent_basis: Option<Rc<Basis>>,
+}
+
 /// The branch-and-bound core, run on an (optionally presolved) model.
-fn branch_and_bound(model: &Model, options: &SolveOptions) -> Result<Outcome, MilpError> {
+fn branch_and_bound(
+    model: &Model,
+    options: &SolveOptions,
+    root_basis: Option<&Basis>,
+) -> Result<Outcome, MilpError> {
     let start = Instant::now();
     let int_vars: Vec<usize> = model.integer_vars().map(|v| v.index()).collect();
     let minimize_sign = match model.sense {
@@ -78,12 +122,21 @@ fn branch_and_bound(model: &Model, options: &SolveOptions) -> Result<Outcome, Mi
     let mut incumbent: Option<Solution> = None;
     // Incumbent objective in minimization terms.
     let mut incumbent_obj = f64::INFINITY;
-    let mut stack: Vec<Vec<(f64, f64)>> = vec![root_bounds];
+    let mut stack: Vec<Node> =
+        vec![Node { bounds: root_bounds, parent_basis: root_basis.map(|b| Rc::new(b.clone())) }];
     let mut saw_limit = false;
     let mut root_unbounded = false;
     let mut first_node = true;
+    // Pivot-price baseline: the most expensive LP solved in this tree so
+    // far (the root LP of a cold-started run; in a warm-rooted tree, the
+    // priciest warm solve — still a lower bound on the cold-start price at
+    // this model size, so the savings estimate stays conservative). A node
+    // never claims savings against its own price: the baseline is updated
+    // after the node is charged.
+    let mut price_baseline = 0usize;
+    let mut outcome_root_basis: Option<Basis> = None;
 
-    while let Some(bounds) = stack.pop() {
+    while let Some(Node { bounds, parent_basis }) = stack.pop() {
         if stats.nodes >= options.node_limit {
             saw_limit = true;
             break;
@@ -98,16 +151,38 @@ fn branch_and_bound(model: &Model, options: &SolveOptions) -> Result<Outcome, Mi
 
         let deadline = options.time_limit.map(|t| start + t);
         let lp_start = Instant::now();
-        let lp = solve_lp_with_deadline(
-            model,
-            Some(&bounds),
-            options.lp_tol,
-            options.lp_iteration_limit,
-            deadline,
-        )?;
+        let warm_basis = if options.warm_start { parent_basis.as_deref() } else { None };
+        let lp = match warm_basis {
+            Some(basis) => resolve_lp_with_deadline(
+                model,
+                Some(&bounds),
+                basis,
+                options.lp_tol,
+                options.lp_iteration_limit,
+                deadline,
+            )?,
+            None => solve_lp_with_deadline(
+                model,
+                Some(&bounds),
+                options.lp_tol,
+                options.lp_iteration_limit,
+                deadline,
+            )?,
+        };
         stats.lp_time += lp_start.elapsed();
         stats.simplex_iterations += lp.iterations;
+        stats.refactorizations += lp.refactorizations;
+        if lp.warm {
+            stats.warm_starts += 1;
+            stats.pivots_saved += price_baseline.saturating_sub(lp.iterations);
+        } else {
+            stats.cold_starts += 1;
+        }
+        price_baseline = price_baseline.max(lp.iterations);
         let is_root = std::mem::take(&mut first_node);
+        if is_root {
+            outcome_root_basis = lp.basis.clone();
+        }
         match lp.status {
             LpStatus::Infeasible => {
                 stats.infeasible_nodes += 1;
@@ -197,6 +272,12 @@ fn branch_and_bound(model: &Model, options: &SolveOptions) -> Result<Outcome, Mi
                 down[j].1 = down[j].1.min(floor);
                 let mut up = bounds;
                 up[j].0 = up[j].0.max(floor + 1.0);
+                // Both children warm-start from this node's optimal basis:
+                // the only change is one variable's bound, which leaves the
+                // basis dual feasible.
+                let child_basis = lp.basis.map(Rc::new);
+                let down = Node { bounds: down, parent_basis: child_basis.clone() };
+                let up = Node { bounds: up, parent_basis: child_basis };
                 // Explore the nearer branch first (depth-first).
                 if v - floor <= 0.5 {
                     stack.push(up);
@@ -219,7 +300,7 @@ fn branch_and_bound(model: &Model, options: &SolveOptions) -> Result<Outcome, Mi
             (None, false, _) => Status::Infeasible,
         }
     };
-    Ok(Outcome { status, solution: incumbent, stats })
+    Ok(Outcome { status, solution: incumbent, stats, root_basis: outcome_root_basis })
 }
 
 #[cfg(test)]

@@ -35,6 +35,12 @@ pub enum MilpError {
         /// The limit that was hit.
         limit: usize,
     },
+    /// A textual basis file could not be interpreted against this model, or
+    /// a basis was paired with a model of different dimensions.
+    BasisFormat {
+        /// What was wrong (includes the offending line for parse errors).
+        detail: String,
+    },
 }
 
 impl fmt::Display for MilpError {
@@ -51,6 +57,9 @@ impl fmt::Display for MilpError {
             }
             MilpError::IterationLimit { limit } => {
                 write!(f, "simplex iteration limit {limit} exceeded")
+            }
+            MilpError::BasisFormat { detail } => {
+                write!(f, "malformed basis: {detail}")
             }
         }
     }

@@ -6,8 +6,14 @@
 //! * a model-builder API ([`Model`], [`Variable`], [`Constraint`],
 //!   [`LinExpr`]) for linear programs over bounded continuous, integer, and
 //!   binary variables;
-//! * a bounded-variable primal simplex ([`solve_lp`]) with a composite
-//!   phase 1 (no artificial variables);
+//! * a sparse revised bounded-variable simplex ([`solve_lp`]) — CSC
+//!   constraint matrix, eta-file basis factorization with periodic
+//!   refactorization — with a composite phase 1 (no artificial variables);
+//! * warm-started re-solves ([`resolve_lp`], [`solve_mip_warm`]): an
+//!   optimal solve returns its [`Basis`], and a re-solve after a bound or
+//!   right-hand-side change runs a dual simplex from that basis instead of
+//!   a cold start — the access pattern of both branch and bound and the
+//!   paper's binary-subdivision latency loop;
 //! * a branch-and-bound driver for integer variables with two entry modes,
 //!   matching the two ways the paper uses its solver: **feasibility** (return
 //!   the first constraint-satisfying integer solution, the paper's
@@ -49,9 +55,12 @@ mod presolve;
 mod simplex;
 mod solution;
 
-pub use branch::solve_mip;
+pub use branch::{solve_mip, solve_mip_warm};
 pub use error::MilpError;
 pub use model::{Constraint, LinExpr, Model, Rel, Sense, VarId, VarKind, Variable};
 pub use presolve::{presolve, PresolveOutcome, PresolveStats};
-pub use simplex::{solve_lp, solve_lp_with_deadline, LpOutcome, LpStatus};
+pub use simplex::{
+    resolve_lp, resolve_lp_with_deadline, solve_lp, solve_lp_with_deadline, Basis, LpOutcome,
+    LpStatus, VarStatus,
+};
 pub use solution::{Outcome, Solution, SolveOptions, SolveStats, Status};

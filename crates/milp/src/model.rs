@@ -318,6 +318,21 @@ impl Model {
         self.sense = Sense::Maximize;
     }
 
+    /// Replaces the right-hand side of constraint `index` in place.
+    ///
+    /// This is the re-solve mutation of the paper's binary-subdivision loop
+    /// (the latency window moves while every coefficient stays fixed): a
+    /// basis from the previous solve stays structurally valid and can be
+    /// passed to [`resolve_lp`](crate::resolve_lp) /
+    /// [`solve_mip_warm`](crate::solve_mip_warm).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn set_rhs(&mut self, index: usize, rhs: f64) {
+        self.constraints[index].rhs = rhs;
+    }
+
     /// Number of variables.
     pub fn var_count(&self) -> usize {
         self.vars.len()

@@ -1,22 +1,52 @@
-//! Bounded-variable primal simplex on the full tableau.
+//! Sparse revised bounded-variable simplex with warm-started re-solves.
 //!
-//! The implementation follows the classic textbook method for linear
-//! programs with general variable bounds `l ≤ x ≤ u`:
+//! The solver keeps the classic bounded-variable method of the original
+//! dense-tableau implementation — slack columns encode the row relations,
+//! infeasible basics are driven home by a *composite phase 1* (piecewise
+//! infeasibility costs in `{-1, 0, +1}`, no artificial columns), nonbasic
+//! variables may *bound-flip* without a basis change, and Dantzig pricing
+//! switches to Bland's rule after a run of degenerate pivots — but replaces
+//! the `m × (n + m)` tableau with a *revised* formulation:
 //!
-//! * each constraint row gets a slack column, whose bounds encode the
-//!   relation (`≤` ⇒ `s ∈ [0, ∞)`, `≥` ⇒ `s ∈ (-∞, 0]`, `=` ⇒ `s = 0`);
-//! * the initial basis is the slack identity, nonbasic structurals sit at a
-//!   finite bound (free variables at 0);
-//! * infeasible basic variables are driven to their violated bound by a
-//!   *composite phase 1* (piecewise-linear infeasibility objective with
-//!   costs in `{-1, 0, +1}`), so no artificial columns are needed;
-//! * nonbasic variables may *bound-flip* without a basis change;
-//! * Dantzig pricing with an automatic switch to Bland's rule after a run of
-//!   degenerate pivots guards against cycling.
+//! * the constraint matrix `[A | I]` is stored once in compressed sparse
+//!   column (CSC) form and never modified;
+//! * the basis inverse is represented as a product-form *eta file*: every
+//!   pivot appends one elementary eta matrix, and `B⁻¹v` / `yᵀB⁻¹` are
+//!   computed by [`ftran`] / [`btran`] sweeps over the file;
+//! * the file is rebuilt from the basis columns (with partial pivoting)
+//!   every [`REFACTOR_INTERVAL`] pivots, which bounds both fill-in and
+//!   numerical drift; basic values are recomputed from scratch at each
+//!   refactorization.
+//!
+//! On top of this sits the warm-start API used by branch and bound and by
+//! the paper's binary-subdivision loop, whose successive solves differ only
+//! in variable bounds or a single latency RHS:
+//!
+//! * [`solve_lp`] returns the optimal [`Basis`] (column statuses plus the
+//!   row → column assignment);
+//! * [`resolve_lp`] re-solves from a parent basis: bound/RHS changes leave
+//!   the parent basis *dual feasible*, so a **dual simplex** drives the few
+//!   newly infeasible basics out — typically one pivot per branching
+//!   decision instead of a full cold solve;
+//! * any trouble (stale basis, singular refactorization, dual stall or
+//!   budget overrun) falls back to a cold primal solve, so a warm entry can
+//!   never produce a different status or objective than a cold one.
 
 use crate::error::MilpError;
 use crate::model::{effective_bounds, Model, Rel, Sense};
 use std::time::Instant;
+
+/// Ratio-test pivots smaller than this are skipped as numerically unsafe.
+const PIV_EPS: f64 = 1e-9;
+/// Refactorization declares the basis singular below this pivot magnitude.
+const SING_EPS: f64 = 1e-10;
+/// Degenerate-pivot run length that triggers Bland's anti-cycling rule.
+const BLAND_AFTER: usize = 60;
+/// Pivots between basis refactorizations.
+const REFACTOR_INTERVAL: usize = 64;
+/// Dual pivots without primal-infeasibility progress before the warm solve
+/// gives up and falls back to a cold primal.
+const DUAL_STALL_LIMIT: usize = 1000;
 
 /// Status of an LP relaxation solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,6 +61,35 @@ pub enum LpStatus {
     Interrupted,
 }
 
+/// Position of a column (structural variable or row slack) relative to the
+/// current basis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum VarStatus {
+    /// In the basis; its value is determined by the constraint system.
+    Basic,
+    /// Nonbasic at its lower bound.
+    AtLower,
+    /// Nonbasic at its upper bound.
+    AtUpper,
+    /// Nonbasic free variable parked at zero.
+    Free,
+}
+
+/// A simplex basis snapshot: enough to warm-start a re-solve after bound or
+/// right-hand-side changes.
+///
+/// Columns are indexed structurals-first: `0..n` are the model's variables,
+/// `n..n+m` the row slacks. The row → column assignment in `order` is
+/// advisory — [`resolve_lp`] refactorizes on entry and may re-pair rows —
+/// but the *set* of basic columns is what carries the warm-start value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Basis {
+    /// Status of every column (`n` structurals followed by `m` slacks).
+    pub statuses: Vec<VarStatus>,
+    /// `order[i]` is the column basic in row `i`.
+    pub order: Vec<usize>,
+}
+
 /// Result of an LP relaxation solve.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LpOutcome {
@@ -40,15 +99,834 @@ pub struct LpOutcome {
     pub values: Vec<f64>,
     /// Objective value in the model's original sense (0 unless `Optimal`).
     pub objective: f64,
-    /// Simplex iterations performed.
+    /// Simplex iterations performed (including any warm attempt that fell
+    /// back to a cold solve).
     pub iterations: usize,
+    /// The optimal basis, present iff `status` is [`LpStatus::Optimal`].
+    pub basis: Option<Basis>,
+    /// Basis refactorizations performed.
+    pub refactorizations: usize,
+    /// `true` if the solve ran from a supplied warm basis without falling
+    /// back to a cold start.
+    pub warm: bool,
+}
+
+/// One elementary (eta) factor of the basis inverse: pivoting column data
+/// into row `r`.
+#[derive(Debug, Clone)]
+struct Eta {
+    r: usize,
+    pivot: f64,
+    rest: Vec<(usize, f64)>,
+}
+
+/// Applies the eta file forward: `v ← B⁻¹ v`.
+fn ftran(etas: &[Eta], v: &mut [f64]) {
+    for eta in etas {
+        let t = v[eta.r];
+        if t == 0.0 {
+            continue;
+        }
+        let t = t / eta.pivot;
+        for &(i, w) in &eta.rest {
+            v[i] -= w * t;
+        }
+        v[eta.r] = t;
+    }
+}
+
+/// Applies the eta file in reverse: `vᵀ ← vᵀ B⁻¹`.
+fn btran(etas: &[Eta], v: &mut [f64]) {
+    for eta in etas.iter().rev() {
+        let mut t = v[eta.r];
+        for &(i, w) in &eta.rest {
+            t -= v[i] * w;
+        }
+        v[eta.r] = t / eta.pivot;
+    }
+}
+
+/// Appends the eta for a pivot on row `r` of the ftran'd column `w`,
+/// skipping exact identity factors (slack self-pivots).
+fn push_eta(etas: &mut Vec<Eta>, r: usize, w: &[f64]) {
+    let rest: Vec<(usize, f64)> =
+        w.iter().enumerate().filter(|&(i, &v)| i != r && v != 0.0).map(|(i, &v)| (i, v)).collect();
+    if rest.is_empty() && w[r] == 1.0 {
+        return;
+    }
+    etas.push(Eta { r, pivot: w[r], rest });
+}
+
+/// Outcome of a dual-simplex warm attempt.
+enum DualRun {
+    /// The dual loop reached a conclusion.
+    Finished(LpOutcome),
+    /// Numerical trouble, stall, or budget overrun: restart cold.
+    Fallback,
+}
+
+enum Built<'a> {
+    Ready(Box<Solver<'a>>),
+    /// Bound tightening crossed a variable's bounds: trivially infeasible.
+    Crossed,
+}
+
+/// Revised-simplex working state over the CSC matrix `[A | I]`.
+struct Solver<'a> {
+    model: &'a Model,
+    n: usize,
+    m: usize,
+    total: usize,
+    col_ptr: Vec<usize>,
+    row_idx: Vec<usize>,
+    col_val: Vec<f64>,
+    b: Vec<f64>,
+    lb: Vec<f64>,
+    ub: Vec<f64>,
+    cost: Vec<f64>,
+    x: Vec<f64>,
+    at_upper: Vec<bool>,
+    is_basic: Vec<bool>,
+    order: Vec<usize>,
+    etas: Vec<Eta>,
+    pivots_since_refactor: usize,
+    refactorizations: usize,
+    iterations: usize,
+    tol: f64,
+}
+
+impl<'a> Solver<'a> {
+    fn build(model: &'a Model, bounds_override: Option<&[(f64, f64)]>, tol: f64) -> Built<'a> {
+        let n = model.vars.len();
+        let m = model.constraints.len();
+        let total = n + m;
+
+        let mut lb = vec![0.0f64; total];
+        let mut ub = vec![0.0f64; total];
+        for (j, v) in model.vars.iter().enumerate() {
+            let (lo, hi) = match bounds_override {
+                Some(b) => b[j],
+                None => effective_bounds(v),
+            };
+            lb[j] = lo;
+            ub[j] = hi;
+            if lo > hi {
+                return Built::Crossed;
+            }
+        }
+        for (i, c) in model.constraints.iter().enumerate() {
+            let (lo, hi) = match c.rel {
+                Rel::Le => (0.0, f64::INFINITY),
+                Rel::Ge => (f64::NEG_INFINITY, 0.0),
+                Rel::Eq => (0.0, 0.0),
+            };
+            lb[n + i] = lo;
+            ub[n + i] = hi;
+        }
+
+        let sign = match model.sense {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        let mut cost = vec![0.0f64; total];
+        for (v, c) in model.objective.normalized() {
+            cost[v.index()] = sign * c;
+        }
+
+        // CSC of [A | I]: structural entries gathered per column, then one
+        // unit entry per slack.
+        let mut entries: Vec<(usize, usize, f64)> = Vec::new();
+        let mut b = vec![0.0f64; m];
+        for (i, c) in model.constraints.iter().enumerate() {
+            for (v, coeff) in c.expr.normalized() {
+                entries.push((v.index(), i, coeff));
+            }
+            b[i] = c.rhs;
+        }
+        entries.sort_by_key(|e| (e.0, e.1));
+        let mut col_ptr = vec![0usize; total + 1];
+        let mut row_idx = Vec::with_capacity(entries.len() + m);
+        let mut col_val = Vec::with_capacity(entries.len() + m);
+        let mut cursor = 0usize;
+        for (j, ptr) in col_ptr.iter_mut().enumerate().take(total) {
+            *ptr = row_idx.len();
+            if j < n {
+                while cursor < entries.len() && entries[cursor].0 == j {
+                    row_idx.push(entries[cursor].1);
+                    col_val.push(entries[cursor].2);
+                    cursor += 1;
+                }
+            } else {
+                row_idx.push(j - n);
+                col_val.push(1.0);
+            }
+        }
+        col_ptr[total] = row_idx.len();
+
+        Built::Ready(Box::new(Solver {
+            model,
+            n,
+            m,
+            total,
+            col_ptr,
+            row_idx,
+            col_val,
+            b,
+            lb,
+            ub,
+            cost,
+            x: vec![0.0; total],
+            at_upper: vec![false; total],
+            is_basic: vec![false; total],
+            order: (n..total).collect(),
+            etas: Vec::new(),
+            pivots_since_refactor: 0,
+            refactorizations: 0,
+            iterations: 0,
+            tol,
+        }))
+    }
+
+    fn col(&self, j: usize) -> (&[usize], &[f64]) {
+        let (s, e) = (self.col_ptr[j], self.col_ptr[j + 1]);
+        (&self.row_idx[s..e], &self.col_val[s..e])
+    }
+
+    fn scatter(&self, j: usize, out: &mut [f64]) {
+        let (rows, vals) = self.col(j);
+        for (&i, &v) in rows.iter().zip(vals) {
+            out[i] += v;
+        }
+    }
+
+    fn dot_col(&self, j: usize, y: &[f64]) -> f64 {
+        let (rows, vals) = self.col(j);
+        rows.iter().zip(vals).map(|(&i, &v)| y[i] * v).sum()
+    }
+
+    fn is_fixed(&self, j: usize) -> bool {
+        self.lb[j].is_finite() && self.ub[j].is_finite() && self.ub[j] - self.lb[j] <= self.tol
+    }
+
+    /// Parks every nonbasic column at a finite bound (free columns at 0),
+    /// mirroring the cold-start rule of the dense implementation.
+    fn reset_nonbasic_x(&mut self) {
+        for j in 0..self.total {
+            if self.is_basic[j] {
+                continue;
+            }
+            if self.lb[j].is_finite() {
+                self.x[j] = self.lb[j];
+                self.at_upper[j] = false;
+            } else if self.ub[j].is_finite() {
+                self.x[j] = self.ub[j];
+                self.at_upper[j] = true;
+            } else {
+                self.x[j] = 0.0;
+                self.at_upper[j] = false;
+            }
+        }
+    }
+
+    /// Solves `B x_B = b - N x_N` through the eta file and stores the basic
+    /// values.
+    fn compute_basic_values(&mut self) {
+        let mut r = self.b.clone();
+        for j in 0..self.total {
+            if !self.is_basic[j] && self.x[j] != 0.0 {
+                let (rows, vals) = (
+                    &self.row_idx[self.col_ptr[j]..self.col_ptr[j + 1]],
+                    &self.col_val[self.col_ptr[j]..self.col_ptr[j + 1]],
+                );
+                for (&i, &v) in rows.iter().zip(vals.iter()) {
+                    r[i] -= v * self.x[j];
+                }
+            }
+        }
+        ftran(&self.etas, &mut r);
+        for (&k, &value) in self.order.iter().zip(r.iter()) {
+            self.x[k] = value;
+        }
+    }
+
+    /// Installs the all-slack identity basis (the cold start).
+    fn install_slack_basis(&mut self) {
+        self.etas.clear();
+        self.is_basic = vec![false; self.total];
+        self.order = (self.n..self.total).collect();
+        for i in 0..self.m {
+            self.is_basic[self.n + i] = true;
+        }
+        self.reset_nonbasic_x();
+        self.compute_basic_values();
+        self.pivots_since_refactor = 0;
+    }
+
+    /// Installs a caller-supplied basis: validates it, refactorizes, and
+    /// recomputes the basic values. Returns `false` (leaving the solver in
+    /// an unspecified state) if the basis is stale or singular.
+    fn install_basis(&mut self, basis: &Basis) -> bool {
+        if basis.statuses.len() != self.total || basis.order.len() != self.m {
+            return false;
+        }
+        let mut seen = vec![false; self.total];
+        for &c in &basis.order {
+            if c >= self.total || basis.statuses[c] != VarStatus::Basic || seen[c] {
+                return false;
+            }
+            seen[c] = true;
+        }
+        if basis.statuses.iter().filter(|&&s| s == VarStatus::Basic).count() != self.m {
+            return false;
+        }
+        for j in 0..self.total {
+            self.is_basic[j] = basis.statuses[j] == VarStatus::Basic;
+        }
+        self.order.clone_from(&basis.order);
+        for j in 0..self.total {
+            if self.is_basic[j] {
+                continue;
+            }
+            match basis.statuses[j] {
+                VarStatus::AtUpper if self.ub[j].is_finite() => {
+                    self.x[j] = self.ub[j];
+                    self.at_upper[j] = true;
+                }
+                VarStatus::AtLower | VarStatus::AtUpper if self.lb[j].is_finite() => {
+                    self.x[j] = self.lb[j];
+                    self.at_upper[j] = false;
+                }
+                VarStatus::AtLower if self.ub[j].is_finite() => {
+                    self.x[j] = self.ub[j];
+                    self.at_upper[j] = true;
+                }
+                _ => {
+                    self.x[j] = 0.0;
+                    self.at_upper[j] = false;
+                }
+            }
+        }
+        if !self.refactorize() {
+            return false;
+        }
+        self.compute_basic_values();
+        true
+    }
+
+    /// Rebuilds the eta file from the basis columns with partial pivoting
+    /// (sparsest column first, largest available pivot per column). May
+    /// re-pair rows and columns; `order` is updated accordingly. Returns
+    /// `false` on a (numerically) singular basis.
+    fn refactorize(&mut self) -> bool {
+        self.etas.clear();
+        let m = self.m;
+        let mut row_used = vec![false; m];
+        let mut new_order = vec![usize::MAX; m];
+        let mut cols = self.order.clone();
+        cols.sort_by_key(|&c| (self.col_ptr[c + 1] - self.col_ptr[c], c));
+        for &c in &cols {
+            let mut w = vec![0.0f64; m];
+            self.scatter(c, &mut w);
+            ftran(&self.etas, &mut w);
+            let mut best_row = usize::MAX;
+            let mut best_abs = SING_EPS;
+            for (i, used) in row_used.iter().enumerate() {
+                if !used {
+                    let a = w[i].abs();
+                    if a > best_abs {
+                        best_abs = a;
+                        best_row = i;
+                    }
+                }
+            }
+            if best_row == usize::MAX {
+                return false;
+            }
+            row_used[best_row] = true;
+            new_order[best_row] = c;
+            push_eta(&mut self.etas, best_row, &w);
+        }
+        self.order = new_order;
+        self.pivots_since_refactor = 0;
+        self.refactorizations += 1;
+        true
+    }
+
+    /// Appends the pivot eta and refactorizes on cadence.
+    fn after_pivot(&mut self, r: usize, w: &[f64]) {
+        push_eta(&mut self.etas, r, w);
+        self.pivots_since_refactor += 1;
+        if self.pivots_since_refactor >= REFACTOR_INTERVAL {
+            // A refactorization failure here would be purely numerical (every
+            // appended pivot was >= PIV_EPS); keep the eta file and retry at
+            // the next pivot rather than aborting the solve.
+            if self.refactorize() {
+                self.compute_basic_values();
+            }
+        }
+    }
+
+    fn snapshot_basis(&self) -> Basis {
+        let statuses = (0..self.total)
+            .map(|j| {
+                if self.is_basic[j] {
+                    VarStatus::Basic
+                } else if self.at_upper[j] {
+                    VarStatus::AtUpper
+                } else if self.lb[j].is_finite() {
+                    VarStatus::AtLower
+                } else if self.ub[j].is_finite() {
+                    VarStatus::AtUpper
+                } else {
+                    VarStatus::Free
+                }
+            })
+            .collect();
+        Basis { statuses, order: self.order.clone() }
+    }
+
+    fn finished(&self, status: LpStatus, warm: bool) -> LpOutcome {
+        let (values, objective, basis) = if status == LpStatus::Optimal {
+            let values: Vec<f64> = self.x[..self.n].to_vec();
+            let objective = self.model.objective.eval(&values);
+            (values, objective, Some(self.snapshot_basis()))
+        } else {
+            (Vec::new(), 0.0, None)
+        };
+        LpOutcome {
+            status,
+            values,
+            objective,
+            iterations: self.iterations,
+            basis,
+            refactorizations: self.refactorizations,
+            warm,
+        }
+    }
+
+    /// `true` if the current basis prices out dual feasible (no primal
+    /// entering candidate exists under the phase-2 costs) — the
+    /// precondition for running the dual simplex.
+    fn dual_feasible(&self) -> bool {
+        let mut y: Vec<f64> = self.order.iter().map(|&k| self.cost[k]).collect();
+        btran(&self.etas, &mut y);
+        for j in 0..self.total {
+            if self.is_basic[j] || self.is_fixed(j) {
+                continue;
+            }
+            let d = self.cost[j] - self.dot_col(j, &y);
+            let free = !self.lb[j].is_finite() && !self.ub[j].is_finite();
+            if free {
+                if d.abs() > self.tol {
+                    return false;
+                }
+            } else if self.at_upper[j] {
+                if d > self.tol {
+                    return false;
+                }
+            } else if d < -self.tol {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// The bounded-variable primal simplex with composite phase 1, run from
+    /// whatever basis is currently installed.
+    fn primal(
+        &mut self,
+        limit: usize,
+        deadline: Option<Instant>,
+        warm: bool,
+    ) -> Result<LpOutcome, MilpError> {
+        let tol = self.tol;
+        let mut degenerate_run = 0usize;
+        loop {
+            if self.iterations >= limit {
+                return Err(MilpError::IterationLimit { limit });
+            }
+            if let Some(deadline) = deadline {
+                if self.iterations.is_multiple_of(16) && Instant::now() >= deadline {
+                    return Ok(self.finished(LpStatus::Interrupted, warm));
+                }
+            }
+            self.iterations += 1;
+
+            // Phase detection and composite phase-1 costs on the basis.
+            let mut phase1 = false;
+            let mut c_b = vec![0.0f64; self.m];
+            for (ci, &k) in c_b.iter_mut().zip(&self.order) {
+                if self.x[k] < self.lb[k] - tol {
+                    *ci = -1.0;
+                    phase1 = true;
+                } else if self.x[k] > self.ub[k] + tol {
+                    *ci = 1.0;
+                    phase1 = true;
+                }
+            }
+            if !phase1 {
+                for (ci, &k) in c_b.iter_mut().zip(&self.order) {
+                    *ci = self.cost[k];
+                }
+            }
+
+            // Simplex multipliers y = c_B B⁻¹, then reduced costs per column.
+            let mut y = c_b;
+            btran(&self.etas, &mut y);
+
+            let use_bland = degenerate_run > BLAND_AFTER;
+            let mut entering: Option<(usize, f64, f64)> = None; // (col, |d|, direction)
+            for j in 0..self.total {
+                if self.is_basic[j] {
+                    continue;
+                }
+                let cj = if phase1 { 0.0 } else { self.cost[j] };
+                let d = cj - self.dot_col(j, &y);
+                let lower_finite = self.lb[j].is_finite();
+                let upper_finite = self.ub[j].is_finite();
+                if lower_finite && upper_finite && self.ub[j] - self.lb[j] <= tol {
+                    continue; // fixed variable
+                }
+                let dir = if !lower_finite && !upper_finite {
+                    // Free variable: move against the gradient.
+                    if d < -tol {
+                        1.0
+                    } else if d > tol {
+                        -1.0
+                    } else {
+                        continue;
+                    }
+                } else if self.at_upper[j] {
+                    if d > tol {
+                        -1.0
+                    } else {
+                        continue;
+                    }
+                } else if d < -tol {
+                    1.0
+                } else {
+                    continue;
+                };
+                if use_bland {
+                    entering = Some((j, d.abs(), dir));
+                    break;
+                }
+                match entering {
+                    Some((_, best, _)) if best >= d.abs() => {}
+                    _ => entering = Some((j, d.abs(), dir)),
+                }
+            }
+
+            let Some((q, _, dir)) = entering else {
+                if phase1 {
+                    return Ok(self.finished(LpStatus::Infeasible, warm));
+                }
+                return Ok(self.finished(LpStatus::Optimal, warm));
+            };
+
+            // Transformed entering column w = B⁻¹ a_q.
+            let mut w = vec![0.0f64; self.m];
+            self.scatter(q, &mut w);
+            ftran(&self.etas, &mut w);
+
+            // Ratio test: entering q moves by step >= 0 in direction `dir`;
+            // basic i changes at rate -dir * w[i].
+            let own_range = self.ub[q] - self.lb[q]; // may be infinite
+            let mut best_step = if own_range.is_finite() { own_range } else { f64::INFINITY };
+            let mut blocking: Option<(usize, f64)> = None; // (row, bound the leaving var hits)
+            for (i, &alpha) in w.iter().enumerate() {
+                if alpha.abs() <= PIV_EPS {
+                    continue;
+                }
+                let rate = -dir * alpha;
+                let k = self.order[i];
+                let v = self.x[k];
+                let (limit_bound, dist) = if rate > 0.0 {
+                    // Basic increases: infeasible-low basics block when they
+                    // reach their lower bound; infeasible-high basics move
+                    // further out and never block (phase 1 pricing guarantees
+                    // a net infeasibility decrease); feasible basics block at
+                    // their upper bound.
+                    if v < self.lb[k] - tol {
+                        (self.lb[k], self.lb[k] - v)
+                    } else if v > self.ub[k] + tol {
+                        continue;
+                    } else if self.ub[k].is_finite() {
+                        (self.ub[k], (self.ub[k] - v).max(0.0))
+                    } else {
+                        continue;
+                    }
+                } else {
+                    // Basic decreases: mirror image of the above.
+                    if v > self.ub[k] + tol {
+                        (self.ub[k], v - self.ub[k])
+                    } else if v < self.lb[k] - tol {
+                        continue;
+                    } else if self.lb[k].is_finite() {
+                        (self.lb[k], (v - self.lb[k]).max(0.0))
+                    } else {
+                        continue;
+                    }
+                };
+                let step = dist / rate.abs();
+                if step < best_step - 1e-12 {
+                    best_step = step;
+                    blocking = Some((i, limit_bound));
+                } else if step <= best_step + 1e-12 && blocking.is_some() && use_bland {
+                    // Bland tie-break: prefer the lowest leaving index.
+                    let (bi, _) = blocking.unwrap();
+                    if self.order[i] < self.order[bi] {
+                        blocking = Some((i, limit_bound));
+                    }
+                }
+            }
+
+            if best_step.is_infinite() {
+                debug_assert!(!phase1, "phase 1 must always have a blocking bound");
+                return Ok(self.finished(LpStatus::Unbounded, warm));
+            }
+
+            if best_step <= tol {
+                degenerate_run += 1;
+            } else {
+                degenerate_run = 0;
+            }
+
+            match blocking {
+                None => {
+                    // Bound flip of the entering variable.
+                    let step = best_step;
+                    for (i, &alpha) in w.iter().enumerate() {
+                        if alpha != 0.0 {
+                            self.x[self.order[i]] -= dir * step * alpha;
+                        }
+                    }
+                    self.x[q] += dir * step;
+                    self.at_upper[q] = !self.at_upper[q];
+                }
+                Some((r, leave_bound)) => {
+                    let step = best_step;
+                    for (i, &alpha) in w.iter().enumerate() {
+                        if i == r {
+                            continue;
+                        }
+                        if alpha != 0.0 {
+                            self.x[self.order[i]] -= dir * step * alpha;
+                        }
+                    }
+                    let leaving = self.order[r];
+                    self.x[q] += dir * step;
+                    self.x[leaving] = leave_bound;
+                    self.at_upper[leaving] = (leave_bound - self.ub[leaving]).abs() <= tol
+                        && self.ub[leaving].is_finite();
+                    self.is_basic[leaving] = false;
+                    self.is_basic[q] = true;
+                    self.order[r] = q;
+                    self.after_pivot(r, &w);
+                }
+            }
+        }
+    }
+
+    /// Bounded-variable dual simplex from a dual-feasible basis: repeatedly
+    /// kicks the most infeasible basic out at its violated bound, choosing
+    /// the entering column by the dual ratio test so dual feasibility is
+    /// preserved. This is the warm-start workhorse — after a branching bound
+    /// change or a latency-RHS move the parent basis is dual feasible and
+    /// typically one or two pivots from the child optimum.
+    fn dual(&mut self, limit: usize, deadline: Option<Instant>) -> DualRun {
+        let tol = self.tol;
+        let mut degenerate_run = 0usize;
+        let mut stall = 0usize;
+        let mut best_inf = f64::INFINITY;
+        let mut retried_refactor = false;
+        loop {
+            if self.iterations >= limit {
+                return DualRun::Fallback;
+            }
+            if let Some(deadline) = deadline {
+                if self.iterations.is_multiple_of(16) && Instant::now() >= deadline {
+                    return DualRun::Finished(self.finished(LpStatus::Interrupted, true));
+                }
+            }
+
+            // Leaving row: the most bound-violating basic (smallest variable
+            // index once Bland's rule kicks in).
+            let use_bland = degenerate_run > BLAND_AFTER;
+            let mut r = usize::MAX;
+            let mut best_viol = tol;
+            let mut total_viol = 0.0f64;
+            for i in 0..self.m {
+                let k = self.order[i];
+                let v = self.x[k];
+                let viol = if v < self.lb[k] - tol {
+                    self.lb[k] - v
+                } else if v > self.ub[k] + tol {
+                    v - self.ub[k]
+                } else {
+                    continue;
+                };
+                total_viol += viol;
+                if use_bland {
+                    if r == usize::MAX || k < self.order[r] {
+                        r = i;
+                    }
+                } else if viol > best_viol {
+                    best_viol = viol;
+                    r = i;
+                }
+            }
+            if r == usize::MAX {
+                // Primal feasible and dual feasibility was maintained by the
+                // ratio test: optimal.
+                return DualRun::Finished(self.finished(LpStatus::Optimal, true));
+            }
+            if total_viol < best_inf - 1e-12 {
+                best_inf = total_viol;
+                stall = 0;
+            } else {
+                stall += 1;
+                if stall > DUAL_STALL_LIMIT {
+                    return DualRun::Fallback;
+                }
+            }
+            self.iterations += 1;
+
+            let k_leave = self.order[r];
+            let to_lower = self.x[k_leave] < self.lb[k_leave];
+            let target = if to_lower { self.lb[k_leave] } else { self.ub[k_leave] };
+
+            // Row r of B⁻¹A via ρ = B⁻ᵀ e_r, and phase-2 multipliers for the
+            // dual ratio test.
+            let mut rho = vec![0.0f64; self.m];
+            rho[r] = 1.0;
+            btran(&self.etas, &mut rho);
+            let mut y: Vec<f64> = self.order.iter().map(|&k| self.cost[k]).collect();
+            btran(&self.etas, &mut y);
+
+            // Entering column: eligible sign, minimal dual ratio |d|/|α|;
+            // ties prefer the larger pivot (smallest index under Bland).
+            let mut q = usize::MAX;
+            let mut best_ratio = f64::INFINITY;
+            let mut best_alpha = 0.0f64;
+            for j in 0..self.total {
+                if self.is_basic[j] || self.is_fixed(j) {
+                    continue;
+                }
+                let alpha = self.dot_col(j, &rho);
+                if alpha.abs() <= PIV_EPS {
+                    continue;
+                }
+                let free = !self.lb[j].is_finite() && !self.ub[j].is_finite();
+                // x_B[r] changes by -α_j per unit of x_j: pick the movement
+                // direction of x_j that drives x_B[r] toward its violated
+                // bound, and check that direction is allowed by j's status.
+                let dxj_sign = if free {
+                    if (to_lower && alpha < 0.0) || (!to_lower && alpha > 0.0) {
+                        1.0
+                    } else {
+                        -1.0
+                    }
+                } else if self.at_upper[j] {
+                    -1.0
+                } else {
+                    1.0
+                };
+                let movement = -alpha * dxj_sign;
+                let helps = if to_lower { movement > 0.0 } else { movement < 0.0 };
+                if !helps {
+                    continue;
+                }
+                let d = self.cost[j] - self.dot_col(j, &y);
+                let ratio = (d * dxj_sign).max(0.0) / alpha.abs();
+                let better = if q == usize::MAX || ratio < best_ratio - 1e-12 {
+                    true
+                } else if ratio <= best_ratio + 1e-12 {
+                    if use_bland {
+                        j < q
+                    } else {
+                        alpha.abs() > best_alpha
+                    }
+                } else {
+                    false
+                };
+                if better {
+                    q = j;
+                    best_ratio = best_ratio.min(ratio);
+                    best_alpha = alpha.abs();
+                }
+            }
+            if q == usize::MAX {
+                // Dual unbounded: no entering column can repair row r, so the
+                // primal is infeasible.
+                return DualRun::Finished(self.finished(LpStatus::Infeasible, true));
+            }
+
+            let mut w = vec![0.0f64; self.m];
+            self.scatter(q, &mut w);
+            ftran(&self.etas, &mut w);
+            if w[r].abs() <= PIV_EPS {
+                // ρ disagreed with the ftran'd column: numerical drift.
+                // Refactorize once and retry; give up to the cold path if it
+                // happens again.
+                if retried_refactor || !self.refactorize() {
+                    return DualRun::Fallback;
+                }
+                self.compute_basic_values();
+                retried_refactor = true;
+                continue;
+            }
+            retried_refactor = false;
+
+            // The leaving basic moves exactly to its violated bound.
+            let t = (self.x[k_leave] - target) / w[r];
+            for (i, &alpha) in w.iter().enumerate() {
+                if i != r && alpha != 0.0 {
+                    self.x[self.order[i]] -= alpha * t;
+                }
+            }
+            self.x[q] += t;
+            self.x[k_leave] = target;
+            self.at_upper[k_leave] = !to_lower;
+            self.is_basic[k_leave] = false;
+            self.is_basic[q] = true;
+            self.order[r] = q;
+            if best_ratio <= tol {
+                degenerate_run += 1;
+            } else {
+                degenerate_run = 0;
+            }
+            self.after_pivot(r, &w);
+        }
+    }
+}
+
+fn auto_limit(model: &Model, iteration_limit: usize) -> usize {
+    if iteration_limit == 0 {
+        400 * (model.constraints.len() + model.vars.len()) + 2000
+    } else {
+        iteration_limit
+    }
+}
+
+fn trivially_infeasible(warm: bool) -> LpOutcome {
+    LpOutcome {
+        status: LpStatus::Infeasible,
+        values: Vec::new(),
+        objective: 0.0,
+        iterations: 0,
+        basis: None,
+        refactorizations: 0,
+        warm,
+    }
 }
 
 /// Solves the LP relaxation of `model` (integrality dropped), optionally
 /// overriding the structural variable bounds (used by branch and bound).
 ///
 /// `tol` is the feasibility/optimality tolerance; `iteration_limit` of 0
-/// selects an automatic limit.
+/// selects an automatic limit. On [`LpStatus::Optimal`] the outcome carries
+/// the optimal [`Basis`] for warm-started re-solves via [`resolve_lp`].
 ///
 /// # Errors
 ///
@@ -77,328 +955,86 @@ pub fn solve_lp_with_deadline(
     iteration_limit: usize,
     deadline: Option<Instant>,
 ) -> Result<LpOutcome, MilpError> {
-    let n = model.vars.len();
-    let m = model.constraints.len();
-    let total = n + m;
-
-    // Column bounds.
-    let mut lb = vec![0.0f64; total];
-    let mut ub = vec![0.0f64; total];
-    for (j, v) in model.vars.iter().enumerate() {
-        let (lo, hi) = match bounds_override {
-            Some(b) => b[j],
-            None => effective_bounds(v),
-        };
-        lb[j] = lo;
-        ub[j] = hi;
-        if lo > hi {
-            // Bound-tightening in branch and bound can cross bounds: that
-            // branch is trivially infeasible.
-            return Ok(LpOutcome {
-                status: LpStatus::Infeasible,
-                values: Vec::new(),
-                objective: 0.0,
-                iterations: 0,
-            });
-        }
-    }
-    for (i, c) in model.constraints.iter().enumerate() {
-        let (lo, hi) = match c.rel {
-            Rel::Le => (0.0, f64::INFINITY),
-            Rel::Ge => (f64::NEG_INFINITY, 0.0),
-            Rel::Eq => (0.0, 0.0),
-        };
-        lb[n + i] = lo;
-        ub[n + i] = hi;
-    }
-
-    // Costs, folded to minimization.
-    let sign = match model.sense {
-        Sense::Minimize => 1.0,
-        Sense::Maximize => -1.0,
+    let limit = auto_limit(model, iteration_limit);
+    let mut s = match Solver::build(model, bounds_override, tol) {
+        Built::Crossed => return Ok(trivially_infeasible(false)),
+        Built::Ready(s) => s,
     };
-    let mut cost = vec![0.0f64; total];
-    for (v, c) in model.objective.normalized() {
-        cost[v.index()] = sign * c;
-    }
+    s.install_slack_basis();
+    s.primal(limit, deadline, false)
+}
 
-    // Dense tableau, initially the constraint matrix with slack identity.
-    let mut t = vec![0.0f64; m * total];
-    let mut b = vec![0.0f64; m];
-    for (i, c) in model.constraints.iter().enumerate() {
-        for (v, coeff) in c.expr.normalized() {
-            t[i * total + v.index()] = coeff;
-        }
-        t[i * total + n + i] = 1.0;
-        b[i] = c.rhs;
-    }
+/// Re-solves `model` starting from a parent [`Basis`], intended for the two
+/// mutations the callers actually issue: tightened variable bounds (branch
+/// and bound) and a moved right-hand side (the binary-subdivision latency
+/// window). Both leave the parent basis dual feasible, so the solve runs a
+/// **dual simplex** that is typically a handful of pivots; a basis that
+/// prices out dual *infeasible* (e.g. after an objective change) is still
+/// used as a primal warm start.
+///
+/// Falls back to a cold [`solve_lp`] — same status, objective, and values
+/// as if the basis had never been supplied — when the basis is stale
+/// (dimensions changed), its refactorization is singular, or the dual loop
+/// stalls or exhausts its budget. `LpOutcome::warm` reports which path ran.
+///
+/// # Errors
+///
+/// Returns [`MilpError::IterationLimit`] like [`solve_lp`] if the cold
+/// fallback itself fails to converge.
+pub fn resolve_lp(
+    model: &Model,
+    bounds_override: Option<&[(f64, f64)]>,
+    basis: &Basis,
+    tol: f64,
+    iteration_limit: usize,
+) -> Result<LpOutcome, MilpError> {
+    resolve_lp_with_deadline(model, bounds_override, basis, tol, iteration_limit, None)
+}
 
-    // Initial point: nonbasics at a finite bound (free vars at 0), slack
-    // basis takes up the residual.
-    let mut x = vec![0.0f64; total];
-    let mut at_upper = vec![false; total];
-    for j in 0..n {
-        if lb[j].is_finite() {
-            x[j] = lb[j];
-        } else if ub[j].is_finite() {
-            x[j] = ub[j];
-            at_upper[j] = true;
-        } else {
-            x[j] = 0.0;
-        }
-    }
-    let mut basis: Vec<usize> = (n..total).collect();
-    let mut is_basic = vec![false; total];
-    for &k in &basis {
-        is_basic[k] = true;
-    }
-    for i in 0..m {
-        let mut v = b[i];
-        for j in 0..n {
-            let a = t[i * total + j];
-            if a != 0.0 {
-                v -= a * x[j];
-            }
-        }
-        x[n + i] = v;
-    }
-
-    let limit = if iteration_limit == 0 { 400 * (m + n) + 2000 } else { iteration_limit };
-    let piv_eps = 1e-9;
-    let mut degenerate_run = 0usize;
-    let mut iterations = 0usize;
-
-    loop {
-        if iterations >= limit {
-            return Err(MilpError::IterationLimit { limit });
-        }
-        if let Some(deadline) = deadline {
-            if iterations.is_multiple_of(16) && Instant::now() >= deadline {
-                return Ok(LpOutcome {
-                    status: LpStatus::Interrupted,
-                    values: Vec::new(),
-                    objective: 0.0,
-                    iterations,
-                });
-            }
-        }
-        iterations += 1;
-
-        // Phase detection and composite phase-1 costs on the basis.
-        let mut phase1 = false;
-        let mut c_b = vec![0.0f64; m];
-        for i in 0..m {
-            let k = basis[i];
-            if x[k] < lb[k] - tol {
-                c_b[i] = -1.0;
-                phase1 = true;
-            } else if x[k] > ub[k] + tol {
-                c_b[i] = 1.0;
-                phase1 = true;
-            }
-        }
-        if !phase1 {
-            for i in 0..m {
-                c_b[i] = cost[basis[i]];
-            }
-        }
-
-        // Reduced costs d_j = c_j - c_B' T_j for nonbasic columns.
-        let mut y = vec![0.0f64; total];
-        for i in 0..m {
-            let cbi = c_b[i];
-            if cbi != 0.0 {
-                let row = &t[i * total..(i + 1) * total];
-                for (j, yj) in y.iter_mut().enumerate() {
-                    *yj += cbi * row[j];
-                }
-            }
-        }
-
-        let use_bland = degenerate_run > 60;
-        let mut entering: Option<(usize, f64, f64)> = None; // (col, |d|, direction)
-        for j in 0..total {
-            if is_basic[j] {
-                continue;
-            }
-            let cj = if phase1 { 0.0 } else { cost[j] };
-            let d = cj - y[j];
-            let lower_finite = lb[j].is_finite();
-            let upper_finite = ub[j].is_finite();
-            if lower_finite && upper_finite && ub[j] - lb[j] <= tol {
-                continue; // fixed variable
-            }
-            let dir = if !lower_finite && !upper_finite {
-                // Free variable: move against the gradient.
-                if d < -tol {
-                    1.0
-                } else if d > tol {
-                    -1.0
+/// [`resolve_lp`] with a wall-clock deadline (see
+/// [`solve_lp_with_deadline`]).
+///
+/// # Errors
+///
+/// Returns [`MilpError::IterationLimit`] like [`resolve_lp`].
+pub fn resolve_lp_with_deadline(
+    model: &Model,
+    bounds_override: Option<&[(f64, f64)]>,
+    basis: &Basis,
+    tol: f64,
+    iteration_limit: usize,
+    deadline: Option<Instant>,
+) -> Result<LpOutcome, MilpError> {
+    let limit = auto_limit(model, iteration_limit);
+    let (spent, refacts) = match Solver::build(model, bounds_override, tol) {
+        Built::Crossed => return Ok(trivially_infeasible(true)),
+        Built::Ready(mut s) => {
+            if s.install_basis(basis) {
+                if s.dual_feasible() {
+                    match s.dual(limit, deadline) {
+                        DualRun::Finished(out) => return Ok(out),
+                        DualRun::Fallback => {}
+                    }
                 } else {
-                    continue;
-                }
-            } else if at_upper[j] {
-                if d > tol {
-                    -1.0
-                } else {
-                    continue;
-                }
-            } else if d < -tol {
-                1.0
-            } else {
-                continue;
-            };
-            if use_bland {
-                entering = Some((j, d.abs(), dir));
-                break;
-            }
-            match entering {
-                Some((_, best, _)) if best >= d.abs() => {}
-                _ => entering = Some((j, d.abs(), dir)),
-            }
-        }
-
-        let Some((q, _, dir)) = entering else {
-            if phase1 {
-                return Ok(LpOutcome {
-                    status: LpStatus::Infeasible,
-                    values: Vec::new(),
-                    objective: 0.0,
-                    iterations,
-                });
-            }
-            let values: Vec<f64> = x[..n].to_vec();
-            let objective = model.objective.eval(&values);
-            return Ok(LpOutcome { status: LpStatus::Optimal, values, objective, iterations });
-        };
-
-        // Ratio test: entering q moves by step >= 0 in direction `dir`;
-        // basic i changes at rate -dir * T[i][q].
-        let own_range = ub[q] - lb[q]; // may be infinite
-        let mut best_step = if own_range.is_finite() { own_range } else { f64::INFINITY };
-        let mut blocking: Option<(usize, f64)> = None; // (row, bound the leaving var hits)
-        for i in 0..m {
-            let alpha = t[i * total + q];
-            if alpha.abs() <= piv_eps {
-                continue;
-            }
-            let rate = -dir * alpha;
-            let k = basis[i];
-            let v = x[k];
-            let (limit_bound, dist) = if rate > 0.0 {
-                // Basic increases: infeasible-low basics block when they
-                // reach their lower bound; infeasible-high basics move
-                // further out and never block (phase 1 pricing guarantees a
-                // net infeasibility decrease); feasible basics block at
-                // their upper bound.
-                if v < lb[k] - tol {
-                    (lb[k], lb[k] - v)
-                } else if v > ub[k] + tol {
-                    continue;
-                } else if ub[k].is_finite() {
-                    (ub[k], (ub[k] - v).max(0.0))
-                } else {
-                    continue;
-                }
-            } else {
-                // Basic decreases: mirror image of the above.
-                if v > ub[k] + tol {
-                    (ub[k], v - ub[k])
-                } else if v < lb[k] - tol {
-                    continue;
-                } else if lb[k].is_finite() {
-                    (lb[k], (v - lb[k]).max(0.0))
-                } else {
-                    continue;
-                }
-            };
-            let step = dist / rate.abs();
-            if step < best_step - 1e-12 {
-                best_step = step;
-                blocking = Some((i, limit_bound));
-            } else if step <= best_step + 1e-12 && blocking.is_some() && use_bland {
-                // Bland tie-break: prefer the lowest leaving index.
-                let (bi, _) = blocking.unwrap();
-                if basis[i] < basis[bi] {
-                    blocking = Some((i, limit_bound));
-                }
-            }
-        }
-
-        if best_step.is_infinite() {
-            debug_assert!(!phase1, "phase 1 must always have a blocking bound");
-            return Ok(LpOutcome {
-                status: LpStatus::Unbounded,
-                values: Vec::new(),
-                objective: 0.0,
-                iterations,
-            });
-        }
-
-        if best_step <= tol {
-            degenerate_run += 1;
-        } else {
-            degenerate_run = 0;
-        }
-
-        match blocking {
-            None => {
-                // Bound flip of the entering variable.
-                let step = best_step;
-                for i in 0..m {
-                    let alpha = t[i * total + q];
-                    if alpha != 0.0 {
-                        x[basis[i]] -= dir * step * alpha;
+                    // Dual-infeasible parent (stale costs): still a better
+                    // starting vertex than the slack identity.
+                    match s.primal(limit, deadline, true) {
+                        Ok(out) => return Ok(out),
+                        Err(MilpError::IterationLimit { .. }) => {}
+                        Err(e) => return Err(e),
                     }
                 }
-                x[q] += dir * step;
-                at_upper[q] = !at_upper[q];
             }
-            Some((r, leave_bound)) => {
-                let step = best_step;
-                for i in 0..m {
-                    if i == r {
-                        continue;
-                    }
-                    let alpha = t[i * total + q];
-                    if alpha != 0.0 {
-                        x[basis[i]] -= dir * step * alpha;
-                    }
-                }
-                let leaving = basis[r];
-                x[q] += dir * step;
-                x[leaving] = leave_bound;
-                at_upper[leaving] =
-                    (leave_bound - ub[leaving]).abs() <= tol && ub[leaving].is_finite();
-                is_basic[leaving] = false;
-                is_basic[q] = true;
-                basis[r] = q;
-
-                // Gauss-Jordan pivot on (r, q).
-                let piv = t[r * total + q];
-                let (before, rest) = t.split_at_mut(r * total);
-                let (row_r, after) = rest.split_at_mut(total);
-                let inv = 1.0 / piv;
-                for val in row_r.iter_mut() {
-                    *val *= inv;
-                }
-                let eliminate = |row: &mut [f64]| {
-                    let factor = row[q];
-                    if factor != 0.0 {
-                        for (val, &rv) in row.iter_mut().zip(row_r.iter()) {
-                            *val -= factor * rv;
-                        }
-                    }
-                };
-                for chunk in before.chunks_mut(total) {
-                    eliminate(chunk);
-                }
-                for chunk in after.chunks_mut(total) {
-                    eliminate(chunk);
-                }
-            }
+            (s.iterations, s.refactorizations)
         }
-    }
+    };
+    // Cold fallback with a fresh budget: a warm entry must never fail where
+    // a cold solve would have succeeded.
+    let mut out = solve_lp_with_deadline(model, bounds_override, tol, iteration_limit, deadline)?;
+    out.iterations += spent;
+    out.refactorizations += refacts;
+    out.warm = false;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -643,5 +1279,200 @@ mod tests {
         let out = lp(&m);
         assert_eq!(out.status, LpStatus::Optimal);
         assert!((out.objective - 34.0).abs() < 1e-6, "objective {}", out.objective);
+    }
+
+    #[test]
+    fn optimal_outcome_carries_a_valid_basis() {
+        let mut m = Model::new();
+        let x = m.add_var(Variable::non_negative());
+        let y = m.add_var(Variable::non_negative());
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (1.0, y), Rel::Le, 4.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (3.0, y), Rel::Le, 6.0));
+        m.maximize(LinExpr::new() + (3.0, x) + (5.0, y));
+        let out = lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        let basis = out.basis.expect("optimal solve returns its basis");
+        assert_eq!(basis.statuses.len(), 4);
+        assert_eq!(basis.order.len(), 2);
+        let basics = basis.statuses.iter().filter(|&&s| s == VarStatus::Basic).count();
+        assert_eq!(basics, 2);
+        for &c in &basis.order {
+            assert_eq!(basis.statuses[c], VarStatus::Basic);
+        }
+    }
+
+    #[test]
+    fn warm_resolve_after_bound_tighten_matches_cold() {
+        // The branch-and-bound mutation: solve, tighten one variable's
+        // bounds, re-solve warm; outcome must match a cold solve.
+        let mut m = Model::new();
+        let x = m.add_var(Variable::continuous(0.0, 4.0));
+        let y = m.add_var(Variable::continuous(0.0, 4.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (2.0, x) + (1.0, y), Rel::Le, 7.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (3.0, y), Rel::Le, 9.0));
+        m.maximize(LinExpr::new() + (4.0, x) + (5.0, y));
+        let root = lp(&m);
+        assert_eq!(root.status, LpStatus::Optimal);
+        let basis = root.basis.clone().unwrap();
+        for tightened in [(0.0, 1.0), (2.0, 4.0), (0.0, 0.0)] {
+            let bounds = [tightened, (0.0, 4.0)];
+            let warm = resolve_lp(&m, Some(&bounds), &basis, TOL, 0).unwrap();
+            let cold = solve_lp(&m, Some(&bounds), TOL, 0).unwrap();
+            assert_eq!(warm.status, cold.status, "bounds {tightened:?}");
+            assert!((warm.objective - cold.objective).abs() < 1e-6, "bounds {tightened:?}");
+            assert!(warm.warm, "warm path should not have fallen back for {tightened:?}");
+            assert!(
+                warm.iterations <= cold.iterations,
+                "warm {} > cold {} pivots for {tightened:?}",
+                warm.iterations,
+                cold.iterations
+            );
+        }
+    }
+
+    #[test]
+    fn warm_resolve_detects_infeasible_child() {
+        // Tightening x to an unreachable range must come back Infeasible on
+        // the warm path, exactly like a cold solve.
+        let mut m = Model::new();
+        let x = m.add_var(Variable::continuous(0.0, 10.0));
+        let y = m.add_var(Variable::continuous(0.0, 10.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (1.0, y), Rel::Le, 4.0));
+        m.maximize(LinExpr::new() + (1.0, x) + (1.0, y));
+        let root = lp(&m);
+        let basis = root.basis.clone().unwrap();
+        let bounds = [(6.0, 10.0), (0.0, 10.0)];
+        let warm = resolve_lp(&m, Some(&bounds), &basis, TOL, 0).unwrap();
+        let cold = solve_lp(&m, Some(&bounds), TOL, 0).unwrap();
+        assert_eq!(warm.status, LpStatus::Infeasible);
+        assert_eq!(cold.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn warm_resolve_after_rhs_change_matches_cold() {
+        // The binary-subdivision mutation: only a right-hand side moves.
+        let mut m = Model::new();
+        let x = m.add_var(Variable::non_negative());
+        let y = m.add_var(Variable::non_negative());
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (1.0, y), Rel::Le, 8.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (2.0, y), Rel::Le, 10.0));
+        m.maximize(LinExpr::new() + (2.0, x) + (3.0, y));
+        let root = lp(&m);
+        assert_eq!(root.status, LpStatus::Optimal);
+        let basis = root.basis.clone().unwrap();
+        for rhs in [6.0, 4.0, 2.0, 0.5] {
+            let mut tightened = m.clone();
+            tightened.set_rhs(0, rhs);
+            let warm = resolve_lp(&tightened, None, &basis, TOL, 0).unwrap();
+            let cold = solve_lp(&tightened, None, TOL, 0).unwrap();
+            assert_eq!(warm.status, cold.status, "rhs {rhs}");
+            assert!((warm.objective - cold.objective).abs() < 1e-6, "rhs {rhs}");
+            assert!(warm.warm, "rhs {rhs} should stay on the warm path");
+        }
+    }
+
+    #[test]
+    fn stale_basis_falls_back_to_cold() {
+        // A basis from a different model (wrong dimensions) must be
+        // rejected, with the cold fallback still producing the optimum.
+        let mut small = Model::new();
+        let s = small.add_var(Variable::continuous(0.0, 1.0));
+        small.maximize(LinExpr::new() + (1.0, s));
+        let stale = lp(&small).basis.unwrap();
+
+        let mut m = Model::new();
+        let x = m.add_var(Variable::non_negative());
+        let y = m.add_var(Variable::non_negative());
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (1.0, y), Rel::Le, 4.0));
+        m.maximize(LinExpr::new() + (1.0, x) + (2.0, y));
+        let out = resolve_lp(&m, None, &stale, TOL, 0).unwrap();
+        assert_eq!(out.status, LpStatus::Optimal);
+        assert!(!out.warm, "stale basis must fall back to a cold solve");
+        assert!((out.objective - 8.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_resolve_survives_degenerate_feasibility_model() {
+        // Zero-objective (pure feasibility) LPs are maximally dual
+        // degenerate — every dual ratio is 0. The anti-cycling guards must
+        // still terminate the warm path with the right status.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..6).map(|_| m.add_var(Variable::continuous(0.0, 1.0))).collect();
+        let sum: LinExpr = vars.iter().map(|&v| (1.0, v)).collect();
+        m.add_constraint(Constraint::new(sum.clone(), Rel::Ge, 2.0));
+        m.add_constraint(Constraint::new(sum, Rel::Le, 4.0));
+        let root = lp(&m);
+        assert_eq!(root.status, LpStatus::Optimal);
+        let basis = root.basis.clone().unwrap();
+        for rhs in [3.0, 5.0, 1.0] {
+            let mut moved = m.clone();
+            moved.set_rhs(0, rhs);
+            let warm = resolve_lp(&moved, None, &basis, TOL, 0).unwrap();
+            let cold = solve_lp(&moved, None, TOL, 0).unwrap();
+            assert_eq!(warm.status, cold.status, "rhs {rhs}");
+        }
+        // An unsatisfiable window must be proven infeasible warm, too.
+        let mut bad = m.clone();
+        bad.set_rhs(0, 7.0);
+        let warm = resolve_lp(&bad, None, &basis, TOL, 0).unwrap();
+        assert_eq!(warm.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn beale_resolve_terminates_after_rhs_move() {
+        // Cycling regression for the sparse + dual path: re-solve Beale's
+        // example from its optimal basis after a bound move.
+        let mut m = Model::new();
+        let x1 = m.add_var(Variable::non_negative());
+        let x2 = m.add_var(Variable::non_negative());
+        let x3 = m.add_var(Variable::non_negative());
+        let x4 = m.add_var(Variable::non_negative());
+        m.add_constraint(Constraint::new(
+            LinExpr::new() + (0.25, x1) + (-8.0, x2) + (-1.0, x3) + (9.0, x4),
+            Rel::Le,
+            0.0,
+        ));
+        m.add_constraint(Constraint::new(
+            LinExpr::new() + (0.5, x1) + (-12.0, x2) + (-0.5, x3) + (3.0, x4),
+            Rel::Le,
+            0.0,
+        ));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x3), Rel::Le, 1.0));
+        m.minimize(LinExpr::new() + (-0.75, x1) + (150.0, x2) + (-0.02, x3) + (6.0, x4));
+        let root = lp(&m);
+        assert_eq!(root.status, LpStatus::Optimal);
+        let basis = root.basis.clone().unwrap();
+        let mut moved = m.clone();
+        moved.set_rhs(2, 0.5); // x3 <= 0.5
+        let warm = resolve_lp(&moved, None, &basis, TOL, 0).unwrap();
+        let cold = solve_lp(&moved, None, TOL, 0).unwrap();
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert!((warm.objective - cold.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn long_pivot_chains_refactorize() {
+        // A chained LP that forces more pivots than the refactorization
+        // interval; the counter must tick and the optimum stay exact.
+        // min Σ x_i  s.t.  x_0 >= 1, x_i - x_{i-1} >= 1.
+        let k = 80;
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..k).map(|_| m.add_var(Variable::non_negative())).collect();
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, vars[0]), Rel::Ge, 1.0));
+        for i in 1..k {
+            m.add_constraint(Constraint::new(
+                LinExpr::new() + (1.0, vars[i]) + (-1.0, vars[i - 1]),
+                Rel::Ge,
+                1.0,
+            ));
+        }
+        m.minimize(vars.iter().map(|&v| (1.0, v)).collect());
+        let out = lp(&m);
+        assert_eq!(out.status, LpStatus::Optimal);
+        // x_i = i + 1  ->  Σ = k(k+1)/2.
+        let expect = (k * (k + 1)) as f64 / 2.0;
+        assert!((out.objective - expect).abs() < 1e-5, "objective {}", out.objective);
+        assert!(out.iterations > REFACTOR_INTERVAL, "iterations {}", out.iterations);
+        assert!(out.refactorizations > 0, "expected at least one refactorization");
     }
 }

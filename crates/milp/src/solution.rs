@@ -33,6 +33,11 @@ pub struct SolveOptions {
     /// Run presolve (bound propagation, redundant-row removal) before
     /// branch and bound.
     pub presolve: bool,
+    /// Warm-start each branch-and-bound node's LP from its parent's optimal
+    /// basis (dual simplex); `false` forces the historical cold start at
+    /// every node. Outcomes are identical either way — warm solves fall
+    /// back to a cold start on any trouble — only the pivot counts differ.
+    pub warm_start: bool,
 }
 
 impl SolveOptions {
@@ -70,6 +75,7 @@ impl Default for SolveOptions {
             lp_iteration_limit: 0,
             rounding_heuristic: true,
             presolve: true,
+            warm_start: true,
         }
     }
 }
@@ -148,6 +154,19 @@ pub struct SolveStats {
     pub presolve_tightened_bounds: usize,
     /// Constraints removed as redundant by presolve.
     pub presolve_removed_rows: usize,
+    /// Node LPs solved warm (dual simplex from the parent basis).
+    pub warm_starts: usize,
+    /// Node LPs solved cold (slack-identity start), including warm attempts
+    /// that fell back.
+    pub cold_starts: usize,
+    /// Basis refactorizations across all LP solves.
+    pub refactorizations: usize,
+    /// Estimated pivots avoided by warm starts: for every warm node LP, the
+    /// most expensive LP solved earlier in the same tree (a lower bound on
+    /// the cold-start price at this model size — exact when the tree is
+    /// cold-rooted, conservative when even the root was warm) minus the
+    /// pivots the warm solve actually took.
+    pub pivots_saved: usize,
 }
 
 impl SolveStats {
@@ -161,6 +180,10 @@ impl SolveStats {
         self.lp_time += other.lp_time;
         self.presolve_tightened_bounds += other.presolve_tightened_bounds;
         self.presolve_removed_rows += other.presolve_removed_rows;
+        self.warm_starts += other.warm_starts;
+        self.cold_starts += other.cold_starts;
+        self.refactorizations += other.refactorizations;
+        self.pivots_saved += other.pivots_saved;
     }
 }
 
@@ -186,6 +209,10 @@ impl rtr_trace::Instrument for SolveStats {
             &format!("{scope}.presolve_removed_rows"),
             self.presolve_removed_rows as u64,
         );
+        rtr_trace::counter(&format!("{scope}.lp.warm_starts"), self.warm_starts as u64);
+        rtr_trace::counter(&format!("{scope}.lp.cold_starts"), self.cold_starts as u64);
+        rtr_trace::counter(&format!("{scope}.lp.refactorizations"), self.refactorizations as u64);
+        rtr_trace::counter(&format!("{scope}.lp.pivots_saved"), self.pivots_saved as u64);
     }
 }
 
@@ -198,6 +225,12 @@ pub struct Outcome {
     pub solution: Option<Solution>,
     /// Search statistics.
     pub stats: SolveStats,
+    /// The root LP relaxation's optimal basis, when it was solved to
+    /// optimality on the *unreduced* model (presolve off or no-op). Feed it
+    /// to [`solve_mip_warm`](crate::solve_mip_warm) after a bounds/RHS-only
+    /// mutation — the paper's binary-subdivision loop — to warm-start the
+    /// next solve in the chain.
+    pub root_basis: Option<crate::Basis>,
 }
 
 #[cfg(test)]

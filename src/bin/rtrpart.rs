@@ -40,6 +40,8 @@ OPTIONS (partition / bounds / simulate):
     --alpha <n>           starting partition relaxation α [default: 0]
     --gamma <n>           ending partition relaxation γ   [default: 1]
     --backend <name>      structured | milp               [default: structured]
+    --cold-start          disable MILP warm starts (milp backend; results
+                          are unchanged, only pivot counts grow)
     --strategy <name>     bisection | aggressive          [default: bisection]
     --env-policy <name>   resident | streamed             [default: resident]
     --dsp <a,b,...>       secondary resource capacities per class
@@ -177,6 +179,11 @@ fn load_params(opts: &Options) -> Result<ExploreParams, String> {
         other => return Err(format!("unknown strategy `{other}`")),
     };
     let solve_seconds: u64 = opts.parsed("--solve-seconds", 5)?;
+    let mut milp_options = ExploreParams::default().milp_options;
+    // Warm starts never change results (stale or troubled bases fall back
+    // to cold solves); the flag exists to reproduce historical pivot
+    // counts and to A/B the warm-start machinery itself.
+    milp_options.warm_start = !opts.flag("--cold-start");
     Ok(ExploreParams {
         delta,
         alpha: opts.parsed("--alpha", 0)?,
@@ -187,6 +194,7 @@ fn load_params(opts: &Options) -> Result<ExploreParams, String> {
             node_limit: 40_000_000,
             time_limit: Some(Duration::from_secs(solve_seconds)),
         },
+        milp_options,
         ..Default::default()
     })
 }

@@ -3,12 +3,16 @@
 //! seeded random instances. This is the evidence that the structured
 //! backend implements the paper's constraint set exactly.
 
+use rtrpart::core::model::{IlpModel, ModelOptions};
 use rtrpart::core::optimal::{solve_optimal, OptimalOutcome};
 use rtrpart::graph::Area;
 use rtrpart::graph::Latency;
+use rtrpart::milp::{solve_mip, solve_mip_warm, SolveOptions};
+use rtrpart::workloads::dct::dct_nxn;
 use rtrpart::workloads::random::{random_layered, RandomGraphParams};
 use rtrpart::{
-    validate_solution, Architecture, Backend, ExploreParams, SearchLimits, TemporalPartitioner,
+    validate_solution, Architecture, Backend, ExploreParams, IterationResult, SearchLimits,
+    TemporalPartitioner,
 };
 
 fn small_params(tasks: usize) -> RandomGraphParams {
@@ -59,6 +63,96 @@ fn feasibility_windows_agree_on_random_instances() {
             );
         }
     }
+}
+
+/// The ILP backend proves a small DCT window both ways — feasible at the
+/// full window, infeasible below `MinLatency` — and proves the same optimum
+/// the structured backend proves. This is the paper's CPLEX path exercised
+/// end to end on a real (if scaled-down) case-study instance.
+#[test]
+fn ilp_backend_proves_a_small_dct_window_like_structured() {
+    let g = dct_nxn(2).expect("2x2 DCT builds");
+    let arch = Architecture::new(Area::new(576), 512, Latency::from_us(1.0));
+    let n = 2;
+    let d_max = rtrpart::max_latency(&g, &arch, n);
+    let d_min = rtrpart::min_latency(&g, &arch, n);
+
+    for backend in [Backend::Structured, Backend::Milp] {
+        let params = ExploreParams { backend, ..Default::default() };
+        let part = TemporalPartitioner::new(&g, &arch, params).unwrap();
+        // Proven feasibility of the full window.
+        let (result, sol) = part.solve_window(n, d_max, Latency::ZERO).unwrap();
+        assert!(matches!(result, IterationResult::Feasible { .. }), "{backend:?}: {result:?}");
+        let sol = sol.unwrap();
+        assert!(validate_solution(&g, &arch, &sol).is_empty(), "{backend:?}");
+        assert!(sol.total_latency(&g, &arch) <= d_max + Latency::from_ns(1e-6));
+        // Proven infeasibility just below the latency lower bound.
+        let below = Latency::from_ns(d_min.as_ns() - 1.0);
+        let (result, _) = part.solve_window(n, below, Latency::ZERO).unwrap();
+        assert!(matches!(result, IterationResult::Infeasible), "{backend:?}: {result:?}");
+    }
+
+    // Both backends prove the same optimum.
+    let mut optima = Vec::new();
+    for backend in [Backend::Structured, Backend::Milp] {
+        match solve_optimal(&g, &arch, n, backend, SearchLimits::default()).unwrap() {
+            OptimalOutcome::Optimal(sol, lat) => {
+                assert!(validate_solution(&g, &arch, &sol).is_empty(), "{backend:?}");
+                optima.push(lat.as_ns());
+            }
+            other => panic!("{backend:?}: expected a proven optimum, got {other:?}"),
+        }
+    }
+    assert!((optima[0] - optima[1]).abs() < 1e-6, "structured {} vs milp {}", optima[0], optima[1]);
+}
+
+/// The warm-start differential: after the subdivision tightens the latency
+/// window, a branch-and-bound run warm-started from the parent's root basis
+/// reaches the same proven outcome as a cold run of the identical model —
+/// with strictly fewer simplex pivots.
+#[test]
+fn warm_restarted_bb_matches_cold_with_strictly_fewer_pivots() {
+    let g = dct_nxn(2).expect("2x2 DCT builds");
+    let arch = Architecture::new(Area::new(576), 512, Latency::from_us(1.0));
+    let n = 2;
+    let d_max = rtrpart::max_latency(&g, &arch, n);
+    let options =
+        ModelOptions { minimize_latency: true, include_dmin_cut: false, ..Default::default() };
+    let mut ilp = IlpModel::build(&g, &arch, n, d_max, Latency::ZERO, &options).unwrap();
+    // Presolve off on every solve: the chained basis indexes the unreduced
+    // model, and the cold reference must solve the identical model.
+    let warm_opts = SolveOptions { presolve: false, ..SolveOptions::optimal() };
+    let cold_opts = SolveOptions { warm_start: false, ..warm_opts.clone() };
+
+    let parent = solve_mip(ilp.model(), &warm_opts).unwrap();
+    assert_eq!(parent.status, rtrpart::milp::Status::Optimal);
+    let basis = parent.root_basis.clone().expect("unreduced optimal solve returns a root basis");
+
+    // The subdivision's mutation: only the latency RHS moves.
+    ilp.set_latency_window(Latency::from_ns(d_max.as_ns() * 0.75), Latency::ZERO);
+    let warm = solve_mip_warm(ilp.model(), &warm_opts, Some(&basis)).unwrap();
+    let cold = solve_mip(ilp.model(), &cold_opts).unwrap();
+
+    // Identical outcomes...
+    assert_eq!(warm.status, cold.status);
+    let (ws, cs) = (warm.solution.as_ref().unwrap(), cold.solution.as_ref().unwrap());
+    assert!(
+        (ws.objective - cs.objective).abs() < 1e-9,
+        "warm {} vs cold {}",
+        ws.objective,
+        cs.objective
+    );
+    // ...strictly cheaper: the warm run re-used bases, the cold run paid
+    // full price at every node.
+    assert!(warm.stats.warm_starts > 0, "{:?}", warm.stats);
+    assert!(warm.stats.pivots_saved > 0, "{:?}", warm.stats);
+    assert_eq!(cold.stats.warm_starts, 0, "{:?}", cold.stats);
+    assert!(
+        warm.stats.simplex_iterations < cold.stats.simplex_iterations,
+        "warm spent {} pivots, cold {}",
+        warm.stats.simplex_iterations,
+        cold.stats.simplex_iterations
+    );
 }
 
 #[test]
