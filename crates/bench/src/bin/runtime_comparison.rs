@@ -231,6 +231,65 @@ fn main() {
         bench.counter(format!("dominance.n{n}.prunes"), on_stats.dominance_prunes);
         bench.metric(format!("dominance.n{n}.node_reduction"), reduction);
     }
+    // Resilience overhead: the table-3 exploration streamed into a
+    // checkpoint after every completed window (the most aggressive policy
+    // the CLI offers, `--checkpoint-every 0`). The per-write latency comes
+    // from the `checkpoint.write` trace spans; the sum of those spans over
+    // the exploration's wall time is the overhead the checkpointing layer
+    // promises to keep negligible.
+    let exp = DctExperiment::table3();
+    let arch = exp.architecture();
+    let partitioner = TemporalPartitioner::new(&graph, &arch, exp.params()).expect("tasks fit");
+    let ck_path = std::env::temp_dir().join(format!("rtr_bench_ck_{}.json", std::process::id()));
+    let policy = rtr_core::CheckpointPolicy::new(&ck_path, std::time::Duration::ZERO);
+    rtr_trace::install(std::sync::Arc::new(rtr_trace::MemorySink::new()));
+    let start = Instant::now();
+    let (result, events) =
+        rtr_trace::capture(|| partitioner.explore_resumable(1, Some(&policy), None, |_| {}));
+    let ck_wall = start.elapsed();
+    rtr_trace::uninstall();
+    let _ = std::fs::remove_file(&ck_path);
+    let exploration = result.expect("checkpointed exploration runs");
+
+    let mut write_us: Vec<u64> = events
+        .iter()
+        .filter(|e| e.name == "checkpoint.write")
+        .filter_map(|e| {
+            e.fields.iter().find_map(|(k, v)| match (k.as_str(), v) {
+                ("dur_us", rtr_trace::Value::U64(us)) => Some(*us),
+                _ => None,
+            })
+        })
+        .collect();
+    assert!(!write_us.is_empty(), "checkpointed exploration emitted no write spans");
+    write_us.sort_unstable();
+    let pct = |p: f64| write_us[((write_us.len() - 1) as f64 * p).round() as usize];
+    let (p50, p99) = (pct(0.50), pct(0.99));
+    let total_us: u64 = write_us.iter().sum();
+    let overhead = total_us as f64 / (ck_wall.as_secs_f64() * 1e6);
+    println!(
+        "checkpointing every window: {} writes, p50 {p50} us, p99 {p99} us \
+         ({:.3}% of the {:.2?} exploration)",
+        write_us.len(),
+        overhead * 1e2,
+        ck_wall
+    );
+    assert!(
+        overhead < 0.01,
+        "checkpoint writes consumed {:.2}% of the exploration wall time",
+        overhead * 1e2
+    );
+    bench.counter("resilience.checkpoint_writes", write_us.len() as u64);
+    bench.metric("resilience.checkpoint_write_p50_us", p50 as f64);
+    bench.metric("resilience.checkpoint_write_p99_us", p99 as f64);
+    bench.metric("resilience.checkpoint_overhead_frac", overhead);
+    let d = &exploration.degradation;
+    bench.counter("resilience.panics_caught", d.panics_caught);
+    bench.counter("resilience.jobs_retried", d.jobs_retried);
+    bench.counter("resilience.subtrees_lost", d.subtrees_lost);
+    bench.counter("resilience.checkpoint_failures", d.checkpoint_failures);
+    assert!(d.is_clean(), "clean bench run reported degradation: {}", d.render());
+
     println!("paper's claim reproduced if the ILP optimality runs report no feasible solution.");
     bench.write_and_report();
 }

@@ -33,7 +33,9 @@ impl DesignPointPicker {
             DesignPointPicker::MaxArea => task.max_area_point(),
             DesignPointPicker::MinLatency => task.min_latency_point(),
         };
-        dps.iter().position(|d| std::ptr::eq(d, chosen)).expect("point from same slice")
+        // `chosen` aliases an element of `dps`, so the scan always hits;
+        // index 0 is a safe fallback rather than a panic path.
+        dps.iter().position(|d| std::ptr::eq(d, chosen)).unwrap_or(0)
     }
 }
 

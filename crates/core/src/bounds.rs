@@ -9,11 +9,12 @@ use rtr_graph::{Latency, TaskGraph};
 /// resource classes, the analogous per-class bound is taken too and the
 /// maximum returned.
 ///
-/// # Panics
-///
-/// Panics if the architecture has zero resource capacity.
+/// A zero-capacity device yields [`u32::MAX`] for any non-empty demand
+/// (nothing fits; [`crate::TemporalPartitioner::new`] rejects such
+/// instances with a typed error before any bound is consulted) and `1` for
+/// zero demand.
 pub fn min_area_partitions(graph: &TaskGraph, arch: &Architecture) -> u32 {
-    let mut n = graph.total_min_area().partitions_needed(arch.resource_capacity()).max(1);
+    let mut n = partitions_for(graph.total_min_area().units(), arch.resource_capacity().units());
     for (class, &cap) in arch.secondary_capacities().iter().enumerate() {
         if cap == 0 {
             continue; // a zero-capacity class constrains placement, not count
@@ -36,11 +37,9 @@ pub fn min_area_partitions(graph: &TaskGraph, arch: &Architecture) -> u32 {
 /// fragmentation can force more), but it anchors the exploration window
 /// `N_min^l + α ..= N_min^u + γ`.
 ///
-/// # Panics
-///
-/// Panics if the architecture has zero resource capacity.
+/// Zero-capacity devices degrade as in [`min_area_partitions`].
 pub fn max_area_partitions(graph: &TaskGraph, arch: &Architecture) -> u32 {
-    graph.total_max_area().partitions_needed(arch.resource_capacity()).max(1)
+    partitions_for(graph.total_max_area().units(), arch.resource_capacity().units())
 }
 
 /// The minimum number of partitions `units` area units can occupy on a
@@ -49,11 +48,19 @@ pub fn max_area_partitions(graph: &TaskGraph, arch: &Architecture) -> u32 {
 /// design-point choices, not per-task minimums) as an admissible η lower
 /// bound mid-path.
 ///
-/// # Panics
-///
-/// Panics if `capacity` is zero.
+/// Zero-capacity devices degrade as in [`min_area_partitions`].
 pub fn min_partitions_for_area(units: u64, capacity: u64) -> u32 {
-    (units.div_ceil(capacity) as u32).max(1)
+    partitions_for(units, capacity)
+}
+
+/// `⌈units / capacity⌉`, at least 1, with the degenerate `capacity == 0`
+/// mapped to "infinitely many partitions" instead of a divide-by-zero
+/// panic.
+fn partitions_for(units: u64, capacity: u64) -> u32 {
+    if capacity == 0 {
+        return if units == 0 { 1 } else { u32::MAX };
+    }
+    (units.div_ceil(capacity).min(u64::from(u32::MAX)) as u32).max(1)
 }
 
 /// `MaxLatency(N)`: the worst-case latency for `N` partitions — every task

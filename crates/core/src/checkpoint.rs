@@ -1,0 +1,751 @@
+//! Versioned JSON checkpoints for long explorations.
+//!
+//! A checkpoint is a *solve cache*, not a program image: it stores one
+//! entry per completed `SolveModel()` window, keyed by `(N, iteration)`,
+//! together with a fingerprint of the instance and parameters. Because the
+//! exploration itself is deterministic, resuming is replay — the run
+//! starts from scratch, and every window whose key is in the cache is
+//! answered from the stored record (validated first) instead of being
+//! solved again. Any subset of records is usable; missing windows are
+//! simply re-solved, so a checkpoint torn mid-run by `kill -9` still
+//! resumes to a byte-identical result.
+//!
+//! Writes are atomic (temp file in the same directory, then rename) and
+//! *resilient*: a failed write — real or injected via the
+//! `checkpoint.write` failpoint — is counted and retried at the next
+//! interval, never aborting the exploration.
+//!
+//! ## Schema and version policy
+//!
+//! The file is a single JSON object:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "fingerprint": "0x1a2b3c4d5e6f7788",
+//!   "records": [
+//!     {"n": 2, "iteration": 1, "d_max_ns": 1730, "d_min_ns": 780,
+//!      "result": "feasible", "latency_ns": 900, "eta": 2,
+//!      "elapsed_us": 1234, "placements": [[1, 0], [2, 1]]}
+//!   ]
+//! }
+//! ```
+//!
+//! `placements[t]` is `[partition, design_point]` for task index `t`;
+//! infeasible / limit rows carry `"placements": null`. Floats are written
+//! with Rust's shortest-round-trip formatting, so parsing restores the
+//! exact bit pattern. `version` is bumped on any incompatible schema
+//! change; loaders reject unknown versions (and mismatched fingerprints)
+//! with a typed [`PartitionError::Checkpoint`] rather than guessing.
+
+use crate::arch::Architecture;
+use crate::error::PartitionError;
+use crate::search::IterationResult;
+use crate::solution::{Placement, Solution};
+use crate::validate::validate_solution;
+use rtr_graph::TaskGraph;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Current checkpoint schema version (see the module docs for the policy).
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+/// How one checkpointed `SolveModel()` window ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointResult {
+    /// The window had a solution; `placements[t]` is
+    /// `(partition, design_point)` for task index `t`.
+    Feasible {
+        /// Recomputed total latency of the stored solution, in ns.
+        latency_ns: f64,
+        /// Partitions actually used.
+        eta: u32,
+        /// The solution itself, `(partition, design_point)` per task.
+        placements: Vec<(u32, usize)>,
+    },
+    /// The window was proven empty.
+    Infeasible,
+    /// A limit fired before the window was decided.
+    LimitReached,
+}
+
+/// One completed window solve, keyed by `(n, iteration)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointRecord {
+    /// Partition bound `N` of the solve.
+    pub n: u32,
+    /// Iteration index within this `N` (1-based).
+    pub iteration: u32,
+    /// Window upper bound in ns (exact bits of the original window).
+    pub d_max_ns: f64,
+    /// Window lower bound in ns.
+    pub d_min_ns: f64,
+    /// What the solve returned.
+    pub result: CheckpointResult,
+    /// Wall-clock time of the original solve, in µs.
+    pub elapsed_us: u64,
+}
+
+impl CheckpointRecord {
+    /// Rebuilds the window's `(result, solution)` from the stored record,
+    /// validating the solution against the graph, architecture, and the
+    /// original window before trusting it.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::Checkpoint`] when the stored placements are
+    /// malformed, violate a constraint, or their recomputed latency does
+    /// not reproduce the stored one bit-for-bit.
+    pub(crate) fn reconstruct(
+        &self,
+        graph: &TaskGraph,
+        arch: &Architecture,
+    ) -> Result<(IterationResult, Option<Solution>), PartitionError> {
+        match &self.result {
+            CheckpointResult::Infeasible => Ok((IterationResult::Infeasible, None)),
+            CheckpointResult::LimitReached => Ok((IterationResult::LimitReached, None)),
+            CheckpointResult::Feasible { latency_ns, eta, placements } => {
+                let detail = |msg: String| PartitionError::Checkpoint {
+                    detail: format!("record (n={}, iteration={}): {msg}", self.n, self.iteration),
+                };
+                if placements.len() != graph.task_count() {
+                    return Err(detail(format!(
+                        "{} placements for {} tasks",
+                        placements.len(),
+                        graph.task_count()
+                    )));
+                }
+                let mut decoded = Vec::with_capacity(placements.len());
+                for (t, &(partition, design_point)) in placements.iter().enumerate() {
+                    let points = graph.tasks()[t].design_points().len();
+                    if partition < 1 || partition > self.n || design_point >= points {
+                        return Err(detail(format!(
+                            "task {t} placed at (partition {partition}, point {design_point})"
+                        )));
+                    }
+                    decoded.push(Placement { partition, design_point });
+                }
+                let sol = Solution::new(decoded, self.n);
+                let violations = validate_solution(graph, arch, &sol);
+                if !violations.is_empty() {
+                    return Err(detail(format!("stored solution is invalid: {violations:?}")));
+                }
+                let latency = sol.total_latency(graph, arch);
+                if latency.as_ns().to_bits() != latency_ns.to_bits() {
+                    return Err(detail(format!(
+                        "stored latency {latency_ns} ns != recomputed {} ns",
+                        latency.as_ns()
+                    )));
+                }
+                if sol.partitions_used() != *eta {
+                    return Err(detail(format!(
+                        "stored eta {eta} != recomputed {}",
+                        sol.partitions_used()
+                    )));
+                }
+                Ok((IterationResult::Feasible { latency, eta: *eta }, Some(sol)))
+            }
+        }
+    }
+}
+
+/// A loaded (or to-be-written) checkpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Schema version ([`CHECKPOINT_VERSION`] when written by this build).
+    pub version: u32,
+    /// Fingerprint of the instance and exploration parameters.
+    pub fingerprint: u64,
+    /// Completed window solves, ascending by `(n, iteration)`.
+    pub records: Vec<CheckpointRecord>,
+}
+
+impl Checkpoint {
+    /// Serializes the checkpoint as JSON (see the module docs for the
+    /// schema).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.records.len() * 96);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"version\": {},\n", self.version));
+        out.push_str(&format!("  \"fingerprint\": \"{:#018x}\",\n", self.fingerprint));
+        out.push_str("  \"records\": [");
+        for (i, r) in self.records.iter().enumerate() {
+            out.push_str(if i == 0 { "\n" } else { ",\n" });
+            out.push_str(&format!(
+                "    {{\"n\": {}, \"iteration\": {}, \"d_max_ns\": {}, \"d_min_ns\": {}, ",
+                r.n, r.iteration, r.d_max_ns, r.d_min_ns
+            ));
+            match &r.result {
+                CheckpointResult::Feasible { latency_ns, eta, placements } => {
+                    out.push_str(&format!(
+                        "\"result\": \"feasible\", \"latency_ns\": {latency_ns}, \"eta\": {eta}, "
+                    ));
+                    out.push_str(&format!("\"elapsed_us\": {}, \"placements\": [", r.elapsed_us));
+                    for (j, (p, m)) in placements.iter().enumerate() {
+                        if j > 0 {
+                            out.push_str(", ");
+                        }
+                        out.push_str(&format!("[{p}, {m}]"));
+                    }
+                    out.push_str("]}");
+                }
+                CheckpointResult::Infeasible => out.push_str(&format!(
+                    "\"result\": \"infeasible\", \"elapsed_us\": {}, \"placements\": null}}",
+                    r.elapsed_us
+                )),
+                CheckpointResult::LimitReached => out.push_str(&format!(
+                    "\"result\": \"limit\", \"elapsed_us\": {}, \"placements\": null}}",
+                    r.elapsed_us
+                )),
+            }
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+
+    /// Parses a checkpoint from its JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::Checkpoint`] on malformed JSON, an unknown
+    /// schema version, or missing / mistyped fields.
+    pub fn from_json(text: &str) -> Result<Checkpoint, PartitionError> {
+        let err = |msg: &str| PartitionError::Checkpoint { detail: msg.to_owned() };
+        let value = parse_json(text)
+            .map_err(|e| PartitionError::Checkpoint { detail: format!("bad JSON: {e}") })?;
+        let obj = value.as_obj().ok_or_else(|| err("top level is not an object"))?;
+        let version = get_u64(obj, "version").ok_or_else(|| err("missing `version`"))? as u32;
+        if version != CHECKPOINT_VERSION {
+            return Err(PartitionError::Checkpoint {
+                detail: format!(
+                    "unsupported checkpoint version {version} (this build reads \
+                     {CHECKPOINT_VERSION})"
+                ),
+            });
+        }
+        let fingerprint = get_str(obj, "fingerprint")
+            .and_then(parse_hex_u64)
+            .ok_or_else(|| err("missing or malformed `fingerprint`"))?;
+        let records_json = get(obj, "records")
+            .and_then(Json::as_arr)
+            .ok_or_else(|| err("missing `records` array"))?;
+        let mut records = Vec::with_capacity(records_json.len());
+        for (i, rec) in records_json.iter().enumerate() {
+            let rerr =
+                |msg: &str| PartitionError::Checkpoint { detail: format!("record {i}: {msg}") };
+            let rec = rec.as_obj().ok_or_else(|| rerr("not an object"))?;
+            let n = get_u64(rec, "n").ok_or_else(|| rerr("missing `n`"))? as u32;
+            let iteration =
+                get_u64(rec, "iteration").ok_or_else(|| rerr("missing `iteration`"))? as u32;
+            let d_max_ns = get_f64(rec, "d_max_ns").ok_or_else(|| rerr("missing `d_max_ns`"))?;
+            let d_min_ns = get_f64(rec, "d_min_ns").ok_or_else(|| rerr("missing `d_min_ns`"))?;
+            let elapsed_us = get_u64(rec, "elapsed_us").unwrap_or(0);
+            let result = match get_str(rec, "result") {
+                Some("feasible") => {
+                    let latency_ns =
+                        get_f64(rec, "latency_ns").ok_or_else(|| rerr("missing `latency_ns`"))?;
+                    let eta = get_u64(rec, "eta").ok_or_else(|| rerr("missing `eta`"))? as u32;
+                    let list = get(rec, "placements")
+                        .and_then(Json::as_arr)
+                        .ok_or_else(|| rerr("feasible record without `placements`"))?;
+                    let mut placements = Vec::with_capacity(list.len());
+                    for pair in list {
+                        let pair = pair.as_arr().filter(|p| p.len() == 2).ok_or_else(|| {
+                            rerr("placement is not a [partition, design_point] pair")
+                        })?;
+                        let p = pair[0].as_u64().ok_or_else(|| rerr("bad partition"))? as u32;
+                        let m = pair[1].as_u64().ok_or_else(|| rerr("bad design point"))? as usize;
+                        placements.push((p, m));
+                    }
+                    CheckpointResult::Feasible { latency_ns, eta, placements }
+                }
+                Some("infeasible") => CheckpointResult::Infeasible,
+                Some("limit") => CheckpointResult::LimitReached,
+                _ => return Err(rerr("missing or unknown `result`")),
+            };
+            records.push(CheckpointRecord { n, iteration, d_max_ns, d_min_ns, result, elapsed_us });
+        }
+        Ok(Checkpoint { version, fingerprint, records })
+    }
+
+    /// Reads and parses a checkpoint file.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::Checkpoint`] on IO failure (including one
+    /// injected at the `checkpoint.load` failpoint) or malformed content.
+    pub fn load(path: &Path) -> Result<Checkpoint, PartitionError> {
+        if rtr_trace::failpoint::failpoint(
+            "checkpoint.load",
+            fnv1a(path.as_os_str().as_encoded_bytes()),
+        ) {
+            return Err(PartitionError::Checkpoint {
+                detail: format!("injected load failure for `{}`", path.display()),
+            });
+        }
+        let text = std::fs::read_to_string(path).map_err(|e| PartitionError::Checkpoint {
+            detail: format!("cannot read `{}`: {e}", path.display()),
+        })?;
+        Checkpoint::from_json(&text)
+    }
+}
+
+/// When and where [`crate::TemporalPartitioner::explore_resumable`] writes
+/// checkpoints.
+#[derive(Debug, Clone)]
+pub struct CheckpointPolicy {
+    /// Destination file; a sibling `<path>.tmp` is used for atomic writes.
+    pub path: PathBuf,
+    /// Minimum interval between writes; [`Duration::ZERO`] writes after
+    /// every completed window solve. A final write always happens when the
+    /// exploration ends.
+    pub every: Duration,
+}
+
+impl CheckpointPolicy {
+    /// A policy writing to `path` every `every`.
+    pub fn new(path: impl Into<PathBuf>, every: Duration) -> Self {
+        CheckpointPolicy { path: path.into(), every }
+    }
+}
+
+/// Thread-shared collector the exploration streams completed window
+/// records into; owns the interval gating and the atomic writes.
+#[derive(Debug)]
+pub(crate) struct CheckpointSink {
+    policy: CheckpointPolicy,
+    fingerprint: u64,
+    inner: Mutex<SinkInner>,
+}
+
+#[derive(Debug)]
+struct SinkInner {
+    records: BTreeMap<(u32, u32), CheckpointRecord>,
+    last_write: Instant,
+    write_ordinal: u64,
+    failures: u64,
+}
+
+impl CheckpointSink {
+    pub(crate) fn new(policy: CheckpointPolicy, fingerprint: u64) -> Self {
+        CheckpointSink {
+            policy,
+            fingerprint,
+            inner: Mutex::new(SinkInner {
+                records: BTreeMap::new(),
+                last_write: Instant::now(),
+                write_ordinal: 0,
+                failures: 0,
+            }),
+        }
+    }
+
+    /// Adds one completed window record and writes the checkpoint if the
+    /// interval has elapsed (or the policy writes on every record).
+    pub(crate) fn record(&self, rec: CheckpointRecord) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        inner.records.insert((rec.n, rec.iteration), rec);
+        if self.policy.every.is_zero() || inner.last_write.elapsed() >= self.policy.every {
+            self.write_locked(&mut inner);
+        }
+    }
+
+    /// Unconditionally writes the checkpoint (used for the final write).
+    pub(crate) fn flush(&self) {
+        let mut inner = self.inner.lock().unwrap_or_else(PoisonError::into_inner);
+        self.write_locked(&mut inner);
+    }
+
+    /// Write failures so far (real IO errors plus injected ones).
+    pub(crate) fn failures(&self) -> u64 {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner).failures
+    }
+
+    /// Serializes and atomically replaces the checkpoint file. A failure
+    /// is counted and deferred to the next interval — checkpointing is an
+    /// observer of the exploration and must never abort it.
+    fn write_locked(&self, inner: &mut SinkInner) {
+        let _span = rtr_trace::span("checkpoint.write").with("records", inner.records.len());
+        inner.last_write = Instant::now();
+        inner.write_ordinal += 1;
+        let checkpoint = Checkpoint {
+            version: CHECKPOINT_VERSION,
+            fingerprint: self.fingerprint,
+            records: inner.records.values().cloned().collect(),
+        };
+        let failed = if rtr_trace::failpoint::failpoint("checkpoint.write", inner.write_ordinal) {
+            true
+        } else {
+            let tmp = self.policy.path.with_extension("tmp");
+            std::fs::write(&tmp, checkpoint.to_json())
+                .and_then(|()| std::fs::rename(&tmp, &self.policy.path))
+                .is_err()
+        };
+        if failed {
+            inner.failures += 1;
+            rtr_trace::counter("resilience.checkpoint_write_failures", 1);
+        }
+    }
+}
+
+/// FNV-1a, used for instance fingerprints and failpoint keys.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in bytes {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn parse_hex_u64(s: &str) -> Option<u64> {
+    u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()
+}
+
+// ---------------------------------------------------------------------------
+// A minimal JSON reader — just enough for the checkpoint schema, with every
+// malformation reported as an error instead of a panic.
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(v) if *v >= 0.0 && v.fract() == 0.0 && *v <= u64::MAX as f64 => {
+                Some(*v as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+fn get<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+fn get_u64(obj: &[(String, Json)], key: &str) -> Option<u64> {
+    get(obj, key).and_then(Json::as_u64)
+}
+
+fn get_f64(obj: &[(String, Json)], key: &str) -> Option<f64> {
+    match get(obj, key) {
+        Some(Json::Num(v)) => Some(*v),
+        _ => None,
+    }
+}
+
+fn get_str<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a str> {
+    match get(obj, key) {
+        Some(Json::Str(s)) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: u32,
+}
+
+fn parse_json(text: &str) -> Result<Json, String> {
+    let mut r = Reader { bytes: text.as_bytes(), pos: 0, depth: 0 };
+    r.skip_ws();
+    let value = r.value()?;
+    r.skip_ws();
+    if r.pos != r.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", r.pos));
+    }
+    Ok(value)
+}
+
+impl Reader<'_> {
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.bytes.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected `{}` at offset {}", c as char, self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        if self.depth > 64 {
+            return Err("nesting too deep".to_owned());
+        }
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at offset {}", self.pos))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.depth += 1;
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            fields.push((key, self.value()?));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.depth += 1;
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| format!("bad \\u escape at offset {}", self.pos))?;
+                            out.push(hex);
+                            self.pos += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.pos)),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) if b < 0x20 => {
+                    return Err(format!("control byte in string at offset {}", self.pos))
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 passes through unchanged; the input
+                    // was a &str, so boundaries are already valid.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|&b| b >= 0x80 && (b & 0xC0) == 0x80)
+                    {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| format!("invalid UTF-8 at offset {start}"))?,
+                    );
+                }
+                None => return Err("unterminated string".to_owned()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| format!("invalid number at offset {start}"))?;
+        let value: f64 =
+            text.parse().map_err(|_| format!("invalid number `{text}` at offset {start}"))?;
+        if !value.is_finite() {
+            return Err(format!("non-finite number `{text}` at offset {start}"));
+        }
+        Ok(Json::Num(value))
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Checkpoint {
+        Checkpoint {
+            version: CHECKPOINT_VERSION,
+            fingerprint: 0x1a2b_3c4d_5e6f_7788,
+            records: vec![
+                CheckpointRecord {
+                    n: 2,
+                    iteration: 1,
+                    d_max_ns: 1730.125,
+                    d_min_ns: 780.0,
+                    result: CheckpointResult::Feasible {
+                        latency_ns: 900.5,
+                        eta: 2,
+                        placements: vec![(1, 0), (2, 1)],
+                    },
+                    elapsed_us: 1234,
+                },
+                CheckpointRecord {
+                    n: 2,
+                    iteration: 2,
+                    d_max_ns: 840.25,
+                    d_min_ns: 780.0,
+                    result: CheckpointResult::Infeasible,
+                    elapsed_us: 99,
+                },
+                CheckpointRecord {
+                    n: 3,
+                    iteration: 1,
+                    d_max_ns: 900.5,
+                    d_min_ns: 810.0,
+                    result: CheckpointResult::LimitReached,
+                    elapsed_us: 7,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_exact() {
+        let cp = sample();
+        let parsed = Checkpoint::from_json(&cp.to_json()).unwrap();
+        assert_eq!(parsed, cp);
+        // Floats survive bit-for-bit (shortest round-trip formatting).
+        let tricky = Checkpoint {
+            records: vec![CheckpointRecord {
+                d_max_ns: 0.1 + 0.2,
+                d_min_ns: f64::MIN_POSITIVE,
+                ..cp.records[1].clone()
+            }],
+            ..cp
+        };
+        let parsed = Checkpoint::from_json(&tricky.to_json()).unwrap();
+        assert_eq!(parsed.records[0].d_max_ns.to_bits(), (0.1f64 + 0.2).to_bits());
+        assert_eq!(parsed.records[0].d_min_ns.to_bits(), f64::MIN_POSITIVE.to_bits());
+    }
+
+    #[test]
+    fn version_and_shape_are_enforced() {
+        let cp = sample();
+        let bumped = cp.to_json().replace("\"version\": 1", "\"version\": 99");
+        assert!(matches!(
+            Checkpoint::from_json(&bumped),
+            Err(PartitionError::Checkpoint { detail }) if detail.contains("version 99")
+        ));
+        for bad in [
+            "",
+            "{",
+            "[1, 2]",
+            "{\"version\": 1}",
+            "{\"version\": 1, \"fingerprint\": \"0x0\", \"records\": 7}",
+            "{\"version\": 1, \"fingerprint\": 12, \"records\": []}",
+        ] {
+            assert!(
+                matches!(Checkpoint::from_json(bad), Err(PartitionError::Checkpoint { .. })),
+                "accepted {bad:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn json_reader_handles_escapes_and_rejects_junk() {
+        assert_eq!(parse_json("\"a\\n\\u0041π\"").unwrap(), Json::Str("a\nAπ".to_owned()));
+        for bad in ["{\"a\" 1}", "[1 2]", "tru", "1e999", "\"\\x\"", "\"unterminated", "[[[["] {
+            assert!(parse_json(bad).is_err(), "accepted {bad:?}");
+        }
+        assert!(parse_json("[1, [2, [3]]] ").is_ok());
+    }
+}

@@ -29,6 +29,14 @@ pub enum PartitionError {
     },
     /// The underlying MILP solver failed.
     Milp(rtr_milp::MilpError),
+    /// A checkpoint could not be loaded, parsed, or replayed: missing or
+    /// malformed file, unsupported schema version, a fingerprint that does
+    /// not match this instance and parameter set, or a cached window that
+    /// fails validation.
+    Checkpoint {
+        /// What went wrong, including the offending record when known.
+        detail: String,
+    },
 }
 
 impl fmt::Display for PartitionError {
@@ -44,6 +52,7 @@ impl fmt::Display for PartitionError {
                 None => write!(f, "task graph has more than u128 root-to-leaf paths (cap {cap})"),
             },
             PartitionError::Milp(e) => write!(f, "milp solver: {e}"),
+            PartitionError::Checkpoint { detail } => write!(f, "checkpoint: {detail}"),
         }
     }
 }

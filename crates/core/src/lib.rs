@@ -32,11 +32,15 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code recovers from every fallible situation with typed errors or
+// degraded-but-valid results; `unwrap`/`expect` are confined to tests.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod analysis;
 mod arch;
 pub mod baseline;
 mod bounds;
+pub mod checkpoint;
 mod error;
 pub mod model;
 pub mod optimal;
@@ -51,10 +55,12 @@ pub use arch::{Architecture, EnvMemoryPolicy};
 pub use bounds::{
     max_area_partitions, max_latency, min_area_partitions, min_latency, min_partitions_for_area,
 };
+pub use checkpoint::{Checkpoint, CheckpointPolicy, CheckpointRecord, CheckpointResult};
 pub use error::PartitionError;
+pub use rtr_trace::failpoint;
 pub use search::{
-    default_thread_count, Backend, Exploration, ExploreParams, IterationRecord, IterationResult,
-    RefinementStrategy, TemporalPartitioner, WindowStats,
+    default_thread_count, Backend, Degradation, Exploration, ExploreParams, IterationRecord,
+    IterationResult, LostSubtree, RefinementStrategy, TemporalPartitioner, WindowStats,
 };
 pub use solution::{Placement, Solution};
 pub use structured::{SearchGoal, SearchLimits, SearchOutcome, SearchStats};

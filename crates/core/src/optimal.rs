@@ -112,22 +112,21 @@ fn solve_optimal_inner(
             // `milp.*` counters were already emitted inside the solve; this
             // re-emission scopes the same stats to the optimality run.
             outcome.stats.emit_metrics("optimal.milp");
-            Ok(match outcome.status {
-                rtr_milp::Status::Optimal => {
-                    let sol = ilp
-                        .decode(outcome.solution.as_ref().expect("optimal has solution"))
-                        .compacted(n);
+            // An optimal/feasible status always carries an incumbent;
+            // treat a missing one as an interrupted run rather than
+            // panicking on a solver invariant.
+            Ok(match (outcome.status, outcome.solution.as_ref()) {
+                (rtr_milp::Status::Optimal, Some(assignment)) => {
+                    let sol = ilp.decode(assignment).compacted(n);
                     let latency = sol.total_latency(graph, arch);
                     OptimalOutcome::Optimal(sol, latency)
                 }
-                rtr_milp::Status::Feasible => {
-                    let sol = ilp
-                        .decode(outcome.solution.as_ref().expect("feasible has solution"))
-                        .compacted(n);
+                (rtr_milp::Status::Feasible, Some(assignment)) => {
+                    let sol = ilp.decode(assignment).compacted(n);
                     let latency = sol.total_latency(graph, arch);
                     OptimalOutcome::Interrupted(Some((sol, latency)))
                 }
-                rtr_milp::Status::Infeasible => OptimalOutcome::Infeasible,
+                (rtr_milp::Status::Infeasible, _) => OptimalOutcome::Infeasible,
                 _ => OptimalOutcome::Interrupted(None),
             })
         }

@@ -62,11 +62,17 @@ pub fn prune_design_points(graph: &TaskGraph, arch: &Architecture) -> (TaskGraph
         );
     }
     for e in graph.edges() {
-        b.add_edge(ids[e.src().index()], ids[e.dst().index()], e.data())
-            .expect("copying a valid graph");
+        // Copying edges of an already-valid graph cannot introduce
+        // duplicates or cycles.
+        let copied = b.add_edge(ids[e.src().index()], ids[e.dst().index()], e.data());
+        debug_assert!(copied.is_ok(), "copying a valid graph");
     }
-    let pruned = b.build().expect("pruning preserves validity");
-    (pruned, report)
+    match b.build() {
+        Ok(pruned) => (pruned, report),
+        // Pruning preserves validity; if a rebuild ever fails, fall back
+        // to the untouched input instead of panicking.
+        Err(_) => (graph.clone(), PruneReport::default()),
+    }
 }
 
 #[cfg(test)]

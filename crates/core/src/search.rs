@@ -3,6 +3,9 @@
 
 use crate::arch::Architecture;
 use crate::bounds::{max_area_partitions, max_latency, min_area_partitions, min_latency};
+use crate::checkpoint::{
+    fnv1a, Checkpoint, CheckpointPolicy, CheckpointRecord, CheckpointResult, CheckpointSink,
+};
 use crate::error::PartitionError;
 use crate::model::{IlpModel, ModelOptions};
 use crate::solution::Solution;
@@ -10,10 +13,16 @@ use crate::structured::{SearchGoal, SearchLimits, SearchOutcome, StructuredSolve
 use rtr_graph::{Latency, TaskGraph};
 use rtr_milp::SolveOptions;
 use rtr_trace::Instrument as _;
+use std::collections::BTreeMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
+
+/// Times a panicking window solve or candidate bound is retried before its
+/// subtree is abandoned and recorded in [`Degradation`].
+const PANIC_RETRY_LIMIT: u32 = 2;
 
 /// The worker-thread count [`TemporalPartitioner::explore_parallel`] uses
 /// when asked for `0` ("auto"): the `RTR_THREADS` environment variable if it
@@ -41,14 +50,100 @@ enum CandidateSlot {
     /// prefix bound `min(pivot, achieved latencies of smaller candidates)`,
     /// so the sequential loop provably breaks at or before this bound.
     Dominated,
-    /// The bound was evaluated; its record stream and captured trace events
-    /// are replayed by the merge in ascending-`N` order.
+    /// The bound was evaluated; its record stream, captured trace events,
+    /// and degradation account are replayed by the merge in ascending-`N`
+    /// order.
     Done {
         records: Vec<IterationRecord>,
         found: Option<(Solution, Latency)>,
         events: Vec<rtr_trace::Event>,
         error: Option<PartitionError>,
+        degradation: Degradation,
     },
+}
+
+/// One piece of the search the resilience layer abandoned after its panic
+/// retries ran out.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LostSubtree {
+    /// The failpoint / panic site, e.g. `explore.window` or
+    /// `explore.candidate`.
+    pub site: &'static str,
+    /// Partition bound of the lost work.
+    pub n: u32,
+    /// Iteration within the bound; `0` when a whole candidate bound was
+    /// lost rather than a single window.
+    pub iteration: u32,
+}
+
+/// Honest account of what an exploration skipped while surviving worker
+/// panics and checkpoint failures. With fault injection off and no bugs
+/// triggered, every field is zero ([`is_clean`](Self::is_clean)) and the
+/// exploration's outputs are bit-identical to a build without the
+/// resilience layer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Degradation {
+    /// Worker panics caught and contained (never propagated to callers).
+    pub panics_caught: u64,
+    /// Panicked jobs retried with the shared incumbent intact.
+    pub jobs_retried: u64,
+    /// Jobs abandoned after their retries ran out; their subtrees went
+    /// unexplored, so the result is best-so-far, not exhaustive.
+    pub subtrees_lost: u64,
+    /// Checkpoint writes that failed (and were deferred to the next
+    /// interval) — see [`CheckpointPolicy`].
+    pub checkpoint_failures: u64,
+    /// One entry per abandoned subtree, in the deterministic merge order.
+    pub lost: Vec<LostSubtree>,
+}
+
+impl Degradation {
+    /// `true` when nothing was caught, retried, lost, or deferred — the
+    /// exploration behaved exactly as if the resilience layer were absent.
+    pub fn is_clean(&self) -> bool {
+        self.panics_caught == 0
+            && self.jobs_retried == 0
+            && self.subtrees_lost == 0
+            && self.checkpoint_failures == 0
+            && self.lost.is_empty()
+    }
+
+    /// Accumulates another account into this one (counters add, lost
+    /// subtrees append in order).
+    fn absorb(&mut self, other: Degradation) {
+        self.panics_caught += other.panics_caught;
+        self.jobs_retried += other.jobs_retried;
+        self.subtrees_lost += other.subtrees_lost;
+        self.checkpoint_failures += other.checkpoint_failures;
+        self.lost.extend(other.lost);
+    }
+
+    /// Renders the account as a short, deterministic human-readable block
+    /// (one header plus one line per lost subtree).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "degraded: panics_caught={} jobs_retried={} subtrees_lost={} checkpoint_failures={}",
+            self.panics_caught, self.jobs_retried, self.subtrees_lost, self.checkpoint_failures
+        );
+        for lost in &self.lost {
+            out.push_str(&format!(
+                "\n  lost {} at N={} iteration={}",
+                lost.site, lost.n, lost.iteration
+            ));
+        }
+        out.push('\n');
+        out
+    }
+}
+
+/// Per-exploration resilience context threaded through the solve loops: a
+/// read-only cache of checkpointed window solves to replay, and a sink to
+/// stream completed windows into. Both absent on the plain
+/// [`TemporalPartitioner::explore`] paths.
+#[derive(Clone, Copy, Default)]
+struct RunCtx<'a> {
+    resume: Option<&'a BTreeMap<(u32, u32), CheckpointRecord>>,
+    sink: Option<&'a CheckpointSink>,
 }
 
 /// Per-partition-bound warm-start state of the milp backend inside
@@ -233,6 +328,10 @@ pub struct Exploration {
     pub n_min_lower: u32,
     /// `N_min^u` for this instance.
     pub n_min_upper: u32,
+    /// What the resilience layer caught, retried, or gave up on — all-zero
+    /// ([`Degradation::is_clean`]) unless workers panicked or checkpoint
+    /// writes failed.
+    pub degradation: Degradation,
 }
 
 impl Exploration {
@@ -557,9 +656,13 @@ impl<'g> TemporalPartitioner<'g> {
         let stats = WindowStats { milp: Some(outcome.stats), structured: None };
         match outcome.status {
             rtr_milp::Status::Feasible | rtr_milp::Status::Optimal => {
-                let sol = ilp
-                    .decode(outcome.solution.as_ref().expect("status has solution"))
-                    .compacted(n);
+                // A feasible/optimal status always carries an incumbent;
+                // treat a missing one as an undecided window rather than
+                // panicking on a solver invariant.
+                let Some(assignment) = outcome.solution.as_ref() else {
+                    return (IterationResult::LimitReached, None, stats);
+                };
+                let sol = ilp.decode(assignment).compacted(n);
                 let latency = sol.total_latency(self.graph, self.arch);
                 let eta = sol.partitions_used();
                 (IterationResult::Feasible { latency, eta }, Some(sol), stats)
@@ -590,23 +693,23 @@ impl<'g> TemporalPartitioner<'g> {
         if self.params.backend != Backend::Milp || !self.params.milp_options.warm_start {
             return self.solve_window_traced(n, d_max, d_min, hint);
         }
-        match session {
-            Some(s) => s.ilp.set_latency_window(d_max, d_min),
-            None => {
-                *session = Some(MilpSession {
-                    ilp: IlpModel::build(
-                        self.graph,
-                        self.arch,
-                        n,
-                        d_max,
-                        d_min,
-                        &self.params.model_options,
-                    )?,
-                    basis: None,
-                });
+        let s = match session {
+            Some(s) => {
+                s.ilp.set_latency_window(d_max, d_min);
+                s
             }
-        }
-        let s = session.as_mut().expect("session was just built");
+            None => session.insert(MilpSession {
+                ilp: IlpModel::build(
+                    self.graph,
+                    self.arch,
+                    n,
+                    d_max,
+                    d_min,
+                    &self.params.model_options,
+                )?,
+                basis: None,
+            }),
+        };
         // Presolve would re-index rows under the chained basis, so session
         // solves run on the unreduced model (`solve_mip_warm` enforces the
         // same rule whenever a basis is supplied).
@@ -638,16 +741,27 @@ impl<'g> TemporalPartitioner<'g> {
         d_min: Latency,
         records: &mut Vec<IterationRecord>,
     ) -> Result<Option<(Solution, Latency)>, PartitionError> {
-        self.reduce_latency_observed(n, d_max, d_min, records, &mut |_| {})
+        self.reduce_latency_ctx(
+            n,
+            d_max,
+            d_min,
+            records,
+            &mut |_| {},
+            RunCtx::default(),
+            &mut Degradation::default(),
+        )
     }
 
-    fn reduce_latency_observed(
+    #[allow(clippy::too_many_arguments)]
+    fn reduce_latency_ctx(
         &self,
         n: u32,
         d_max: Latency,
         d_min: Latency,
         records: &mut Vec<IterationRecord>,
         observer: &mut dyn FnMut(&IterationRecord),
+        ctx: RunCtx<'_>,
+        degradation: &mut Degradation,
     ) -> Result<Option<(Solution, Latency)>, PartitionError> {
         let _span = rtr_trace::span("search.reduce_latency").with("n", n);
         let delta = self.params.delta.as_ns().max(1e-9);
@@ -658,12 +772,86 @@ impl<'g> TemporalPartitioner<'g> {
         let mut solve = |d_max: Latency,
                          d_min: Latency,
                          hint: Option<&Solution>,
-                         records: &mut Vec<IterationRecord>|
+                         records: &mut Vec<IterationRecord>,
+                         degradation: &mut Degradation|
          -> Result<(IterationResult, Option<Solution>), PartitionError> {
             iteration += 1;
+            // Resume: answer the window from the checkpoint cache when its
+            // key is present. The cached bounds must match this window
+            // bit-for-bit — the exploration is deterministic, so a mismatch
+            // means the checkpoint belongs to a different instance or
+            // parameter set.
+            if let Some(cache) = ctx.resume {
+                if let Some(cached) = cache.get(&(n, iteration)) {
+                    if cached.d_max_ns.to_bits() != d_max.as_ns().to_bits()
+                        || cached.d_min_ns.to_bits() != d_min.as_ns().to_bits()
+                    {
+                        return Err(PartitionError::Checkpoint {
+                            detail: format!(
+                                "checkpoint window (n={n}, iteration={iteration}) was \
+                                 [{}, {}] ns but this run needs [{}, {}] ns — wrong \
+                                 checkpoint for this instance or parameters?",
+                                cached.d_min_ns,
+                                cached.d_max_ns,
+                                d_min.as_ns(),
+                                d_max.as_ns()
+                            ),
+                        });
+                    }
+                    let (result, sol) = cached.reconstruct(self.graph, self.arch)?;
+                    let record = IterationRecord {
+                        n,
+                        iteration,
+                        d_max,
+                        d_min,
+                        result: result.clone(),
+                        elapsed: Duration::from_micros(cached.elapsed_us),
+                        stats: WindowStats::default(),
+                    };
+                    emit_iteration_event(&record);
+                    observer(&record);
+                    if let Some(sink) = ctx.sink {
+                        sink.record(cached.clone());
+                    }
+                    records.push(record);
+                    return Ok((result, sol));
+                }
+            }
             let start = Instant::now();
-            let (result, sol, stats) =
-                self.solve_window_in_session(n, d_max, d_min, hint, &mut session)?;
+            // Panic isolation: a panicking window solve (injected at the
+            // `explore.window` failpoint, or a genuine backend bug) is
+            // retried, then given up as a LimitReached window — the search
+            // already treats undecided windows as "no improvement found",
+            // so a lost window can only forgo improvements, never corrupt
+            // the result. The milp warm-start session is dropped on panic:
+            // it may have unwound mid-pivot.
+            let mut attempt = 0u32;
+            let (result, sol, stats) = loop {
+                let key =
+                    (u64::from(n) << 40) | (u64::from(iteration) << 8) | u64::from(attempt & 0xff);
+                let solved = catch_unwind(AssertUnwindSafe(|| {
+                    rtr_trace::failpoint::panic_if("explore.window", key);
+                    self.solve_window_in_session(n, d_max, d_min, hint, &mut session)
+                }));
+                match solved {
+                    Ok(outcome) => break outcome?,
+                    Err(_) => {
+                        degradation.panics_caught += 1;
+                        session = None;
+                        if attempt >= PANIC_RETRY_LIMIT {
+                            degradation.subtrees_lost += 1;
+                            degradation.lost.push(LostSubtree {
+                                site: "explore.window",
+                                n,
+                                iteration,
+                            });
+                            break (IterationResult::LimitReached, None, WindowStats::default());
+                        }
+                        attempt += 1;
+                        degradation.jobs_retried += 1;
+                    }
+                }
+            };
             let record = IterationRecord {
                 n,
                 iteration,
@@ -675,12 +863,36 @@ impl<'g> TemporalPartitioner<'g> {
             };
             emit_iteration_event(&record);
             observer(&record);
+            if let Some(sink) = ctx.sink {
+                sink.record(CheckpointRecord {
+                    n,
+                    iteration,
+                    d_max_ns: d_max.as_ns(),
+                    d_min_ns: d_min.as_ns(),
+                    result: match (&result, &sol) {
+                        (IterationResult::Feasible { latency, eta }, Some(sol)) => {
+                            CheckpointResult::Feasible {
+                                latency_ns: latency.as_ns(),
+                                eta: *eta,
+                                placements: sol
+                                    .placements()
+                                    .iter()
+                                    .map(|p| (p.partition, p.design_point))
+                                    .collect(),
+                            }
+                        }
+                        (IterationResult::Infeasible, _) => CheckpointResult::Infeasible,
+                        _ => CheckpointResult::LimitReached,
+                    },
+                    elapsed_us: record.elapsed.as_micros() as u64,
+                });
+            }
             records.push(record);
             Ok((result, sol))
         };
 
         // First solve over the full window.
-        let (first, sol) = solve(d_max, d_min, None, records)?;
+        let (first, sol) = solve(d_max, d_min, None, records, degradation)?;
         let mut best = match (first, sol) {
             (IterationResult::Feasible { latency, .. }, Some(sol)) => (sol, latency),
             _ => return Ok(None),
@@ -694,7 +906,7 @@ impl<'g> TemporalPartitioner<'g> {
                 while best.1.as_ns() - lower >= delta {
                     let mid = Latency::from_ns((best.1.as_ns() + lower) / 2.0);
                     let (result, sol) =
-                        solve(mid, Latency::from_ns(lower), Some(&best.0), records)?;
+                        solve(mid, Latency::from_ns(lower), Some(&best.0), records, degradation)?;
                     match (result, sol) {
                         (IterationResult::Feasible { latency, .. }, Some(sol)) => {
                             debug_assert!(latency <= mid + Latency::from_ns(1e-6));
@@ -707,8 +919,13 @@ impl<'g> TemporalPartitioner<'g> {
             RefinementStrategy::AggressiveDescent => {
                 while best.1.as_ns() - lower >= delta {
                     let target = Latency::from_ns(best.1.as_ns() - delta);
-                    let (result, sol) =
-                        solve(target, Latency::from_ns(lower), Some(&best.0), records)?;
+                    let (result, sol) = solve(
+                        target,
+                        Latency::from_ns(lower),
+                        Some(&best.0),
+                        records,
+                        degradation,
+                    )?;
                     match (result, sol) {
                         (IterationResult::Feasible { latency, .. }, Some(sol)) => {
                             best = (sol, latency);
@@ -740,6 +957,7 @@ impl<'g> TemporalPartitioner<'g> {
     /// because bound `n` failed — so both [`explore`](Self::explore) and
     /// [`explore_parallel`](Self::explore_parallel) run it on the calling
     /// thread.
+    #[allow(clippy::too_many_arguments)]
     fn first_feasible(
         &self,
         n_start: u32,
@@ -747,26 +965,80 @@ impl<'g> TemporalPartitioner<'g> {
         started: Instant,
         records: &mut Vec<IterationRecord>,
         observer: &mut dyn FnMut(&IterationRecord),
+        ctx: RunCtx<'_>,
+        degradation: &mut Degradation,
     ) -> Result<(u32, Option<(Solution, Latency)>), PartitionError> {
         let mut n = n_start;
-        let mut best = self.reduce_latency_observed(
+        let mut best = self.reduce_latency_ctx(
             n,
             max_latency(self.graph, self.arch, n),
             min_latency(self.graph, self.arch, n),
             records,
             observer,
+            ctx,
+            degradation,
         )?;
         while best.is_none() && n < n_cap && !self.expired(started) {
             n += 1;
-            best = self.reduce_latency_observed(
+            best = self.reduce_latency_ctx(
                 n,
                 max_latency(self.graph, self.arch, n),
                 min_latency(self.graph, self.arch, n),
                 records,
                 observer,
+                ctx,
+                degradation,
             )?;
         }
         Ok((n, best))
+    }
+
+    /// Evaluates one phase-2 candidate bound with candidate-level panic
+    /// isolation (the `explore.candidate` site). Used verbatim by both the
+    /// sequential relaxation loop and the parallel workers, so a degraded
+    /// run reports the same [`Degradation`] at every thread count.
+    #[allow(clippy::too_many_arguments)]
+    fn run_candidate_isolated(
+        &self,
+        n: u32,
+        pivot: Latency,
+        d_min: Latency,
+        records: &mut Vec<IterationRecord>,
+        observer: &mut dyn FnMut(&IterationRecord),
+        ctx: RunCtx<'_>,
+        degradation: &mut Degradation,
+    ) -> Result<Option<(Solution, Latency)>, PartitionError> {
+        let mut attempt = 0u32;
+        loop {
+            let kept = records.len();
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                rtr_trace::failpoint::panic_if(
+                    "explore.candidate",
+                    (u64::from(n) << 8) | u64::from(attempt & 0xff),
+                );
+                self.reduce_latency_ctx(n, pivot, d_min, records, observer, ctx, degradation)
+            }));
+            match caught {
+                Ok(result) => return result,
+                Err(_) => {
+                    // Drop the aborted attempt's partial rows; the retry
+                    // regenerates them from iteration 1.
+                    records.truncate(kept);
+                    degradation.panics_caught += 1;
+                    if attempt >= PANIC_RETRY_LIMIT {
+                        degradation.subtrees_lost += 1;
+                        degradation.lost.push(LostSubtree {
+                            site: "explore.candidate",
+                            n,
+                            iteration: 0,
+                        });
+                        return Ok(None);
+                    }
+                    attempt += 1;
+                    degradation.jobs_retried += 1;
+                }
+            }
+        }
     }
 
     /// The paper's `Refine_Partitions_Bound()` (Figure 2): explores
@@ -806,21 +1078,36 @@ impl<'g> TemporalPartitioner<'g> {
         &self,
         mut observer: F,
     ) -> Result<Exploration, PartitionError> {
-        let observer = &mut observer;
+        self.explore_sequential_ctx(&mut observer, RunCtx::default())
+    }
+
+    fn explore_sequential_ctx(
+        &self,
+        observer: &mut dyn FnMut(&IterationRecord),
+        ctx: RunCtx<'_>,
+    ) -> Result<Exploration, PartitionError> {
         let mut span = rtr_trace::span("search.explore")
             .with("backend", self.params.backend.to_string())
             .with("tasks", self.graph.tasks().len());
         let n_min_lower = min_area_partitions(self.graph, self.arch);
         let n_min_upper = max_area_partitions(self.graph, self.arch);
-        let n_cap = n_min_upper.max(n_min_lower) + self.params.gamma;
+        let n_cap = n_min_upper.max(n_min_lower).saturating_add(self.params.gamma);
         let started = Instant::now();
 
         let mut records = Vec::new();
-        let n_start = (n_min_lower + self.params.alpha).min(n_cap);
+        let mut degradation = Degradation::default();
+        let n_start = (n_min_lower.saturating_add(self.params.alpha)).min(n_cap);
 
         // Phase 1: find the first feasible partition bound.
-        let (mut n, mut best) =
-            self.first_feasible(n_start, n_cap, started, &mut records, observer)?;
+        let (mut n, mut best) = self.first_feasible(
+            n_start,
+            n_cap,
+            started,
+            &mut records,
+            observer,
+            ctx,
+            &mut degradation,
+        )?;
 
         // Phase 2: relax N looking for better solutions, each bound
         // refining against the phase-1 incumbent.
@@ -834,9 +1121,15 @@ impl<'g> TemporalPartitioner<'g> {
                     // relaxation cannot help (paper's early exit).
                     break;
                 }
-                if let Some((sol, latency)) =
-                    self.reduce_latency_observed(n, pivot, d_min, &mut records, observer)?
-                {
+                if let Some((sol, latency)) = self.run_candidate_isolated(
+                    n,
+                    pivot,
+                    d_min,
+                    &mut records,
+                    observer,
+                    ctx,
+                    &mut degradation,
+                )? {
                     if latency < best_latency {
                         best_latency = latency;
                         best = Some((sol, latency));
@@ -857,7 +1150,136 @@ impl<'g> TemporalPartitioner<'g> {
             }
         }
         span.finish();
-        Ok(Exploration { best, best_latency, records, n_min_lower, n_min_upper })
+        Ok(self.finish_exploration(Exploration {
+            best,
+            best_latency,
+            records,
+            n_min_lower,
+            n_min_upper,
+            degradation,
+        }))
+    }
+
+    /// Folds the structured backend's per-window resilience counters into
+    /// the exploration-level [`Degradation`] and, when the run was not
+    /// clean, emits the aggregate `resilience.*` counters and a
+    /// `resilience.degraded` event (from the merging thread, so the trace
+    /// stream stays deterministic).
+    fn finish_exploration(&self, mut exploration: Exploration) -> Exploration {
+        for r in &exploration.records {
+            if let Some(s) = &r.stats.structured {
+                exploration.degradation.panics_caught += s.panics_caught;
+                exploration.degradation.jobs_retried += s.jobs_retried;
+                exploration.degradation.subtrees_lost += s.subtrees_lost;
+                for _ in 0..s.subtrees_lost {
+                    exploration.degradation.lost.push(LostSubtree {
+                        site: "search.job",
+                        n: r.n,
+                        iteration: r.iteration,
+                    });
+                }
+            }
+        }
+        let d = &exploration.degradation;
+        if !d.is_clean() {
+            rtr_trace::counter("resilience.panics_caught", d.panics_caught);
+            rtr_trace::counter("resilience.jobs_retried", d.jobs_retried);
+            rtr_trace::counter("resilience.subtrees_lost", d.subtrees_lost);
+            rtr_trace::event("resilience.degraded", || {
+                vec![
+                    ("panics_caught".to_owned(), d.panics_caught.into()),
+                    ("jobs_retried".to_owned(), d.jobs_retried.into()),
+                    ("subtrees_lost".to_owned(), d.subtrees_lost.into()),
+                    ("checkpoint_failures".to_owned(), d.checkpoint_failures.into()),
+                ]
+            });
+        }
+        exploration
+    }
+
+    /// Fingerprint binding a checkpoint to this instance and to every
+    /// parameter that shapes the exploration trajectory. Thread counts are
+    /// deliberately excluded: the parallel merge is bit-identical to the
+    /// sequential loop, so a checkpoint may be resumed at any `threads`.
+    fn fingerprint(&self) -> u64 {
+        let p = &self.params;
+        let canon = format!(
+            "graph={}|rmax={}|mem={}|ct_bits={}|env={:?}|sec={:?}|delta_bits={}|alpha={}|\
+             gamma={}|backend={}|strategy={}|node_limit={}|time_limit={:?}|memo_limit={}",
+            self.graph.to_text(),
+            self.arch.resource_capacity().units(),
+            self.arch.memory_capacity(),
+            self.arch.reconfig_time().as_ns().to_bits(),
+            self.arch.env_policy(),
+            self.arch.secondary_capacities(),
+            p.delta.as_ns().to_bits(),
+            p.alpha,
+            p.gamma,
+            p.backend,
+            p.strategy,
+            p.limits.node_limit,
+            p.limits.time_limit,
+            p.memo_limit,
+        );
+        fnv1a(canon.as_bytes())
+    }
+
+    /// [`explore_parallel`](Self::explore_parallel) with checkpointing and
+    /// resume.
+    ///
+    /// With a [`CheckpointPolicy`], every completed `SolveModel()` window
+    /// is streamed into a versioned JSON checkpoint (atomic temp-file +
+    /// rename writes, interval-gated, plus a final write when the
+    /// exploration ends). With a resume [`Checkpoint`], windows whose
+    /// `(N, iteration)` key is cached are answered from the checkpoint —
+    /// validated against the feasibility checker first — instead of being
+    /// solved again; because the exploration is deterministic, the resumed
+    /// run's records, best solution, and [`Exploration::to_csv`] output are
+    /// byte-identical to an uninterrupted run. `observer` is honored on the
+    /// sequential path (`threads <= 1`) only.
+    ///
+    /// # Errors
+    ///
+    /// [`PartitionError::Checkpoint`] when the resume checkpoint does not
+    /// match this instance and parameter set (fingerprint or window
+    /// mismatch) or fails validation; otherwise as
+    /// [`explore`](Self::explore).
+    pub fn explore_resumable<F: FnMut(&IterationRecord)>(
+        &self,
+        threads: usize,
+        policy: Option<&CheckpointPolicy>,
+        resume: Option<&Checkpoint>,
+        mut observer: F,
+    ) -> Result<Exploration, PartitionError> {
+        let fingerprint = self.fingerprint();
+        let cache: Option<BTreeMap<(u32, u32), CheckpointRecord>> = match resume {
+            Some(checkpoint) => {
+                if checkpoint.fingerprint != fingerprint {
+                    return Err(PartitionError::Checkpoint {
+                        detail: format!(
+                            "checkpoint fingerprint {:#018x} does not match this instance \
+                             and parameter set ({:#018x})",
+                            checkpoint.fingerprint, fingerprint
+                        ),
+                    });
+                }
+                Some(checkpoint.records.iter().map(|r| ((r.n, r.iteration), r.clone())).collect())
+            }
+            None => None,
+        };
+        let sink = policy.map(|p| CheckpointSink::new(p.clone(), fingerprint));
+        let ctx = RunCtx { resume: cache.as_ref(), sink: sink.as_ref() };
+        let threads = if threads == 0 { default_thread_count() } else { threads };
+        let mut exploration = if threads <= 1 {
+            self.explore_sequential_ctx(&mut observer, ctx)
+        } else {
+            self.explore_parallel_ctx(threads, ctx)
+        }?;
+        if let Some(sink) = &sink {
+            sink.flush();
+            exploration.degradation.checkpoint_failures = sink.failures();
+        }
+        Ok(exploration)
     }
 
     /// [`explore`](Self::explore) with the phase-2 candidate bounds
@@ -897,27 +1319,46 @@ impl<'g> TemporalPartitioner<'g> {
         if threads <= 1 {
             return self.explore();
         }
+        self.explore_parallel_ctx(threads, RunCtx::default())
+    }
+
+    fn explore_parallel_ctx(
+        &self,
+        threads: usize,
+        ctx: RunCtx<'_>,
+    ) -> Result<Exploration, PartitionError> {
+        if threads <= 1 {
+            return self.explore_sequential_ctx(&mut |_| {}, ctx);
+        }
         let mut span = rtr_trace::span("search.explore")
             .with("backend", self.params.backend.to_string())
             .with("tasks", self.graph.tasks().len())
             .with("threads", threads);
         let n_min_lower = min_area_partitions(self.graph, self.arch);
         let n_min_upper = max_area_partitions(self.graph, self.arch);
-        let n_cap = n_min_upper.max(n_min_lower) + self.params.gamma;
+        let n_cap = n_min_upper.max(n_min_lower).saturating_add(self.params.gamma);
         let started = Instant::now();
 
         let mut records = Vec::new();
-        let n_start = (n_min_lower + self.params.alpha).min(n_cap);
+        let mut degradation = Degradation::default();
+        let n_start = (n_min_lower.saturating_add(self.params.alpha)).min(n_cap);
 
         // Phase 1 (sequential by nature): find the first feasible bound.
-        let (n1, mut best) =
-            self.first_feasible(n_start, n_cap, started, &mut records, &mut |_| {})?;
+        let (n1, mut best) = self.first_feasible(
+            n_start,
+            n_cap,
+            started,
+            &mut records,
+            &mut |_| {},
+            ctx,
+            &mut degradation,
+        )?;
 
         // Phase 2: fan the independent candidate bounds out to workers,
         // then merge in ascending-N order.
         if let Some(pivot) = best.as_ref().map(|(_, latency)| *latency) {
             let candidates: Vec<u32> = (n1 + 1..=n_cap).collect();
-            let slots = self.run_candidates(&candidates, pivot, threads, started);
+            let slots = self.run_candidates(&candidates, pivot, threads, started, ctx);
             let mut best_latency = pivot;
             for (slot, &n) in slots.into_iter().zip(&candidates) {
                 let d_min = min_latency(self.graph, self.arch, n);
@@ -927,9 +1368,16 @@ impl<'g> TemporalPartitioner<'g> {
                     break;
                 }
                 match slot {
-                    CandidateSlot::Done { records: candidate_records, found, events, error } => {
+                    CandidateSlot::Done {
+                        records: candidate_records,
+                        found,
+                        events,
+                        error,
+                        degradation: candidate_degradation,
+                    } => {
                         rtr_trace::dispatch_all(events);
                         records.extend(candidate_records);
+                        degradation.absorb(candidate_degradation);
                         if let Some(error) = error {
                             return Err(error);
                         }
@@ -966,7 +1414,14 @@ impl<'g> TemporalPartitioner<'g> {
             }
         }
         span.finish();
-        Ok(Exploration { best, best_latency, records, n_min_lower, n_min_upper })
+        Ok(self.finish_exploration(Exploration {
+            best,
+            best_latency,
+            records,
+            n_min_lower,
+            n_min_upper,
+            degradation,
+        }))
     }
 
     /// Evaluates the phase-2 candidate bounds on a scoped thread pool and
@@ -981,6 +1436,7 @@ impl<'g> TemporalPartitioner<'g> {
         pivot: Latency,
         threads: usize,
         started: Instant,
+        ctx: RunCtx<'_>,
     ) -> Vec<CandidateSlot> {
         let slots: Vec<Mutex<CandidateSlot>> =
             candidates.iter().map(|_| Mutex::new(CandidateSlot::NotRun)).collect();
@@ -1025,19 +1481,26 @@ impl<'g> TemporalPartitioner<'g> {
                             .fold(pivot.as_ns(), f64::min);
                         if d_min.as_ns() >= prefix {
                             stop_at.fetch_min(n, Ordering::Relaxed);
-                            *slots[idx].lock().expect("candidate slot poisoned") =
+                            *slots[idx].lock().unwrap_or_else(PoisonError::into_inner) =
                                 CandidateSlot::Dominated;
                             continue;
                         }
                     }
                     let mut candidate_records = Vec::new();
+                    let mut degradation = Degradation::default();
+                    // The candidate- and window-level panic isolation lives
+                    // inside run_candidate_isolated, which the sequential
+                    // loop shares — and inside the capture closure, because
+                    // capture is not panic-safe.
                     let (result, events) = rtr_trace::capture(|| {
-                        self.reduce_latency_observed(
+                        self.run_candidate_isolated(
                             n,
                             pivot,
                             d_min,
                             &mut candidate_records,
                             &mut |_| {},
+                            ctx,
+                            &mut degradation,
                         )
                     });
                     let (found, error) = match result {
@@ -1049,12 +1512,21 @@ impl<'g> TemporalPartitioner<'g> {
                         achieved[idx].store(bits, Ordering::Relaxed);
                         incumbent.fetch_min(bits, Ordering::Relaxed);
                     }
-                    *slots[idx].lock().expect("candidate slot poisoned") =
-                        CandidateSlot::Done { records: candidate_records, found, events, error };
+                    *slots[idx].lock().unwrap_or_else(PoisonError::into_inner) =
+                        CandidateSlot::Done {
+                            records: candidate_records,
+                            found,
+                            events,
+                            error,
+                            degradation,
+                        };
                 });
             }
         });
-        slots.into_iter().map(|slot| slot.into_inner().expect("candidate slot poisoned")).collect()
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
+            .collect()
     }
 }
 

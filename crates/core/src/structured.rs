@@ -15,8 +15,9 @@ use crate::arch::{Architecture, EnvMemoryPolicy};
 use crate::solution::{Placement, Solution};
 use rtr_graph::{TaskGraph, TaskId};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Default bound on the number of dominance-memo entries kept per search
@@ -41,6 +42,10 @@ const MAX_JOBS: usize = 4096;
 /// Granularity with which parallel workers claim node allowance from the
 /// shared [`SearchLimits::node_limit`] budget.
 const BUDGET_CHUNK: u64 = 4096;
+
+/// Times a panicked subtree job is retried from a fresh state before the
+/// subtree is abandoned and recorded in [`SearchStats::subtrees_lost`].
+const JOB_RETRY_LIMIT: u32 = 2;
 
 /// Limits for one structured search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -93,6 +98,15 @@ pub struct SearchStats {
     /// level dominated them (see the dominance memoization in
     /// [`StructuredSolver`]).
     pub dominance_prunes: u64,
+    /// Worker panics caught and contained by
+    /// [`StructuredSolver::run_parallel`]'s job isolation (always `0`
+    /// without fault injection or a genuine bug).
+    pub panics_caught: u64,
+    /// Panicked subtree jobs that were retried from a fresh state.
+    pub jobs_retried: u64,
+    /// Subtree jobs abandoned after exhausting their retries; each one
+    /// forces `exhausted` to `false`.
+    pub subtrees_lost: u64,
     /// `true` if the search space was fully exhausted (a returned solution
     /// is proven optimal for the [`SearchGoal::Optimal`] goal).
     pub exhausted: bool,
@@ -110,6 +124,9 @@ impl SearchStats {
         self.area_prunes += other.area_prunes;
         self.memory_rejects += other.memory_rejects;
         self.dominance_prunes += other.dominance_prunes;
+        self.panics_caught += other.panics_caught;
+        self.jobs_retried += other.jobs_retried;
+        self.subtrees_lost += other.subtrees_lost;
         self.exhausted &= other.exhausted;
     }
 }
@@ -240,6 +257,11 @@ impl MemoTable {
 
     fn insert(&mut self, key: Vec<u32>, dom: Vec<f64>, proven: f64) {
         if self.limit == 0 || self.entries >= self.limit {
+            return;
+        }
+        // Failpoint: dropping a memo insert loses a future prune but never
+        // changes results, so this site is safe under global injection.
+        if rtr_trace::failpoint::failpoint("structured.memo_insert", proven.to_bits()) {
             return;
         }
         let bucket = self.map.entry(key).or_default();
@@ -428,20 +450,20 @@ impl<'g> StructuredSolver<'g> {
                 let mut last_pred_pos = vec![-1i64; count];
                 let mut order: Vec<TaskId> = Vec::with_capacity(count);
                 let mut last_key: Option<&str> = None;
-                while !ready.is_empty() {
-                    let pos = ready
-                        .iter()
-                        .enumerate()
-                        .max_by(|(_, &a), (_, &b)| {
-                            let sib_a = last_key == Some(keys[a].as_str());
-                            let sib_b = last_key == Some(keys[b].as_str());
-                            sib_a
-                                .cmp(&sib_b)
-                                .then(last_pred_pos[a].cmp(&last_pred_pos[b]))
-                                .then(b.cmp(&a))
-                        })
-                        .map(|(i, _)| i)
-                        .expect("ready is non-empty");
+                // `max_by` is `Some` exactly while `ready` is non-empty.
+                while let Some(pos) = ready
+                    .iter()
+                    .enumerate()
+                    .max_by(|(_, &a), (_, &b)| {
+                        let sib_a = last_key == Some(keys[a].as_str());
+                        let sib_b = last_key == Some(keys[b].as_str());
+                        sib_a
+                            .cmp(&sib_b)
+                            .then(last_pred_pos[a].cmp(&last_pred_pos[b]))
+                            .then(b.cmp(&a))
+                    })
+                    .map(|(i, _)| i)
+                {
                     let t = ready.swap_remove(pos);
                     last_key = Some(keys[t].as_str());
                     let assigned_pos = order.len() as i64;
@@ -1081,7 +1103,7 @@ impl<'g> StructuredSolver<'g> {
         if !mem_ok {
             st.stats.memory_rejects += 1;
             while st.touched.len() > touched_from {
-                let (i, amount) = st.touched.pop().expect("touched frame underflow");
+                let Some((i, amount)) = st.touched.pop() else { break };
                 st.mem[i] -= amount;
             }
             return Step::Rejected;
@@ -1124,7 +1146,7 @@ impl<'g> StructuredSolver<'g> {
         st.chain_lb_max = u.old_chain_lb;
         st.total_area -= dp.area().units();
         while st.touched.len() > u.touched_from {
-            let (i, amount) = st.touched.pop().expect("touched frame underflow");
+            let Some((i, amount)) = st.touched.pop() else { break };
             st.mem[i] -= amount;
         }
     }
@@ -1269,58 +1291,105 @@ impl<'g> StructuredSolver<'g> {
                             st.best = None;
                         }
                         st.job_index = j;
-                        st.nodes_exhausted = true;
-                        st.stats = SearchStats::default();
-                        let prev_best = st.best.as_ref().map(|(b, _)| *b);
                         let job = &jobs[j];
-                        // Capture diverts this worker thread's trace stream
-                        // into a buffer the merge replays in job order.
-                        let ((), events) = rtr_trace::capture(|| {
-                            let span = rtr_trace::span("structured.subtree")
-                                .with("job", j as u64)
-                                .with("depth", depth as u64);
-                            let mut undos: Vec<Undo> = Vec::with_capacity(depth);
-                            let mut pruned = false;
-                            for (lvl, &(p, m)) in job.iter().enumerate() {
-                                // Replaying the prefix can legitimately be
-                                // rejected now: a better incumbent may have
-                                // arrived since generation, pruning the
-                                // whole subtree.
-                                match self.check_and_apply(
-                                    lvl,
-                                    self.order[lvl],
-                                    p,
-                                    m as usize,
-                                    &mut st,
-                                    false,
-                                ) {
-                                    Step::Applied(u) => undos.push(u),
-                                    _ => {
-                                        pruned = true;
-                                        break;
+                        // Panic isolation: a panicking job (injected at the
+                        // `search.job` failpoint, or a genuine bug) costs at
+                        // most its own subtree. The panicked state is
+                        // corrupted mid-assignment, so every retry rebuilds
+                        // a fresh worker state; the merge below accepts
+                        // ascending strict improvements, so a rebuilt
+                        // incumbent never changes the outcome. catch_unwind
+                        // sits *inside* capture, which is not panic-safe.
+                        let mut attempt = 0u32;
+                        let mut panics = 0u64;
+                        let mut retries = 0u64;
+                        let result = loop {
+                            if self.goal == SearchGoal::FirstFeasible {
+                                st.best = None;
+                            }
+                            st.nodes_exhausted = true;
+                            st.stats = SearchStats::default();
+                            let prev_best = st.best.as_ref().map(|(b, _)| *b);
+                            let (finished, events) = rtr_trace::capture(|| {
+                                catch_unwind(AssertUnwindSafe(|| {
+                                    rtr_trace::failpoint::panic_if(
+                                        "search.job",
+                                        ((j as u64) << 8) | u64::from(attempt),
+                                    );
+                                    let span = rtr_trace::span("structured.subtree")
+                                        .with("job", j as u64)
+                                        .with("depth", depth as u64);
+                                    let mut undos: Vec<Undo> = Vec::with_capacity(depth);
+                                    let mut pruned = false;
+                                    for (lvl, &(p, m)) in job.iter().enumerate() {
+                                        // Replaying the prefix can
+                                        // legitimately be rejected now: a
+                                        // better incumbent may have arrived
+                                        // since generation, pruning the
+                                        // whole subtree.
+                                        match self.check_and_apply(
+                                            lvl,
+                                            self.order[lvl],
+                                            p,
+                                            m as usize,
+                                            &mut st,
+                                            false,
+                                        ) {
+                                            Step::Applied(u) => undos.push(u),
+                                            _ => {
+                                                pruned = true;
+                                                break;
+                                            }
+                                        }
                                     }
-                                }
+                                    if !pruned {
+                                        self.dfs(depth, &mut st);
+                                    }
+                                    for u in undos.into_iter().rev() {
+                                        self.undo_step(u, &mut st);
+                                    }
+                                    span.finish();
+                                }))
+                                .is_ok()
+                            });
+                            if finished {
+                                let found = match (&st.best, prev_best) {
+                                    (Some((b, pl)), Some(pb)) if *b < pb - 1e-9 => {
+                                        Some((*b, pl.clone()))
+                                    }
+                                    (Some((b, pl)), None) => Some((*b, pl.clone())),
+                                    _ => None,
+                                };
+                                let mut job_stats = std::mem::take(&mut st.stats);
+                                job_stats.exhausted = st.nodes_exhausted;
+                                job_stats.panics_caught += panics;
+                                job_stats.jobs_retried += retries;
+                                break JobResult { found, stats: job_stats, events };
                             }
-                            if !pruned {
-                                self.dfs(depth, &mut st);
+                            panics += 1;
+                            st = self.fresh_state(seed.clone(), start);
+                            st.shared = Some(&shared);
+                            st.job_index = j;
+                            if attempt >= JOB_RETRY_LIMIT {
+                                break JobResult {
+                                    found: None,
+                                    stats: SearchStats {
+                                        panics_caught: panics,
+                                        jobs_retried: retries,
+                                        subtrees_lost: 1,
+                                        exhausted: false,
+                                        ..SearchStats::default()
+                                    },
+                                    events: Vec::new(),
+                                };
                             }
-                            for u in undos.into_iter().rev() {
-                                self.undo_step(u, &mut st);
-                            }
-                            span.finish();
-                        });
-                        let found = match (&st.best, prev_best) {
-                            (Some((b, pl)), Some(pb)) if *b < pb - 1e-9 => Some((*b, pl.clone())),
-                            (Some((b, pl)), None) => Some((*b, pl.clone())),
-                            _ => None,
+                            attempt += 1;
+                            retries += 1;
                         };
-                        if self.goal == SearchGoal::FirstFeasible && found.is_some() {
+                        if self.goal == SearchGoal::FirstFeasible && result.found.is_some() {
                             shared.first_found.fetch_min(j, Ordering::Relaxed);
                         }
-                        let mut job_stats = std::mem::take(&mut st.stats);
-                        job_stats.exhausted = st.nodes_exhausted;
-                        *results[j].lock().expect("job slot poisoned") =
-                            Some(JobResult { found, stats: job_stats, events });
+                        *results[j].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
                     }
                 });
             }
@@ -1334,7 +1403,7 @@ impl<'g> StructuredSolver<'g> {
         let mut best = seed;
         let mut first_feasible: Option<Vec<Placement>> = None;
         for slot in &results {
-            match slot.lock().expect("job slot poisoned").take() {
+            match slot.lock().unwrap_or_else(PoisonError::into_inner).take() {
                 Some(r) => {
                     rtr_trace::dispatch_all(r.events);
                     stats.absorb(&r.stats);

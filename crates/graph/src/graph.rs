@@ -295,7 +295,9 @@ fn topological_order(
         }
     }
     if order.len() != n {
-        let on_cycle = (0..n).find(|&i| indegree[i] > 0).expect("cycle exists");
+        // `order.len() != n` means some task kept a positive indegree; the
+        // `unwrap_or` is a defensive fallback, not a reachable path.
+        let on_cycle = (0..n).find(|&i| indegree[i] > 0).unwrap_or(0);
         return Err(GraphError::Cycle { task: tasks[on_cycle].name().to_owned() });
     }
     Ok(order)

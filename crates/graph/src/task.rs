@@ -131,6 +131,16 @@ impl Task {
         self.env_output
     }
 
+    /// Fallback for the point selectors below. Validated tasks always have
+    /// at least one design point (the builder rejects empty sets), so this
+    /// zero-cost stub is unreachable in practice; it exists so an invariant
+    /// breach degrades instead of panicking.
+    fn empty_fallback() -> &'static DesignPoint {
+        use std::sync::OnceLock;
+        static FALLBACK: OnceLock<DesignPoint> = OnceLock::new();
+        FALLBACK.get_or_init(|| DesignPoint::new("(none)", Area::new(0), Latency::from_ns(0.0)))
+    }
+
     /// The design point with minimum area (ties broken by lower latency).
     ///
     /// This is the `min(R(m))` selection of the paper's
@@ -139,7 +149,7 @@ impl Task {
         self.design_points
             .iter()
             .min_by(|a, b| a.area().cmp(&b.area()).then(a.latency().total_cmp(&b.latency())))
-            .expect("validated tasks have at least one design point")
+            .unwrap_or_else(|| Self::empty_fallback())
     }
 
     /// The design point with maximum area (ties broken by lower latency);
@@ -148,7 +158,7 @@ impl Task {
         self.design_points
             .iter()
             .max_by(|a, b| a.area().cmp(&b.area()).then(b.latency().total_cmp(&a.latency())))
-            .expect("validated tasks have at least one design point")
+            .unwrap_or_else(|| Self::empty_fallback())
     }
 
     /// The design point with minimum latency (ties broken by smaller area);
@@ -157,7 +167,7 @@ impl Task {
         self.design_points
             .iter()
             .min_by(|a, b| a.latency().total_cmp(&b.latency()).then(a.area().cmp(&b.area())))
-            .expect("validated tasks have at least one design point")
+            .unwrap_or_else(|| Self::empty_fallback())
     }
 
     /// The design point with maximum latency (ties broken by smaller area);
@@ -166,7 +176,7 @@ impl Task {
         self.design_points
             .iter()
             .max_by(|a, b| a.latency().total_cmp(&b.latency()).then(b.area().cmp(&a.area())))
-            .expect("validated tasks have at least one design point")
+            .unwrap_or_else(|| Self::empty_fallback())
     }
 }
 

@@ -151,7 +151,9 @@ impl TaskGraph {
                 Some(other) => {
                     return Err(parse_err(lineno, &format!("unknown directive `{other}`")));
                 }
-                None => unreachable!("blank lines were skipped"),
+                // Blank lines were skipped above, so the first token is
+                // always present; tolerate the impossible case anyway.
+                None => continue,
             }
         }
         flush(&mut builder, &mut ids, &mut pending);

@@ -46,6 +46,9 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Library code must degrade with typed errors, never panic on inputs; the CI
+// clippy gate denies these two lints for lib targets.
+#![cfg_attr(not(test), warn(clippy::unwrap_used, clippy::expect_used))]
 
 mod branch;
 mod error;

@@ -297,7 +297,11 @@ impl Model {
         }
         let mut leftovers = (0..n + m).filter(|&c| statuses[c] == VarStatus::Basic && !placed[c]);
         for slot in order.iter_mut().filter(|slot| **slot == usize::MAX) {
-            *slot = leftovers.next().expect("basic-count check guarantees a column per row");
+            // The basic-count check above guarantees a column per row, but a
+            // malformed file should surface as a typed error, never a panic.
+            *slot = leftovers.next().ok_or_else(|| MilpError::BasisFormat {
+                detail: "fewer basic columns than unpaired rows".to_string(),
+            })?;
         }
         Ok(Basis { statuses, order })
     }

@@ -366,6 +366,11 @@ impl<'a> Solver<'a> {
     /// recomputes the basic values. Returns `false` (leaving the solver in
     /// an unspecified state) if the basis is stale or singular.
     fn install_basis(&mut self, basis: &Basis) -> bool {
+        // Fault-injection site: a rejected warm basis falls back to the cold
+        // start, so forcing `false` here must never change the solution.
+        if rtr_trace::failpoint::failpoint("milp.warm_basis", basis.order.len() as u64) {
+            return false;
+        }
         if basis.statuses.len() != self.total || basis.order.len() != self.m {
             return false;
         }
@@ -418,6 +423,15 @@ impl<'a> Solver<'a> {
     /// re-pair rows and columns; `order` is updated accordingly. Returns
     /// `false` on a (numerically) singular basis.
     fn refactorize(&mut self) -> bool {
+        // Fault-injection site: callers treat a failed refactorization as a
+        // numerically singular basis and recover (cold restart or retry at
+        // the next pivot), so forcing `false` must never change the solution.
+        if rtr_trace::failpoint::failpoint(
+            "milp.refactorize",
+            (self.refactorizations as u64).wrapping_mul(31).wrapping_add(self.etas.len() as u64),
+        ) {
+            return false;
+        }
         self.etas.clear();
         let m = self.m;
         let mut row_used = vec![false; m];
@@ -672,11 +686,12 @@ impl<'a> Solver<'a> {
                 if step < best_step - 1e-12 {
                     best_step = step;
                     blocking = Some((i, limit_bound));
-                } else if step <= best_step + 1e-12 && blocking.is_some() && use_bland {
+                } else if step <= best_step + 1e-12 && use_bland {
                     // Bland tie-break: prefer the lowest leaving index.
-                    let (bi, _) = blocking.unwrap();
-                    if self.order[i] < self.order[bi] {
-                        blocking = Some((i, limit_bound));
+                    if let Some((bi, _)) = blocking {
+                        if self.order[i] < self.order[bi] {
+                            blocking = Some((i, limit_bound));
+                        }
                     }
                 }
             }

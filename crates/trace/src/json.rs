@@ -211,11 +211,15 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
+                    // Consume one UTF-8 scalar. The slice is non-empty by the
+                    // surrounding guard, but a malformed input should yield a
+                    // parse error, not a panic.
                     let rest = std::str::from_utf8(&self.bytes[self.pos..]).map_err(|_| {
                         ParseError { at: self.pos, message: "invalid utf-8".into() }
                     })?;
-                    let c = rest.chars().next().expect("non-empty by guard");
+                    let Some(c) = rest.chars().next() else {
+                        return self.err("unterminated string");
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

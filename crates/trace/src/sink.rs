@@ -10,7 +10,7 @@ use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 use std::time::Instant;
 
 /// A destination for trace events.
@@ -47,7 +47,7 @@ pub fn install(sink: Arc<dyn Sink>) -> Option<Arc<dyn Sink>> {
     // Touch the epoch first so timestamps are relative to installation of
     // the first sink rather than the first event.
     let _ = EPOCH.get_or_init(Instant::now);
-    let mut slot = SINK.write().expect("trace sink lock poisoned");
+    let mut slot = SINK.write().unwrap_or_else(PoisonError::into_inner);
     let previous = slot.replace(sink);
     ENABLED.store(true, Ordering::Relaxed);
     previous
@@ -55,7 +55,7 @@ pub fn install(sink: Arc<dyn Sink>) -> Option<Arc<dyn Sink>> {
 
 /// Removes the global sink (flushing it) and returns it, if any.
 pub fn uninstall() -> Option<Arc<dyn Sink>> {
-    let mut slot = SINK.write().expect("trace sink lock poisoned");
+    let mut slot = SINK.write().unwrap_or_else(PoisonError::into_inner);
     ENABLED.store(false, Ordering::Relaxed);
     let sink = slot.take();
     if let Some(sink) = &sink {
@@ -122,7 +122,7 @@ pub fn dispatch(event: Event) {
         Some(event) => event,
         None => return,
     };
-    let slot = SINK.read().expect("trace sink lock poisoned");
+    let slot = SINK.read().unwrap_or_else(PoisonError::into_inner);
     if let Some(sink) = slot.as_ref() {
         sink.record(event);
     }
@@ -235,17 +235,17 @@ impl MemorySink {
 
     /// A copy of everything recorded so far.
     pub fn snapshot(&self) -> Vec<Event> {
-        self.events.lock().expect("memory sink poisoned").clone()
+        self.events.lock().unwrap_or_else(PoisonError::into_inner).clone()
     }
 
     /// Drains and returns everything recorded so far.
     pub fn take(&self) -> Vec<Event> {
-        std::mem::take(&mut *self.events.lock().expect("memory sink poisoned"))
+        std::mem::take(&mut *self.events.lock().unwrap_or_else(PoisonError::into_inner))
     }
 
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
-        self.events.lock().expect("memory sink poisoned").len()
+        self.events.lock().unwrap_or_else(PoisonError::into_inner).len()
     }
 
     /// `true` when nothing has been recorded.
@@ -256,7 +256,7 @@ impl MemorySink {
 
 impl Sink for MemorySink {
     fn record(&self, event: Event) {
-        self.events.lock().expect("memory sink poisoned").push(event);
+        self.events.lock().unwrap_or_else(PoisonError::into_inner).push(event);
     }
 }
 
@@ -286,13 +286,13 @@ impl Sink for JsonlSink {
         let mut line = String::with_capacity(128);
         crate::json::write_event(&mut line, &event);
         line.push('\n');
-        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        let mut out = self.out.lock().unwrap_or_else(PoisonError::into_inner);
         // A full disk is not worth panicking a solver over; drop the line.
         let _ = out.write_all(line.as_bytes());
     }
 
     fn flush(&self) {
-        let _ = self.out.lock().expect("jsonl sink poisoned").flush();
+        let _ = self.out.lock().unwrap_or_else(PoisonError::into_inner).flush();
     }
 }
 

@@ -12,7 +12,8 @@
 
 use rtrpart::graph::{Area, Latency, TaskGraph};
 use rtrpart::{
-    Architecture, Backend, EnvMemoryPolicy, ExploreParams, SearchLimits, TemporalPartitioner,
+    Architecture, Backend, Checkpoint, CheckpointPolicy, EnvMemoryPolicy, ExploreParams,
+    SearchLimits, TemporalPartitioner,
 };
 use std::process::ExitCode;
 use std::time::Duration;
@@ -46,15 +47,33 @@ OPTIONS (partition / bounds / simulate):
     --env-policy <name>   resident | streamed             [default: resident]
     --dsp <a,b,...>       secondary resource capacities per class
     --solve-seconds <s>   per-window time budget          [default: 5]
+    --solve-nodes <n>     per-window node budget instead of a wall-clock
+                          one; makes runs machine-independent and byte-
+                          reproducible (used by checkpoint/resume tests)
     --threads <n>         worker threads; 0 = auto (RTR_THREADS env var, else
                           CPU count) [default: 1]. Parallelizes both the
                           relaxation phase and each window's structured
                           search; results are identical at any count
-    --csv <file>          write the refinement log as CSV
+    --csv <file>          write the refinement log as CSV (timing-free; byte-
+                          identical across runs and thread counts)
+    --timed-csv <file>    refinement log CSV with wall-clock columns
+    --checkpoint <file>   stream completed solve windows into a versioned
+                          JSON checkpoint (atomic temp-file + rename writes)
+    --checkpoint-every <s> minimum seconds between checkpoint writes
+                          [default: 30; 0 = write after every window]
+    --resume <file>       resume from a checkpoint written by --checkpoint;
+                          cached windows are validated and replayed, the
+                          rest are solved, and the final results are byte-
+                          identical to an uninterrupted run
     --dot <file>          write the task graph as Graphviz DOT
     --out-solution <file> write the best solution as text
     --trace <file>        write a structured trace of the run as JSONL
     --quiet               only print the final solution
+
+ENVIRONMENT:
+    RTR_FAILPOINTS=<seed>:<rate>[:<site,...>]
+                          deterministic fault injection for resilience
+                          testing (see DESIGN.md); off unless set
 
 OPTIONS (demo):
     --out <file>          output path [default: <name>.tg]
@@ -65,6 +84,12 @@ EXAMPLE (tracing):
 ";
 
 fn main() -> ExitCode {
+    // Under fault injection the injected panics are expected and caught;
+    // keep them out of stderr so degradation reports stay comparable
+    // across runs (genuine panics still print normally).
+    if std::env::var_os("RTR_FAILPOINTS").is_some() {
+        rtrpart::trace::failpoint::silence_injected_panics();
+    }
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
@@ -147,6 +172,9 @@ fn load_graph(opts: &Options) -> Result<TaskGraph, String> {
 
 fn load_arch(opts: &Options) -> Result<Architecture, String> {
     let rmax: u64 = opts.required("--rmax")?.parse().map_err(|_| "invalid `--rmax`".to_owned())?;
+    if rmax == 0 {
+        return Err("`--rmax` must be positive: a zero-area device admits no tasks".to_owned());
+    }
     let mmax: u64 = opts.parsed("--mmax", 512)?;
     let ct = parse_time(opts.required("--ct")?)?;
     let env = match opts.value("--env-policy").unwrap_or("resident") {
@@ -179,6 +207,20 @@ fn load_params(opts: &Options) -> Result<ExploreParams, String> {
         other => return Err(format!("unknown strategy `{other}`")),
     };
     let solve_seconds: u64 = opts.parsed("--solve-seconds", 5)?;
+    // `--solve-nodes` swaps the wall-clock window budget for a node-count
+    // budget, which is machine-independent: two runs (or an interrupted
+    // run resumed from a checkpoint) then produce byte-identical output.
+    let limits = match opts.value("--solve-nodes") {
+        Some(v) => {
+            let node_limit: u64 =
+                v.parse().map_err(|_| format!("invalid value for `--solve-nodes`: `{v}`"))?;
+            SearchLimits { node_limit, time_limit: None }
+        }
+        None => SearchLimits {
+            node_limit: 40_000_000,
+            time_limit: Some(Duration::from_secs(solve_seconds)),
+        },
+    };
     let mut milp_options = ExploreParams::default().milp_options;
     // Warm starts never change results (stale or troubled bases fall back
     // to cold solves); the flag exists to reproduce historical pivot
@@ -190,10 +232,7 @@ fn load_params(opts: &Options) -> Result<ExploreParams, String> {
         gamma: opts.parsed("--gamma", 1)?,
         backend,
         strategy,
-        limits: SearchLimits {
-            node_limit: 40_000_000,
-            time_limit: Some(Duration::from_secs(solve_seconds)),
-        },
+        limits,
         milp_options,
         ..Default::default()
     })
@@ -260,26 +299,60 @@ fn partition_body(opts: &Options, simulate: bool) -> Result<(), String> {
             r.d_max.to_string()
         );
     };
-    let exploration = if threads == 1 {
-        // Stream each SolveModel() record as it happens.
-        partitioner.explore_with_observer(print_record)
-    } else {
-        // Workers race, so the table is printed from the merged (and
-        // deterministic) record stream once the exploration finishes.
-        let exploration = partitioner.explore_parallel(threads);
-        if let Ok(exploration) = &exploration {
-            for r in &exploration.records {
+    let policy = match opts.value("--checkpoint") {
+        Some(path) => {
+            let secs: u64 = opts.parsed("--checkpoint-every", 30)?;
+            Some(CheckpointPolicy::new(path, Duration::from_secs(secs)))
+        }
+        None if opts.value("--checkpoint-every").is_some() => {
+            return Err("`--checkpoint-every` requires `--checkpoint <file>`".to_owned());
+        }
+        None => None,
+    };
+    let resume = match opts.value("--resume") {
+        Some(path) => {
+            let loaded = Checkpoint::load(std::path::Path::new(path))
+                .map_err(|e| format!("cannot resume from `{path}`: {e}"))?;
+            Some(loaded)
+        }
+        None => None,
+    };
+
+    // Only the sequential path streams records as they happen; parallel
+    // workers race, so their merged (and deterministic) record stream is
+    // printed once the exploration finishes.
+    let streamed = threads == 1;
+    let exploration = if policy.is_some() || resume.is_some() {
+        partitioner.explore_resumable(threads, policy.as_ref(), resume.as_ref(), |r| {
+            if streamed {
                 print_record(r);
             }
-        }
-        exploration
+        })
+    } else if streamed {
+        partitioner.explore_with_observer(print_record)
+    } else {
+        partitioner.explore_parallel(threads)
     }
     .map_err(|e| format!("exploration failed: {e}"))?;
+    if !streamed {
+        for r in &exploration.records {
+            print_record(r);
+        }
+    }
     if !quiet {
         println!();
     }
+    if !exploration.degradation.is_clean() {
+        // One grep-able block: worker panics were isolated, and this is the
+        // record of what was retried or lost.
+        eprint!("{}", exploration.degradation.render());
+    }
 
     if let Some(path) = opts.value("--csv") {
+        std::fs::write(path, exploration.to_csv())
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
+    }
+    if let Some(path) = opts.value("--timed-csv") {
         std::fs::write(path, exploration.to_csv_timed())
             .map_err(|e| format!("cannot write `{path}`: {e}"))?;
     }

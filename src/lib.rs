@@ -99,7 +99,7 @@ pub use rtr_workloads as workloads;
 
 pub use rtr_core::{
     default_thread_count, max_area_partitions, max_latency, min_area_partitions, min_latency,
-    validate_solution, Architecture, Backend, EnvMemoryPolicy, Exploration, ExploreParams,
-    IterationRecord, IterationResult, PartitionError, Placement, SearchLimits, Solution,
-    TemporalPartitioner,
+    validate_solution, Architecture, Backend, Checkpoint, CheckpointPolicy, Degradation,
+    EnvMemoryPolicy, Exploration, ExploreParams, IterationRecord, IterationResult, LostSubtree,
+    PartitionError, Placement, SearchLimits, Solution, TemporalPartitioner,
 };

@@ -143,7 +143,13 @@ fn warm_restarted_bb_matches_cold_with_strictly_fewer_pivots() {
         cs.objective
     );
     // ...strictly cheaper: the warm run re-used bases, the cold run paid
-    // full price at every node.
+    // full price at every node. Skipped under ambient fault injection:
+    // an injected `milp.refactorize` failure is *recovered* by falling
+    // back to a cold restart, so the perf differential legitimately
+    // vanishes while the outcome (asserted above) stays identical.
+    if std::env::var_os("RTR_FAILPOINTS").is_some() {
+        return;
+    }
     assert!(warm.stats.warm_starts > 0, "{:?}", warm.stats);
     assert!(warm.stats.pivots_saved > 0, "{:?}", warm.stats);
     assert_eq!(cold.stats.warm_starts, 0, "{:?}", cold.stats);

@@ -13,6 +13,7 @@ use rtrpart::graph::{Area, Latency};
 use rtrpart::workloads::random::{random_layered, RandomGraphParams};
 use rtrpart::workloads::rng::Rng;
 use rtrpart::{validate_solution, Architecture, ExploreParams, SearchLimits, TemporalPartitioner};
+use std::process::Command;
 use std::time::Duration;
 
 const CASES: u64 = 24;
@@ -163,6 +164,92 @@ fn merged_trace_stream_matches_sequential() {
     for (threads, stream) in THREAD_COUNTS.iter().zip(streams) {
         assert_eq!(stream, sequential, "logical trace diverged at {threads} threads");
     }
+}
+
+/// The determinism contract must survive fault injection: with
+/// `RTR_FAILPOINTS` arming the exploration-level panic sites at a fixed
+/// seed, the final CSV *and* the degradation report on stderr are
+/// byte-identical at every thread count. Runs go through the real binary in
+/// a subprocess — the registry is process-global, so arming it in-process
+/// would race the other tests in this binary, and the env-var path gets no
+/// coverage otherwise. (`search.job` is deliberately absent from the site
+/// list: its job set depends on the worker count, so it is covered by the
+/// run-to-run test in `tests/search_parallel_determinism.rs` instead.)
+#[test]
+fn fault_injected_runs_are_bit_identical_across_thread_counts() {
+    let bin = env!("CARGO_BIN_EXE_rtrpart");
+    let dir = std::env::temp_dir().join(format!("rtr_fi_matrix_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+
+    let mut degraded = 0u64;
+    for case in 0..6u64 {
+        let inst = instance(11, case);
+        let g = random_layered(inst.seed, &inst.gp);
+        let arch = Architecture::new(Area::new(inst.cap), inst.mem, Latency::from_ns(inst.ct));
+        // Skip instances the partitioner rejects up front (task larger than
+        // the device) — the binary would exit with an error, not explore.
+        if TemporalPartitioner::new(&g, &arch, deterministic_params()).is_err() {
+            continue;
+        }
+        let graph = dir.join(format!("case{case}.tg"));
+        std::fs::write(&graph, g.to_text()).expect("write graph");
+
+        // (threads, csv bytes, stdout, stderr) per run.
+        type Run = (usize, Vec<u8>, Vec<u8>, Vec<u8>);
+        let mut runs: Vec<Run> = Vec::new();
+        for threads in [1usize, 4, 8] {
+            let csv = dir.join(format!("case{case}_t{threads}.csv"));
+            let out = Command::new(bin)
+                .env("RTR_FAILPOINTS", "1:0.45:explore.window,explore.candidate")
+                .args([
+                    "partition",
+                    "--graph",
+                    graph.to_str().unwrap(),
+                    "--rmax",
+                    &inst.cap.to_string(),
+                    "--mmax",
+                    &inst.mem.to_string(),
+                    "--ct",
+                    &format!("{}ns", inst.ct),
+                    "--delta",
+                    "100ns",
+                    "--gamma",
+                    "2",
+                    "--solve-nodes",
+                    "300000",
+                    "--threads",
+                    &threads.to_string(),
+                    "--quiet",
+                    "--csv",
+                    csv.to_str().unwrap(),
+                ])
+                .output()
+                .expect("spawn rtrpart");
+            assert!(
+                out.status.success(),
+                "case {case} at {threads} threads failed: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            let bytes = std::fs::read(&csv).expect("csv written");
+            runs.push((threads, bytes, out.stdout, out.stderr));
+        }
+        let (_, ref_csv, ref_stdout, ref_stderr) = &runs[0];
+        degraded += u64::from(!ref_stderr.is_empty());
+        for (threads, csv, stdout, stderr) in &runs[1..] {
+            assert_eq!(csv, ref_csv, "case {case}: degraded CSV diverged at {threads} threads");
+            assert_eq!(
+                stderr, ref_stderr,
+                "case {case}: degradation report diverged at {threads} threads"
+            );
+            assert_eq!(
+                stdout, ref_stdout,
+                "case {case}: solution summary diverged at {threads} threads"
+            );
+        }
+    }
+    assert!(degraded > 0, "no case tripped a failpoint; the injection matrix is dead");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// A mid-exploration deadline must yield the best-so-far incumbent — never
