@@ -1,0 +1,58 @@
+//! Deterministic smoke bench: the fixture behind the CI regression gate.
+//!
+//! Runs two small explorations — the AR filter on a tight device and a
+//! relaxed 4×4 DCT — **sequentially, under pure node budgets**, so every
+//! counter in the resulting `BENCH_smoke.json` is a deterministic solver
+//! fact: identical on every machine running the same code. CI regenerates
+//! this file and diffs it against the committed baseline
+//! (`crates/bench/baselines/BENCH_smoke.json`) with
+//! `rtr-bench-diff --counters-only`; an intentional solver change ships
+//! with a refreshed baseline.
+//!
+//! `RTR_THREADS` is deliberately ignored: the fixture pins one thread so
+//! the gate's counters never depend on the runner's CPU count.
+
+use rtr_bench::{per_solve_limits, BenchRun, DctExperiment};
+use rtr_core::{Architecture, ExploreParams, TemporalPartitioner};
+use rtr_graph::{Area, Latency};
+use rtr_workloads::{ar::ar_filter, dct::dct_4x4};
+
+fn main() {
+    let mut bench = BenchRun::new("smoke");
+
+    // AR filter on a device holding half the total minimum area: exercises
+    // infeasible windows, latency/area pruning, and the dominance memo.
+    let ar = ar_filter().expect("static construction");
+    let arch =
+        Architecture::new(Area::new(ar.total_min_area().units() / 2), 64, Latency::from_us(1.0));
+    let params = ExploreParams {
+        delta: Latency::from_ns(50.0),
+        gamma: 1,
+        limits: per_solve_limits(),
+        ..Default::default()
+    };
+    let partitioner = TemporalPartitioner::new(&ar, &arch, params).expect("AR tasks fit");
+    let ex = partitioner.explore().expect("exploration runs");
+    bench.record_exploration("ar.", &ex);
+    println!("ar: {} windows, best {:?}", ex.records.len(), ex.best_latency.map(|l| l.as_ns()));
+
+    // Relaxed DCT: every window decidable well inside the node budget, so
+    // the node counts are exhaustive-search facts, not budget artifacts.
+    let dct = dct_4x4();
+    let exp = DctExperiment {
+        table: 0,
+        r_max: 1024,
+        ct: Latency::from_us(1.0),
+        delta_ns: 2_000.0,
+        alpha: 0,
+        gamma: 0,
+    };
+    let dct_arch = exp.architecture();
+    let partitioner =
+        TemporalPartitioner::new(&dct, &dct_arch, exp.params()).expect("DCT tasks fit");
+    let ex = partitioner.explore().expect("exploration runs");
+    bench.record_exploration("dct.", &ex);
+    println!("dct: {} windows, best {:?}", ex.records.len(), ex.best_latency.map(|l| l.as_ns()));
+
+    bench.write_and_report();
+}

@@ -1,0 +1,101 @@
+//! `rtr-bench-diff` — the bench-regression gate.
+//!
+//! ```text
+//! rtr-bench-diff [--counters-only] [--metric-tol <frac>] <baseline.json> <new.json>
+//! ```
+//!
+//! Compares two `BENCH_<name>.json` summaries (see `rtr_bench::diff` for
+//! the per-kind noise policies) and exits `0` when clean, `1` on any
+//! regression, `2` on usage or I/O errors — so CI can gate on it
+//! directly.
+
+use rtr_bench::diff::{diff_runs, parse_bench_json, DiffPolicy};
+
+const USAGE: &str = "usage: rtr-bench-diff [--counters-only] [--metric-tol <frac>] \
+                     <baseline.json> <new.json>";
+
+fn main() {
+    std::process::exit(run());
+}
+
+fn run() -> i32 {
+    let mut policy = DiffPolicy::default();
+    let mut paths: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--counters-only" => policy.counters_only = true,
+            "--metric-tol" => {
+                let Some(v) = args.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("--metric-tol needs a fraction (e.g. 0.25)\n{USAGE}");
+                    return 2;
+                };
+                if !v.is_finite() || v < 0.0 {
+                    eprintln!("--metric-tol must be a non-negative finite fraction\n{USAGE}");
+                    return 2;
+                }
+                policy.metric_rel_tol = v;
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag}\n{USAGE}");
+                return 2;
+            }
+            path => paths.push(path.to_owned()),
+        }
+    }
+    let [baseline_path, new_path] = paths.as_slice() else {
+        eprintln!("{USAGE}");
+        return 2;
+    };
+
+    let mut runs = Vec::new();
+    for path in [baseline_path, new_path] {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("rtr-bench-diff: cannot read {path}: {e}");
+                return 2;
+            }
+        };
+        match parse_bench_json(&text) {
+            Ok(run) => runs.push(run),
+            Err(e) => {
+                eprintln!("rtr-bench-diff: {path}: {e}");
+                return 2;
+            }
+        }
+    }
+    let (old, new) = (&runs[0], &runs[1]);
+    if old.name != new.name {
+        eprintln!(
+            "rtr-bench-diff: comparing different benches: \"{}\" vs \"{}\"",
+            old.name, new.name
+        );
+        return 2;
+    }
+
+    let report = diff_runs(old, new, &policy);
+    if report.is_clean() {
+        println!(
+            "rtr-bench-diff: {} clean ({} values compared, {} skipped by noise policy)",
+            new.name, report.compared, report.skipped
+        );
+        0
+    } else {
+        eprintln!(
+            "rtr-bench-diff: {} REGRESSED — {} of {} compared values ({} skipped):",
+            new.name,
+            report.regressions.len(),
+            report.compared,
+            report.skipped
+        );
+        for r in &report.regressions {
+            eprintln!("  {}: {}", r.key, r.detail);
+        }
+        1
+    }
+}

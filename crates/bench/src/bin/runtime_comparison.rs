@@ -53,7 +53,14 @@ fn main() {
             iterative_time
         );
         let prefix = format!("rmax{}.", exp.r_max);
-        bench.record_exploration(&prefix, &exploration);
+        if deadline_mode {
+            // Wall-clock deadlines make every solve outcome (and therefore
+            // best_latency_ns, node counts, window verdicts) depend on
+            // machine speed: tag them so rtr-bench-diff skips them.
+            bench.record_exploration_deadline(&prefix, &exploration);
+        } else {
+            bench.record_exploration(&prefix, &exploration);
+        }
         bench.metric(format!("{prefix}iterative_ms"), iterative_time.as_secs_f64() * 1e3);
 
         // The same exploration fanned out on 4 worker threads: the relaxed

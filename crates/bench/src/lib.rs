@@ -16,6 +16,8 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::time::Duration;
 
+pub mod diff;
+
 /// Configuration of one DCT experiment (one paper table).
 #[derive(Debug, Clone, Copy)]
 pub struct DctExperiment {
@@ -250,6 +252,19 @@ impl BenchRun {
     /// (e.g. `prefix = "table3."`): solve counts by outcome, the best
     /// latency, and the backend solver totals.
     pub fn record_exploration(&mut self, prefix: &str, ex: &Exploration) {
+        self.record_exploration_tagged(prefix, ex, "");
+    }
+
+    /// [`record_exploration`](Self::record_exploration) for explorations
+    /// run under wall-clock deadlines: every key is tagged with the
+    /// `_deadline_dependent` suffix so the regression gate
+    /// ([`diff`]) knows these values depend on machine speed and skips
+    /// them. Selected by `runtime_comparison --deadline`.
+    pub fn record_exploration_deadline(&mut self, prefix: &str, ex: &Exploration) {
+        self.record_exploration_tagged(prefix, ex, "_deadline_dependent");
+    }
+
+    fn record_exploration_tagged(&mut self, prefix: &str, ex: &Exploration, tag: &str) {
         let mut feasible = 0u64;
         let mut infeasible = 0u64;
         let mut limit = 0u64;
@@ -260,20 +275,35 @@ impl BenchRun {
                 IterationResult::LimitReached => limit += 1,
             }
         }
-        self.counter(format!("{prefix}solves"), ex.records.len() as u64);
-        self.counter(format!("{prefix}feasible_windows"), feasible);
-        self.counter(format!("{prefix}infeasible_windows"), infeasible);
-        self.counter(format!("{prefix}limit_windows"), limit);
+        self.counter(format!("{prefix}solves{tag}"), ex.records.len() as u64);
+        self.counter(format!("{prefix}feasible_windows{tag}"), feasible);
+        self.counter(format!("{prefix}infeasible_windows{tag}"), infeasible);
+        self.counter(format!("{prefix}limit_windows{tag}"), limit);
         if let Some(latency) = ex.best_latency {
-            self.metric(format!("{prefix}best_latency_ns"), latency.as_ns());
+            self.metric(format!("{prefix}best_latency_ns{tag}"), latency.as_ns());
         }
         let st = ex.structured_totals();
         if st.nodes > 0 {
-            self.counter(format!("{prefix}structured.nodes"), st.nodes);
-            self.counter(format!("{prefix}structured.latency_prunes"), st.latency_prunes);
-            self.counter(format!("{prefix}structured.area_prunes"), st.area_prunes);
-            self.counter(format!("{prefix}structured.memory_rejects"), st.memory_rejects);
-            self.counter(format!("{prefix}structured.dominance_prunes"), st.dominance_prunes);
+            self.counter(format!("{prefix}structured.nodes{tag}"), st.nodes);
+            self.counter(format!("{prefix}structured.latency_prunes{tag}"), st.latency_prunes);
+            self.counter(format!("{prefix}structured.area_prunes{tag}"), st.area_prunes);
+            self.counter(format!("{prefix}structured.memory_rejects{tag}"), st.memory_rejects);
+            self.counter(format!("{prefix}structured.dominance_prunes{tag}"), st.dominance_prunes);
+            self.counter(
+                format!("{prefix}structured.incumbent_updates{tag}"),
+                st.incumbent_updates,
+            );
+            // Depth-bucketed node/prune attribution: which fraction of the
+            // assignment tree each depth band accounts for, and where the
+            // pruning actually bites.
+            for (i, (&n, &p)) in st.nodes_by_depth.iter().zip(&st.prunes_by_depth).enumerate() {
+                if n > 0 {
+                    self.counter(format!("{prefix}structured.depth{i}.nodes{tag}"), n);
+                }
+                if p > 0 {
+                    self.counter(format!("{prefix}structured.depth{i}.prunes{tag}"), p);
+                }
+            }
             // Search throughput: nodes over the wall-clock of the windows
             // that actually ran the structured solver.
             let solve_secs: f64 = ex
@@ -284,21 +314,24 @@ impl BenchRun {
                 .sum();
             if solve_secs > 0.0 {
                 self.metric(
-                    format!("{prefix}structured.nodes_per_sec"),
+                    format!("{prefix}structured.nodes_per_sec{tag}"),
                     st.nodes as f64 / solve_secs,
                 );
             }
         }
         let mt = ex.milp_totals();
         if mt.nodes > 0 {
-            self.counter(format!("{prefix}milp.nodes"), mt.nodes as u64);
-            self.counter(format!("{prefix}milp.pivots"), mt.simplex_iterations as u64);
-            self.counter(format!("{prefix}milp.nodes_pruned"), mt.nodes_pruned as u64);
-            self.counter(format!("{prefix}milp.lp_time_us"), mt.lp_time.as_micros() as u64);
-            self.counter(format!("{prefix}milp.lp.warm_starts"), mt.warm_starts as u64);
-            self.counter(format!("{prefix}milp.lp.cold_starts"), mt.cold_starts as u64);
-            self.counter(format!("{prefix}milp.lp.refactorizations"), mt.refactorizations as u64);
-            self.counter(format!("{prefix}milp.lp.pivots_saved"), mt.pivots_saved as u64);
+            self.counter(format!("{prefix}milp.nodes{tag}"), mt.nodes as u64);
+            self.counter(format!("{prefix}milp.pivots{tag}"), mt.simplex_iterations as u64);
+            self.counter(format!("{prefix}milp.nodes_pruned{tag}"), mt.nodes_pruned as u64);
+            self.counter(format!("{prefix}milp.lp_time_us{tag}"), mt.lp_time.as_micros() as u64);
+            self.counter(format!("{prefix}milp.lp.warm_starts{tag}"), mt.warm_starts as u64);
+            self.counter(format!("{prefix}milp.lp.cold_starts{tag}"), mt.cold_starts as u64);
+            self.counter(
+                format!("{prefix}milp.lp.refactorizations{tag}"),
+                mt.refactorizations as u64,
+            );
+            self.counter(format!("{prefix}milp.lp.pivots_saved{tag}"), mt.pivots_saved as u64);
         }
     }
 

@@ -1,0 +1,125 @@
+//! End-to-end exit-code contract of the `rtr-bench-diff` gate binary:
+//! `0` on a byte-identical rerun, `1` when a deterministic counter is
+//! perturbed, `2` on unusable inputs.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const BIN: &str = env!("CARGO_BIN_EXE_rtr-bench-diff");
+
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("rtr_bench_diff_{tag}_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        Scratch(dir)
+    }
+
+    fn file(&self, name: &str, content: &str) -> PathBuf {
+        let path = self.0.join(name);
+        std::fs::write(&path, content).expect("write fixture");
+        path
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn gate(args: &[&str]) -> (i32, String, String) {
+    let out = Command::new(BIN).args(args).output().expect("gate binary runs");
+    (
+        out.status.code().expect("gate exits normally"),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+const BASELINE: &str = r#"{
+  "name": "smoke",
+  "counters": {
+    "ar.solves": 5,
+    "ar.structured.nodes": 271828,
+    "deadline.solves_deadline_dependent": 7,
+    "env.speedup_suppressed_1cpu": 1
+  },
+  "metrics": {
+    "ar.elapsed_ms": 120.0
+  }
+}
+"#;
+
+#[test]
+fn identical_rerun_exits_zero() {
+    let scratch = Scratch::new("identical");
+    let old = scratch.file("old.json", BASELINE);
+    let new = scratch.file("new.json", BASELINE);
+    let (code, stdout, stderr) = gate(&[old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+    assert!(stdout.contains("clean"), "{stdout}");
+}
+
+#[test]
+fn perturbed_counter_exits_nonzero() {
+    let scratch = Scratch::new("perturbed");
+    let old = scratch.file("old.json", BASELINE);
+    let new = scratch.file(
+        "new.json",
+        &BASELINE.replace("\"ar.structured.nodes\": 271828", "\"ar.structured.nodes\": 271829"),
+    );
+    let (code, _, stderr) = gate(&[old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(code, 1, "stderr: {stderr}");
+    assert!(stderr.contains("ar.structured.nodes"), "{stderr}");
+    assert!(stderr.contains("271828 -> 271829"), "{stderr}");
+}
+
+#[test]
+fn noise_policy_skips_tagged_keys() {
+    let scratch = Scratch::new("tagged");
+    let old = scratch.file("old.json", BASELINE);
+    // Deadline-dependent and environment-suppression keys may drift (or
+    // vanish) freely; timing metrics get a tolerance band.
+    let new = scratch.file(
+        "new.json",
+        &BASELINE
+            .replace(
+                "\"deadline.solves_deadline_dependent\": 7",
+                "\"deadline.solves_deadline_dependent\": 99",
+            )
+            .replace("\"env.speedup_suppressed_1cpu\": 1", "\"env.speedup_suppressed_1cpu\": 0")
+            .replace("\"ar.elapsed_ms\": 120.0", "\"ar.elapsed_ms\": 130.0"),
+    );
+    let (code, stdout, stderr) = gate(&[old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(code, 0, "stdout: {stdout}\nstderr: {stderr}");
+
+    // The same timing drift fails under a zero-width band…
+    let (code, _, _) = gate(&["--metric-tol", "0", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(code, 1);
+    // …and passes again in counters-only mode.
+    let (code, _, _) = gate(&["--counters-only", old.to_str().unwrap(), new.to_str().unwrap()]);
+    assert_eq!(code, 0);
+}
+
+#[test]
+fn unusable_inputs_exit_two() {
+    let scratch = Scratch::new("unusable");
+    let ok = scratch.file("ok.json", BASELINE);
+    let bad = scratch.file("bad.json", "definitely not json");
+    let missing = scratch.0.join("does_not_exist.json");
+
+    let (code, _, stderr) = gate(&[ok.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+
+    let (code, _, _) = gate(&[ok.to_str().unwrap(), missing.to_str().unwrap()]);
+    assert_eq!(code, 2);
+
+    let (code, _, _) = gate(&[ok.to_str().unwrap()]);
+    assert_eq!(code, 2);
+
+    let renamed = scratch.file("renamed.json", &BASELINE.replace("\"smoke\"", "\"other\""));
+    let (code, _, stderr) = gate(&[ok.to_str().unwrap(), renamed.to_str().unwrap()]);
+    assert_eq!(code, 2, "stderr: {stderr}");
+}

@@ -386,6 +386,8 @@ impl CheckpointSink {
         if failed {
             inner.failures += 1;
             rtr_trace::counter("resilience.checkpoint_write_failures", 1);
+        } else {
+            rtr_trace::status::board().record_checkpoint_write();
         }
     }
 }

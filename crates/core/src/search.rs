@@ -427,6 +427,22 @@ impl Exploration {
 /// `n` and `result` fields feed the run report's iterations-per-`N` and
 /// window-outcome rollups.
 fn emit_iteration_event(record: &IterationRecord) {
+    // Publish the window outcome (and any improved latency) on the live
+    // status board. This is a relaxed-atomic side effect, invisible to the
+    // trace stream, so it runs even while events are being captured.
+    let board = rtr_trace::status::board();
+    match &record.result {
+        IterationResult::Feasible { latency, .. } => {
+            board.record_window(rtr_trace::WindowOutcome::Feasible);
+            board.record_incumbent(latency.as_ns());
+        }
+        IterationResult::Infeasible => {
+            board.record_window(rtr_trace::WindowOutcome::Infeasible);
+        }
+        IterationResult::LimitReached => {
+            board.record_window(rtr_trace::WindowOutcome::LimitReached);
+        }
+    }
     rtr_trace::event("search.iteration", || {
         let mut fields: Vec<(String, rtr_trace::Value)> = vec![
             ("n".to_owned(), u64::from(record.n).into()),

@@ -107,10 +107,24 @@ pub struct SearchStats {
     /// Subtree jobs abandoned after exhausting their retries; each one
     /// forces `exhausted` to `false`.
     pub subtrees_lost: u64,
+    /// Times the search replaced its incumbent with a strictly better
+    /// leaf (node-count-stamped `structured.incumbent` trace events carry
+    /// the matching timeline).
+    pub incumbent_updates: u64,
+    /// Nodes charged per relative-depth bucket: bucket `i` covers
+    /// assignment levels `[i·L/8, (i+1)·L/8)` of an `L`-level order, so
+    /// the histogram is comparable across instances of different size.
+    pub nodes_by_depth: [u64; DEPTH_BUCKETS],
+    /// Subtrees pruned (all causes: latency, area, memory, dominance) per
+    /// relative-depth bucket — where the bounds actually bite.
+    pub prunes_by_depth: [u64; DEPTH_BUCKETS],
     /// `true` if the search space was fully exhausted (a returned solution
     /// is proven optimal for the [`SearchGoal::Optimal`] goal).
     pub exhausted: bool,
 }
+
+/// Relative-depth attribution buckets in [`SearchStats`].
+pub const DEPTH_BUCKETS: usize = 8;
 
 impl SearchStats {
     /// Accumulates another run's counters into this one. `exhausted`
@@ -127,6 +141,13 @@ impl SearchStats {
         self.panics_caught += other.panics_caught;
         self.jobs_retried += other.jobs_retried;
         self.subtrees_lost += other.subtrees_lost;
+        self.incumbent_updates += other.incumbent_updates;
+        for (a, b) in self.nodes_by_depth.iter_mut().zip(&other.nodes_by_depth) {
+            *a += b;
+        }
+        for (a, b) in self.prunes_by_depth.iter_mut().zip(&other.prunes_by_depth) {
+            *a += b;
+        }
         self.exhausted &= other.exhausted;
     }
 }
@@ -143,6 +164,17 @@ impl rtr_trace::Instrument for SearchStats {
         rtr_trace::counter(&format!("{scope}.area_prunes"), self.area_prunes);
         rtr_trace::counter(&format!("{scope}.memory_rejects"), self.memory_rejects);
         rtr_trace::counter(&format!("{scope}.dominance_prunes"), self.dominance_prunes);
+        rtr_trace::counter(&format!("{scope}.incumbent_updates"), self.incumbent_updates);
+        for (i, &v) in self.nodes_by_depth.iter().enumerate() {
+            if v > 0 {
+                rtr_trace::counter(&format!("{scope}.depth{i}.nodes"), v);
+            }
+        }
+        for (i, &v) in self.prunes_by_depth.iter().enumerate() {
+            if v > 0 {
+                rtr_trace::counter(&format!("{scope}.depth{i}.prunes"), v);
+            }
+        }
     }
 }
 
@@ -376,6 +408,48 @@ struct State<'s> {
     /// Node allowance left from the last claimed budget chunk.
     budget_left: u64,
     job_index: usize,
+    /// Counter values already pushed to the live status board; the next
+    /// publication sends only the delta (see [`publish_status`]).
+    published: StatusPublished,
+}
+
+/// Status-board counter values already published for one [`State`].
+#[derive(Debug, Clone, Copy, Default)]
+struct StatusPublished {
+    nodes: u64,
+    latency_prunes: u64,
+    area_prunes: u64,
+    memory_rejects: u64,
+    dominance_prunes: u64,
+}
+
+/// How often (in charged nodes) a search pushes its deltas to the live
+/// status board. Coarse enough to stay invisible next to the per-node
+/// bound arithmetic, fine enough for sub-millisecond heartbeat freshness
+/// at the solver's node rates.
+const STATUS_CADENCE: u64 = 4096;
+
+/// Pushes this state's counter growth since the last publication to the
+/// process-global [`rtr_trace::status::board`]. Saturating arithmetic:
+/// per-job stat resets can only make a delta read as zero, never wrap.
+fn publish_status(st: &mut State) {
+    let board = rtr_trace::status::board();
+    let s = st.stats;
+    let p = st.published;
+    board.add_nodes(s.nodes.saturating_sub(p.nodes));
+    board.add_prunes(
+        s.latency_prunes.saturating_sub(p.latency_prunes),
+        s.area_prunes.saturating_sub(p.area_prunes),
+        s.memory_rejects.saturating_sub(p.memory_rejects),
+        s.dominance_prunes.saturating_sub(p.dominance_prunes),
+    );
+    st.published = StatusPublished {
+        nodes: s.nodes,
+        latency_prunes: s.latency_prunes,
+        area_prunes: s.area_prunes,
+        memory_rejects: s.memory_rejects,
+        dominance_prunes: s.dominance_prunes,
+    };
 }
 
 impl<'g> StructuredSolver<'g> {
@@ -679,7 +753,15 @@ impl<'g> StructuredSolver<'g> {
             shared: None,
             budget_left: 0,
             job_index: 0,
+            published: StatusPublished::default(),
         }
+    }
+
+    /// The relative-depth attribution bucket of assignment level `idx`
+    /// (see [`SearchStats::nodes_by_depth`]).
+    #[inline]
+    fn depth_bucket(&self, idx: usize) -> usize {
+        (idx * DEPTH_BUCKETS / self.order.len().max(1)).min(DEPTH_BUCKETS - 1)
     }
 
     /// Runs the search.
@@ -698,6 +780,7 @@ impl<'g> StructuredSolver<'g> {
         let seed = seed.map(|(total, sol)| (total, sol.placements().to_vec()));
         let mut st = self.fresh_state(seed, Instant::now());
         self.dfs(0, &mut st);
+        publish_status(&mut st);
         let mut stats = st.stats;
         stats.exhausted = st.nodes_exhausted;
         match st.best {
@@ -774,6 +857,18 @@ impl<'g> StructuredSolver<'g> {
                         .map(|(&p, &m)| Placement { partition: p, design_point: m })
                         .collect();
                     st.best = Some((total, placements));
+                    st.stats.incumbent_updates += 1;
+                    rtr_trace::status::board().record_incumbent(total);
+                    // Node-count-stamped (not wall-clock-stamped), so the
+                    // improvement timeline is deterministic and replays
+                    // identically through the capture/merge machinery.
+                    let nodes = st.stats.nodes;
+                    rtr_trace::event("structured.incumbent", || {
+                        vec![
+                            ("nodes".to_owned(), nodes.into()),
+                            ("latency_ns".to_owned(), total.into()),
+                        ]
+                    });
                     if let Some(sh) = st.shared {
                         sh.incumbent_bits.fetch_min(total.to_bits(), Ordering::Relaxed);
                     }
@@ -801,6 +896,7 @@ impl<'g> StructuredSolver<'g> {
             let best_now = st.best.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY);
             if st.memo.dominated(&st.key_buf, &st.dom_buf, best_now) {
                 st.stats.dominance_prunes += 1;
+                st.stats.prunes_by_depth[self.depth_bucket(idx)] += 1;
                 return false;
             }
         }
@@ -961,6 +1057,9 @@ impl<'g> StructuredSolver<'g> {
             }
         }
         st.stats.nodes += 1;
+        if st.stats.nodes.is_multiple_of(STATUS_CADENCE) {
+            publish_status(st);
+        }
         false
     }
 
@@ -979,8 +1078,11 @@ impl<'g> StructuredSolver<'g> {
         let ti = t.index();
         let task = &self.graph.tasks()[ti];
         let pi = (p - 1) as usize;
-        if charge && self.charge_node(st) {
-            return Step::Abort;
+        if charge {
+            if self.charge_node(st) {
+                return Step::Abort;
+            }
+            st.stats.nodes_by_depth[self.depth_bucket(idx)] += 1;
         }
 
         let dp = &task.design_points()[m];
@@ -1006,6 +1108,7 @@ impl<'g> StructuredSolver<'g> {
             - dp.area().units();
         if self.suffix_min_area[idx + 1] > free_total {
             st.stats.area_prunes += 1;
+            st.stats.prunes_by_depth[self.depth_bucket(idx)] += 1;
             return Step::Rejected;
         }
 
@@ -1038,12 +1141,14 @@ impl<'g> StructuredSolver<'g> {
             + self.ct_ns() * f64::from(eta_lb);
         if lb > self.d_max_ns + 1e-9 {
             st.stats.latency_prunes += 1;
+            st.stats.prunes_by_depth[self.depth_bucket(idx)] += 1;
             return Step::Rejected;
         }
         if self.goal == SearchGoal::Optimal {
             if let Some((best, _)) = &st.best {
                 if lb >= best - 1e-9 {
                     st.stats.latency_prunes += 1;
+                    st.stats.prunes_by_depth[self.depth_bucket(idx)] += 1;
                     return Step::Rejected;
                 }
             }
@@ -1054,6 +1159,7 @@ impl<'g> StructuredSolver<'g> {
                 let shared_best = f64::from_bits(sh.incumbent_bits.load(Ordering::Relaxed));
                 if lb > shared_best + 1e-9 {
                     st.stats.latency_prunes += 1;
+                    st.stats.prunes_by_depth[self.depth_bucket(idx)] += 1;
                     return Step::Rejected;
                 }
             }
@@ -1102,6 +1208,7 @@ impl<'g> StructuredSolver<'g> {
         }
         if !mem_ok {
             st.stats.memory_rejects += 1;
+            st.stats.prunes_by_depth[self.depth_bucket(idx)] += 1;
             while st.touched.len() > touched_from {
                 let Some((i, amount)) = st.touched.pop() else { break };
                 st.mem[i] -= amount;
@@ -1254,6 +1361,7 @@ impl<'g> StructuredSolver<'g> {
             jobs = std::mem::take(&mut gen.jobs);
         }
         gen.gen_depth = None;
+        publish_status(&mut gen);
         let depth = jobs[0].len();
         debug_assert!(jobs.iter().all(|j| j.len() == depth));
 
@@ -1272,24 +1380,34 @@ impl<'g> StructuredSolver<'g> {
         let results: Vec<Mutex<Option<JobResult>>> =
             (0..jobs.len()).map(|_| Mutex::new(None)).collect();
         let workers = threads.min(jobs.len());
+        // Per-worker load accounting for the flight recorder: jobs each
+        // worker actually ran and how long it stayed busy. Workers number
+        // themselves through `worker_ordinal` so the spawn closures stay
+        // non-move (they borrow `shared`, `jobs`, and `results`).
+        let worker_ordinal = AtomicUsize::new(0);
+        let worker_jobs: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let worker_busy_us: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let workers_started = Instant::now();
         std::thread::scope(|scope| {
             for _ in 0..workers {
                 scope.spawn(|| {
+                    let wid = worker_ordinal.fetch_add(1, Ordering::Relaxed);
+                    let board = rtr_trace::status::board();
+                    board.worker_started();
+                    let busy_from = Instant::now();
+                    let mut claimed = 0u64;
                     let mut st = self.fresh_state(seed.clone(), start);
                     st.shared = Some(&shared);
                     loop {
                         let j = shared.next_job.fetch_add(1, Ordering::Relaxed);
-                        if j >= jobs.len() || shared.limit_hit.load(Ordering::Relaxed) {
+                        if j >= jobs.len() {
                             break;
                         }
                         if self.goal == SearchGoal::FirstFeasible {
-                            // Lower-indexed subtrees win; later jobs become
-                            // irrelevant once one of them finds a solution.
-                            if shared.first_found.load(Ordering::Relaxed) < j {
-                                continue;
-                            }
                             st.best = None;
                         }
+                        claimed += 1;
+                        board.add_jobs_claimed(1);
                         st.job_index = j;
                         let job = &jobs[j];
                         // Panic isolation: a panicking job (injected at the
@@ -1309,6 +1427,7 @@ impl<'g> StructuredSolver<'g> {
                             }
                             st.nodes_exhausted = true;
                             st.stats = SearchStats::default();
+                            st.published = StatusPublished::default();
                             let prev_best = st.best.as_ref().map(|(b, _)| *b);
                             let (finished, events) = rtr_trace::capture(|| {
                                 catch_unwind(AssertUnwindSafe(|| {
@@ -1316,6 +1435,22 @@ impl<'g> StructuredSolver<'g> {
                                         "search.job",
                                         ((j as u64) << 8) | u64::from(attempt),
                                     );
+                                    // Relevance is checked *after* the
+                                    // failpoint, and jobs are claimed even
+                                    // past a fired limit: every job runs
+                                    // its full (job, attempt) fault
+                                    // schedule, so the degradation account
+                                    // is a pure function of the job list —
+                                    // run-to-run deterministic at a fixed
+                                    // worker count no matter how the
+                                    // scheduler interleaves the claims.
+                                    // Only the subtree *work* is skipped.
+                                    if shared.limit_hit.load(Ordering::Relaxed)
+                                        || (self.goal == SearchGoal::FirstFeasible
+                                            && shared.first_found.load(Ordering::Relaxed) < j)
+                                    {
+                                        return;
+                                    }
                                     let span = rtr_trace::span("structured.subtree")
                                         .with("job", j as u64)
                                         .with("depth", depth as u64);
@@ -1353,6 +1488,7 @@ impl<'g> StructuredSolver<'g> {
                                 .is_ok()
                             });
                             if finished {
+                                publish_status(&mut st);
                                 let found = match (&st.best, prev_best) {
                                     (Some((b, pl)), Some(pb)) if *b < pb - 1e-9 => {
                                         Some((*b, pl.clone()))
@@ -1361,6 +1497,7 @@ impl<'g> StructuredSolver<'g> {
                                     _ => None,
                                 };
                                 let mut job_stats = std::mem::take(&mut st.stats);
+                                st.published = StatusPublished::default();
                                 job_stats.exhausted = st.nodes_exhausted;
                                 job_stats.panics_caught += panics;
                                 job_stats.jobs_retried += retries;
@@ -1391,9 +1528,32 @@ impl<'g> StructuredSolver<'g> {
                         }
                         *results[j].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
                     }
+                    worker_jobs[wid].store(claimed, Ordering::Relaxed);
+                    worker_busy_us[wid].store(
+                        busy_from.elapsed().as_micros().min(u64::MAX as u128) as u64,
+                        Ordering::Relaxed,
+                    );
+                    board.worker_stopped();
                 });
             }
         });
+        // Per-worker load balance gauges. Wall-clock-dependent and only
+        // emitted on the multi-threaded path, so they never enter the
+        // deterministic single-thread trace stream the replay tests compare.
+        if rtr_trace::enabled() {
+            let wall_us = workers_started.elapsed().as_micros().min(u64::MAX as u128) as u64;
+            for (w, (jobs_run, busy)) in worker_jobs.iter().zip(&worker_busy_us).enumerate() {
+                let busy_us = busy.load(Ordering::Relaxed).min(wall_us);
+                rtr_trace::gauge(
+                    &format!("structured.worker{w}.jobs"),
+                    jobs_run.load(Ordering::Relaxed) as f64,
+                );
+                rtr_trace::gauge(
+                    &format!("structured.worker{w}.idle_us"),
+                    (wall_us - busy_us) as f64,
+                );
+            }
+        }
 
         // Deterministic merge: ascending job order, strict improvement only
         // — exactly the order and acceptance rule the sequential search

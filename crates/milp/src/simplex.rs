@@ -469,6 +469,7 @@ impl<'a> Solver<'a> {
     /// Appends the pivot eta and refactorizes on cadence.
     fn after_pivot(&mut self, r: usize, w: &[f64]) {
         push_eta(&mut self.etas, r, w);
+        rtr_trace::status::board().add_lp_pivots(1);
         self.pivots_since_refactor += 1;
         if self.pivots_since_refactor >= REFACTOR_INTERVAL {
             // A refactorization failure here would be purely numerical (every

@@ -154,4 +154,97 @@ mod tests {
         assert_eq!(h.count(), 1);
         assert!(h.quantile_upper_bound(1.0).is_some());
     }
+
+    /// A deterministic sample generator spanning several buckets
+    /// (SplitMix64, the workspace's seeded-workload generator family).
+    fn samples(seed: u64, count: usize) -> Vec<Duration> {
+        let mut state = seed;
+        (0..count)
+            .map(|_| {
+                state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+                z ^= z >> 31;
+                Duration::from_micros(z % 100_000)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let parts: Vec<DurationHistogram> = (0..3u64)
+            .map(|i| {
+                let mut h = DurationHistogram::new();
+                for d in samples(i + 1, 500) {
+                    h.record(d);
+                }
+                h
+            })
+            .collect();
+        // (a ∪ b) ∪ c == a ∪ (b ∪ c)
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        let mut bc = parts[1].clone();
+        bc.merge(&parts[2]);
+        let mut right = parts[0].clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        // a ∪ b == b ∪ a
+        let mut ab = parts[0].clone();
+        ab.merge(&parts[1]);
+        let mut ba = parts[1].clone();
+        ba.merge(&parts[0]);
+        assert_eq!(ab, ba);
+        // Merging matches recording the concatenated stream.
+        let mut whole = DurationHistogram::new();
+        for i in 0..3u64 {
+            for d in samples(i + 1, 500) {
+                whole.record(d);
+            }
+        }
+        assert_eq!(left, whole);
+        assert_eq!(whole.count(), 1500);
+        // The empty histogram is the identity.
+        let mut with_empty = whole.clone();
+        with_empty.merge(&DurationHistogram::new());
+        assert_eq!(with_empty, whole);
+    }
+
+    /// p50/p99 on a known distribution land within one log₂ bucket of the
+    /// exact order statistic — the histogram's stated resolution.
+    #[test]
+    fn quantiles_are_within_bucket_error() {
+        let mut data = samples(42, 4096);
+        let mut h = DurationHistogram::new();
+        for &d in &data {
+            h.record(d);
+        }
+        data.sort();
+        for q in [0.5, 0.99] {
+            let rank = (((data.len() as f64) * q).ceil().max(1.0) as usize).min(data.len()) - 1;
+            let exact = data[rank];
+            let bound = h.quantile_upper_bound(q).unwrap();
+            // The reported bound is a true upper bound of the exact order
+            // statistic...
+            assert!(bound >= exact, "q={q}: bound {bound:?} < exact {exact:?}");
+            // ...and no looser than one power-of-two bucket above it: the
+            // bucket of `exact` has upper edge <= 2^(ceil(log2(us))+1).
+            let exact_us = exact.as_micros().max(1) as u64;
+            let next_edge = (exact_us + 1).next_power_of_two().saturating_mul(2);
+            assert!(
+                bound <= Duration::from_micros(next_edge),
+                "q={q}: bound {bound:?} beyond bucket error ({next_edge}µs) of {exact:?}"
+            );
+        }
+        // Degenerate distribution: everything in one bucket pins both
+        // quantiles to that bucket's edge.
+        let mut spike = DurationHistogram::new();
+        for _ in 0..1000 {
+            spike.record(Duration::from_micros(3));
+        }
+        assert_eq!(spike.quantile_upper_bound(0.5), Some(Duration::from_micros(4)));
+        assert_eq!(spike.quantile_upper_bound(0.99), Some(Duration::from_micros(4)));
+    }
 }

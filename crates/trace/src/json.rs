@@ -87,17 +87,71 @@ impl fmt::Display for ParseError {
 
 impl std::error::Error for ParseError {}
 
-/// A parsed JSON value (internal; converted to [`Event`] by
-/// [`parse_event`]).
+/// A parsed JSON value.
+///
+/// The parser behind [`parse_event`] is generic; this type is its public
+/// face so other zero-dependency consumers (the bench-diff gate, the
+/// Perfetto round-trip tests, heartbeat readers) can parse arbitrary JSON
+/// documents without a second parser in the workspace.
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub enum JsonValue {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
-    Num(f64, bool), // (value, had fraction/exponent)
+    /// A number; the flag records whether the literal had a fraction or
+    /// exponent (so integral floats stay recognizable as floats).
+    Num(f64, bool),
+    /// A string.
     Str(String),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order.
+    Obj(Vec<(String, JsonValue)>),
 }
+
+impl JsonValue {
+    /// Looks up `key` in an object; `None` for other variants.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(v, _) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON document into a [`JsonValue`].
+///
+/// # Errors
+///
+/// Returns [`ParseError`] on malformed JSON or trailing characters.
+pub fn parse_value(text: &str) -> Result<JsonValue, ParseError> {
+    let mut parser = Parser { bytes: text.as_bytes(), pos: 0 };
+    let value = parser.value()?;
+    parser.skip_ws();
+    if parser.pos != text.len() {
+        return parser.err("trailing characters after the JSON value");
+    }
+    Ok(value)
+}
+
+use JsonValue as Json;
 
 struct Parser<'a> {
     bytes: &'a [u8],

@@ -29,6 +29,12 @@
 //! * [`capture`] — diverts one thread's events into a buffer so parallel
 //!   drivers can re-emit per-worker streams in a deterministic order with
 //!   [`dispatch_all`] (used by the parallel partition-count exploration).
+//! * [`perfetto`] — Chrome / Perfetto trace-event export of an event
+//!   stream ([`RunReport::to_perfetto_json`]), reconstructing per-candidate
+//!   and per-subtree-job timeline tracks.
+//! * [`status`] — the live [`StatusBoard`]: lock-free progress counters
+//!   published by the solver stack and written as heartbeat JSONL by a
+//!   [`StatusWriter`] watcher thread.
 //!
 //! ## Cost when disabled
 //!
@@ -68,14 +74,17 @@ mod event;
 pub mod failpoint;
 mod histogram;
 mod json;
+pub mod perfetto;
 mod report;
 mod sink;
+pub mod status;
 
 pub use event::{Event, EventKind, Instrument, Value};
 pub use histogram::DurationHistogram;
-pub use json::{parse_event, parse_jsonl, write_event, ParseError};
+pub use json::{parse_event, parse_jsonl, parse_value, write_event, JsonValue, ParseError};
 pub use report::{fmt_duration, GaugeStats, RunReport, SpanStats};
 pub use sink::{
     capture, counter, dispatch, dispatch_all, enabled, event, gauge, install, now_us, span,
     uninstall, JsonlSink, MemorySink, Sink, Span,
 };
+pub use status::{board, StatusBoard, StatusError, StatusSnapshot, StatusWriter, WindowOutcome};

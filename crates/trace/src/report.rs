@@ -143,6 +143,19 @@ impl RunReport {
         report
     }
 
+    /// Exports an event stream as a Chrome / Perfetto trace-event JSON
+    /// document (see [`crate::perfetto::to_chrome_trace`]).
+    ///
+    /// An associated function rather than a method because the report
+    /// aggregates events away; the timeline needs the raw stream — the
+    /// same one [`from_events`](Self::from_events) consumes.
+    pub fn to_perfetto_json<'a, I>(events: I) -> String
+    where
+        I: IntoIterator<Item = &'a Event>,
+    {
+        crate::perfetto::to_chrome_trace(events)
+    }
+
     /// The total of counter `name` (0 when absent).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)

@@ -28,6 +28,31 @@ pub trait Sink: Send + Sync {
 static ENABLED: AtomicBool = AtomicBool::new(false);
 static SINK: RwLock<Option<Arc<dyn Sink>>> = RwLock::new(None);
 static EPOCH: OnceLock<Instant> = OnceLock::new();
+static PANIC_FLUSH: OnceLock<()> = OnceLock::new();
+
+/// Flushes the installed sink, if any. Uses `try_read` so it is safe from
+/// a panic hook even if the panic fired while the sink slot was held.
+fn flush_installed() {
+    if let Ok(slot) = SINK.try_read() {
+        if let Some(sink) = slot.as_ref() {
+            sink.flush();
+        }
+    }
+}
+
+/// Registers (once per process) a panic hook that flushes the installed
+/// sink before the previous hook runs, so a crashed or fault-injected run
+/// still leaves a readable trace tail on disk. The hook chains: normal
+/// panic reporting is unchanged.
+fn install_panic_flush() {
+    PANIC_FLUSH.get_or_init(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            flush_installed();
+            previous(info);
+        }));
+    });
+}
 
 /// `true` when a sink is installed. The hot-path guard: a relaxed atomic
 /// load and a branch, nothing else.
@@ -47,6 +72,7 @@ pub fn install(sink: Arc<dyn Sink>) -> Option<Arc<dyn Sink>> {
     // Touch the epoch first so timestamps are relative to installation of
     // the first sink rather than the first event.
     let _ = EPOCH.get_or_init(Instant::now);
+    install_panic_flush();
     let mut slot = SINK.write().unwrap_or_else(PoisonError::into_inner);
     let previous = slot.replace(sink);
     ENABLED.store(true, Ordering::Relaxed);

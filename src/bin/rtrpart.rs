@@ -30,6 +30,7 @@ COMMANDS:
     simulate     partition, then run the result on the device simulator
     demo         write a built-in workload (dct | ar | fft | jpeg | matmul) as a .tg file
     trace-report aggregate a --trace JSONL file into a run report
+    trace-export convert a --trace JSONL file to Chrome/Perfetto trace JSON
     help         print this text
 
 OPTIONS (partition / bounds / simulate):
@@ -68,6 +69,14 @@ OPTIONS (partition / bounds / simulate):
     --dot <file>          write the task graph as Graphviz DOT
     --out-solution <file> write the best solution as text
     --trace <file>        write a structured trace of the run as JSONL
+    --trace-export <fmt>  also export the trace when the run finishes;
+                          `perfetto` writes <file>.perfetto.json for
+                          chrome://tracing / ui.perfetto.dev (needs --trace)
+    --status-file <file>  write a live status heartbeat (one JSON line per
+                          interval: nodes, prunes, incumbent, windows, LP
+                          pivots, checkpoint age) while the solve runs
+    --status-every <ms>   heartbeat interval in milliseconds [default: 1000;
+                          must be > 0]
     --quiet               only print the final solution
 
 ENVIRONMENT:
@@ -81,6 +90,12 @@ OPTIONS (demo):
 EXAMPLE (tracing):
     rtrpart partition --graph dct.tg --rmax 576 --ct 1us --trace run.jsonl
     rtrpart trace-report run.jsonl
+    rtrpart trace-export run.jsonl run.perfetto.json
+
+EXAMPLE (live status board):
+    rtrpart partition --graph dct.tg --rmax 576 --ct 1us \\
+        --status-file status.jsonl --status-every 500 &
+    tail -f status.jsonl
 ";
 
 fn main() -> ExitCode {
@@ -108,6 +123,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("bounds") => bounds_cmd(&args[1..]),
         Some("demo") => demo_cmd(&args[1..]),
         Some("trace-report") => trace_report_cmd(&args[1..]),
+        Some("trace-export") => trace_export_cmd(&args[1..]),
         Some("help") | Some("--help") | Some("-h") | None => {
             print!("{HELP}");
             Ok(())
@@ -240,6 +256,16 @@ fn load_params(opts: &Options) -> Result<ExploreParams, String> {
 
 fn partition_cmd(args: &[String], simulate: bool) -> Result<(), String> {
     let opts = Options { args };
+    let export = match opts.value("--trace-export") {
+        Some("perfetto") if opts.value("--trace").is_some() => Some("perfetto"),
+        Some("perfetto") => {
+            return Err("`--trace-export` requires `--trace <file>`".to_owned());
+        }
+        Some(other) => {
+            return Err(format!("unknown trace export format `{other}` (expected `perfetto`)"));
+        }
+        None => None,
+    };
     let tracing = match opts.value("--trace") {
         Some(path) => {
             let sink = rtrpart::trace::JsonlSink::create(path)
@@ -249,15 +275,53 @@ fn partition_cmd(args: &[String], simulate: bool) -> Result<(), String> {
         }
         None => None,
     };
+    let status = match opts.value("--status-file") {
+        Some(path) => {
+            let every: u64 = opts.parsed("--status-every", 1000)?;
+            // Every run's counters start from zero — the board is
+            // process-global, so clear whatever an earlier in-process run
+            // (or test) left behind.
+            rtrpart::trace::status::board().reset();
+            let writer = rtrpart::trace::StatusWriter::spawn(path, Duration::from_millis(every))
+                .map_err(|e| format!("cannot start status heartbeat: {e}"))?;
+            Some(writer)
+        }
+        None if opts.value("--status-every").is_some() => {
+            return Err("`--status-every` requires `--status-file <file>`".to_owned());
+        }
+        None => None,
+    };
     let result = partition_body(&opts, simulate);
+    if let Some(writer) = status {
+        // Writes one final snapshot so the file always ends on the
+        // completed totals.
+        writer.stop();
+    }
     if let Some(path) = tracing {
         // Flushes the JSONL sink.
         rtrpart::trace::uninstall();
         if result.is_ok() && !opts.flag("--quiet") {
             println!("\ntrace written to {path} (inspect with `rtrpart trace-report {path}`)");
         }
+        if export.is_some() {
+            let out = format!("{path}.perfetto.json");
+            export_trace(path, &out)?;
+            if result.is_ok() && !opts.flag("--quiet") {
+                println!("perfetto timeline written to {out} (open in ui.perfetto.dev)");
+            }
+        }
     }
     result
+}
+
+/// Converts a JSONL trace file into a Chrome/Perfetto trace-event JSON
+/// document at `out`.
+fn export_trace(input: &str, out: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(input).map_err(|e| format!("cannot read `{input}`: {e}"))?;
+    let events =
+        rtrpart::trace::parse_jsonl(&text).map_err(|e| format!("cannot parse `{input}`: {e}"))?;
+    let json = rtrpart::trace::RunReport::to_perfetto_json(&events);
+    std::fs::write(out, json).map_err(|e| format!("cannot write `{out}`: {e}"))
 }
 
 fn partition_body(opts: &Options, simulate: bool) -> Result<(), String> {
@@ -409,6 +473,17 @@ fn trace_report_cmd(args: &[String]) -> Result<(), String> {
         rtrpart::trace::parse_jsonl(&text).map_err(|e| format!("cannot parse `{path}`: {e}"))?;
     let report = rtrpart::trace::RunReport::from_events(&events);
     print!("{}", report.render());
+    Ok(())
+}
+
+fn trace_export_cmd(args: &[String]) -> Result<(), String> {
+    let [input, out] = args else {
+        return Err("trace-export needs <in.jsonl> <out.json> (the input comes from \
+             `partition --trace <file>`)"
+            .to_owned());
+    };
+    export_trace(input, out)?;
+    println!("perfetto timeline written to {out} (open in ui.perfetto.dev)");
     Ok(())
 }
 

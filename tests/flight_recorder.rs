@@ -1,0 +1,294 @@
+//! Flight-recorder contracts, exercised end-to-end through the real
+//! `rtrpart` binary plus in-process panic-flush checks:
+//!
+//! * `--trace --trace-export perfetto` emits a file that parses as
+//!   Chrome trace-event JSON with per-track monotone timestamps;
+//! * the standalone `trace-export` subcommand round-trips a JSONL trace;
+//! * `--status-file` heartbeats update while a solve runs and the lines
+//!   written so far survive SIGKILL of the whole solver process;
+//! * `--status-every 0` and an unwritable `--status-file` are typed
+//!   errors, not panics;
+//! * a JSONL trace sink flushes buffered events when a panic unwinds
+//!   through it (the fault-injection satellite).
+
+use rtrpart::trace::JsonValue;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+const BIN: &str = env!("CARGO_BIN_EXE_rtrpart");
+
+/// Per-test scratch directory, removed on drop.
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(label: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("rtr_flight_{}_{label}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        Self(dir)
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.0.join(name)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = fs::remove_dir_all(&self.0);
+    }
+}
+
+fn write_dct(dir: &Scratch) -> PathBuf {
+    let graph = dir.path("dct.tg");
+    fs::write(&graph, rtrpart::workloads::dct::dct_4x4().to_text()).expect("write graph");
+    graph
+}
+
+/// Deterministic base arguments (node budgets, one thread).
+fn run_args(graph: &Path, extra: &[&str]) -> Vec<String> {
+    let mut args: Vec<String> = [
+        "partition",
+        "--graph",
+        graph.to_str().unwrap(),
+        "--rmax",
+        "576",
+        "--mmax",
+        "512",
+        "--ct",
+        "1us",
+        "--gamma",
+        "2",
+        "--solve-nodes",
+        "150000",
+        "--threads",
+        "1",
+        "--quiet",
+    ]
+    .iter()
+    .map(|s| (*s).to_owned())
+    .collect();
+    args.extend(extra.iter().map(|s| (*s).to_owned()));
+    args
+}
+
+/// Asserts `text` parses as a Chrome trace-event document and returns
+/// (event count, metadata count) after checking per-track monotonicity.
+fn check_chrome_trace(text: &str) -> (usize, usize) {
+    let root = rtrpart::trace::parse_value(text).expect("trace-export output is valid JSON");
+    let Some(JsonValue::Arr(events)) = root.get("traceEvents") else {
+        panic!("no traceEvents array in export");
+    };
+    assert!(!events.is_empty(), "empty traceEvents");
+    let mut last_ts: std::collections::BTreeMap<(u64, u64), f64> = Default::default();
+    let mut timed = 0usize;
+    let mut meta = 0usize;
+    for ev in events {
+        let ph = ev.get("ph").and_then(|v| v.as_str()).expect("event has ph");
+        let pid = ev.get("pid").and_then(|v| v.as_f64()).expect("event has pid") as u64;
+        let tid = ev.get("tid").and_then(|v| v.as_f64()).expect("event has tid") as u64;
+        match ph {
+            "M" => {
+                meta += 1;
+                continue;
+            }
+            "X" | "C" | "i" => {}
+            other => panic!("unexpected phase {other:?}"),
+        }
+        let ts = ev.get("ts").and_then(|v| v.as_f64()).expect("event has ts");
+        let prev = last_ts.entry((pid, tid)).or_insert(f64::NEG_INFINITY);
+        assert!(
+            ts >= *prev,
+            "timestamps regress on track (pid={pid}, tid={tid}): {ts} after {prev}"
+        );
+        *prev = ts;
+        timed += 1;
+    }
+    (timed, meta)
+}
+
+#[test]
+fn trace_export_flag_emits_valid_chrome_trace() {
+    let dir = Scratch::new("export_flag");
+    let graph = write_dct(&dir);
+    let trace = dir.path("run.jsonl");
+    let out = Command::new(BIN)
+        .args(run_args(&graph, &["--trace", trace.to_str().unwrap(), "--trace-export", "perfetto"]))
+        .output()
+        .expect("spawn rtrpart");
+    assert!(out.status.success(), "rtrpart failed: {}", String::from_utf8_lossy(&out.stderr));
+    let exported = dir.path("run.jsonl.perfetto.json");
+    let text = fs::read_to_string(&exported).expect("perfetto export exists");
+    let (timed, meta) = check_chrome_trace(&text);
+    assert!(timed > 10, "suspiciously small export: {timed} events");
+    assert!(meta > 0, "no thread_name metadata emitted");
+    // The exporter reconstructs named tracks for the main explore thread.
+    assert!(text.contains("\"explore\""), "main track name missing");
+}
+
+#[test]
+fn trace_export_subcommand_round_trips() {
+    let dir = Scratch::new("export_cmd");
+    let graph = write_dct(&dir);
+    let trace = dir.path("run.jsonl");
+    let exported = dir.path("timeline.json");
+    let out = Command::new(BIN)
+        .args(run_args(&graph, &["--trace", trace.to_str().unwrap()]))
+        .output()
+        .expect("spawn rtrpart");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let out = Command::new(BIN)
+        .args(["trace-export", trace.to_str().unwrap(), exported.to_str().unwrap()])
+        .output()
+        .expect("spawn rtrpart trace-export");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    check_chrome_trace(&fs::read_to_string(&exported).expect("export exists"));
+
+    // Without --trace, --trace-export must be rejected up front.
+    let out = Command::new(BIN)
+        .args(run_args(&graph, &["--trace-export", "perfetto"]))
+        .output()
+        .expect("spawn rtrpart");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trace"));
+}
+
+/// Parses one heartbeat line, returning (ts_us, nodes, windows_done).
+fn parse_heartbeat(line: &str) -> (u64, u64, u64) {
+    let v = rtrpart::trace::parse_value(line).expect("heartbeat line is valid JSON");
+    let get =
+        |k: &str| v.get(k).and_then(|x| x.as_f64()).unwrap_or_else(|| panic!("no {k}")) as u64;
+    (get("ts_us"), get("nodes"), get("windows_done"))
+}
+
+#[test]
+fn status_heartbeats_update_and_survive_sigkill() {
+    let dir = Scratch::new("heartbeat");
+    let graph = write_dct(&dir);
+    let status = dir.path("status.jsonl");
+    // A node budget large enough that the solve runs for many heartbeat
+    // intervals on any machine (debug builds sustain ~1M nodes/s).
+    let mut child = Command::new(BIN)
+        .args(run_args(
+            &graph,
+            &[
+                "--solve-nodes",
+                "40000000",
+                "--status-file",
+                status.to_str().unwrap(),
+                "--status-every",
+                "25",
+            ],
+        ))
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn victim");
+
+    // Wait until the heartbeat shows live progress: at least three lines
+    // with strictly increasing node counts.
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let lines = loop {
+        let text = fs::read_to_string(&status).unwrap_or_default();
+        let complete: Vec<&str> =
+            text.split_inclusive('\n').filter(|l| l.ends_with('\n')).collect();
+        if complete.len() >= 3 {
+            let nodes: Vec<u64> = complete.iter().map(|l| parse_heartbeat(l).1).collect();
+            if nodes[nodes.len() - 1] > nodes[0] {
+                break complete.len();
+            }
+        }
+        if child.try_wait().expect("poll victim").is_some() {
+            panic!("victim finished before heartbeats showed progress: {text}");
+        }
+        assert!(Instant::now() < deadline, "no heartbeat progress within deadline");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+
+    // SIGKILL the whole process: no Drop, no final snapshot — the lines
+    // already on disk must stand on their own.
+    child.kill().expect("kill victim");
+    let _ = child.wait();
+    let text = fs::read_to_string(&status).expect("status file survives the kill");
+    let complete: Vec<&str> = text.split_inclusive('\n').filter(|l| l.ends_with('\n')).collect();
+    assert!(complete.len() >= lines, "heartbeat lines disappeared after the kill");
+    let mut prev = (0, 0, 0);
+    for line in &complete {
+        let cur = parse_heartbeat(line);
+        assert!(cur.0 >= prev.0, "heartbeat timestamps regress: {line}");
+        assert!(cur.1 >= prev.1, "node counter regressed: {line}");
+        prev = cur;
+    }
+    assert!(prev.1 > 0, "final heartbeat shows no explored nodes");
+}
+
+#[test]
+fn status_flag_misuse_is_a_typed_error() {
+    let dir = Scratch::new("status_errors");
+    let graph = write_dct(&dir);
+
+    // Zero interval: rejected up front with the typed StatusError message.
+    let status = dir.path("status.jsonl");
+    let out = Command::new(BIN)
+        .args(run_args(&graph, &["--status-file", status.to_str().unwrap(), "--status-every", "0"]))
+        .output()
+        .expect("spawn rtrpart");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("interval"), "unexpected error: {stderr}");
+    assert!(!stderr.contains("panicked"), "zero interval panicked: {stderr}");
+
+    // Missing parent directory: a create error naming the path.
+    let bad = dir.path("no_such_dir").join("status.jsonl");
+    let out = Command::new(BIN)
+        .args(run_args(&graph, &["--status-file", bad.to_str().unwrap()]))
+        .output()
+        .expect("spawn rtrpart");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("status"), "unexpected error: {stderr}");
+    assert!(!stderr.contains("panicked"), "missing dir panicked: {stderr}");
+
+    // --status-every without --status-file.
+    let out = Command::new(BIN)
+        .args(run_args(&graph, &["--status-every", "100"]))
+        .output()
+        .expect("spawn rtrpart");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--status-file"));
+}
+
+#[test]
+fn jsonl_sink_flushes_on_panic() {
+    // The panic-hook flush contract: when a panic starts unwinding with a
+    // JSONL sink installed, everything emitted so far must already be on
+    // disk by the time the hook returns — even though the sink is neither
+    // dropped nor uninstalled yet. Driven through the deterministic
+    // fault-injection machinery (rate 1.0 at a site only this test uses).
+    let dir = Scratch::new("panic_flush");
+    let path = dir.path("panicked.jsonl");
+    let config = rtrpart::trace::failpoint::FailpointConfig::parse("7:1.0:flightrec.boom")
+        .expect("failpoint spec parses");
+    rtrpart::trace::failpoint::install(config);
+    let sink = rtrpart::trace::JsonlSink::create(&path).expect("create sink");
+    rtrpart::trace::install(std::sync::Arc::new(sink));
+    rtrpart::trace::counter("flightrec.before_panic", 42);
+    let caught = std::panic::catch_unwind(|| {
+        rtrpart::trace::failpoint::panic_if("flightrec.boom", 1);
+    });
+    rtrpart::trace::failpoint::clear();
+    assert!(caught.is_err(), "failpoint at rate 1.0 did not fire");
+
+    // Read the file BEFORE uninstalling: only the panic hook can have
+    // flushed it.
+    let text = fs::read_to_string(&path).expect("trace file exists");
+    rtrpart::trace::uninstall();
+    assert!(
+        text.contains("flightrec.before_panic"),
+        "events emitted before the panic were not flushed by the panic hook: {text:?}"
+    );
+    let events = rtrpart::trace::parse_jsonl(&text).expect("flushed JSONL parses");
+    assert!(events.iter().any(|e| e.name == "flightrec.before_panic"));
+}
