@@ -54,5 +54,36 @@ fn main() {
     bench.record_exploration("dct.", &ex);
     println!("dct: {} windows, best {:?}", ex.records.len(), ex.best_latency.map(|l| l.as_ns()));
 
+    // AR filter again, through the unified work-stealing pool at a pinned
+    // 2 threads on both layers. Window *outcomes* and the pool's job/batch
+    // totals are deterministic at a fixed thread count (the job lists are a
+    // pure function of the instance), so they gate as counters; steal/pop/
+    // park splits depend on OS scheduling and are recorded as metrics only.
+    // Node counters are omitted: under parallel incumbent sharing they are
+    // schedule-dependent.
+    let sched_params = ExploreParams {
+        delta: Latency::from_ns(50.0),
+        gamma: 1,
+        limits: per_solve_limits(),
+        solver_threads: 2,
+        ..Default::default()
+    };
+    let partitioner = TemporalPartitioner::new(&ar, &arch, sched_params).expect("AR tasks fit");
+    let board = rtr_trace::status::board();
+    let before = board.snapshot();
+    let ex = partitioner.explore_parallel(2).expect("exploration runs");
+    let after = board.snapshot();
+    let mut count = |key: &str, v: u64| bench.counter(format!("sched.{key}"), v);
+    count("jobs", after.sched_jobs - before.sched_jobs);
+    count("batches", after.sched_batches - before.sched_batches);
+    count("nested_batches", after.sched_nested_batches - before.sched_nested_batches);
+    count("lost_jobs", after.sched_lost_jobs - before.sched_lost_jobs);
+    bench.record_windows("sched.", &ex);
+    bench.metric("sched.steals", (after.sched_steals - before.sched_steals) as f64);
+    bench.metric("sched.local_pops", (after.sched_local_pops - before.sched_local_pops) as f64);
+    bench.metric("sched.idle_parks", (after.sched_idle_parks - before.sched_idle_parks) as f64);
+    bench.metric("sched.queue_depth_max", after.sched_queue_depth_max as f64);
+    println!("sched: {} windows, best {:?}", ex.records.len(), ex.best_latency.map(|l| l.as_ns()));
+
     bench.write_and_report();
 }

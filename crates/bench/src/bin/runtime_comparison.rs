@@ -114,6 +114,35 @@ fn main() {
             bench.counter(format!("{prefix}search_parallel4_speedup_suppressed_1cpu"), 1);
         }
 
+        // Both layers on the unified work-stealing pool: candidate windows
+        // fan out AND each window solve splits its tree, all under one
+        // 4-thread budget — a stalled window's idle workers migrate to
+        // other candidates instead of honouring a static per-layer split.
+        let mut sched_params = params.clone();
+        sched_params.solver_threads = 4;
+        let sched_partitioner =
+            TemporalPartitioner::new(&graph, &arch, sched_params).expect("tasks fit");
+        let start = Instant::now();
+        let unified = sched_partitioner.explore_parallel(4).expect("exploration runs");
+        let unified_time = start.elapsed();
+        let unified_latency = unified.best_latency.expect("DCT is feasible");
+        let unified_speedup = iterative_time.as_secs_f64() / unified_time.as_secs_f64();
+        println!(
+            "R_max = {}: unified pool (4 threads, both layers) found D_a = {:.0} ns in {:.2?} \
+             ({unified_speedup:.2}x)",
+            exp.r_max,
+            unified_latency.as_ns(),
+            unified_time
+        );
+        bench.metric(format!("{prefix}search_sched4_ms"), unified_time.as_secs_f64() * 1e3);
+        bench.metric(format!("{prefix}search_sched4_best_latency_ns"), unified_latency.as_ns());
+        if cpus > 1 {
+            bench.metric(format!("{prefix}search_sched4_speedup"), unified_speedup);
+        } else {
+            println!("  (single host cpu: {prefix}search_sched4_speedup suppressed)");
+            bench.counter(format!("{prefix}search_sched4_speedup_suppressed_1cpu"), 1);
+        }
+
         // Optimality run on the faithful ILP with the same budget.
         let n = exploration.best.as_ref().expect("feasible").partitions_used();
         let d_max = rtr_core::max_latency(&graph, &arch, n);

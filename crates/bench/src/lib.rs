@@ -264,6 +264,30 @@ impl BenchRun {
         self.record_exploration_tagged(prefix, ex, "_deadline_dependent");
     }
 
+    /// Records only the schedule-independent window summary of an
+    /// exploration — solve counts by outcome and the best latency — for
+    /// runs whose *node* counters are legitimately scheduling-dependent
+    /// (parallel incumbent sharing) and must stay out of the counter gate.
+    pub fn record_windows(&mut self, prefix: &str, ex: &Exploration) {
+        let mut feasible = 0u64;
+        let mut infeasible = 0u64;
+        let mut limit = 0u64;
+        for r in &ex.records {
+            match r.result {
+                IterationResult::Feasible { .. } => feasible += 1,
+                IterationResult::Infeasible => infeasible += 1,
+                IterationResult::LimitReached => limit += 1,
+            }
+        }
+        self.counter(format!("{prefix}solves"), ex.records.len() as u64);
+        self.counter(format!("{prefix}feasible_windows"), feasible);
+        self.counter(format!("{prefix}infeasible_windows"), infeasible);
+        self.counter(format!("{prefix}limit_windows"), limit);
+        if let Some(latency) = ex.best_latency {
+            self.metric(format!("{prefix}best_latency_ns"), latency.as_ns());
+        }
+    }
+
     fn record_exploration_tagged(&mut self, prefix: &str, ex: &Exploration, tag: &str) {
         let mut feasible = 0u64;
         let mut infeasible = 0u64;

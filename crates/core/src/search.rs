@@ -16,13 +16,18 @@ use rtr_trace::Instrument as _;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Times a panicking window solve or candidate bound is retried before its
 /// subtree is abandoned and recorded in [`Degradation`].
 const PANIC_RETRY_LIMIT: u32 = 2;
+
+/// `sched.job` failpoint namespace for phase-2 candidate batches, disjoint
+/// from the intra-window subtree batches (which use key namespace `0`) so
+/// seeded faults draw independent decisions per batch kind.
+const CANDIDATE_FAIL_KEY: u64 = 1 << 62;
 
 /// The worker-thread count [`TemporalPartitioner::explore_parallel`] uses
 /// when asked for `0` ("auto"): the `RTR_THREADS` environment variable if it
@@ -1346,6 +1351,21 @@ impl<'g> TemporalPartitioner<'g> {
         if threads <= 1 {
             return self.explore_sequential_ctx(&mut |_| {}, ctx);
         }
+        // One work-stealing pool for the whole exploration: phase-2
+        // candidate bounds and any nested window subtree batches share
+        // this single `threads` budget (`Pool::with` reuses an ambient
+        // pool when the caller is already inside one), so a stalled
+        // window's jobs get stolen by idle workers instead of idling a
+        // statically split sub-pool.
+        rtr_sched::Pool::with(threads, |pool| self.explore_on_pool(pool, ctx))
+    }
+
+    fn explore_on_pool(
+        &self,
+        pool: &rtr_sched::Pool,
+        ctx: RunCtx<'_>,
+    ) -> Result<Exploration, PartitionError> {
+        let threads = pool.threads();
         let mut span = rtr_trace::span("search.explore")
             .with("backend", self.params.backend.to_string())
             .with("tasks", self.graph.tasks().len())
@@ -1374,7 +1394,16 @@ impl<'g> TemporalPartitioner<'g> {
         // then merge in ascending-N order.
         if let Some(pivot) = best.as_ref().map(|(_, latency)| *latency) {
             let candidates: Vec<u32> = (n1 + 1..=n_cap).collect();
-            let slots = self.run_candidates(&candidates, pivot, threads, started, ctx);
+            let (slots, sched_report) = self.run_candidates(&candidates, pivot, pool, started, ctx);
+            // Scheduler-level isolation totals are batch facts (a pure
+            // function of the job list under seeded faults), absorbed here
+            // unconditionally so they are never dropped by a merge break;
+            // the per-candidate lost entries ride inside their slots.
+            degradation.absorb(Degradation {
+                panics_caught: sched_report.panics_caught,
+                jobs_retried: sched_report.jobs_retried,
+                ..Degradation::default()
+            });
             let mut best_latency = pivot;
             for (slot, &n) in slots.into_iter().zip(&candidates) {
                 let d_min = min_latency(self.graph, self.arch, n);
@@ -1440,8 +1469,9 @@ impl<'g> TemporalPartitioner<'g> {
         }))
     }
 
-    /// Evaluates the phase-2 candidate bounds on a scoped thread pool and
-    /// returns one [`CandidateSlot`] per candidate, index-aligned.
+    /// Evaluates the phase-2 candidate bounds as one batch on the shared
+    /// work-stealing pool and returns one [`CandidateSlot`] per candidate,
+    /// index-aligned.
     ///
     /// Latencies travel through the atomics as IEEE-754 bits: for
     /// non-negative floats the bit pattern orders like the number, so
@@ -1450,10 +1480,10 @@ impl<'g> TemporalPartitioner<'g> {
         &self,
         candidates: &[u32],
         pivot: Latency,
-        threads: usize,
+        pool: &rtr_sched::Pool,
         started: Instant,
         ctx: RunCtx<'_>,
-    ) -> Vec<CandidateSlot> {
+    ) -> (Vec<CandidateSlot>, rtr_sched::BatchReport) {
         let slots: Vec<Mutex<CandidateSlot>> =
             candidates.iter().map(|_| Mutex::new(CandidateSlot::NotRun)).collect();
         // Best latency achieved anywhere so far, phase 1 included. Purely a
@@ -1463,86 +1493,98 @@ impl<'g> TemporalPartitioner<'g> {
         // Per-candidate achieved latency (+∞ until that bound finds one).
         let achieved: Vec<AtomicU64> =
             candidates.iter().map(|_| AtomicU64::new(f64::INFINITY.to_bits())).collect();
-        // Work queue: candidates are claimed in ascending-N order.
-        let next = AtomicUsize::new(0);
         // Smallest bound proven dominated; the merge can never get past it,
         // so larger bounds need not run at all.
         let stop_at = AtomicU32::new(u32::MAX);
-        let workers = threads.min(candidates.len());
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| loop {
-                    let idx = next.fetch_add(1, Ordering::Relaxed);
-                    if idx >= candidates.len() {
-                        break;
-                    }
-                    let n = candidates[idx];
-                    if self.expired(started) {
-                        // Slot stays NotRun: the merge stops here, exactly
-                        // where the sequential loop's budget check would.
-                        break;
-                    }
-                    if n >= stop_at.load(Ordering::Relaxed) {
-                        continue;
-                    }
-                    let d_min = min_latency(self.graph, self.arch, n);
-                    // Shared-incumbent pruning: the cheap global test may
-                    // reflect achievements of *larger* bounds the sequential
-                    // order could not have seen, so a hit must be confirmed
-                    // against the order-safe prefix bound before skipping.
-                    if d_min.as_ns() >= f64::from_bits(incumbent.load(Ordering::Relaxed)) {
-                        let prefix = achieved[..idx]
-                            .iter()
-                            .map(|a| f64::from_bits(a.load(Ordering::Relaxed)))
-                            .fold(pivot.as_ns(), f64::min);
-                        if d_min.as_ns() >= prefix {
-                            stop_at.fetch_min(n, Ordering::Relaxed);
-                            *slots[idx].lock().unwrap_or_else(PoisonError::into_inner) =
-                                CandidateSlot::Dominated;
-                            continue;
-                        }
-                    }
-                    let mut candidate_records = Vec::new();
-                    let mut degradation = Degradation::default();
-                    // The candidate- and window-level panic isolation lives
-                    // inside run_candidate_isolated, which the sequential
-                    // loop shares — and inside the capture closure, because
-                    // capture is not panic-safe.
-                    let (result, events) = rtr_trace::capture(|| {
-                        self.run_candidate_isolated(
-                            n,
-                            pivot,
-                            d_min,
-                            &mut candidate_records,
-                            &mut |_| {},
-                            ctx,
-                            &mut degradation,
-                        )
-                    });
-                    let (found, error) = match result {
-                        Ok(found) => (found, None),
-                        Err(error) => (None, Some(error)),
-                    };
-                    if let Some((_, latency)) = &found {
-                        let bits = latency.as_ns().to_bits();
-                        achieved[idx].store(bits, Ordering::Relaxed);
-                        incumbent.fetch_min(bits, Ordering::Relaxed);
-                    }
-                    *slots[idx].lock().unwrap_or_else(PoisonError::into_inner) =
-                        CandidateSlot::Done {
-                            records: candidate_records,
-                            found,
-                            events,
-                            error,
-                            degradation,
-                        };
-                });
+        // The pool's FIFO injector hands indices out in ascending-N order —
+        // the same claim discipline the bespoke pool's atomic cursor had.
+        let report = pool.run(candidates.len(), CANDIDATE_FAIL_KEY, |idx| {
+            let n = candidates[idx];
+            if self.expired(started) {
+                // Slot stays NotRun: the merge stops here, exactly where
+                // the sequential loop's budget check would.
+                return;
             }
+            if n >= stop_at.load(Ordering::Relaxed) {
+                return;
+            }
+            let d_min = min_latency(self.graph, self.arch, n);
+            // Shared-incumbent pruning: the cheap global test may reflect
+            // achievements of *larger* bounds the sequential order could
+            // not have seen, so a hit must be confirmed against the
+            // order-safe prefix bound before skipping.
+            if d_min.as_ns() >= f64::from_bits(incumbent.load(Ordering::Relaxed)) {
+                let prefix = achieved[..idx]
+                    .iter()
+                    .map(|a| f64::from_bits(a.load(Ordering::Relaxed)))
+                    .fold(pivot.as_ns(), f64::min);
+                if d_min.as_ns() >= prefix {
+                    stop_at.fetch_min(n, Ordering::Relaxed);
+                    *slots[idx].lock().unwrap_or_else(PoisonError::into_inner) =
+                        CandidateSlot::Dominated;
+                    return;
+                }
+            }
+            let mut candidate_records = Vec::new();
+            let mut degradation = Degradation::default();
+            // The candidate- and window-level panic isolation lives inside
+            // run_candidate_isolated, which the sequential loop shares —
+            // and inside the capture closure, because capture is not
+            // panic-safe.
+            let (result, events) = rtr_trace::capture(|| {
+                self.run_candidate_isolated(
+                    n,
+                    pivot,
+                    d_min,
+                    &mut candidate_records,
+                    &mut |_| {},
+                    ctx,
+                    &mut degradation,
+                )
+            });
+            let (found, error) = match result {
+                Ok(found) => (found, None),
+                Err(error) => (None, Some(error)),
+            };
+            if let Some((_, latency)) = &found {
+                let bits = latency.as_ns().to_bits();
+                achieved[idx].store(bits, Ordering::Relaxed);
+                incumbent.fetch_min(bits, Ordering::Relaxed);
+            }
+            *slots[idx].lock().unwrap_or_else(PoisonError::into_inner) = CandidateSlot::Done {
+                records: candidate_records,
+                found,
+                events,
+                error,
+                degradation,
+            };
         });
-        slots
+        let mut slots: Vec<CandidateSlot> = slots
             .into_iter()
             .map(|slot| slot.into_inner().unwrap_or_else(PoisonError::into_inner))
-            .collect()
+            .collect();
+        // A candidate the scheduler abandoned (every `sched.job` attempt
+        // panicked) must become a *degraded* Done: leaving it NotRun would
+        // make the merge mistake it for a time-budget stop. The report is
+        // a pure function of the job list, so this rewrite is as
+        // deterministic as the faults themselves.
+        for &idx in &report.lost {
+            let mut degradation = Degradation::default();
+            degradation.subtrees_lost += 1;
+            degradation.lost.push(LostSubtree {
+                site: "sched.job",
+                n: candidates[idx],
+                iteration: 0,
+            });
+            slots[idx] = CandidateSlot::Done {
+                records: Vec::new(),
+                found: None,
+                events: Vec::new(),
+                error: None,
+                degradation,
+            };
+        }
+        (slots, report)
     }
 }
 

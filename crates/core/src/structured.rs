@@ -47,6 +47,12 @@ const BUDGET_CHUNK: u64 = 4096;
 /// subtree is abandoned and recorded in [`SearchStats::subtrees_lost`].
 const JOB_RETRY_LIMIT: u32 = 2;
 
+/// Failpoint namespace for the scheduler-level `sched.job` site under
+/// subtree batches. Disjoint from the search layer's
+/// `CANDIDATE_FAIL_KEY` (`1 << 62`) so a fault schedule hits the same
+/// (job, attempt) pairs in both layers without aliasing.
+const SUBTREE_FAIL_KEY: u64 = 0;
+
 /// Limits for one structured search.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SearchLimits {
@@ -327,8 +333,6 @@ struct Shared {
     /// Node allowance claimed so far against the global `node_limit`.
     nodes_claimed: AtomicU64,
     node_limit: u64,
-    /// Next subtree job to claim (ascending order).
-    next_job: AtomicUsize,
     /// Lowest job index that found a solution ([`SearchGoal::FirstFeasible`]
     /// only); higher-indexed jobs become irrelevant.
     first_found: AtomicUsize,
@@ -1284,20 +1288,28 @@ impl<'g> StructuredSolver<'g> {
         self.arch.reconfig_time().as_ns()
     }
 
-    /// Runs the search with up to `threads` workers splitting the
-    /// assignment tree into subtree jobs (`0` = auto via `RTR_THREADS` /
+    /// Runs the search with the assignment tree split into subtree jobs on
+    /// the shared work-stealing pool (`0` = auto via `RTR_THREADS` /
     /// available parallelism).
     ///
+    /// When the caller is already inside a pool — a window solve submitted
+    /// from a phase-2 candidate job — the ambient pool is reused and
+    /// `threads` is ignored: both layers draw from the one global thread
+    /// budget, and this window's jobs can be stolen by idle workers from
+    /// other candidates (and vice versa) instead of idling a statically
+    /// split sub-pool. Otherwise a pool of `threads` is created for the
+    /// duration of the solve.
+    ///
     /// The first levels of the tree are expanded sequentially — pruning
-    /// against the greedy seed only — into prefix jobs; workers claim jobs
-    /// in ascending order, share an incumbent as `AtomicU64` latency bits,
-    /// and the merge scans job results in ascending job order accepting
-    /// strict improvements, so the returned `Solution` and `SearchOutcome`
-    /// are identical to [`run`](Self::run) for any thread count. Fired
-    /// node/time limits are the exception: the global budget is exact, but
-    /// *which* nodes it covers depends on scheduling, so limit-hit results
-    /// are best-effort (exactly like wall-clock deadlines on the
-    /// sequential path).
+    /// against the greedy seed only — into prefix jobs; the pool hands jobs
+    /// out in ascending order, participants share an incumbent as
+    /// `AtomicU64` latency bits, and the merge scans job results in
+    /// ascending job order accepting strict improvements, so the returned
+    /// `Solution` and `SearchOutcome` are identical to [`run`](Self::run)
+    /// for any thread count. Fired node/time limits are the exception: the
+    /// global budget is exact, but *which* nodes it covers depends on
+    /// scheduling, so limit-hit results are best-effort (exactly like
+    /// wall-clock deadlines on the sequential path).
     pub fn run_parallel(&self, threads: usize) -> (SearchOutcome, SearchStats) {
         let threads = if threads == 0 { crate::search::default_thread_count() } else { threads };
         let count = self.graph.task_count();
@@ -1315,12 +1327,24 @@ impl<'g> StructuredSolver<'g> {
         }
         let seed = seed.map(|(total, sol)| (total, sol.placements().to_vec()));
         let start = Instant::now();
+        rtr_sched::Pool::with(threads, |pool| self.run_on_pool(pool, seed, start))
+    }
 
-        // Job generation: deepen the split frontier until every worker can
-        // claim several jobs (work stealing by job granularity). Each pass
-        // re-expands from the root, which is cheap — the frontier is tiny
-        // compared to the tree below it.
-        let target = (threads * JOBS_PER_THREAD).min(MAX_JOBS);
+    /// The parallel search body, scheduled on `pool` (see
+    /// [`run_parallel`](Self::run_parallel), which owns the public
+    /// contract).
+    fn run_on_pool(
+        &self,
+        pool: &rtr_sched::Pool,
+        seed: Option<(f64, Vec<Placement>)>,
+        start: Instant,
+    ) -> (SearchOutcome, SearchStats) {
+        let count = self.graph.task_count();
+        // Job generation: deepen the split frontier until every pool
+        // participant can claim several jobs (work stealing by job
+        // granularity). Each pass re-expands from the root, which is cheap
+        // — the frontier is tiny compared to the tree below it.
+        let target = (pool.threads() * JOBS_PER_THREAD).min(MAX_JOBS);
         let mut gen = self.fresh_state(seed.clone(), start);
         let mut jobs: Vec<Vec<(u32, u32)>> = vec![Vec::new()];
         let mut depth = 0usize;
@@ -1373,169 +1397,158 @@ impl<'g> StructuredSolver<'g> {
             // against the global budget so run_parallel never exceeds it.
             nodes_claimed: AtomicU64::new(gen.stats.nodes),
             node_limit: self.limits.node_limit,
-            next_job: AtomicUsize::new(0),
             first_found: AtomicUsize::new(usize::MAX),
             limit_hit: AtomicBool::new(false),
         };
         let results: Vec<Mutex<Option<JobResult>>> =
             (0..jobs.len()).map(|_| Mutex::new(None)).collect();
-        let workers = threads.min(jobs.len());
-        // Per-worker load accounting for the flight recorder: jobs each
-        // worker actually ran and how long it stayed busy. Workers number
-        // themselves through `worker_ordinal` so the spawn closures stay
-        // non-move (they borrow `shared`, `jobs`, and `results`).
-        let worker_ordinal = AtomicUsize::new(0);
-        let worker_jobs: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
-        let worker_busy_us: Vec<AtomicU64> = (0..workers).map(|_| AtomicU64::new(0)).collect();
+        let participants = pool.threads();
+        // Per-participant worker state, created lazily on first claim and
+        // reused across this batch's jobs, so the dominance memo keeps its
+        // cross-job hits exactly as the bespoke per-worker states did.
+        let states: Vec<Mutex<Option<State<'_>>>> =
+            (0..participants).map(|_| Mutex::new(None)).collect();
+        // Per-participant load accounting for the flight recorder: jobs
+        // each participant actually ran and how long it stayed busy.
+        let worker_jobs: Vec<AtomicU64> = (0..participants).map(|_| AtomicU64::new(0)).collect();
+        let worker_busy_us: Vec<AtomicU64> = (0..participants).map(|_| AtomicU64::new(0)).collect();
         let workers_started = Instant::now();
-        std::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|| {
-                    let wid = worker_ordinal.fetch_add(1, Ordering::Relaxed);
-                    let board = rtr_trace::status::board();
-                    board.worker_started();
-                    let busy_from = Instant::now();
-                    let mut claimed = 0u64;
-                    let mut st = self.fresh_state(seed.clone(), start);
-                    st.shared = Some(&shared);
-                    loop {
-                        let j = shared.next_job.fetch_add(1, Ordering::Relaxed);
-                        if j >= jobs.len() {
-                            break;
-                        }
-                        if self.goal == SearchGoal::FirstFeasible {
-                            st.best = None;
-                        }
-                        claimed += 1;
-                        board.add_jobs_claimed(1);
-                        st.job_index = j;
-                        let job = &jobs[j];
-                        // Panic isolation: a panicking job (injected at the
-                        // `search.job` failpoint, or a genuine bug) costs at
-                        // most its own subtree. The panicked state is
-                        // corrupted mid-assignment, so every retry rebuilds
-                        // a fresh worker state; the merge below accepts
-                        // ascending strict improvements, so a rebuilt
-                        // incumbent never changes the outcome. catch_unwind
-                        // sits *inside* capture, which is not panic-safe.
-                        let mut attempt = 0u32;
-                        let mut panics = 0u64;
-                        let mut retries = 0u64;
-                        let result = loop {
-                            if self.goal == SearchGoal::FirstFeasible {
-                                st.best = None;
-                            }
-                            st.nodes_exhausted = true;
-                            st.stats = SearchStats::default();
-                            st.published = StatusPublished::default();
-                            let prev_best = st.best.as_ref().map(|(b, _)| *b);
-                            let (finished, events) = rtr_trace::capture(|| {
-                                catch_unwind(AssertUnwindSafe(|| {
-                                    rtr_trace::failpoint::panic_if(
-                                        "search.job",
-                                        ((j as u64) << 8) | u64::from(attempt),
-                                    );
-                                    // Relevance is checked *after* the
-                                    // failpoint, and jobs are claimed even
-                                    // past a fired limit: every job runs
-                                    // its full (job, attempt) fault
-                                    // schedule, so the degradation account
-                                    // is a pure function of the job list —
-                                    // run-to-run deterministic at a fixed
-                                    // worker count no matter how the
-                                    // scheduler interleaves the claims.
-                                    // Only the subtree *work* is skipped.
-                                    if shared.limit_hit.load(Ordering::Relaxed)
-                                        || (self.goal == SearchGoal::FirstFeasible
-                                            && shared.first_found.load(Ordering::Relaxed) < j)
-                                    {
-                                        return;
-                                    }
-                                    let span = rtr_trace::span("structured.subtree")
-                                        .with("job", j as u64)
-                                        .with("depth", depth as u64);
-                                    let mut undos: Vec<Undo> = Vec::with_capacity(depth);
-                                    let mut pruned = false;
-                                    for (lvl, &(p, m)) in job.iter().enumerate() {
-                                        // Replaying the prefix can
-                                        // legitimately be rejected now: a
-                                        // better incumbent may have arrived
-                                        // since generation, pruning the
-                                        // whole subtree.
-                                        match self.check_and_apply(
-                                            lvl,
-                                            self.order[lvl],
-                                            p,
-                                            m as usize,
-                                            &mut st,
-                                            false,
-                                        ) {
-                                            Step::Applied(u) => undos.push(u),
-                                            _ => {
-                                                pruned = true;
-                                                break;
-                                            }
-                                        }
-                                    }
-                                    if !pruned {
-                                        self.dfs(depth, &mut st);
-                                    }
-                                    for u in undos.into_iter().rev() {
-                                        self.undo_step(u, &mut st);
-                                    }
-                                    span.finish();
-                                }))
-                                .is_ok()
-                            });
-                            if finished {
-                                publish_status(&mut st);
-                                let found = match (&st.best, prev_best) {
-                                    (Some((b, pl)), Some(pb)) if *b < pb - 1e-9 => {
-                                        Some((*b, pl.clone()))
-                                    }
-                                    (Some((b, pl)), None) => Some((*b, pl.clone())),
-                                    _ => None,
-                                };
-                                let mut job_stats = std::mem::take(&mut st.stats);
-                                st.published = StatusPublished::default();
-                                job_stats.exhausted = st.nodes_exhausted;
-                                job_stats.panics_caught += panics;
-                                job_stats.jobs_retried += retries;
-                                break JobResult { found, stats: job_stats, events };
-                            }
-                            panics += 1;
-                            st = self.fresh_state(seed.clone(), start);
-                            st.shared = Some(&shared);
-                            st.job_index = j;
-                            if attempt >= JOB_RETRY_LIMIT {
-                                break JobResult {
-                                    found: None,
-                                    stats: SearchStats {
-                                        panics_caught: panics,
-                                        jobs_retried: retries,
-                                        subtrees_lost: 1,
-                                        exhausted: false,
-                                        ..SearchStats::default()
-                                    },
-                                    events: Vec::new(),
-                                };
-                            }
-                            attempt += 1;
-                            retries += 1;
-                        };
-                        if self.goal == SearchGoal::FirstFeasible && result.found.is_some() {
-                            shared.first_found.fetch_min(j, Ordering::Relaxed);
-                        }
-                        *results[j].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
-                    }
-                    worker_jobs[wid].store(claimed, Ordering::Relaxed);
-                    worker_busy_us[wid].store(
-                        busy_from.elapsed().as_micros().min(u64::MAX as u128) as u64,
-                        Ordering::Relaxed,
-                    );
-                    board.worker_stopped();
-                });
+        let report = pool.run(jobs.len(), SUBTREE_FAIL_KEY, |j| {
+            let pid = pool.participant_ordinal().unwrap_or(0);
+            let busy_from = Instant::now();
+            let board = rtr_trace::status::board();
+            let mut state_slot = states[pid].lock().unwrap_or_else(PoisonError::into_inner);
+            let st = state_slot.get_or_insert_with(|| {
+                let mut st = self.fresh_state(seed.clone(), start);
+                st.shared = Some(&shared);
+                st
+            });
+            if self.goal == SearchGoal::FirstFeasible {
+                st.best = None;
             }
+            worker_jobs[pid].fetch_add(1, Ordering::Relaxed);
+            board.add_jobs_claimed(1);
+            st.job_index = j;
+            let job = &jobs[j];
+            // Panic isolation: a panicking job (injected at the
+            // `search.job` failpoint, or a genuine bug) costs at
+            // most its own subtree. The panicked state is
+            // corrupted mid-assignment, so every retry rebuilds
+            // a fresh worker state; the merge below accepts
+            // ascending strict improvements, so a rebuilt
+            // incumbent never changes the outcome. catch_unwind
+            // sits *inside* capture, which is not panic-safe.
+            let mut attempt = 0u32;
+            let mut panics = 0u64;
+            let mut retries = 0u64;
+            let result = loop {
+                if self.goal == SearchGoal::FirstFeasible {
+                    st.best = None;
+                }
+                st.nodes_exhausted = true;
+                st.stats = SearchStats::default();
+                st.published = StatusPublished::default();
+                let prev_best = st.best.as_ref().map(|(b, _)| *b);
+                let (finished, events) = rtr_trace::capture(|| {
+                    catch_unwind(AssertUnwindSafe(|| {
+                        rtr_trace::failpoint::panic_if(
+                            "search.job",
+                            ((j as u64) << 8) | u64::from(attempt),
+                        );
+                        // Relevance is checked *after* the
+                        // failpoint, and jobs are claimed even
+                        // past a fired limit: every job runs
+                        // its full (job, attempt) fault
+                        // schedule, so the degradation account
+                        // is a pure function of the job list —
+                        // run-to-run deterministic at a fixed
+                        // worker count no matter how the
+                        // scheduler interleaves the claims.
+                        // Only the subtree *work* is skipped.
+                        if shared.limit_hit.load(Ordering::Relaxed)
+                            || (self.goal == SearchGoal::FirstFeasible
+                                && shared.first_found.load(Ordering::Relaxed) < j)
+                        {
+                            return;
+                        }
+                        let span = rtr_trace::span("structured.subtree")
+                            .with("job", j as u64)
+                            .with("depth", depth as u64);
+                        let mut undos: Vec<Undo> = Vec::with_capacity(depth);
+                        let mut pruned = false;
+                        for (lvl, &(p, m)) in job.iter().enumerate() {
+                            // Replaying the prefix can
+                            // legitimately be rejected now: a
+                            // better incumbent may have arrived
+                            // since generation, pruning the
+                            // whole subtree.
+                            match self.check_and_apply(
+                                lvl,
+                                self.order[lvl],
+                                p,
+                                m as usize,
+                                st,
+                                false,
+                            ) {
+                                Step::Applied(u) => undos.push(u),
+                                _ => {
+                                    pruned = true;
+                                    break;
+                                }
+                            }
+                        }
+                        if !pruned {
+                            self.dfs(depth, st);
+                        }
+                        for u in undos.into_iter().rev() {
+                            self.undo_step(u, st);
+                        }
+                        span.finish();
+                    }))
+                    .is_ok()
+                });
+                if finished {
+                    publish_status(st);
+                    let found = match (&st.best, prev_best) {
+                        (Some((b, pl)), Some(pb)) if *b < pb - 1e-9 => Some((*b, pl.clone())),
+                        (Some((b, pl)), None) => Some((*b, pl.clone())),
+                        _ => None,
+                    };
+                    let mut job_stats = std::mem::take(&mut st.stats);
+                    st.published = StatusPublished::default();
+                    job_stats.exhausted = st.nodes_exhausted;
+                    job_stats.panics_caught += panics;
+                    job_stats.jobs_retried += retries;
+                    break JobResult { found, stats: job_stats, events };
+                }
+                panics += 1;
+                *st = self.fresh_state(seed.clone(), start);
+                st.shared = Some(&shared);
+                st.job_index = j;
+                if attempt >= JOB_RETRY_LIMIT {
+                    break JobResult {
+                        found: None,
+                        stats: SearchStats {
+                            panics_caught: panics,
+                            jobs_retried: retries,
+                            subtrees_lost: 1,
+                            exhausted: false,
+                            ..SearchStats::default()
+                        },
+                        events: Vec::new(),
+                    };
+                }
+                attempt += 1;
+                retries += 1;
+            };
+            if self.goal == SearchGoal::FirstFeasible && result.found.is_some() {
+                shared.first_found.fetch_min(j, Ordering::Relaxed);
+            }
+            *results[j].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
+            worker_busy_us[pid].fetch_add(
+                busy_from.elapsed().as_micros().min(u64::MAX as u128) as u64,
+                Ordering::Relaxed,
+            );
         });
         // Per-worker load balance gauges. Wall-clock-dependent and only
         // emitted on the multi-threaded path, so they never enter the
@@ -1591,6 +1604,13 @@ impl<'g> StructuredSolver<'g> {
             // solution still counts as an exhaustive answer.
             stats.exhausted = !shared.limit_hit.load(Ordering::Relaxed);
         }
+        // Jobs the scheduler abandoned at the `sched.job` site left their
+        // result slot empty (forcing `exhausted = false` above); fold the
+        // pool's batch account in so the degradation surface matches the
+        // in-job `search.job` site.
+        stats.panics_caught += report.panics_caught;
+        stats.jobs_retried += report.jobs_retried;
+        stats.subtrees_lost += report.lost.len() as u64;
         let winner = match self.goal {
             SearchGoal::FirstFeasible => first_feasible,
             SearchGoal::Optimal => best.map(|(_, pl)| pl),

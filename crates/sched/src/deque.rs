@@ -1,0 +1,157 @@
+//! Bounded Chase–Lev work-stealing deque specialised to two-word job
+//! references.
+//!
+//! Each pool participant owns one deque. The owner pushes and pops at the
+//! *bottom* (LIFO, so batch indices pushed in descending order come back
+//! ascending); thieves steal from the *top* (FIFO, so the oldest — highest
+//! index — job migrates first). Values are `(u64, u64)` pairs: an erased
+//! batch pointer and a job index (see `lib.rs`).
+//!
+//! # Memory-ordering rationale (in lieu of a loom run)
+//!
+//! The orderings follow Lê, Pop, Cohen & Zappa Nardelli, *Correct and
+//! Efficient Work-Stealing for Weak Memory Models* (PPoPP 2013), the
+//! C11-proved port of the original Chase–Lev algorithm, restricted to the
+//! bounded case (no buffer growth, which removes the only `unsafe`-prone
+//! path in the paper's version):
+//!
+//! * `push` writes the slot with plain (relaxed) stores, then publishes via
+//!   a **release** store of `bottom`. A thief that observes the new
+//!   `bottom` through its **acquire** load therefore also observes both
+//!   slot words — no torn or stale value can be stolen.
+//! * `pop` decrements `bottom` (relaxed) and then issues a **SeqCst
+//!   fence** before reading `top`. The matching SeqCst CAS in `steal`
+//!   guarantees that for the *last* element, owner and thief cannot both
+//!   believe they won: either the thief's CAS on `top` is ordered before
+//!   the owner's fence (the owner then sees the incremented `top` and
+//!   reports empty) or after (the CAS fails). For any element other than
+//!   the last, owner and thief touch disjoint indices and no ordering
+//!   beyond the release/acquire publication is needed.
+//! * `steal` reads `top` (acquire), fences SeqCst, reads `bottom`
+//!   (acquire), reads the slot, then claims it with a **SeqCst
+//!   compare-exchange** on `top`. The claim can only succeed if `top` was
+//!   unchanged since the read, and a slot at index `t` can only be
+//!   *overwritten* by a `push` after `top` has advanced past `t` (the
+//!   bounded buffer refuses to wrap onto an unconsumed slot: `push` fails
+//!   when `bottom - top == capacity`). Hence a successful CAS proves the
+//!   two slot words read before it were a coherent pair.
+//!
+//! The bounded-capacity refusal (`Err(Full)`) is what lets the slot words
+//! themselves stay relaxed: an index is never reused while a thief may
+//! still claim it. Overflow is handled one level up by the pool's shared
+//! injector queue, which is a plain mutex-protected ring and needs no
+//! argument.
+
+use std::sync::atomic::{fence, AtomicI64, AtomicU64, Ordering};
+
+/// Two-word value carried by the deque: `(batch pointer, job index)`.
+pub(crate) type Word = (u64, u64);
+
+/// Outcome of a steal attempt.
+pub(crate) enum Steal {
+    /// Nothing visible to steal.
+    Empty,
+    /// Lost a race with the owner or another thief; worth retrying.
+    Retry,
+    /// Claimed one value.
+    Success(Word),
+}
+
+/// Error returned by `push` when the bounded buffer is full.
+pub(crate) struct Full;
+
+struct Slot {
+    a: AtomicU64,
+    b: AtomicU64,
+}
+
+pub(crate) struct Deque {
+    top: AtomicI64,
+    bottom: AtomicI64,
+    mask: i64,
+    slots: Box<[Slot]>,
+}
+
+impl Deque {
+    /// `capacity` must be a power of two.
+    pub(crate) fn new(capacity: usize) -> Self {
+        assert!(capacity.is_power_of_two());
+        let slots = (0..capacity)
+            .map(|_| Slot { a: AtomicU64::new(0), b: AtomicU64::new(0) })
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Deque {
+            top: AtomicI64::new(0),
+            bottom: AtomicI64::new(0),
+            mask: capacity as i64 - 1,
+            slots,
+        }
+    }
+
+    #[allow(clippy::cast_sign_loss)]
+    fn slot(&self, index: i64) -> &Slot {
+        &self.slots[(index & self.mask) as usize]
+    }
+
+    /// Owner-only: push one value at the bottom. Fails (leaving the deque
+    /// untouched) when the bounded buffer is full.
+    pub(crate) fn push(&self, value: Word) -> Result<(), Full> {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Acquire);
+        if b - t > self.mask {
+            return Err(Full);
+        }
+        let slot = self.slot(b);
+        slot.a.store(value.0, Ordering::Relaxed);
+        slot.b.store(value.1, Ordering::Relaxed);
+        // Publish the slot words before the new bottom becomes visible.
+        self.bottom.store(b + 1, Ordering::Release);
+        Ok(())
+    }
+
+    /// Owner-only: pop the most recently pushed value.
+    pub(crate) fn pop(&self) -> Option<Word> {
+        let b = self.bottom.load(Ordering::Relaxed) - 1;
+        self.bottom.store(b, Ordering::Relaxed);
+        fence(Ordering::SeqCst);
+        let t = self.top.load(Ordering::Relaxed);
+        if t > b {
+            // Already empty; restore bottom.
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return None;
+        }
+        let slot = self.slot(b);
+        let value = (slot.a.load(Ordering::Relaxed), slot.b.load(Ordering::Relaxed));
+        if t == b {
+            // Last element: race the thieves for it.
+            let won =
+                self.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_ok();
+            self.bottom.store(b + 1, Ordering::Relaxed);
+            return won.then_some(value);
+        }
+        Some(value)
+    }
+
+    /// Any thread: try to steal the oldest value.
+    pub(crate) fn steal(&self) -> Steal {
+        let t = self.top.load(Ordering::Acquire);
+        fence(Ordering::SeqCst);
+        let b = self.bottom.load(Ordering::Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let slot = self.slot(t);
+        let value = (slot.a.load(Ordering::Relaxed), slot.b.load(Ordering::Relaxed));
+        if self.top.compare_exchange(t, t + 1, Ordering::SeqCst, Ordering::Relaxed).is_err() {
+            return Steal::Retry;
+        }
+        Steal::Success(value)
+    }
+
+    /// Racy size estimate; used only for queue-depth gauges.
+    pub(crate) fn len_estimate(&self) -> usize {
+        let b = self.bottom.load(Ordering::Relaxed);
+        let t = self.top.load(Ordering::Relaxed);
+        usize::try_from((b - t).max(0)).unwrap_or(0)
+    }
+}

@@ -1,0 +1,499 @@
+//! One work-stealing pool for every parallel unit in the solver stack.
+//!
+//! Both parallel layers of the exploration — phase-2 candidate `N`s and
+//! depth-`k` subtree prefix jobs inside a window solve — used to carry
+//! their own bespoke scoped-thread pools, which meant a nested run split
+//! the `--threads` budget statically and a stalled window idled workers
+//! that other candidates could have used. This crate replaces both with a
+//! single scheduler:
+//!
+//! * **One global thread budget.** [`Pool::scoped`] spawns `threads - 1`
+//!   scoped workers; the calling thread participates as the last worker,
+//!   so exactly `threads` threads compute.
+//! * **A shared FIFO injector + per-participant Chase–Lev deques.**
+//!   Top-level batches go into the injector, so participants claim their
+//!   indices in ascending order — the same claim discipline (and pruning
+//!   heuristic: small candidate `N`s first) the bespoke pools had.
+//!   Batches submitted from *inside* a job are pushed (in reverse) onto
+//!   the submitter's own deque: its LIFO pops come back ascending and
+//!   stay local, while idle participants steal the oldest (highest)
+//!   indices from the top. Deque overflow spills into the injector.
+//! * **Dynamic nesting.** [`Pool::with`] reuses the ambient pool when the
+//!   caller is already a participant, so a window solve submitted from
+//!   inside a candidate job shares the same budget — and a stalled
+//!   window's jobs get stolen by whoever is idle, instead of waiting on a
+//!   private sub-pool.
+//! * **Determinism by merge discipline, not by schedule.** The pool makes
+//!   no ordering promises; callers own a result slot per job index and
+//!   merge in ascending index order, which is what keeps results
+//!   bit-identical to the sequential path at any thread count.
+//! * **Panic isolation with bounded retries.** Each job runs under
+//!   `catch_unwind` behind the `sched.job` failpoint; a job is retried up
+//!   to [`SCHED_RETRY_LIMIT`] times and then reported lost in the
+//!   [`BatchReport`], which is a pure function of the job list under
+//!   seeded fault injection.
+//!
+//! Scheduling telemetry (`sched.*`) is published live to the
+//! `rtr_trace::status` board and emitted as trace counters/gauges when the
+//! pool winds down. Steals, pops, and parks are scheduling-dependent and
+//! therefore gauges; job/batch totals are deterministic at a fixed thread
+//! count and therefore counters.
+
+mod deque;
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+use deque::{Deque, Steal, Word};
+use rtr_trace::status::board;
+
+/// A job that panics on every attempt is abandoned after this many
+/// retries (matching the per-layer `PANIC_RETRY_LIMIT` it replaces).
+pub const SCHED_RETRY_LIMIT: u32 = 2;
+
+/// Per-participant bounded deque capacity; overflow spills to the
+/// injector. Power of two, comfortably above the largest batch a single
+/// submitter produces (`MAX_JOBS = 4096` subtree jobs plus nesting slack).
+const DEQUE_CAPACITY: usize = 8192;
+
+/// How long an idle participant parks before re-scanning for work. A
+/// timed wait (rather than precise wakeup bookkeeping) makes lost-wakeup
+/// livelocks impossible, which matters on oversubscribed 1-CPU runners.
+const PARK_TIMEOUT: Duration = Duration::from_micros(200);
+
+thread_local! {
+    /// `(pool, participant ordinal)` while this thread participates in a
+    /// pool; null outside. Set by the worker loop and the scoped owner.
+    static CURRENT: Cell<(*const Pool, usize)> = const { Cell::new((std::ptr::null(), 0)) };
+    /// Nesting depth of `execute` frames on this thread; a batch
+    /// submitted at depth > 0 comes from inside another job (nested
+    /// parallelism, e.g. a window solve inside a candidate).
+    static EXEC_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
+/// What happened to a batch: panic-isolation totals plus the ascending
+/// indices of jobs abandoned after [`SCHED_RETRY_LIMIT`] retries. Under
+/// seeded `sched.job` fault injection this is a pure function of the job
+/// list (index, attempt, and the caller's `fail_key` — never of which
+/// thread ran what).
+#[derive(Debug, Default, Clone)]
+pub struct BatchReport {
+    /// Panics caught across all attempts of all jobs.
+    pub panics_caught: u64,
+    /// Retries performed (a lost job contributes `SCHED_RETRY_LIMIT`).
+    pub jobs_retried: u64,
+    /// Ascending indices of jobs whose every attempt panicked.
+    pub lost: Vec<usize>,
+}
+
+impl BatchReport {
+    /// True when every job completed on its first attempt.
+    pub fn is_clean(&self) -> bool {
+        self.panics_caught == 0 && self.jobs_retried == 0 && self.lost.is_empty()
+    }
+}
+
+/// Snapshot of the pool's scheduling telemetry. `jobs`, `batches`,
+/// `nested_batches`, and `lost_jobs` are deterministic at a fixed thread
+/// count; the rest depend on runtime scheduling.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SchedStats {
+    /// Participants in the pool (the `--threads` budget).
+    pub threads: usize,
+    /// Jobs executed to completion (including lost jobs).
+    pub jobs: u64,
+    /// Batches submitted.
+    pub batches: u64,
+    /// Batches submitted from inside another job (nested parallelism).
+    pub nested_batches: u64,
+    /// Jobs abandoned after retry exhaustion.
+    pub lost_jobs: u64,
+    /// Jobs a participant popped from its own deque.
+    pub local_pops: u64,
+    /// Jobs claimed from another participant's deque.
+    pub steals: u64,
+    /// Jobs drained from the overflow injector.
+    pub injector_pops: u64,
+    /// Timed parks while idle.
+    pub idle_parks: u64,
+    /// Maximum observed single-deque depth.
+    pub max_queue_depth: u64,
+}
+
+#[derive(Default)]
+struct Counters {
+    jobs: AtomicU64,
+    batches: AtomicU64,
+    nested_batches: AtomicU64,
+    lost_jobs: AtomicU64,
+    local_pops: AtomicU64,
+    steals: AtomicU64,
+    injector_pops: AtomicU64,
+    idle_parks: AtomicU64,
+    max_queue_depth: AtomicU64,
+}
+
+#[derive(Default)]
+struct Account {
+    panics_caught: u64,
+    jobs_retried: u64,
+    lost: Vec<usize>,
+}
+
+/// Type-erased shared state of one in-flight batch. Lives on the
+/// submitter's stack for the duration of [`Pool::run`]; job words in the
+/// deques point at it. Soundness is structural: `run` does not return
+/// until `remaining` hits zero, and a finishing participant never touches
+/// the batch after its decrement (see `execute`).
+struct BatchShared {
+    /// Invokes the caller's closure for one index.
+    call: unsafe fn(*const (), usize),
+    /// The caller's closure, erased.
+    data: *const (),
+    /// Jobs not yet finished (completed or abandoned).
+    remaining: AtomicUsize,
+    /// Caller-chosen `sched.job` failpoint namespace.
+    fail_key: u64,
+    account: Mutex<Account>,
+}
+
+unsafe fn call_closure<F: Fn(usize) + Sync>(data: *const (), index: usize) {
+    // SAFETY: `data` was erased from an `&F` that outlives the batch
+    // (it borrows from the `Pool::run` frame, which blocks until every
+    // job has finished).
+    let f = unsafe { &*data.cast::<F>() };
+    f(index);
+}
+
+fn pack(batch: *const BatchShared, index: usize) -> Word {
+    (batch as u64, index as u64)
+}
+
+/// The work-stealing pool. Create one with [`Pool::scoped`] (or
+/// [`Pool::with`], which reuses the ambient pool when nested) and submit
+/// indexed batches with [`Pool::run`].
+pub struct Pool {
+    deques: Vec<Deque>,
+    injector: Mutex<VecDeque<Word>>,
+    park_lock: Mutex<()>,
+    park_cv: Condvar,
+    shutdown: AtomicBool,
+    counters: Counters,
+}
+
+impl Pool {
+    fn new(threads: usize) -> Self {
+        Pool {
+            deques: (0..threads).map(|_| Deque::new(DEQUE_CAPACITY)).collect(),
+            injector: Mutex::new(VecDeque::new()),
+            park_lock: Mutex::new(()),
+            park_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counters: Counters::default(),
+        }
+    }
+
+    /// Run `f` with a pool of exactly `threads` participants
+    /// (`threads - 1` spawned workers plus the calling thread). Workers
+    /// are joined — and `sched.*` telemetry emitted — before this
+    /// returns. `threads` is clamped to at least 1; a 1-thread pool has
+    /// no workers and the owner executes every job itself, in ascending
+    /// index order.
+    pub fn scoped<R>(threads: usize, f: impl FnOnce(&Pool) -> R) -> R {
+        let threads = threads.max(1);
+        let pool = Pool::new(threads);
+        let out = std::thread::scope(|scope| {
+            for ordinal in 0..threads - 1 {
+                let pool = &pool;
+                scope.spawn(move || pool.worker_loop(ordinal));
+            }
+            let owner = CurrentGuard::set(&pool, threads - 1);
+            let out = f(&pool);
+            drop(owner);
+            pool.shutdown.store(true, Ordering::Release);
+            pool.park_cv.notify_all();
+            out
+        });
+        pool.emit_telemetry();
+        out
+    }
+
+    /// Reuse the ambient pool when the calling thread is already a
+    /// participant (nested parallelism shares the global budget);
+    /// otherwise create a scoped pool of `threads`.
+    pub fn with<R>(threads: usize, f: impl FnOnce(&Pool) -> R) -> R {
+        let (ptr, _) = CURRENT.with(Cell::get);
+        if ptr.is_null() {
+            Pool::scoped(threads, f)
+        } else {
+            // SAFETY: `CURRENT` is non-null only between `CurrentGuard::set`
+            // and its drop, both of which happen while the pool is alive
+            // (worker loops and the scoped owner frame borrow it).
+            f(unsafe { &*ptr })
+        }
+    }
+
+    /// Number of participants (spawned workers + owner).
+    pub fn threads(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// This thread's participant ordinal in `self`, if it is one.
+    pub fn participant_ordinal(&self) -> Option<usize> {
+        let (ptr, ordinal) = CURRENT.with(Cell::get);
+        (std::ptr::eq(ptr, self)).then_some(ordinal)
+    }
+
+    /// Telemetry snapshot (live; racy reads are fine).
+    pub fn stats(&self) -> SchedStats {
+        let c = &self.counters;
+        SchedStats {
+            threads: self.threads(),
+            jobs: c.jobs.load(Ordering::Relaxed),
+            batches: c.batches.load(Ordering::Relaxed),
+            nested_batches: c.nested_batches.load(Ordering::Relaxed),
+            lost_jobs: c.lost_jobs.load(Ordering::Relaxed),
+            local_pops: c.local_pops.load(Ordering::Relaxed),
+            steals: c.steals.load(Ordering::Relaxed),
+            injector_pops: c.injector_pops.load(Ordering::Relaxed),
+            idle_parks: c.idle_parks.load(Ordering::Relaxed),
+            max_queue_depth: c.max_queue_depth.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Execute `f(index)` for every `index in 0..count`, spread across
+    /// the pool, and block (helping: the caller executes queued jobs,
+    /// possibly from other batches, while it waits) until all have
+    /// finished. Panicking jobs are caught, retried up to
+    /// [`SCHED_RETRY_LIMIT`] times, then abandoned and listed in the
+    /// report. `fail_key` namespaces the `sched.job` failpoint so
+    /// distinct batch kinds draw distinct fault decisions.
+    ///
+    /// The pool promises nothing about execution order; determinism is
+    /// the caller's obligation, discharged by giving each index its own
+    /// result slot and merging in ascending index order.
+    pub fn run<F: Fn(usize) + Sync>(&self, count: usize, fail_key: u64, f: F) -> BatchReport {
+        if count == 0 {
+            return BatchReport::default();
+        }
+        let batch = BatchShared {
+            call: call_closure::<F>,
+            data: (&raw const f).cast(),
+            remaining: AtomicUsize::new(count),
+            fail_key,
+            account: Mutex::new(Account::default()),
+        };
+        self.counters.batches.fetch_add(1, Ordering::Relaxed);
+        board().add_sched_batches(1);
+        let nested = EXEC_DEPTH.with(Cell::get) > 0;
+        if nested {
+            self.counters.nested_batches.fetch_add(1, Ordering::Relaxed);
+            board().add_sched_nested_batches(1);
+        }
+
+        match self.participant_ordinal() {
+            Some(me) => {
+                let depth = if nested {
+                    // Reverse push onto the submitter's deque: its LIFO
+                    // pops see ascending indices and stay local; thieves
+                    // take the oldest (highest) index from the top.
+                    for index in (0..count).rev() {
+                        let word = pack(&raw const batch, index);
+                        if self.deques[me].push(word).is_err() {
+                            self.injector
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                .push_back(word);
+                        }
+                    }
+                    self.deques[me].len_estimate() as u64
+                } else {
+                    // Top-level batch: the FIFO injector hands indices to
+                    // every participant in ascending order, preserving
+                    // the bespoke pools' claim discipline.
+                    let mut queue =
+                        self.injector.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    for index in 0..count {
+                        queue.push_back(pack(&raw const batch, index));
+                    }
+                    queue.len() as u64
+                };
+                self.counters.max_queue_depth.fetch_max(depth, Ordering::Relaxed);
+                board().max_sched_queue_depth(depth);
+                self.park_cv.notify_all();
+                while batch.remaining.load(Ordering::Acquire) != 0 {
+                    match self.find_job(me) {
+                        Some(job) => self.execute(job),
+                        None => self.park(),
+                    }
+                }
+            }
+            None => {
+                // Not a participant of this pool (defensive fallback):
+                // run the batch inline, sequentially, with identical
+                // isolation semantics.
+                for index in 0..count {
+                    self.execute(pack(&raw const batch, index));
+                }
+            }
+        }
+
+        let mut account =
+            batch.account.into_inner().unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Completion order is scheduling-dependent; the report is not.
+        account.lost.sort_unstable();
+        BatchReport {
+            panics_caught: account.panics_caught,
+            jobs_retried: account.jobs_retried,
+            lost: account.lost,
+        }
+    }
+
+    fn find_job(&self, me: usize) -> Option<Word> {
+        if let Some(word) = self.deques[me].pop() {
+            self.counters.local_pops.fetch_add(1, Ordering::Relaxed);
+            board().add_sched_local_pops(1);
+            return Some(word);
+        }
+        if let Some(word) =
+            self.injector.lock().unwrap_or_else(std::sync::PoisonError::into_inner).pop_front()
+        {
+            self.counters.injector_pops.fetch_add(1, Ordering::Relaxed);
+            return Some(word);
+        }
+        let n = self.deques.len();
+        for offset in 1..n {
+            let victim = (me + offset) % n;
+            loop {
+                match self.deques[victim].steal() {
+                    Steal::Success(word) => {
+                        self.counters.steals.fetch_add(1, Ordering::Relaxed);
+                        board().add_sched_steals(1);
+                        return Some(word);
+                    }
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
+            }
+        }
+        None
+    }
+
+    /// Run one job to completion (or abandonment) with panic isolation.
+    fn execute(&self, word: Word) {
+        // SAFETY: job words only exist in the deques/injector while their
+        // `BatchShared` frame is alive inside `Pool::run`, which cannot
+        // return before this job decrements `remaining`.
+        let batch = unsafe { &*(word.0 as *const BatchShared) };
+        let index = word.1 as usize;
+        let depth = EXEC_DEPTH.with(Cell::get);
+        EXEC_DEPTH.with(|d| d.set(depth + 1));
+        let mut attempt: u32 = 0;
+        loop {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                rtr_trace::failpoint::panic_if(
+                    "sched.job",
+                    batch.fail_key ^ (((index as u64) << 8) | u64::from(attempt)),
+                );
+                // SAFETY: see `call_closure`.
+                unsafe { (batch.call)(batch.data, index) };
+            }));
+            match outcome {
+                Ok(()) => break,
+                Err(_) => {
+                    let mut account =
+                        batch.account.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    account.panics_caught += 1;
+                    if attempt >= SCHED_RETRY_LIMIT {
+                        account.lost.push(index);
+                        drop(account);
+                        self.counters.lost_jobs.fetch_add(1, Ordering::Relaxed);
+                        board().add_sched_lost_jobs(1);
+                        break;
+                    }
+                    account.jobs_retried += 1;
+                    attempt += 1;
+                }
+            }
+        }
+        EXEC_DEPTH.with(|d| d.set(depth));
+        self.counters.jobs.fetch_add(1, Ordering::Relaxed);
+        board().add_sched_jobs(1);
+        // Last touch of `batch`: after this decrement the submitter may
+        // return and pop the frame.
+        if batch.remaining.fetch_sub(1, Ordering::Release) == 1 {
+            self.park_cv.notify_all();
+        }
+    }
+
+    fn park(&self) {
+        self.counters.idle_parks.fetch_add(1, Ordering::Relaxed);
+        board().add_sched_idle_parks(1);
+        let guard = self.park_lock.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Timed wait: spurious wakeups and missed notifies both resolve
+        // to a rescan, so no wakeup bookkeeping can livelock.
+        let _ = self.park_cv.wait_timeout(guard, PARK_TIMEOUT);
+    }
+
+    fn worker_loop(&self, ordinal: usize) {
+        let _current = CurrentGuard::set(self, ordinal);
+        board().worker_started();
+        loop {
+            if let Some(word) = self.find_job(ordinal) {
+                self.execute(word);
+            } else if self.shutdown.load(Ordering::Acquire) {
+                break;
+            } else {
+                self.park();
+            }
+        }
+        board().worker_stopped();
+    }
+
+    /// Emit the final `sched.*` telemetry for this pool's lifetime.
+    /// Deterministic totals (at a fixed thread count) go out as counters;
+    /// scheduling-dependent ones as gauges. Trace consumers comparing
+    /// streams across thread counts must strip `sched.*` events — the
+    /// schedule is exactly what these measure.
+    fn emit_telemetry(&self) {
+        if !rtr_trace::enabled() {
+            return;
+        }
+        let stats = self.stats();
+        rtr_trace::counter("sched.jobs", stats.jobs);
+        rtr_trace::counter("sched.batches", stats.batches);
+        rtr_trace::counter("sched.nested_batches", stats.nested_batches);
+        rtr_trace::counter("sched.lost_jobs", stats.lost_jobs);
+        rtr_trace::gauge("sched.threads", stats.threads as f64);
+        rtr_trace::gauge("sched.steals", stats.steals as f64);
+        rtr_trace::gauge("sched.local_pops", stats.local_pops as f64);
+        rtr_trace::gauge("sched.injector_pops", stats.injector_pops as f64);
+        rtr_trace::gauge("sched.idle_parks", stats.idle_parks as f64);
+        rtr_trace::gauge("sched.max_queue_depth", stats.max_queue_depth as f64);
+    }
+}
+
+/// RAII for the thread-local participant registration.
+struct CurrentGuard {
+    previous: (*const Pool, usize),
+}
+
+impl CurrentGuard {
+    fn set(pool: &Pool, ordinal: usize) -> CurrentGuard {
+        let previous = CURRENT.with(|c| c.replace((pool as *const Pool, ordinal)));
+        CurrentGuard { previous }
+    }
+}
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.previous));
+    }
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,293 @@
+//! Scheduler unit/property tests: deque linearizability under seeded
+//! interleavings, an exhaustive sequential mini-model, and the pool-level
+//! merge-discipline and isolation properties the solver layers rely on.
+
+use super::deque::{Deque, Steal};
+use super::{BatchReport, Pool, SCHED_RETRY_LIMIT};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// SplitMix64: the same tiny deterministic generator the failpoint
+/// registry and the determinism suites use for seeded schedules.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// Exhaustive sequential model check: every push/pop string up to length
+/// 12 against a reference `VecDeque`, including wrap-around on a deque
+/// whose capacity (4) is smaller than the op count. With no concurrency
+/// the deque must be *exactly* a bounded LIFO stack.
+#[test]
+fn deque_matches_reference_stack_exhaustively() {
+    const OPS: u32 = 12;
+    for word in 0u32..(1 << OPS) {
+        let deque = Deque::new(4);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        let mut next_value = 1u64;
+        for bit in 0..OPS {
+            if (word >> bit) & 1 == 0 {
+                // Push; the model refuses beyond capacity like the deque.
+                let pushed = deque.push((next_value, next_value)).is_ok();
+                assert_eq!(pushed, model.len() < 4, "op string {word:#b} bit {bit}");
+                if pushed {
+                    model.push_back(next_value);
+                    next_value += 1;
+                }
+            } else {
+                let got = deque.pop().map(|(a, b)| {
+                    assert_eq!(a, b, "torn pair in sequential use");
+                    a
+                });
+                assert_eq!(got, model.pop_back(), "op string {word:#b} bit {bit}");
+            }
+        }
+        assert_eq!(deque.len_estimate(), model.len());
+    }
+}
+
+/// Owner-side steal interleaved with pops, still sequential: stealing
+/// takes the *oldest* element, popping the newest, and they never
+/// duplicate or drop one.
+#[test]
+fn deque_steal_takes_oldest_pop_takes_newest() {
+    let deque = Deque::new(8);
+    for v in 1..=5u64 {
+        assert!(deque.push((v, v)).is_ok());
+    }
+    assert!(matches!(deque.steal(), Steal::Success((1, 1))));
+    assert_eq!(deque.pop(), Some((5, 5)));
+    assert!(matches!(deque.steal(), Steal::Success((2, 2))));
+    assert_eq!(deque.pop(), Some((4, 4)));
+    assert_eq!(deque.pop(), Some((3, 3)));
+    assert_eq!(deque.pop(), None);
+    assert!(matches!(deque.steal(), Steal::Empty));
+}
+
+/// Concurrent linearizability under seeded SplitMix64 interleavings: one
+/// owner pushes a known value set while popping at seeded intervals;
+/// thief threads steal with seeded backoff. Every pushed value must be
+/// consumed exactly once (no loss, no duplication, no torn pairs), across
+/// many seeds so the realized interleavings vary.
+#[test]
+fn deque_linearizable_under_seeded_interleavings() {
+    const VALUES: u64 = 2_000;
+    const THIEVES: usize = 3;
+    for seed in 1..=8u64 {
+        let deque = Deque::new(64);
+        let consumed: Vec<AtomicU64> = (0..VALUES).map(|_| AtomicU64::new(0)).collect();
+        let done = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for thief in 0..THIEVES {
+                let deque = &deque;
+                let consumed = &consumed;
+                let done = &done;
+                let mut rng = SplitMix64(seed ^ ((thief as u64 + 1) << 32));
+                scope.spawn(move || loop {
+                    match deque.steal() {
+                        Steal::Success((a, b)) => {
+                            assert_eq!(a, b, "torn steal (seed {seed})");
+                            consumed[a as usize].fetch_add(1, Ordering::Relaxed);
+                        }
+                        Steal::Retry => {}
+                        Steal::Empty => {
+                            if done.load(Ordering::Acquire) == 1 {
+                                // One final sweep after the owner finished.
+                                while let Steal::Success((a, b)) = deque.steal() {
+                                    assert_eq!(a, b);
+                                    consumed[a as usize].fetch_add(1, Ordering::Relaxed);
+                                }
+                                break;
+                            }
+                            if rng.next().is_multiple_of(7) {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                });
+            }
+            // Owner: seeded mix of pushes and pops.
+            let mut rng = SplitMix64(seed);
+            let mut next = 0u64;
+            while next < VALUES {
+                if deque.push((next, next)).is_ok() {
+                    next += 1;
+                } else {
+                    std::thread::yield_now();
+                }
+                if rng.next().is_multiple_of(3) {
+                    if let Some((a, b)) = deque.pop() {
+                        assert_eq!(a, b, "torn pop (seed {seed})");
+                        consumed[a as usize].fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            }
+            // Drain what the thieves do not get to first.
+            while let Some((a, b)) = deque.pop() {
+                assert_eq!(a, b);
+                consumed[a as usize].fetch_add(1, Ordering::Relaxed);
+            }
+            done.store(1, Ordering::Release);
+        });
+        for (value, count) in consumed.iter().enumerate() {
+            assert_eq!(
+                count.load(Ordering::Relaxed),
+                1,
+                "value {value} consumed wrong number of times (seed {seed})"
+            );
+        }
+    }
+}
+
+/// Merge-discipline ordering property: whatever order the pool executes a
+/// batch in, per-index result slots merged in ascending index order give
+/// the sequential answer. The job bodies record their execution order so
+/// the test can also confirm the schedule was *not* (necessarily) the
+/// merge order — the discipline, not the scheduler, carries determinism.
+#[test]
+fn ascending_merge_is_schedule_independent() {
+    const JOBS: usize = 200;
+    let sequential: Vec<u64> = (0..JOBS as u64).map(|i| i.wrapping_mul(i) ^ 0xabc).collect();
+    for threads in [1usize, 2, 4, 8] {
+        let slots: Vec<AtomicU64> = (0..JOBS).map(|_| AtomicU64::new(u64::MAX)).collect();
+        let order: Mutex<Vec<usize>> = Mutex::new(Vec::new());
+        let report = Pool::scoped(threads, |pool| {
+            pool.run(JOBS, 0, |i| {
+                order.lock().unwrap().push(i);
+                slots[i].store((i as u64).wrapping_mul(i as u64) ^ 0xabc, Ordering::Relaxed);
+            })
+        });
+        assert!(report.is_clean());
+        let merged: Vec<u64> = slots.iter().map(|s| s.load(Ordering::Relaxed)).collect();
+        assert_eq!(merged, sequential, "{threads} threads");
+        let order = order.into_inner().unwrap();
+        assert_eq!(order.len(), JOBS, "every job ran exactly once at {threads} threads");
+        if threads == 1 {
+            // Single participant: reverse-push + LIFO pop is ascending.
+            assert_eq!(order, (0..JOBS).collect::<Vec<_>>());
+        }
+    }
+}
+
+/// Panic isolation: a job that always panics is retried
+/// `SCHED_RETRY_LIMIT` times then reported lost; the rest of the batch
+/// completes, and the report is identical at every thread count.
+#[test]
+fn poisoned_job_is_retried_then_lost_deterministically() {
+    const JOBS: usize = 40;
+    const POISON: usize = 17;
+    let mut reports: Vec<BatchReport> = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let done = AtomicUsize::new(0);
+        let report = Pool::scoped(threads, |pool| {
+            pool.run(JOBS, 0, |i| {
+                if i == POISON {
+                    panic!("poisoned job");
+                }
+                done.fetch_add(1, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(done.load(Ordering::Relaxed), JOBS - 1, "{threads} threads");
+        assert_eq!(report.lost, vec![POISON]);
+        assert_eq!(report.panics_caught, u64::from(SCHED_RETRY_LIMIT) + 1);
+        assert_eq!(report.jobs_retried, u64::from(SCHED_RETRY_LIMIT));
+        reports.push(report);
+    }
+    for r in &reports[1..] {
+        assert_eq!(r.lost, reports[0].lost);
+        assert_eq!(r.panics_caught, reports[0].panics_caught);
+    }
+}
+
+/// Nested batches share the ambient pool: a job submits a sub-batch via
+/// `Pool::with`, which must not spawn threads, and idle workers steal the
+/// nested jobs from the submitter's deque. Nested job 0 plays a "stalled
+/// subtree": its executor (always the nested submitter — LIFO pops take
+/// index 0 first, thieves take the highest index) refuses to finish until
+/// some *other* nested job has completed, and the only way another nested
+/// job can run — even on a single hardware core — is for an idle worker
+/// to steal it. So `steals > 0` is a structural guarantee, not a timing
+/// accident.
+#[test]
+fn nested_batches_reuse_pool_and_get_stolen() {
+    let nested_sum = AtomicU64::new(0);
+    let nested_done = AtomicU64::new(0);
+    let stats = Pool::scoped(4, |pool| {
+        let report = pool.run(6, 0, |i| {
+            if i == 0 {
+                // The "stalled window": fans out its own sub-batch.
+                Pool::with(99, |inner| {
+                    assert_eq!(inner.threads(), 4, "nested Pool::with must reuse the pool");
+                    let sub = inner.run(32, 1, |j| {
+                        if j == 0 {
+                            while nested_done.load(Ordering::Acquire) == 0 {
+                                std::thread::yield_now();
+                            }
+                        } else {
+                            nested_done.fetch_add(1, Ordering::Release);
+                        }
+                        nested_sum.fetch_add(j as u64 + 1, Ordering::Relaxed);
+                    });
+                    assert!(sub.is_clean());
+                });
+            } else {
+                nested_sum.fetch_add(1_000, Ordering::Relaxed);
+            }
+        });
+        assert!(report.is_clean());
+        pool.stats()
+    });
+    assert_eq!(nested_sum.load(Ordering::Relaxed), 5_000 + (32 * 33) / 2);
+    assert_eq!(stats.jobs, 6 + 32);
+    assert_eq!(stats.batches, 2);
+    assert_eq!(stats.nested_batches, 1);
+    assert!(stats.steals > 0, "workers never stole the stalled submitter's nested jobs");
+}
+
+/// A non-participant thread holding a `&Pool` falls back to inline
+/// sequential execution instead of deadlocking or corrupting queues.
+#[test]
+fn non_participant_submission_runs_inline() {
+    let order = Mutex::new(Vec::new());
+    Pool::scoped(2, |pool| {
+        std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let report = pool.run(5, 0, |i| order.lock().unwrap().push(i));
+                    assert!(report.is_clean());
+                })
+                .join()
+                .unwrap();
+        });
+    });
+    assert_eq!(order.into_inner().unwrap(), vec![0, 1, 2, 3, 4]);
+}
+
+/// Oversubscription smoke: many more participants than cores, nested
+/// batches, and tiny jobs — the timed-park design must neither deadlock
+/// nor livelock. (CI runs the full determinism suite at `--threads 8` on
+/// a 1-CPU runner; this is the in-crate fast check.)
+#[test]
+fn oversubscribed_pool_drains_nested_batches() {
+    let total = AtomicU64::new(0);
+    Pool::scoped(8, |pool| {
+        let report = pool.run(16, 0, |_| {
+            Pool::with(8, |inner| {
+                let sub = inner.run(8, 2, |_| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(sub.is_clean());
+            });
+        });
+        assert!(report.is_clean());
+    });
+    assert_eq!(total.load(Ordering::Relaxed), 16 * 8);
+}

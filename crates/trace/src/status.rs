@@ -51,6 +51,14 @@ pub struct StatusBoard {
     checkpoint_last_us: AtomicU64,
     jobs_claimed: AtomicU64,
     workers_active: AtomicU64,
+    sched_jobs: AtomicU64,
+    sched_batches: AtomicU64,
+    sched_nested_batches: AtomicU64,
+    sched_lost_jobs: AtomicU64,
+    sched_local_pops: AtomicU64,
+    sched_steals: AtomicU64,
+    sched_idle_parks: AtomicU64,
+    sched_queue_depth_max: AtomicU64,
 }
 
 impl StatusBoard {
@@ -70,6 +78,14 @@ impl StatusBoard {
             checkpoint_last_us: AtomicU64::new(u64::MAX),
             jobs_claimed: AtomicU64::new(0),
             workers_active: AtomicU64::new(0),
+            sched_jobs: AtomicU64::new(0),
+            sched_batches: AtomicU64::new(0),
+            sched_nested_batches: AtomicU64::new(0),
+            sched_lost_jobs: AtomicU64::new(0),
+            sched_local_pops: AtomicU64::new(0),
+            sched_steals: AtomicU64::new(0),
+            sched_idle_parks: AtomicU64::new(0),
+            sched_queue_depth_max: AtomicU64::new(0),
         }
     }
 
@@ -137,6 +153,47 @@ impl StatusBoard {
         self.workers_active.fetch_sub(1, Ordering::Relaxed);
     }
 
+    /// Adds scheduler jobs executed to completion (or abandonment).
+    pub fn add_sched_jobs(&self, n: u64) {
+        self.sched_jobs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds scheduler batches submitted.
+    pub fn add_sched_batches(&self, n: u64) {
+        self.sched_batches.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds batches submitted from inside another job (nested
+    /// parallelism sharing the global budget).
+    pub fn add_sched_nested_batches(&self, n: u64) {
+        self.sched_nested_batches.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds jobs abandoned after the scheduler's retry limit.
+    pub fn add_sched_lost_jobs(&self, n: u64) {
+        self.sched_lost_jobs.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds jobs a participant popped from its own deque.
+    pub fn add_sched_local_pops(&self, n: u64) {
+        self.sched_local_pops.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds jobs claimed from another participant's deque.
+    pub fn add_sched_steals(&self, n: u64) {
+        self.sched_steals.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds timed idle parks.
+    pub fn add_sched_idle_parks(&self, n: u64) {
+        self.sched_idle_parks.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raises the high-water mark of observed scheduler queue depth.
+    pub fn max_sched_queue_depth(&self, depth: u64) {
+        self.sched_queue_depth_max.fetch_max(depth, Ordering::Relaxed);
+    }
+
     /// Reads every counter (independently; not a consistent cut).
     pub fn snapshot(&self) -> StatusSnapshot {
         let incumbent = self.incumbent_bits.load(Ordering::Relaxed);
@@ -158,6 +215,14 @@ impl StatusBoard {
             checkpoint_age_us: (last_ck != u64::MAX).then(|| now.saturating_sub(last_ck)),
             jobs_claimed: self.jobs_claimed.load(Ordering::Relaxed),
             workers_active: self.workers_active.load(Ordering::Relaxed),
+            sched_jobs: self.sched_jobs.load(Ordering::Relaxed),
+            sched_batches: self.sched_batches.load(Ordering::Relaxed),
+            sched_nested_batches: self.sched_nested_batches.load(Ordering::Relaxed),
+            sched_lost_jobs: self.sched_lost_jobs.load(Ordering::Relaxed),
+            sched_local_pops: self.sched_local_pops.load(Ordering::Relaxed),
+            sched_steals: self.sched_steals.load(Ordering::Relaxed),
+            sched_idle_parks: self.sched_idle_parks.load(Ordering::Relaxed),
+            sched_queue_depth_max: self.sched_queue_depth_max.load(Ordering::Relaxed),
         }
     }
 
@@ -178,6 +243,14 @@ impl StatusBoard {
         self.checkpoint_last_us.store(u64::MAX, Ordering::Relaxed);
         self.jobs_claimed.store(0, Ordering::Relaxed);
         self.workers_active.store(0, Ordering::Relaxed);
+        self.sched_jobs.store(0, Ordering::Relaxed);
+        self.sched_batches.store(0, Ordering::Relaxed);
+        self.sched_nested_batches.store(0, Ordering::Relaxed);
+        self.sched_lost_jobs.store(0, Ordering::Relaxed);
+        self.sched_local_pops.store(0, Ordering::Relaxed);
+        self.sched_steals.store(0, Ordering::Relaxed);
+        self.sched_idle_parks.store(0, Ordering::Relaxed);
+        self.sched_queue_depth_max.store(0, Ordering::Relaxed);
     }
 }
 
@@ -232,6 +305,22 @@ pub struct StatusSnapshot {
     pub jobs_claimed: u64,
     /// Worker threads currently inside a solve.
     pub workers_active: u64,
+    /// Scheduler jobs executed (all batch kinds).
+    pub sched_jobs: u64,
+    /// Scheduler batches submitted.
+    pub sched_batches: u64,
+    /// Batches submitted from inside another job.
+    pub sched_nested_batches: u64,
+    /// Jobs abandoned after the scheduler's retry limit.
+    pub sched_lost_jobs: u64,
+    /// Jobs popped from the executing participant's own deque.
+    pub sched_local_pops: u64,
+    /// Jobs stolen from another participant's deque.
+    pub sched_steals: u64,
+    /// Timed idle parks.
+    pub sched_idle_parks: u64,
+    /// High-water mark of observed single-deque depth.
+    pub sched_queue_depth_max: u64,
 }
 
 impl StatusSnapshot {
@@ -285,6 +374,14 @@ impl StatusSnapshot {
         field(&mut out, "checkpoint_age_us", age);
         field(&mut out, "jobs_claimed", self.jobs_claimed.to_string());
         field(&mut out, "workers_active", self.workers_active.to_string());
+        field(&mut out, "sched_jobs", self.sched_jobs.to_string());
+        field(&mut out, "sched_batches", self.sched_batches.to_string());
+        field(&mut out, "sched_nested_batches", self.sched_nested_batches.to_string());
+        field(&mut out, "sched_lost_jobs", self.sched_lost_jobs.to_string());
+        field(&mut out, "sched_local_pops", self.sched_local_pops.to_string());
+        field(&mut out, "sched_steals", self.sched_steals.to_string());
+        field(&mut out, "sched_idle_parks", self.sched_idle_parks.to_string());
+        field(&mut out, "sched_queue_depth_max", self.sched_queue_depth_max.to_string());
         out.push('}');
         out
     }
@@ -470,7 +567,21 @@ mod tests {
             "incumbent must stay a float: {line}"
         );
         assert!(matches!(get("checkpoint_age_us"), Some(crate::JsonValue::Null)), "{line}");
-        for key in ["ts_us", "windows_done", "lp_pivots", "jobs_claimed", "workers_active"] {
+        for key in [
+            "ts_us",
+            "windows_done",
+            "lp_pivots",
+            "jobs_claimed",
+            "workers_active",
+            "sched_jobs",
+            "sched_batches",
+            "sched_nested_batches",
+            "sched_lost_jobs",
+            "sched_local_pops",
+            "sched_steals",
+            "sched_idle_parks",
+            "sched_queue_depth_max",
+        ] {
             assert!(get(key).is_some(), "missing {key}: {line}");
         }
     }

@@ -52,9 +52,10 @@ OPTIONS (partition / bounds / simulate):
                           one; makes runs machine-independent and byte-
                           reproducible (used by checkpoint/resume tests)
     --threads <n>         worker threads; 0 = auto (RTR_THREADS env var, else
-                          CPU count) [default: 1]. Parallelizes both the
-                          relaxation phase and each window's structured
-                          search; results are identical at any count
+                          CPU count) [default: 1]. One global work-stealing
+                          pool schedules candidate windows and each window's
+                          structured subtrees under a single thread budget;
+                          results are identical at any count
     --csv <file>          write the refinement log as CSV (timing-free; byte-
                           identical across runs and thread counts)
     --timed-csv <file>    refinement log CSV with wall-clock columns
@@ -335,9 +336,10 @@ fn partition_body(opts: &Options, simulate: bool) -> Result<(), String> {
     }
 
     let threads: usize = opts.parsed("--threads", 1)?;
-    // `--threads` drives both layers: candidate windows fan out via
-    // `explore_parallel`, and each structured window solve splits its
-    // assignment tree across the same number of workers.
+    // `--threads` is the single global budget: one work-stealing pool
+    // schedules phase-2 candidate windows *and* every window's structured
+    // subtree jobs, so a stalled window's idle workers migrate to other
+    // candidates instead of sitting on a static per-layer split.
     params.solver_threads = threads;
     let partitioner = TemporalPartitioner::new(&graph, &arch, params)
         .map_err(|e| format!("partitioner rejected the instance: {e}"))?;
