@@ -7,18 +7,142 @@
 //! wall-clock budget and report what it produced.
 //!
 //! `cargo run --release -p rtr-bench --bin runtime_comparison` runs the
-//! committed deterministic node-budget mode; pass `--deadline` to restore
-//! the historical 5 s wall-clock per-solve deadlines (faster on slow
-//! hosts, but the solve traces then depend on machine speed).
+//! committed deterministic-budget mode (structured windows under node
+//! budgets, exact-engine runs under pivot budgets); pass `--deadline` to
+//! restore the historical wall-clock per-solve deadlines (whose solve
+//! traces depend on machine speed).
 
 use rtr_bench::{BenchRun, DctExperiment};
 use rtr_core::model::{IlpModel, ModelOptions};
 use rtr_core::structured::StructuredSolver;
-use rtr_core::{SearchGoal, TemporalPartitioner};
-use rtr_graph::Latency;
+use rtr_core::{Architecture, Exploration, IterationResult, SearchGoal, TemporalPartitioner};
+use rtr_graph::{Latency, TaskGraph};
 use rtr_milp::{solve_mip, solve_mip_warm, SolveOptions, Status};
 use rtr_workloads::dct::{dct_4x4, dct_nxn};
 use std::time::Instant;
+
+/// The window-proof model options: same shape as the milp backend's
+/// default (`minimize_latency` on so `Status::Optimal` means a proven
+/// latency optimum, the redundant `d_min` cut off).
+fn proof_options() -> ModelOptions {
+    ModelOptions { minimize_latency: true, include_dmin_cut: false, ..Default::default() }
+}
+
+/// Deterministic pivot budget for each full-size exact-engine run, per
+/// device. Pivots — not nodes — are what bound MILP effort here: one
+/// N = 10 node LP on the R_max = 576 device costs tens of thousands of
+/// pivots (each ~10x pricier than on the half-size R_max = 1024 models),
+/// so a node budget alone leaves the wall clock unbounded. The R_max =
+/// 1024 budget is sized past the pivot at which the search finds its
+/// first incumbent; the R_max = 576 budget documents how far the same
+/// engine gets on a model whose *root relaxation alone* costs more than
+/// the whole R_max = 1024 tree. Like every committed-mode budget they
+/// are machine-independent, so the recorded counters are bit-identical
+/// everywhere.
+fn ilp_pivot_budget(r_max: u64) -> usize {
+    if r_max == 576 {
+        30_000
+    } else {
+        400_000
+    }
+}
+
+/// Deterministic pivot budget for each *window audit* solve. Smaller than
+/// the full-size budgets: the audit faces every undecided window (17 on
+/// the R_max = 576 device), so its per-window rope is what keeps the
+/// committed bench run in the minutes.
+fn audit_pivot_budget(r_max: u64) -> usize {
+    if r_max == 576 {
+        8_000
+    } else {
+        60_000
+    }
+}
+
+/// Audits every window the structured budget left undecided
+/// (`IterationResult::LimitReached`), in two stages. Stage 1 is witness
+/// propagation: a feasible assignment recorded by *any other* window of
+/// the same exploration already decides an undecided window when it fits
+/// the partition cap (`eta <= N`) and the latency window (`D_a <=
+/// d_max`) — the subdivision solves every window from scratch, so a
+/// later iteration's solution can retroactively witness an earlier
+/// window the per-window node budget gave up on. Stage 2 attacks the
+/// rest with the exact MILP engine — cutting planes, devex pricing,
+/// pseudo-cost branching — under the deterministic per-device
+/// [`audit_pivot_budget`]. Decided verdicts are patched into a copy of
+/// the exploration (so the recorded `limit_windows` counts only what no
+/// engine could decide), per-window `witnessed` or
+/// `ilp.gap_ppm`/`ilp.nodes` columns and the `ilp_proved_windows`
+/// counter are recorded, and the patched exploration is returned.
+fn audit_limit_windows(
+    graph: &TaskGraph,
+    arch: &Architecture,
+    ex: &Exploration,
+    prefix: &str,
+    pivot_budget: usize,
+    bench: &mut BenchRun,
+) -> Exploration {
+    let options = proof_options();
+    let solve = SolveOptions::optimal().with_pivot_limit(pivot_budget);
+    let witnesses: Vec<(Latency, u32)> = ex
+        .records
+        .iter()
+        .filter_map(|r| match r.result {
+            IterationResult::Feasible { latency, eta } => Some((latency, eta)),
+            _ => None,
+        })
+        .collect();
+    let mut audited = ex.clone();
+    let mut proved = 0u64;
+    for r in &mut audited.records {
+        if !matches!(r.result, IterationResult::LimitReached) {
+            continue;
+        }
+        let wkey = format!("{prefix}window_n{}_i{}.", r.n, r.iteration);
+        if let Some(&(latency, eta)) =
+            witnesses.iter().find(|&&(l, e)| e <= r.n && l.as_ns() <= r.d_max.as_ns())
+        {
+            r.result = IterationResult::Feasible { latency, eta };
+            proved += 1;
+            bench.counter(format!("{wkey}witnessed"), 1);
+            println!(
+                "  audit of limit window N = {} I = {}: witnessed feasible by the \
+                 exploration's own D_a = {:.0} ns, η = {eta} solution",
+                r.n,
+                r.iteration,
+                latency.as_ns()
+            );
+            continue;
+        }
+        let ilp = IlpModel::build(graph, arch, r.n, r.d_max, r.d_min, &options)
+            .expect("table windows stay under the path limits");
+        let out = ilp.model().solve(&solve).expect("window model solves");
+        bench.counter(format!("{wkey}ilp.gap_ppm"), out.stats.gap_ppm as u64);
+        bench.counter(format!("{wkey}ilp.nodes"), out.stats.nodes as u64);
+        let verdict = match (out.status, &out.solution) {
+            (Status::Optimal | Status::Feasible, Some(sol)) => {
+                let decoded = ilp.decode(sol).compacted(r.n);
+                let latency = decoded.total_latency(graph, arch);
+                let eta = decoded.partitions_used();
+                r.result = IterationResult::Feasible { latency, eta };
+                proved += 1;
+                format!("feasible, D_a = {:.0} ns over η = {eta}", latency.as_ns())
+            }
+            (Status::Infeasible, _) => {
+                r.result = IterationResult::Infeasible;
+                proved += 1;
+                "proved infeasible".to_owned()
+            }
+            _ => format!("still undecided (gap {} ppm)", out.stats.gap_ppm),
+        };
+        println!(
+            "  ILP audit of limit window N = {} I = {}: {} ({} nodes, {} cuts)",
+            r.n, r.iteration, verdict, out.stats.nodes, out.stats.cuts_generated
+        );
+    }
+    bench.counter(format!("{prefix}ilp_proved_windows"), proved);
+    audited
+}
 
 fn main() {
     let deadline_mode = std::env::args().skip(1).any(|a| a == "--deadline");
@@ -33,7 +157,7 @@ fn main() {
         if deadline_mode {
             "--deadline (5 s wall-clock per solve)"
         } else {
-            "deterministic node budgets"
+            "deterministic node/pivot budgets"
         },
         if cpus == 1 { "" } else { "s" },
     );
@@ -59,7 +183,18 @@ fn main() {
             // machine speed: tag them so rtr-bench-diff skips them.
             bench.record_exploration_deadline(&prefix, &exploration);
         } else {
-            bench.record_exploration(&prefix, &exploration);
+            // Deterministic mode: give the exact engine a shot at every
+            // window the structured budget could not decide before the
+            // window summary is recorded.
+            let audited = audit_limit_windows(
+                &graph,
+                &arch,
+                &exploration,
+                &prefix,
+                audit_pivot_budget(exp.r_max),
+                &mut bench,
+            );
+            bench.record_exploration(&prefix, &audited);
         }
         bench.metric(format!("{prefix}iterative_ms"), iterative_time.as_secs_f64() * 1e3);
 
@@ -143,20 +278,31 @@ fn main() {
             bench.counter(format!("{prefix}search_sched4_speedup_suppressed_1cpu"), 1);
         }
 
-        // Optimality run on the faithful ILP with the same budget.
+        // Optimality run on the faithful ILP with the same budget: the
+        // deterministic mode matches the structured windows' 40 M-node
+        // budget; `--deadline` restores the historical "same wall-clock as
+        // the iterative procedure" handicap, whose outcome depends on
+        // machine speed and is therefore tagged for the diff gate.
         let n = exploration.best.as_ref().expect("feasible").partitions_used();
         let d_max = rtr_core::max_latency(&graph, &arch, n);
-        let options =
-            ModelOptions { minimize_latency: true, include_dmin_cut: false, ..Default::default() };
+        let options = proof_options();
         let ilp = IlpModel::build(&graph, &arch, n, d_max, Latency::ZERO, &options)
             .expect("model builds");
+        let (solve, tag, budget_text) = if deadline_mode {
+            (
+                SolveOptions::optimal().with_time_limit(iterative_time),
+                "_deadline_dependent",
+                format!("{iterative_time:.2?}"),
+            )
+        } else {
+            let pivots = ilp_pivot_budget(exp.r_max);
+            (SolveOptions::optimal().with_pivot_limit(pivots), "", format!("{pivots} pivots"))
+        };
         println!(
-            "  ILP-to-optimality at N = {n}: {} variables, {} constraints, budget {:.2?}",
+            "  ILP-to-optimality at N = {n}: {} variables, {} constraints, budget {budget_text}",
             ilp.model().var_count(),
             ilp.model().constraint_count(),
-            iterative_time
         );
-        let solve = SolveOptions::optimal().with_time_limit(iterative_time);
         match ilp.model().solve(&solve) {
             Ok(out) => {
                 let verdict = match out.status {
@@ -167,14 +313,44 @@ fn main() {
                     Status::Unbounded => "claims unbounded",
                 };
                 println!(
-                    "  -> {} ({} nodes, {} simplex iterations)\n",
-                    verdict, out.stats.nodes, out.stats.simplex_iterations
+                    "  -> {} ({} nodes, {} simplex iterations, {} cuts, gap {} ppm)\n",
+                    verdict,
+                    out.stats.nodes,
+                    out.stats.simplex_iterations,
+                    out.stats.cuts_generated,
+                    out.stats.gap_ppm
                 );
-                bench.counter(format!("{prefix}ilp.nodes"), out.stats.nodes as u64);
-                bench.counter(format!("{prefix}ilp.pivots"), out.stats.simplex_iterations as u64);
+                bench.counter(format!("{prefix}ilp.nodes{tag}"), out.stats.nodes as u64);
                 bench.counter(
-                    format!("{prefix}ilp.found_feasible"),
+                    format!("{prefix}ilp.pivots{tag}"),
+                    out.stats.simplex_iterations as u64,
+                );
+                bench.counter(
+                    format!("{prefix}ilp.found_feasible{tag}"),
                     u64::from(out.status.has_solution()),
+                );
+                bench.counter(format!("{prefix}ilp.gap_ppm{tag}"), out.stats.gap_ppm as u64);
+                bench.counter(
+                    format!("{prefix}ilp.cuts_generated{tag}"),
+                    out.stats.cuts_generated as u64,
+                );
+                bench
+                    .counter(format!("{prefix}ilp.cuts_active{tag}"), out.stats.cuts_active as u64);
+                bench.counter(
+                    format!("{prefix}ilp.gomory_rounds{tag}"),
+                    out.stats.gomory_rounds as u64,
+                );
+                bench.counter(
+                    format!("{prefix}ilp.lp.devex_resets{tag}"),
+                    out.stats.devex_resets as u64,
+                );
+                bench.counter(
+                    format!("{prefix}ilp.pseudo_cost_branches{tag}"),
+                    out.stats.pseudo_cost_branches as u64,
+                );
+                bench.counter(
+                    format!("{prefix}ilp.strong_branch_evals{tag}"),
+                    out.stats.strong_branch_evals as u64,
                 );
             }
             Err(e) => println!("  -> solver error: {e}\n"),
@@ -326,6 +502,10 @@ fn main() {
     bench.counter("resilience.checkpoint_failures", d.checkpoint_failures);
     assert!(d.is_clean(), "clean bench run reported degradation: {}", d.render());
 
-    println!("paper's claim reproduced if the ILP optimality runs report no feasible solution.");
+    println!(
+        "paper's §4 claim is about matched run time: reproduce it with --deadline (the exact \
+         engine finds nothing in the iterative wall clock). The committed pivot budgets are \
+         deliberately larger, so an incumbent under them does not contradict it."
+    );
     bench.write_and_report();
 }

@@ -1,12 +1,27 @@
-//! Branch and bound over the LP relaxation.
+//! Branch and bound over the LP relaxation, with root cutting planes and
+//! reliability-initialized pseudo-cost branching.
 
+use crate::cuts::CutPool;
 use crate::error::MilpError;
 use crate::model::{effective_bounds, Model, Sense, VarKind};
-use crate::simplex::{resolve_lp_with_deadline, solve_lp_with_deadline, Basis, LpStatus};
+use crate::simplex::{resolve_lp_priced, solve_lp_priced, Basis, LpStatus};
 use crate::solution::{Goal, Outcome, Solution, SolveOptions, SolveStats, Status};
 use rtr_trace::Instrument as _;
 use std::rc::Rc;
 use std::time::Instant;
+
+/// Maximum root cut-separation rounds.
+const MAX_CUT_ROUNDS: usize = 5;
+/// A variable's pseudo-cost direction is *reliable* once it has this many
+/// recorded observations; unreliable candidates get strong-branched first.
+const RELIABILITY: u32 = 4;
+/// Strong-branch at most this many candidates per node.
+const STRONG_BRANCH_CANDS: usize = 8;
+/// Simplex iteration cap for each strong-branch child LP.
+const STRONG_BRANCH_ITERS: usize = 100;
+/// Floor for pseudo-cost scores in the product rule, so a zero-degradation
+/// direction never wipes out the other direction's signal.
+const PC_EPS: f64 = 1e-6;
 
 /// Solves a mixed-integer model by branch and bound.
 ///
@@ -90,6 +105,53 @@ pub fn solve_mip_warm(
 struct Node {
     bounds: Vec<(f64, f64)>,
     parent_basis: Option<Rc<Basis>>,
+    /// Parent LP objective in minimization terms — this node's dual bound.
+    bound: f64,
+    /// `(variable, fractional distance to the branched bound, went up)` of
+    /// the branching that created this node; feeds pseudo-cost updates.
+    branch: Option<(usize, f64, bool)>,
+}
+
+/// Per-variable pseudo-costs: average objective degradation per unit of
+/// fractional distance, kept separately for the up and down directions and
+/// keyed by variable index (deterministic across runs by construction).
+struct PseudoCosts {
+    down_sum: Vec<f64>,
+    down_n: Vec<u32>,
+    up_sum: Vec<f64>,
+    up_n: Vec<u32>,
+}
+
+impl PseudoCosts {
+    fn new(n: usize) -> Self {
+        PseudoCosts {
+            down_sum: vec![0.0; n],
+            down_n: vec![0; n],
+            up_sum: vec![0.0; n],
+            up_n: vec![0; n],
+        }
+    }
+
+    fn record(&mut self, j: usize, up: bool, per_unit: f64) {
+        if up {
+            self.up_sum[j] += per_unit;
+            self.up_n[j] += 1;
+        } else {
+            self.down_sum[j] += per_unit;
+            self.down_n[j] += 1;
+        }
+    }
+
+    /// Average degradation per unit fraction, `None` with no observations.
+    fn cost(&self, j: usize, up: bool) -> Option<f64> {
+        let (sum, n) =
+            if up { (self.up_sum[j], self.up_n[j]) } else { (self.down_sum[j], self.down_n[j]) };
+        (n > 0).then(|| sum / f64::from(n))
+    }
+
+    fn reliable(&self, j: usize) -> bool {
+        self.down_n[j].min(self.up_n[j]) >= RELIABILITY
+    }
 }
 
 /// The branch-and-bound core, run on an (optionally presolved) model.
@@ -122,8 +184,12 @@ fn branch_and_bound(
     let mut incumbent: Option<Solution> = None;
     // Incumbent objective in minimization terms.
     let mut incumbent_obj = f64::INFINITY;
-    let mut stack: Vec<Node> =
-        vec![Node { bounds: root_bounds, parent_basis: root_basis.map(|b| Rc::new(b.clone())) }];
+    let mut stack: Vec<Node> = vec![Node {
+        bounds: root_bounds.clone(),
+        parent_basis: root_basis.map(|b| Rc::new(b.clone())),
+        bound: f64::NEG_INFINITY,
+        branch: None,
+    }];
     let mut saw_limit = false;
     let mut root_unbounded = false;
     let mut first_node = true;
@@ -135,43 +201,118 @@ fn branch_and_bound(
     // after the node is charged.
     let mut price_baseline = 0usize;
     let mut outcome_root_basis: Option<Basis> = None;
+    // Root cutting planes: the pool plus the current working model (base +
+    // active cut rows). `None` until the first committed cut round; cuts
+    // are separated from root bounds, so they stay valid tree-wide and
+    // every descendant node LP solves the augmented model.
+    let mut pool = CutPool::new();
+    let mut augmented: Option<Model> = None;
+    let mut pc = PseudoCosts::new(model.vars.len());
+    // Cuts and pseudo-cost machinery aim at proving bounds; the paper's
+    // feasibility hot path keeps the historical cut-free, most-fractional
+    // search (and its node counts) untouched.
+    let use_cuts = options.cuts && options.goal == Goal::Optimal && !int_vars.is_empty();
+    let use_pc = options.pseudo_cost_branching && options.goal == Goal::Optimal;
+    // Dual bound of the node a limit interrupted, for the final gap.
+    let mut broken_bound = f64::INFINITY;
 
-    while let Some(Node { bounds, parent_basis }) = stack.pop() {
-        if stats.nodes >= options.node_limit {
+    // Solve-wide pivot budget: pivots remaining before
+    // `options.pivot_limit` is exhausted (`usize::MAX` with no budget).
+    let pivots_left = |stats: &SolveStats| -> usize {
+        if options.pivot_limit == 0 {
+            usize::MAX
+        } else {
+            options.pivot_limit.saturating_sub(stats.simplex_iterations)
+        }
+    };
+    // Per-LP iteration cap honouring both the user's per-LP limit and the
+    // remaining budget. With a budget and no per-LP limit the remainder
+    // replaces the automatic anti-cycling cap: a cycling LP then burns the
+    // budget and stops the solve instead of erroring, which is the right
+    // failure mode for a budgeted run.
+    let lp_cap = |stats: &SolveStats| -> usize {
+        let left = pivots_left(stats);
+        if left == usize::MAX {
+            options.lp_iteration_limit
+        } else if options.lp_iteration_limit == 0 {
+            left
+        } else {
+            options.lp_iteration_limit.min(left)
+        }
+    };
+    // When this holds, an [`MilpError::IterationLimit`] from an LP solved
+    // at `lp_cap` means the solve-wide budget ran dry (the budget remainder
+    // was the binding cap), not that the LP failed: the solve stops with a
+    // limit status and the budget is charged in full.
+    let budget_bound = |stats: &SolveStats| -> bool {
+        options.pivot_limit != 0
+            && (options.lp_iteration_limit == 0 || pivots_left(stats) < options.lp_iteration_limit)
+    };
+
+    while let Some(Node { bounds, parent_basis, bound, branch: came_from }) = stack.pop() {
+        if stats.nodes >= options.node_limit || pivots_left(&stats) == 0 {
             saw_limit = true;
+            broken_bound = bound;
             break;
         }
         if let Some(limit) = options.time_limit {
             if start.elapsed() >= limit {
                 saw_limit = true;
+                broken_bound = bound;
                 break;
             }
         }
         stats.nodes += 1;
 
+        // The parent's LP objective already bounds this node: when the
+        // incumbent dominates it, prune without solving the LP at all.
+        if incumbent.is_some() && bound >= incumbent_obj - 1e-9 {
+            stats.nodes_pruned += 1;
+            continue;
+        }
+
         let deadline = options.time_limit.map(|t| start + t);
         let lp_start = Instant::now();
         let warm_basis = if options.warm_start { parent_basis.as_deref() } else { None };
+        let smodel: &Model = augmented.as_ref().unwrap_or(model);
+        let cap = lp_cap(&stats);
+        let budget_was_binding = budget_bound(&stats);
         let lp = match warm_basis {
-            Some(basis) => resolve_lp_with_deadline(
-                model,
+            Some(basis) => resolve_lp_priced(
+                smodel,
                 Some(&bounds),
                 basis,
                 options.lp_tol,
-                options.lp_iteration_limit,
+                cap,
                 deadline,
-            )?,
-            None => solve_lp_with_deadline(
-                model,
+                options.pricing,
+            ),
+            None => solve_lp_priced(
+                smodel,
                 Some(&bounds),
                 options.lp_tol,
-                options.lp_iteration_limit,
+                cap,
                 deadline,
-            )?,
+                options.pricing,
+            ),
+        };
+        let lp = match lp {
+            Ok(lp) => lp,
+            Err(MilpError::IterationLimit { .. }) if budget_was_binding => {
+                // The node LP consumed the remaining pivot budget: charge
+                // it in full and stop like any other limit.
+                stats.lp_time += lp_start.elapsed();
+                stats.simplex_iterations = options.pivot_limit;
+                saw_limit = true;
+                broken_bound = bound;
+                break;
+            }
+            Err(e) => return Err(e),
         };
         stats.lp_time += lp_start.elapsed();
         stats.simplex_iterations += lp.iterations;
         stats.refactorizations += lp.refactorizations;
+        stats.devex_resets += lp.devex_resets;
         if lp.warm {
             stats.warm_starts += 1;
             stats.pivots_saved += price_baseline.saturating_sub(lp.iterations);
@@ -181,6 +322,10 @@ fn branch_and_bound(
         price_baseline = price_baseline.max(lp.iterations);
         let is_root = std::mem::take(&mut first_node);
         if is_root {
+            // Captured before any cut is added: the basis must index the
+            // unaugmented model so a later bounds/RHS-only re-solve of the
+            // caller's model (the paper's subdivision chain) can warm from
+            // it.
             outcome_root_basis = lp.basis.clone();
         }
         match lp.status {
@@ -190,6 +335,7 @@ fn branch_and_bound(
             }
             LpStatus::Interrupted => {
                 saw_limit = true;
+                broken_bound = bound;
                 break;
             }
             LpStatus::Unbounded => {
@@ -203,8 +349,113 @@ fn branch_and_bound(
             }
             LpStatus::Optimal => {}
         }
+        let mut lp = lp;
+
+        // Root cutting-plane loop: separate cover/clique cuts on the base
+        // rows and Gomory mixed-integer cuts on the fractional root basis,
+        // then re-solve the augmented root. Cut rows only ever exclude
+        // fractional points, so an infeasible augmented LP proves *integer*
+        // infeasibility of the node (here: the whole model).
+        if is_root && use_cuts {
+            let mut cut_proved_infeasible = false;
+            for round in 0..MAX_CUT_ROUNDS {
+                // Fault injection for the separation site: a tripped
+                // failpoint skips the round, leaving the pool and the
+                // working model exactly as they were.
+                if rtr_trace::failpoint::failpoint("milp.cut_separation", round as u64) {
+                    continue;
+                }
+                let Some(basis) = lp.basis.as_ref() else { break };
+                let work: &Model = augmented.as_ref().unwrap_or(model);
+                let res =
+                    pool.separate(model, work, &root_bounds, basis, options.lp_tol, &lp.values);
+                stats.cuts_generated += res.total();
+                if res.gomory > 0 {
+                    stats.gomory_rounds += 1;
+                }
+                let stale = pool.age_cuts(&lp.values);
+                let dropped = stale.len();
+                pool.remove(&stale);
+                if res.total() == 0 && dropped == 0 {
+                    break;
+                }
+                // Rebuild base + pool and re-solve the root cold. A cold
+                // solve makes dropping any cut row unconditionally safe (no
+                // basis references the removed rows) and its cost is
+                // bounded by MAX_CUT_ROUNDS root LPs.
+                let mut work_next = model.clone();
+                pool.append_rows(&mut work_next);
+                if pivots_left(&stats) == 0 {
+                    saw_limit = true;
+                    break;
+                }
+                let re_cap = lp_cap(&stats);
+                let re_budget_was_binding = budget_bound(&stats);
+                let re_start = Instant::now();
+                let relp = match solve_lp_priced(
+                    &work_next,
+                    Some(&root_bounds),
+                    options.lp_tol,
+                    re_cap,
+                    deadline,
+                    options.pricing,
+                ) {
+                    Ok(relp) => relp,
+                    Err(MilpError::IterationLimit { .. }) if re_budget_was_binding => {
+                        stats.lp_time += re_start.elapsed();
+                        stats.simplex_iterations = options.pivot_limit;
+                        saw_limit = true;
+                        break;
+                    }
+                    Err(e) => return Err(e),
+                };
+                stats.lp_time += re_start.elapsed();
+                stats.simplex_iterations += relp.iterations;
+                stats.refactorizations += relp.refactorizations;
+                stats.devex_resets += relp.devex_resets;
+                stats.cold_starts += 1;
+                match relp.status {
+                    LpStatus::Optimal => {
+                        augmented = Some(work_next);
+                        lp = relp;
+                    }
+                    LpStatus::Infeasible => {
+                        cut_proved_infeasible = true;
+                        break;
+                    }
+                    LpStatus::Interrupted => {
+                        saw_limit = true;
+                        break;
+                    }
+                    LpStatus::Unbounded => break,
+                }
+            }
+            stats.cuts_active = pool.active();
+            if cut_proved_infeasible {
+                stats.infeasible_nodes += 1;
+                continue;
+            }
+            if saw_limit {
+                broken_bound = bound;
+                break;
+            }
+        }
 
         let lp_obj_min = minimize_sign * lp.objective;
+
+        // Feed the parent's branching outcome into the pseudo-costs: the
+        // LP objective degradation per unit of fractional distance.
+        if use_pc {
+            if let Some((j, frac, up)) = came_from {
+                if frac > options.int_tol {
+                    let per_unit = ((lp_obj_min - bound) / frac).max(0.0);
+                    if per_unit.is_finite() {
+                        pc.record(j, up, per_unit);
+                    }
+                }
+            }
+        }
+
         if incumbent.is_some() && lp_obj_min >= incumbent_obj - 1e-9 {
             stats.nodes_pruned += 1;
             continue; // dominated by the incumbent
@@ -229,64 +480,181 @@ fn branch_and_bound(
             }
         }
 
-        // Most-fractional branching.
-        let mut branch: Option<(usize, f64, f64)> = None; // (var, value, frac distance)
+        // Fractional branching candidates, ascending variable index.
+        let mut cands: Vec<(usize, f64)> = Vec::new(); // (var, LP value)
         for &j in &int_vars {
             let v = lp.values[j];
-            let frac = (v - v.round()).abs();
-            if frac > options.int_tol {
-                let score = (v - v.floor() - 0.5).abs(); // lower is more fractional
-                match branch {
-                    Some((_, _, best)) if best <= score => {}
-                    _ => branch = Some((j, v, score)),
+            if (v - v.round()).abs() > options.int_tol {
+                cands.push((j, v));
+            }
+        }
+
+        if cands.is_empty() {
+            // Integer feasible. Defensively re-check the point against
+            // the raw constraints before accepting it as an incumbent:
+            // a simplex numerical failure must never surface as a bogus
+            // "feasible" answer.
+            let mut values = lp.values.clone();
+            for &j in &int_vars {
+                values[j] = values[j].round();
+            }
+            if !model.is_feasible_point(&values, 1e-5) {
+                continue;
+            }
+            let objective = model.objective.eval(&values);
+            let obj_min = minimize_sign * objective;
+            if obj_min < incumbent_obj {
+                incumbent_obj = obj_min;
+                incumbent = Some(Solution { values, objective });
+            }
+            if options.goal == Goal::Feasibility {
+                break;
+            }
+            continue;
+        }
+
+        // Reliability initialization: strong-branch the most fractional
+        // candidates whose pseudo-costs have too few observations, seeding
+        // the tables with the observed LP degradations. Every probe LP is
+        // iteration-capped and warm-started from this node's basis.
+        if use_pc {
+            let smodel: &Model = augmented.as_ref().unwrap_or(model);
+            let mut order: Vec<usize> = (0..cands.len()).collect();
+            order.sort_by(|&a, &b| {
+                let fa = (cands[a].1 - cands[a].1.floor() - 0.5).abs();
+                let fb = (cands[b].1 - cands[b].1.floor() - 0.5).abs();
+                fa.total_cmp(&fb).then(cands[a].0.cmp(&cands[b].0))
+            });
+            let mut probed = 0usize;
+            for &ci in &order {
+                if probed >= STRONG_BRANCH_CANDS {
+                    break;
+                }
+                // Probes are a bounded investment; never let them be the
+                // LP that drains the last of the pivot budget.
+                if pivots_left(&stats) <= 2 * STRONG_BRANCH_ITERS {
+                    break;
+                }
+                let (j, v) = cands[ci];
+                if pc.reliable(j) {
+                    continue;
+                }
+                probed += 1;
+                let floor = v.floor();
+                for up in [false, true] {
+                    let frac = if up { floor + 1.0 - v } else { v - floor };
+                    if frac <= options.int_tol {
+                        continue;
+                    }
+                    let mut cb = bounds.clone();
+                    if up {
+                        cb[j].0 = cb[j].0.max(floor + 1.0);
+                    } else {
+                        cb[j].1 = cb[j].1.min(floor);
+                    }
+                    stats.strong_branch_evals += 1;
+                    let sb_start = Instant::now();
+                    let probe = match lp.basis.as_ref() {
+                        Some(b) => resolve_lp_priced(
+                            smodel,
+                            Some(&cb),
+                            b,
+                            options.lp_tol,
+                            STRONG_BRANCH_ITERS,
+                            deadline,
+                            options.pricing,
+                        ),
+                        None => solve_lp_priced(
+                            smodel,
+                            Some(&cb),
+                            options.lp_tol,
+                            STRONG_BRANCH_ITERS,
+                            deadline,
+                            options.pricing,
+                        ),
+                    };
+                    let sb = match probe {
+                        Ok(sb) => sb,
+                        // The tight per-probe pivot cap is an intended
+                        // truncation: running out of iterations makes the
+                        // probe uninformative, not the solve a failure.
+                        Err(MilpError::IterationLimit { .. }) => {
+                            stats.lp_time += sb_start.elapsed();
+                            continue;
+                        }
+                        Err(e) => return Err(e),
+                    };
+                    stats.lp_time += sb_start.elapsed();
+                    stats.simplex_iterations += sb.iterations;
+                    stats.refactorizations += sb.refactorizations;
+                    stats.devex_resets += sb.devex_resets;
+                    if sb.status == LpStatus::Optimal {
+                        let per_unit =
+                            ((minimize_sign * sb.objective - lp_obj_min) / frac).max(0.0);
+                        if per_unit.is_finite() {
+                            pc.record(j, up, per_unit);
+                        }
+                    }
+                    // Infeasible/interrupted probes carry no degradation
+                    // information; the table is left untouched.
                 }
             }
         }
 
-        match branch {
-            None => {
-                // Integer feasible. Defensively re-check the point against
-                // the raw constraints before accepting it as an incumbent:
-                // a simplex numerical failure must never surface as a bogus
-                // "feasible" answer.
-                let mut values = lp.values.clone();
-                for &j in &int_vars {
-                    values[j] = values[j].round();
-                }
-                if !model.is_feasible_point(&values, 1e-5) {
-                    continue;
-                }
-                let objective = model.objective.eval(&values);
-                let obj_min = minimize_sign * objective;
-                if obj_min < incumbent_obj {
-                    incumbent_obj = obj_min;
-                    incumbent = Some(Solution { values, objective });
-                }
-                if options.goal == Goal::Feasibility {
-                    break;
-                }
+        // Pseudo-cost product rule. With an empty table every direction
+        // falls back to unit cost, and the score reduces to
+        // frac·(1 − frac) — exactly the historical most-fractional rule —
+        // so feasibility solves (which never record costs) are unchanged.
+        let mut choice = cands[0];
+        let mut choice_score = f64::NEG_INFINITY;
+        let mut choice_reliable = false;
+        for &(j, v) in &cands {
+            let f_down = v - v.floor();
+            let f_up = 1.0 - f_down;
+            let (c_down, c_up) =
+                if use_pc { (pc.cost(j, false), pc.cost(j, true)) } else { (None, None) };
+            let d_down = c_down.unwrap_or(1.0) * f_down;
+            let d_up = c_up.unwrap_or(1.0) * f_up;
+            let score = d_down.max(PC_EPS) * d_up.max(PC_EPS);
+            if score > choice_score {
+                choice_score = score;
+                choice = (j, v);
+                choice_reliable = c_down.is_some() && c_up.is_some();
             }
-            Some((j, v, _)) => {
-                let floor = v.floor();
-                let mut down = bounds.clone();
-                down[j].1 = down[j].1.min(floor);
-                let mut up = bounds;
-                up[j].0 = up[j].0.max(floor + 1.0);
-                // Both children warm-start from this node's optimal basis:
-                // the only change is one variable's bound, which leaves the
-                // basis dual feasible.
-                let child_basis = lp.basis.map(Rc::new);
-                let down = Node { bounds: down, parent_basis: child_basis.clone() };
-                let up = Node { bounds: up, parent_basis: child_basis };
-                // Explore the nearer branch first (depth-first).
-                if v - floor <= 0.5 {
-                    stack.push(up);
-                    stack.push(down);
-                } else {
-                    stack.push(down);
-                    stack.push(up);
-                }
-            }
+        }
+        if choice_reliable {
+            stats.pseudo_cost_branches += 1;
+        }
+
+        let (j, v) = choice;
+        let floor = v.floor();
+        let mut down = bounds.clone();
+        down[j].1 = down[j].1.min(floor);
+        let mut up = bounds;
+        up[j].0 = up[j].0.max(floor + 1.0);
+        // Both children warm-start from this node's optimal basis:
+        // the only change is one variable's bound, which leaves the
+        // basis dual feasible.
+        let child_basis = lp.basis.map(Rc::new);
+        let down = Node {
+            bounds: down,
+            parent_basis: child_basis.clone(),
+            bound: lp_obj_min,
+            branch: Some((j, v - floor, false)),
+        };
+        let up = Node {
+            bounds: up,
+            parent_basis: child_basis,
+            bound: lp_obj_min,
+            branch: Some((j, floor + 1.0 - v, true)),
+        };
+        // Explore the nearer branch first (depth-first).
+        if v - floor <= 0.5 {
+            stack.push(up);
+            stack.push(down);
+        } else {
+            stack.push(down);
+            stack.push(up);
         }
     }
 
@@ -298,6 +666,25 @@ fn branch_and_bound(
             (Some(_), _, _) => Status::Feasible,
             (None, true, _) => Status::LimitReached,
             (None, false, _) => Status::Infeasible,
+        }
+    };
+    // Final relative gap (ppm): incumbent vs the best dual bound still
+    // open (the remaining stack plus the node a limit interrupted). An
+    // exhausted tree has bound +inf — gap 0, matching the proven statuses.
+    stats.gap_ppm = match status {
+        Status::Optimal | Status::Infeasible | Status::Unbounded => 0,
+        _ if incumbent.is_none() => 1_000_000,
+        _ => {
+            let open = stack.iter().map(|n| n.bound).fold(broken_bound, f64::min);
+            if open == f64::INFINITY {
+                0
+            } else if open == f64::NEG_INFINITY {
+                1_000_000
+            } else {
+                let denom = incumbent_obj.abs().max(1e-9);
+                let rel = ((incumbent_obj - open).max(0.0) / denom).min(1.0);
+                (rel * 1e6).round() as usize
+            }
         }
     };
     Ok(Outcome { status, solution: incumbent, stats, root_basis: outcome_root_basis })
@@ -421,6 +808,39 @@ mod tests {
         if out.status == Status::LimitReached {
             assert!(out.solution.is_none());
         }
+    }
+
+    #[test]
+    fn pivot_limit_stops_the_solve_deterministically() {
+        // 16-item knapsack with a fractional LP optimum: a 3-pivot budget
+        // cannot finish even the root LP, so the solve must stop with a
+        // limit status — and two runs must report bit-identical stats.
+        let mut m = Model::new();
+        let vars: Vec<_> = (0..16).map(|_| m.add_var(Variable::binary())).collect();
+        m.add_constraint(Constraint::new(
+            vars.iter().enumerate().map(|(i, &v)| ((i % 7 + 2) as f64, v)).collect(),
+            Rel::Le,
+            19.0,
+        ));
+        m.maximize(vars.iter().enumerate().map(|(i, &v)| ((i % 5 + 1) as f64, v)).collect());
+        let opts = SolveOptions::optimal().with_pivot_limit(3);
+        let a = m.solve(&opts).unwrap();
+        let b = m.solve(&opts).unwrap();
+        assert_eq!(a.status, Status::LimitReached);
+        assert!(a.solution.is_none());
+        assert_eq!(a.stats.gap_ppm, 1_000_000);
+        assert_eq!(a.stats.simplex_iterations, 3, "the drained budget is charged in full");
+        let (mut sa, mut sb) = (a.stats, b.stats);
+        sa.lp_time = Duration::ZERO;
+        sb.lp_time = Duration::ZERO;
+        assert_eq!(sa, sb);
+
+        // A generous budget must not change the answer.
+        let full = m.solve(&SolveOptions::optimal()).unwrap();
+        let budgeted = m.solve(&SolveOptions::optimal().with_pivot_limit(1_000_000)).unwrap();
+        assert_eq!(full.status, Status::Optimal);
+        assert_eq!(budgeted.status, Status::Optimal);
+        assert_eq!(full.solution.unwrap().objective, budgeted.solution.unwrap().objective);
     }
 
     #[test]

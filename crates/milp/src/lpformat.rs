@@ -516,6 +516,54 @@ mod tests {
     }
 
     #[test]
+    fn cut_pool_rows_export_and_round_trip() {
+        // A model augmented with cut-pool rows exports them under their
+        // `cut_*` names, and a basis of the augmented model survives the
+        // BAS round-trip (cut rows are ordinary rows to the format layer).
+        let mut m = Model::new();
+        let a = m.add_var(Variable::binary().with_name("a"));
+        let b = m.add_var(Variable::binary().with_name("b"));
+        let c = m.add_var(Variable::binary().with_name("c"));
+        m.add_constraint(
+            Constraint::new(LinExpr::new() + (5.0, a) + (6.0, b) + (4.0, c), Rel::Le, 10.0)
+                .with_name("area"),
+        );
+        m.maximize(LinExpr::new() + (10.0, a) + (13.0, b) + (7.0, c));
+
+        let cover = crate::cuts::Cut {
+            name: "cut_cover_0".to_string(),
+            terms: vec![(0, 1.0), (1, 1.0)],
+            rel: Rel::Le,
+            rhs: 1.0,
+            age: 0,
+        };
+        let gomory = crate::cuts::Cut {
+            name: "cut_gomory_1".to_string(),
+            terms: vec![(0, 0.5), (2, 1.0)],
+            rel: Rel::Ge,
+            rhs: 0.5,
+            age: 0,
+        };
+        let mut aug = m.clone();
+        aug.add_constraint(cover.to_constraint());
+        aug.add_constraint(gomory.to_constraint());
+
+        let lp = aug.to_lp_format();
+        assert!(lp.contains(" cut_cover_0: 1 a + 1 b <= 1\n"), "{lp}");
+        assert!(lp.contains(" cut_gomory_1: 0.5 a + 1 c >= 0.5\n"), "{lp}");
+
+        let out = solve_lp(&aug, None, 1e-7, 0).unwrap();
+        assert_eq!(out.status, LpStatus::Optimal);
+        let basis = out.basis.expect("optimal solve returns a basis");
+        let text = aug.to_bas_format(&basis).unwrap();
+        let back = aug.parse_bas_format(&text).unwrap();
+        assert_eq!(back.statuses, basis.statuses);
+        let warm = resolve_lp(&aug, None, &back, 1e-7, 0).unwrap();
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert!((warm.objective - out.objective).abs() < 1e-9);
+    }
+
+    #[test]
     fn partitioning_model_exports() {
         // The real ILP from rtr-core should produce a well-formed file; here
         // we check a representative structural subset built directly.

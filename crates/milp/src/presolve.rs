@@ -9,11 +9,27 @@
 //! * **redundant-row removal** — a row whose worst-case activity already
 //!   satisfies it is dropped;
 //! * **infeasibility detection** — a row whose best-case activity violates
-//!   it proves the model infeasible.
+//!   it proves the model infeasible;
+//! * **coefficient tightening** — on rows where a binary variable's
+//!   coefficient exceeds what the row can actually absorb, the coefficient
+//!   and right-hand side shrink in lockstep (Savelsbergh's rule): the
+//!   integer solution set is unchanged but the LP relaxation is strictly
+//!   tighter;
+//! * **probing** — each binary (up to a deterministic cap, ascending
+//!   index) is tentatively fixed to 0 and to 1 with a short propagation
+//!   after each; an infeasible side fixes the variable to the other value,
+//!   two infeasible sides prove the model infeasible, and two feasible
+//!   sides still contribute the union of their implied bounds.
 //!
 //! Rounds repeat until a fixpoint (or a small cap).
 
-use crate::model::{effective_bounds, Constraint, Model, Rel, VarKind};
+use crate::model::{effective_bounds, Constraint, LinExpr, Model, Rel, VarId, VarKind};
+
+/// Binaries probed per presolve, ascending variable index. Bounds the cost
+/// of probing on the large linearized `Y·w` product-variable blocks.
+const MAX_PROBES: usize = 64;
+/// Propagation rounds inside each tentative probe fix.
+const PROBE_ROUNDS: usize = 2;
 
 /// Statistics of a presolve run.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -24,6 +40,10 @@ pub struct PresolveStats {
     pub removed_rows: usize,
     /// Propagation rounds performed.
     pub rounds: usize,
+    /// Binaries fixed by probing (one tentative value proved infeasible).
+    pub probed_fixings: usize,
+    /// Row coefficients shrunk by coefficient tightening.
+    pub coef_tightened: usize,
 }
 
 /// Result of presolving a model.
@@ -170,10 +190,136 @@ pub fn presolve(model: &Model) -> PresolveOutcome {
                 }
             }
         }
+
+        // Coefficient tightening (Savelsbergh): when a binary's coefficient
+        // overshoots what the row can absorb, shrink coefficient and
+        // right-hand side together. The integer solution set is unchanged
+        // (the row was redundant on the slack side and binds identically on
+        // the tight side) but the LP relaxation is strictly tighter. One
+        // term per row per round, ascending term order, keeps the fixpoint
+        // iteration deterministic.
+        for ci in 0..m.constraints.len() {
+            if !alive[ci] {
+                continue;
+            }
+            let rel = m.constraints[ci].rel;
+            if matches!(rel, Rel::Eq) {
+                continue;
+            }
+            let b = m.constraints[ci].rhs;
+            let mut act_min = 0.0f64;
+            let mut act_max = 0.0f64;
+            for &(j, coef) in &normalized[ci] {
+                if coef > 0.0 {
+                    act_min += coef * lb[j];
+                    act_max += coef * ub[j];
+                } else {
+                    act_min += coef * ub[j];
+                    act_max += coef * lb[j];
+                }
+            }
+            // (term index, new coefficient, new right-hand side)
+            let mut update: Option<(usize, f64, f64)> = None;
+            for (idx, &(j, a)) in normalized[ci].iter().enumerate() {
+                if !is_unfixed_binary(&m, j, &lb, &ub) {
+                    continue;
+                }
+                match rel {
+                    Rel::Le if a > 0.0 => {
+                        let others = act_max - a;
+                        if others.is_finite() && others < b - TOL && others + a > b + TOL {
+                            update = Some((idx, a + others - b, others));
+                        }
+                    }
+                    Rel::Le if a < 0.0 => {
+                        let others = act_max;
+                        if others.is_finite() && others > b + TOL && others + a < b - TOL {
+                            update = Some((idx, b - others, b));
+                        }
+                    }
+                    Rel::Ge if a < 0.0 => {
+                        let others = act_min - a;
+                        if others.is_finite() && others > b + TOL && others + a < b - TOL {
+                            update = Some((idx, a + others - b, others));
+                        }
+                    }
+                    Rel::Ge if a > 0.0 => {
+                        let others = act_min;
+                        if others.is_finite() && others < b - TOL && others + a > b + TOL {
+                            update = Some((idx, b - others, b));
+                        }
+                    }
+                    _ => {}
+                }
+                if update.is_some() {
+                    break;
+                }
+            }
+            if let Some((idx, coef, rhs)) = update {
+                normalized[ci][idx].1 = coef;
+                m.constraints[ci].rhs = rhs;
+                m.constraints[ci].expr =
+                    normalized[ci].iter().map(|&(j, c)| (c, VarId(j))).collect::<LinExpr>();
+                stats.coef_tightened += 1;
+                changed = true;
+            }
+        }
+
         stats.rounds = round + 1;
         if !changed {
             break;
         }
+    }
+
+    // Probing: tentatively fix each early binary to 0 and to 1 and run a
+    // short propagation after each. An infeasible side forces the variable
+    // to the other value (adopting that side's implied bounds); two
+    // infeasible sides prove the model infeasible; two feasible sides still
+    // bound every solution by the union of their implied boxes, because any
+    // integer point has the binary at one of the two probed values.
+    let mut probed = 0usize;
+    let mut fixed_any = false;
+    for j in 0..m.vars.len() {
+        if probed >= MAX_PROBES {
+            break;
+        }
+        if !is_unfixed_binary(&m, j, &lb, &ub) {
+            continue;
+        }
+        probed += 1;
+        let probe = |fix: f64, lb: &[f64], ub: &[f64]| -> Option<(Vec<f64>, Vec<f64>)> {
+            let mut plo = lb.to_vec();
+            let mut phi = ub.to_vec();
+            plo[j] = fix;
+            phi[j] = fix;
+            propagate(&m, &normalized, &alive, &mut plo, &mut phi, PROBE_ROUNDS).map(|_| (plo, phi))
+        };
+        match (probe(0.0, &lb, &ub), probe(1.0, &lb, &ub)) {
+            (None, None) => return PresolveOutcome::Infeasible,
+            (None, Some((plo, phi))) | (Some((plo, phi)), None) => {
+                lb.copy_from_slice(&plo);
+                ub.copy_from_slice(&phi);
+                stats.probed_fixings += 1;
+                fixed_any = true;
+            }
+            (Some((lo0, hi0)), Some((lo1, hi1))) => {
+                for k in 0..lb.len() {
+                    let lo = lo0[k].min(lo1[k]);
+                    let hi = hi0[k].max(hi1[k]);
+                    if lo > lb[k] + TOL {
+                        lb[k] = lo;
+                        stats.tightened_bounds += 1;
+                    }
+                    if hi < ub[k] - TOL {
+                        ub[k] = hi;
+                        stats.tightened_bounds += 1;
+                    }
+                }
+            }
+        }
+    }
+    if fixed_any && propagate(&m, &normalized, &alive, &mut lb, &mut ub, MAX_ROUNDS).is_none() {
+        return PresolveOutcome::Infeasible;
     }
 
     // Write back bounds and surviving rows.
@@ -186,6 +332,117 @@ pub fn presolve(model: &Model) -> PresolveOutcome {
     let _ = std::mem::take(&mut normalized);
     m.constraints = survivors;
     PresolveOutcome::Reduced(m, stats)
+}
+
+/// Whether variable `j` is a still-free 0/1 variable under the working
+/// bounds (declared binary, or integer with effective bounds exactly 0..1).
+fn is_unfixed_binary(m: &Model, j: usize, lb: &[f64], ub: &[f64]) -> bool {
+    matches!(m.vars[j].kind, VarKind::Binary | VarKind::Integer) && lb[j] == 0.0 && ub[j] == 1.0
+}
+
+/// Activity-based bound propagation on working bound vectors, up to
+/// `rounds` sweeps. Returns `None` when a row proves infeasible under the
+/// bounds, otherwise `Some(changed_anything)`. Mirrors the tightening in
+/// [`presolve`] but mutates only `lb`/`ub`, which is what probing needs.
+fn propagate(
+    m: &Model,
+    normalized: &[Vec<(usize, f64)>],
+    alive: &[bool],
+    lb: &mut [f64],
+    ub: &mut [f64],
+    rounds: usize,
+) -> Option<bool> {
+    const TOL: f64 = 1e-9;
+    let mut any = false;
+    for _ in 0..rounds {
+        let mut changed = false;
+        for (ci, c) in m.constraints.iter().enumerate() {
+            if !alive[ci] {
+                continue;
+            }
+            let terms = &normalized[ci];
+            let mut act_min = 0.0f64;
+            let mut act_max = 0.0f64;
+            for &(j, coef) in terms {
+                if coef > 0.0 {
+                    act_min += coef * lb[j];
+                    act_max += coef * ub[j];
+                } else {
+                    act_min += coef * ub[j];
+                    act_max += coef * lb[j];
+                }
+            }
+            let slack_tol = TOL.max(1e-7 * c.rhs.abs());
+            match c.rel {
+                Rel::Le => {
+                    if act_min > c.rhs + slack_tol {
+                        return None;
+                    }
+                }
+                Rel::Ge => {
+                    if act_max < c.rhs - slack_tol {
+                        return None;
+                    }
+                }
+                Rel::Eq => {
+                    if act_min > c.rhs + TOL || act_max < c.rhs - TOL {
+                        return None;
+                    }
+                }
+            }
+            if act_min.is_finite() && matches!(c.rel, Rel::Le | Rel::Eq) {
+                for &(j, coef) in terms {
+                    let own_min = if coef > 0.0 { coef * lb[j] } else { coef * ub[j] };
+                    let residual = act_min - own_min;
+                    let implied = (c.rhs - residual) / coef;
+                    if coef > 0.0 {
+                        let implied = round_for(m, j, implied, true);
+                        if implied < ub[j] - TOL {
+                            ub[j] = implied;
+                            changed = true;
+                        }
+                    } else {
+                        let implied = round_for(m, j, implied, false);
+                        if implied > lb[j] + TOL {
+                            lb[j] = implied;
+                            changed = true;
+                        }
+                    }
+                    if lb[j] > ub[j] + TOL {
+                        return None;
+                    }
+                }
+            }
+            if act_max.is_finite() && matches!(c.rel, Rel::Ge | Rel::Eq) {
+                for &(j, coef) in terms {
+                    let own_max = if coef > 0.0 { coef * ub[j] } else { coef * lb[j] };
+                    let residual = act_max - own_max;
+                    let implied = (c.rhs - residual) / coef;
+                    if coef > 0.0 {
+                        let implied = round_for(m, j, implied, false);
+                        if implied > lb[j] + TOL {
+                            lb[j] = implied;
+                            changed = true;
+                        }
+                    } else {
+                        let implied = round_for(m, j, implied, true);
+                        if implied < ub[j] - TOL {
+                            ub[j] = implied;
+                            changed = true;
+                        }
+                    }
+                    if lb[j] > ub[j] + TOL {
+                        return None;
+                    }
+                }
+            }
+        }
+        any |= changed;
+        if !changed {
+            break;
+        }
+    }
+    Some(any)
 }
 
 /// Rounds an implied bound inward for integer variables.
@@ -290,6 +547,83 @@ mod tests {
         };
         let pre = reduced.solve(&SolveOptions::optimal()).unwrap();
         assert_eq!(raw.solution.unwrap().objective, pre.solution.unwrap().objective);
+    }
+
+    #[test]
+    fn coefficient_tightening_shrinks_binary_coef() {
+        // 3x + y <= 3.5, x binary, y in [0, 1]: others_max = 1, so the row
+        // binds only through x and tightens to 0.5x + y <= 1 (same integer
+        // set, strictly tighter LP relaxation).
+        let mut m = Model::new();
+        let x = m.add_var(Variable::binary());
+        let y = m.add_var(Variable::continuous(0.0, 1.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (3.0, x) + (1.0, y), Rel::Le, 3.5));
+        m.maximize(LinExpr::new() + (2.0, x) + (1.0, y));
+        let raw = m.solve(&SolveOptions::optimal()).unwrap();
+        match presolve(&m) {
+            PresolveOutcome::Reduced(r, stats) => {
+                assert!(stats.coef_tightened >= 1);
+                assert_eq!(r.constraint_count(), 1);
+                assert!((r.constraints[0].rhs - 1.0).abs() < 1e-9);
+                let terms = r.constraints[0].expr.normalized();
+                assert!((terms[0].1 - 0.5).abs() < 1e-9, "x coef tightened to 0.5");
+                let pre = r.solve(&SolveOptions::optimal()).unwrap();
+                assert_eq!(
+                    raw.solution.unwrap().objective,
+                    pre.solution.unwrap().objective,
+                    "tightening must preserve the integer optimum"
+                );
+            }
+            PresolveOutcome::Infeasible => panic!("feasible model"),
+        }
+    }
+
+    #[test]
+    fn probing_fixes_forced_binary() {
+        // x + y <= 1 and x - y <= 0: fixing x = 1 forces y <= 0 and y >= 1,
+        // so probing fixes x = 0. Single-row propagation cannot see this.
+        let mut m = Model::new();
+        let x = m.add_var(Variable::binary());
+        let y = m.add_var(Variable::binary());
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (1.0, y), Rel::Le, 1.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (-1.0, y), Rel::Le, 0.0));
+        match presolve(&m) {
+            PresolveOutcome::Reduced(r, stats) => {
+                assert!(stats.probed_fixings >= 1);
+                assert_eq!(r.vars()[0].upper(), 0.0, "x fixed to 0 by probing");
+            }
+            PresolveOutcome::Infeasible => panic!("feasible model"),
+        }
+    }
+
+    #[test]
+    fn probing_detects_integer_infeasibility() {
+        // x + y = 1 and x - y = 0 has only the fractional solution
+        // x = y = 0.5; both probe values of x propagate to a contradiction.
+        let mut m = Model::new();
+        let x = m.add_var(Variable::binary());
+        let y = m.add_var(Variable::binary());
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (1.0, y), Rel::Eq, 1.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (-1.0, y), Rel::Eq, 0.0));
+        assert!(matches!(presolve(&m), PresolveOutcome::Infeasible));
+    }
+
+    #[test]
+    fn probing_union_bounds_tighten() {
+        // y >= 4x and y >= 4 - 4x: each probe value of x implies y >= 4, so
+        // the union of the probe boxes lifts y's lower bound to 4 even
+        // though neither row alone implies it.
+        let mut m = Model::new();
+        let x = m.add_var(Variable::binary());
+        let y = m.add_var(Variable::integer(0.0, 10.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, y) + (-4.0, x), Rel::Ge, 0.0));
+        m.add_constraint(Constraint::new(LinExpr::new() + (1.0, y) + (4.0, x), Rel::Ge, 4.0));
+        match presolve(&m) {
+            PresolveOutcome::Reduced(r, _) => {
+                assert_eq!(r.vars()[1].lower(), 4.0, "probing lifts y's lower bound");
+            }
+            PresolveOutcome::Infeasible => panic!("feasible model"),
+        }
     }
 
     #[test]

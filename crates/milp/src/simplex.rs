@@ -47,6 +47,40 @@ const REFACTOR_INTERVAL: usize = 64;
 /// Dual pivots without primal-infeasibility progress before the warm solve
 /// gives up and falls back to a cold primal.
 const DUAL_STALL_LIMIT: usize = 1000;
+/// Devex/steepest-edge reference weights above this trigger a framework
+/// reset (all weights back to 1, counted in `LpOutcome::devex_resets`).
+const DEVEX_RESET_LIMIT: f64 = 1e7;
+/// Row count below which eta factors always stay sparse: the dense kernel
+/// only pays off when a contiguous sweep amortizes its setup.
+const DENSE_ETA_MIN_M: usize = 64;
+/// An eta factor whose off-pivot fill reaches `m / DENSE_ETA_FRAC` is stored
+/// as a dense block.
+const DENSE_ETA_FRAC: usize = 4;
+
+/// Primal pricing rule for selecting the entering column.
+///
+/// All three rules reach the same optimal objective (the simplex is exact
+/// regardless of pricing); they differ only in pivot counts. Selection is
+/// deterministic under every rule: scores are compared exactly and ties
+/// keep the lowest column index, and the devex/steepest-edge reference
+/// frameworks are seeded only by pivot history, so repeated runs are
+/// bit-identical. Bland's anti-cycling rule overrides all of them after a
+/// long degenerate run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Pricing {
+    /// Classic most-negative reduced cost. Cheapest per iteration, worst
+    /// pivot counts on degenerate models; kept for differential testing.
+    Dantzig,
+    /// Devex reference-framework pricing (Forrest–Goldfarb): approximate
+    /// steepest-edge weights maintained from the pivot row, reset to the
+    /// unit framework when they overflow. The default.
+    #[default]
+    Devex,
+    /// Exact-initialization steepest edge with Goldfarb–Reid updates. One
+    /// extra BTRAN per pivot over devex; best pivot counts, highest cost
+    /// per iteration.
+    SteepestEdge,
+}
 
 /// Status of an LP relaxation solve.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -106,55 +140,150 @@ pub struct LpOutcome {
     pub basis: Option<Basis>,
     /// Basis refactorizations performed.
     pub refactorizations: usize,
+    /// Devex / steepest-edge reference-framework resets performed.
+    pub devex_resets: usize,
     /// `true` if the solve ran from a supplied warm basis without falling
     /// back to a cold start.
     pub warm: bool,
 }
 
-/// One elementary (eta) factor of the basis inverse: pivoting column data
-/// into row `r`.
-#[derive(Debug, Clone)]
-struct Eta {
-    r: usize,
+/// Header of one elementary (eta) factor: pivot position plus where its
+/// off-pivot entries live in the [`EtaFile`] arenas.
+#[derive(Debug, Clone, Copy)]
+struct EtaHead {
+    r: u32,
     pivot: f64,
-    rest: Vec<(usize, f64)>,
+    start: u32,
+    len: u32,
+    dense: bool,
 }
 
-/// Applies the eta file forward: `v ← B⁻¹ v`.
-fn ftran(etas: &[Eta], v: &mut [f64]) {
-    for eta in etas {
-        let t = v[eta.r];
-        if t == 0.0 {
-            continue;
-        }
-        let t = t / eta.pivot;
-        for &(i, w) in &eta.rest {
-            v[i] -= w * t;
-        }
-        v[eta.r] = t;
-    }
+/// The product-form basis inverse as a flat arena of eta factors.
+///
+/// Instead of one `Vec<(usize, f64)>` allocation per factor, all sparse
+/// entries share two contiguous arenas (`sp_rows`/`sp_vals`) and factors
+/// whose fill crosses a sparsity threshold (`len ≥ m / DENSE_ETA_FRAC`,
+/// `m ≥ DENSE_ETA_MIN_M`) are stored as full dense `m`-blocks in `dn_vals`.
+/// The FTRAN/BTRAN hot loops over a dense block are straight-line sweeps
+/// over contiguous `f64` slices — exactly the shape the autovectorizer
+/// handles without any explicit SIMD — while near-empty factors keep the
+/// cheap sparse path. The representation of each factor is a pure function
+/// of its contents, so runs remain bit-identical.
+#[derive(Debug, Clone, Default)]
+struct EtaFile {
+    m: usize,
+    heads: Vec<EtaHead>,
+    sp_rows: Vec<u32>,
+    sp_vals: Vec<f64>,
+    dn_vals: Vec<f64>,
 }
 
-/// Applies the eta file in reverse: `vᵀ ← vᵀ B⁻¹`.
-fn btran(etas: &[Eta], v: &mut [f64]) {
-    for eta in etas.iter().rev() {
-        let mut t = v[eta.r];
-        for &(i, w) in &eta.rest {
-            t -= v[i] * w;
+impl EtaFile {
+    fn new(m: usize) -> Self {
+        EtaFile {
+            m,
+            heads: Vec::new(),
+            sp_rows: Vec::new(),
+            sp_vals: Vec::new(),
+            dn_vals: Vec::new(),
         }
-        v[eta.r] = t / eta.pivot;
     }
-}
 
-/// Appends the eta for a pivot on row `r` of the ftran'd column `w`,
-/// skipping exact identity factors (slack self-pivots).
-fn push_eta(etas: &mut Vec<Eta>, r: usize, w: &[f64]) {
-    let rest: Vec<(usize, f64)> =
-        w.iter().enumerate().filter(|&(i, &v)| i != r && v != 0.0).map(|(i, &v)| (i, v)).collect();
-    if rest.is_empty() && w[r] == 1.0 {
-        return;
+    fn len(&self) -> usize {
+        self.heads.len()
     }
-    etas.push(Eta { r, pivot: w[r], rest });
+
+    fn clear(&mut self) {
+        self.heads.clear();
+        self.sp_rows.clear();
+        self.sp_vals.clear();
+        self.dn_vals.clear();
+    }
+
+    /// Appends the eta for a pivot on row `r` of the ftran'd column `w`,
+    /// skipping exact identity factors (slack self-pivots).
+    fn push(&mut self, r: usize, w: &[f64]) {
+        let nnz = w.iter().enumerate().filter(|&(i, &v)| i != r && v != 0.0).count();
+        if nnz == 0 && w[r] == 1.0 {
+            return;
+        }
+        let dense = self.m >= DENSE_ETA_MIN_M && nnz * DENSE_ETA_FRAC >= self.m;
+        if dense {
+            let start = self.dn_vals.len();
+            self.dn_vals.extend_from_slice(w);
+            self.dn_vals[start + r] = 0.0;
+            self.heads.push(EtaHead {
+                r: r as u32,
+                pivot: w[r],
+                start: start as u32,
+                len: self.m as u32,
+                dense: true,
+            });
+        } else {
+            let start = self.sp_rows.len();
+            for (i, &v) in w.iter().enumerate() {
+                if i != r && v != 0.0 {
+                    self.sp_rows.push(i as u32);
+                    self.sp_vals.push(v);
+                }
+            }
+            self.heads.push(EtaHead {
+                r: r as u32,
+                pivot: w[r],
+                start: start as u32,
+                len: nnz as u32,
+                dense: false,
+            });
+        }
+    }
+
+    /// Applies the eta file forward: `v ← B⁻¹ v`.
+    fn ftran(&self, v: &mut [f64]) {
+        for h in &self.heads {
+            let r = h.r as usize;
+            let t = v[r];
+            if t == 0.0 {
+                continue;
+            }
+            let t = t / h.pivot;
+            if h.dense {
+                let blk = &self.dn_vals[h.start as usize..h.start as usize + self.m];
+                for (vi, wi) in v.iter_mut().zip(blk) {
+                    *vi -= wi * t;
+                }
+            } else {
+                let s = h.start as usize;
+                let e = s + h.len as usize;
+                for (&i, &w) in self.sp_rows[s..e].iter().zip(&self.sp_vals[s..e]) {
+                    v[i as usize] -= w * t;
+                }
+            }
+            v[r] = t;
+        }
+    }
+
+    /// Applies the eta file in reverse: `vᵀ ← vᵀ B⁻¹`.
+    fn btran(&self, v: &mut [f64]) {
+        for h in self.heads.iter().rev() {
+            let r = h.r as usize;
+            let mut t = v[r];
+            if h.dense {
+                let blk = &self.dn_vals[h.start as usize..h.start as usize + self.m];
+                let mut acc = 0.0f64;
+                for (vi, wi) in v.iter().zip(blk) {
+                    acc += vi * wi;
+                }
+                t -= acc;
+            } else {
+                let s = h.start as usize;
+                let e = s + h.len as usize;
+                for (&i, &w) in self.sp_rows[s..e].iter().zip(&self.sp_vals[s..e]) {
+                    t -= v[i as usize] * w;
+                }
+            }
+            v[r] = t / h.pivot;
+        }
+    }
 }
 
 /// Outcome of a dual-simplex warm attempt.
@@ -188,11 +317,19 @@ struct Solver<'a> {
     at_upper: Vec<bool>,
     is_basic: Vec<bool>,
     order: Vec<usize>,
-    etas: Vec<Eta>,
+    etas: EtaFile,
     pivots_since_refactor: usize,
     refactorizations: usize,
     iterations: usize,
+    devex_resets: usize,
     tol: f64,
+}
+
+/// Pricing weights for the devex / steepest-edge reference frameworks.
+/// Empty (and unused) under Dantzig.
+struct PriceState {
+    rule: Pricing,
+    weights: Vec<f64>,
 }
 
 impl<'a> Solver<'a> {
@@ -279,10 +416,11 @@ impl<'a> Solver<'a> {
             at_upper: vec![false; total],
             is_basic: vec![false; total],
             order: (n..total).collect(),
-            etas: Vec::new(),
+            etas: EtaFile::new(m),
             pivots_since_refactor: 0,
             refactorizations: 0,
             iterations: 0,
+            devex_resets: 0,
             tol,
         }))
     }
@@ -343,7 +481,7 @@ impl<'a> Solver<'a> {
                 }
             }
         }
-        ftran(&self.etas, &mut r);
+        self.etas.ftran(&mut r);
         for (&k, &value) in self.order.iter().zip(r.iter()) {
             self.x[k] = value;
         }
@@ -441,7 +579,7 @@ impl<'a> Solver<'a> {
         for &c in &cols {
             let mut w = vec![0.0f64; m];
             self.scatter(c, &mut w);
-            ftran(&self.etas, &mut w);
+            self.etas.ftran(&mut w);
             let mut best_row = usize::MAX;
             let mut best_abs = SING_EPS;
             for (i, used) in row_used.iter().enumerate() {
@@ -458,7 +596,7 @@ impl<'a> Solver<'a> {
             }
             row_used[best_row] = true;
             new_order[best_row] = c;
-            push_eta(&mut self.etas, best_row, &w);
+            self.etas.push(best_row, &w);
         }
         self.order = new_order;
         self.pivots_since_refactor = 0;
@@ -468,7 +606,7 @@ impl<'a> Solver<'a> {
 
     /// Appends the pivot eta and refactorizes on cadence.
     fn after_pivot(&mut self, r: usize, w: &[f64]) {
-        push_eta(&mut self.etas, r, w);
+        self.etas.push(r, w);
         rtr_trace::status::board().add_lp_pivots(1);
         self.pivots_since_refactor += 1;
         if self.pivots_since_refactor >= REFACTOR_INTERVAL {
@@ -515,6 +653,7 @@ impl<'a> Solver<'a> {
             iterations: self.iterations,
             basis,
             refactorizations: self.refactorizations,
+            devex_resets: self.devex_resets,
             warm,
         }
     }
@@ -524,7 +663,7 @@ impl<'a> Solver<'a> {
     /// precondition for running the dual simplex.
     fn dual_feasible(&self) -> bool {
         let mut y: Vec<f64> = self.order.iter().map(|&k| self.cost[k]).collect();
-        btran(&self.etas, &mut y);
+        self.etas.btran(&mut y);
         for j in 0..self.total {
             if self.is_basic[j] || self.is_fixed(j) {
                 continue;
@@ -546,6 +685,93 @@ impl<'a> Solver<'a> {
         true
     }
 
+    /// Initializes the pricing weights: the unit reference framework for
+    /// devex, exact column norms (`1 + ‖a_j‖²`, the steepest-edge gammas at
+    /// the slack basis) for steepest edge, nothing for Dantzig.
+    fn init_price_state(&self, rule: Pricing) -> PriceState {
+        let weights = match rule {
+            Pricing::Dantzig => Vec::new(),
+            Pricing::Devex => vec![1.0; self.total],
+            Pricing::SteepestEdge => (0..self.total)
+                .map(|j| {
+                    let (_, vals) = self.col(j);
+                    1.0 + vals.iter().map(|v| v * v).sum::<f64>()
+                })
+                .collect(),
+        };
+        PriceState { rule, weights }
+    }
+
+    /// Updates the devex / steepest-edge reference weights for the pivot
+    /// (entering column `q` on row `r`, ftran'd column `w`). Must run
+    /// *before* the basis is mutated: it needs the pre-pivot eta file and
+    /// nonbasic set. Weight overflow resets the framework and is counted.
+    fn update_price_weights(&mut self, price: &mut PriceState, q: usize, r: usize, w: &[f64]) {
+        if price.rule == Pricing::Dantzig {
+            return;
+        }
+        let alpha_q = w[r];
+        if alpha_q.abs() <= PIV_EPS {
+            return;
+        }
+        let mut rho = vec![0.0f64; self.m];
+        rho[r] = 1.0;
+        self.etas.btran(&mut rho);
+        // Steepest edge also needs v = B⁻ᵀ(B⁻¹ a_q) for the Goldfarb–Reid
+        // cross term.
+        let v_se = if price.rule == Pricing::SteepestEdge {
+            let mut v = w.to_vec();
+            self.etas.btran(&mut v);
+            Some(v)
+        } else {
+            None
+        };
+        let gamma_q = price.weights[q].max(1.0);
+        let mut max_w = 0.0f64;
+        for j in 0..self.total {
+            if j == q || self.is_basic[j] || self.is_fixed(j) {
+                continue;
+            }
+            let alpha_j = self.dot_col(j, &rho);
+            if alpha_j == 0.0 {
+                continue;
+            }
+            let ratio = alpha_j / alpha_q;
+            let wj = &mut price.weights[j];
+            match price.rule {
+                Pricing::Devex => {
+                    let cand = ratio * ratio * gamma_q;
+                    if cand > *wj {
+                        *wj = cand;
+                    }
+                }
+                Pricing::SteepestEdge => {
+                    if let Some(v) = &v_se {
+                        let aj_v = self.dot_col(j, v);
+                        let next = *wj - 2.0 * ratio * aj_v + ratio * ratio * gamma_q;
+                        *wj = next.max(1.0 + ratio * ratio);
+                    }
+                }
+                Pricing::Dantzig => {}
+            }
+            if *wj > max_w {
+                max_w = *wj;
+            }
+        }
+        // The leaving variable re-enters the nonbasic set with the reference
+        // weight induced by the pivot; the entering column's slot resets.
+        let leaving = self.order[r];
+        price.weights[leaving] = (gamma_q / (alpha_q * alpha_q)).max(1.0);
+        price.weights[q] = 1.0;
+        if max_w > DEVEX_RESET_LIMIT {
+            for wj in &mut price.weights {
+                *wj = 1.0;
+            }
+            self.devex_resets += 1;
+            rtr_trace::status::board().add_lp_devex_resets(1);
+        }
+    }
+
     /// The bounded-variable primal simplex with composite phase 1, run from
     /// whatever basis is currently installed.
     fn primal(
@@ -553,8 +779,10 @@ impl<'a> Solver<'a> {
         limit: usize,
         deadline: Option<Instant>,
         warm: bool,
+        pricing: Pricing,
     ) -> Result<LpOutcome, MilpError> {
         let tol = self.tol;
+        let mut price = self.init_price_state(pricing);
         let mut degenerate_run = 0usize;
         loop {
             if self.iterations >= limit {
@@ -587,10 +815,10 @@ impl<'a> Solver<'a> {
 
             // Simplex multipliers y = c_B B⁻¹, then reduced costs per column.
             let mut y = c_b;
-            btran(&self.etas, &mut y);
+            self.etas.btran(&mut y);
 
             let use_bland = degenerate_run > BLAND_AFTER;
-            let mut entering: Option<(usize, f64, f64)> = None; // (col, |d|, direction)
+            let mut entering: Option<(usize, f64, f64)> = None; // (col, score, direction)
             for j in 0..self.total {
                 if self.is_basic[j] {
                     continue;
@@ -626,9 +854,16 @@ impl<'a> Solver<'a> {
                     entering = Some((j, d.abs(), dir));
                     break;
                 }
+                // Dantzig scores by |d|; devex / steepest edge by d²/γ_j.
+                // Exact comparison with first-lowest-index ties keeps the
+                // selection deterministic under every rule.
+                let score = match price.rule {
+                    Pricing::Dantzig => d.abs(),
+                    Pricing::Devex | Pricing::SteepestEdge => d * d / price.weights[j],
+                };
                 match entering {
-                    Some((_, best, _)) if best >= d.abs() => {}
-                    _ => entering = Some((j, d.abs(), dir)),
+                    Some((_, best, _)) if best >= score => {}
+                    _ => entering = Some((j, score, dir)),
                 }
             }
 
@@ -642,7 +877,7 @@ impl<'a> Solver<'a> {
             // Transformed entering column w = B⁻¹ a_q.
             let mut w = vec![0.0f64; self.m];
             self.scatter(q, &mut w);
-            ftran(&self.etas, &mut w);
+            self.etas.ftran(&mut w);
 
             // Ratio test: entering q moves by step >= 0 in direction `dir`;
             // basic i changes at rate -dir * w[i].
@@ -721,6 +956,7 @@ impl<'a> Solver<'a> {
                     self.at_upper[q] = !self.at_upper[q];
                 }
                 Some((r, leave_bound)) => {
+                    self.update_price_weights(&mut price, q, r, &w);
                     let step = best_step;
                     for (i, &alpha) in w.iter().enumerate() {
                         if i == r {
@@ -816,9 +1052,9 @@ impl<'a> Solver<'a> {
             // dual ratio test.
             let mut rho = vec![0.0f64; self.m];
             rho[r] = 1.0;
-            btran(&self.etas, &mut rho);
+            self.etas.btran(&mut rho);
             let mut y: Vec<f64> = self.order.iter().map(|&k| self.cost[k]).collect();
-            btran(&self.etas, &mut y);
+            self.etas.btran(&mut y);
 
             // Entering column: eligible sign, minimal dual ratio |d|/|α|;
             // ties prefer the larger pivot (smallest index under Bland).
@@ -880,7 +1116,7 @@ impl<'a> Solver<'a> {
 
             let mut w = vec![0.0f64; self.m];
             self.scatter(q, &mut w);
-            ftran(&self.etas, &mut w);
+            self.etas.ftran(&mut w);
             if w[r].abs() <= PIV_EPS {
                 // ρ disagreed with the ftran'd column: numerical drift.
                 // Refactorize once and retry; give up to the cold path if it
@@ -933,6 +1169,7 @@ fn trivially_infeasible(warm: bool) -> LpOutcome {
         iterations: 0,
         basis: None,
         refactorizations: 0,
+        devex_resets: 0,
         warm,
     }
 }
@@ -971,13 +1208,29 @@ pub fn solve_lp_with_deadline(
     iteration_limit: usize,
     deadline: Option<Instant>,
 ) -> Result<LpOutcome, MilpError> {
+    solve_lp_priced(model, bounds_override, tol, iteration_limit, deadline, Pricing::default())
+}
+
+/// [`solve_lp_with_deadline`] under an explicit [`Pricing`] rule.
+///
+/// # Errors
+///
+/// Returns [`MilpError::IterationLimit`] like [`solve_lp`].
+pub fn solve_lp_priced(
+    model: &Model,
+    bounds_override: Option<&[(f64, f64)]>,
+    tol: f64,
+    iteration_limit: usize,
+    deadline: Option<Instant>,
+    pricing: Pricing,
+) -> Result<LpOutcome, MilpError> {
     let limit = auto_limit(model, iteration_limit);
     let mut s = match Solver::build(model, bounds_override, tol) {
         Built::Crossed => return Ok(trivially_infeasible(false)),
         Built::Ready(s) => s,
     };
     s.install_slack_basis();
-    s.primal(limit, deadline, false)
+    s.primal(limit, deadline, false, pricing)
 }
 
 /// Re-solves `model` starting from a parent [`Basis`], intended for the two
@@ -1021,8 +1274,35 @@ pub fn resolve_lp_with_deadline(
     iteration_limit: usize,
     deadline: Option<Instant>,
 ) -> Result<LpOutcome, MilpError> {
+    resolve_lp_priced(
+        model,
+        bounds_override,
+        basis,
+        tol,
+        iteration_limit,
+        deadline,
+        Pricing::default(),
+    )
+}
+
+/// [`resolve_lp_with_deadline`] under an explicit [`Pricing`] rule (the
+/// pricing applies to the primal phases; the dual warm path is unchanged).
+///
+/// # Errors
+///
+/// Returns [`MilpError::IterationLimit`] like [`resolve_lp`].
+#[allow(clippy::too_many_arguments)]
+pub fn resolve_lp_priced(
+    model: &Model,
+    bounds_override: Option<&[(f64, f64)]>,
+    basis: &Basis,
+    tol: f64,
+    iteration_limit: usize,
+    deadline: Option<Instant>,
+    pricing: Pricing,
+) -> Result<LpOutcome, MilpError> {
     let limit = auto_limit(model, iteration_limit);
-    let (spent, refacts) = match Solver::build(model, bounds_override, tol) {
+    let (spent, refacts, resets) = match Solver::build(model, bounds_override, tol) {
         Built::Crossed => return Ok(trivially_infeasible(true)),
         Built::Ready(mut s) => {
             if s.install_basis(basis) {
@@ -1034,23 +1314,113 @@ pub fn resolve_lp_with_deadline(
                 } else {
                     // Dual-infeasible parent (stale costs): still a better
                     // starting vertex than the slack identity.
-                    match s.primal(limit, deadline, true) {
+                    match s.primal(limit, deadline, true, pricing) {
                         Ok(out) => return Ok(out),
                         Err(MilpError::IterationLimit { .. }) => {}
                         Err(e) => return Err(e),
                     }
                 }
             }
-            (s.iterations, s.refactorizations)
+            (s.iterations, s.refactorizations, s.devex_resets)
         }
     };
     // Cold fallback with a fresh budget: a warm entry must never fail where
     // a cold solve would have succeeded.
-    let mut out = solve_lp_with_deadline(model, bounds_override, tol, iteration_limit, deadline)?;
+    let mut out = solve_lp_priced(model, bounds_override, tol, iteration_limit, deadline, pricing)?;
     out.iterations += spent;
     out.refactorizations += refacts;
+    out.devex_resets += resets;
     out.warm = false;
     Ok(out)
+}
+
+/// One simplex tableau row `x_B[i] + Σ ā_j x_j = b̄_i` extracted at an
+/// optimal basis, in column space (structurals `0..n`, slacks `n..n+m`).
+#[derive(Debug, Clone)]
+pub(crate) struct TableauRow {
+    /// `b̄_i`: the current value of the basic variable.
+    pub rhs: f64,
+    /// `(nonbasic column, ā_j)` pairs with `|ā_j| > 1e-9`, ascending.
+    pub coeffs: Vec<(usize, f64)>,
+}
+
+/// Snapshot of the tableau state needed to derive Gomory cuts: the rows of
+/// fractional integer basics plus the column statuses and working bounds.
+#[derive(Debug, Clone)]
+pub(crate) struct TableauSnapshot {
+    /// Structural variable count.
+    pub n: usize,
+    /// Working lower bounds over all `n + m` columns (slacks included).
+    pub lb: Vec<f64>,
+    /// Working upper bounds over all `n + m` columns.
+    pub ub: Vec<f64>,
+    /// `true` for nonbasic columns parked at their upper bound.
+    pub at_upper: Vec<bool>,
+    /// Extracted fractional rows, most fractional first.
+    pub rows: Vec<TableauRow>,
+}
+
+/// Extracts the tableau rows of fractional integer basics at `basis`
+/// (re-installed and refactorized), most fractional first, up to
+/// `max_rows`. Returns `None` when the basis fails to install (stale,
+/// singular, or vetoed by the `milp.warm_basis` failpoint) — callers skip
+/// cut separation for that round.
+pub(crate) fn fractional_rows(
+    model: &Model,
+    bounds_override: Option<&[(f64, f64)]>,
+    basis: &Basis,
+    tol: f64,
+    is_int: &[bool],
+    max_rows: usize,
+) -> Option<TableauSnapshot> {
+    let mut s = match Solver::build(model, bounds_override, tol) {
+        Built::Crossed => return None,
+        Built::Ready(s) => s,
+    };
+    if !s.install_basis(basis) {
+        return None;
+    }
+    s.compute_basic_values();
+    let mut cand: Vec<(f64, usize, usize)> = Vec::new(); // (centrality, col, row)
+    for (i, &k) in s.order.iter().enumerate() {
+        if k >= s.n || !is_int[k] {
+            continue;
+        }
+        let v = s.x[k];
+        let frac = v - v.floor();
+        if !(0.01..=0.99).contains(&frac) {
+            continue;
+        }
+        // Sort key: distance of the fraction from 1/2 (most fractional
+        // first), then column index — fixed, deterministic order.
+        cand.push((((frac - 0.5).abs() * 1e9) as u64 as f64, k, i));
+    }
+    cand.sort_by(|a, b| (a.0, a.1).partial_cmp(&(b.0, b.1)).unwrap_or(std::cmp::Ordering::Equal));
+    cand.truncate(max_rows);
+    let mut rows = Vec::with_capacity(cand.len());
+    for &(_, k, i) in &cand {
+        let mut rho = vec![0.0f64; s.m];
+        rho[i] = 1.0;
+        s.etas.btran(&mut rho);
+        let mut coeffs = Vec::new();
+        for j in 0..s.total {
+            if s.is_basic[j] || s.is_fixed(j) {
+                continue;
+            }
+            let a = s.dot_col(j, &rho);
+            if a.abs() > 1e-9 {
+                coeffs.push((j, a));
+            }
+        }
+        rows.push(TableauRow { rhs: s.x[k], coeffs });
+    }
+    Some(TableauSnapshot {
+        n: s.n,
+        lb: s.lb.clone(),
+        ub: s.ub.clone(),
+        at_upper: s.at_upper.clone(),
+        rows,
+    })
 }
 
 #[cfg(test)]

@@ -1,5 +1,6 @@
 //! Solve options, solutions, and outcomes.
 
+use crate::simplex::Pricing;
 use std::fmt;
 use std::time::Duration;
 
@@ -20,6 +21,19 @@ pub struct SolveOptions {
     pub goal: Goal,
     /// Maximum number of branch-and-bound nodes to explore.
     pub node_limit: usize,
+    /// Total simplex-iteration (pivot) budget for the whole solve, summed
+    /// across every LP it spawns — node LPs, cut-round re-solves, and
+    /// strong-branch probes (0 means unlimited). Unlike `time_limit` this
+    /// budget is deterministic: the same model and options stop at the
+    /// same pivot on any machine, so pivot-budgeted outcomes can be
+    /// recorded by bit-exact regression gates. On big models the LP work
+    /// per node varies by orders of magnitude, which makes `node_limit`
+    /// alone a poor proxy for effort; the pivot budget is the knob that
+    /// actually bounds it. Exhaustion stops the solve like a node limit
+    /// ([`Status::Feasible`] with an incumbent in hand,
+    /// [`Status::LimitReached`] without); the LP in flight when the budget
+    /// runs dry may overrun it by at most its own per-LP cap.
+    pub pivot_limit: usize,
     /// Wall-clock deadline for the whole solve.
     pub time_limit: Option<Duration>,
     /// Tolerance within which a value counts as integral.
@@ -38,6 +52,16 @@ pub struct SolveOptions {
     /// every node. Outcomes are identical either way — warm solves fall
     /// back to a cold start on any trouble — only the pivot counts differ.
     pub warm_start: bool,
+    /// Simplex pricing rule for every LP solved during the search.
+    pub pricing: Pricing,
+    /// Run root cutting planes (cover/clique/Gomory rounds) before
+    /// branching. Separation only runs for [`Goal::Optimal`] solves — the
+    /// feasibility hot path of the paper's DSE loop stays cut-free.
+    pub cuts: bool,
+    /// Branch by reliability-initialized pseudo-costs ([`Goal::Optimal`]
+    /// only; with no recorded pseudo-costs the score degrades to the
+    /// historical most-fractional rule, which is what feasibility runs use).
+    pub pseudo_cost_branching: bool,
 }
 
 impl SolveOptions {
@@ -62,6 +86,12 @@ impl SolveOptions {
         self.node_limit = limit;
         self
     }
+
+    /// Builder-style solve-wide pivot budget.
+    pub fn with_pivot_limit(mut self, limit: usize) -> Self {
+        self.pivot_limit = limit;
+        self
+    }
 }
 
 impl Default for SolveOptions {
@@ -69,6 +99,7 @@ impl Default for SolveOptions {
         SolveOptions {
             goal: Goal::Feasibility,
             node_limit: 2_000_000,
+            pivot_limit: 0,
             time_limit: None,
             int_tol: 1e-6,
             lp_tol: 1e-7,
@@ -76,6 +107,9 @@ impl Default for SolveOptions {
             rounding_heuristic: true,
             presolve: true,
             warm_start: true,
+            pricing: Pricing::default(),
+            cuts: true,
+            pseudo_cost_branching: true,
         }
     }
 }
@@ -167,6 +201,26 @@ pub struct SolveStats {
     /// cold-rooted, conservative when even the root was warm) minus the
     /// pivots the warm solve actually took.
     pub pivots_saved: usize,
+    /// Cutting planes generated across all root separation rounds
+    /// (including ones later aged out of the pool).
+    pub cuts_generated: usize,
+    /// Cutting planes still active in the pool when the root loop ended.
+    pub cuts_active: usize,
+    /// Separation rounds that produced at least one Gomory cut.
+    pub gomory_rounds: usize,
+    /// Devex reference-framework resets across all LP solves.
+    pub devex_resets: usize,
+    /// Branchings decided by recorded pseudo-costs (both directions had
+    /// history for the chosen variable).
+    pub pseudo_cost_branches: usize,
+    /// Child LPs solved for strong-branching reliability initialization.
+    pub strong_branch_evals: usize,
+    /// Final relative optimality gap in parts per million, capped at
+    /// 1 000 000 (100%): 0 when optimality (or infeasibility) was proven,
+    /// the incumbent-vs-best-open-bound gap when a limit stopped the
+    /// search, 1 000 000 when a limit fired with no incumbent. Stored in
+    /// ppm so statistics stay integer (hashable, exactly comparable).
+    pub gap_ppm: usize,
 }
 
 impl SolveStats {
@@ -184,6 +238,14 @@ impl SolveStats {
         self.cold_starts += other.cold_starts;
         self.refactorizations += other.refactorizations;
         self.pivots_saved += other.pivots_saved;
+        self.cuts_generated += other.cuts_generated;
+        self.cuts_active += other.cuts_active;
+        self.gomory_rounds += other.gomory_rounds;
+        self.devex_resets += other.devex_resets;
+        self.pseudo_cost_branches += other.pseudo_cost_branches;
+        self.strong_branch_evals += other.strong_branch_evals;
+        // Gaps do not sum: keep the worst gap seen across the sequence.
+        self.gap_ppm = self.gap_ppm.max(other.gap_ppm);
     }
 }
 
@@ -213,6 +275,19 @@ impl rtr_trace::Instrument for SolveStats {
         rtr_trace::counter(&format!("{scope}.lp.cold_starts"), self.cold_starts as u64);
         rtr_trace::counter(&format!("{scope}.lp.refactorizations"), self.refactorizations as u64);
         rtr_trace::counter(&format!("{scope}.lp.pivots_saved"), self.pivots_saved as u64);
+        rtr_trace::counter(&format!("{scope}.cuts_generated"), self.cuts_generated as u64);
+        rtr_trace::counter(&format!("{scope}.cuts_active"), self.cuts_active as u64);
+        rtr_trace::counter(&format!("{scope}.gomory_rounds"), self.gomory_rounds as u64);
+        rtr_trace::counter(&format!("{scope}.lp.devex_resets"), self.devex_resets as u64);
+        rtr_trace::counter(
+            &format!("{scope}.pseudo_cost_branches"),
+            self.pseudo_cost_branches as u64,
+        );
+        rtr_trace::counter(
+            &format!("{scope}.strong_branch_evals"),
+            self.strong_branch_evals as u64,
+        );
+        rtr_trace::counter(&format!("{scope}.gap_ppm"), self.gap_ppm as u64);
     }
 }
 
@@ -248,10 +323,13 @@ mod tests {
 
     #[test]
     fn options_builders() {
-        let o =
-            SolveOptions::optimal().with_node_limit(5).with_time_limit(Duration::from_millis(10));
+        let o = SolveOptions::optimal()
+            .with_node_limit(5)
+            .with_pivot_limit(1000)
+            .with_time_limit(Duration::from_millis(10));
         assert_eq!(o.goal, Goal::Optimal);
         assert_eq!(o.node_limit, 5);
+        assert_eq!(o.pivot_limit, 1000);
         assert_eq!(o.time_limit, Some(Duration::from_millis(10)));
     }
 

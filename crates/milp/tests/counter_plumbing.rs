@@ -1,0 +1,70 @@
+//! The new solver counters flow end-to-end through the trace layer: one
+//! optimality solve that separates cuts must surface
+//! `milp.cuts_*`/`milp.lp.devex_resets`/`milp.pseudo_cost_branches` in a
+//! [`RunReport`], on the live status board, and as Perfetto counter
+//! tracks — matching the `SolveStats` the solve returned.
+//!
+//! Lives in its own integration binary: the trace sink and the status
+//! board are process-global.
+
+use rtr_milp::{solve_mip, Constraint, LinExpr, Model, Rel, SolveOptions, Status, Variable};
+use rtr_trace::RunReport;
+
+/// A knapsack whose LP relaxation is fractional at the root, so the
+/// optimality solve exercises cut separation.
+fn fractional_knapsack() -> Model {
+    let mut m = Model::new();
+    let weights = [5.0, 6.0, 4.0, 3.0, 7.0];
+    let values = [10.0, 13.0, 7.5, 5.0, 16.0];
+    let vars: Vec<_> = (0..5).map(|_| m.add_var(Variable::binary())).collect();
+    m.add_constraint(Constraint::new(
+        vars.iter().zip(weights).map(|(&v, w)| (w, v)).collect::<LinExpr>(),
+        Rel::Le,
+        11.0,
+    ));
+    m.maximize(vars.iter().zip(values).map(|(&v, c)| (c, v)).collect::<LinExpr>());
+    m
+}
+
+#[test]
+fn new_counters_reach_report_board_and_perfetto() {
+    let model = fractional_knapsack();
+    let opts = SolveOptions::optimal();
+
+    rtr_trace::install(std::sync::Arc::new(rtr_trace::MemorySink::new()));
+    rtr_trace::board().reset();
+    let (out, events) = rtr_trace::capture(|| solve_mip(&model, &opts).unwrap());
+    let snapshot = rtr_trace::board().snapshot();
+    rtr_trace::uninstall();
+
+    assert_eq!(out.status, Status::Optimal);
+    assert!(out.stats.cuts_generated >= 1, "fixture must separate cuts");
+
+    // RunReport: every new counter is present and totals what the solve
+    // reported.
+    let report = RunReport::from_events(&events);
+    let expected = [
+        ("milp.cuts_generated", out.stats.cuts_generated),
+        ("milp.cuts_active", out.stats.cuts_active),
+        ("milp.gomory_rounds", out.stats.gomory_rounds),
+        ("milp.lp.devex_resets", out.stats.devex_resets),
+        ("milp.pseudo_cost_branches", out.stats.pseudo_cost_branches),
+        ("milp.strong_branch_evals", out.stats.strong_branch_evals),
+        ("milp.gap_ppm", out.stats.gap_ppm),
+    ];
+    for (key, value) in expected {
+        assert!(report.counters.contains_key(key), "missing counter {key}");
+        assert_eq!(report.counter(key), value as u64, "{key}");
+    }
+
+    // Status board: the separation and pricing paths feed the live view.
+    assert!(snapshot.ilp_cuts >= 1, "board missed the cut separations");
+    assert_eq!(snapshot.lp_devex_resets, out.stats.devex_resets as u64);
+
+    // Perfetto export: each counter becomes a named "C" track record.
+    let doc = RunReport::to_perfetto_json(&events);
+    for (key, _) in expected {
+        assert!(doc.contains(&format!("\"{key}\"")), "perfetto export missing {key}");
+    }
+    assert!(doc.contains("\"ph\":\"C\""), "no counter records in the export");
+}

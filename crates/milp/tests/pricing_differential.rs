@@ -1,0 +1,190 @@
+//! Pricing differential suite: Dantzig, devex, and steepest-edge pricing
+//! must agree on every LP objective and produce identical end-to-end MIP
+//! outcomes — pricing changes the pivot *path*, never the answer.
+
+use rtr_milp::{
+    solve_lp_priced, solve_mip_warm, Constraint, LinExpr, Model, Pricing, Rel, SolveOptions,
+    Status, Variable,
+};
+
+const PRICINGS: [Pricing; 3] = [Pricing::Dantzig, Pricing::Devex, Pricing::SteepestEdge];
+
+/// A small transportation-style LP with a unique optimum (netlib-flavor:
+/// dense-ish rows, mixed signs, no symmetric costs).
+fn transport_lp() -> Model {
+    let mut m = Model::new();
+    // Ship from 2 sources (capacities 40, 30) to 3 sinks (demands 20, 25, 15)
+    // with distinct unit costs.
+    let costs = [[4.0, 6.0, 9.0], [5.0, 3.0, 7.0]];
+    let xs: Vec<Vec<_>> = (0..2)
+        .map(|s| {
+            (0..3)
+                .map(|d| m.add_var(Variable::continuous(0.0, 60.0).with_name(format!("x{s}{d}"))))
+                .collect()
+        })
+        .collect();
+    for (s, row) in xs.iter().enumerate() {
+        let cap: LinExpr = row.iter().map(|&v| (1.0, v)).collect();
+        m.add_constraint(Constraint::new(cap, Rel::Le, [40.0, 30.0][s]));
+    }
+    for d in 0..3 {
+        let dem: LinExpr = xs.iter().map(|row| (1.0, row[d])).collect();
+        m.add_constraint(Constraint::new(dem, Rel::Ge, [20.0, 25.0, 15.0][d]));
+    }
+    m.minimize(
+        xs.iter()
+            .enumerate()
+            .flat_map(|(s, row)| row.iter().enumerate().map(move |(d, &v)| (costs[s][d], v)))
+            .collect::<LinExpr>(),
+    );
+    m
+}
+
+/// A degenerate LP (many tied basic feasible solutions at the optimum).
+fn degenerate_lp() -> Model {
+    let mut m = Model::new();
+    let x = m.add_var(Variable::continuous(0.0, 10.0));
+    let y = m.add_var(Variable::continuous(0.0, 10.0));
+    let z = m.add_var(Variable::continuous(0.0, 10.0));
+    m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (1.0, y), Rel::Le, 4.0));
+    m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x) + (1.0, z), Rel::Le, 4.0));
+    m.add_constraint(Constraint::new(LinExpr::new() + (1.0, y) + (1.0, z), Rel::Le, 4.0));
+    m.add_constraint(Constraint::new(
+        LinExpr::new() + (1.0, x) + (1.0, y) + (1.0, z),
+        Rel::Le,
+        6.0,
+    ));
+    m.maximize(LinExpr::new() + (3.0, x) + (2.0, y) + (2.0, z));
+    m
+}
+
+/// Beale's classical cycling example: Dantzig pricing with a naive tie
+/// rule cycles forever on this LP; the anti-cycling guard must terminate
+/// it at the optimum (-0.05) under every pricing rule.
+fn beale_lp() -> Model {
+    let mut m = Model::new();
+    let x1 = m.add_var(Variable::continuous(0.0, f64::INFINITY));
+    let x2 = m.add_var(Variable::continuous(0.0, f64::INFINITY));
+    let x3 = m.add_var(Variable::continuous(0.0, f64::INFINITY));
+    let x4 = m.add_var(Variable::continuous(0.0, f64::INFINITY));
+    m.add_constraint(Constraint::new(
+        LinExpr::new() + (0.25, x1) + (-60.0, x2) + (-0.04, x3) + (9.0, x4),
+        Rel::Le,
+        0.0,
+    ));
+    m.add_constraint(Constraint::new(
+        LinExpr::new() + (0.5, x1) + (-90.0, x2) + (-0.02, x3) + (3.0, x4),
+        Rel::Le,
+        0.0,
+    ));
+    m.add_constraint(Constraint::new(LinExpr::new() + (1.0, x3), Rel::Le, 1.0));
+    m.minimize(LinExpr::new() + (-0.75, x1) + (150.0, x2) + (-0.02, x3) + (6.0, x4));
+    m
+}
+
+#[test]
+fn all_pricings_agree_on_lp_objectives() {
+    for (name, model, expected) in [
+        ("transport", transport_lp(), Some(280.0)),
+        ("degenerate", degenerate_lp(), None),
+        ("beale", beale_lp(), Some(-0.05)),
+    ] {
+        let mut objectives = Vec::new();
+        for pricing in PRICINGS {
+            let lp = solve_lp_priced(&model, None, 1e-7, 0, None, pricing).unwrap();
+            assert_eq!(
+                lp.status,
+                rtr_milp::LpStatus::Optimal,
+                "{name} under {pricing:?} must solve"
+            );
+            objectives.push(lp.objective);
+        }
+        for pair in objectives.windows(2) {
+            assert!(
+                (pair[0] - pair[1]).abs() < 1e-6,
+                "{name}: pricing rules disagree: {objectives:?}"
+            );
+        }
+        if let Some(opt) = expected {
+            assert!(
+                (objectives[0] - opt).abs() < 1e-6,
+                "{name}: expected {opt}, got {}",
+                objectives[0]
+            );
+        }
+    }
+}
+
+#[test]
+fn beale_terminates_under_every_pricing() {
+    let model = beale_lp();
+    for pricing in PRICINGS {
+        let lp = solve_lp_priced(&model, None, 1e-7, 5_000, None, pricing).unwrap();
+        assert_eq!(lp.status, rtr_milp::LpStatus::Optimal, "cycled under {pricing:?}");
+        assert!(lp.iterations < 1_000, "{pricing:?} took {} pivots", lp.iterations);
+    }
+}
+
+/// An 8-item knapsack with distinct values, so the optimum is unique and
+/// even the solution vector must match across pricing rules.
+fn knapsack_mip() -> Model {
+    let mut m = Model::new();
+    let weights = [5.0, 6.0, 4.0, 3.0, 7.0, 2.0, 5.0, 4.0];
+    let values = [10.0, 13.0, 7.0, 5.0, 16.0, 3.0, 11.0, 8.0];
+    let vars: Vec<_> = (0..8).map(|_| m.add_var(Variable::binary())).collect();
+    m.add_constraint(Constraint::new(
+        vars.iter().zip(weights).map(|(&v, w)| (w, v)).collect::<LinExpr>(),
+        Rel::Le,
+        17.0,
+    ));
+    m.maximize(vars.iter().zip(values).map(|(&v, c)| (c, v)).collect::<LinExpr>());
+    m
+}
+
+#[test]
+fn mip_outcomes_identical_across_pricings() {
+    let model = knapsack_mip();
+    let mut outcomes = Vec::new();
+    for pricing in PRICINGS {
+        let mut opts = SolveOptions::optimal();
+        opts.pricing = pricing;
+        let out = solve_mip_warm(&model, &opts, None).unwrap();
+        assert_eq!(out.status, Status::Optimal, "{pricing:?}");
+        outcomes.push(out);
+    }
+    let first = outcomes[0].solution.as_ref().unwrap();
+    for out in &outcomes[1..] {
+        let sol = out.solution.as_ref().unwrap();
+        assert_eq!(first.objective, sol.objective, "objective must be bit-identical");
+        assert_eq!(first.values, sol.values, "unique optimum: values must match");
+    }
+}
+
+#[test]
+fn warm_chain_identical_across_pricings() {
+    // The paper's subdivision loop: solve, then re-solve the same model
+    // warm from the returned root basis. Every pricing rule must produce
+    // the same chain of statuses and objectives, warm or cold.
+    let mut model = knapsack_mip();
+    let mut results = Vec::new();
+    for pricing in PRICINGS {
+        let mut opts = SolveOptions::optimal();
+        opts.pricing = pricing;
+        opts.presolve = false; // keep the root basis reusable
+        let first = solve_mip_warm(&model, &opts, None).unwrap();
+        let basis = first.root_basis.clone();
+        // RHS-only mutation: tighten the knapsack capacity, then re-solve
+        // warm and cold.
+        model.set_rhs(0, 12.0);
+        let warm = solve_mip_warm(&model, &opts, basis.as_ref()).unwrap();
+        let cold = solve_mip_warm(&model, &opts, None).unwrap();
+        model.set_rhs(0, 17.0);
+        assert_eq!(warm.status, cold.status, "{pricing:?}");
+        let (w, c) = (warm.solution.as_ref().unwrap(), cold.solution.as_ref().unwrap());
+        assert_eq!(w.objective, c.objective, "{pricing:?}: warm and cold must agree");
+        results.push((first.solution.unwrap().objective, w.objective));
+    }
+    for pair in results.windows(2) {
+        assert_eq!(pair[0], pair[1], "pricing rules disagree on the warm chain");
+    }
+}

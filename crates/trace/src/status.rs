@@ -45,6 +45,8 @@ pub struct StatusBoard {
     windows_infeasible: AtomicU64,
     windows_limit: AtomicU64,
     lp_pivots: AtomicU64,
+    lp_devex_resets: AtomicU64,
+    ilp_cuts: AtomicU64,
     checkpoint_writes: AtomicU64,
     /// Trace-epoch timestamp of the last checkpoint write (`u64::MAX`
     /// until one happens).
@@ -74,6 +76,8 @@ impl StatusBoard {
             windows_infeasible: AtomicU64::new(0),
             windows_limit: AtomicU64::new(0),
             lp_pivots: AtomicU64::new(0),
+            lp_devex_resets: AtomicU64::new(0),
+            ilp_cuts: AtomicU64::new(0),
             checkpoint_writes: AtomicU64::new(0),
             checkpoint_last_us: AtomicU64::new(u64::MAX),
             jobs_claimed: AtomicU64::new(0),
@@ -130,6 +134,16 @@ impl StatusBoard {
     /// Adds simplex pivots.
     pub fn add_lp_pivots(&self, n: u64) {
         self.lp_pivots.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds devex / steepest-edge pricing framework resets.
+    pub fn add_lp_devex_resets(&self, n: u64) {
+        self.lp_devex_resets.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds cutting planes generated by the MILP root separator.
+    pub fn add_ilp_cuts(&self, n: u64) {
+        self.ilp_cuts.fetch_add(n, Ordering::Relaxed);
     }
 
     /// Records a checkpoint write (stamps the checkpoint age clock).
@@ -211,6 +225,8 @@ impl StatusBoard {
             windows_infeasible: self.windows_infeasible.load(Ordering::Relaxed),
             windows_limit: self.windows_limit.load(Ordering::Relaxed),
             lp_pivots: self.lp_pivots.load(Ordering::Relaxed),
+            lp_devex_resets: self.lp_devex_resets.load(Ordering::Relaxed),
+            ilp_cuts: self.ilp_cuts.load(Ordering::Relaxed),
             checkpoint_writes: self.checkpoint_writes.load(Ordering::Relaxed),
             checkpoint_age_us: (last_ck != u64::MAX).then(|| now.saturating_sub(last_ck)),
             jobs_claimed: self.jobs_claimed.load(Ordering::Relaxed),
@@ -239,6 +255,8 @@ impl StatusBoard {
         self.windows_infeasible.store(0, Ordering::Relaxed);
         self.windows_limit.store(0, Ordering::Relaxed);
         self.lp_pivots.store(0, Ordering::Relaxed);
+        self.lp_devex_resets.store(0, Ordering::Relaxed);
+        self.ilp_cuts.store(0, Ordering::Relaxed);
         self.checkpoint_writes.store(0, Ordering::Relaxed);
         self.checkpoint_last_us.store(u64::MAX, Ordering::Relaxed);
         self.jobs_claimed.store(0, Ordering::Relaxed);
@@ -297,6 +315,10 @@ pub struct StatusSnapshot {
     pub windows_limit: u64,
     /// Simplex pivots performed.
     pub lp_pivots: u64,
+    /// Devex / steepest-edge pricing framework resets.
+    pub lp_devex_resets: u64,
+    /// Cutting planes generated by the MILP root separator.
+    pub ilp_cuts: u64,
     /// Checkpoint writes attempted.
     pub checkpoint_writes: u64,
     /// Time since the last checkpoint write (µs), once one happened.
@@ -366,6 +388,8 @@ impl StatusSnapshot {
         field(&mut out, "windows_infeasible", self.windows_infeasible.to_string());
         field(&mut out, "windows_limit", self.windows_limit.to_string());
         field(&mut out, "lp_pivots", self.lp_pivots.to_string());
+        field(&mut out, "lp_devex_resets", self.lp_devex_resets.to_string());
+        field(&mut out, "ilp_cuts", self.ilp_cuts.to_string());
         field(&mut out, "checkpoint_writes", self.checkpoint_writes.to_string());
         let age = match self.checkpoint_age_us {
             Some(v) => v.to_string(),
@@ -571,6 +595,8 @@ mod tests {
             "ts_us",
             "windows_done",
             "lp_pivots",
+            "lp_devex_resets",
+            "ilp_cuts",
             "jobs_claimed",
             "workers_active",
             "sched_jobs",
